@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain pip + pytest underneath.
+
+.PHONY: install dev test bench results examples clean
+
+install:
+	pip install -e .
+
+dev:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure from scratch (benchmarks/results/).
+results:
+	rm -rf benchmarks/results
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/ria_synthesis.py
+	python examples/visualize_dataflow.py
+	python examples/transform_mobilenet.py
+	python examples/design_space.py
+	python examples/nos_search.py
+	python examples/train_fuse_classifier.py --quick
+	python examples/deploy_pipeline.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,52 @@
+"""Extension — silicon budgets: SRAM buffer sizing and inference energy.
+
+Two deployment-facing artifacts from the extension models:
+
+* minimum double-buffered SRAM for stall-free execution (the latency
+  model's "operands always ready" assumption, priced in KiB);
+* energy per inference, split into MAC / data movement / static, for the
+  baselines and their FuSe-Half transforms.
+"""
+
+from repro.analysis import format_table
+from repro.core import FuSeVariant, to_fuseconv
+from repro.hw import energy_report
+from repro.models import PAPER_NETWORKS, build_model
+from repro.systolic import PAPER_ARRAY, network_buffer_requirement
+
+
+def _measure():
+    rows = []
+    for name in PAPER_NETWORKS:
+        baseline = build_model(name)
+        fuse = to_fuseconv(baseline, FuSeVariant.HALF, PAPER_ARRAY)
+        buffers = network_buffer_requirement(baseline, PAPER_ARRAY)
+        base_energy = energy_report(baseline, PAPER_ARRAY)
+        fuse_energy = energy_report(fuse, PAPER_ARRAY)
+        rows.append(
+            (
+                name,
+                buffers.total_kib,
+                base_energy.total_uj,
+                fuse_energy.total_uj,
+                base_energy.total_uj / fuse_energy.total_uj,
+            )
+        )
+    return rows
+
+
+def test_buffers_and_energy(benchmark, save):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_table(
+        ["network", "SRAM (KiB)", "baseline uJ", "FuSe-Half uJ", "energy gain"],
+        [
+            [name, f"{kib:.0f}", f"{base:.0f}", f"{fuse:.0f}", f"{gain:.2f}x"]
+            for name, kib, base, fuse, gain in rows
+        ],
+        title="Extension — buffer sizing and energy per inference (64x64)",
+    )
+    save("buffers_energy", text)
+
+    for name, kib, base, fuse, gain in rows:
+        assert 4 < kib < 4096, name          # sane SRAM ballpark
+        assert gain > 1.5, name               # FuSe saves real energy

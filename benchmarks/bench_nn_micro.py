@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the numpy training substrate (pytest-benchmark).
+
+Performance tracking for the kernels the accuracy experiments depend on:
+grouped conv forward/backward, the FuSe stage, and an optimizer step.
+"""
+
+import numpy as np
+
+import repro.nn.functional as F
+from repro.nn import (
+    FuSeDepthwiseStage,
+    MiniSeparableNet,
+    RMSprop,
+    Tensor,
+    parameter,
+)
+
+
+def test_conv2d_forward_speed(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(8, 16, 16, 16)).astype(np.float32))
+    w = Tensor(rng.normal(size=(32, 16, 3, 3)).astype(np.float32))
+    out = benchmark(F.conv2d, x, w, None, 1, "same")
+    assert out.shape == (8, 32, 16, 16)
+
+
+def test_depthwise_backward_speed(benchmark):
+    rng = np.random.default_rng(0)
+
+    def step():
+        x = parameter(rng.normal(size=(8, 32, 16, 16)))
+        w = parameter(rng.normal(size=(32, 1, 3, 3)))
+        out = F.depthwise_conv2d(x, w)
+        (out ** 2).sum().backward()
+        return x.grad
+
+    grad = benchmark(step)
+    assert grad is not None
+
+
+def test_fuse_stage_forward_speed(benchmark):
+    stage = FuSeDepthwiseStage(32, kernel=3, d=2, rng=np.random.default_rng(0))
+    x = Tensor(np.random.default_rng(1).normal(size=(8, 32, 16, 16)).astype(np.float32))
+    out = benchmark(stage, x)
+    assert out.shape == (8, 32, 16, 16)
+
+
+def test_training_step_speed(benchmark):
+    model = MiniSeparableNet(num_classes=8, width=8, seed=0)
+    optimizer = RMSprop(model.parameters(), lr=0.01)
+    rng = np.random.default_rng(0)
+    images = rng.normal(size=(32, 3, 12, 12)).astype(np.float32)
+    labels = rng.integers(0, 8, size=32)
+
+    def step():
+        optimizer.zero_grad()
+        logits = model(Tensor(images))
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

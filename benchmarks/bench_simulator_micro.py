@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the simulator itself (pytest-benchmark timing).
+
+Not a paper artifact — keeps the analytical model fast enough for design
+sweeps and catches performance regressions in the lowering/latency path.
+"""
+
+import numpy as np
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.models import build_model
+from repro.systolic import (
+    ArrayConfig,
+    Conv1DBank,
+    GemmDims,
+    broadcast_conv1d_stats,
+    estimate_network,
+    os_gemm_stats,
+    simulate_gemm,
+)
+
+
+def test_gemm_stats_speed(benchmark):
+    dims = GemmDims(m=12544, k=288, n=96)
+    array = ArrayConfig.square(64)
+    stats = benchmark(os_gemm_stats, dims, array)
+    assert stats.cycles > 0
+
+
+def test_broadcast_stats_speed(benchmark):
+    bank = Conv1DBank(num_convs=7168, out_length=112, kernel=3)
+    array = ArrayConfig.square(64)
+    stats = benchmark(broadcast_conv1d_stats, bank, array)
+    assert stats.cycles > 0
+
+
+def test_network_latency_speed(benchmark):
+    net = build_model("mobilenet_v2")
+    array = ArrayConfig.square(64)
+    result = benchmark(estimate_network, net, array)
+    assert result.total_cycles > 0
+
+
+def test_transform_speed(benchmark):
+    net = build_model("mobilenet_v2")
+    out = benchmark(to_fuseconv, net, FuSeVariant.HALF)
+    assert out.out_shape == net.out_shape
+
+
+def test_functional_sim_speed(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(16, 12))
+    b = rng.normal(size=(12, 16))
+    array = ArrayConfig.square(8)
+    result = benchmark(simulate_gemm, a, b, array)
+    assert np.allclose(result.values, a @ b)

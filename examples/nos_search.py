@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Scenario: automated Neural Operator Search (the paper's §VI proposal).
+
+The paper frames FuSeConv as the outcome of *manual* operator search and
+calls for automating it.  This script runs that search: for each
+depthwise layer of a network choose {keep, FuSe-Full, FuSe-Half} to
+maximize capacity (the accuracy proxy) under a latency budget on a 64×64
+array — an exact multiple-choice knapsack.  The paper's fixed variants
+fall out as the endpoints of the resulting Pareto frontier.
+
+Run:  python examples/nos_search.py [model]
+"""
+
+import sys
+from collections import Counter
+
+from repro.analysis import format_table
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import params_millions
+from repro.models import build_model
+from repro.nos import pareto_front, search_operators
+from repro.systolic import PAPER_ARRAY, estimate_network
+
+
+def main(model_name: str = "mobilenet_v2") -> None:
+    baseline = build_model(model_name)
+    base_cycles = estimate_network(baseline, PAPER_ARRAY).total_cycles
+
+    rows = []
+    for result in pareto_front(baseline, points=7):
+        net = result.build(baseline)
+        cycles = estimate_network(net, PAPER_ARRAY).total_cycles
+        mix = Counter(result.choices.values())
+        rows.append([
+            f"{result.cycles:,}",
+            f"{mix[None]}/{mix[1]}/{mix[2]}",
+            f"{params_millions(net):.2f}",
+            f"{base_cycles / cycles:.2f}x",
+        ])
+    print(format_table(
+        ["searched-layer cycle budget", "mix dw/full/half", "net params(M)",
+         "net speedup"],
+        rows,
+        title=f"NOS Pareto frontier for {model_name} (64x64 array)",
+    ))
+
+    # Where do the paper's fixed variants sit?
+    print("\nThe paper's fixed variants as frontier points:")
+    for variant in (FuSeVariant.FULL, FuSeVariant.HALF):
+        net = to_fuseconv(baseline, variant, PAPER_ARRAY)
+        cycles = estimate_network(net, PAPER_ARRAY).total_cycles
+        print(f"  {variant.label:10s} params={params_millions(net):.2f}M  "
+              f"speedup={base_cycles / cycles:.2f}x")
+
+    # A concrete mid-budget search.
+    options = search_operators(baseline, latency_budget=None).options
+    fastest = sum(min(o.cycles for o in opts) for opts in options)
+    slowest = sum(max(o.cycles for o in opts) for opts in options)
+    mid = (fastest + slowest) // 4
+    result = search_operators(baseline, latency_budget=mid)
+    mix = Counter(result.choices.values())
+    print(f"\nBudget {mid:,} cycles -> keep {mix[None]}, Full {mix[1]}, "
+          f"Half {mix[2]} — a mix no fixed variant expresses.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mobilenet_v2")

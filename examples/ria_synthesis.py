@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: formally decide what belongs on a systolic array.
+
+Uses the Regular-Iterative-Algorithm machinery of §II/§III to (a) classify
+the paper's algorithms, (b) explain exactly *why* 2D convolution fails,
+(c) synthesize a space-time mapping for matrix multiplication — recovering
+the output-stationary dataflow of Fig. 1(d) — and (d) execute both
+dataflows on the functional PE-grid simulator to show values and cycle
+counts agree with the theory.
+
+Run:  python examples/ria_synthesis.py
+"""
+
+import numpy as np
+
+from repro.ria import (
+    ALGORITHMS,
+    check_ria,
+    conv2d_direct,
+    matmul,
+    synthesize_mapping,
+)
+from repro.systolic import (
+    ArrayConfig,
+    GemmDims,
+    os_gemm_stats,
+    simulate_conv1d_bank,
+    simulate_gemm,
+)
+
+
+def main() -> None:
+    print("=== RIA classification (SIII) ===")
+    for name, builder in ALGORITHMS.items():
+        result = check_ria(builder())
+        verdict = "RIA -> systolic-capable" if result.is_ria else "NOT an RIA"
+        print(f"  {name:20s} {verdict}")
+
+    print("\n=== Why 2D convolution fails ===")
+    print(check_ria(conv2d_direct(3)).explain())
+
+    print("\n=== Space-time mapping synthesis for matmul ===")
+    mapping = synthesize_mapping(matmul(), (4, 4, 8), projection=(0, 0, 1))
+    print(f"  schedule λ = {mapping.schedule}, projection u = {mapping.projection}")
+    print(f"  dataflow: {mapping.dataflow_name} (stationary: {mapping.stationary_vars})")
+    print(f"  PE grid {mapping.pe_extent}, makespan {mapping.makespan} steps")
+
+    print("\n=== Functional execution on the PE grid ===")
+    rng = np.random.default_rng(0)
+    array = ArrayConfig(rows=4, cols=4, broadcast=True)
+
+    a, b = rng.normal(size=(4, 8)), rng.normal(size=(8, 4))
+    gemm = simulate_gemm(a, b, array)
+    expected = os_gemm_stats(GemmDims(4, 8, 4), array).cycles
+    print(f"  GEMM 4x8x4: max |error| = {np.abs(gemm.values - a @ b).max():.2e}, "
+          f"cycles = {gemm.cycles} (analytical {expected})")
+
+    x, w = rng.normal(size=(4, 10)), rng.normal(size=(4, 3))
+    conv = simulate_conv1d_bank(x, w, array)
+    print(f"  broadcast 1D-conv bank (4 rows): {conv.values.shape[1]} outputs/conv, "
+          f"cycles = {conv.cycles}")
+    print("  -> the row-broadcast dataflow executes FuSeConv with no im2col.")
+
+
+if __name__ == "__main__":
+    main()

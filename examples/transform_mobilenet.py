@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Scenario: port an efficient edge network to a systolic accelerator.
+
+You have a MobileNet-family model and a TPU-like 64×64 systolic array.
+This script walks the decision the paper automates: which FuSe variant to
+use, what it costs (MACs/params), what it buys (latency), and which layers
+matter (Fig. 8b style breakdown).
+
+Run:  python examples/transform_mobilenet.py [model]
+      model ∈ {mobilenet_v1, mobilenet_v2, mnasnet_b1,
+               mobilenet_v3_small, mobilenet_v3_large}
+"""
+
+import sys
+
+from repro.analysis import format_table, layerwise_speedups, operator_distribution
+from repro.core import ALL_VARIANTS, FuSeVariant, plan_replacements, to_fuseconv
+from repro.ir import macs_millions, params_millions
+from repro.models import build_model
+from repro.systolic import PAPER_ARRAY, estimate_network
+
+
+def main(model_name: str = "mobilenet_v2") -> None:
+    baseline = build_model(model_name)
+    base_latency = estimate_network(baseline, PAPER_ARRAY)
+
+    # Variant comparison (the Table I decision).
+    rows = [[
+        "baseline",
+        f"{macs_millions(baseline):.0f}",
+        f"{params_millions(baseline):.2f}",
+        f"{base_latency.total_cycles:,}",
+        "1.00x",
+    ]]
+    for variant in ALL_VARIANTS:
+        net = to_fuseconv(baseline, variant, PAPER_ARRAY)
+        latency = estimate_network(net, PAPER_ARRAY)
+        rows.append([
+            variant.label,
+            f"{macs_millions(net):.0f}",
+            f"{params_millions(net):.2f}",
+            f"{latency.total_cycles:,}",
+            f"{base_latency.total_cycles / latency.total_cycles:.2f}x",
+        ])
+    print(format_table(
+        ["variant", "MACs(M)", "params(M)", "cycles", "speedup"],
+        rows,
+        title=f"{model_name} on a 64x64 systolic array",
+    ))
+
+    # Where does the time go? (Fig. 8c view.)
+    full = to_fuseconv(baseline, FuSeVariant.FULL, PAPER_ARRAY)
+    for label, net in (("baseline", baseline), ("FuSe-Full", full)):
+        dist = operator_distribution(net, PAPER_ARRAY)
+        shares = "  ".join(
+            f"{cls}: {frac * 100:.1f}%"
+            for cls, frac in sorted(dist.fractions.items(), key=lambda kv: -kv[1])
+        )
+        print(f"\n{label} latency by operator: {shares}")
+
+    # Which layers benefit? (Fig. 8b view.)
+    blocks = layerwise_speedups(baseline, FuSeVariant.FULL, PAPER_ARRAY)
+    print("\n" + format_table(
+        ["block", "input", "speedup"],
+        [[b.block, f"{b.in_shape[1]}x{b.in_shape[2]}x{b.in_shape[0]}",
+          f"{b.speedup:.2f}x"] for b in blocks],
+        title="Per-block speed-up of the Full transform",
+    ))
+
+    # The 50% plan: which layers would the paper's greedy selection keep?
+    plan = plan_replacements(baseline, FuSeVariant.HALF_50, PAPER_ARRAY)
+    print(f"\nHalf-50% plan replaces {len(plan.replaced)} of "
+          f"{len(plan.replaced) + len(plan.skipped)} depthwise layers "
+          f"(largest estimated cycle savings first).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mobilenet_v2")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: watch the two dataflows run, cycle by cycle.
+
+Animates (in ASCII) a 4×4 systolic array executing
+
+1. an output-stationary GEMM — operands enter skewed from the left and
+   top edges, a diagonal wavefront of active PEs sweeps the array
+   (Fig. 1d of the paper), and
+2. the FuSeConv broadcast dataflow — each row runs one independent 1D
+   convolution; the broadcast link activates a whole *column* of PEs per
+   step (Fig. 7), which is exactly why utilization spans both dimensions.
+
+Run:  python examples/visualize_dataflow.py
+"""
+
+import numpy as np
+
+from repro.systolic import ArrayConfig
+from repro.systolic.functional import SystolicArraySim
+
+
+def render_activity(active: np.ndarray) -> str:
+    """One frame: '#' where a PE did useful work this cycle."""
+    return "\n".join(
+        "  " + " ".join("#" if cell else "." for cell in row) for row in active
+    )
+
+
+def visualize_gemm() -> None:
+    print("=== Output-stationary GEMM (4x4 array, 4x4x4 problem) ===")
+    print("A enters from the left (skewed), B from the top; '#' = active MAC\n")
+    frames = []
+
+    def observer(phase: str, cycle: int, state: dict) -> None:
+        active = (state["a"] != 0) & (state["b"] != 0)
+        frames.append((cycle, render_activity(active)))
+
+    rng = np.random.default_rng(0)
+    a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+    result = SystolicArraySim(ArrayConfig(4, 4), observer=observer).run_gemm(a, b)
+    for cycle, frame in frames:
+        print(f"cycle {cycle}:")
+        print(frame)
+        print()
+    print(f"values exact: {np.allclose(result.values, a @ b)}, "
+          f"cycles: {result.cycles} (incl. {4} drain)\n")
+    print("Note the diagonal wavefront: at most one anti-diagonal band is\n"
+          "fully busy at a time — fill and drain are the overhead the\n"
+          "analytical model charges per fold.\n")
+
+
+def visualize_broadcast() -> None:
+    print("=== Broadcast dataflow: four 1D convolutions, one per row ===")
+    print("The row broadcast link feeds a weight to ALL PEs of a row at\n"
+          "once; '#' = active MAC\n")
+    frames = []
+
+    def observer(phase: str, cycle: int, state: dict) -> None:
+        frames.append((cycle, render_activity(state["active"])))
+
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(4, 6))   # 4 input lines of length 6
+    w = rng.normal(size=(4, 3))   # one 3-tap filter per line
+    sim = SystolicArraySim(ArrayConfig(4, 4), observer=observer)
+    result = sim.run_conv1d_broadcast(x, w)
+    for cycle, frame in frames:
+        print(f"cycle {cycle}:")
+        print(frame)
+        print()
+    print(f"cycles: {result.cycles} — whole columns activate together: the\n"
+          f"(r-1) weight-skew of the systolic dataflow is gone, which is\n"
+          f"the benefit bought by the 4.35% area overhead of the links.")
+
+
+def main() -> None:
+    visualize_gemm()
+    visualize_broadcast()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of FuSeConv (DATE 2021).
+
+Public API highlights:
+
+* :mod:`repro.ir` — layer specs, networks, MAC/param counting;
+* :mod:`repro.models` — MobileNet-V1/V2/V3, MnasNet-B1, ResNet-50;
+* :mod:`repro.core` — the FuSeConv operator and the drop-in transform;
+* :mod:`repro.systolic` — SCALE-Sim-style systolic array simulator with the
+  paper's row-broadcast dataflow;
+* :mod:`repro.ria` — Regular Iterative Algorithm formalism (§II-III);
+* :mod:`repro.nn` — numpy training substrate (autograd, layers, RMSprop);
+* :mod:`repro.hw` — area/power model of the broadcast-link overhead;
+* :mod:`repro.analysis` — drivers for the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"

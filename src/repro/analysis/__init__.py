@@ -1,0 +1,70 @@
+"""Experiment drivers for the paper's tables and figures."""
+
+from .calibration import CalibrationStats, calibration_stats
+from .layerwise import BlockSpeedup, layerwise_speedups
+from .operators import (
+    OperatorDistribution,
+    distribution_table,
+    figure_8c,
+    operator_distribution,
+)
+from .paper_values import (
+    AREA_OVERHEAD,
+    BASELINE_DEPTHWISE_SHARE,
+    FUSE_OPERATOR_SHARE,
+    LAYERWISE_SPEEDUP_RANGE,
+    MOTIVATION_MAC_RATIO,
+    MOTIVATION_SPEEDUP,
+    POWER_OVERHEAD,
+    TABLE1,
+    PaperRow,
+    paper_row,
+)
+from .report import format_table, ratio_or_na, to_csv
+from .scaling import (
+    DEFAULT_RESOLUTIONS,
+    DEFAULT_SIZES,
+    ScalingPoint,
+    figure_8d,
+    resolution_curve,
+    scaling_curve,
+)
+from .speedup import SpeedupRow, figure_8a, network_variants, table1
+from .timeline import Timeline, TimelineEntry, execution_timeline
+
+__all__ = [
+    "CalibrationStats",
+    "calibration_stats",
+    "BlockSpeedup",
+    "layerwise_speedups",
+    "OperatorDistribution",
+    "distribution_table",
+    "figure_8c",
+    "operator_distribution",
+    "AREA_OVERHEAD",
+    "BASELINE_DEPTHWISE_SHARE",
+    "FUSE_OPERATOR_SHARE",
+    "LAYERWISE_SPEEDUP_RANGE",
+    "MOTIVATION_MAC_RATIO",
+    "MOTIVATION_SPEEDUP",
+    "POWER_OVERHEAD",
+    "TABLE1",
+    "PaperRow",
+    "paper_row",
+    "format_table",
+    "ratio_or_na",
+    "to_csv",
+    "DEFAULT_RESOLUTIONS",
+    "DEFAULT_SIZES",
+    "ScalingPoint",
+    "figure_8d",
+    "resolution_curve",
+    "scaling_curve",
+    "SpeedupRow",
+    "figure_8a",
+    "network_variants",
+    "table1",
+    "Timeline",
+    "TimelineEntry",
+    "execution_timeline",
+]

@@ -1,0 +1,66 @@
+"""Quantifying reproduction quality: measured vs paper statistics.
+
+EXPERIMENTS.md argues the *shape* of Table I is reproduced even though
+absolute factors differ; this module makes that argument statistical:
+
+* ratio statistics (mean / min / max of measured/paper speed-ups), and
+* Spearman rank correlation between the measured and reported speed-up
+  columns — the formal version of "same ordering".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from scipy.stats import spearmanr
+
+from .speedup import SpeedupRow
+
+
+@dataclass(frozen=True)
+class CalibrationStats:
+    """Agreement between measured and paper speed-up columns."""
+
+    pairs: int
+    mean_ratio: float
+    min_ratio: float
+    max_ratio: float
+    rank_correlation: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.pairs} variants: measured/paper speed-up ratio "
+            f"mean {self.mean_ratio:.2f} (range {self.min_ratio:.2f}–"
+            f"{self.max_ratio:.2f}); Spearman rank correlation "
+            f"{self.rank_correlation:.3f}"
+        )
+
+
+def calibration_stats(rows: Sequence[SpeedupRow]) -> CalibrationStats:
+    """Compare measured Table I rows against the paper's values.
+
+    Baseline rows (speed-up 1× by construction) are excluded.
+
+    Raises:
+        ValueError: if fewer than two comparable variant rows are present.
+    """
+    measured: List[float] = []
+    reported: List[float] = []
+    for row in rows:
+        if row.variant is None or row.paper is None:
+            continue
+        measured.append(row.speedup)
+        reported.append(row.paper.speedup)
+    if len(measured) < 2:
+        raise ValueError("need at least two variant rows with paper values")
+
+    ratios = [m / p for m, p in zip(measured, reported)]
+    correlation, _ = spearmanr(measured, reported)
+    return CalibrationStats(
+        pairs=len(measured),
+        mean_ratio=sum(ratios) / len(ratios),
+        min_ratio=min(ratios),
+        max_ratio=max(ratios),
+        rank_correlation=float(correlation),
+    )

@@ -1,0 +1,70 @@
+"""Fig. 8(c): latency distribution across operator classes.
+
+The paper's observation: baseline networks spend 30–50 % of their latency
+in depthwise convolutions; after the FuSe transform the distribution
+shifts to pointwise convolutions, with the FuSe operators themselves at
+only 4–11 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core import FuSeVariant, to_fuseconv
+from ..ir import COMPUTE_CLASSES, Network
+from ..models import PAPER_NETWORKS, build_model
+from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
+
+
+@dataclass(frozen=True)
+class OperatorDistribution:
+    """Latency fractions by operator class for one network."""
+
+    network: str
+    total_cycles: int
+    fractions: Dict[str, float]
+
+    def share(self, op_class: str) -> float:
+        return self.fractions.get(op_class, 0.0)
+
+
+def operator_distribution(
+    network: Network, array: Optional[ArrayConfig] = None
+) -> OperatorDistribution:
+    """Latency distribution over operator classes for one network."""
+    latency = estimate_network(network, array or PAPER_ARRAY)
+    return OperatorDistribution(
+        network=network.name,
+        total_cycles=latency.total_cycles,
+        fractions=latency.class_fractions(),
+    )
+
+
+def figure_8c(
+    networks: Sequence[str] = tuple(PAPER_NETWORKS),
+    variant: FuSeVariant = FuSeVariant.FULL,
+    array: Optional[ArrayConfig] = None,
+    **model_kwargs,
+) -> Dict[str, Dict[str, OperatorDistribution]]:
+    """Baseline and FuSe operator distributions, keyed by network name."""
+    array = array or PAPER_ARRAY
+    out: Dict[str, Dict[str, OperatorDistribution]] = {}
+    for name in networks:
+        baseline = build_model(name, **model_kwargs)
+        transformed = to_fuseconv(baseline, variant, array)
+        out[name] = {
+            "baseline": operator_distribution(baseline, array),
+            "fuse": operator_distribution(transformed, array),
+        }
+    return out
+
+
+def distribution_table(dist: OperatorDistribution) -> str:
+    """One-line textual rendering: ``class: xx.x%`` sorted by share."""
+    parts = [
+        f"{cls}: {dist.fractions[cls] * 100:5.1f}%"
+        for cls in sorted(dist.fractions, key=dist.fractions.get, reverse=True)
+        if cls in COMPUTE_CLASSES
+    ]
+    return "  ".join(parts)

@@ -1,0 +1,81 @@
+"""The paper's reported numbers (Table I and §V), for side-by-side reports.
+
+These constants are *targets* quoted from the paper, not outputs of this
+codebase; benchmark harnesses print them next to our measured values so
+EXPERIMENTS.md can record paper-vs-measured for every artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table I."""
+
+    network: str
+    variant: Optional[str]  # None = baseline
+    accuracy: float
+    macs_millions: float
+    params_millions: float
+    speedup: float
+
+
+#: Table I, verbatim.  Keys: (network, variant-label-or-None).
+TABLE1: Dict[Tuple[str, Optional[str]], PaperRow] = {
+    (row.network, row.variant): row
+    for row in [
+        PaperRow("mobilenet_v1", None, 70.60, 589, 4.23, 1.0),
+        PaperRow("mobilenet_v1", "FuSe-Full", 72.86, 1122, 7.36, 4.1),
+        PaperRow("mobilenet_v1", "FuSe-Half", 72.00, 573, 4.20, 6.76),
+        PaperRow("mobilenet_v1", "FuSe-Full-50%", 72.42, 764, 4.35, 2.2),
+        PaperRow("mobilenet_v1", "FuSe-Half-50%", 71.77, 578, 4.22, 2.36),
+        PaperRow("mobilenet_v2", None, 72.00, 315, 3.50, 1.0),
+        PaperRow("mobilenet_v2", "FuSe-Full", 72.49, 430, 4.46, 5.1),
+        PaperRow("mobilenet_v2", "FuSe-Half", 70.80, 300, 3.46, 7.23),
+        PaperRow("mobilenet_v2", "FuSe-Full-50%", 72.11, 361, 3.61, 2.0),
+        PaperRow("mobilenet_v2", "FuSe-Half-50%", 71.98, 305, 3.49, 2.1),
+        PaperRow("mnasnet_b1", None, 73.50, 325, 4.38, 1.0),
+        PaperRow("mnasnet_b1", "FuSe-Full", 73.16, 440, 5.66, 5.06),
+        PaperRow("mnasnet_b1", "FuSe-Half", 71.48, 305, 4.25, 7.15),
+        PaperRow("mnasnet_b1", "FuSe-Full-50%", 73.52, 361, 4.47, 1.88),
+        PaperRow("mnasnet_b1", "FuSe-Half-50%", 72.61, 312, 4.35, 1.97),
+        PaperRow("mobilenet_v3_small", None, 67.40, 66, 2.93, 1.0),
+        PaperRow("mobilenet_v3_small", "FuSe-Full", 67.17, 84, 4.44, 3.02),
+        PaperRow("mobilenet_v3_small", "FuSe-Half", 64.55, 61, 2.89, 4.16),
+        PaperRow("mobilenet_v3_small", "FuSe-Full-50%", 67.91, 73, 3.18, 1.6),
+        PaperRow("mobilenet_v3_small", "FuSe-Half-50%", 66.90, 63, 2.92, 1.68),
+        PaperRow("mobilenet_v3_large", None, 75.20, 238, 5.47, 1.0),
+        PaperRow("mobilenet_v3_large", "FuSe-Full", 74.40, 322, 10.57, 3.61),
+        PaperRow("mobilenet_v3_large", "FuSe-Half", 73.02, 225, 5.40, 5.45),
+        PaperRow("mobilenet_v3_large", "FuSe-Full-50%", 74.50, 264, 5.57, 1.76),
+        PaperRow("mobilenet_v3_large", "FuSe-Half-50%", 73.80, 230, 5.46, 1.83),
+    ]
+}
+
+#: §V-B.5: overhead of the broadcast dataflow at 32×32, 45 nm.
+AREA_OVERHEAD = 0.0435
+POWER_OVERHEAD = 0.0225
+
+#: §V-B.3: Fig. 8(b) layer-wise speed-up range for MobileNet-V2 FuSe-Full.
+LAYERWISE_SPEEDUP_RANGE = (2.48, 9.38)
+
+#: §V-B.3: Fig. 8(c) — depthwise share of baseline latency (30–50 %),
+#: FuSe share of transformed-network latency (4–11 %).
+BASELINE_DEPTHWISE_SHARE = (0.30, 0.50)
+FUSE_OPERATOR_SHARE = (0.04, 0.11)
+
+#: §I motivation: MobileNet-V2 has ~12× fewer MACs than ResNet-50 but runs
+#: only ~1.3× faster on a 32×32 array.
+MOTIVATION_MAC_RATIO = 12.0
+MOTIVATION_SPEEDUP = 1.3
+
+
+def paper_row(network: str, variant: Optional[str]) -> PaperRow:
+    """Table I row for (network, variant label or None)."""
+    try:
+        return TABLE1[(network, variant)]
+    except KeyError:
+        raise KeyError(f"no Table I row for {network!r} / {variant!r}") from None

@@ -1,0 +1,108 @@
+"""Fig. 8(d): how the FuSe speed-up scales with systolic array size.
+
+The paper sweeps array sizes and finds speed-up *increases* on larger
+arrays (under-utilization of the baseline grows with array size), and that
+larger networks (MobileNet-V1) gain more on large arrays than small ones
+(MobileNet-V3-Small) — the cloud-vs-edge design observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import FuSeVariant, to_fuseconv
+from ..models import PAPER_NETWORKS, build_model
+from ..systolic import ArrayConfig, estimate_network
+
+#: Array sizes swept by the ablation (Fig. 8d uses a similar range).
+DEFAULT_SIZES: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Speed-up of one network at one array size."""
+
+    network: str
+    size: int
+    baseline_cycles: int
+    fuse_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.fuse_cycles
+
+
+def scaling_curve(
+    name: str,
+    variant: FuSeVariant = FuSeVariant.HALF,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    **model_kwargs,
+) -> List[ScalingPoint]:
+    """Speed-up vs array size for one network.
+
+    The transform is planned per array size (the 50 % variants' layer
+    selection depends on it); Full/Half replace everything, so their graph
+    is size-independent but the latencies are not.
+    """
+    baseline = build_model(name, **model_kwargs)
+    points = []
+    for size in sizes:
+        array = ArrayConfig.square(size)
+        transformed = to_fuseconv(baseline, variant, array)
+        points.append(
+            ScalingPoint(
+                network=name,
+                size=size,
+                baseline_cycles=estimate_network(baseline, array).total_cycles,
+                fuse_cycles=estimate_network(transformed, array).total_cycles,
+            )
+        )
+    return points
+
+
+def figure_8d(
+    networks: Sequence[str] = tuple(PAPER_NETWORKS),
+    variant: FuSeVariant = FuSeVariant.HALF,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    **model_kwargs,
+) -> Dict[str, List[ScalingPoint]]:
+    """The full ablation: speed-up curves for every paper network."""
+    return {
+        name: scaling_curve(name, variant, sizes, **model_kwargs)
+        for name in networks
+    }
+
+
+#: Input resolutions for the resolution ablation (extension).
+DEFAULT_RESOLUTIONS: Tuple[int, ...] = (96, 128, 160, 192, 224)
+
+
+def resolution_curve(
+    name: str,
+    variant: FuSeVariant = FuSeVariant.HALF,
+    resolutions: Sequence[int] = DEFAULT_RESOLUTIONS,
+    array_size: int = 64,
+    **model_kwargs,
+) -> List[ScalingPoint]:
+    """Extension ablation: speed-up vs *input resolution* on a fixed array.
+
+    Complements Fig. 8(d): larger feature maps utilize the FuSe mapping
+    better (the Fig. 8b per-layer observation, aggregated), so speed-up
+    should grow with resolution.  ``ScalingPoint.size`` carries the
+    resolution here.
+    """
+    points = []
+    array = ArrayConfig.square(array_size)
+    for resolution in resolutions:
+        baseline = build_model(name, resolution=resolution, **model_kwargs)
+        transformed = to_fuseconv(baseline, variant, array)
+        points.append(
+            ScalingPoint(
+                network=name,
+                size=resolution,
+                baseline_cycles=estimate_network(baseline, array).total_cycles,
+                fuse_cycles=estimate_network(transformed, array).total_cycles,
+            )
+        )
+    return points

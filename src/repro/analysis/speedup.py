@@ -1,0 +1,93 @@
+"""Table I / Fig. 8(a): network speed-ups and latencies on the 64×64 array.
+
+:func:`table1` computes MACs, params, latency and speed-up for the five
+paper networks and their four FuSe variants; :func:`figure_8a` returns the
+absolute latency series of Fig. 8(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import ALL_VARIANTS, FuSeVariant, to_fuseconv
+from ..ir import Network, macs_millions, params_millions
+from ..models import PAPER_NETWORKS, build_model
+from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
+from .paper_values import TABLE1, PaperRow
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One measured row of Table I (plus the paper's value, if any)."""
+
+    network: str
+    variant: Optional[str]
+    macs_millions: float
+    params_millions: float
+    cycles: int
+    latency_ms: float
+    speedup: float
+    paper: Optional[PaperRow]
+
+    @property
+    def label(self) -> str:
+        return f"{self.network} {self.variant or 'baseline'}"
+
+
+def network_variants(
+    name: str,
+    variants: Sequence[FuSeVariant] = ALL_VARIANTS,
+    array: Optional[ArrayConfig] = None,
+    **model_kwargs,
+) -> Dict[Optional[str], Network]:
+    """Baseline plus FuSe variants of one model, keyed by variant label."""
+    baseline = build_model(name, **model_kwargs)
+    out: Dict[Optional[str], Network] = {None: baseline}
+    for variant in variants:
+        out[variant.label] = to_fuseconv(baseline, variant, array)
+    return out
+
+
+def table1(
+    networks: Sequence[str] = tuple(PAPER_NETWORKS),
+    variants: Sequence[FuSeVariant] = ALL_VARIANTS,
+    array: Optional[ArrayConfig] = None,
+    **model_kwargs,
+) -> List[SpeedupRow]:
+    """Measured Table I (minus accuracy, which has its own proxy harness)."""
+    array = array or PAPER_ARRAY
+    rows: List[SpeedupRow] = []
+    for name in networks:
+        nets = network_variants(name, variants, array, **model_kwargs)
+        baseline_latency = estimate_network(nets[None], array)
+        for label, net in nets.items():
+            latency = (
+                baseline_latency if label is None else estimate_network(net, array)
+            )
+            rows.append(
+                SpeedupRow(
+                    network=name,
+                    variant=label,
+                    macs_millions=macs_millions(net),
+                    params_millions=params_millions(net),
+                    cycles=latency.total_cycles,
+                    latency_ms=latency.total_ms,
+                    speedup=baseline_latency.total_cycles / latency.total_cycles,
+                    paper=TABLE1.get((name, label)),
+                )
+            )
+    return rows
+
+
+def figure_8a(
+    networks: Sequence[str] = tuple(PAPER_NETWORKS),
+    array: Optional[ArrayConfig] = None,
+    **model_kwargs,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 8(a): absolute latency (ms) per network and variant."""
+    rows = table1(networks, array=array, **model_kwargs)
+    out: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        out.setdefault(row.network, {})[row.variant or "baseline"] = row.latency_ms
+    return out

@@ -1,0 +1,98 @@
+"""Execution timeline: where the cycles go, layer by layer.
+
+Renders the sequential occupation of the array as a Gantt-style view
+(SCALE-Sim reports the same information as per-layer cycle CSVs).  Layers
+execute back to back in network order under the §V-A.3 model, so the
+timeline is the cumulative sum of per-layer cycles, annotated with
+operator classes — the picture behind Fig. 8(c)'s distribution bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir.network import Network
+from ..systolic.config import ArrayConfig, PAPER_ARRAY
+from ..systolic.latency import estimate_network
+from .report import to_csv
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One layer's slot on the array timeline."""
+
+    name: str
+    op_class: str
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class Timeline:
+    """Sequential array occupation for one network."""
+
+    network: str
+    array: ArrayConfig
+    entries: List[TimelineEntry]
+
+    @property
+    def total_cycles(self) -> int:
+        return self.entries[-1].end_cycle if self.entries else 0
+
+    def render(self, width: int = 60, top: int = 0) -> str:
+        """ASCII Gantt chart; ``top`` > 0 limits output to the longest layers."""
+        if not self.entries:
+            return f"{self.network}: no array compute"
+        total = self.total_cycles
+        entries = self.entries
+        if top:
+            entries = sorted(entries, key=lambda e: -e.cycles)[:top]
+            entries = sorted(entries, key=lambda e: e.start_cycle)
+        lines = [f"{self.network}  ({total:,} cycles on "
+                 f"{self.array.rows}x{self.array.cols})"]
+        for entry in entries:
+            begin = int(entry.start_cycle / total * width)
+            span = max(1, int(entry.cycles / total * width))
+            bar = " " * begin + "#" * min(span, width - begin)
+            share = entry.cycles / total * 100
+            lines.append(
+                f"{entry.name[:24]:<24} {entry.op_class:<10} "
+                f"|{bar:<{width}}| {share:5.1f}%"
+            )
+        return "\n".join(lines)
+
+    def csv(self) -> str:
+        """CSV rows: name, class, start, end, cycles."""
+        return to_csv(
+            ["name", "op_class", "start_cycle", "end_cycle", "cycles"],
+            [
+                [e.name, e.op_class, e.start_cycle, e.end_cycle, e.cycles]
+                for e in self.entries
+            ],
+        )
+
+
+def execution_timeline(
+    network: Network, array: Optional[ArrayConfig] = None
+) -> Timeline:
+    """Build the sequential timeline of a network on an array."""
+    array = array or PAPER_ARRAY
+    latency = estimate_network(network, array)
+    entries = []
+    cursor = 0
+    for layer in latency.layers:
+        entries.append(
+            TimelineEntry(
+                name=layer.name,
+                op_class=layer.op_class,
+                start_cycle=cursor,
+                end_cycle=cursor + layer.cycles,
+            )
+        )
+        cursor += layer.cycles
+    return Timeline(network=network.name, array=array, entries=entries)

@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands:
+
+* ``models``    — list the model zoo;
+* ``summary``   — layer table, MACs and params of one model;
+* ``latency``   — cycles/ms of a model (optionally FuSe-transformed) on a
+  configurable systolic array;
+* ``table1``    — regenerate Table I (counts + speed-ups) on the terminal;
+* ``ria``       — classify an algorithm (or all) under the RIA formalism;
+* ``overhead``  — broadcast-link area/power overhead for an array size;
+* ``nos``       — per-layer operator search under a latency budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from .analysis import format_table, table1
+from .core import FuSeVariant, to_fuseconv
+from .hw import broadcast_overhead, energy_report
+from .ir import macs_millions, params_millions
+from .models import available_models, build_model
+from .nos import search_operators
+from .ria import ALGORITHMS, check_ria
+from .systolic import (
+    ArrayConfig,
+    estimate_network,
+    network_buffer_requirement,
+    traffic_report,
+)
+
+_VARIANTS = {
+    "full": FuSeVariant.FULL,
+    "half": FuSeVariant.HALF,
+    "full_50": FuSeVariant.FULL_50,
+    "half_50": FuSeVariant.HALF_50,
+}
+
+
+def _array_from_args(args: argparse.Namespace) -> ArrayConfig:
+    return ArrayConfig.square(
+        args.array,
+        dataflow=args.dataflow,
+        pipelined_folds=args.pipelined,
+    )
+
+
+def _add_array_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--array", type=int, default=64,
+                        help="square array size (default 64)")
+    parser.add_argument("--dataflow", choices=("os", "ws", "is"), default="os",
+                        help="GEMM dataflow (default os, as in the paper)")
+    parser.add_argument("--pipelined", action="store_true",
+                        help="enable fold pipelining (calibration knob)")
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    net = build_model(args.model, resolution=args.resolution)
+    if args.variant:
+        net = to_fuseconv(net, _VARIANTS[args.variant])
+    if args.dot:
+        from .ir import network_to_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(network_to_dot(net))
+        print(f"wrote {args.dot}")
+        return 0
+    print(net.summary())
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    array = _array_from_args(args)
+    net = build_model(args.model, resolution=args.resolution)
+    base = estimate_network(net, array)
+    rows = [["baseline", f"{macs_millions(net):.0f}",
+             f"{params_millions(net):.2f}", f"{base.total_cycles:,}",
+             f"{base.total_ms:.3f}", "1.00x"]]
+    variants = (
+        [_VARIANTS[args.variant]] if args.variant else list(_VARIANTS.values())
+    )
+    for variant in variants:
+        fuse = to_fuseconv(net, variant, array)
+        latency = estimate_network(fuse, array)
+        rows.append([
+            variant.label,
+            f"{macs_millions(fuse):.0f}",
+            f"{params_millions(fuse):.2f}",
+            f"{latency.total_cycles:,}",
+            f"{latency.total_ms:.3f}",
+            f"{base.total_cycles / latency.total_cycles:.2f}x",
+        ])
+    print(format_table(
+        ["variant", "MACs(M)", "params(M)", "cycles", "ms", "speedup"],
+        rows,
+        title=f"{args.model} on a {array.rows}x{array.cols} array "
+              f"({array.dataflow}, {'pipelined' if array.pipelined_folds else 'conservative'})",
+    ))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for row in table1():
+        paper = row.paper
+        rows.append([
+            row.network,
+            row.variant or "baseline",
+            f"{row.macs_millions:.0f}",
+            f"{row.params_millions:.2f}",
+            f"{row.speedup:.2f}x",
+            f"{paper.speedup:.2f}x" if paper else "-",
+        ])
+    print(format_table(
+        ["network", "variant", "MACs(M)", "params(M)", "speedup", "paper"],
+        rows,
+        title="Table I (measured; 64x64 output-stationary array)",
+    ))
+    return 0
+
+
+def cmd_ria(args: argparse.Namespace) -> int:
+    names = [args.algorithm] if args.algorithm else sorted(ALGORITHMS)
+    status = 0
+    for name in names:
+        try:
+            builder = ALGORITHMS[name]
+        except KeyError:
+            print(f"unknown algorithm {name!r}; choose from: "
+                  f"{', '.join(sorted(ALGORITHMS))}", file=sys.stderr)
+            return 2
+        print(check_ria(builder()).explain())
+        print()
+    return status
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    report = broadcast_overhead(args.size)
+    print(f"{args.size}x{args.size} array, 45nm structural model:")
+    print(f"  area overhead : {report.area_overhead * 100:.2f}%  (paper: 4.35% @32x32)")
+    print(f"  power overhead: {report.power_overhead * 100:.2f}%  (paper: 2.25% @32x32)")
+    return 0
+
+
+def cmd_nos(args: argparse.Namespace) -> int:
+    array = _array_from_args(args)
+    net = build_model(args.model, resolution=args.resolution)
+    result = search_operators(net, latency_budget=args.budget, array=array)
+    mix = Counter(result.choices.values())
+    print(f"searched {len(result.choices)} depthwise layers: "
+          f"keep={mix[None]} full={mix[1]} half={mix[2]}")
+    print(f"searched-layer cycles: {result.cycles:,}  params: {result.params:,}")
+    mixed = result.build(net)
+    base = estimate_network(net, array).total_cycles
+    cycles = estimate_network(mixed, array).total_cycles
+    print(f"whole-network speedup: {base / cycles:.2f}x")
+    return 0
+
+
+def _net_for(args: argparse.Namespace):
+    net = build_model(args.model, resolution=args.resolution)
+    if getattr(args, "variant", None):
+        net = to_fuseconv(net, _VARIANTS[args.variant])
+    return net
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    array = _array_from_args(args)
+    report = traffic_report(_net_for(args), array)
+    print(f"{report.network} on {array.rows}x{array.cols}:")
+    print(f"  SRAM reads : {report.total_sram_reads:,} values")
+    print(f"  SRAM writes: {report.total_sram_writes:,} values")
+    print(f"  DRAM bytes : {report.total_dram_bytes:,} (unique operands, FP16)")
+    print(f"  read amplification: {report.mean_read_amplification:.2f}x")
+    return 0
+
+
+def cmd_buffers(args: argparse.Namespace) -> int:
+    array = _array_from_args(args)
+    req = network_buffer_requirement(_net_for(args), array)
+    print(f"minimum stall-free SRAM ({array.rows}x{array.cols}, double-buffered):")
+    print(f"  input buffer : {req.input_bytes:,} B")
+    print(f"  output buffer: {req.output_bytes:,} B")
+    print(f"  total        : {req.total_kib:.1f} KiB")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    array = _array_from_args(args)
+    report = energy_report(_net_for(args), array)
+    print(f"{report.network} on {array.rows}x{array.cols}: "
+          f"{report.total_uj:.1f} uJ / inference")
+    print(f"  MAC        : {report.mac_pj / 1e6:.2f} uJ")
+    print(f"  SRAM read  : {report.sram_read_pj / 1e6:.2f} uJ")
+    print(f"  SRAM write : {report.sram_write_pj / 1e6:.2f} uJ")
+    print(f"  static     : {report.static_pj / 1e6:.2f} uJ")
+    print(f"  data movement share: {report.movement_fraction * 100:.1f}%")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis import execution_timeline
+
+    array = _array_from_args(args)
+    timeline = execution_timeline(_net_for(args), array)
+    print(timeline.render(top=args.top))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FuSeConv (DATE 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models").set_defaults(fn=cmd_models)
+
+    p = sub.add_parser("summary", help="print a model's layer table")
+    p.add_argument("model")
+    p.add_argument("--resolution", type=int, default=224)
+    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    p.add_argument("--dot", metavar="FILE",
+                   help="write a Graphviz DOT graph instead of the table")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("latency", help="estimate latency and speed-ups")
+    p.add_argument("model")
+    p.add_argument("--resolution", type=int, default=224)
+    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    _add_array_options(p)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("ria", help="RIA classification of an algorithm")
+    p.add_argument("algorithm", nargs="?")
+    p.set_defaults(fn=cmd_ria)
+
+    p = sub.add_parser("overhead", help="broadcast-link area/power overhead")
+    p.add_argument("--size", type=int, default=32)
+    p.set_defaults(fn=cmd_overhead)
+
+    for cmd, fn, help_text in (
+        ("traffic", cmd_traffic, "SRAM/DRAM traffic of a model"),
+        ("buffers", cmd_buffers, "minimum stall-free SRAM buffer sizes"),
+        ("energy", cmd_energy, "energy per inference"),
+    ):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument("model")
+        p.add_argument("--resolution", type=int, default=224)
+        p.add_argument("--variant", choices=sorted(_VARIANTS))
+        _add_array_options(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("timeline", help="Gantt view of array occupation")
+    p.add_argument("model")
+    p.add_argument("--resolution", type=int, default=224)
+    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    p.add_argument("--top", type=int, default=20,
+                   help="show only the N longest layers (0 = all)")
+    _add_array_options(p)
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("nos", help="per-layer operator search")
+    p.add_argument("model")
+    p.add_argument("--resolution", type=int, default=224)
+    p.add_argument("--budget", type=int, default=None,
+                   help="latency budget in cycles for the searched layers")
+    _add_array_options(p)
+    p.set_defaults(fn=cmd_nos)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        return 0  # output piped into a pager/head that closed early
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: the FuSeConv operator and drop-in transform."""
+
+from .fuseconv import FuSeConvOp, fuseconv, split_channels
+from .reference import (
+    conv1d_col,
+    conv1d_row,
+    conv2d,
+    depthwise_conv2d,
+    im2col,
+    pad_input,
+    pointwise_conv2d,
+)
+from .transform import (
+    ReplacementPlan,
+    TransformResult,
+    plan_replacements,
+    to_fuseconv,
+    to_mixed_fuseconv,
+    transform_with_plan,
+)
+from .variants import ALL_VARIANTS, FuSeVariant
+
+__all__ = [
+    "FuSeConvOp",
+    "fuseconv",
+    "split_channels",
+    "conv1d_col",
+    "conv1d_row",
+    "conv2d",
+    "depthwise_conv2d",
+    "im2col",
+    "pad_input",
+    "pointwise_conv2d",
+    "ReplacementPlan",
+    "TransformResult",
+    "plan_replacements",
+    "to_fuseconv",
+    "to_mixed_fuseconv",
+    "transform_with_plan",
+    "ALL_VARIANTS",
+    "FuSeVariant",
+]

@@ -1,0 +1,187 @@
+"""The FuSeConv operator (§IV-A): fully separable depthwise 1D convolutions.
+
+A FuSeConv depthwise stage factorizes a ``K×K×C`` depthwise filter bank into
+two groups of depthwise 1D filters:
+
+* ``1×K`` *row* filters over ``C/D`` channels (sliding along image rows),
+* ``K×1`` *column* filters over ``C/D`` channels (sliding down columns),
+
+whose outputs are concatenated channel-wise (``2C/D`` channels) and fed to
+the usual 1×1 pointwise convolution.  ``D`` is the design knob: ``D=1`` is
+the Full variant (both groups see all channels, output ``2C``), ``D=2`` the
+Half variant (each group sees half the channels, output ``C``).
+
+This module provides the executable numpy operator; the graph-level spec
+lives in :class:`repro.ir.layer.FuSeConv1D` and the trainable version in
+:mod:`repro.nn.layers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..ir.layer import Padding
+from .reference import conv1d_col, conv1d_row
+
+
+def split_channels(channels: int, d: int) -> Tuple[int, int]:
+    """Channel split ``(row_channels, col_channels)`` for design knob ``d``.
+
+    The paper's §IV-A defines ``C/D`` row filters and ``C/D`` column
+    filters (evaluating D ∈ {1, 2}); §VI invites "other variants".
+
+    * ``d=1`` (Full): both groups see *all* channels — 2C outputs.
+    * ``d=2`` (Half): the first ``ceil(C/2)`` channels go to row filters,
+      the rest to column filters — C outputs.
+    * ``d>2`` (extension): row filters on the first ``ceil(C/d)`` channels,
+      column filters on the next ``floor(C/d)``; the remaining channels are
+      not spatially filtered (they are dropped by the stage, and the
+      following pointwise convolution operates on the 2C/D survivors) —
+      the straight-line continuation of the paper's ``(2/D)·C(K + C')``
+      accounting.
+    """
+    if d < 1:
+        raise ValueError(f"design knob D must be a positive integer, got {d}")
+    if d == 1:
+        return (channels, channels)
+    row = -(-channels // d)
+    col = min(channels // d, channels - row)
+    if row + col == 0 or col < 0:
+        raise ValueError(f"design knob D={d} leaves no channels of {channels}")
+    return (row, col)
+
+
+def fuseconv(
+    x: np.ndarray,
+    row_weights: np.ndarray,
+    col_weights: np.ndarray,
+    d: int = 1,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Padding = "same",
+) -> np.ndarray:
+    """Apply the FuSeConv depthwise stage to a ``(C, H, W)`` input.
+
+    Args:
+        x: input feature map ``(C, H, W)``.
+        row_weights: ``(C_row, K)`` 1D filters sliding along rows.
+        col_weights: ``(C_col, K)`` 1D filters sliding down columns, where
+            ``(C_row, C_col) = split_channels(C, d)``.
+        d: design knob (1 = Full, 2 = Half).
+        stride: spatial stride of the depthwise layer being replaced.
+        padding: padding spec (``"same"`` preserves the drop-in shape).
+
+    Returns:
+        ``(2C/D, out_h, out_w)`` feature map: row outputs concatenated with
+        column outputs.
+    """
+    c = x.shape[0]
+    c_row, c_col = split_channels(c, d)
+    if row_weights.shape[0] != c_row:
+        raise ValueError(f"expected {c_row} row filters, got {row_weights.shape[0]}")
+    if col_weights.shape[0] != c_col:
+        raise ValueError(f"expected {c_col} column filters, got {col_weights.shape[0]}")
+
+    if d == 1:
+        row_in, col_in = x, x
+    else:
+        row_in = x[:c_row]
+        col_in = x[c_row:c_row + c_col]
+
+    row_out = conv1d_row(row_in, row_weights, stride=stride, padding=padding)
+    outputs = [row_out]
+    if c_col:
+        outputs.append(conv1d_col(col_in, col_weights, stride=stride, padding=padding))
+    return np.concatenate(outputs, axis=0)
+
+
+@dataclass
+class FuSeConvOp:
+    """A FuSeConv depthwise stage with materialized weights.
+
+    Example:
+        >>> op = FuSeConvOp.init(channels=8, kernel=3, d=2, seed=0)
+        >>> y = op(np.random.default_rng(0).normal(size=(8, 16, 16)))
+        >>> y.shape
+        (8, 16, 16)
+    """
+
+    row_weights: np.ndarray
+    col_weights: np.ndarray
+    d: int = 1
+    stride: Union[int, Tuple[int, int]] = 1
+    padding: Padding = "same"
+    #: original input channel count; required for d > 2 where the split
+    #: groups no longer cover all channels.  Inferred for d ∈ {1, 2}.
+    channels: Optional[int] = None
+
+    @classmethod
+    def init(
+        cls,
+        channels: int,
+        kernel: int,
+        d: int = 1,
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Padding = "same",
+        seed: Optional[int] = None,
+    ) -> "FuSeConvOp":
+        """He-initialize a FuSeConv stage for ``channels`` input channels."""
+        rng = np.random.default_rng(seed)
+        c_row, c_col = split_channels(channels, d)
+        scale = np.sqrt(2.0 / kernel)
+        return cls(
+            row_weights=rng.normal(0.0, scale, size=(c_row, kernel)),
+            col_weights=rng.normal(0.0, scale, size=(c_col, kernel)),
+            d=d,
+            stride=stride,
+            padding=padding,
+            channels=channels,
+        )
+
+    @property
+    def kernel(self) -> int:
+        return self.row_weights.shape[1]
+
+    @property
+    def in_channels(self) -> int:
+        if self.channels is not None:
+            return self.channels
+        if self.d == 1:
+            return self.row_weights.shape[0]
+        if self.d == 2:
+            return self.row_weights.shape[0] + self.col_weights.shape[0]
+        raise ValueError("in_channels for d > 2 requires the channels field")
+
+    @property
+    def out_channels(self) -> int:
+        return self.row_weights.shape[0] + self.col_weights.shape[0]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return fuseconv(
+            x,
+            self.row_weights,
+            self.col_weights,
+            d=self.d,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def macs(self, height: int, width: int) -> int:
+        """MACs for one ``(C, height, width)`` input (paper: (2/D)·N·M·C·K)."""
+        from ..ir.layer import conv_out_size
+
+        if isinstance(self.stride, int):
+            sh = sw = self.stride
+        else:
+            sh, sw = self.stride
+        if self.padding == "same":
+            out_h = conv_out_size(height, 1, sh, "same")
+            out_w = conv_out_size(width, 1, sw, "same")
+        else:
+            pad = self.padding if isinstance(self.padding, int) else self.padding[0]
+            # Row filters: kernel (1, K); both groups share the output size.
+            out_h = conv_out_size(height, 1, sh, 0)
+            out_w = conv_out_size(width, self.kernel, sw, pad)
+        return out_h * out_w * self.out_channels * self.kernel

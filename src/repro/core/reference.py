@@ -1,0 +1,151 @@
+"""Numpy reference implementations of the convolution operators.
+
+These are the ground-truth forward computations used to validate both the
+trainable layers in :mod:`repro.nn` and the functional systolic-array
+simulator in :mod:`repro.systolic.functional`.  All functions take and
+return ``(C, H, W)`` arrays (single image, channels first).
+
+The im2col transformation implemented here is the one §III-B of the paper
+analyzes: it turns convolution into matrix multiplication at the cost of
+duplicating input values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..ir.layer import Padding, conv_out_size, resolve_padding
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+def pad_input(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+              padding: Padding) -> np.ndarray:
+    """Zero-pad a ``(C, H, W)`` input according to a :data:`Padding` spec.
+
+    ``"same"`` uses the TensorFlow convention: total pad ``max(K - s, 0)``
+    adjusted so the output is ``ceil(in / s)``, split with the extra cell on
+    the bottom/right.
+    """
+    c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    if padding == "same":
+        out_h = -(-h // sh)
+        out_w = -(-w // sw)
+        total_h = max((out_h - 1) * sh + kh - h, 0)
+        total_w = max((out_w - 1) * sw + kw - w, 0)
+        top, left = total_h // 2, total_w // 2
+        bottom, right = total_h - top, total_w - left
+    else:
+        ph, pw = resolve_padding(padding, kernel)
+        top = bottom = ph
+        left = right = pw
+    if top == bottom == left == right == 0:
+        return x
+    return np.pad(x, ((0, 0), (top, bottom), (left, right)))
+
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int] = (1, 1),
+           padding: Padding = 0) -> np.ndarray:
+    """im2col: unfold ``(C, H, W)`` into ``(out_h * out_w, C * kh * kw)``.
+
+    Row ``p`` holds the receptive field of output pixel ``p`` flattened in
+    ``(channel, kh, kw)`` order, so convolution becomes
+    ``im2col(x) @ weights.reshape(C_out, -1).T``.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    xp = pad_input(x, kernel, stride, padding)
+    c, hp, wp = xp.shape
+    out_h = (hp - kh) // sh + 1
+    out_w = (wp - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"im2col output collapsed: input {x.shape}, kernel {kernel}, "
+            f"stride {stride}, padding {padding}"
+        )
+    # Strided sliding-window view, then copy into the matrix layout.
+    s0, s1, s2 = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(c, out_h, out_w, kh, kw),
+        strides=(s0, s1 * sh, s2 * sw, s1, s2),
+        writeable=False,
+    )
+    # -> (out_h, out_w, c, kh, kw) -> (P, C*kh*kw)
+    return np.ascontiguousarray(windows.transpose(1, 2, 0, 3, 4)).reshape(
+        out_h * out_w, c * kh * kw
+    )
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray, stride: Union[int, Tuple[int, int]] = 1,
+           padding: Padding = 0, groups: int = 1) -> np.ndarray:
+    """Standard (optionally grouped) convolution.
+
+    Args:
+        x: input ``(C, H, W)``.
+        weights: filters ``(C_out, C // groups, kh, kw)``.
+    Returns:
+        output ``(C_out, out_h, out_w)``.
+    """
+    c, h, w = x.shape
+    c_out, c_g, kh, kw = weights.shape
+    stride = _pair(stride)
+    if c % groups or c_out % groups:
+        raise ValueError(f"channels {c}->{c_out} not divisible by groups={groups}")
+    if c_g != c // groups:
+        raise ValueError(f"weight shape {weights.shape} inconsistent with groups={groups}")
+
+    out_h = conv_out_size(h, kh, stride[0], "same" if padding == "same" else _pair(padding)[0])
+    out_w = conv_out_size(w, kw, stride[1], "same" if padding == "same" else _pair(padding)[1])
+    out = np.empty((c_out, out_h, out_w), dtype=np.result_type(x, weights))
+    cg_in, cg_out = c // groups, c_out // groups
+    for g in range(groups):
+        cols = im2col(x[g * cg_in:(g + 1) * cg_in], (kh, kw), stride, padding)
+        wmat = weights[g * cg_out:(g + 1) * cg_out].reshape(cg_out, -1)
+        out[g * cg_out:(g + 1) * cg_out] = (cols @ wmat.T).T.reshape(cg_out, out_h, out_w)
+    return out
+
+
+def depthwise_conv2d(x: np.ndarray, weights: np.ndarray,
+                     stride: Union[int, Tuple[int, int]] = 1,
+                     padding: Padding = "same") -> np.ndarray:
+    """Depthwise convolution: ``weights`` is ``(C, kh, kw)``, one filter per channel."""
+    c = x.shape[0]
+    if weights.shape[0] != c:
+        raise ValueError(f"expected {c} depthwise filters, got {weights.shape[0]}")
+    return conv2d(x, weights[:, None, :, :], stride=stride, padding=padding, groups=c)
+
+
+def pointwise_conv2d(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """1×1 convolution: ``weights`` is ``(C_out, C_in)``."""
+    c, h, w = x.shape
+    if weights.shape[1] != c:
+        raise ValueError(f"weight expects {weights.shape[1]} channels, input has {c}")
+    return (weights @ x.reshape(c, h * w)).reshape(weights.shape[0], h, w)
+
+
+def conv1d_row(x: np.ndarray, weights: np.ndarray,
+               stride: Union[int, Tuple[int, int]] = 1,
+               padding: Padding = "same") -> np.ndarray:
+    """FuSe row filters: depthwise ``1×K`` convolution (sliding along each row).
+
+    ``weights`` is ``(C, K)``; with stride ``s`` the orthogonal (height) axis
+    is subsampled by ``s`` as well so the output matches the depthwise
+    convolution being replaced (§IV-A drop-in property).
+    """
+    return depthwise_conv2d(x, weights[:, None, :], stride=stride, padding=padding)
+
+
+def conv1d_col(x: np.ndarray, weights: np.ndarray,
+               stride: Union[int, Tuple[int, int]] = 1,
+               padding: Padding = "same") -> np.ndarray:
+    """FuSe column filters: depthwise ``K×1`` convolution (sliding down each column)."""
+    return depthwise_conv2d(x, weights[:, :, None], stride=stride, padding=padding)

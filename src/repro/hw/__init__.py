@@ -1,0 +1,42 @@
+"""Area/power model of the broadcast-link hardware overhead (§V-B.5)."""
+
+from .array import ArrayCost, OverheadReport, array_cost, broadcast_overhead
+from .cells import CELLS, Cell, cell
+from .energy import (
+    E_MAC_PJ,
+    E_SRAM_READ_PJ,
+    E_SRAM_WRITE_PJ,
+    EnergyReport,
+    energy_report,
+)
+from .pe import (
+    ACC_BITS,
+    OPERAND_BITS,
+    BlockCount,
+    PECost,
+    baseline_pe_blocks,
+    broadcast_extra_blocks,
+    pe_cost,
+)
+
+__all__ = [
+    "ArrayCost",
+    "OverheadReport",
+    "array_cost",
+    "broadcast_overhead",
+    "CELLS",
+    "Cell",
+    "cell",
+    "E_MAC_PJ",
+    "E_SRAM_READ_PJ",
+    "E_SRAM_WRITE_PJ",
+    "EnergyReport",
+    "energy_report",
+    "ACC_BITS",
+    "OPERAND_BITS",
+    "BlockCount",
+    "PECost",
+    "baseline_pe_blocks",
+    "broadcast_extra_blocks",
+    "pe_cost",
+]

@@ -1,0 +1,103 @@
+"""Array-level area/power roll-up and the §V-B.5 overhead experiment.
+
+Array cost = PEs + edge interfaces (one operand lane per row and per
+column, one output collector per column) + (if broadcast) one broadcast
+driver per row.  The headline number is :func:`broadcast_overhead`, the
+relative cost of adding the FuSeConv dataflow — the paper measures
+4.35 % area and 2.25 % power on a 32×32 array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..systolic.config import ArrayConfig
+from .cells import cell
+from .pe import pe_cost
+
+
+@dataclass(frozen=True)
+class ArrayCost:
+    """Total silicon cost of a systolic array."""
+
+    rows: int
+    cols: int
+    broadcast: bool
+    pe_area_um2: float
+    pe_power_uw: float
+    edge_area_um2: float
+    edge_power_uw: float
+    bcast_area_um2: float
+    bcast_power_uw: float
+
+    @property
+    def area_um2(self) -> float:
+        return self.pe_area_um2 + self.edge_area_um2 + self.bcast_area_um2
+
+    @property
+    def power_uw(self) -> float:
+        return self.pe_power_uw + self.edge_power_uw + self.bcast_power_uw
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    @property
+    def power_mw(self) -> float:
+        return self.power_uw / 1e3
+
+
+def array_cost(array: ArrayConfig) -> ArrayCost:
+    """Structural cost of an array (honours ``array.broadcast``)."""
+    pe = pe_cost(broadcast=array.broadcast)
+    n_pes = array.num_pes
+    edge = cell("edge_lane")
+    # Operand feeders along both edges plus output collectors per column.
+    n_lanes = array.rows + 2 * array.cols
+    driver = cell("bcast_driver_row")
+    n_drivers = array.rows if array.broadcast else 0
+    return ArrayCost(
+        rows=array.rows,
+        cols=array.cols,
+        broadcast=array.broadcast,
+        pe_area_um2=pe.area_um2 * n_pes,
+        pe_power_uw=pe.power_uw * n_pes,
+        edge_area_um2=edge.area_um2 * n_lanes,
+        edge_power_uw=edge.power_uw * n_lanes,
+        bcast_area_um2=driver.area_um2 * n_drivers,
+        bcast_power_uw=driver.power_uw * n_drivers,
+    )
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Relative cost of the broadcast dataflow on one array size."""
+
+    size: int
+    base_area_um2: float
+    base_power_uw: float
+    bcast_area_um2: float
+    bcast_power_uw: float
+
+    @property
+    def area_overhead(self) -> float:
+        """Fractional area increase (paper: 0.0435 at 32×32)."""
+        return self.bcast_area_um2 / self.base_area_um2 - 1.0
+
+    @property
+    def power_overhead(self) -> float:
+        """Fractional power increase (paper: 0.0225 at 32×32)."""
+        return self.bcast_power_uw / self.base_power_uw - 1.0
+
+
+def broadcast_overhead(size: int = 32) -> OverheadReport:
+    """The §V-B.5 experiment: array with vs without broadcast links."""
+    base = array_cost(ArrayConfig.square(size, broadcast=False))
+    with_links = array_cost(ArrayConfig.square(size, broadcast=True))
+    return OverheadReport(
+        size=size,
+        base_area_um2=base.area_um2,
+        base_power_uw=base.power_uw,
+        bcast_area_um2=with_links.area_um2,
+        bcast_power_uw=with_links.power_uw,
+    )

@@ -1,0 +1,80 @@
+"""Inference energy model (extension): compute + data movement + static.
+
+The paper evaluates latency, area and power; energy per inference is the
+natural combination and the quantity edge deployments actually budget.
+Model:
+
+``E = E_mac·MACs + E_read·SRAM_reads + E_write·SRAM_writes + P_static·T``
+
+with 45 nm-class constants (same order as the Horowitz ISSCC'14 numbers
+commonly used for accelerator modeling: an FP16 MAC ≈ 1 pJ, a small-SRAM
+16-bit access ≈ 2.5 pJ) and the static power taken from the structural
+array model in :mod:`repro.hw.array`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.network import Network
+from ..systolic.config import ArrayConfig, PAPER_ARRAY
+from ..systolic.latency import estimate_network
+from ..systolic.memory import traffic_report
+from .array import array_cost
+
+#: Energy per FP16 multiply-accumulate (pJ).
+E_MAC_PJ = 1.0
+#: Energy per 16-bit SRAM read / write (pJ).
+E_SRAM_READ_PJ = 2.5
+E_SRAM_WRITE_PJ = 2.5
+#: Fraction of the array's modeled power that is static (leakage + clock).
+STATIC_POWER_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown for one inference on one array."""
+
+    network: str
+    array: ArrayConfig
+    mac_pj: float
+    sram_read_pj: float
+    sram_write_pj: float
+    static_pj: float
+    cycles: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.mac_pj + self.sram_read_pj + self.sram_write_pj + self.static_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    @property
+    def movement_fraction(self) -> float:
+        """Share of energy spent moving data rather than computing."""
+        return (self.sram_read_pj + self.sram_write_pj) / self.total_pj
+
+
+def energy_report(network: Network, array: Optional[ArrayConfig] = None) -> EnergyReport:
+    """Energy of one inference of ``network`` on ``array`` (default 64×64)."""
+    array = array or PAPER_ARRAY
+    latency = estimate_network(network, array)
+    traffic = traffic_report(network, array)
+    macs = sum(l.stats.active_mac_cycles for l in latency.layers)
+
+    static_power_uw = array_cost(array).power_uw * STATIC_POWER_FRACTION
+    seconds = latency.total_cycles / (array.frequency_mhz * 1e6)
+    static_pj = static_power_uw * 1e-6 * seconds * 1e12  # W·s → pJ
+
+    return EnergyReport(
+        network=network.name,
+        array=array,
+        mac_pj=E_MAC_PJ * macs,
+        sram_read_pj=E_SRAM_READ_PJ * traffic.total_sram_reads,
+        sram_write_pj=E_SRAM_WRITE_PJ * traffic.total_sram_writes,
+        static_pj=static_pj,
+        cycles=latency.total_cycles,
+    )

@@ -1,0 +1,87 @@
+"""Structural inventory of one processing element (PE).
+
+The baseline PE (output-stationary MAC, Fig. 1d): an FP16 multiplier, a
+32-bit accumulator adder, pipeline registers for the two streaming
+operands (16 bits each) and the stationary 32-bit accumulator, plus local
+control.
+
+The broadcast-capable PE (Fig. 5) adds a 16-bit 2:1 mux selecting between
+the top systolic link and the row broadcast link, and its share of the
+broadcast wire/repeater.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .cells import Cell, cell
+
+#: operand width (FP16 weights/activations, §V-A.2)
+OPERAND_BITS = 16
+#: accumulator width
+ACC_BITS = 32
+
+
+@dataclass(frozen=True)
+class BlockCount:
+    """A cell type and how many instances the PE uses."""
+
+    cell: Cell
+    count: float
+
+    @property
+    def area_um2(self) -> float:
+        return self.cell.area_um2 * self.count
+
+    @property
+    def power_uw(self) -> float:
+        return self.cell.power_uw * self.count
+
+
+def baseline_pe_blocks() -> List[BlockCount]:
+    """Inventory of the standard output-stationary PE."""
+    return [
+        BlockCount(cell("mult_fp16"), 1),
+        BlockCount(cell("adder32"), 1),
+        # Two streaming operand registers + the stationary accumulator.
+        BlockCount(cell("dff_bit"), 2 * OPERAND_BITS + ACC_BITS),
+        BlockCount(cell("control"), 1),
+    ]
+
+
+def broadcast_extra_blocks() -> List[BlockCount]:
+    """Cells *added* per PE by the §IV-C broadcast dataflow."""
+    return [
+        BlockCount(cell("mux2_bit"), OPERAND_BITS),
+        BlockCount(cell("bcast_wire_pe"), 1),
+    ]
+
+
+def _totals(blocks: List[BlockCount]) -> Tuple[float, float]:
+    return (
+        sum(b.area_um2 for b in blocks),
+        sum(b.power_uw for b in blocks),
+    )
+
+
+@dataclass(frozen=True)
+class PECost:
+    """Area/power of one PE."""
+
+    area_um2: float
+    power_uw: float
+    breakdown: Tuple[Tuple[str, float, float], ...]
+
+
+def pe_cost(broadcast: bool = False) -> PECost:
+    """Cost of one PE, with or without the broadcast additions."""
+    blocks = baseline_pe_blocks()
+    if broadcast:
+        blocks = blocks + broadcast_extra_blocks()
+    area, power = _totals(blocks)
+    return PECost(
+        area_um2=area,
+        power_uw=power,
+        breakdown=tuple((b.cell.name, b.area_um2, b.power_uw) for b in blocks),
+    )

@@ -1,0 +1,167 @@
+"""MAC and parameter counting (the "MACs" and "Params" columns of Table I).
+
+Counting is defined per-layer on the specs in :mod:`repro.ir.layer`; this
+module aggregates over networks, groups by operator class, and exposes the
+classification used throughout the analysis code.
+
+Operator classes mirror Fig. 8(c) of the paper:
+
+* ``conv``       — standard (dense / grouped) 2D convolution,
+* ``depthwise``  — depthwise K×K convolution (the inefficient operator),
+* ``fuse``       — FuSeConv 1D depthwise filters (the proposed operator),
+* ``pointwise``  — 1×1 convolution,
+* ``fc``         — fully connected layers,
+* ``se``         — Squeeze-and-Excite blocks (two small FCs + scale),
+* ``other``      — everything else (activations, BN, pooling, plumbing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .layer import (
+    Conv2D,
+    DepthwiseConv2D,
+    FuSeConv1D,
+    LayerSpec,
+    Linear,
+    PointwiseConv2D,
+    SqueezeExcite,
+)
+from .network import Network, Node
+
+#: Operator classes with compute mapped onto the systolic array.
+COMPUTE_CLASSES = ("conv", "depthwise", "fuse", "pointwise", "fc", "se")
+
+
+def op_class(layer: LayerSpec) -> str:
+    """Operator class of a layer (see module docstring)."""
+    if isinstance(layer, Conv2D):
+        # A 1×1 dense conv is a pointwise conv regardless of the spec class.
+        if layer.kernel_hw == (1, 1) and layer.groups == 1:
+            return "pointwise"
+        return "conv"
+    if isinstance(layer, DepthwiseConv2D):
+        return "depthwise"
+    if isinstance(layer, FuSeConv1D):
+        return "fuse"
+    if isinstance(layer, PointwiseConv2D):
+        return "pointwise"
+    if isinstance(layer, Linear):
+        return "fc"
+    if isinstance(layer, SqueezeExcite):
+        return "se"
+    return "other"
+
+
+@dataclass(frozen=True)
+class CountRow:
+    """Counting entry for one node."""
+
+    name: str
+    kind: str
+    op_class: str
+    block: str
+    macs: int
+    params: int
+
+
+@dataclass(frozen=True)
+class CountReport:
+    """Aggregated counts for a network."""
+
+    network: str
+    rows: List[CountRow]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(r.macs for r in self.rows)
+
+    @property
+    def total_params(self) -> int:
+        return sum(r.params for r in self.rows)
+
+    def macs_by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            out[row.op_class] = out.get(row.op_class, 0) + row.macs
+        return out
+
+    def params_by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            out[row.op_class] = out.get(row.op_class, 0) + row.params
+        return out
+
+    def macs_by_block(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            key = row.block or row.name
+            out[key] = out.get(key, 0) + row.macs
+        return out
+
+
+def count_node(node: Node) -> CountRow:
+    return CountRow(
+        name=node.name,
+        kind=node.kind,
+        op_class=op_class(node.layer),
+        block=node.block,
+        macs=node.macs(),
+        params=node.params(),
+    )
+
+
+def count_network(network: Network) -> CountReport:
+    """Per-node counting report for a whole network."""
+    return CountReport(network=network.name, rows=[count_node(n) for n in network])
+
+
+def macs_millions(network: Network) -> float:
+    """Total MACs in millions (the unit Table I reports)."""
+    return network.total_macs() / 1e6
+
+
+def params_millions(network: Network) -> float:
+    """Total parameters in millions (the unit Table I reports)."""
+    return network.total_params() / 1e6
+
+
+def separable_block_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    out_h: int,
+    out_w: int,
+) -> Dict[str, int]:
+    """Closed-form counts for a depthwise-separable block (§II-D).
+
+    Returns the paper's formulas: params ``C(K² + C')`` and ops
+    ``N·M·C(K² + C')`` — used by tests to pin the counting code to the paper.
+    """
+    c, cp, k = in_channels, out_channels, kernel
+    return {
+        "params": c * (k * k + cp),
+        "macs": out_h * out_w * c * (k * k + cp),
+    }
+
+
+def fuse_block_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    out_h: int,
+    out_w: int,
+    d: int,
+) -> Dict[str, int]:
+    """Closed-form counts for a FuSe block (§IV-A).
+
+    Returns the paper's formulas: params ``(2/D)·C(K + C')`` and ops
+    ``(2/D)·N·M·C(K + C')``.
+    """
+    c, cp, k = in_channels, out_channels, kernel
+    return {
+        "params": 2 * c * (k + cp) // d,
+        "macs": 2 * out_h * out_w * c * (k + cp) // d,
+    }

@@ -1,0 +1,544 @@
+"""Layer specifications for the network intermediate representation.
+
+Layers here are *descriptions*, not executable modules: they carry the
+hyper-parameters needed for shape inference (:mod:`repro.ir.shapes`),
+MAC/parameter counting (:mod:`repro.ir.counting`) and latency estimation
+(:mod:`repro.systolic.latency`).  Executable (trainable) counterparts live in
+:mod:`repro.nn.layers`.
+
+Shapes are ``(channels, height, width)`` tuples, batch dimension omitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+Shape = Tuple[int, int, int]
+
+#: Padding may be an explicit ``(pad_h, pad_w)``, a single int for both, or
+#: the string ``"same"`` meaning "preserve spatial size at stride 1" (the
+#: TensorFlow convention ``out = ceil(in / stride)`` is used for stride > 1).
+Padding = Union[int, Tuple[int, int], str]
+
+
+class ShapeError(ValueError):
+    """Raised when a layer cannot accept the given input shape."""
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    """Normalize an int-or-pair hyper-parameter to an ``(h, w)`` pair."""
+    if isinstance(value, int):
+        return (value, value)
+    h, w = value
+    return (int(h), int(w))
+
+
+def resolve_padding(padding: Padding, kernel: Tuple[int, int]) -> Tuple[int, int]:
+    """Resolve a :data:`Padding` spec to explicit ``(pad_h, pad_w)``.
+
+    For ``"same"``, the total padding is ``kernel - 1``; we return the
+    left/top amount ``(kernel - 1) // 2`` and :func:`conv_out_size` accounts
+    for the asymmetric remainder.
+    """
+    if padding == "same":
+        return ((kernel[0] - 1) // 2, (kernel[1] - 1) // 2)
+    if isinstance(padding, str):
+        raise ShapeError(f"unknown padding spec {padding!r}")
+    return _pair(padding)
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: Padding) -> int:
+    """Spatial output size of a convolution along one axis.
+
+    With ``"same"`` padding this follows the TensorFlow convention
+    ``ceil(size / stride)``; with explicit padding it is the usual
+    ``floor((size + 2*pad - kernel) / stride) + 1``.
+    """
+    if size <= 0:
+        raise ShapeError(f"input size must be positive, got {size}")
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding == "same":
+        return math.ceil(size / stride)
+    if not isinstance(padding, int):
+        raise ShapeError("conv_out_size takes a scalar padding per axis")
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications.
+
+    Attributes:
+        name: Unique layer name within a network. Empty until the layer is
+            added to a :class:`repro.ir.network.Network`, which assigns one.
+    """
+
+    name: str = field(default="", kw_only=True)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        """Output shape for a given input shape (raises ShapeError if invalid)."""
+        raise NotImplementedError
+
+    def macs(self, in_shape: Shape) -> int:
+        """Number of multiply-accumulate operations for one input."""
+        return 0
+
+    def params(self, in_shape: Shape) -> int:
+        """Number of learnable parameters."""
+        return 0
+
+    @property
+    def kind(self) -> str:
+        """Short class identifier used in reports (e.g. ``"Conv2D"``)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Conv2D(LayerSpec):
+    """Standard dense 2D convolution (optionally grouped).
+
+    An input of ``C×H×W`` convolved with ``out_channels`` filters of size
+    ``C/groups × Kh × Kw``.
+    """
+
+    out_channels: int
+    kernel: Union[int, Tuple[int, int]]
+    stride: Union[int, Tuple[int, int]] = 1
+    padding: Padding = 0
+    groups: int = 1
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ShapeError(f"out_channels must be positive, got {self.out_channels}")
+        if self.groups <= 0:
+            raise ShapeError(f"groups must be positive, got {self.groups}")
+        kh, kw = _pair(self.kernel)
+        if kh <= 0 or kw <= 0:
+            raise ShapeError(f"kernel must be positive, got {self.kernel}")
+        if self.out_channels % self.groups:
+            raise ShapeError(
+                f"out_channels={self.out_channels} not divisible by groups={self.groups}"
+            )
+
+    @property
+    def kernel_hw(self) -> Tuple[int, int]:
+        return _pair(self.kernel)
+
+    @property
+    def stride_hw(self) -> Tuple[int, int]:
+        return _pair(self.stride)
+
+    def _padding_hw(self) -> Tuple[Padding, Padding]:
+        if self.padding == "same":
+            return ("same", "same")
+        ph, pw = resolve_padding(self.padding, self.kernel_hw)
+        return (ph, pw)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if c % self.groups:
+            raise ShapeError(
+                f"in_channels={c} not divisible by groups={self.groups}"
+            )
+        kh, kw = self.kernel_hw
+        sh, sw = self.stride_hw
+        ph, pw = self._padding_hw()
+        return (self.out_channels, conv_out_size(h, kh, sh, ph), conv_out_size(w, kw, sw, pw))
+
+    def macs(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        _, oh, ow = self.out_shape(in_shape)
+        kh, kw = self.kernel_hw
+        return oh * ow * self.out_channels * (c // self.groups) * kh * kw
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        kh, kw = self.kernel_hw
+        n = self.out_channels * (c // self.groups) * kh * kw
+        if self.bias:
+            n += self.out_channels
+        return n
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2D(LayerSpec):
+    """Depthwise 2D convolution: each channel convolved with its own filter.
+
+    This is the first stage of depthwise-separable convolution (§II-D of the
+    paper); the paper shows it maps to a *single column* of a systolic array
+    after im2col (§III-B).
+    """
+
+    kernel: Union[int, Tuple[int, int]]
+    stride: Union[int, Tuple[int, int]] = 1
+    padding: Padding = "same"
+    multiplier: int = 1
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        kh, kw = _pair(self.kernel)
+        if kh <= 0 or kw <= 0:
+            raise ShapeError(f"kernel must be positive, got {self.kernel}")
+        if self.multiplier <= 0:
+            raise ShapeError(f"multiplier must be positive, got {self.multiplier}")
+
+    @property
+    def kernel_hw(self) -> Tuple[int, int]:
+        return _pair(self.kernel)
+
+    @property
+    def stride_hw(self) -> Tuple[int, int]:
+        return _pair(self.stride)
+
+    def _padding_hw(self) -> Tuple[Padding, Padding]:
+        if self.padding == "same":
+            return ("same", "same")
+        ph, pw = resolve_padding(self.padding, self.kernel_hw)
+        return (ph, pw)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        kh, kw = self.kernel_hw
+        sh, sw = self.stride_hw
+        ph, pw = self._padding_hw()
+        return (
+            c * self.multiplier,
+            conv_out_size(h, kh, sh, ph),
+            conv_out_size(w, kw, sw, pw),
+        )
+
+    def macs(self, in_shape: Shape) -> int:
+        oc, oh, ow = self.out_shape(in_shape)
+        kh, kw = self.kernel_hw
+        return oh * ow * oc * kh * kw
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        kh, kw = self.kernel_hw
+        n = c * self.multiplier * kh * kw
+        if self.bias:
+            n += c * self.multiplier
+        return n
+
+
+@dataclass(frozen=True)
+class PointwiseConv2D(LayerSpec):
+    """1×1 convolution (the second stage of depthwise-separable convolution)."""
+
+    out_channels: int
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ShapeError(f"out_channels must be positive, got {self.out_channels}")
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        _, h, w = in_shape
+        return (self.out_channels, h, w)
+
+    def macs(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        return h * w * c * self.out_channels
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        n = c * self.out_channels
+        if self.bias:
+            n += self.out_channels
+        return n
+
+
+@dataclass(frozen=True)
+class FuSeConv1D(LayerSpec):
+    """One group of FuSeConv depthwise 1D filters (§IV-A of the paper).
+
+    ``axis="row"`` applies the filter to each image *row*, i.e. it slides
+    along the width axis (kernel ``1×K``); ``axis="col"`` applies it to each
+    image *column*, sliding along the height axis (kernel ``K×1``).  Each of
+    the layer's input channels gets its own 1D filter — this is a depthwise
+    operation.  With stride ``s`` the filter both strides along its own axis
+    and subsamples the orthogonal axis so that the output spatial size
+    matches the depthwise convolution it replaces (drop-in property).
+
+    A full FuSe block is two such layers on a channel split of the input
+    (see :class:`repro.ir.layer.ChannelSplit` and
+    :func:`repro.core.transform.fuse_block`).
+    """
+
+    axis: str
+    kernel: int
+    stride: Union[int, Tuple[int, int]] = 1
+    padding: Padding = "same"
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("row", "col"):
+            raise ShapeError(f"axis must be 'row' or 'col', got {self.axis!r}")
+        if self.kernel <= 0:
+            raise ShapeError(f"kernel must be positive, got {self.kernel}")
+
+    @property
+    def kernel_hw(self) -> Tuple[int, int]:
+        """Effective 2D kernel: ``(1, K)`` for row filters, ``(K, 1)`` for col."""
+        if self.axis == "row":
+            return (1, self.kernel)
+        return (self.kernel, 1)
+
+    @property
+    def stride_hw(self) -> Tuple[int, int]:
+        return _pair(self.stride)
+
+    def _padding_hw(self) -> Tuple[Padding, Padding]:
+        if self.padding == "same":
+            return ("same", "same")
+        ph, pw = resolve_padding(self.padding, self.kernel_hw)
+        return (ph, pw)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        kh, kw = self.kernel_hw
+        sh, sw = self.stride_hw
+        ph, pw = self._padding_hw()
+        return (c, conv_out_size(h, kh, sh, ph), conv_out_size(w, kw, sw, pw))
+
+    def macs(self, in_shape: Shape) -> int:
+        oc, oh, ow = self.out_shape(in_shape)
+        return oh * ow * oc * self.kernel
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        n = c * self.kernel
+        if self.bias:
+            n += c
+        return n
+
+
+@dataclass(frozen=True)
+class Linear(LayerSpec):
+    """Fully connected layer; expects a flattened ``(features, 1, 1)`` input."""
+
+    out_features: int
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ShapeError(f"out_features must be positive, got {self.out_features}")
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if (h, w) != (1, 1):
+            raise ShapeError(f"Linear expects a flattened input, got {in_shape}")
+        return (self.out_features, 1, 1)
+
+    def macs(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        return c * self.out_features
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        n = c * self.out_features
+        if self.bias:
+            n += self.out_features
+        return n
+
+
+@dataclass(frozen=True)
+class Pool2D(LayerSpec):
+    """Average or max pooling; ``op`` is ``"avg"`` or ``"max"``."""
+
+    op: str
+    kernel: Union[int, Tuple[int, int]]
+    stride: Optional[Union[int, Tuple[int, int]]] = None
+    padding: Padding = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("avg", "max"):
+            raise ShapeError(f"pool op must be 'avg' or 'max', got {self.op!r}")
+
+    @property
+    def kernel_hw(self) -> Tuple[int, int]:
+        return _pair(self.kernel)
+
+    @property
+    def stride_hw(self) -> Tuple[int, int]:
+        return _pair(self.stride if self.stride is not None else self.kernel)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        kh, kw = self.kernel_hw
+        sh, sw = self.stride_hw
+        if self.padding == "same":
+            ph: Padding = "same"
+            pw: Padding = "same"
+        else:
+            ph, pw = resolve_padding(self.padding, self.kernel_hw)
+        return (c, conv_out_size(h, kh, sh, ph), conv_out_size(w, kw, sw, pw))
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(LayerSpec):
+    """Global average pooling down to ``(C, 1, 1)``."""
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, _, _ = in_shape
+        return (c, 1, 1)
+
+
+@dataclass(frozen=True)
+class Activation(LayerSpec):
+    """Elementwise non-linearity; no MACs or parameters.
+
+    ``fn`` is one of ``relu``, ``relu6``, ``hswish``, ``hsigmoid``,
+    ``swish``, ``sigmoid``.
+    """
+
+    fn: str
+
+    VALID = ("relu", "relu6", "hswish", "hsigmoid", "swish", "sigmoid")
+
+    def __post_init__(self) -> None:
+        if self.fn not in self.VALID:
+            raise ShapeError(f"unknown activation {self.fn!r}")
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+
+@dataclass(frozen=True)
+class BatchNorm(LayerSpec):
+    """Batch normalization; 2 learnable parameters per channel.
+
+    At inference BN folds into the preceding convolution, so it contributes
+    no MACs to the latency model (consistent with the paper, which counts
+    compute-bound convolution and FC layers only).
+    """
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def params(self, in_shape: Shape) -> int:
+        return 2 * in_shape[0]
+
+
+@dataclass(frozen=True)
+class SqueezeExcite(LayerSpec):
+    """Squeeze-and-Excitation block (used by MobileNet-V3 and MnasNet).
+
+    Global-average pool → FC(``C → C/r``) → ReLU → FC(``C/r → C``) →
+    h-sigmoid → channel-wise scale.  The two FC layers are counted as MACs
+    and are included in the latency model (the paper explicitly includes
+    Squeeze-and-Excite layers in latency estimation, §V-A.3).
+
+    ``se_channels`` optionally fixes the bottleneck width; otherwise it is
+    ``ceil(C / reduction)`` rounded to a multiple of 8 (MobileNet-V3
+    convention).
+    """
+
+    reduction: int = 4
+    se_channels: Optional[int] = None
+
+    def bottleneck(self, in_channels: int) -> int:
+        if self.se_channels is not None:
+            return self.se_channels
+        return _make_divisible(in_channels / self.reduction, 8)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def macs(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        mid = self.bottleneck(c)
+        # Two FC layers; the (cheap) elementwise scale is h*w*c multiplies,
+        # which we include for completeness.
+        return c * mid + mid * c + h * w * c
+
+    def params(self, in_shape: Shape) -> int:
+        c, _, _ = in_shape
+        mid = self.bottleneck(c)
+        return (c * mid + mid) + (mid * c + c)
+
+
+@dataclass(frozen=True)
+class Add(LayerSpec):
+    """Elementwise residual addition of two equal-shaped inputs."""
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+
+@dataclass(frozen=True)
+class Concat(LayerSpec):
+    """Channel-wise concatenation of multiple inputs (used by FuSe blocks)."""
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        # Multi-input shape handling is done by the Network; for a single
+        # listed shape this is identity.
+        return in_shape
+
+    @staticmethod
+    def merged_shape(shapes: Tuple[Shape, ...]) -> Shape:
+        if not shapes:
+            raise ShapeError("Concat needs at least one input")
+        _, h, w = shapes[0]
+        for s in shapes[1:]:
+            if s[1:] != (h, w):
+                raise ShapeError(f"Concat spatial mismatch: {shapes}")
+        return (sum(s[0] for s in shapes), h, w)
+
+
+@dataclass(frozen=True)
+class ChannelSplit(LayerSpec):
+    """Select a contiguous channel slice ``[start, stop)`` of the input.
+
+    Used by the Half FuSe variant where row filters see one half of the
+    channels and column filters the other half (§IV-A).
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < self.stop):
+            raise ShapeError(f"invalid channel slice [{self.start}, {self.stop})")
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if self.stop > c:
+            raise ShapeError(f"slice [{self.start},{self.stop}) exceeds {c} channels")
+        return (self.stop - self.start, h, w)
+
+
+@dataclass(frozen=True)
+class Flatten(LayerSpec):
+    """Flatten ``(C, H, W)`` to ``(C*H*W, 1, 1)``."""
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        return (c * h * w, 1, 1)
+
+
+def _make_divisible(value: float, divisor: int, min_value: Optional[int] = None) -> int:
+    """Round ``value`` to the nearest multiple of ``divisor`` (MobileNet rule).
+
+    Guarantees the result is no more than 10% below ``value``.
+    """
+    if min_value is None:
+        min_value = divisor
+    new_value = max(min_value, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+#: public alias used by the model zoo
+make_divisible = _make_divisible

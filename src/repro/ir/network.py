@@ -1,0 +1,199 @@
+"""Network intermediate representation: a DAG of layer specifications.
+
+A :class:`Network` owns an ordered collection of named nodes.  Nodes must be
+added in topological order (every input has to exist already), which lets
+shape inference run eagerly at insertion time — malformed architectures fail
+loudly at construction, not at simulation time.
+
+Example:
+    >>> from repro.ir import Network, Conv2D, Activation
+    >>> net = Network("tiny", input_shape=(3, 32, 32))
+    >>> net.add(Conv2D(8, kernel=3, stride=1, padding="same"))
+    'conv2d_0'
+    >>> net.add(Activation("relu"))
+    'activation_1'
+    >>> net.out_shape
+    (8, 32, 32)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .layer import Add, Concat, LayerSpec, Shape, ShapeError
+
+
+@dataclass
+class Node:
+    """A placed layer inside a :class:`Network`.
+
+    Attributes:
+        name: Unique node name.
+        layer: The layer specification.
+        inputs: Names of predecessor nodes; empty list means the node reads
+            the network input.
+        block: Optional human-readable label of the enclosing block
+            (e.g. ``"bneck3"``); used for per-block reporting.
+        in_shape: Inferred input shape (post channel-merge for Concat).
+        out_shape: Inferred output shape.
+    """
+
+    name: str
+    layer: LayerSpec
+    inputs: List[str]
+    block: str = ""
+    in_shape: Shape = (0, 0, 0)
+    out_shape: Shape = (0, 0, 0)
+
+    @property
+    def kind(self) -> str:
+        return self.layer.kind
+
+    def macs(self) -> int:
+        return self.layer.macs(self.in_shape)
+
+    def params(self) -> int:
+        return self.layer.params(self.in_shape)
+
+
+class Network:
+    """An ordered DAG of :class:`Node` objects with eager shape inference."""
+
+    def __init__(self, name: str, input_shape: Shape) -> None:
+        if len(input_shape) != 3 or any(d <= 0 for d in input_shape):
+            raise ShapeError(f"input_shape must be a positive (C,H,W), got {input_shape}")
+        self.name = name
+        self.input_shape: Shape = tuple(int(d) for d in input_shape)  # type: ignore[assignment]
+        self._nodes: Dict[str, Node] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ build
+
+    def add(
+        self,
+        layer: LayerSpec,
+        inputs: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+        block: str = "",
+    ) -> str:
+        """Append a layer and return its node name.
+
+        If ``inputs`` is omitted the layer is chained after the most recently
+        added node (or the network input if the network is empty).
+        """
+        if name is None:
+            name = f"{type(layer).__name__.lower()}_{self._counter}"
+        if name in self._nodes:
+            raise ShapeError(f"duplicate node name {name!r} in network {self.name!r}")
+        self._counter += 1
+
+        if inputs is None:
+            inputs = [self.last_name] if self._nodes else []
+        inputs = list(inputs)
+        for src in inputs:
+            if src not in self._nodes:
+                raise ShapeError(f"node {name!r} references unknown input {src!r}")
+
+        in_shapes = tuple(
+            self._nodes[src].out_shape for src in inputs
+        ) or (self.input_shape,)
+        in_shape = self._merge_in_shapes(layer, in_shapes)
+        out_shape = layer.out_shape(in_shape)
+
+        self._nodes[name] = Node(
+            name=name,
+            layer=replace(layer, name=name),
+            inputs=inputs,
+            block=block,
+            in_shape=in_shape,
+            out_shape=out_shape,
+        )
+        return name
+
+    @staticmethod
+    def _merge_in_shapes(layer: LayerSpec, in_shapes: Tuple[Shape, ...]) -> Shape:
+        """Combine multiple input shapes according to the layer semantics."""
+        if isinstance(layer, Concat):
+            return Concat.merged_shape(in_shapes)
+        if isinstance(layer, Add):
+            first = in_shapes[0]
+            for s in in_shapes[1:]:
+                if s != first:
+                    raise ShapeError(f"Add inputs disagree: {in_shapes}")
+            return first
+        if len(in_shapes) != 1:
+            raise ShapeError(
+                f"{type(layer).__name__} expects one input, got {len(in_shapes)}"
+            )
+        return in_shapes[0]
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def last_name(self) -> str:
+        if not self._nodes:
+            raise ShapeError(f"network {self.name!r} is empty")
+        return next(reversed(self._nodes))
+
+    @property
+    def out_shape(self) -> Shape:
+        return self._nodes[self.last_name].out_shape
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __getitem__(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion (topological) order."""
+        return list(self._nodes.values())
+
+    def find(self, kind: type) -> List[Node]:
+        """All nodes whose layer is an instance of ``kind``."""
+        return [n for n in self._nodes.values() if isinstance(n.layer, kind)]
+
+    def blocks(self) -> List[str]:
+        """Distinct non-empty block labels in network order."""
+        seen: Dict[str, None] = {}
+        for node in self._nodes.values():
+            if node.block and node.block not in seen:
+                seen[node.block] = None
+        return list(seen)
+
+    def block_nodes(self, block: str) -> List[Node]:
+        return [n for n in self._nodes.values() if n.block == block]
+
+    def consumers(self, name: str) -> List[Node]:
+        """Nodes that read the output of ``name``."""
+        return [n for n in self._nodes.values() if name in n.inputs]
+
+    # ------------------------------------------------------------- summaries
+
+    def total_macs(self) -> int:
+        return sum(node.macs() for node in self._nodes.values())
+
+    def total_params(self) -> int:
+        return sum(node.params() for node in self._nodes.values())
+
+    def summary(self) -> str:
+        """Readable multi-line summary (name, kind, shapes, MACs, params)."""
+        lines = [
+            f"Network {self.name!r}  input={self.input_shape}  "
+            f"MACs={self.total_macs():,}  params={self.total_params():,}",
+            f"{'name':<28}{'kind':<18}{'block':<12}{'out_shape':<18}"
+            f"{'MACs':>14}{'params':>12}",
+        ]
+        for node in self._nodes.values():
+            lines.append(
+                f"{node.name:<28}{node.kind:<18}{node.block:<12}"
+                f"{str(node.out_shape):<18}{node.macs():>14,}{node.params():>12,}"
+            )
+        return "\n".join(lines)

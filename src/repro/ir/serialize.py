@@ -1,0 +1,147 @@
+"""JSON (de)serialization of networks.
+
+Lets transformed architectures (FuSe variants, NOS mixes) be saved,
+diffed and reloaded without re-running the transform — the layer specs
+are plain dataclasses, so a network serializes to a list of node records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Type
+
+from . import layer as layer_module
+from .layer import LayerSpec
+from .network import Network
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _layer_registry() -> Dict[str, Type[LayerSpec]]:
+    registry = {}
+    for name in dir(layer_module):
+        obj = getattr(layer_module, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, LayerSpec)
+            and obj is not LayerSpec
+        ):
+            registry[obj.__name__] = obj
+    return registry
+
+
+_REGISTRY = _layer_registry()
+
+
+def _spec_fields(spec: LayerSpec) -> Dict[str, Any]:
+    """Dataclass fields of a spec, minus the harness-assigned name."""
+    out = {}
+    for field in dataclasses.fields(spec):
+        if field.name == "name":
+            continue
+        out[field.name] = getattr(spec, field.name)
+    return out
+
+
+def _revive_value(value: Any) -> Any:
+    """JSON round-trips tuples as lists; layer specs expect tuples."""
+    if isinstance(value, list):
+        return tuple(_revive_value(v) for v in value)
+    return value
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serializable dict form of a network."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": network.name,
+        "input_shape": list(network.input_shape),
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": type(node.layer).__name__,
+                "spec": _spec_fields(node.layer),
+                "inputs": list(node.inputs),
+                "block": node.block,
+            }
+            for node in network
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Shape inference re-runs on load, so a corrupted file fails loudly.
+    """
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format {version!r}")
+    network = Network(data["name"], input_shape=tuple(data["input_shape"]))
+    for record in data["nodes"]:
+        kind = record["kind"]
+        try:
+            cls = _REGISTRY[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown layer kind {kind!r}; known: {', '.join(sorted(_REGISTRY))}"
+            ) from None
+        spec_args = {k: _revive_value(v) for k, v in record["spec"].items()}
+        network.add(
+            cls(**spec_args),
+            inputs=record["inputs"],
+            name=record["name"],
+            block=record.get("block", ""),
+        )
+    return network
+
+
+#: Graphviz fill colors per operator class (network_to_dot).
+_DOT_COLORS = {
+    "conv": "#c6dbef",
+    "depthwise": "#fdae6b",
+    "fuse": "#a1d99b",
+    "pointwise": "#9ecae1",
+    "fc": "#bcbddc",
+    "se": "#fdd0a2",
+    "other": "#eeeeee",
+}
+
+
+def network_to_dot(network: Network) -> str:
+    """Graphviz DOT rendering of a network (color-coded by operator class).
+
+    Useful for eyeballing transform results: depthwise nodes are orange,
+    their FuSe replacements green.
+    """
+    from .counting import op_class
+
+    lines = [
+        f'digraph "{network.name}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fontname="monospace"];',
+    ]
+    for node in network:
+        cls = op_class(node.layer)
+        color = _DOT_COLORS.get(cls, _DOT_COLORS["other"])
+        label = f"{node.name}\\n{node.kind} {node.out_shape}"
+        lines.append(f'  "{node.name}" [label="{label}", fillcolor="{color}"];')
+    for node in network:
+        for src in node.inputs:
+            lines.append(f'  "{src}" -> "{node.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_network(network: Network, path: str) -> None:
+    """Write a network to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(network_to_dict(network), handle, indent=1)
+
+
+def load_network(path: str) -> Network:
+    """Read a network from a JSON file."""
+    with open(path) as handle:
+        return network_from_dict(json.load(handle))

@@ -1,0 +1,55 @@
+"""Shape utilities and whole-network validation.
+
+Shape inference itself runs eagerly inside :class:`repro.ir.network.Network`;
+this module provides re-checking (useful in tests and after graph surgery)
+and shared helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .layer import Add, Concat, Shape, ShapeError, conv_out_size, resolve_padding
+from .network import Network
+
+__all__ = ["conv_out_size", "resolve_padding", "validate_network", "infer_shapes"]
+
+
+def infer_shapes(network: Network) -> Dict[str, Tuple[Shape, Shape]]:
+    """Recompute ``{node name: (in_shape, out_shape)}`` from scratch.
+
+    Walks the network in topological order re-deriving every shape from the
+    network input, independent of the cached values on the nodes.
+    """
+    shapes: Dict[str, Tuple[Shape, Shape]] = {}
+    out_of: Dict[str, Shape] = {}
+    for node in network:
+        in_shapes = tuple(out_of[src] for src in node.inputs) or (network.input_shape,)
+        if isinstance(node.layer, Concat):
+            in_shape = Concat.merged_shape(in_shapes)
+        elif isinstance(node.layer, Add):
+            in_shape = in_shapes[0]
+            for s in in_shapes[1:]:
+                if s != in_shape:
+                    raise ShapeError(f"Add inputs disagree at {node.name}: {in_shapes}")
+        else:
+            if len(in_shapes) != 1:
+                raise ShapeError(f"{node.name} expects one input, got {len(in_shapes)}")
+            in_shape = in_shapes[0]
+        out_shape = node.layer.out_shape(in_shape)
+        shapes[node.name] = (in_shape, out_shape)
+        out_of[node.name] = out_shape
+    return shapes
+
+
+def validate_network(network: Network) -> None:
+    """Raise :class:`ShapeError` if cached node shapes disagree with a fresh pass."""
+    fresh = infer_shapes(network)
+    for node in network:
+        in_shape, out_shape = fresh[node.name]
+        if node.in_shape != in_shape or node.out_shape != out_shape:
+            raise ShapeError(
+                f"stale shapes on {node.name}: cached "
+                f"({node.in_shape} -> {node.out_shape}), fresh "
+                f"({in_shape} -> {out_shape})"
+            )

@@ -1,0 +1,22 @@
+"""Model zoo: the paper's five evaluation networks plus ResNet-50."""
+
+from .efficientnet import efficientnet_b0
+from .mnasnet import mnasnet_b1
+from .mobilenet_v1 import mobilenet_v1
+from .mobilenet_v2 import mobilenet_v2
+from .mobilenet_v3 import mobilenet_v3_large, mobilenet_v3_small
+from .resnet import resnet50
+from .zoo import PAPER_NETWORKS, available_models, build_model
+
+__all__ = [
+    "efficientnet_b0",
+    "mnasnet_b1",
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "mobilenet_v3_large",
+    "mobilenet_v3_small",
+    "resnet50",
+    "PAPER_NETWORKS",
+    "available_models",
+    "build_model",
+]

@@ -1,0 +1,116 @@
+"""Shared building blocks for the model zoo.
+
+All five evaluation networks (MobileNet-V1/V2/V3-Small/V3-Large, MnasNet-B1)
+are assembled from three primitives: conv+BN+activation stems, depthwise
+separable blocks, and inverted-residual (MBConv) bottlenecks with optional
+Squeeze-and-Excite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import (
+    Activation,
+    Add,
+    BatchNorm,
+    Conv2D,
+    DepthwiseConv2D,
+    Network,
+    PointwiseConv2D,
+    SqueezeExcite,
+    make_divisible,
+)
+
+
+def conv_bn_act(
+    net: Network,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    act: str = "relu",
+    block: str = "",
+    groups: int = 1,
+) -> str:
+    """Standard conv → BN → activation; returns the activation node name."""
+    net.add(
+        Conv2D(out_channels, kernel=kernel, stride=stride, padding="same", groups=groups),
+        block=block,
+    )
+    net.add(BatchNorm(), block=block)
+    return net.add(Activation(act), block=block)
+
+
+def pointwise_bn(
+    net: Network,
+    out_channels: int,
+    act: Optional[str] = None,
+    block: str = "",
+) -> str:
+    """1×1 conv → BN → optional activation (linear bottlenecks pass None)."""
+    net.add(PointwiseConv2D(out_channels), block=block)
+    last = net.add(BatchNorm(), block=block)
+    if act is not None:
+        last = net.add(Activation(act), block=block)
+    return last
+
+
+def depthwise_separable(
+    net: Network,
+    out_channels: int,
+    kernel: int = 3,
+    stride: int = 1,
+    act: str = "relu",
+    block: str = "",
+) -> str:
+    """MobileNet-V1 style block: DW(K×K) → BN → act → PW(1×1) → BN → act."""
+    net.add(DepthwiseConv2D(kernel=kernel, stride=stride, padding="same"), block=block)
+    net.add(BatchNorm(), block=block)
+    net.add(Activation(act), block=block)
+    return pointwise_bn(net, out_channels, act=act, block=block)
+
+
+def inverted_residual(
+    net: Network,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    expand_channels: int,
+    act: str = "relu",
+    use_se: bool = False,
+    se_channels: Optional[int] = None,
+    block: str = "",
+) -> str:
+    """MBConv bottleneck (MobileNet-V2/V3, MnasNet).
+
+    PW-expand → BN → act → DW(K×K, stride) → BN → act → [SE] →
+    PW-project (linear) → BN, with a residual Add when stride is 1 and the
+    channel count is preserved.  When ``expand_channels`` equals the input
+    channel count the expansion conv is omitted (MobileNet-V2 first block,
+    MobileNet-V3 first bneck).
+    """
+    in_channels = net[net.last_name].out_shape[0] if len(net) else net.input_shape[0]
+    entry = net.last_name if len(net) else None
+
+    last = entry
+    if expand_channels != in_channels:
+        last = pointwise_bn(net, expand_channels, act=act, block=block)
+
+    net.add(
+        DepthwiseConv2D(kernel=kernel, stride=stride, padding="same"),
+        inputs=None if last is None else [last],
+        block=block,
+    )
+    net.add(BatchNorm(), block=block)
+    last = net.add(Activation(act), block=block)
+
+    if use_se:
+        if se_channels is None:
+            se_channels = make_divisible(expand_channels / 4, 8)
+        last = net.add(SqueezeExcite(se_channels=se_channels), block=block)
+
+    last = pointwise_bn(net, out_channels, act=None, block=block)
+
+    if stride == 1 and in_channels == out_channels and entry is not None:
+        last = net.add(Add(), inputs=[entry, last], block=block)
+    return last

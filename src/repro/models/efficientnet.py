@@ -1,0 +1,69 @@
+"""EfficientNet-B0 (Tan & Le, 2019) as a layer-graph description.
+
+§I of the FuSeConv paper cites EfficientNet's incommensurate scaling on
+EdgeTPU (Gupta et al.) as prior evidence of the depthwise/accelerator
+mismatch; including B0 lets the FuSe transform be evaluated on it as an
+extension.  MBConv settings follow Table 1 of the EfficientNet paper;
+Squeeze-and-Excite uses the EfficientNet convention (bottleneck = 1/4 of
+the *block input* channels) and the paper's swish activation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ir import Flatten, GlobalAvgPool, Linear, Network, make_divisible
+from .common import conv_bn_act, inverted_residual, pointwise_bn
+
+#: (kernel, expansion t, out_channels c, repeats n, first stride s)
+_SETTINGS: List[Tuple[int, int, int, int, int]] = [
+    (3, 1, 16, 1, 1),
+    (3, 6, 24, 2, 2),
+    (5, 6, 40, 2, 2),
+    (3, 6, 80, 3, 2),
+    (5, 6, 112, 3, 1),
+    (5, 6, 192, 4, 2),
+    (3, 6, 320, 1, 1),
+]
+
+
+def efficientnet_b0(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build EfficientNet-B0 (squeeze-excite on every MBConv, swish)."""
+
+    def width(c: int) -> int:
+        return make_divisible(c * width_mult, 8)
+
+    net = Network(
+        f"efficientnet_b0_{width_mult}_{resolution}".replace(".", "_"),
+        input_shape=(in_channels, resolution, resolution),
+    )
+    current = width(32)
+    conv_bn_act(net, current, kernel=3, stride=2, act="swish", block="stem")
+    block_index = 0
+    for kernel, t, c, n, s in _SETTINGS:
+        out_channels = width(c)
+        for i in range(n):
+            # EfficientNet SE bottleneck: 1/4 of the block *input* channels.
+            inverted_residual(
+                net,
+                out_channels,
+                kernel=kernel,
+                stride=s if i == 0 else 1,
+                expand_channels=current * t,
+                act="swish",
+                use_se=True,
+                se_channels=max(1, current // 4),
+                block=f"mbconv{block_index}",
+            )
+            current = out_channels
+            block_index += 1
+    pointwise_bn(net, width(1280), act="swish", block="head")
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net

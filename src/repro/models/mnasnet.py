@@ -1,0 +1,62 @@
+"""MnasNet-B1 (Tan et al., 2019) as a layer-graph description.
+
+The B1 variant found by platform-aware NAS: a stem, one depthwise-separable
+block, six MBConv stages (no Squeeze-and-Excite in B1), and the classifier.
+Stage settings follow Fig. 7 of the MnasNet paper.
+"""
+
+from __future__ import annotations
+
+from ..ir import Flatten, GlobalAvgPool, Linear, Network, make_divisible
+from .common import conv_bn_act, depthwise_separable, inverted_residual, pointwise_bn
+
+#: (kernel, expansion t, out_channels c, repeats n, first stride s)
+_SETTINGS = [
+    (3, 3, 24, 3, 2),
+    (5, 3, 40, 3, 2),
+    (5, 6, 80, 3, 2),
+    (3, 6, 96, 2, 1),
+    (5, 6, 192, 4, 2),
+    (3, 6, 320, 1, 1),
+]
+
+
+def mnasnet_b1(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build MnasNet-B1."""
+
+    def width(c: int) -> int:
+        return make_divisible(c * width_mult, 8)
+
+    net = Network(
+        f"mnasnet_b1_{width_mult}_{resolution}".replace(".", "_"),
+        input_shape=(in_channels, resolution, resolution),
+    )
+    conv_bn_act(net, width(32), kernel=3, stride=2, act="relu", block="stem")
+    # SepConv block producing 16 channels.
+    depthwise_separable(net, width(16), kernel=3, stride=1, act="relu", block="sepconv")
+    current = width(16)
+    block_index = 0
+    for kernel, t, c, n, s in _SETTINGS:
+        out_channels = width(c)
+        for i in range(n):
+            inverted_residual(
+                net,
+                out_channels,
+                kernel=kernel,
+                stride=s if i == 0 else 1,
+                expand_channels=current * t,
+                act="relu",
+                block=f"mbconv{block_index}",
+            )
+            current = out_channels
+            block_index += 1
+    pointwise_bn(net, 1280, act="relu", block="head")
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net

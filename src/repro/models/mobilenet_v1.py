@@ -1,0 +1,67 @@
+"""MobileNet-V1 (Howard et al., 2017) as a layer-graph description.
+
+Architecture: a 3×3 stride-2 stem followed by 13 depthwise-separable blocks,
+global average pooling and a 1000-way classifier — the configuration of
+Table 1 in the MobileNet paper, with an optional width multiplier and input
+resolution.
+"""
+
+from __future__ import annotations
+
+from ..ir import Flatten, GlobalAvgPool, Linear, Network, make_divisible
+from .common import conv_bn_act, depthwise_separable
+
+#: (out_channels, stride) for the 13 depthwise-separable blocks.
+_BLOCKS = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+
+def mobilenet_v1(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build MobileNet-V1.
+
+    Args:
+        num_classes: classifier width.
+        width_mult: channel width multiplier (rounded to multiples of 8).
+        resolution: square input resolution.
+        in_channels: input channels (3 for RGB).
+    """
+
+    def width(c: int) -> int:
+        return make_divisible(c * width_mult, 8)
+
+    net = Network(
+        f"mobilenet_v1_{width_mult}_{resolution}".replace(".", "_"),
+        input_shape=(in_channels, resolution, resolution),
+    )
+    conv_bn_act(net, width(32), kernel=3, stride=2, act="relu", block="stem")
+    for i, (out_channels, stride) in enumerate(_BLOCKS):
+        depthwise_separable(
+            net,
+            width(out_channels),
+            kernel=3,
+            stride=stride,
+            act="relu",
+            block=f"dsblock{i}",
+        )
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net

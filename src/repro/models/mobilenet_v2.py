@@ -1,0 +1,63 @@
+"""MobileNet-V2 (Sandler et al., 2018) as a layer-graph description.
+
+Inverted residual bottlenecks with linear projections and ReLU6, per Table 2
+of the MobileNet-V2 paper.
+"""
+
+from __future__ import annotations
+
+from ..ir import Flatten, GlobalAvgPool, Linear, Network, make_divisible
+from .common import conv_bn_act, inverted_residual, pointwise_bn
+
+#: (expansion t, out_channels c, repeats n, first stride s) per Table 2.
+_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v2(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build MobileNet-V2 with the standard (t, c, n, s) table."""
+
+    def width(c: int) -> int:
+        return make_divisible(c * width_mult, 8)
+
+    net = Network(
+        f"mobilenet_v2_{width_mult}_{resolution}".replace(".", "_"),
+        input_shape=(in_channels, resolution, resolution),
+    )
+    current = width(32)
+    conv_bn_act(net, current, kernel=3, stride=2, act="relu6", block="stem")
+    block_index = 0
+    for t, c, n, s in _SETTINGS:
+        out_channels = width(c)
+        for i in range(n):
+            inverted_residual(
+                net,
+                out_channels,
+                kernel=3,
+                stride=s if i == 0 else 1,
+                expand_channels=current * t,
+                act="relu6",
+                block=f"bneck{block_index}",
+            )
+            current = out_channels
+            block_index += 1
+    # The last conv is 1280 wide regardless of width_mult <= 1.0 (paper rule:
+    # max(1280, 1280 * width_mult)).
+    last_channels = make_divisible(1280 * max(1.0, width_mult), 8)
+    pointwise_bn(net, last_channels, act="relu6", block="head")
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net

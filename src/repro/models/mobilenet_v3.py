@@ -1,0 +1,123 @@
+"""MobileNet-V3 Small and Large (Howard et al., 2019) as layer graphs.
+
+Bottleneck tables follow Tables 1 and 2 of the MobileNet-V3 paper, including
+Squeeze-and-Excite placements and h-swish activations.  The classifier head
+uses the efficient "last stage": 1×1 conv → pool → 1×1 conv (as FC) → FC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ir import Flatten, GlobalAvgPool, Linear, Network, make_divisible
+from .common import conv_bn_act, inverted_residual, pointwise_bn
+
+#: (kernel, expansion size, out_channels, use_se, activation, stride)
+_LARGE: List[Tuple[int, int, int, bool, str, int]] = [
+    (3, 16, 16, False, "relu", 1),
+    (3, 64, 24, False, "relu", 2),
+    (3, 72, 24, False, "relu", 1),
+    (5, 72, 40, True, "relu", 2),
+    (5, 120, 40, True, "relu", 1),
+    (5, 120, 40, True, "relu", 1),
+    (3, 240, 80, False, "hswish", 2),
+    (3, 200, 80, False, "hswish", 1),
+    (3, 184, 80, False, "hswish", 1),
+    (3, 184, 80, False, "hswish", 1),
+    (3, 480, 112, True, "hswish", 1),
+    (3, 672, 112, True, "hswish", 1),
+    (5, 672, 160, True, "hswish", 2),
+    (5, 960, 160, True, "hswish", 1),
+    (5, 960, 160, True, "hswish", 1),
+]
+
+_SMALL: List[Tuple[int, int, int, bool, str, int]] = [
+    (3, 16, 16, True, "relu", 2),
+    (3, 72, 24, False, "relu", 2),
+    (3, 88, 24, False, "relu", 1),
+    (5, 96, 40, True, "hswish", 2),
+    (5, 240, 40, True, "hswish", 1),
+    (5, 240, 40, True, "hswish", 1),
+    (5, 120, 48, True, "hswish", 1),
+    (5, 144, 48, True, "hswish", 1),
+    (5, 288, 96, True, "hswish", 2),
+    (5, 576, 96, True, "hswish", 1),
+    (5, 576, 96, True, "hswish", 1),
+]
+
+
+def _mobilenet_v3(
+    name: str,
+    settings: List[Tuple[int, int, int, bool, str, int]],
+    last_conv: int,
+    classifier_width: int,
+    num_classes: int,
+    width_mult: float,
+    resolution: int,
+    in_channels: int,
+) -> Network:
+    def width(c: int) -> int:
+        return make_divisible(c * width_mult, 8)
+
+    net = Network(name, input_shape=(in_channels, resolution, resolution))
+    conv_bn_act(net, width(16), kernel=3, stride=2, act="hswish", block="stem")
+    for i, (kernel, exp, out, use_se, act, stride) in enumerate(settings):
+        inverted_residual(
+            net,
+            width(out),
+            kernel=kernel,
+            stride=stride,
+            expand_channels=width(exp),
+            act=act,
+            use_se=use_se,
+            se_channels=make_divisible(width(exp) / 4, 8),
+            block=f"bneck{i}",
+        )
+    pointwise_bn(net, width(last_conv), act="hswish", block="head")
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    # Efficient last stage: a wide FC with h-swish, then the classifier.
+    net.add(Linear(classifier_width), block="head")
+    from ..ir import Activation  # local import avoids cycle at module load
+
+    net.add(Activation("hswish"), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net
+
+
+def mobilenet_v3_large(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build MobileNet-V3 Large (Table 1 of the MobileNet-V3 paper)."""
+    return _mobilenet_v3(
+        f"mobilenet_v3_large_{width_mult}_{resolution}".replace(".", "_"),
+        _LARGE,
+        last_conv=960,
+        classifier_width=1280,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        resolution=resolution,
+        in_channels=in_channels,
+    )
+
+
+def mobilenet_v3_small(
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build MobileNet-V3 Small (Table 2 of the MobileNet-V3 paper)."""
+    return _mobilenet_v3(
+        f"mobilenet_v3_small_{width_mult}_{resolution}".replace(".", "_"),
+        _SMALL,
+        last_conv=576,
+        classifier_width=1024,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        resolution=resolution,
+        in_channels=in_channels,
+    )

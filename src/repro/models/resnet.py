@@ -1,0 +1,84 @@
+"""ResNet-50 (He et al., 2016) as a layer-graph description.
+
+Used for the paper's §I motivation experiment: MobileNet-V2 has ~12× fewer
+MACs than ResNet-50 yet runs only ~1.3× faster on a 32×32 systolic array,
+because standard convolutions utilize the array well while depthwise
+convolutions do not.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    Activation,
+    Add,
+    BatchNorm,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    Network,
+    Pool2D,
+)
+
+#: (out_channels of the 3×3 conv, repeats, first stride) per stage.
+_STAGES = [
+    (64, 3, 1),
+    (128, 4, 2),
+    (256, 6, 2),
+    (512, 3, 2),
+]
+
+_EXPANSION = 4
+
+
+def _bottleneck(net: Network, mid_channels: int, stride: int, block: str) -> str:
+    """Standard ResNet bottleneck: 1×1 → 3×3(stride) → 1×1(4×) + shortcut."""
+    entry = net.last_name
+    in_channels = net[entry].out_shape[0]
+    out_channels = mid_channels * _EXPANSION
+
+    net.add(Conv2D(mid_channels, kernel=1), inputs=[entry], block=block)
+    net.add(BatchNorm(), block=block)
+    net.add(Activation("relu"), block=block)
+    net.add(Conv2D(mid_channels, kernel=3, stride=stride, padding="same"), block=block)
+    net.add(BatchNorm(), block=block)
+    net.add(Activation("relu"), block=block)
+    net.add(Conv2D(out_channels, kernel=1), block=block)
+    main = net.add(BatchNorm(), block=block)
+
+    if stride != 1 or in_channels != out_channels:
+        net.add(Conv2D(out_channels, kernel=1, stride=stride), inputs=[entry], block=block)
+        shortcut = net.add(BatchNorm(), block=block)
+    else:
+        shortcut = entry
+
+    added = net.add(Add(), inputs=[main, shortcut], block=block)
+    net.add(Activation("relu"), inputs=[added], block=block)
+    return net.last_name
+
+
+def resnet50(
+    num_classes: int = 1000,
+    resolution: int = 224,
+    in_channels: int = 3,
+) -> Network:
+    """Build ResNet-50."""
+    net = Network(f"resnet50_{resolution}", input_shape=(in_channels, resolution, resolution))
+    net.add(Conv2D(64, kernel=7, stride=2, padding="same"), block="stem")
+    net.add(BatchNorm(), block="stem")
+    net.add(Activation("relu"), block="stem")
+    net.add(Pool2D("max", kernel=3, stride=2, padding="same"), block="stem")
+    block_index = 0
+    for mid_channels, repeats, first_stride in _STAGES:
+        for i in range(repeats):
+            _bottleneck(
+                net,
+                mid_channels,
+                stride=first_stride if i == 0 else 1,
+                block=f"res{block_index}",
+            )
+            block_index += 1
+    net.add(GlobalAvgPool(), block="head")
+    net.add(Flatten(), block="head")
+    net.add(Linear(num_classes), block="head")
+    return net

@@ -1,0 +1,58 @@
+"""Model registry: name → builder.
+
+The five paper networks (Table I) plus ResNet-50 for the motivation
+experiment.  Builders accept ``num_classes``, ``width_mult``, ``resolution``
+and ``in_channels`` keyword arguments so scaled-down variants for CPU
+training can be produced from the same definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..ir import Network
+from .efficientnet import efficientnet_b0
+from .mnasnet import mnasnet_b1
+from .mobilenet_v1 import mobilenet_v1
+from .mobilenet_v2 import mobilenet_v2
+from .mobilenet_v3 import mobilenet_v3_large, mobilenet_v3_small
+from .resnet import resnet50
+
+_REGISTRY: Dict[str, Callable[..., Network]] = {
+    "efficientnet_b0": efficientnet_b0,
+    "mobilenet_v1": mobilenet_v1,
+    "mobilenet_v2": mobilenet_v2,
+    "mobilenet_v3_small": mobilenet_v3_small,
+    "mobilenet_v3_large": mobilenet_v3_large,
+    "mnasnet_b1": mnasnet_b1,
+    "resnet50": resnet50,
+}
+
+#: The five networks evaluated in Table I, in the paper's order.
+PAPER_NETWORKS: List[str] = [
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "mnasnet_b1",
+    "mobilenet_v3_small",
+    "mobilenet_v3_large",
+]
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Network:
+    """Build a registered model by name.
+
+    Raises:
+        KeyError: if ``name`` is not registered (message lists valid names).
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,78 @@
+"""Numpy training substrate: autograd, layers, blocks, optimizers, data."""
+
+from . import functional
+from .blocks import (
+    FuSeDepthwiseStage,
+    InvertedResidual,
+    MiniInvertedResidualNet,
+    MiniSeparableNet,
+    SeparableBlock,
+)
+from .data import Dataset, SyntheticSpec, make_synthetic, make_teacher_dataset
+from .graph import GraphExecutor
+from .layers import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    FuSeConv1d,
+    GlobalAvgPool,
+    Linear,
+    Module,
+    PointwiseConv2d,
+    Sequential,
+    SqueezeExcite,
+)
+from .optim import EMA, SGD, ExponentialDecay, LossScaler, RMSprop
+from .quantize import (
+    QuantizationScale,
+    fake_quantize_model,
+    quantization_error,
+    quantize_array,
+)
+from .tensor import Tensor, parameter, unbroadcast
+from .training import History, TrainConfig, evaluate, set_dtype, train
+
+__all__ = [
+    "functional",
+    "FuSeDepthwiseStage",
+    "InvertedResidual",
+    "MiniInvertedResidualNet",
+    "MiniSeparableNet",
+    "SeparableBlock",
+    "Dataset",
+    "SyntheticSpec",
+    "make_synthetic",
+    "make_teacher_dataset",
+    "GraphExecutor",
+    "Activation",
+    "BatchNorm2d",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Flatten",
+    "FuSeConv1d",
+    "GlobalAvgPool",
+    "Linear",
+    "Module",
+    "PointwiseConv2d",
+    "Sequential",
+    "SqueezeExcite",
+    "EMA",
+    "SGD",
+    "ExponentialDecay",
+    "LossScaler",
+    "RMSprop",
+    "QuantizationScale",
+    "fake_quantize_model",
+    "quantization_error",
+    "quantize_array",
+    "Tensor",
+    "parameter",
+    "unbroadcast",
+    "History",
+    "TrainConfig",
+    "evaluate",
+    "set_dtype",
+    "train",
+]

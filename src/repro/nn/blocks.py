@@ -1,0 +1,256 @@
+"""Trainable MobileNet-style blocks: depthwise-separable vs FuSeConv.
+
+Provides the executable counterparts of the paper's two competing blocks
+(Fig. 4) and small trainable networks for the accuracy-proxy experiment:
+ImageNet training is substituted by scaled-down networks on a synthetic
+dataset (see DESIGN.md), preserving the *relative* comparison between
+the baseline depthwise block and its FuSe-Full / FuSe-Half replacements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from . import functional as F
+from .layers import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    FuSeConv1d,
+    GlobalAvgPool,
+    Linear,
+    Module,
+    PointwiseConv2d,
+    Sequential,
+    SqueezeExcite,
+)
+from .tensor import Tensor
+
+
+class FuSeDepthwiseStage(Module):
+    """The FuSe replacement of one K×K depthwise convolution (Fig. 4b).
+
+    ``d=1`` (Full): row and column filters each over all C channels; output
+    2C channels.  ``d=2`` (Half): row filters on the first half, column
+    filters on the second half; output C channels.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int,
+        d: int = 1,
+        stride: Union[int, tuple] = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d not in (1, 2):
+            raise ValueError(f"design knob D must be 1 or 2, got {d}")
+        self.d = d
+        self.channels = channels
+        if d == 1:
+            row_c = col_c = channels
+        else:
+            row_c = (channels + 1) // 2
+            col_c = channels - row_c
+        self.row = FuSeConv1d(row_c, kernel, axis="row", stride=stride, rng=rng)
+        self.col = FuSeConv1d(col_c, kernel, axis="col", stride=stride, rng=rng) if col_c else None
+        self._row_c = row_c
+
+    @property
+    def out_channels(self) -> int:
+        return 2 * self.channels // self.d
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.d == 1:
+            row_in, col_in = x, x
+        else:
+            row_in = F.channel_split(x, 0, self._row_c)
+            col_in = F.channel_split(x, self._row_c, self.channels)
+        outputs = [self.row(row_in)]
+        if self.col is not None:
+            outputs.append(self.col(col_in))
+        return F.concat(outputs, axis=1) if len(outputs) > 1 else outputs[0]
+
+
+def _depthwise_stage(
+    channels: int,
+    kernel: int,
+    stride: Union[int, tuple],
+    op: str,
+    rng: Optional[np.random.Generator],
+) -> Module:
+    """The spatial-filtering stage: baseline depthwise or a FuSe variant.
+
+    ``op`` is one of ``"depthwise"``, ``"fuse_full"``, ``"fuse_half"``.
+    """
+    if op == "depthwise":
+        return DepthwiseConv2d(channels, kernel, stride=stride, rng=rng)
+    if op == "fuse_full":
+        return FuSeDepthwiseStage(channels, kernel, d=1, stride=stride, rng=rng)
+    if op == "fuse_half":
+        return FuSeDepthwiseStage(channels, kernel, d=2, stride=stride, rng=rng)
+    raise ValueError(f"unknown spatial op {op!r}")
+
+
+def _stage_out_channels(channels: int, op: str) -> int:
+    return 2 * channels if op == "fuse_full" else channels
+
+
+class SeparableBlock(Module):
+    """MobileNet-V1 style block with a configurable spatial stage.
+
+    spatial stage → BN → act → PW(1×1) → BN → act.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        op: str = "depthwise",
+        act: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.spatial = _depthwise_stage(in_channels, kernel, stride, op, rng)
+        mid = _stage_out_channels(in_channels, op)
+        self.bn1 = BatchNorm2d(mid)
+        self.act1 = Activation(act)
+        self.pw = PointwiseConv2d(mid, out_channels, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.act2 = Activation(act)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act1(self.bn1(self.spatial(x)))
+        return self.act2(self.bn2(self.pw(x)))
+
+
+class InvertedResidual(Module):
+    """MobileNet-V2/V3 bottleneck with a configurable spatial stage."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        expand_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        op: str = "depthwise",
+        act: str = "relu6",
+        use_se: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = (
+            None
+            if expand_channels == in_channels
+            else Sequential(
+                PointwiseConv2d(in_channels, expand_channels, rng=rng),
+                BatchNorm2d(expand_channels),
+                Activation(act),
+            )
+        )
+        self.spatial = _depthwise_stage(expand_channels, kernel, stride, op, rng)
+        mid = _stage_out_channels(expand_channels, op)
+        self.bn = BatchNorm2d(mid)
+        self.act = Activation(act)
+        self.se = SqueezeExcite(mid, max(mid // 4, 4), rng=rng) if use_se else None
+        self.project = Sequential(
+            PointwiseConv2d(mid, out_channels, rng=rng),
+            BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x if self.expand is None else self.expand(x)
+        out = self.act(self.bn(self.spatial(out)))
+        if self.se is not None:
+            out = self.se(out)
+        out = self.project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MiniSeparableNet(Module):
+    """A scaled-down MobileNet-V1: stem + separable blocks + classifier.
+
+    The accuracy-proxy network for Table I: build with ``op="depthwise"``
+    for the baseline and ``op="fuse_full"`` / ``"fuse_half"`` for the
+    variants — the same drop-in replacement the paper performs.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width: int = 16,
+        op: str = "depthwise",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = Sequential(
+            Conv2d(in_channels, w, kernel=3, stride=1, padding="same", rng=rng),
+            BatchNorm2d(w),
+            Activation("relu"),
+        )
+        self.blocks = Sequential(
+            SeparableBlock(w, 2 * w, stride=2, op=op, rng=rng),
+            SeparableBlock(2 * w, 2 * w, stride=1, op=op, rng=rng),
+            SeparableBlock(2 * w, 4 * w, stride=2, op=op, rng=rng),
+            SeparableBlock(4 * w, 4 * w, stride=1, op=op, rng=rng),
+        )
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(4 * w, num_classes, rng=rng)
+        self.op = op
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.blocks(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+class MiniInvertedResidualNet(Module):
+    """A scaled-down MobileNet-V2: stem + inverted residuals + classifier."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width: int = 12,
+        op: str = "depthwise",
+        use_se: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = Sequential(
+            Conv2d(in_channels, w, kernel=3, stride=1, padding="same", rng=rng),
+            BatchNorm2d(w),
+            Activation("relu6"),
+        )
+        self.blocks = Sequential(
+            InvertedResidual(w, w, expand_channels=w, op=op, rng=rng),
+            InvertedResidual(w, 2 * w, expand_channels=4 * w, stride=2, op=op, rng=rng),
+            InvertedResidual(2 * w, 2 * w, expand_channels=8 * w, op=op, use_se=use_se, rng=rng),
+            InvertedResidual(2 * w, 4 * w, expand_channels=8 * w, stride=2, op=op, rng=rng),
+            InvertedResidual(4 * w, 4 * w, expand_channels=16 * w, op=op, use_se=use_se, rng=rng),
+        )
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(4 * w, num_classes, rng=rng)
+        self.op = op
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.blocks(x)
+        x = self.pool(x)
+        return self.classifier(x)

@@ -1,0 +1,390 @@
+"""Autograd-aware neural-network operations (batched, NCHW).
+
+Convolutions are implemented with strided sliding-window views and einsum —
+grouped convolution covers standard (groups=1), depthwise (groups=C) and
+the FuSeConv 1D filters (depthwise with 1×K / K×1 kernels) with one code
+path and a fully vectorized backward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+Pad = Union[int, Tuple[int, int], str]
+
+
+# --------------------------------------------------------------- helpers
+
+def _pair(v: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    return (v, v) if isinstance(v, int) else (int(v[0]), int(v[1]))
+
+
+def _pad_amounts(
+    h: int, w: int, kh: int, kw: int, sh: int, sw: int, padding: Pad
+) -> Tuple[int, int, int, int]:
+    """(top, bottom, left, right) zero padding; "same" = TF convention."""
+    if padding == "same":
+        out_h = -(-h // sh)
+        out_w = -(-w // sw)
+        total_h = max((out_h - 1) * sh + kh - h, 0)
+        total_w = max((out_w - 1) * sw + kw - w, 0)
+        top, left = total_h // 2, total_w // 2
+        return top, total_h - top, left, total_w - left
+    ph, pw = _pair(padding)  # type: ignore[arg-type]
+    return ph, ph, pw, pw
+
+
+def _windows(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Sliding-window view ``(N, C, OH, OW, kh, kw)`` of a padded input."""
+    n, c, hp, wp = xp.shape
+    oh = (hp - kh) // sh + 1
+    ow = (wp - kw) // sw + 1
+    s0, s1, s2, s3 = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+
+
+# ----------------------------------------------------------- convolutions
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Pad = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Grouped 2D convolution.
+
+    Args:
+        x: input ``(N, C, H, W)``.
+        weight: filters ``(C_out, C // groups, kh, kw)``.
+        bias: optional ``(C_out,)``.
+    """
+    n, c, h, w = x.shape
+    c_out, c_g, kh, kw = weight.shape
+    if c % groups or c_out % groups or c_g != c // groups:
+        raise ValueError(
+            f"conv2d shape mismatch: input C={c}, weight {weight.shape}, groups={groups}"
+        )
+    sh, sw = _pair(stride)
+    top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
+    xp = np.pad(x.data, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    win = _windows(xp, kh, kw, sh, sw)
+    oh, ow = win.shape[2], win.shape[3]
+
+    g = groups
+    og = c_out // g
+    win_g = win.reshape(n, g, c // g, oh, ow, kh, kw)
+    w_g = weight.data.reshape(g, og, c_g, kh, kw)
+    out_data = np.einsum("ngchwkl,gockl->ngohw", win_g, w_g, optimize=True)
+    out_data = out_data.reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_g = grad.reshape(n, g, og, oh, ow)
+        if weight.requires_grad:
+            dw = np.einsum("ngchwkl,ngohw->gockl", win_g, grad_g, optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dwin = np.einsum("ngohw,gockl->ngchwkl", grad_g, w_g, optimize=True)
+            dwin = dwin.reshape(n, c, oh, ow, kh, kw)
+            dxp = np.zeros_like(xp)
+            for dk in range(kh):
+                for dl in range(kw):
+                    dxp[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw] += dwin[..., dk, dl]
+            hp, wp = xp.shape[2], xp.shape[3]
+            x._accumulate(dxp[:, :, top:hp - bottom or None, left:wp - right or None])
+
+    return x._make_child(out_data, parents, backward)
+
+
+def depthwise_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Pad = "same",
+) -> Tensor:
+    """Depthwise convolution; ``weight`` is ``(C, 1, kh, kw)``."""
+    return conv2d(x, weight, bias, stride=stride, padding=padding, groups=x.shape[1])
+
+
+def fuse_conv1d(
+    x: Tensor,
+    weight: Tensor,
+    axis: str,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Pad = "same",
+    bias: Optional[Tensor] = None,
+) -> Tensor:
+    """FuSeConv depthwise 1D filters (§IV-A).
+
+    ``weight`` is ``(C, K)``; ``axis="row"`` slides along rows (1×K kernel),
+    ``axis="col"`` down columns (K×1 kernel).
+    """
+    c, k = weight.shape
+    if axis == "row":
+        w4 = weight.reshape(c, 1, 1, k)
+    elif axis == "col":
+        w4 = weight.reshape(c, 1, k, 1)
+    else:
+        raise ValueError(f"axis must be 'row' or 'col', got {axis!r}")
+    return conv2d(x, w4, bias, stride=stride, padding=padding, groups=c)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fully connected: ``x (N, F) @ weight.T (F, O) + bias``."""
+    out = x @ weight.transpose(1, 0)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ------------------------------------------------------------ activations
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, 0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    out_data = np.clip(x.data, low, high)
+    mask = (x.data > low) & (x.data < high)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def relu6(x: Tensor) -> Tensor:
+    return clip(x, 0.0, 6.0)
+
+
+def hsigmoid(x: Tensor) -> Tensor:
+    """Hard sigmoid ``relu6(x + 3) / 6`` (MobileNet-V3)."""
+    return clip(x + 3.0, 0.0, 6.0) * (1.0 / 6.0)
+
+
+def hswish(x: Tensor) -> Tensor:
+    """Hard swish ``x · relu6(x + 3) / 6`` (MobileNet-V3)."""
+    return x * hsigmoid(x)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def swish(x: Tensor) -> Tensor:
+    return x * sigmoid(x)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "relu6": relu6,
+    "hswish": hswish,
+    "hsigmoid": hsigmoid,
+    "sigmoid": sigmoid,
+    "swish": swish,
+}
+
+
+# ---------------------------------------------------------------- pooling
+
+def global_avg_pool(x: Tensor) -> Tensor:
+    """``(N, C, H, W)`` → ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def avg_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
+               stride: Optional[Union[int, Tuple[int, int]]] = None) -> Tensor:
+    """Average pooling (no padding)."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    n, c, h, w = x.shape
+    win = _windows(x.data, kh, kw, sh, sw)
+    oh, ow = win.shape[2], win.shape[3]
+    out_data = win.mean(axis=(4, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        scale = 1.0 / (kh * kw)
+        for dk in range(kh):
+            for dl in range(kw):
+                dx[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw] += grad * scale
+        x._accumulate(dx)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
+               stride: Optional[Union[int, Tuple[int, int]]] = None,
+               padding: Pad = 0) -> Tensor:
+    """Max pooling; gradient flows to the argmax element of each window."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    n, c, h, w = x.shape
+    top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
+    xp = np.pad(
+        x.data,
+        ((0, 0), (0, 0), (top, bottom), (left, right)),
+        constant_values=-np.inf,
+    )
+    win = _windows(xp, kh, kw, sh, sw)
+    oh, ow = win.shape[2], win.shape[3]
+    flat = win.reshape(n, c, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        dxp = np.zeros_like(xp)
+        ni, ci, hi, wi = np.indices((n, c, oh, ow))
+        rows = hi * sh + arg // kw
+        cols = wi * sw + arg % kw
+        np.add.at(dxp, (ni, ci, rows, cols), grad)
+        hp, wp = xp.shape[2], xp.shape[3]
+        x._accumulate(dxp[:, :, top:hp - bottom or None, left:wp - right or None])
+
+    return x._make_child(out_data, (x,), backward)
+
+
+# ------------------------------------------------------------ norm & glue
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over (N, H, W) per channel.
+
+    Running statistics are updated in place when ``training`` is True.
+    """
+    c = x.shape[1]
+    view = (1, c, 1, 1) if x.ndim == 4 else (1, c)
+    axes = (0, 2, 3) if x.ndim == 4 else (0,)
+    if training:
+        # Statistics in float32: FP16 activations overflow the variance
+        # reduction (standard mixed-precision practice).
+        mean = x.data.mean(axis=axes, dtype=np.float32)
+        var = x.data.astype(np.float32).var(axis=axes)
+        running_mean += momentum * (mean - running_mean)
+        running_var += momentum * (var - running_var)
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = (1.0 / np.sqrt(var.astype(np.float32) + eps)).astype(np.float32)
+    xhat = ((x.data - mean.reshape(view).astype(np.float32))
+            * inv_std.reshape(view)).astype(x.dtype)
+    out_data = gamma.data.reshape(view) * xhat + beta.data.reshape(view)
+
+    count = x.size // c
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * xhat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            g = grad * gamma.data.reshape(view)
+            if training:
+                # Full batch-norm backward (gradients flow through μ and σ).
+                gx = (
+                    g
+                    - g.mean(axis=axes, keepdims=True)
+                    - xhat * (g * xhat).mean(axis=axes, keepdims=True)
+                ) * inv_std.reshape(view)
+            else:
+                gx = g * inv_std.reshape(view)
+            x._accumulate(gx)
+
+    return x._make_child(out_data, (x, gamma, beta), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate along ``axis`` (channels by default)."""
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    ref = tensors[0]
+    return ref._make_child(out_data, tuple(tensors), backward)
+
+
+def channel_split(x: Tensor, start: int, stop: int) -> Tensor:
+    """Slice channels ``[start, stop)`` of an NCHW tensor."""
+    out_data = x.data[:, start:stop]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(x.data)
+        full[:, start:stop] = grad
+        x._accumulate(full)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def flatten(x: Tensor) -> Tensor:
+    """``(N, ...)`` → ``(N, features)``."""
+    return x.reshape(x.shape[0], -1)
+
+
+# ---------------------------------------------------------------- losses
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``logits (N, K)`` against integer ``labels (N,)``."""
+    n = logits.shape[0]
+    ls = log_softmax(logits, axis=1)
+    picked = ls[np.arange(n), labels]
+    return -picked.mean()
+
+
+def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits (N, K)`` against integer labels."""
+    return float((logits.data.argmax(axis=1) == labels).mean())

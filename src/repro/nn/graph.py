@@ -1,0 +1,153 @@
+"""GraphExecutor: run (and train) an :class:`repro.ir.network.Network`.
+
+The IR describes architectures for counting and latency estimation; this
+module makes the *same* description executable on the numpy substrate.
+Every compute node gets a trainable module, plumbing nodes (Add, Concat,
+ChannelSplit, pooling, activations) get functional implementations, and
+the forward pass walks the DAG in topological order.
+
+This closes the loop of the reproduction: the exact graph whose latency
+the systolic simulator estimates can be evaluated and trained — e.g. a
+MobileNet-V3-Small and its FuSe-transformed variant both run end-to-end.
+
+Example:
+    >>> from repro.models import build_model
+    >>> from repro.nn import GraphExecutor, Tensor
+    >>> import numpy as np
+    >>> net = build_model("mobilenet_v2", num_classes=10, resolution=32)
+    >>> model = GraphExecutor(net, seed=0)
+    >>> logits = model(Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32)))
+    >>> logits.shape
+    (1, 10)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..ir import layer as ir
+from ..ir.network import Network, Node
+from . import functional as F
+from .layers import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    FuSeConv1d,
+    Linear,
+    Module,
+    PointwiseConv2d,
+    SqueezeExcite,
+)
+from .tensor import Tensor
+
+
+class GraphExecutor(Module):
+    """Executable, trainable realization of an IR network."""
+
+    def __init__(self, network: Network, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.network = network
+        rng = np.random.default_rng(seed)
+        # Dict is not traversed by Module.children(); keep modules in a list
+        # (discovered) and a name index side by side.
+        self.items = []
+        self._module_of: Dict[str, Module] = {}
+        for node in network:
+            module = self._build_module(node, rng)
+            if module is not None:
+                self.items.append(module)
+                self._module_of[node.name] = module
+
+    # ------------------------------------------------------------- building
+
+    @staticmethod
+    def _build_module(node: Node, rng: np.random.Generator) -> Optional[Module]:
+        spec = node.layer
+        c_in = node.in_shape[0]
+        if isinstance(spec, ir.Conv2D):
+            return Conv2d(
+                c_in,
+                spec.out_channels,
+                kernel=spec.kernel_hw,
+                stride=spec.stride_hw,
+                padding=spec.padding,
+                groups=spec.groups,
+                bias=spec.bias,
+                rng=rng,
+            )
+        if isinstance(spec, ir.DepthwiseConv2D):
+            if spec.multiplier != 1:
+                raise NotImplementedError("depthwise multiplier > 1 is not executable")
+            return DepthwiseConv2d(
+                c_in, kernel=spec.kernel_hw, stride=spec.stride_hw,
+                padding=spec.padding, bias=spec.bias, rng=rng,
+            )
+        if isinstance(spec, ir.PointwiseConv2D):
+            conv = PointwiseConv2d(c_in, spec.out_channels, bias=spec.bias, rng=rng)
+            return conv
+        if isinstance(spec, ir.FuSeConv1D):
+            return FuSeConv1d(
+                c_in, kernel=spec.kernel, axis=spec.axis,
+                stride=spec.stride_hw, padding=spec.padding,
+                bias=spec.bias, rng=rng,
+            )
+        if isinstance(spec, ir.Linear):
+            return Linear(c_in, spec.out_features, bias=spec.bias, rng=rng)
+        if isinstance(spec, ir.BatchNorm):
+            return BatchNorm2d(c_in)
+        if isinstance(spec, ir.Activation):
+            return Activation(spec.fn)
+        if isinstance(spec, ir.SqueezeExcite):
+            return SqueezeExcite(c_in, spec.bottleneck(c_in), rng=rng)
+        # Plumbing layers (Add/Concat/Split/Pool/Flatten) are functional.
+        return None
+
+    # -------------------------------------------------------------- forward
+
+    def forward(self, x: Tensor) -> Tensor:
+        outputs: Dict[str, Tensor] = {}
+        result = x
+        for node in self.network:
+            inputs = [outputs[name] for name in node.inputs] or [x]
+            result = self._run_node(node, inputs)
+            outputs[node.name] = result
+        return result
+
+    def _run_node(self, node: Node, inputs) -> Tensor:
+        spec = node.layer
+        if node.name in self._module_of:
+            return self._module_of[node.name](inputs[0])
+        if isinstance(spec, ir.Add):
+            out = inputs[0]
+            for other in inputs[1:]:
+                out = out + other
+            return out
+        if isinstance(spec, ir.Concat):
+            return F.concat(inputs, axis=1)
+        if isinstance(spec, ir.ChannelSplit):
+            return F.channel_split(inputs[0], spec.start, spec.stop)
+        if isinstance(spec, ir.Pool2D):
+            if spec.op == "avg":
+                if spec.padding not in (0, (0, 0)):
+                    raise NotImplementedError(
+                        "padded average pooling is not executable (avg over "
+                        "zero-padding is ambiguous); use padding=0"
+                    )
+                return F.avg_pool2d(inputs[0], spec.kernel_hw, spec.stride_hw)
+            return F.max_pool2d(
+                inputs[0], spec.kernel_hw, spec.stride_hw, spec.padding
+            )
+        if isinstance(spec, ir.GlobalAvgPool):
+            return F.global_avg_pool(inputs[0])
+        if isinstance(spec, ir.Flatten):
+            return F.flatten(inputs[0])
+        raise NotImplementedError(f"no executable op for {node.kind} ({node.name})")
+
+    # ------------------------------------------------------------ utilities
+
+    def module_for(self, name: str) -> Module:
+        """The trainable module realizing node ``name`` (KeyError if plumbing)."""
+        return self._module_of[name]

@@ -1,0 +1,299 @@
+"""Trainable layers (Module system) over the numpy autograd engine.
+
+Mirrors the layer vocabulary of :mod:`repro.ir.layer` with executable,
+trainable counterparts.  Weight layouts:
+
+* ``Conv2d``:          ``(C_out, C_in // groups, kh, kw)``
+* ``DepthwiseConv2d``: ``(C, 1, kh, kw)``
+* ``FuSeConv1d``:      ``(C, K)`` (axis decides 1×K vs K×1)
+* ``Linear``:          ``(out, in)``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, parameter
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, call protocol."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------ traversal
+
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in self.__dict__.items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ----------------------------------------------------------------- mode
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ----------------------------------------------------------------- call
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------ state i/o
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={missing}, extra={extra}")
+        for name, p in own.items():
+            if p.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {p.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].astype(p.dtype).copy()
+
+
+def _he_scale(fan_in: int) -> float:
+    return float(np.sqrt(2.0 / fan_in))
+
+
+class Conv2d(Module):
+    """Grouped 2D convolution with He initialization."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: F.Pad = 0,
+        groups: int = 1,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        fan_in = (in_channels // groups) * kh * kw
+        self.weight = parameter(
+            rng.normal(0.0, _he_scale(fan_in), size=(out_channels, in_channels // groups, kh, kw))
+        )
+        self.bias = parameter(np.zeros(out_channels)) if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding, self.groups)
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise convolution (one K×K filter per channel)."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: F.Pad = "same",
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        self.weight = parameter(
+            rng.normal(0.0, _he_scale(kh * kw), size=(channels, 1, kh, kw))
+        )
+        self.bias = parameter(np.zeros(channels)) if bias else None
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.depthwise_conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class FuSeConv1d(Module):
+    """One FuSeConv filter group: depthwise 1D filters along rows or columns."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int,
+        axis: str,
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: F.Pad = "same",
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if axis not in ("row", "col"):
+            raise ValueError(f"axis must be 'row' or 'col', got {axis!r}")
+        rng = rng or np.random.default_rng()
+        self.weight = parameter(rng.normal(0.0, _he_scale(kernel), size=(channels, kernel)))
+        self.bias = parameter(np.zeros(channels)) if bias else None
+        self.axis = axis
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.fuse_conv1d(x, self.weight, self.axis, self.stride, self.padding, self.bias)
+
+
+class PointwiseConv2d(Conv2d):
+    """1×1 convolution."""
+
+    def __init__(self, in_channels: int, out_channels: int, bias: bool = False,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(in_channels, out_channels, kernel=1, bias=bias, rng=rng)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = parameter(np.ones(channels))
+        self.beta = parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class Activation(Module):
+    """Stateless activation by name (relu, relu6, hswish, hsigmoid, ...)."""
+
+    def __init__(self, fn: str) -> None:
+        super().__init__()
+        if fn not in F.ACTIVATIONS:
+            raise ValueError(f"unknown activation {fn!r}")
+        self.fn = fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.ACTIVATIONS[self.fn](x)
+
+
+class Linear(Module):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.weight = parameter(
+            rng.normal(0.0, _he_scale(in_features), size=(out_features, in_features))
+        )
+        self.bias = parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class GlobalAvgPool(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.items.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.items:
+            x = module(x)
+        return x
+
+
+class SqueezeExcite(Module):
+    """Squeeze-and-Excitation: pool → FC → ReLU → FC → h-sigmoid → scale."""
+
+    def __init__(self, channels: int, se_channels: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(channels, se_channels, rng=rng)
+        self.fc2 = Linear(se_channels, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        squeezed = F.global_avg_pool(x)
+        hidden = F.relu(self.fc1(squeezed))
+        scale = F.hsigmoid(self.fc2(hidden))
+        n, c = scale.shape
+        return x * scale.reshape(n, c, 1, 1)

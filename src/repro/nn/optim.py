@@ -1,0 +1,238 @@
+"""Optimizers matching the paper's training recipe (§V-A.2).
+
+The paper trains with "standard rmsprop optimizer with 0.9 momentum, an
+initial learning rate of 0.016 ... exponential decay of 0.97 for every 2.4
+epochs ... exponential moving averages of all weights with a decay of
+0.9999, and ... weight decay of 1e-5".  This module implements exactly
+those pieces: :class:`RMSprop`, :class:`ExponentialDecay` and
+:class:`EMA`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class RMSprop:
+    """RMSprop with momentum (TensorFlow/PyTorch semantics).
+
+    ``sq ← α·sq + (1-α)·g²``; ``buf ← m·buf + g/√(sq+ε)``; ``p ← p - lr·buf``.
+    Weight decay is added to the gradient (L2 regularization).
+    """
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 0.016,
+        alpha: float = 0.9,
+        momentum: float = 0.9,
+        eps: float = 1e-8,
+        weight_decay: float = 1e-5,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.alpha = alpha
+        self.momentum = momentum
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_avg = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+        self._buf = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, sq, buf in zip(self.params, self._square_avg, self._buf):
+            if p.grad is None:
+                continue
+            grad = p.grad.astype(np.float32)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data.astype(np.float32)
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * grad * grad
+            buf *= self.momentum
+            buf += grad / (np.sqrt(sq) + self.eps)
+            p.data = (p.data.astype(np.float32) - self.lr * buf).astype(p.dtype)
+
+
+class SGD:
+    """Plain SGD with optional momentum — a simple baseline optimizer."""
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._buf = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, buf in zip(self.params, self._buf):
+            if p.grad is None:
+                continue
+            grad = p.grad.astype(np.float32)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data.astype(np.float32)
+            if self.momentum:
+                buf *= self.momentum
+                buf += grad
+                grad = buf
+            p.data = (p.data.astype(np.float32) - self.lr * grad).astype(p.dtype)
+
+
+class ExponentialDecay:
+    """Learning-rate schedule: multiply by ``decay`` every ``every`` epochs.
+
+    The paper uses decay 0.97 every 2.4 epochs; fractional periods are
+    handled by stepping per epoch (possibly fractional).
+    """
+
+    def __init__(self, optimizer, decay: float = 0.97, every: float = 2.4) -> None:
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.optimizer = optimizer
+        self.decay = decay
+        self.every = every
+        self.base_lr = optimizer.lr
+        self.epochs = 0.0
+
+    def step(self, epochs: float = 1.0) -> float:
+        """Advance by ``epochs`` (can be fractional); returns the new lr."""
+        self.epochs += epochs
+        self.optimizer.lr = self.base_lr * self.decay ** (self.epochs / self.every)
+        return self.optimizer.lr
+
+
+class LossScaler:
+    """Dynamic loss scaling for FP16 training (§V-A.2 uses FP16 weights
+    and activations).
+
+    Half-precision gradients underflow; scaling the loss by ``S`` shifts
+    gradients into representable range, and the optimizer step divides
+    them back.  The scale grows every ``growth_interval`` successful steps
+    and backs off on overflow (the standard AMP recipe).
+
+    Usage::
+
+        scaler = LossScaler()
+        (scaler.scale_loss(loss)).backward()
+        if scaler.unscale_and_check(model.parameters()):
+            optimizer.step()
+        scaler.update()
+    """
+
+    def __init__(
+        self,
+        scale: float = 1024.0,
+        growth_interval: int = 200,
+        backoff: float = 0.5,
+        growth: float = 2.0,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError(f"initial scale must be positive, got {scale}")
+        self.scale = scale
+        self.growth_interval = growth_interval
+        self.backoff = backoff
+        self.growth = growth
+        self._good_steps = 0
+        self._last_step_ok = True
+
+    def scale_loss(self, loss):
+        return loss * self.scale
+
+    def unscale_and_check(self, params: List[Tensor]) -> bool:
+        """Divide gradients by the scale; False if any is non-finite.
+
+        On overflow the gradients are zeroed (the step must be skipped)
+        and the scale backs off at the next :meth:`update`.
+        """
+        finite = True
+        for p in params:
+            if p.grad is None:
+                continue
+            if not np.all(np.isfinite(p.grad)):
+                finite = False
+                break
+        if not finite:
+            for p in params:
+                p.grad = None
+            self._last_step_ok = False
+            return False
+        inv = 1.0 / self.scale
+        for p in params:
+            if p.grad is not None:
+                p.grad = (p.grad.astype(np.float32) * inv)
+        self._last_step_ok = True
+        return True
+
+    def update(self) -> None:
+        if self._last_step_ok:
+            self._good_steps += 1
+            if self._good_steps >= self.growth_interval:
+                self.scale *= self.growth
+                self._good_steps = 0
+        else:
+            self.scale = max(self.scale * self.backoff, 1.0)
+            self._good_steps = 0
+
+
+class EMA:
+    """Exponential moving average of parameters (paper decay: 0.9999).
+
+    Use :meth:`update` after every optimizer step, and
+    :meth:`swap`/:meth:`restore` (or ``averaged_state``) for evaluation.
+    """
+
+    def __init__(self, params: List[Tensor], decay: float = 0.9999,
+                 warmup: bool = True) -> None:
+        if not 0 < decay < 1:
+            raise ValueError(f"EMA decay must be in (0, 1), got {decay}")
+        self.params = list(params)
+        self.decay = decay
+        #: TF-style warmup: effective decay min(decay, (1+n)/(10+n)) so that
+        #: short runs track the live weights instead of the initialization.
+        self.warmup = warmup
+        self.updates = 0
+        self.shadow = [p.data.astype(np.float32).copy() for p in self.params]
+        self._backup: Optional[List[np.ndarray]] = None
+
+    def update(self) -> None:
+        self.updates += 1
+        d = self.decay
+        if self.warmup:
+            d = min(d, (1.0 + self.updates) / (10.0 + self.updates))
+        for shadow, p in zip(self.shadow, self.params):
+            shadow *= d
+            shadow += (1.0 - d) * p.data.astype(np.float32)
+
+    def swap(self) -> None:
+        """Load averaged weights into the model (keeping a backup)."""
+        if self._backup is not None:
+            raise RuntimeError("EMA.swap() called twice without restore()")
+        self._backup = [p.data.copy() for p in self.params]
+        for p, shadow in zip(self.params, self.shadow):
+            p.data = shadow.astype(p.dtype).copy()
+
+    def restore(self) -> None:
+        """Restore the live training weights after :meth:`swap`."""
+        if self._backup is None:
+            raise RuntimeError("EMA.restore() without a prior swap()")
+        for p, backup in zip(self.params, self._backup):
+            p.data = backup
+        self._backup = None

@@ -1,0 +1,102 @@
+"""Post-training weight quantization (extension).
+
+The paper runs FP16 end to end; production systolic accelerators (TPUv1
+class) run int8.  This module provides symmetric linear weight
+quantization in the "fake-quant" style: weights are rounded to the
+``bits``-bit integer grid and immediately dequantized, so the regular
+float kernels evaluate the quantized network — the standard way to
+measure post-training-quantization accuracy without integer kernels.
+
+Only weights are quantized (weight-only PTQ); activations stay in the
+model's float dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .layers import Module
+
+
+@dataclass(frozen=True)
+class QuantizationScale:
+    """Per-tensor or per-channel symmetric scale factors."""
+
+    scale: np.ndarray  # scalar array or per-channel vector
+    bits: int
+    axis: Optional[int]  # channel axis, or None for per-tensor
+
+    @property
+    def levels(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+
+def quantize_array(
+    values: np.ndarray, bits: int = 8, axis: Optional[int] = 0
+) -> Tuple[np.ndarray, QuantizationScale]:
+    """Symmetric fake-quantization of an array.
+
+    Args:
+        values: float array.
+        bits: integer width (2–16).
+        axis: per-channel axis (output-channel convention), or None for a
+            single per-tensor scale.
+
+    Returns:
+        (quantize-dequantized values, the scale metadata).
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    levels = 2 ** (bits - 1) - 1
+    if axis is None:
+        max_abs = np.max(np.abs(values))
+        scale = np.asarray(max_abs / levels if max_abs > 0 else 1.0)
+    else:
+        reduce_axes = tuple(d for d in range(values.ndim) if d != axis)
+        max_abs = np.max(np.abs(values), axis=reduce_axes, keepdims=True)
+        scale = np.where(max_abs > 0, max_abs / levels, 1.0)
+    q = np.clip(np.round(values / scale), -levels, levels)
+    return (q * scale).astype(values.dtype), QuantizationScale(
+        scale=np.squeeze(scale), bits=bits, axis=axis
+    )
+
+
+def fake_quantize_model(
+    model: Module, bits: int = 8, per_channel: bool = True
+) -> Dict[str, QuantizationScale]:
+    """Quantize every weight matrix/filter bank of a model in place.
+
+    Biases and BatchNorm affine parameters are left in float (standard
+    practice — they fold into the accumulator).  Returns the scale used
+    for each quantized parameter.
+    """
+    scales: Dict[str, QuantizationScale] = {}
+    for name, param in model.named_parameters():
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf != "weight":
+            continue
+        axis = 0 if per_channel else None
+        quantized, scale = quantize_array(param.data, bits=bits, axis=axis)
+        param.data = quantized
+        scales[name] = scale
+    return scales
+
+
+def quantization_error(model: Module, bits: int = 8) -> float:
+    """Mean relative L2 weight error a ``bits``-bit quantization would cause.
+
+    Does not modify the model.
+    """
+    errors = []
+    for name, param in model.named_parameters():
+        if name.rsplit(".", 1)[-1] != "weight":
+            continue
+        quantized, _ = quantize_array(param.data.copy(), bits=bits)
+        denom = float(np.linalg.norm(param.data))
+        if denom == 0:
+            continue
+        errors.append(float(np.linalg.norm(quantized - param.data)) / denom)
+    return float(np.mean(errors)) if errors else 0.0

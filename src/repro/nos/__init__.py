@@ -1,0 +1,17 @@
+"""Neural Operator Search: the paper's §VI future-work direction."""
+
+from .search import (
+    CANDIDATES,
+    LayerOption,
+    SearchResult,
+    pareto_front,
+    search_operators,
+)
+
+__all__ = [
+    "CANDIDATES",
+    "LayerOption",
+    "SearchResult",
+    "pareto_front",
+    "search_operators",
+]

@@ -1,0 +1,232 @@
+"""Neural Operator Search (NOS) — the paper's §VI proposal, made concrete.
+
+The paper frames FuSeConv as one point found by *manual* operator search
+and calls for automating the choice.  This module implements that search
+for the operator family {depthwise, FuSe-Full, FuSe-Half} assigned **per
+layer**: minimize network latency on a target array subject to a
+parameter budget (the capacity proxy for accuracy that Table I's
+params/accuracy correlation motivates).
+
+Each depthwise layer's choice is independent in both objective (its
+latency contribution) and constraint (its parameter count), so the
+problem is a multiple-choice knapsack, solved exactly by dynamic
+programming over a quantized parameter budget.
+
+The paper's fixed variants are corner cases: all-Full, all-Half, and the
+greedy 50 % selections — :func:`search_operators` generalizes them and
+typically finds mixes that dominate the fixed variants on the
+latency/params Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.fuseconv import split_channels
+from ..core.transform import to_mixed_fuseconv
+from ..ir.layer import DepthwiseConv2D, FuSeConv1D
+from ..ir.network import Network, Node
+from ..systolic.config import ArrayConfig, PAPER_ARRAY
+from ..systolic.latency import mapping_stats
+
+#: The operator candidates: design knob D, or None to keep depthwise.
+CANDIDATES: Tuple[Optional[int], ...] = (None, 1, 2)
+
+
+@dataclass(frozen=True)
+class LayerOption:
+    """One candidate operator for one depthwise layer."""
+
+    node: str
+    choice: Optional[int]  # None = keep depthwise, 1 = Full, 2 = Half
+    cycles: int
+    params: int
+
+    @property
+    def label(self) -> str:
+        names = {None: "depthwise", 1: "fuse-full", 2: "fuse-half"}
+        return names.get(self.choice, f"fuse-d{self.choice}")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an operator search."""
+
+    choices: Dict[str, Optional[int]]
+    cycles: int           # modeled cycles of the *searched* layers
+    params: int           # parameters of the searched layers
+    options: List[List[LayerOption]] = field(default_factory=list)
+
+    def build(self, network: Network) -> Network:
+        """Materialize the searched operator mix as a network."""
+        return to_mixed_fuseconv(network, self.choices, name_suffix="NOS")
+
+
+def _options_for(
+    node: Node,
+    array: ArrayConfig,
+    candidates: Tuple[Optional[int], ...] = CANDIDATES,
+) -> List[LayerOption]:
+    """Latency/params of each candidate operator for one depthwise node."""
+    layer = node.layer
+    assert isinstance(layer, DepthwiseConv2D)
+    kh, kw = layer.kernel_hw
+    if kh != kw:
+        # Non-square kernels have no FuSe replacement; keep depthwise.
+        keep = mapping_stats(layer, node.in_shape, node.out_shape, array)
+        return [LayerOption(node.name, None, keep.cycles, node.params())]
+
+    options = []
+    for choice in candidates:
+        if choice is None:
+            stats = mapping_stats(layer, node.in_shape, node.out_shape, array)
+            options.append(
+                LayerOption(node.name, None, stats.cycles, node.params())
+            )
+            continue
+        c = node.in_shape[0]
+        c_row, c_col = split_channels(c, choice)
+        cycles = 0
+        params = 0
+        for axis, channels in (("row", c_row), ("col", c_col)):
+            if channels == 0:
+                continue
+            spec = FuSeConv1D(
+                axis=axis, kernel=kh, stride=layer.stride_hw, padding=layer.padding
+            )
+            in_shape = (channels, node.in_shape[1], node.in_shape[2])
+            cycles += mapping_stats(spec, in_shape, spec.out_shape(in_shape), array).cycles
+            params += spec.params(in_shape)
+        options.append(LayerOption(node.name, choice, cycles, params))
+    return options
+
+
+def search_operators(
+    network: Network,
+    latency_budget: Optional[int] = None,
+    array: Optional[ArrayConfig] = None,
+    buckets: int = 2048,
+    candidates: Tuple[Optional[int], ...] = CANDIDATES,
+) -> SearchResult:
+    """Choose an operator per depthwise layer: maximize capacity under a
+    latency budget.
+
+    Capacity (parameter count) is the accuracy proxy — Table I shows
+    accuracy tracking parameters across the variants (Full > baseline >
+    Half).  FuSe-Half is simultaneously the fastest *and* smallest option,
+    so pure latency minimization is trivial (all-Half); the interesting
+    search is how much capacity can be kept while meeting a latency
+    target.
+
+    Args:
+        network: the baseline network.
+        latency_budget: maximum total cycles across the searched
+            (depthwise-stage) layers on ``array``.  ``None`` = no latency
+            constraint: simply keep the highest-capacity option per layer.
+        array: target array (default: the paper's 64×64).
+        buckets: DP resolution; the budget axis is quantized into this
+            many steps (search is exact up to that resolution, with
+            per-option cycle costs rounded *up* — never optimistic).
+
+    Returns:
+        The optimal :class:`SearchResult` (raises ValueError if even the
+        fastest option per layer exceeds the budget).
+
+    Note:
+        Pointwise convolutions downstream of a Full replacement widen from
+        C to 2C inputs; that effect belongs to the same block and is
+        intentionally not modeled here, keeping the knapsack separable —
+        mirroring the paper's 50 %-selection heuristic.  Evaluate the
+        materialized network with ``estimate_network`` for the full
+        picture.
+    """
+    array = array or PAPER_ARRAY
+    depthwise = network.find(DepthwiseConv2D)
+    options = [_options_for(node, array, candidates) for node in depthwise]
+
+    if not options:
+        return SearchResult(choices={}, cycles=0, params=0, options=[])
+
+    if latency_budget is None:
+        best = [max(opts, key=lambda o: (o.params, -o.cycles)) for opts in options]
+        return SearchResult(
+            choices={o.node: o.choice for o in best},
+            cycles=sum(o.cycles for o in best),
+            params=sum(o.params for o in best),
+            options=options,
+        )
+
+    quantum = max(1, latency_budget // buckets)
+    budget_q = latency_budget // quantum
+    minimum_q = sum(
+        min(-(-o.cycles // quantum) for o in opts) for opts in options
+    )
+    if minimum_q > budget_q:
+        raise ValueError(
+            f"latency budget {latency_budget} cycles below the minimum "
+            f"achievable ~{minimum_q * quantum} for {len(options)} layers"
+        )
+
+    # Multiple-choice knapsack DP over quantized cycles; value = params.
+    NEG = -1
+    dp: List[int] = [NEG] * (budget_q + 1)
+    picks: List[Optional[List[LayerOption]]] = [None] * (budget_q + 1)
+    dp[0] = 0
+    picks[0] = []
+    for opts in options:
+        new_dp = [NEG] * (budget_q + 1)
+        new_picks: List[Optional[List[LayerOption]]] = [None] * (budget_q + 1)
+        for b in range(budget_q + 1):
+            if dp[b] == NEG:
+                continue
+            for option in opts:
+                cost_q = -(-option.cycles // quantum)  # ceil: never optimistic
+                nb = b + cost_q
+                if nb > budget_q:
+                    continue
+                value = dp[b] + option.params
+                if value > new_dp[nb]:
+                    new_dp[nb] = value
+                    new_picks[nb] = picks[b] + [option]  # type: ignore[operator]
+        dp, picks = new_dp, new_picks
+
+    best_b = max(
+        (b for b in range(budget_q + 1) if dp[b] != NEG), key=lambda b: dp[b]
+    )
+    chosen = picks[best_b]
+    assert chosen is not None
+    return SearchResult(
+        choices={o.node: o.choice for o in chosen},
+        cycles=sum(o.cycles for o in chosen),
+        params=sum(o.params for o in chosen),
+        options=options,
+    )
+
+
+def pareto_front(
+    network: Network,
+    array: Optional[ArrayConfig] = None,
+    points: int = 8,
+) -> List[SearchResult]:
+    """Sweep latency budgets from all-fastest to all-largest.
+
+    Returns one :class:`SearchResult` per budget — the capacity/latency
+    frontier on which the paper's fixed variants (all-Half, all-Full,
+    baseline) are individual points.
+    """
+    array = array or PAPER_ARRAY
+    depthwise = network.find(DepthwiseConv2D)
+    options = [_options_for(node, array) for node in depthwise]
+    if not options:
+        return []
+    lo = sum(min(o.cycles for o in opts) for opts in options)
+    hi = sum(max(o.cycles for o in opts) for opts in options)
+    results = []
+    for i in range(points):
+        budget = lo + (hi - lo) * i // max(points - 1, 1)
+        # 2 % slack absorbs the DP's ceil quantization (≤ layers × quantum),
+        # so the endpoints resolve to all-fastest / all-largest exactly.
+        budget = budget + max(budget // 50, 1)
+        results.append(search_operators(network, budget, array))
+    return results

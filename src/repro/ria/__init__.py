@@ -1,0 +1,41 @@
+"""Regular Iterative Algorithm formalism (§II-B/§III of the paper)."""
+
+from .algorithms import (
+    ALGORITHMS,
+    conv1d,
+    conv2d_direct,
+    conv2d_refactored,
+    im2col_matmul,
+    matmul,
+    pointwise_conv,
+)
+from .analysis import RIAResult, Violation, check_ria, dependence_vectors
+from .expr import Affine, IndexExpr, NonAffine, floor_div, mod
+from .projection import SpaceTimeMapping, enumerate_schedules, synthesize_mapping
+from .recurrence import Recurrence, RecurrenceSystem, StructureError, VarRef
+
+__all__ = [
+    "ALGORITHMS",
+    "conv1d",
+    "conv2d_direct",
+    "conv2d_refactored",
+    "im2col_matmul",
+    "matmul",
+    "pointwise_conv",
+    "RIAResult",
+    "Violation",
+    "check_ria",
+    "dependence_vectors",
+    "Affine",
+    "IndexExpr",
+    "NonAffine",
+    "floor_div",
+    "mod",
+    "SpaceTimeMapping",
+    "enumerate_schedules",
+    "synthesize_mapping",
+    "Recurrence",
+    "RecurrenceSystem",
+    "StructureError",
+    "VarRef",
+]

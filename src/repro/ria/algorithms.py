@@ -1,0 +1,187 @@
+"""Canned recurrence systems for the algorithms the paper analyzes.
+
+* :func:`matmul` — Fig. 1(b): matrix multiplication *is* an RIA.
+* :func:`conv1d` — Fig. 7(a): 1D convolution *is* an RIA (hence FuSeConv is
+  a systolic algorithm, §IV-B).
+* :func:`conv2d_direct` — Fig. 2(b): 2D convolution in single-assignment
+  form needs ``⌊k/K⌋`` and ``k mod K`` index terms — *not* an RIA.
+* :func:`conv2d_refactored` — §III-A's attempted refactor: products mapped
+  to the k axis, but A/B indices still depend on k — *not* an RIA.
+* :func:`im2col_matmul` — §III-B: after im2col the computation is a matrix
+  multiplication again (RIA), at the price of duplicated data and, for
+  depthwise convolution, a single-column mapping.
+* :func:`pointwise_conv` — a vector dot-product per output: RIA (§IV-B).
+"""
+
+from __future__ import annotations
+
+from .expr import Affine, NonAffine
+from .recurrence import RecurrenceSystem, VarRef
+
+
+def matmul() -> RecurrenceSystem:
+    """Matrix multiplication recurrences (Fig. 1b).
+
+    ``A[i,j,k] = A[i,j-1,k]``; ``B[i,j,k] = B[i-1,j,k]``;
+    ``C[i,j,k] = C[i,j,k-1] + A[i,j,k]·B[i,j,k]``.
+    """
+    sys = RecurrenceSystem("matmul", index_names=("i", "j", "k"))
+    sys.add("A", ("i", "j", "k"), [VarRef.simple("A", "i", ("j", -1), "k")],
+            note="A propagates along j (array rows)")
+    sys.add("B", ("i", "j", "k"), [VarRef.simple("B", ("i", -1), "j", "k")],
+            note="B propagates along i (array columns)")
+    sys.add(
+        "C",
+        ("i", "j", "k"),
+        [
+            VarRef.simple("C", "i", "j", ("k", -1)),
+            VarRef.simple("A", "i", "j", "k"),
+            VarRef.simple("B", "i", "j", "k"),
+        ],
+        note="C accumulates along k (time)",
+    )
+    return sys
+
+
+def conv1d() -> RecurrenceSystem:
+    """1D convolution ``y_i = Σ_k w_k · x_{i+k}`` in RIA form (Fig. 7a).
+
+    Weights propagate across outputs; the input sample needed at ``(i, k)``
+    equals the one at ``(i-1, k+1)``, giving constant offsets throughout.
+    """
+    sys = RecurrenceSystem("conv1d", index_names=("i", "k"))
+    sys.add("W", ("i", "k"), [VarRef.simple("W", ("i", -1), "k")],
+            note="weight w_k reused by every output i")
+    sys.add("X", ("i", "k"), [VarRef.simple("X", ("i", -1), ("k", 1))],
+            note="x_{i+k} was x at (i-1, k+1)")
+    sys.add(
+        "Y",
+        ("i", "k"),
+        [
+            VarRef.simple("Y", "i", ("k", -1)),
+            VarRef.simple("W", "i", "k"),
+            VarRef.simple("X", "i", "k"),
+        ],
+        note="output accumulates over the K taps",
+    )
+    return sys
+
+
+def conv2d_direct(kernel: int = 3) -> RecurrenceSystem:
+    """2D convolution in single-assignment form (Fig. 2b) — NOT an RIA.
+
+    ``C[i,j,k] = C[i,j,k-1] + A[i+⌊k/K⌋, j+k%K]·B[⌊k/K⌋, k%K]``: the A and
+    B index expressions depend on k non-affinely, so the index offsets are
+    not constants.
+    """
+    k = kernel
+    sys = RecurrenceSystem(f"conv2d_direct(K={k})", index_names=("i", "j", "k"))
+    sys.add(
+        "C",
+        ("i", "j", "k"),
+        [
+            VarRef.simple("C", "i", "j", ("k", -1)),
+            VarRef(
+                "A",
+                (
+                    NonAffine(f"i + floor(k/{k})", frozenset({"i", "k"})),
+                    NonAffine(f"j + k%{k}", frozenset({"j", "k"})),
+                    Affine.const_expr(0),
+                ),
+            ),
+            VarRef(
+                "B",
+                (
+                    NonAffine(f"floor(k/{k})", frozenset({"k"})),
+                    NonAffine(f"k%{k}", frozenset({"k"})),
+                    Affine.const_expr(0),
+                ),
+            ),
+        ],
+        note="the K×K receptive field is serialized along k",
+    )
+    return sys
+
+
+def conv2d_refactored(kernel: int = 3) -> RecurrenceSystem:
+    """§III-A's attempted refactor of 2D convolution — still NOT an RIA.
+
+    Mapping the K² products to k gives C a constant self-offset, but the
+    A/B grid accesses still make the i,j offsets depend on k: "in the same
+    recurrence relation, the i,j index of C remain constant while those of
+    A,B depend on k".
+    """
+    k = kernel
+    sys = RecurrenceSystem(f"conv2d_refactored(K={k})", index_names=("i", "j", "k"))
+    sys.add(
+        "C",
+        ("i", "j", "k"),
+        [
+            VarRef.simple("C", "i", "j", ("k", -1)),
+            VarRef(
+                "A",
+                (
+                    NonAffine(f"i + r(k)", frozenset({"i", "k"})),
+                    NonAffine(f"j + s(k)", frozenset({"j", "k"})),
+                    Affine.var("k"),
+                ),
+            ),
+            VarRef(
+                "B",
+                (
+                    NonAffine("r(k)", frozenset({"k"})),
+                    NonAffine("s(k)", frozenset({"k"})),
+                    Affine.var("k"),
+                ),
+            ),
+        ],
+        note="any access order (r(k), s(k)) over the K×K grid depends on k",
+    )
+    return sys
+
+
+def im2col_matmul() -> RecurrenceSystem:
+    """Convolution after im2col (§III-B): a matrix multiplication — RIA.
+
+    Identical structure to :func:`matmul`; for *depthwise* convolution the
+    j extent is 1 (a single filter column), which is why the mapping wastes
+    the array (Fig. 2c).
+    """
+    sys = matmul()
+    sys.name = "im2col_matmul"
+    return sys
+
+
+def pointwise_conv() -> RecurrenceSystem:
+    """1×1 (pointwise) convolution as dot products — RIA (§IV-B).
+
+    For output pixel p and filter f: ``Y[p,f,c] = Y[p,f,c-1] + X[p,f,c]·W[p,f,c]``
+    with X propagating across filters and W across pixels.
+    """
+    sys = RecurrenceSystem("pointwise_conv", index_names=("p", "f", "c"))
+    sys.add("X", ("p", "f", "c"), [VarRef.simple("X", "p", ("f", -1), "c")],
+            note="input pixel reused by every filter")
+    sys.add("W", ("p", "f", "c"), [VarRef.simple("W", ("p", -1), "f", "c")],
+            note="filter reused by every pixel")
+    sys.add(
+        "Y",
+        ("p", "f", "c"),
+        [
+            VarRef.simple("Y", "p", "f", ("c", -1)),
+            VarRef.simple("X", "p", "f", "c"),
+            VarRef.simple("W", "p", "f", "c"),
+        ],
+        note="dot product over channels",
+    )
+    return sys
+
+
+#: name -> builder, for CLI/examples.
+ALGORITHMS = {
+    "matmul": matmul,
+    "conv1d": conv1d,
+    "conv2d_direct": conv2d_direct,
+    "conv2d_refactored": conv2d_refactored,
+    "im2col_matmul": im2col_matmul,
+    "pointwise_conv": pointwise_conv,
+}

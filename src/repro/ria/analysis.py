@@ -1,0 +1,158 @@
+"""RIA condition checking and dependence extraction (§II-B, §III-A).
+
+:func:`check_ria` decides whether a recurrence system is a Regular
+Iterative Algorithm — the super-set of systolic algorithms the paper uses
+to prove 2D convolution cannot run systolically.  For systems that pass,
+:func:`dependence_vectors` extracts the constant index offsets, which feed
+the space-time mapping synthesis in :mod:`repro.ria.projection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .recurrence import Recurrence, RecurrenceSystem, StructureError, VarRef
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reason a system fails to be an RIA."""
+
+    recurrence: str
+    reference: str
+    dimension: Optional[int]
+    reason: str
+
+    def __str__(self) -> str:
+        where = f" (dimension {self.dimension})" if self.dimension is not None else ""
+        return f"{self.recurrence}: {self.reference}{where}: {self.reason}"
+
+
+@dataclass
+class RIAResult:
+    """Outcome of :func:`check_ria`."""
+
+    system: str
+    is_ria: bool
+    violations: List[Violation] = field(default_factory=list)
+    #: for RIA systems: (recurrence lhs, ref name) -> constant offset vector
+    offsets: Dict[Tuple[str, str], Tuple[int, ...]] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        if self.is_ria:
+            lines = [f"{self.system}: RIA ✓ (all index offsets constant)"]
+            for (lhs, ref), off in self.offsets.items():
+                lines.append(f"  {lhs} <- {ref}: offset {list(off)}")
+            return "\n".join(lines)
+        lines = [f"{self.system}: NOT an RIA ✗"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _ref_offsets(rec: Recurrence, ref: VarRef) -> Tuple[Optional[Tuple[int, ...]], List[Violation]]:
+    """Constant offset vector of one reference, or the violations found.
+
+    A reference is RIA-compatible when it has the same arity as the LHS and
+    every dimension's expression is ``lhs_index + constant``.  References to
+    lower-arity *input* variables are handled by the caller (inputs are
+    conventionally embedded with identity indices in single-assignment
+    form; systems in :mod:`repro.ria.algorithms` always use full-arity
+    propagation variables, matching Fig. 1b).
+    """
+    violations: List[Violation] = []
+    if len(ref.indices) != len(rec.lhs_indices):
+        violations.append(
+            Violation(
+                recurrence=str(rec),
+                reference=str(ref),
+                dimension=None,
+                reason=(
+                    f"arity {len(ref.indices)} differs from LHS arity "
+                    f"{len(rec.lhs_indices)}; offsets are undefined"
+                ),
+            )
+        )
+        return None, violations
+
+    offsets: List[int] = []
+    for dim, (lhs_index, expr) in enumerate(zip(rec.lhs_indices, ref.indices)):
+        offset = expr.offset_from(lhs_index)
+        if offset is None:
+            depends = ", ".join(sorted(expr.depends_on)) or "nothing"
+            violations.append(
+                Violation(
+                    recurrence=str(rec),
+                    reference=str(ref),
+                    dimension=dim,
+                    reason=(
+                        f"index expression '{expr}' is not '{lhs_index} + const' "
+                        f"(depends on {depends}) — offset varies with the "
+                        "iteration point"
+                    ),
+                )
+            )
+        else:
+            offsets.append(offset)
+    if violations:
+        return None, violations
+    return tuple(offsets), []
+
+
+def check_ria(system: RecurrenceSystem) -> RIAResult:
+    """Check the paper's three RIA conditions on a recurrence system."""
+    result = RIAResult(system=system.name, is_ria=True)
+
+    # Conditions (a) and (b): structural.
+    try:
+        system.variable_arities()
+    except StructureError as exc:
+        result.is_ria = False
+        result.violations.append(
+            Violation(recurrence="<system>", reference="<arity>", dimension=None,
+                      reason=str(exc))
+        )
+    single_assignment_issue = system.check_single_assignment()
+    if single_assignment_issue:
+        result.is_ria = False
+        result.violations.append(
+            Violation(recurrence="<system>", reference="<assignment>",
+                      dimension=None, reason=single_assignment_issue)
+        )
+
+    # Condition (c): constant index offsets.
+    for rec in system.recurrences:
+        for ref in rec.rhs:
+            offsets, violations = _ref_offsets(rec, ref)
+            if violations:
+                result.is_ria = False
+                result.violations.extend(violations)
+            else:
+                result.offsets[(rec.lhs_var, ref.name)] = offsets  # type: ignore[assignment]
+    return result
+
+
+def dependence_vectors(system: RecurrenceSystem) -> List[Tuple[int, ...]]:
+    """Distinct non-zero dependence vectors of an RIA system.
+
+    A reference with offset ``d`` means iteration ``p`` reads the value
+    produced at ``p + d``; the *dependence* (producer → consumer) is
+    ``-d``.  Zero offsets (same-point reads) impose no inter-PE
+    communication and are dropped.
+
+    Raises:
+        ValueError: if the system is not an RIA.
+    """
+    result = check_ria(system)
+    if not result.is_ria:
+        raise ValueError(
+            f"{system.name} is not an RIA:\n" + "\n".join(str(v) for v in result.violations)
+        )
+    deps = []
+    seen = set()
+    for offset in result.offsets.values():
+        dep = tuple(-x for x in offset)
+        if any(dep) and dep not in seen:
+            seen.add(dep)
+            deps.append(dep)
+    return deps

@@ -1,0 +1,99 @@
+"""Index expressions for recurrence relations.
+
+A variable reference inside a recurrence indexes the variable with one
+expression per dimension.  For the RIA analysis (§II-B) what matters is
+whether ``RHS index − LHS index`` is a *constant*: we therefore represent
+expressions either as :class:`Affine` forms over the iteration indices
+(where the question is decidable by inspecting coefficients) or as
+:class:`NonAffine` opaque terms such as ``⌊k/K⌋`` and ``k mod K`` — the
+terms that appear when 2D convolution is forced into single-assignment form
+(Fig. 2b) and that break the RIA property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Union
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine expression ``Σ coeffs[v]·v + const`` over iteration indices."""
+
+    coeffs: Mapping[str, int] = field(default_factory=dict)
+    const: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalize: drop zero coefficients so equality/inspection is canonical.
+        cleaned = {v: c for v, c in self.coeffs.items() if c != 0}
+        object.__setattr__(self, "coeffs", dict(sorted(cleaned.items())))
+
+    @classmethod
+    def var(cls, name: str, shift: int = 0) -> "Affine":
+        """The expression ``name + shift`` (the common case, e.g. ``k-1``)."""
+        return cls(coeffs={name: 1}, const=shift)
+
+    @classmethod
+    def const_expr(cls, value: int) -> "Affine":
+        return cls(coeffs={}, const=value)
+
+    @property
+    def depends_on(self) -> FrozenSet[str]:
+        return frozenset(self.coeffs)
+
+    def offset_from(self, index_name: str) -> Union[int, None]:
+        """``self − index_name`` if that difference is a constant, else None.
+
+        This is the paper's "index offset" (§II-B): the reference is RIA-
+        compatible in this dimension iff the expression is exactly
+        ``index_name + c``.
+        """
+        if self.coeffs == {index_name: 1}:
+            return self.const
+        return None
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in self.coeffs.items():
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}{v}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class NonAffine:
+    """An opaque non-affine index term, e.g. ``⌊k/K⌋`` or ``k mod K``.
+
+    Carries the indices it depends on so violation messages can explain
+    *why* the offset is not constant.
+    """
+
+    description: str
+    depends_on: FrozenSet[str] = frozenset()
+
+    def offset_from(self, index_name: str) -> None:
+        """A non-affine expression never has a constant offset."""
+        return None
+
+    def __str__(self) -> str:
+        return self.description
+
+
+#: Any index expression.
+IndexExpr = Union[Affine, NonAffine]
+
+
+def floor_div(index: str, divisor: int) -> NonAffine:
+    """``⌊index / divisor⌋`` — the term 2D convolution needs (Fig. 2b)."""
+    return NonAffine(f"floor({index}/{divisor})", frozenset({index}))
+
+
+def mod(index: str, divisor: int) -> NonAffine:
+    """``index mod divisor`` — the other offending term in Fig. 2b."""
+    return NonAffine(f"{index}%{divisor}", frozenset({index}))

@@ -1,0 +1,171 @@
+"""Space-time mapping of RIA systems onto systolic arrays (§II-C).
+
+Given an RIA's constant dependence vectors, classical systolic synthesis
+(Rao & Kailath; Quinton) picks
+
+* a **schedule vector** λ with ``λ·d ≥ 1`` for every dependence ``d``
+  (every value is produced before it is consumed), and
+* a **projection direction** u with ``λ·u ≠ 0`` (two iterations mapped to
+  the same PE never execute in the same cycle).
+
+Projecting the iteration space along u yields the PE coordinates; λ·p is
+the firing time.  For matrix multiplication with λ=(1,1,1) and u=(0,0,1)
+this recovers exactly Fig. 1(d): a 2D array indexed by (i, j) where C is
+stationary — the output-stationary dataflow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .analysis import dependence_vectors
+from .recurrence import RecurrenceSystem
+
+
+@dataclass(frozen=True)
+class SpaceTimeMapping:
+    """A (schedule, projection) pair for an RIA system.
+
+    Attributes:
+        schedule: λ, the timing vector.
+        projection: u, the direction collapsed into time.
+        kept_dims: indices of the iteration axes that become PE coordinates.
+        makespan: cycles to execute the given domain.
+        pe_extent: array size along each kept dimension.
+        stationary_vars: variables whose dependence projects to the zero PE
+            displacement — they rest in place (e.g. C ⇒ output-stationary).
+    """
+
+    schedule: Tuple[int, ...]
+    projection: Tuple[int, ...]
+    kept_dims: Tuple[int, ...]
+    makespan: int
+    pe_extent: Tuple[int, ...]
+    stationary_vars: Tuple[str, ...]
+
+    @property
+    def dataflow_name(self) -> str:
+        """Conventional dataflow label derived from the stationary variable."""
+        mapping = {"C": "output-stationary", "Y": "output-stationary",
+                   "B": "weight-stationary", "W": "weight-stationary",
+                   "A": "input-stationary", "X": "input-stationary"}
+        for var in self.stationary_vars:
+            if var in mapping:
+                return mapping[var]
+        return "custom"
+
+    def time_of(self, point: Sequence[int]) -> int:
+        return sum(l * p for l, p in zip(self.schedule, point))
+
+    def pe_of(self, point: Sequence[int]) -> Tuple[int, ...]:
+        return tuple(point[d] for d in self.kept_dims)
+
+
+def _schedule_is_valid(schedule: Tuple[int, ...], deps: List[Tuple[int, ...]]) -> bool:
+    return all(sum(l * d for l, d in zip(schedule, dep)) >= 1 for dep in deps)
+
+
+def _makespan(schedule: Tuple[int, ...], extents: Sequence[int]) -> int:
+    """Span of λ·p over the box domain [0, e_i) plus one."""
+    lo = sum(min(l * (e - 1), 0) for l, e in zip(schedule, extents))
+    hi = sum(max(l * (e - 1), 0) for l, e in zip(schedule, extents))
+    return hi - lo + 1
+
+
+def enumerate_schedules(
+    deps: List[Tuple[int, ...]], dims: int, bound: int = 2
+) -> List[Tuple[int, ...]]:
+    """All valid schedule vectors with entries in [-bound, bound]."""
+    candidates = []
+    for schedule in itertools.product(range(-bound, bound + 1), repeat=dims):
+        if any(schedule) and _schedule_is_valid(schedule, deps):
+            candidates.append(schedule)
+    return candidates
+
+
+def synthesize_mapping(
+    system: RecurrenceSystem,
+    extents: Sequence[int],
+    projection: Optional[Sequence[int]] = None,
+    bound: int = 2,
+) -> SpaceTimeMapping:
+    """Find a minimal-makespan space-time mapping for an RIA system.
+
+    Args:
+        system: an RIA recurrence system (raises if it is not an RIA).
+        extents: iteration-domain extents, one per index.
+        projection: optionally force a projection direction (must be a
+            standard basis vector, e.g. ``(0, 0, 1)`` to collapse k).
+        bound: schedule entries searched in ``[-bound, bound]``.
+
+    Returns:
+        The mapping with the smallest makespan (ties: smallest |λ|₁).
+
+    Raises:
+        ValueError: if the system is not an RIA or no valid schedule exists.
+    """
+    deps = dependence_vectors(system)
+    dims = len(system.index_names)
+    if len(extents) != dims:
+        raise ValueError(f"expected {dims} extents, got {len(extents)}")
+
+    schedules = enumerate_schedules(deps, dims, bound)
+    if not schedules:
+        raise ValueError(f"no valid schedule for {system.name} within bound {bound}")
+
+    if projection is not None:
+        proj_candidates = [tuple(projection)]
+    else:
+        proj_candidates = [
+            tuple(1 if d == axis else 0 for d in range(dims)) for axis in range(dims)
+        ]
+
+    best: Optional[SpaceTimeMapping] = None
+    result_offsets = _variable_dependences(system)
+    for schedule in schedules:
+        for proj in proj_candidates:
+            if sum(abs(x) for x in proj) != 1:
+                raise ValueError(f"projection {proj} must be a standard basis vector")
+            if sum(l * u for l, u in zip(schedule, proj)) == 0:
+                continue  # conflict: same PE, same time
+            kept = tuple(d for d in range(dims) if proj[d] == 0)
+            stationary = tuple(
+                var
+                for var, dep in result_offsets.items()
+                if dep is not None and all(dep[d] == 0 for d in kept)
+            )
+            mapping = SpaceTimeMapping(
+                schedule=schedule,
+                projection=proj,
+                kept_dims=kept,
+                makespan=_makespan(schedule, extents),
+                pe_extent=tuple(extents[d] for d in kept),
+                stationary_vars=stationary,
+            )
+            if best is None or (mapping.makespan, _l1(schedule)) < (
+                best.makespan,
+                _l1(best.schedule),
+            ):
+                best = mapping
+    assert best is not None
+    return best
+
+
+def _l1(vec: Tuple[int, ...]) -> int:
+    return sum(abs(x) for x in vec)
+
+
+def _variable_dependences(system: RecurrenceSystem) -> Dict[str, Optional[Tuple[int, ...]]]:
+    """Self-dependence (propagation direction) of each assigned variable."""
+    from .analysis import check_ria
+
+    result = check_ria(system)
+    out: Dict[str, Optional[Tuple[int, ...]]] = {}
+    for (lhs, ref), offset in result.offsets.items():
+        if lhs == ref and any(offset):
+            out[lhs] = tuple(-x for x in offset)
+        else:
+            out.setdefault(lhs, None)
+    return out

@@ -1,0 +1,139 @@
+"""Recurrence relations and systems (the RIA formalism of §II-B).
+
+A :class:`RecurrenceSystem` is a set of single-assignment recurrence
+relations over indexed variables.  The paper's three RIA conditions:
+
+(a) each variable is a name plus a fixed set of indices;
+(b) each variable is assigned exactly once (single assignment);
+(c) for every relation, the index offset between the LHS variable and each
+    RHS variable is a constant.
+
+Condition checking lives in :mod:`repro.ria.analysis`; this module is the
+data model plus structural validation for (a) and (b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import Affine, IndexExpr
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A reference ``name[e_1, ..., e_m]`` on the right-hand side."""
+
+    name: str
+    indices: Tuple[IndexExpr, ...]
+
+    @classmethod
+    def simple(cls, name: str, *index_names_or_exprs) -> "VarRef":
+        """Build a reference from index names (str), ``(name, shift)`` pairs
+        or ready :class:`IndexExpr` objects."""
+        exprs: List[IndexExpr] = []
+        for item in index_names_or_exprs:
+            if isinstance(item, str):
+                exprs.append(Affine.var(item))
+            elif isinstance(item, tuple):
+                exprs.append(Affine.var(item[0], item[1]))
+            else:
+                exprs.append(item)
+        return cls(name, tuple(exprs))
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(str(e) for e in self.indices)}]"
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """One relation: ``lhs_var[lhs_indices] = f(rhs...)``.
+
+    ``lhs_indices`` are plain iteration-index names — the LHS of a
+    recurrence in single-assignment form is always an identity indexing of
+    the iteration point.
+    """
+
+    lhs_var: str
+    lhs_indices: Tuple[str, ...]
+    rhs: Tuple[VarRef, ...]
+    note: str = ""
+
+    def __str__(self) -> str:
+        lhs = f"{self.lhs_var}[{', '.join(self.lhs_indices)}]"
+        return f"{lhs} = f({', '.join(str(r) for r in self.rhs)})"
+
+
+class StructureError(ValueError):
+    """Raised when a system violates conditions (a) or (b) structurally."""
+
+
+@dataclass
+class RecurrenceSystem:
+    """A named system of recurrences over an iteration domain.
+
+    Attributes:
+        name: human-readable algorithm name.
+        index_names: the iteration indices (e.g. ``("i", "j", "k")``).
+        recurrences: the relations.
+        inputs: variable names that are boundary inputs (never assigned).
+    """
+
+    name: str
+    index_names: Tuple[str, ...]
+    recurrences: List[Recurrence] = field(default_factory=list)
+    inputs: Tuple[str, ...] = ()
+
+    def add(
+        self,
+        lhs_var: str,
+        lhs_indices: Sequence[str],
+        rhs: Sequence[VarRef],
+        note: str = "",
+    ) -> Recurrence:
+        rec = Recurrence(lhs_var, tuple(lhs_indices), tuple(rhs), note)
+        self.recurrences.append(rec)
+        return rec
+
+    # ------------------------------------------------- structural validation
+
+    def variable_arities(self) -> Dict[str, int]:
+        """Arity of every variable; raises if a name is used inconsistently
+        (condition (a): a variable is a name plus a fixed index set)."""
+        arities: Dict[str, int] = {}
+
+        def record(name: str, arity: int, where: str) -> None:
+            if name in arities and arities[name] != arity:
+                raise StructureError(
+                    f"{self.name}: variable {name!r} used with arity "
+                    f"{arities[name]} and {arity} ({where})"
+                )
+            arities.setdefault(name, arity)
+
+        for rec in self.recurrences:
+            record(rec.lhs_var, len(rec.lhs_indices), f"LHS of {rec}")
+            for ref in rec.rhs:
+                record(ref.name, len(ref.indices), f"RHS of {rec}")
+        return arities
+
+    def assigned_variables(self) -> Dict[str, List[Recurrence]]:
+        out: Dict[str, List[Recurrence]] = {}
+        for rec in self.recurrences:
+            out.setdefault(rec.lhs_var, []).append(rec)
+        return out
+
+    def check_single_assignment(self) -> Optional[str]:
+        """Condition (b): return a violation message, or None if satisfied."""
+        for var, recs in self.assigned_variables().items():
+            if len(recs) > 1:
+                return (
+                    f"variable {var!r} is assigned by {len(recs)} recurrences "
+                    "(single-assignment violated)"
+                )
+            if var in self.inputs:
+                return f"input variable {var!r} must not be assigned"
+        for rec in self.recurrences:
+            bad = [n for n in rec.lhs_indices if n not in self.index_names]
+            if bad:
+                return f"LHS of {rec} uses unknown indices {bad}"
+        return None

@@ -1,0 +1,119 @@
+"""SCALE-Sim-style systolic array simulator with the FuSeConv broadcast dataflow."""
+
+from .config import MOTIVATION_ARRAY, PAPER_ARRAY, ArrayConfig
+from .fuse_mapping import (
+    BroadcastFold,
+    Conv1DBank,
+    broadcast_conv1d_stats,
+    fallback_conv1d_gemms,
+    iter_broadcast_folds,
+)
+from .gemm import (
+    FoldShape,
+    GemmDims,
+    MappingStats,
+    batch_stats,
+    fold_counts,
+    iter_folds,
+    os_gemm_cycles,
+    os_gemm_stats,
+)
+from .buffers import (
+    BufferRequirement,
+    bank_buffer_requirement,
+    gemm_buffer_requirement,
+    network_buffer_requirement,
+)
+from .dataflows import gemm_stats, is_gemm_stats, ws_gemm_stats
+from .executor import ArrayNetworkExecutor, ArrayRunResult, LayerRun
+from .im2col import ArrayOp, LoweredLayer, lower_layer
+from .latency import (
+    LayerLatency,
+    NetworkLatency,
+    estimate_layer,
+    estimate_network,
+    mapping_stats,
+    speedup,
+)
+from .functional import (
+    SimResult,
+    SystolicArraySim,
+    simulate_conv1d_bank,
+    simulate_gemm,
+)
+from .memory import (
+    BYTES_PER_VALUE,
+    LayerTraffic,
+    TrafficReport,
+    layer_traffic,
+    traffic_report,
+)
+from .trace import (
+    TraceEvent,
+    TraceSummary,
+    trace_conv1d_bank,
+    trace_gemm,
+    unique_addresses,
+)
+from .utilization import (
+    UtilizationReport,
+    UtilizationRow,
+    depthwise_utilization_bound,
+    utilization_report,
+)
+
+__all__ = [
+    "MOTIVATION_ARRAY",
+    "PAPER_ARRAY",
+    "ArrayConfig",
+    "BroadcastFold",
+    "Conv1DBank",
+    "broadcast_conv1d_stats",
+    "fallback_conv1d_gemms",
+    "iter_broadcast_folds",
+    "FoldShape",
+    "GemmDims",
+    "MappingStats",
+    "batch_stats",
+    "fold_counts",
+    "iter_folds",
+    "os_gemm_cycles",
+    "os_gemm_stats",
+    "BufferRequirement",
+    "bank_buffer_requirement",
+    "gemm_buffer_requirement",
+    "network_buffer_requirement",
+    "gemm_stats",
+    "is_gemm_stats",
+    "ws_gemm_stats",
+    "ArrayNetworkExecutor",
+    "ArrayRunResult",
+    "LayerRun",
+    "ArrayOp",
+    "LoweredLayer",
+    "lower_layer",
+    "LayerLatency",
+    "NetworkLatency",
+    "estimate_layer",
+    "estimate_network",
+    "mapping_stats",
+    "speedup",
+    "SimResult",
+    "SystolicArraySim",
+    "simulate_conv1d_bank",
+    "simulate_gemm",
+    "BYTES_PER_VALUE",
+    "LayerTraffic",
+    "TrafficReport",
+    "layer_traffic",
+    "traffic_report",
+    "UtilizationReport",
+    "UtilizationRow",
+    "depthwise_utilization_bound",
+    "utilization_report",
+    "TraceEvent",
+    "TraceSummary",
+    "trace_conv1d_bank",
+    "trace_gemm",
+    "unique_addresses",
+]

@@ -1,0 +1,75 @@
+"""Systolic array configuration (SCALE-Sim-style).
+
+The paper's methodology (§V-A.3): performance is limited only by operations
+on the array — load, MAC, systolic communication of partials, and output
+flush.  We model an ``rows × cols`` grid of MACs with the output-stationary
+dataflow, optionally extended with the per-row weight-broadcast links of
+§IV-C (the paper's proposed hardware change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """A systolic array instance.
+
+    Attributes:
+        rows: PEs along systolic dimension 2 (inputs stream left→right).
+        cols: PEs along systolic dimension 1 (weights stream top→bottom).
+        broadcast: whether rows carry the paper's weight-broadcast link,
+            enabling the efficient FuSeConv mapping (§IV-C.1).  Baselines in
+            the paper are evaluated on the same array, so the link defaults
+            to present; it only changes how ``FuSeConv1D`` layers are mapped.
+        dataflow: ``"os"`` (output stationary — the paper's choice), or
+            ``"ws"`` / ``"is"`` (weight-/input-stationary, provided as an
+            ablation extension; see :mod:`repro.systolic.dataflows`).
+        frequency_mhz: clock used when converting cycles to wall time.
+        pipelined_folds: when True, consecutive folds of one operation
+            overlap: the next fold's operand skew streams in behind the
+            current fold's drain, so only the first fold pays the full
+            fill cost (a calibration knob — SCALE-Sim-family simulators
+            differ in how much per-fold overhead they amortize; see the
+            ablation in ``benchmarks/bench_ablation_pipelining.py``).
+    """
+
+    rows: int
+    cols: int
+    broadcast: bool = True
+    dataflow: str = "os"
+    frequency_mhz: float = 700.0
+    pipelined_folds: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"array must be positive-sized, got {self.rows}x{self.cols}")
+        if self.dataflow not in ("os", "ws", "is"):
+            raise ValueError(
+                f"dataflow must be 'os', 'ws' or 'is', got {self.dataflow!r}"
+            )
+
+    @classmethod
+    def square(cls, size: int, **kwargs) -> "ArrayConfig":
+        """A ``size × size`` array (the paper evaluates 64×64 by default)."""
+        return cls(rows=size, cols=size, **kwargs)
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def without_broadcast(self) -> "ArrayConfig":
+        """The same array minus the broadcast links (baseline hardware)."""
+        return replace(self, broadcast=False)
+
+    def cycles_to_ms(self, cycles: int) -> float:
+        """Convert a cycle count to milliseconds at the configured clock."""
+        return cycles / (self.frequency_mhz * 1e3)
+
+
+#: The array size used for all headline numbers in the paper (§V-A.3).
+PAPER_ARRAY = ArrayConfig.square(64)
+
+#: The array size used for the §I motivation and the §V-B.5 overhead study.
+MOTIVATION_ARRAY = ArrayConfig.square(32)

@@ -1,0 +1,88 @@
+"""Alternative GEMM dataflows: weight-stationary and input-stationary.
+
+The paper evaluates the output-stationary (OS) dataflow only ("we only
+consider the output stationary dataflow", §V-A.3).  This module extends
+the simulator with the other two classic dataflows so the choice can be
+ablated — and so the depthwise pathology can be shown to be dataflow-
+independent (its single-filter GEMMs starve every mapping).
+
+Accounting (mirroring SCALE-Sim's WS/IS models):
+
+* **WS** — a ``K×N`` weight tile rests in the array (``r`` preload
+  cycles); the ``M`` rows of A stream through; partial sums flow down and
+  out.  Fold cost ``r + (r - 1) + (c - 1) + m + 1``; folds =
+  ``ceil(K/R)·ceil(N/C)``.  Accumulation across K-tiles happens in an
+  output buffer outside the array.
+* **IS** — an ``M×K`` input tile rests in the array; the ``N`` columns of
+  B stream through.  Symmetric cost with ``n`` streaming steps; folds =
+  ``ceil(M/R)·ceil(K/C)``.
+
+Both return the same :class:`repro.systolic.gemm.MappingStats` structure
+as the OS model, so every downstream report works unchanged.
+"""
+
+from __future__ import annotations
+
+from .config import ArrayConfig
+from .gemm import GemmDims, MappingStats
+
+
+def _stationary_stats(
+    folds_rows: int,
+    rows_rem: int,
+    folds_cols: int,
+    cols_rem: int,
+    stream: int,
+    array: ArrayConfig,
+    stationary_reads_per_pe: int = 1,
+) -> MappingStats:
+    """Shared accounting for the two stationary dataflows.
+
+    A fold with ``r×c`` resident PEs and ``stream`` streaming vectors costs
+    ``r`` preload cycles + ``(r - 1) + (c - 1)`` skew + ``stream`` MAC
+    cycles + 1 drain step for the last partial sum to exit.
+    """
+    stats = MappingStats()
+    for r, nr in ((array.rows, folds_rows), (rows_rem, 1 if rows_rem else 0)):
+        if nr == 0 or r == 0:
+            continue
+        for c, nc in ((array.cols, folds_cols), (cols_rem, 1 if cols_rem else 0)):
+            if nc == 0 or c == 0:
+                continue
+            count = nr * nc
+            cycles = r + (r - 1) + (c - 1) + stream + 1
+            stats.cycles += count * cycles
+            stats.folds += count
+            stats.active_mac_cycles += count * r * c * stream
+            stats.occupied_pe_cycles += count * cycles * array.num_pes
+            # Preload r*c stationary values; stream r values per step.
+            stats.sram_reads += count * (r * c * stationary_reads_per_pe + r * stream)
+            stats.sram_writes += count * c * stream
+    return stats
+
+
+def ws_gemm_stats(dims: GemmDims, array: ArrayConfig) -> MappingStats:
+    """Weight-stationary GEMM: K along rows, N along columns, stream M."""
+    kf, kr = divmod(dims.k, array.rows)
+    nf, nr = divmod(dims.n, array.cols)
+    return _stationary_stats(kf, kr, nf, nr, dims.m, array)
+
+
+def is_gemm_stats(dims: GemmDims, array: ArrayConfig) -> MappingStats:
+    """Input-stationary GEMM: M along rows, K along columns, stream N."""
+    mf, mr = divmod(dims.m, array.rows)
+    kf, kr = divmod(dims.k, array.cols)
+    return _stationary_stats(mf, mr, kf, kr, dims.n, array)
+
+
+def gemm_stats(dims: GemmDims, array: ArrayConfig) -> MappingStats:
+    """Dispatch a GEMM to the array's configured dataflow."""
+    from .gemm import os_gemm_stats
+
+    if array.dataflow == "os":
+        return os_gemm_stats(dims, array)
+    if array.dataflow == "ws":
+        return ws_gemm_stats(dims, array)
+    if array.dataflow == "is":
+        return is_gemm_stats(dims, array)
+    raise ValueError(f"unknown dataflow {array.dataflow!r}")

@@ -1,0 +1,229 @@
+"""Run an entire network through the functional PE-grid simulator.
+
+This is the reproduction's strongest internal consistency check: the same
+IR graph is executed twice —
+
+* numerically, by :class:`repro.nn.graph.GraphExecutor` (vectorized numpy);
+* on the simulated machine, by :class:`ArrayNetworkExecutor` below, which
+  lowers each compute layer to array operations and pushes *real values*
+  through :class:`repro.systolic.functional.SystolicArraySim`, using the
+  exact weights of the GraphExecutor —
+
+and the claims under test are (1) the array produces the same numbers and
+(2) the cycles it takes equal :func:`repro.systolic.latency.estimate_layer`
+for every layer.  Intended for small networks (the functional simulator is
+a Python-loop machine); the test suite runs it on MobileNet-style blocks.
+
+Host-side layers (BatchNorm, activations, pooling, plumbing) execute on
+the "CPU" exactly as the latency model assumes (they contribute no array
+cycles, §V-A.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.reference import im2col, pad_input
+from ..ir import layer as ir
+from ..ir.network import Network
+from ..nn.graph import GraphExecutor
+from ..nn.tensor import Tensor
+from .config import ArrayConfig
+from .functional import SystolicArraySim
+from .latency import estimate_layer
+
+
+@dataclass
+class LayerRun:
+    """Per-layer record of an array execution."""
+
+    name: str
+    kind: str
+    cycles: int
+    expected_cycles: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.cycles == self.expected_cycles
+
+
+@dataclass
+class ArrayRunResult:
+    """Output of a full-network array execution."""
+
+    values: np.ndarray
+    cycles: int
+    layers: List[LayerRun] = field(default_factory=list)
+
+    @property
+    def all_cycles_consistent(self) -> bool:
+        return all(layer.consistent for layer in self.layers)
+
+
+class ArrayNetworkExecutor:
+    """Execute an IR network on the functional systolic array.
+
+    Args:
+        network: the IR graph.
+        model: a :class:`GraphExecutor` holding the weights (built with
+            ``seed`` if omitted).  The model is switched to eval mode —
+            BatchNorm uses running statistics, as at inference.
+        array: the simulated array (defaults to a small 16×16 — functional
+            simulation is slow on big grids).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        model: Optional[GraphExecutor] = None,
+        array: Optional[ArrayConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.model = model or GraphExecutor(network, seed=seed)
+        self.model.eval()
+        self.array = array or ArrayConfig.square(16)
+        self.sim = SystolicArraySim(self.array)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, x: np.ndarray) -> ArrayRunResult:
+        """Execute one ``(C, H, W)`` input through the simulated array."""
+        if x.ndim != 3:
+            raise ValueError(f"expected a (C, H, W) input, got shape {x.shape}")
+        outputs: Dict[str, np.ndarray] = {}
+        result = ArrayRunResult(values=x, cycles=0)
+        current = x
+        for node in self.network:
+            inputs = [outputs[name] for name in node.inputs] or [x]
+            current, cycles = self._run_node(node, inputs)
+            outputs[node.name] = current
+            if cycles:
+                expected = estimate_layer(node, self.array).cycles
+                result.layers.append(
+                    LayerRun(
+                        name=node.name,
+                        kind=node.kind,
+                        cycles=cycles,
+                        expected_cycles=expected,
+                    )
+                )
+                result.cycles += cycles
+        result.values = current
+        return result
+
+    # ---------------------------------------------------------- array layers
+
+    def _run_node(self, node, inputs):
+        spec = node.layer
+        x = inputs[0]
+        if isinstance(spec, ir.Conv2D):
+            return self._conv(node, x)
+        if isinstance(spec, ir.DepthwiseConv2D):
+            return self._depthwise(node, x)
+        if isinstance(spec, ir.PointwiseConv2D):
+            return self._pointwise(node, x)
+        if isinstance(spec, ir.FuSeConv1D):
+            return self._fuse(node, x)
+        if isinstance(spec, ir.Linear):
+            return self._linear(node, x)
+        if isinstance(spec, ir.SqueezeExcite):
+            return self._squeeze_excite(node, x)
+        return self._host(node, inputs), 0
+
+    def _weights(self, name: str) -> np.ndarray:
+        return self.model.module_for(name).weight.data.astype(np.float64)
+
+    def _conv(self, node, x):
+        spec = node.layer
+        w = self._weights(node.name)
+        c_out, oh, ow = node.out_shape
+        g = spec.groups
+        c_in = node.in_shape[0]
+        cycles = 0
+        out = np.empty((c_out, oh, ow))
+        cg_in, cg_out = c_in // g, c_out // g
+        for gi in range(g):
+            cols = im2col(
+                x[gi * cg_in:(gi + 1) * cg_in].astype(np.float64),
+                spec.kernel_hw, spec.stride_hw, spec.padding,
+            )
+            wmat = w[gi * cg_out:(gi + 1) * cg_out].reshape(cg_out, -1)
+            run = self.sim.run_gemm(cols, wmat.T)
+            out[gi * cg_out:(gi + 1) * cg_out] = run.values.T.reshape(cg_out, oh, ow)
+            cycles += run.cycles
+        return out, cycles
+
+    def _depthwise(self, node, x):
+        spec = node.layer
+        w = self._weights(node.name)  # (C, 1, kh, kw)
+        c, oh, ow = node.out_shape
+        out = np.empty((c, oh, ow))
+        cycles = 0
+        for ch in range(c):
+            cols = im2col(
+                x[ch:ch + 1].astype(np.float64),
+                spec.kernel_hw, spec.stride_hw, spec.padding,
+            )
+            run = self.sim.run_gemm(cols, w[ch].reshape(-1, 1))
+            out[ch] = run.values.reshape(oh, ow)
+            cycles += run.cycles
+        return out, cycles
+
+    def _pointwise(self, node, x):
+        w = self._weights(node.name)  # (C_out, C_in, 1, 1)
+        c_in, h, width = x.shape
+        run = self.sim.run_gemm(
+            x.reshape(c_in, h * width).T.astype(np.float64),
+            w.reshape(w.shape[0], c_in).T,
+        )
+        return run.values.T.reshape(w.shape[0], h, width), run.cycles
+
+    def _fuse(self, node, x):
+        spec = node.layer
+        w = self._weights(node.name)  # (C, K)
+        c, oh, ow = node.out_shape
+        sh, sw = spec.stride_hw
+        xp = pad_input(x.astype(np.float64), spec.kernel_hw, spec.stride_hw, spec.padding)
+        if spec.axis == "row":
+            # Lines: every (channel, selected row); conv along the width.
+            lines = xp[:, ::sh, :].reshape(c * oh, xp.shape[2])
+            weights = np.repeat(w, oh, axis=0)
+            run = self.sim.run_conv1d_broadcast(lines, weights, stride=sw)
+            out = run.values.reshape(c, oh, ow)
+        else:
+            lines = xp[:, :, ::sw].transpose(0, 2, 1).reshape(c * ow, xp.shape[1])
+            weights = np.repeat(w, ow, axis=0)
+            run = self.sim.run_conv1d_broadcast(lines, weights, stride=sh)
+            out = run.values.reshape(c, ow, oh).transpose(0, 2, 1)
+        return out, run.cycles
+
+    def _linear(self, node, x):
+        module = self.model.module_for(node.name)
+        w = module.weight.data.astype(np.float64)
+        run = self.sim.run_gemm(x.reshape(1, -1).astype(np.float64), w.T)
+        out = run.values.reshape(-1)
+        if module.bias is not None:
+            out = out + module.bias.data
+        return out.reshape(node.out_shape), run.cycles
+
+    def _squeeze_excite(self, node, x):
+        module = self.model.module_for(node.name)
+        squeezed = x.mean(axis=(1, 2)).reshape(1, -1).astype(np.float64)
+        run1 = self.sim.run_gemm(squeezed, module.fc1.weight.data.T.astype(np.float64))
+        hidden = np.maximum(run1.values + module.fc1.bias.data, 0.0)
+        run2 = self.sim.run_gemm(hidden, module.fc2.weight.data.T.astype(np.float64))
+        raw = run2.values.reshape(-1) + module.fc2.bias.data
+        scale = np.clip(raw + 3.0, 0.0, 6.0) / 6.0  # h-sigmoid
+        return x * scale[:, None, None], run1.cycles + run2.cycles
+
+    # ------------------------------------------------------------ host ops
+
+    def _host(self, node, inputs) -> np.ndarray:
+        """Non-array layers run on the host via the GraphExecutor modules."""
+        tensors = [Tensor(np.asarray(v, dtype=np.float32)[None]) for v in inputs]
+        out = self.model._run_node(node, tensors)
+        return out.data[0].astype(np.float64)

@@ -1,0 +1,337 @@
+"""Functional cycle-level systolic array simulator.
+
+While :mod:`repro.systolic.gemm` and :mod:`repro.systolic.fuse_mapping`
+*count* cycles analytically, this module actually executes the dataflows on
+a simulated PE grid, cycle by cycle:
+
+* :class:`SystolicArraySim` — output-stationary GEMM.  Operand A streams in
+  from the left edge (row ``i`` delayed by ``i`` cycles), operand B from the
+  top edge (column ``j`` delayed by ``j`` cycles); every PE multiplies its
+  current inputs, accumulates locally, and forwards A rightward / B downward
+  each cycle.  After the last partial sum, outputs drain down the columns.
+
+* :meth:`SystolicArraySim.run_conv1d_broadcast` — the paper's modified
+  dataflow (§IV-C): each row executes one independent 1D convolution, the
+  row's weight enters through the broadcast link (all PEs of a row see the
+  same weight in the same cycle), inputs stream along the row systolically,
+  outputs stay stationary and then drain.
+
+Both methods return the numerically-exact result *and* the measured cycle
+count; the test suite asserts the values match numpy and the cycles match
+the analytical model fold-for-fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .config import ArrayConfig
+from .fuse_mapping import BroadcastFold
+from .gemm import FoldShape
+
+
+@dataclass
+class SimResult:
+    """Output values and measured cycles of a functional simulation."""
+
+    values: np.ndarray
+    cycles: int
+
+
+#: Observer signature: called once per simulated cycle with the dataflow
+#: phase ("gemm" / "broadcast"), the cycle index within the fold, and a
+#: dict of state snapshots (copies — safe to keep).
+Observer = "Callable[[str, int, dict], None]"
+
+
+class SystolicArraySim:
+    """A functional ``rows × cols`` output-stationary systolic array.
+
+    Pass ``observer`` to watch the machine run: it receives per-cycle
+    snapshots of the PE-grid state (used by
+    ``examples/visualize_dataflow.py`` to animate the dataflows).
+    """
+
+    def __init__(self, array: ArrayConfig, observer=None) -> None:
+        self.array = array
+        self.observer = observer
+
+    # ------------------------------------------------------------------ GEMM
+
+    def run_gemm(self, a: np.ndarray, b: np.ndarray) -> SimResult:
+        """Compute ``a @ b`` through the array, tiling into folds as needed."""
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        cycles = 0
+        for m0 in range(0, m, self.array.rows):
+            r = min(self.array.rows, m - m0)
+            for n0 in range(0, n, self.array.cols):
+                c = min(self.array.cols, n - n0)
+                tile, tile_cycles = self._run_gemm_fold(
+                    a[m0:m0 + r], b[:, n0:n0 + c]
+                )
+                out[m0:m0 + r, n0:n0 + c] = tile
+                cycles += tile_cycles
+        return SimResult(values=out, cycles=cycles)
+
+    def _run_gemm_fold(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, int]:
+        """One fold: ``a`` is ``r×k``, ``b`` is ``k×c``; both fit the array."""
+        r, k = a.shape
+        _, c = b.shape
+        acc = np.zeros((r, c), dtype=np.result_type(a, b))
+        # a_reg[i][j]: A value currently held by PE (i, j); likewise b_reg.
+        a_reg = np.zeros((r, c), dtype=a.dtype)
+        b_reg = np.zeros((r, c), dtype=b.dtype)
+
+        # MAC phase: feed with skew until every PE has seen all k operands.
+        # PE (i, j) performs its step-t MAC at cycle i + j + t.
+        mac_cycles = (r - 1) + (c - 1) + k
+        for t in range(mac_cycles):
+            # Shift right/down *before* injecting this cycle's edge values.
+            a_reg[:, 1:] = a_reg[:, :-1]
+            b_reg[1:, :] = b_reg[:-1, :]
+            for i in range(r):  # left edge: row i receives a[i, t - i]
+                idx = t - i
+                a_reg[i, 0] = a[i, idx] if 0 <= idx < k else 0
+            for j in range(c):  # top edge: column j receives b[t - j, j]
+                idx = t - j
+                b_reg[0, j] = b[idx, j] if 0 <= idx < k else 0
+            acc += a_reg * b_reg
+            if self.observer is not None:
+                self.observer(
+                    "gemm", t, {"a": a_reg.copy(), "b": b_reg.copy(), "acc": acc.copy()}
+                )
+
+        # Drain phase: stationary outputs ripple down the column links, one
+        # row per cycle (r cycles).
+        drain_cycles = r
+        total = mac_cycles + drain_cycles
+        expected = FoldShape(r=r, c=c, k=k).cycles
+        assert total == expected, f"fold cycle mismatch: {total} != {expected}"
+        return acc, total
+
+    # ------------------------------------------------------------- WS GEMM
+
+    def run_ws_gemm(self, a: np.ndarray, b: np.ndarray) -> SimResult:
+        """Compute ``a @ b`` under the weight-stationary dataflow.
+
+        A ``K×N`` tile of B rests in the array (K along rows, N along
+        columns; ``r`` preload cycles); the M rows of A stream through with
+        per-row skew while partial sums cascade down the columns.  K-tiles
+        accumulate in an output buffer outside the array (as the analytical
+        model in :mod:`repro.systolic.dataflows` assumes).
+        """
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        cycles = 0
+        for k0 in range(0, k, self.array.rows):
+            r = min(self.array.rows, k - k0)
+            for n0 in range(0, n, self.array.cols):
+                c = min(self.array.cols, n - n0)
+                tile, tile_cycles = self._run_ws_fold(
+                    a[:, k0:k0 + r], b[k0:k0 + r, n0:n0 + c]
+                )
+                out[:, n0:n0 + c] += tile
+                cycles += tile_cycles
+        return SimResult(values=out, cycles=cycles)
+
+    def _run_ws_fold(self, a: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, int]:
+        """One WS fold: ``a`` is ``M×r``, stationary ``w`` is ``r×c``."""
+        m, r = a.shape
+        _, c = w.shape
+        out = np.zeros((m, c), dtype=np.result_type(a, w))
+        # a_reg[i][j]: streaming operand at PE (i, j); psum[i][j]: the
+        # partial sum PE (i, j) just produced (flows down next cycle).
+        a_reg = np.zeros((r, c), dtype=a.dtype)
+        psum = np.zeros((r, c), dtype=out.dtype)
+
+        preload = r  # weights march down their columns, one row per cycle
+        # Vector v's element i enters row i at cycle v + i; after j right
+        # hops PE (i, j) uses it at cycle v + i + j, adding to the psum that
+        # left PE (i-1, j) the cycle before.  The column output for vector v
+        # exits the bottom at cycle v + (r - 1) + j + 1.
+        stream_cycles = (m - 1) + (r - 1) + (c - 1) + 1 + 1
+        for t in range(stream_cycles):
+            # Shift streams right and psums down (before injection).
+            a_reg[:, 1:] = a_reg[:, :-1]
+            new_top = np.zeros(c, dtype=out.dtype)
+            emitted = psum[r - 1, :].copy()
+            psum[1:, :] = psum[:-1, :]
+            psum[0, :] = new_top
+            for i in range(r):
+                v = t - i
+                a_reg[i, 0] = a[v, i] if 0 <= v < m else 0
+            # Each PE adds its product into the psum passing through.
+            psum += a_reg * w
+            # The value emitted from the bottom of column j at cycle t
+            # belongs to vector v = t - (r - 1) - j - 1.
+            for j in range(c):
+                v = t - (r - 1) - j - 1
+                if 0 <= v < m:
+                    out[v, j] = emitted[j]
+        total = preload + (r - 1) + (c - 1) + m + 1
+        assert total == preload + stream_cycles
+        return out, total
+
+    # ------------------------------------------------------------- IS GEMM
+
+    def run_is_gemm(self, a: np.ndarray, b: np.ndarray) -> SimResult:
+        """Compute ``a @ b`` under the input-stationary dataflow.
+
+        An ``M×K`` tile of A rests in the array (M along rows, K along
+        columns; ``r`` preload cycles); the N columns of B stream down the
+        columns with per-column skew while partial sums cascade rightward
+        along the rows.  K-tiles accumulate in an output buffer outside
+        the array, mirroring :meth:`run_ws_gemm`.
+        """
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        cycles = 0
+        for m0 in range(0, m, self.array.rows):
+            r = min(self.array.rows, m - m0)
+            for k0 in range(0, k, self.array.cols):
+                c = min(self.array.cols, k - k0)
+                tile, tile_cycles = self._run_is_fold(
+                    a[m0:m0 + r, k0:k0 + c], b[k0:k0 + c, :]
+                )
+                out[m0:m0 + r, :] += tile
+                cycles += tile_cycles
+        return SimResult(values=out, cycles=cycles)
+
+    def _run_is_fold(self, a_tile: np.ndarray, b_tile: np.ndarray) -> Tuple[np.ndarray, int]:
+        """One IS fold: stationary ``a_tile`` is ``r×c``, stream ``b_tile``
+        is ``c×N``.
+
+        Column vector n's element j enters column j's top at cycle
+        ``n + j`` and reaches row i after ``i`` down-hops; the partial sum
+        for (row i, vector n) moves one column right per cycle and exits
+        the right edge at cycle ``n + (c-1) + i + 1``.
+        """
+        r, c = a_tile.shape
+        _, n = b_tile.shape
+        out = np.zeros((r, n), dtype=np.result_type(a_tile, b_tile))
+        b_reg = np.zeros((r, c), dtype=b_tile.dtype)
+        psum = np.zeros((r, c), dtype=out.dtype)
+
+        preload = r  # stationary inputs march down their columns
+        stream_cycles = (n - 1) + (r - 1) + (c - 1) + 1 + 1
+        for t in range(stream_cycles):
+            emitted = psum[:, c - 1].copy()
+            psum[:, 1:] = psum[:, :-1]
+            psum[:, 0] = 0
+            b_reg[1:, :] = b_reg[:-1, :]
+            for j in range(c):
+                v = t - j
+                b_reg[0, j] = b_tile[j, v] if 0 <= v < n else 0
+            psum += a_tile * b_reg
+            for i in range(r):
+                v = t - (c - 1) - i - 1
+                if 0 <= v < n:
+                    out[i, v] = emitted[i]
+        total = preload + (r - 1) + (c - 1) + n + 1
+        assert total == preload + stream_cycles
+        return out, total
+
+    # ------------------------------------------------- broadcast 1D convs
+
+    def run_conv1d_broadcast(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        stride: int = 1,
+    ) -> SimResult:
+        """Run a bank of independent 1D convolutions with row broadcast.
+
+        Args:
+            inputs: ``(G, L_in)`` — one input line per convolution.
+            weights: ``(G, K)`` — one 1D filter per convolution.
+            stride: stride along the convolution axis (no padding; callers
+                pre-pad, as the mapper slices padded feature maps).
+
+        Returns:
+            ``(G, L_out)`` outputs with ``L_out = (L_in - K) // stride + 1``.
+        """
+        if not self.array.broadcast:
+            raise ValueError("this array has no broadcast links (§IV-C hardware)")
+        g, l_in = inputs.shape
+        g2, k = weights.shape
+        if g != g2:
+            raise ValueError(f"got {g} input lines but {g2} filters")
+        l_out = (l_in - k) // stride + 1
+        if l_out <= 0:
+            raise ValueError(f"1D conv output collapsed: L_in={l_in}, K={k}")
+
+        out = np.zeros((g, l_out), dtype=np.result_type(inputs, weights))
+        cycles = 0
+        for g0 in range(0, g, self.array.rows):
+            r = min(self.array.rows, g - g0)
+            for l0 in range(0, l_out, self.array.cols):
+                c = min(self.array.cols, l_out - l0)
+                tile, tile_cycles = self._run_broadcast_fold(
+                    inputs[g0:g0 + r], weights[g0:g0 + r], stride, l0, c
+                )
+                out[g0:g0 + r, l0:l0 + c] = tile
+                cycles += tile_cycles
+        return SimResult(values=out, cycles=cycles)
+
+    def _run_broadcast_fold(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        stride: int,
+        out_offset: int,
+        c: int,
+    ) -> Tuple[np.ndarray, int]:
+        """One broadcast fold: ``r`` rows × ``c`` output columns.
+
+        PE (i, j) computes ``sum_t w[i, t] * x[i, (out_offset + j)*s + t]``.
+        The input stream of row ``i`` reaches column ``j`` with ``j`` cycles
+        of skew; the broadcast link delivers ``w[i, t]`` to the whole row at
+        once, so PE (i, j) executes its step-t MAC at cycle ``j + t`` —
+        there is no skew along the rows of the array (this is exactly the
+        saving over the pure systolic dataflow).
+        """
+        r, k = weights.shape
+        acc = np.zeros((r, c), dtype=np.result_type(inputs, weights))
+        mac_cycles = (c - 1) + k
+        for cycle in range(mac_cycles):
+            active = np.zeros((r, c), dtype=bool)
+            for j in range(c):
+                t = cycle - j  # local time of column j behind the skew
+                if 0 <= t < k:
+                    base = (out_offset + j) * stride
+                    acc[:, j] += weights[:, t] * inputs[:, base + t]
+                    active[:, j] = True
+            if self.observer is not None:
+                self.observer(
+                    "broadcast", cycle, {"acc": acc.copy(), "active": active}
+                )
+        drain_cycles = r
+        total = mac_cycles + drain_cycles
+        expected = BroadcastFold(r=r, c=c, k=k, stride=stride).cycles
+        assert total == expected, f"broadcast fold mismatch: {total} != {expected}"
+        return acc, total
+
+
+def simulate_gemm(a: np.ndarray, b: np.ndarray, array: ArrayConfig) -> SimResult:
+    """Convenience wrapper: output-stationary GEMM through a fresh simulator."""
+    return SystolicArraySim(array).run_gemm(a, b)
+
+
+def simulate_conv1d_bank(
+    inputs: np.ndarray, weights: np.ndarray, array: ArrayConfig, stride: int = 1
+) -> SimResult:
+    """Convenience wrapper: broadcast-dataflow 1D convolution bank."""
+    return SystolicArraySim(array).run_conv1d_broadcast(inputs, weights, stride)

@@ -1,0 +1,179 @@
+"""Analytical cycle model for output-stationary GEMM on a systolic array.
+
+The model follows SCALE-Sim's output-stationary accounting: a GEMM of
+``(M×K)·(K×N)`` is tiled into *folds* of at most ``rows × cols`` outputs.
+A fold with ``r`` active rows, ``c`` active columns and accumulation length
+``K`` costs
+
+``(r - 1) + (c - 1)``  cycles of skew fill (operands enter from the array
+edges, one hop per cycle), plus ``K`` MAC cycles, plus ``r`` cycles to
+drain the stationary outputs down the column links — i.e.
+``2r + c + K - 2`` cycles, the familiar SCALE-Sim ``2·S_R + S_C + T - 2``
+expression when the fold covers the whole array.
+
+The functional simulator in :mod:`repro.systolic.functional` executes this
+dataflow on real values and is tested to agree with these counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .config import ArrayConfig
+
+
+@dataclass(frozen=True)
+class GemmDims:
+    """Dimensions of one matrix multiplication ``(M×K) · (K×N)``."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class FoldShape:
+    """One fold: ``r × c`` active PEs accumulating over ``k`` values."""
+
+    r: int
+    c: int
+    k: int
+
+    @property
+    def cycles(self) -> int:
+        """Skew fill + MAC + drain (see module docstring)."""
+        return (self.r - 1) + (self.c - 1) + self.k + self.r
+
+    @property
+    def pipelined_cycles(self) -> int:
+        """Steady-state cost when folds issue back-to-back.
+
+        The next fold's operands stream in behind this fold's drain, so a
+        non-first fold pays its MAC phase plus the drain that frees the
+        accumulators — the ``(r-1)+(c-1)`` skew fill is hidden.
+        """
+        return self.k + self.r
+
+    @property
+    def active_mac_cycles(self) -> int:
+        return self.r * self.c * self.k
+
+
+@dataclass
+class MappingStats:
+    """Cycle/utilization accounting for one operation mapped onto an array.
+
+    Attributes:
+        cycles: total latency in array cycles.
+        folds: number of folds executed.
+        active_mac_cycles: PE-cycles doing useful MACs (equals the MAC count
+            of the operation).
+        occupied_pe_cycles: PE-cycles summed over ``cycles`` for the whole
+            grid — the denominator of utilization.
+        sram_reads: operand values read from the edge buffers.
+        sram_writes: output values written beyond the array.
+    """
+
+    cycles: int = 0
+    folds: int = 0
+    active_mac_cycles: int = 0
+    occupied_pe_cycles: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PE-cycles spent on useful MACs (0 when idle)."""
+        if self.occupied_pe_cycles == 0:
+            return 0.0
+        return self.active_mac_cycles / self.occupied_pe_cycles
+
+    def merge(self, other: "MappingStats") -> None:
+        """Accumulate another operation's stats into this one (sequential)."""
+        self.cycles += other.cycles
+        self.folds += other.folds
+        self.active_mac_cycles += other.active_mac_cycles
+        self.occupied_pe_cycles += other.occupied_pe_cycles
+        self.sram_reads += other.sram_reads
+        self.sram_writes += other.sram_writes
+
+
+def iter_folds(dims: GemmDims, array: ArrayConfig) -> Iterator[FoldShape]:
+    """Folds of a GEMM over the array, row-major over the output tiles."""
+    for m0 in range(0, dims.m, array.rows):
+        r = min(array.rows, dims.m - m0)
+        for n0 in range(0, dims.n, array.cols):
+            c = min(array.cols, dims.n - n0)
+            yield FoldShape(r=r, c=c, k=dims.k)
+
+
+def fold_counts(dims: GemmDims, array: ArrayConfig) -> Tuple[int, int]:
+    """Number of (row folds, column folds)."""
+    rf = -(-dims.m // array.rows)
+    cf = -(-dims.n // array.cols)
+    return rf, cf
+
+
+def _tile_counts(extent: int, tile: int) -> List[Tuple[int, int]]:
+    """Distinct (tile size, multiplicity) pairs when tiling ``extent`` by ``tile``."""
+    full, rem = divmod(extent, tile)
+    out: List[Tuple[int, int]] = []
+    if full:
+        out.append((tile, full))
+    if rem:
+        out.append((rem, 1))
+    return out
+
+
+def os_gemm_stats(dims: GemmDims, array: ArrayConfig) -> MappingStats:
+    """Latency and utilization of one GEMM under output-stationary dataflow.
+
+    Computed in closed form over the (at most four) distinct fold shapes;
+    identical by construction to summing :func:`iter_folds` (tested).
+    """
+    stats = MappingStats()
+    first = True
+    for r, nr in _tile_counts(dims.m, array.rows):
+        for c, nc in _tile_counts(dims.n, array.cols):
+            count = nr * nc
+            fold = FoldShape(r=r, c=c, k=dims.k)
+            if array.pipelined_folds:
+                cycles = count * fold.pipelined_cycles
+                if first:
+                    # Only the operation's first fold pays the fill skew.
+                    cycles += (fold.r - 1) + (fold.c - 1)
+                    first = False
+            else:
+                cycles = count * fold.cycles
+            stats.cycles += cycles
+            stats.folds += count
+            stats.active_mac_cycles += count * fold.active_mac_cycles
+            stats.occupied_pe_cycles += cycles * array.num_pes
+            # Per fold: r rows of A (r*k values), c columns of B (c*k
+            # values), r*c outputs drained.
+            stats.sram_reads += count * (fold.r * fold.k + fold.c * fold.k)
+            stats.sram_writes += count * fold.r * fold.c
+    assert stats.active_mac_cycles == dims.macs
+    return stats
+
+
+def os_gemm_cycles(dims: GemmDims, array: ArrayConfig) -> int:
+    """Convenience wrapper: total cycles only."""
+    return os_gemm_stats(dims, array).cycles
+
+
+def batch_stats(gemms: List[GemmDims], array: ArrayConfig) -> MappingStats:
+    """Sequentially execute a list of GEMMs (e.g. per-channel depthwise)."""
+    total = MappingStats()
+    for dims in gemms:
+        total.merge(os_gemm_stats(dims, array))
+    return total

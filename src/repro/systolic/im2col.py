@@ -1,0 +1,127 @@
+"""Mapping layer specs to systolic-array operations (GEMMs / 1D-conv banks).
+
+This is the *shape-level* im2col of §III-B: a convolution becomes a matrix
+multiplication whose dimensions determine fold counts and cycles.  (The
+numerical im2col used for actually computing values lives in
+:mod:`repro.core.reference`.)
+
+Key mappings and their §III significance:
+
+* standard conv → one GEMM with ``N = C_out`` columns: filters provide reuse
+  along systolic dimension 1 (Fig. 3a) — good utilization;
+* depthwise conv → ``C`` independent GEMMs with ``N = 1``: a single active
+  column (Fig. 2c) — the inefficiency the paper identifies;
+* FuSeConv 1D group → a :class:`repro.systolic.fuse_mapping.Conv1DBank`
+  executed with the broadcast dataflow — spans both dimensions (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..ir.layer import (
+    Conv2D,
+    DepthwiseConv2D,
+    FuSeConv1D,
+    LayerSpec,
+    Linear,
+    PointwiseConv2D,
+    Shape,
+    SqueezeExcite,
+)
+from .fuse_mapping import Conv1DBank
+from .gemm import GemmDims
+
+#: A layer lowers to either GEMMs or 1D-convolution banks.
+ArrayOp = Union[GemmDims, Conv1DBank]
+
+
+@dataclass(frozen=True)
+class LoweredLayer:
+    """The array operations implementing one layer."""
+
+    ops: List[ArrayOp]
+
+    @property
+    def macs(self) -> int:
+        return sum(op.macs for op in self.ops)
+
+
+def lower_layer(
+    layer: LayerSpec, in_shape: Shape, out_shape: Shape, batch: int = 1
+) -> LoweredLayer:
+    """Lower a compute layer to array operations.
+
+    Layers with no array compute (activations, BN, pooling, plumbing)
+    lower to an empty op list — the paper's latency model considers
+    compute-bound convolution, Squeeze-and-Excite and FC layers only
+    (§V-A.3).
+
+    ``batch`` folds additional images into the GEMM M dimension (for
+    convolutions) or independent rows (for FC / 1D banks) — the standard
+    SCALE-Sim batching model; the paper's numbers are batch 1.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if isinstance(layer, Conv2D):
+        return _lower_conv(layer, in_shape, out_shape, batch)
+    if isinstance(layer, DepthwiseConv2D):
+        return _lower_depthwise(layer, in_shape, out_shape, batch)
+    if isinstance(layer, PointwiseConv2D):
+        c, h, w = in_shape
+        return LoweredLayer([GemmDims(m=batch * h * w, k=c, n=layer.out_channels)])
+    if isinstance(layer, FuSeConv1D):
+        return _lower_fuse(layer, in_shape, out_shape, batch)
+    if isinstance(layer, Linear):
+        c = in_shape[0]
+        return LoweredLayer([GemmDims(m=batch, k=c, n=layer.out_features)])
+    if isinstance(layer, SqueezeExcite):
+        c = in_shape[0]
+        mid = layer.bottleneck(c)
+        return LoweredLayer(
+            [GemmDims(m=batch, k=c, n=mid), GemmDims(m=batch, k=mid, n=c)]
+        )
+    return LoweredLayer([])
+
+
+def _lower_conv(
+    layer: Conv2D, in_shape: Shape, out_shape: Shape, batch: int
+) -> LoweredLayer:
+    c_in = in_shape[0]
+    c_out, oh, ow = out_shape
+    kh, kw = layer.kernel_hw
+    if layer.groups == 1:
+        return LoweredLayer([GemmDims(m=batch * oh * ow, k=kh * kw * c_in, n=c_out)])
+    per_group = GemmDims(
+        m=batch * oh * ow, k=kh * kw * (c_in // layer.groups), n=c_out // layer.groups
+    )
+    return LoweredLayer([per_group] * layer.groups)
+
+
+def _lower_depthwise(
+    layer: DepthwiseConv2D, in_shape: Shape, out_shape: Shape, batch: int
+) -> LoweredLayer:
+    c_out, oh, ow = out_shape
+    kh, kw = layer.kernel_hw
+    # One single-column GEMM per output channel (Fig. 2c): no reuse along
+    # systolic dimension 1.  Batching extends M (same filter, more pixels).
+    return LoweredLayer([GemmDims(m=batch * oh * ow, k=kh * kw, n=1)] * c_out)
+
+
+def _lower_fuse(
+    layer: FuSeConv1D, in_shape: Shape, out_shape: Shape, batch: int
+) -> LoweredLayer:
+    c, oh, ow = out_shape
+    sh, sw = layer.stride_hw
+    if layer.axis == "row":
+        # One 1D conv per (image, channel, surviving output row), each
+        # producing a full output row of length ow.
+        bank = Conv1DBank(
+            num_convs=batch * c * oh, out_length=ow, kernel=layer.kernel, stride=sw
+        )
+    else:
+        bank = Conv1DBank(
+            num_convs=batch * c * ow, out_length=oh, kernel=layer.kernel, stride=sh
+        )
+    return LoweredLayer([bank])

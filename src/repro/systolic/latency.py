@@ -1,0 +1,173 @@
+"""Network latency estimation on a systolic array (the paper's §V-A.3 model).
+
+Adds up, per layer, the cycles to load operands, compute MACs, communicate
+partials systolically and flush outputs — nothing else (no cache model, no
+DRAM stalls), exactly the simplification the paper adopts from SCALE-Sim.
+
+Entry points:
+
+* :func:`estimate_layer` — one layer on one array;
+* :func:`estimate_network` — whole network, with per-node, per-operator-class
+  and per-block breakdowns (feeding Table I, Fig. 8a/b/c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.counting import op_class
+from ..ir.layer import LayerSpec, Shape
+from ..ir.network import Network, Node
+from .config import ArrayConfig
+from .fuse_mapping import (
+    Conv1DBank,
+    broadcast_conv1d_stats,
+    fallback_conv1d_gemms,
+)
+from .gemm import MappingStats
+from .im2col import lower_layer
+
+
+@dataclass
+class LayerLatency:
+    """Latency result for one node."""
+
+    name: str
+    kind: str
+    op_class: str
+    block: str
+    stats: MappingStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def utilization(self) -> float:
+        return self.stats.utilization
+
+
+@dataclass
+class NetworkLatency:
+    """Latency result for a whole network."""
+
+    network: str
+    array: ArrayConfig
+    layers: List[LayerLatency] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_ms(self) -> float:
+        return self.array.cycles_to_ms(self.total_cycles)
+
+    def cycles_by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for layer in self.layers:
+            out[layer.op_class] = out.get(layer.op_class, 0) + layer.cycles
+        return out
+
+    def cycles_by_block(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for layer in self.layers:
+            key = layer.block or layer.name
+            out[key] = out.get(key, 0) + layer.cycles
+        return out
+
+    def class_fractions(self) -> Dict[str, float]:
+        """Latency distribution over operator classes (Fig. 8c)."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self.cycles_by_class().items()}
+
+    @property
+    def mean_utilization(self) -> float:
+        """MAC-cycle-weighted PE utilization across the network."""
+        active = sum(l.stats.active_mac_cycles for l in self.layers)
+        occupied = sum(l.stats.occupied_pe_cycles for l in self.layers)
+        return active / occupied if occupied else 0.0
+
+
+def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
+                  array: ArrayConfig, batch: int = 1) -> MappingStats:
+    """Array cycle/utilization stats for one layer spec."""
+    from collections import Counter
+
+    lowered = lower_layer(layer, in_shape, out_shape, batch)
+    total = MappingStats()
+    from .dataflows import gemm_stats
+
+    # Depthwise layers lower to C identical GEMMs — compute each distinct
+    # operation once and scale.
+    for op, count in Counter(lowered.ops).items():
+        if isinstance(op, Conv1DBank):
+            if array.broadcast:
+                op_stats = broadcast_conv1d_stats(op, array)
+            else:
+                # Without the proposed link, 1D convs degrade to the
+                # single-column im2col mapping (§III-B).
+                op_stats = MappingStats()
+                for dims, n in Counter(fallback_conv1d_gemms(op)).items():
+                    op_stats.merge(_scaled(gemm_stats(dims, array), n))
+        else:
+            op_stats = gemm_stats(op, array)
+        total.merge(_scaled(op_stats, count))
+    return total
+
+
+def _scaled(stats: MappingStats, count: int) -> MappingStats:
+    """Stats for ``count`` sequential repetitions of the same operation."""
+    if count == 1:
+        return stats
+    return MappingStats(
+        cycles=stats.cycles * count,
+        folds=stats.folds * count,
+        active_mac_cycles=stats.active_mac_cycles * count,
+        occupied_pe_cycles=stats.occupied_pe_cycles * count,
+        sram_reads=stats.sram_reads * count,
+        sram_writes=stats.sram_writes * count,
+    )
+
+
+def estimate_layer(node: Node, array: ArrayConfig, batch: int = 1) -> LayerLatency:
+    """Latency of one placed node."""
+    return LayerLatency(
+        name=node.name,
+        kind=node.kind,
+        op_class=op_class(node.layer),
+        block=node.block,
+        stats=mapping_stats(node.layer, node.in_shape, node.out_shape, array, batch),
+    )
+
+
+def estimate_network(
+    network: Network,
+    array: Optional[ArrayConfig] = None,
+    batch: int = 1,
+) -> NetworkLatency:
+    """Latency of a whole network; ``array`` defaults to the paper's 64×64.
+
+    ``batch > 1`` estimates one pass over a batch (throughput studies);
+    the paper's Table I numbers are batch 1.
+    """
+    if array is None:
+        from .config import PAPER_ARRAY
+
+        array = PAPER_ARRAY
+    result = NetworkLatency(network=network.name, array=array)
+    for node in network:
+        layer_latency = estimate_layer(node, array, batch)
+        if layer_latency.stats.cycles:
+            result.layers.append(layer_latency)
+    return result
+
+
+def speedup(baseline: NetworkLatency, variant: NetworkLatency) -> float:
+    """Baseline-over-variant cycle ratio (Table I "Speedup" column)."""
+    if variant.total_cycles == 0:
+        raise ZeroDivisionError("variant network has no modeled compute")
+    return baseline.total_cycles / variant.total_cycles

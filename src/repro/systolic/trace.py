@@ -1,0 +1,180 @@
+"""Cycle-accurate operand demand traces (SCALE-Sim's trace output).
+
+SCALE-Sim's primary artifact is per-cycle SRAM read/write traces; this
+module generates the same kind of demand streams for both dataflows:
+
+* :func:`trace_gemm` — output-stationary GEMM: which A/B elements enter
+  the array edges at each cycle, and when C elements drain out;
+* :func:`trace_conv1d_bank` — the broadcast dataflow: per-cycle weight
+  broadcasts and input stream reads.
+
+Addresses are operand-local logical offsets (row-major), which is what a
+buffer model consumes.  Traces are exact for the GEMM dataflow; for
+strided 1D-conv streams the (c-1)·s+k input values of a fold are paced
+uniformly over its streaming window (documented approximation).
+
+Intended for small operations (debug, buffer sizing studies): a trace has
+one event per operand access, so a whole MobileNet layer produces millions
+of events — use :class:`repro.systolic.gemm.MappingStats` for aggregate
+counts instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from .config import ArrayConfig
+from .fuse_mapping import Conv1DBank
+from .gemm import GemmDims
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One SRAM access demanded by the array.
+
+    Attributes:
+        cycle: global cycle index (monotone across folds).
+        kind: ``"read"`` or ``"write"``.
+        operand: ``"A"``, ``"B"``, ``"W"``, ``"X"`` or ``"C"``.
+        address: operand-local logical offset (row-major).
+        lane: edge lane (array row for A/W/X, column for B; column for C
+            drains).
+    """
+
+    cycle: int
+    kind: str
+    operand: str
+    address: int
+    lane: int
+
+
+def trace_gemm(dims: GemmDims, array: ArrayConfig) -> Iterator[TraceEvent]:
+    """Exact OS-dataflow demand trace of one GEMM.
+
+    Yields events in non-decreasing cycle order within each fold; folds are
+    serialized (no pipelining — matching ``pipelined_folds=False``).
+    """
+    cycle_base = 0
+    for m0 in range(0, dims.m, array.rows):
+        r = min(array.rows, dims.m - m0)
+        for n0 in range(0, dims.n, array.cols):
+            c = min(array.cols, dims.n - n0)
+            mac_cycles = (r - 1) + (c - 1) + dims.k
+            for t in range(mac_cycles):
+                for i in range(r):  # left edge: row i consumes A[m0+i, t-i]
+                    kk = t - i
+                    if 0 <= kk < dims.k:
+                        yield TraceEvent(
+                            cycle=cycle_base + t,
+                            kind="read",
+                            operand="A",
+                            address=(m0 + i) * dims.k + kk,
+                            lane=i,
+                        )
+                for j in range(c):  # top edge: col j consumes B[t-j, n0+j]
+                    kk = t - j
+                    if 0 <= kk < dims.k:
+                        yield TraceEvent(
+                            cycle=cycle_base + t,
+                            kind="read",
+                            operand="B",
+                            address=kk * dims.n + (n0 + j),
+                            lane=j,
+                        )
+            # Drain: stationary outputs exit row-by-row down the columns.
+            for i in range(r):
+                for j in range(c):
+                    yield TraceEvent(
+                        cycle=cycle_base + mac_cycles + i,
+                        kind="write",
+                        operand="C",
+                        address=(m0 + i) * dims.n + (n0 + j),
+                        lane=j,
+                    )
+            cycle_base += mac_cycles + r
+
+
+def trace_conv1d_bank(bank: Conv1DBank, array: ArrayConfig) -> Iterator[TraceEvent]:
+    """Broadcast-dataflow demand trace of a 1D-convolution bank.
+
+    Weight reads are exact (one broadcast value per active row per MAC
+    cycle); input-stream reads are paced uniformly over each fold's
+    streaming window when the stride exceeds 1.
+    """
+    if not array.broadcast:
+        raise ValueError("broadcast traces need an array with broadcast links")
+    line_len = (bank.out_length - 1) * bank.stride + bank.kernel
+    cycle_base = 0
+    for g0 in range(0, bank.num_convs, array.rows):
+        r = min(array.rows, bank.num_convs - g0)
+        for l0 in range(0, bank.out_length, array.cols):
+            c = min(array.cols, bank.out_length - l0)
+            mac_cycles = (c - 1) + bank.kernel
+            # Weight broadcasts: w[g, t] at cycle t (per active row).
+            for t in range(bank.kernel):
+                for i in range(r):
+                    yield TraceEvent(
+                        cycle=cycle_base + t,
+                        kind="read",
+                        operand="W",
+                        address=(g0 + i) * bank.kernel + t,
+                        lane=i,
+                    )
+            # Input stream: the fold needs (c-1)*stride + kernel values per
+            # row, starting at offset l0*stride, paced over mac_cycles.
+            stream_len = (c - 1) * bank.stride + bank.kernel
+            for step in range(stream_len):
+                cycle = cycle_base + min(step, mac_cycles - 1)
+                for i in range(r):
+                    yield TraceEvent(
+                        cycle=cycle,
+                        kind="read",
+                        operand="X",
+                        address=(g0 + i) * line_len + l0 * bank.stride + step,
+                        lane=i,
+                    )
+            # Outputs drain down columns, one row per cycle.
+            for i in range(r):
+                for j in range(c):
+                    yield TraceEvent(
+                        cycle=cycle_base + mac_cycles + i,
+                        kind="write",
+                        operand="C",
+                        address=(g0 + i) * bank.out_length + (l0 + j),
+                        lane=j,
+                    )
+            cycle_base += mac_cycles + r
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of a trace: counts and peak per-cycle bandwidth."""
+
+    events: int = 0
+    reads: int = 0
+    writes: int = 0
+    cycles: int = 0
+    peak_reads_per_cycle: int = 0
+
+    @classmethod
+    def from_events(cls, events: Iterator[TraceEvent]) -> "TraceSummary":
+        summary = cls()
+        per_cycle: Dict[int, int] = {}
+        last_cycle = -1
+        for event in events:
+            summary.events += 1
+            if event.kind == "read":
+                summary.reads += 1
+                per_cycle[event.cycle] = per_cycle.get(event.cycle, 0) + 1
+            else:
+                summary.writes += 1
+            last_cycle = max(last_cycle, event.cycle)
+        summary.cycles = last_cycle + 1
+        summary.peak_reads_per_cycle = max(per_cycle.values(), default=0)
+        return summary
+
+
+def unique_addresses(events: Iterator[TraceEvent], operand: str) -> List[int]:
+    """Sorted unique addresses touched for one operand."""
+    return sorted({e.address for e in events if e.operand == operand})

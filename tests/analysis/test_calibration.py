@@ -1,0 +1,69 @@
+"""Calibration statistics."""
+
+import pytest
+
+from repro.analysis import calibration_stats, table1
+from repro.analysis.paper_values import PaperRow
+from repro.analysis.speedup import SpeedupRow
+
+
+def _row(network, variant, speedup, paper_speedup):
+    paper = None
+    if paper_speedup is not None:
+        paper = PaperRow(network, variant, 70.0, 100, 1.0, paper_speedup)
+    return SpeedupRow(
+        network=network,
+        variant=variant,
+        macs_millions=100.0,
+        params_millions=1.0,
+        cycles=1000,
+        latency_ms=1.0,
+        speedup=speedup,
+        paper=paper,
+    )
+
+
+class TestCalibrationStats:
+    def test_perfect_agreement(self):
+        rows = [_row("m", "A", 2.0, 2.0), _row("m", "B", 4.0, 4.0)]
+        stats = calibration_stats(rows)
+        assert stats.mean_ratio == pytest.approx(1.0)
+        assert stats.rank_correlation == pytest.approx(1.0)
+
+    def test_uniform_inflation_keeps_rank(self):
+        rows = [_row("m", "A", 3.0, 2.0), _row("m", "B", 6.0, 4.0),
+                _row("m", "C", 9.0, 6.0)]
+        stats = calibration_stats(rows)
+        assert stats.mean_ratio == pytest.approx(1.5)
+        assert stats.rank_correlation == pytest.approx(1.0)
+
+    def test_inverted_order_detected(self):
+        rows = [_row("m", "A", 4.0, 2.0), _row("m", "B", 2.0, 4.0)]
+        assert calibration_stats(rows).rank_correlation == pytest.approx(-1.0)
+
+    def test_baselines_excluded(self):
+        rows = [
+            _row("m", None, 1.0, 1.0),
+            _row("m", "A", 2.0, 2.0),
+            _row("m", "B", 3.0, 3.0),
+        ]
+        assert calibration_stats(rows).pairs == 2
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError, match="at least two"):
+            calibration_stats([_row("m", "A", 2.0, 2.0)])
+
+    def test_summary_text(self):
+        rows = [_row("m", "A", 2.0, 2.0), _row("m", "B", 4.0, 4.0)]
+        text = calibration_stats(rows).summary()
+        assert "rank correlation" in text
+
+
+class TestOnRealTable:
+    def test_table1_ordering_reproduced(self):
+        """The EXPERIMENTS.md headline: rank correlation > 0.9 over all 20
+        variant rows (fewer rows give noisier small-sample correlations)."""
+        stats = calibration_stats(table1())
+        assert stats.pairs == 20
+        assert stats.rank_correlation > 0.9
+        assert 1.0 < stats.mean_ratio < 1.8

@@ -1,0 +1,166 @@
+"""Experiment drivers reproduce the paper's qualitative results.
+
+These are the shape checks for Table I and Fig. 8: who wins, by roughly
+what factor, and in which direction trends move.  Absolute numbers differ
+from the paper (different simulator calibration) and are recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1,
+    distribution_table,
+    figure_8a,
+    figure_8c,
+    figure_8d,
+    layerwise_speedups,
+    operator_distribution,
+    scaling_curve,
+    table1,
+)
+from repro.core import FuSeVariant, to_fuseconv
+from repro.models import build_model
+from repro.systolic import ArrayConfig
+
+
+@pytest.fixture(scope="module")
+def v2_table():
+    return table1(networks=["mobilenet_v2"])
+
+
+class TestTable1:
+    def test_rows_cover_all_variants(self, v2_table):
+        variants = {row.variant for row in v2_table}
+        assert variants == {None, "FuSe-Full", "FuSe-Half",
+                            "FuSe-Full-50%", "FuSe-Half-50%"}
+
+    def test_baseline_speedup_is_one(self, v2_table):
+        baseline = next(r for r in v2_table if r.variant is None)
+        assert baseline.speedup == 1.0
+
+    def test_all_variants_faster_than_baseline(self, v2_table):
+        for row in v2_table:
+            if row.variant is not None:
+                assert row.speedup > 1.5, row.variant
+
+    def test_half_fastest_full_next(self, v2_table):
+        by_variant = {r.variant: r for r in v2_table}
+        assert by_variant["FuSe-Half"].speedup > by_variant["FuSe-Full"].speedup
+        assert by_variant["FuSe-Full"].speedup > by_variant["FuSe-Full-50%"].speedup
+
+    def test_macs_and_params_match_paper_closely(self, v2_table):
+        """Operation/parameter counts are analytic: they should be close."""
+        for row in v2_table:
+            assert row.paper is not None
+            assert row.macs_millions == pytest.approx(row.paper.macs_millions, rel=0.10)
+            assert row.params_millions == pytest.approx(row.paper.params_millions, rel=0.05)
+
+    def test_speedups_in_paper_band(self, v2_table):
+        """Within ~2× of the paper's reported factors, same ordering."""
+        for row in v2_table:
+            if row.variant is None:
+                continue
+            assert row.paper is not None
+            ratio = row.speedup / row.paper.speedup
+            assert 0.5 < ratio < 2.1, (row.variant, row.speedup, row.paper.speedup)
+
+    def test_full_has_more_macs_than_baseline(self, v2_table):
+        by_variant = {r.variant: r for r in v2_table}
+        assert by_variant["FuSe-Full"].macs_millions > by_variant[None].macs_millions
+        assert by_variant["FuSe-Half"].macs_millions < by_variant[None].macs_millions
+
+    def test_table1_reference_has_25_rows(self):
+        assert len(TABLE1) == 25
+
+
+class TestNetworkVariants:
+    def test_keys_and_types(self):
+        from repro.analysis import network_variants
+
+        nets = network_variants("mobilenet_v3_small", resolution=96)
+        assert set(nets) == {None, "FuSe-Full", "FuSe-Half",
+                             "FuSe-Full-50%", "FuSe-Half-50%"}
+        baseline = nets[None]
+        for label, net in nets.items():
+            assert net.out_shape == baseline.out_shape
+
+
+class TestFig8a:
+    def test_latency_structure(self):
+        data = figure_8a(networks=["mobilenet_v3_small"])
+        series = data["mobilenet_v3_small"]
+        assert series["baseline"] > series["FuSe-Full"] > 0
+
+
+class TestFig8b:
+    @pytest.fixture(scope="class")
+    def blocks(self):
+        return layerwise_speedups(build_model("mobilenet_v2"), FuSeVariant.FULL)
+
+    def test_every_depthwise_block_reported(self, blocks):
+        assert len(blocks) == 17
+
+    def test_all_blocks_speed_up(self, blocks):
+        assert all(b.speedup > 1 for b in blocks)
+
+    def test_range_overlaps_paper(self, blocks):
+        """Paper: 2.48×–9.38×.  Same order of magnitude and spread."""
+        speedups = [b.speedup for b in blocks]
+        assert min(speedups) > 1.5
+        assert max(speedups) < 25
+        assert max(speedups) / min(speedups) > 2  # a real spread
+
+    def test_early_layers_benefit_more(self, blocks):
+        """Larger feature maps → larger speed-up (paper's observation)."""
+        first_quarter = [b.speedup for b in blocks[:4]]
+        last_quarter = [b.speedup for b in blocks[-4:]]
+        assert min(first_quarter) > max(last_quarter) * 0.8
+        assert sum(first_quarter) / 4 > sum(last_quarter) / 4
+
+
+class TestFig8c:
+    def test_baseline_dominated_by_depthwise(self):
+        dist = operator_distribution(build_model("mobilenet_v2"))
+        assert dist.share("depthwise") > 0.5
+        assert dist.share("fuse") == 0.0
+
+    def test_fuse_net_shifts_to_pointwise(self):
+        net = to_fuseconv(build_model("mobilenet_v2"), FuSeVariant.FULL)
+        dist = operator_distribution(net)
+        assert dist.share("depthwise") == 0.0
+        assert dist.share("pointwise") > dist.share("fuse")
+        # FuSe ops are a minor share of the transformed network.
+        assert dist.share("fuse") < 0.5
+
+    def test_figure_8c_all_networks(self):
+        results = figure_8c(networks=["mobilenet_v3_small"], variant=FuSeVariant.FULL)
+        pair = results["mobilenet_v3_small"]
+        assert pair["baseline"].share("depthwise") > pair["fuse"].share("depthwise")
+
+    def test_distribution_table_text(self):
+        text = distribution_table(operator_distribution(build_model("mobilenet_v2")))
+        assert "depthwise" in text and "%" in text
+
+
+class TestFig8d:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return scaling_curve("mobilenet_v1", FuSeVariant.HALF, sizes=(16, 32, 64, 128))
+
+    def test_speedup_grows_with_array_size(self, curve):
+        speedups = [p.speedup for p in curve]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 1.5 * speedups[0]
+
+    def test_larger_network_gains_more_on_big_arrays(self):
+        """Paper: MobileNet-V1 > MobileNet-V3-Small at large sizes."""
+        sizes = (128,)
+        v1 = scaling_curve("mobilenet_v1", FuSeVariant.HALF, sizes=sizes)[0]
+        v3 = scaling_curve("mobilenet_v3_small", FuSeVariant.HALF, sizes=sizes)[0]
+        assert v1.speedup > v3.speedup
+
+    def test_figure_8d_keys(self):
+        data = figure_8d(networks=["mobilenet_v3_small"], sizes=(16, 32))
+        assert set(data) == {"mobilenet_v3_small"}
+        assert [p.size for p in data["mobilenet_v3_small"]] == [16, 32]

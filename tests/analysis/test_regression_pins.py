@@ -1,0 +1,74 @@
+"""Regression pins: the headline numbers recorded in EXPERIMENTS.md.
+
+These bands are deliberately tight around the values the documentation
+reports — a model change that silently shifts the reproduced results
+should fail here first, forcing EXPERIMENTS.md to be re-derived.
+"""
+
+import pytest
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.hw import broadcast_overhead
+from repro.ir import macs_millions, params_millions
+from repro.models import build_model
+from repro.systolic import ArrayConfig, PAPER_ARRAY, estimate_network
+
+#: (network, variant) -> (measured speed-up band) as recorded in E2.
+SPEEDUP_PINS = {
+    ("mobilenet_v1", FuSeVariant.FULL): (6.0, 6.4),
+    ("mobilenet_v1", FuSeVariant.HALF): (9.6, 10.1),
+    ("mobilenet_v2", FuSeVariant.FULL): (7.0, 7.5),
+    ("mobilenet_v2", FuSeVariant.HALF): (9.6, 10.1),
+    ("mobilenet_v3_small", FuSeVariant.FULL): (4.5, 4.9),
+    ("mobilenet_v3_large", FuSeVariant.HALF): (7.5, 7.9),
+}
+
+#: baseline (MACs(M), params(M)) pins as recorded in E1.
+COUNT_PINS = {
+    "mobilenet_v1": (568.7, 4.23),
+    "mobilenet_v2": (300.8, 3.50),
+    "mnasnet_b1": (314.4, 4.38),
+    "mobilenet_v3_small": (56.8, 2.54),
+    "mobilenet_v3_large": (217.2, 5.48),
+}
+
+
+@pytest.mark.parametrize("key", sorted(SPEEDUP_PINS, key=str))
+def test_speedup_pin(key):
+    name, variant = key
+    lo, hi = SPEEDUP_PINS[key]
+    net = build_model(name)
+    base = estimate_network(net, PAPER_ARRAY).total_cycles
+    fuse = estimate_network(to_fuseconv(net, variant, PAPER_ARRAY), PAPER_ARRAY).total_cycles
+    assert lo < base / fuse < hi
+
+
+@pytest.mark.parametrize("name", sorted(COUNT_PINS))
+def test_count_pin(name):
+    macs, params = COUNT_PINS[name]
+    net = build_model(name)
+    assert macs_millions(net) == pytest.approx(macs, abs=0.2)
+    assert params_millions(net) == pytest.approx(params, abs=0.02)
+
+
+def test_overhead_pins():
+    report = broadcast_overhead(32)
+    assert report.area_overhead == pytest.approx(0.0435, abs=0.002)
+    assert report.power_overhead == pytest.approx(0.0219, abs=0.002)
+
+
+def test_baseline_cycle_pin():
+    """Absolute cycle count of one reference configuration (E2 table)."""
+    net = build_model("mobilenet_v2")
+    assert estimate_network(net, PAPER_ARRAY).total_cycles == 5_322_732
+
+
+def test_motivation_pin():
+    array = ArrayConfig.square(32)
+    v2 = build_model("mobilenet_v2")
+    r50 = build_model("resnet50")
+    ratio = (
+        estimate_network(r50, array).total_cycles
+        / estimate_network(v2, array).total_cycles
+    )
+    assert 0.8 < ratio < 1.1  # E10: ~0.9x recorded

@@ -1,0 +1,40 @@
+"""ASCII/CSV rendering helpers."""
+
+from repro.analysis import format_table, ratio_or_na, to_csv
+
+
+class TestFormatTable:
+    def test_includes_all_cells(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        assert "name" in text and "bb" in text and "1.50" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["v"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_handles_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestCsv:
+    def test_round_trip(self):
+        text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert ratio_or_na(2.0, 4.0) == "0.50"
+
+    def test_na(self):
+        assert ratio_or_na(2.0, None) == "n/a"
+        assert ratio_or_na(2.0, 0.0) == "n/a"

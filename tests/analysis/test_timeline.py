@@ -1,0 +1,63 @@
+"""Execution timeline reports."""
+
+import pytest
+
+from repro.analysis import execution_timeline
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import Conv2D, Network
+from repro.models import build_model
+from repro.systolic import ArrayConfig, estimate_network
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return execution_timeline(
+        build_model("mobilenet_v3_small", resolution=96), ArrayConfig.square(32)
+    )
+
+
+class TestTimeline:
+    def test_contiguous_and_ordered(self, timeline):
+        cursor = 0
+        for entry in timeline.entries:
+            assert entry.start_cycle == cursor
+            assert entry.end_cycle > entry.start_cycle
+            cursor = entry.end_cycle
+
+    def test_total_matches_latency_model(self, timeline):
+        net = build_model("mobilenet_v3_small", resolution=96)
+        expected = estimate_network(net, ArrayConfig.square(32)).total_cycles
+        assert timeline.total_cycles == expected
+
+    def test_render_contains_shares(self, timeline):
+        text = timeline.render(width=40)
+        assert "%" in text and "#" in text
+        assert "32x32" in text
+
+    def test_render_top_limits_rows(self, timeline):
+        full_rows = len(timeline.render().splitlines())
+        top_rows = len(timeline.render(top=5).splitlines())
+        assert top_rows == 6  # header + 5
+        assert top_rows < full_rows
+
+    def test_csv_round_trip(self, timeline):
+        lines = timeline.csv().strip().splitlines()
+        assert lines[0] == "name,op_class,start_cycle,end_cycle,cycles"
+        assert len(lines) == len(timeline.entries) + 1
+
+    def test_empty_network(self):
+        net = Network("empty-ish", input_shape=(3, 8, 8))
+        from repro.ir import Activation
+
+        net.add(Activation("relu"))
+        timeline = execution_timeline(net, ArrayConfig.square(8))
+        assert timeline.total_cycles == 0
+        assert "no array compute" in timeline.render()
+
+    def test_fuse_timeline_shifts_classes(self):
+        net = build_model("mobilenet_v3_small", resolution=96)
+        fuse = to_fuseconv(net, FuSeVariant.HALF)
+        base_classes = {e.op_class for e in execution_timeline(net).entries}
+        fuse_classes = {e.op_class for e in execution_timeline(fuse).entries}
+        assert "depthwise" in base_classes and "depthwise" not in fuse_classes
+        assert "fuse" in fuse_classes

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.systolic import ArrayConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_array() -> ArrayConfig:
+    """A deliberately small, non-square array to exercise fold edges."""
+    return ArrayConfig(rows=4, cols=5)
+
+
+@pytest.fixture
+def paper_array() -> ArrayConfig:
+    return ArrayConfig.square(64)

@@ -1,0 +1,120 @@
+"""The FuSeConv operator: shapes, channel splits, paper formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FuSeConvOp, conv1d_col, conv1d_row, fuseconv, split_channels
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestSplitChannels:
+    def test_full_sees_all(self):
+        assert split_channels(8, 1) == (8, 8)
+
+    def test_half_splits(self):
+        assert split_channels(8, 2) == (4, 4)
+
+    def test_half_odd(self):
+        assert split_channels(7, 2) == (4, 3)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            split_channels(8, 0)
+
+    def test_extended_d(self):
+        """§VI extension: D>2 keeps 2C/D channels (rest unfiltered)."""
+        assert split_channels(8, 4) == (2, 2)
+        assert split_channels(16, 8) == (2, 2)
+        # Degenerate: D larger than C leaves a single row group.
+        assert split_channels(4, 8) == (1, 0)
+
+    @given(c=st.integers(1, 256), d=st.sampled_from([1, 2]))
+    def test_output_channels_formula(self, c, d):
+        row, col = split_channels(c, d)
+        # 2C/D total output channels (§IV-A), up to odd-C rounding.
+        assert row + col == (2 * c if d == 1 else c)
+
+
+class TestFuseconv:
+    def test_full_doubles_channels(self, rng):
+        x = rng.normal(size=(6, 10, 10))
+        out = fuseconv(x, rng.normal(size=(6, 3)), rng.normal(size=(6, 3)), d=1)
+        assert out.shape == (12, 10, 10)
+
+    def test_half_preserves_channels(self, rng):
+        x = rng.normal(size=(6, 10, 10))
+        out = fuseconv(x, rng.normal(size=(3, 3)), rng.normal(size=(3, 3)), d=2)
+        assert out.shape == (6, 10, 10)
+
+    def test_full_branches_match_reference(self, rng):
+        x = rng.normal(size=(4, 8, 8))
+        wr = rng.normal(size=(4, 3))
+        wc = rng.normal(size=(4, 3))
+        out = fuseconv(x, wr, wc, d=1)
+        assert np.allclose(out[:4], conv1d_row(x, wr, padding="same"))
+        assert np.allclose(out[4:], conv1d_col(x, wc, padding="same"))
+
+    def test_half_branches_see_disjoint_channels(self, rng):
+        x = rng.normal(size=(4, 8, 8))
+        wr = rng.normal(size=(2, 3))
+        wc = rng.normal(size=(2, 3))
+        out = fuseconv(x, wr, wc, d=2)
+        assert np.allclose(out[:2], conv1d_row(x[:2], wr, padding="same"))
+        assert np.allclose(out[2:], conv1d_col(x[2:], wc, padding="same"))
+
+    def test_stride_two(self, rng):
+        x = rng.normal(size=(4, 12, 12))
+        out = fuseconv(x, rng.normal(size=(4, 3)), rng.normal(size=(4, 3)), d=1, stride=2)
+        assert out.shape == (8, 6, 6)
+
+    def test_weight_count_validated(self, rng):
+        x = rng.normal(size=(4, 8, 8))
+        with pytest.raises(ValueError):
+            fuseconv(x, rng.normal(size=(3, 3)), rng.normal(size=(4, 3)), d=1)
+        with pytest.raises(ValueError):
+            fuseconv(x, rng.normal(size=(2, 3)), rng.normal(size=(3, 3)), d=2)
+
+
+class TestFuSeConvOp:
+    def test_init_shapes(self):
+        op = FuSeConvOp.init(channels=8, kernel=3, d=2, seed=0)
+        assert op.row_weights.shape == (4, 3)
+        assert op.col_weights.shape == (4, 3)
+        assert op.in_channels == 8
+        assert op.out_channels == 8
+
+    def test_full_out_channels(self):
+        op = FuSeConvOp.init(channels=8, kernel=5, d=1, seed=0)
+        assert op.out_channels == 16
+        assert op.kernel == 5
+
+    def test_call_matches_function(self, rng):
+        op = FuSeConvOp.init(channels=6, kernel=3, d=1, seed=1)
+        x = rng.normal(size=(6, 9, 9))
+        assert np.allclose(
+            op(x), fuseconv(x, op.row_weights, op.col_weights, d=1)
+        )
+
+    @given(
+        c=st.integers(2, 16),
+        k=st.sampled_from([3, 5]),
+        d=st.sampled_from([1, 2]),
+        hw=st.integers(6, 14),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_macs_formula(self, c, k, d, hw):
+        """§IV-A: ops = (2/D)·N·M·C·K for the depthwise stage."""
+        op = FuSeConvOp.init(channels=c, kernel=k, d=d, seed=0)
+        expected = op.out_channels * hw * hw * k
+        assert op.macs(hw, hw) == expected
+
+    def test_deterministic_seed(self):
+        a = FuSeConvOp.init(channels=4, kernel=3, seed=42)
+        b = FuSeConvOp.init(channels=4, kernel=3, seed=42)
+        assert np.array_equal(a.row_weights, b.row_weights)

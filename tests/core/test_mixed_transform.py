@@ -1,0 +1,71 @@
+"""Per-layer mixed transform (to_mixed_fuseconv) used by NOS."""
+
+import pytest
+
+from repro.core import to_mixed_fuseconv
+from repro.ir import (
+    ChannelSplit,
+    Concat,
+    DepthwiseConv2D,
+    FuSeConv1D,
+    Network,
+    PointwiseConv2D,
+    validate_network,
+)
+from repro.models import build_model
+
+
+def two_block_net() -> Network:
+    net = Network("two", input_shape=(8, 16, 16))
+    net.add(DepthwiseConv2D(kernel=3), name="dw0", block="b0")
+    net.add(PointwiseConv2D(8), name="pw0", block="b0")
+    net.add(DepthwiseConv2D(kernel=3), name="dw1", block="b1")
+    net.add(PointwiseConv2D(8), name="pw1", block="b1")
+    return net
+
+
+class TestMixedTransform:
+    def test_mixed_choices(self):
+        net = two_block_net()
+        out = to_mixed_fuseconv(net, {"dw0": 1, "dw1": None})
+        # dw0 replaced with a Full pair; dw1 kept.
+        assert len(out.find(FuSeConv1D)) == 2
+        assert len(out.find(DepthwiseConv2D)) == 1
+        assert out.out_shape == net.out_shape
+        validate_network(out)
+
+    def test_half_choice_adds_splits(self):
+        out = to_mixed_fuseconv(two_block_net(), {"dw0": 2})
+        assert len(out.find(ChannelSplit)) == 2
+        assert len(out.find(Concat)) == 1
+
+    def test_unlisted_layers_kept(self):
+        out = to_mixed_fuseconv(two_block_net(), {})
+        assert len(out.find(DepthwiseConv2D)) == 2
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError, match="pw0"):
+            to_mixed_fuseconv(two_block_net(), {"pw0": 1})
+
+    def test_bad_knob_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            to_mixed_fuseconv(two_block_net(), {"dw0": 0})
+        with pytest.raises(ValueError, match="positive integer"):
+            to_mixed_fuseconv(two_block_net(), {"dw0": 1.5})
+
+    def test_extended_knob_d4(self):
+        """§VI extension: D=4 keeps only 2C/D channels after the stage."""
+        out = to_mixed_fuseconv(two_block_net(), {"dw0": 4})
+        concat = out.find(Concat)[0]
+        assert concat.out_shape[0] == 2 * 8 // 4
+        validate_network(out)
+        # The following pointwise adapts, so the network output is intact.
+        assert out.out_shape == two_block_net().out_shape
+
+    def test_mixed_on_real_model(self):
+        net = build_model("mobilenet_v2", resolution=64)
+        depthwise = [n.name for n in net.find(DepthwiseConv2D)]
+        choices = {name: (1 if i % 2 else 2) for i, name in enumerate(depthwise[:6])}
+        out = to_mixed_fuseconv(net, choices)
+        validate_network(out)
+        assert len(out.find(DepthwiseConv2D)) == len(depthwise) - 6

@@ -1,0 +1,176 @@
+"""Numpy reference convolutions validated against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.signal import correlate2d
+
+from repro.core import (
+    conv1d_col,
+    conv1d_row,
+    conv2d,
+    depthwise_conv2d,
+    im2col,
+    pad_input,
+    pointwise_conv2d,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(3, 8, 10))
+        cols = im2col(x, (3, 3), (1, 1), 0)
+        assert cols.shape == (6 * 8, 3 * 9)
+
+    def test_values_match_receptive_fields(self, rng):
+        x = rng.normal(size=(2, 5, 5))
+        cols = im2col(x, (3, 3), (1, 1), 0)
+        # Output pixel (1, 2) is row 1*3+2=5; its receptive field starts there.
+        expected = x[:, 1:4, 2:5].reshape(-1)
+        assert np.allclose(cols[5], expected)
+
+    def test_stride(self, rng):
+        x = rng.normal(size=(1, 7, 7))
+        cols = im2col(x, (3, 3), (2, 2), 0)
+        assert cols.shape == (9, 9)
+        assert np.allclose(cols[1], x[0, 0:3, 2:5].reshape(-1))
+
+    def test_collapse_raises(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 2, 2)), (3, 3), (1, 1), 0)
+
+    @given(
+        h=st.integers(3, 12),
+        w=st.integers(3, 12),
+        k=st.sampled_from([1, 2, 3]),
+        s=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_row_count_is_output_pixels(self, h, w, k, s):
+        x = np.zeros((2, h, w))
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        assert im2col(x, (k, k), (s, s), 0).shape == (oh * ow, 2 * k * k)
+
+    def test_duplication_factor(self, rng):
+        """im2col duplicates data — the §III-B cost of making conv systolic."""
+        x = rng.normal(size=(1, 8, 8))
+        cols = im2col(x, (3, 3), (1, 1), 0)
+        assert cols.size > x.size  # 36*9 = 324 > 64
+
+
+class TestConv2d:
+    def test_matches_scipy_valid(self, rng):
+        x = rng.normal(size=(3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        ours = conv2d(x, w, stride=1, padding=0)
+        for f in range(4):
+            expected = sum(
+                correlate2d(x[c], w[f, c], mode="valid") for c in range(3)
+            )
+            assert np.allclose(ours[f], expected)
+
+    def test_same_padding_preserves_size(self, rng):
+        x = rng.normal(size=(3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        assert conv2d(x, w, padding="same").shape == (4, 9, 9)
+
+    def test_stride_two(self, rng):
+        x = rng.normal(size=(2, 8, 8))
+        w = rng.normal(size=(2, 2, 3, 3))
+        out = conv2d(x, w, stride=2, padding="same")
+        assert out.shape == (2, 4, 4)
+
+    def test_grouped_equals_split(self, rng):
+        x = rng.normal(size=(4, 6, 6))
+        w = rng.normal(size=(6, 2, 3, 3))
+        grouped = conv2d(x, w, padding="same", groups=2)
+        lo = conv2d(x[:2], w[:3], padding="same")
+        hi = conv2d(x[2:], w[3:], padding="same")
+        assert np.allclose(grouped, np.concatenate([lo, hi]))
+
+    def test_shape_errors(self, rng):
+        x = rng.normal(size=(3, 6, 6))
+        with pytest.raises(ValueError):
+            conv2d(x, rng.normal(size=(4, 2, 3, 3)))  # wrong in_channels
+        with pytest.raises(ValueError):
+            conv2d(x, rng.normal(size=(4, 3, 3, 3)), groups=2)
+
+
+class TestDepthwise:
+    def test_matches_per_channel_scipy(self, rng):
+        x = rng.normal(size=(3, 8, 8))
+        w = rng.normal(size=(3, 3, 3))
+        ours = depthwise_conv2d(x, w, stride=1, padding=0)
+        for c in range(3):
+            assert np.allclose(ours[c], correlate2d(x[c], w[c], mode="valid"))
+
+    def test_channel_count_checked(self, rng):
+        with pytest.raises(ValueError):
+            depthwise_conv2d(rng.normal(size=(3, 8, 8)), rng.normal(size=(4, 3, 3)))
+
+
+class TestPointwise:
+    def test_matches_tensordot(self, rng):
+        x = rng.normal(size=(5, 4, 4))
+        w = rng.normal(size=(7, 5))
+        ours = pointwise_conv2d(x, w)
+        expected = np.tensordot(w, x, axes=([1], [0]))
+        assert np.allclose(ours, expected)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pointwise_conv2d(rng.normal(size=(5, 4, 4)), rng.normal(size=(7, 6)))
+
+
+class TestConv1d:
+    def test_row_slides_along_width(self, rng):
+        x = rng.normal(size=(2, 4, 9))
+        w = rng.normal(size=(2, 3))
+        out = conv1d_row(x, w, stride=1, padding=0)
+        assert out.shape == (2, 4, 7)
+        expected = sum(w[0, k] * x[0, 0, k:k + 7] for k in range(3))
+        assert np.allclose(out[0, 0], expected)
+
+    def test_col_slides_along_height(self, rng):
+        x = rng.normal(size=(2, 9, 4))
+        w = rng.normal(size=(2, 3))
+        out = conv1d_col(x, w, stride=1, padding=0)
+        assert out.shape == (2, 7, 4)
+        expected = sum(w[1, k] * x[1, k:k + 7, 0] for k in range(3))
+        assert np.allclose(out[1, :, 0], expected)
+
+    def test_row_equals_depthwise_1xk(self, rng):
+        x = rng.normal(size=(3, 6, 8))
+        w = rng.normal(size=(3, 3))
+        assert np.allclose(
+            conv1d_row(x, w, padding="same"),
+            depthwise_conv2d(x, w[:, None, :], padding="same"),
+        )
+
+    @given(s=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=10, deadline=None)
+    def test_stride_subsamples_both_axes(self, s):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 12, 12))
+        w = rng.normal(size=(1, 3))
+        out = conv1d_row(x, w, stride=s, padding="same")
+        assert out.shape == (1, -(-12 // s), -(-12 // s))
+
+
+class TestPadInput:
+    def test_same_tf_convention(self, rng):
+        x = rng.normal(size=(1, 5, 5))
+        xp = pad_input(x, (3, 3), (2, 2), "same")
+        # out = ceil(5/2)=3; needed = (3-1)*2+3-5 = 2 → pad 1 top, 1 bottom.
+        assert xp.shape == (1, 7, 7)
+
+    def test_no_pad_returns_same_object(self, rng):
+        x = rng.normal(size=(1, 5, 5))
+        assert pad_input(x, (1, 1), (1, 1), 0) is x

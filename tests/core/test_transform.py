@@ -1,0 +1,169 @@
+"""The drop-in FuSeConv network transform (§IV-A, §V-A.1)."""
+
+import pytest
+
+from repro.core import (
+    ALL_VARIANTS,
+    FuSeVariant,
+    plan_replacements,
+    to_fuseconv,
+    transform_with_plan,
+)
+from repro.ir import (
+    Add,
+    BatchNorm,
+    ChannelSplit,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    FuSeConv1D,
+    Network,
+    PointwiseConv2D,
+    validate_network,
+)
+from repro.models import build_model
+from repro.systolic import ArrayConfig, estimate_network
+
+
+def bottleneck_net() -> Network:
+    """Two inverted-residual-ish blocks with a residual Add."""
+    net = Network("bn", input_shape=(8, 16, 16))
+    net.add(PointwiseConv2D(24), name="exp0", block="b0")
+    net.add(DepthwiseConv2D(kernel=3, stride=2), name="dw0", block="b0")
+    net.add(BatchNorm(), name="bn0", block="b0")
+    net.add(PointwiseConv2D(16), name="proj0", block="b0")
+
+    net.add(PointwiseConv2D(48), name="exp1", block="b1")
+    net.add(DepthwiseConv2D(kernel=3), name="dw1", block="b1")
+    net.add(BatchNorm(), name="bn1", block="b1")
+    net.add(PointwiseConv2D(16), name="proj1", block="b1")
+    net.add(Add(), inputs=["proj0", "proj1"], name="res1", block="b1")
+    return net
+
+
+class TestVariants:
+    def test_labels(self):
+        assert FuSeVariant.FULL.label == "FuSe-Full"
+        assert FuSeVariant.HALF_50.label == "FuSe-Half-50%"
+
+    def test_knobs(self):
+        assert FuSeVariant.FULL.d == 1
+        assert FuSeVariant.HALF.d == 2
+        assert FuSeVariant.FULL_50.replace_fraction == 0.5
+        assert FuSeVariant.HALF.replace_fraction == 1.0
+
+    def test_from_label_roundtrip(self):
+        for variant in ALL_VARIANTS:
+            assert FuSeVariant.from_label(variant.label) is variant
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            FuSeVariant.from_label("FuSe-Quarter")
+
+
+class TestFullTransform:
+    def test_output_shape_preserved(self):
+        net = bottleneck_net()
+        for variant in ALL_VARIANTS:
+            assert to_fuseconv(net, variant).out_shape == net.out_shape
+
+    def test_no_depthwise_remains_full(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.FULL)
+        assert out.find(DepthwiseConv2D) == []
+        # Two FuSe groups per replaced layer.
+        assert len(out.find(FuSeConv1D)) == 4
+        assert len(out.find(Concat)) == 2
+
+    def test_half_adds_channel_splits(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.HALF)
+        assert len(out.find(ChannelSplit)) == 4
+
+    def test_full_has_no_channel_splits(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.FULL)
+        assert out.find(ChannelSplit) == []
+
+    def test_full_doubles_pointwise_input(self):
+        net = bottleneck_net()
+        out = to_fuseconv(net, FuSeVariant.FULL)
+        assert out["proj0"].in_shape[0] == 2 * net["proj0"].in_shape[0]
+
+    def test_half_preserves_pointwise_input(self):
+        net = bottleneck_net()
+        out = to_fuseconv(net, FuSeVariant.HALF)
+        assert out["proj0"].in_shape[0] == net["proj0"].in_shape[0]
+
+    def test_residual_still_valid(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.FULL)
+        validate_network(out)
+        assert len(out.find(Add)) == 1
+
+    def test_stride_carried_over(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.FULL)
+        strided = [n for n in out.find(FuSeConv1D) if n.layer.stride_hw == (2, 2)]
+        assert len(strided) == 2  # row+col groups of dw0
+
+    def test_block_labels_preserved(self):
+        net = bottleneck_net()
+        out = to_fuseconv(net, FuSeVariant.FULL)
+        assert out.blocks() == net.blocks()
+
+    def test_original_untouched(self):
+        net = bottleneck_net()
+        node_count = len(net)
+        to_fuseconv(net, FuSeVariant.FULL)
+        assert len(net) == node_count
+        assert len(net.find(DepthwiseConv2D)) == 2
+
+    def test_name_advertises_variant(self):
+        out = to_fuseconv(bottleneck_net(), FuSeVariant.HALF)
+        assert "FuSe-Half" in out.name
+
+    def test_nonsquare_kernel_rejected(self):
+        net = Network("bad", input_shape=(4, 8, 8))
+        net.add(DepthwiseConv2D(kernel=(1, 3)), name="dw")
+        with pytest.raises(ValueError, match="non-square"):
+            to_fuseconv(net, FuSeVariant.FULL)
+
+    def test_multiplier_rejected(self):
+        net = Network("bad", input_shape=(4, 8, 8))
+        net.add(DepthwiseConv2D(kernel=3, multiplier=2), name="dw")
+        with pytest.raises(ValueError, match="multiplier"):
+            to_fuseconv(net, FuSeVariant.FULL)
+
+
+class TestPartialTransform:
+    def test_plan_replaces_half_of_layers(self):
+        net = build_model("mobilenet_v2", resolution=96)
+        plan = plan_replacements(net, FuSeVariant.FULL_50)
+        depthwise = len(net.find(DepthwiseConv2D))
+        assert len(plan.replaced) == round(depthwise * 0.5)
+        assert len(plan.replaced) + len(plan.skipped) == depthwise
+
+    def test_plan_picks_largest_savings(self):
+        net = build_model("mobilenet_v2", resolution=96)
+        plan = plan_replacements(net, FuSeVariant.FULL_50)
+        worst_kept = min(plan.savings[name] for name in plan.replaced)
+        best_skipped = max(plan.savings[name] for name in plan.skipped)
+        assert worst_kept >= best_skipped
+
+    def test_partial_latency_between_baseline_and_full(self):
+        array = ArrayConfig.square(64)
+        net = build_model("mobilenet_v2", resolution=96)
+        base = estimate_network(net, array).total_cycles
+        half50 = estimate_network(to_fuseconv(net, FuSeVariant.HALF_50, array), array).total_cycles
+        half = estimate_network(to_fuseconv(net, FuSeVariant.HALF, array), array).total_cycles
+        assert half < half50 < base
+
+    def test_plan_on_non_depthwise_node_rejected(self):
+        net = bottleneck_net()
+        plan = plan_replacements(net, FuSeVariant.FULL)
+        plan.replaced.append("proj0")
+        with pytest.raises(TypeError):
+            transform_with_plan(net, plan)
+
+    def test_no_depthwise_network_is_identity(self):
+        net = Network("plain", input_shape=(3, 16, 16))
+        net.add(Conv2D(8, kernel=3, padding="same"), name="c")
+        out = to_fuseconv(net, FuSeVariant.FULL)
+        assert len(out) == 1
+        assert out.out_shape == net.out_shape

@@ -1,0 +1,107 @@
+"""Property-based tests: the transform holds its invariants on *random*
+separable architectures, not just the zoo models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALL_VARIANTS, FuSeVariant, to_fuseconv
+from repro.ir import (
+    Activation,
+    Add,
+    BatchNorm,
+    Conv2D,
+    DepthwiseConv2D,
+    FuSeConv1D,
+    Network,
+    PointwiseConv2D,
+    infer_shapes,
+    network_from_dict,
+    network_to_dict,
+    validate_network,
+)
+from repro.nn import GraphExecutor, Tensor
+from repro.systolic import ArrayConfig, estimate_network
+
+
+@st.composite
+def random_separable_network(draw):
+    """A random stack of separable blocks with occasional residuals."""
+    channels = draw(st.sampled_from([4, 6, 8]))
+    size = draw(st.sampled_from([8, 12, 16]))
+    n_blocks = draw(st.integers(1, 4))
+
+    net = Network("rand", input_shape=(3, size, size))
+    net.add(Conv2D(channels, kernel=3, padding="same"), name="stem")
+    prev_out = "stem"
+    prev_channels = channels
+    for i in range(n_blocks):
+        kernel = draw(st.sampled_from([3, 5]))
+        stride = draw(st.sampled_from([1, 1, 2]))
+        out_channels = draw(st.sampled_from([4, 6, 8]))
+        entry = prev_out
+        net.add(
+            DepthwiseConv2D(kernel=kernel, stride=stride, padding="same"),
+            inputs=[entry],
+            name=f"dw{i}",
+            block=f"b{i}",
+        )
+        net.add(BatchNorm(), name=f"bn{i}", block=f"b{i}")
+        net.add(Activation(draw(st.sampled_from(["relu", "relu6", "hswish"]))),
+                name=f"act{i}", block=f"b{i}")
+        last = net.add(PointwiseConv2D(out_channels), name=f"pw{i}", block=f"b{i}")
+        if stride == 1 and out_channels == prev_channels and draw(st.booleans()):
+            last = net.add(Add(), inputs=[entry, last], name=f"res{i}", block=f"b{i}")
+        prev_out = last
+        prev_channels = out_channels
+    return net
+
+
+class TestTransformInvariants:
+    @given(net=random_separable_network(), variant=st.sampled_from(list(ALL_VARIANTS)))
+    @settings(max_examples=40, deadline=None)
+    def test_shape_and_validity(self, net, variant):
+        out = to_fuseconv(net, variant, ArrayConfig.square(8))
+        assert out.out_shape == net.out_shape
+        validate_network(out)
+        # All-or-half replacement accounting.
+        replaced = len(net.find(DepthwiseConv2D)) - len(out.find(DepthwiseConv2D))
+        expected = round(len(net.find(DepthwiseConv2D)) * variant.replace_fraction)
+        assert replaced == expected
+        assert len(out.find(FuSeConv1D)) == 2 * replaced
+
+    @given(net=random_separable_network())
+    @settings(max_examples=20, deadline=None)
+    def test_half_variant_never_increases_macs(self, net):
+        """(2/D)(K+C') ≤ (K²+C') for D=2, K≥3 — Half never adds MACs."""
+        out = to_fuseconv(net, FuSeVariant.HALF)
+        assert out.total_macs() <= net.total_macs()
+        assert out.total_params() <= net.total_params()
+
+    @given(net=random_separable_network())
+    @settings(max_examples=15, deadline=None)
+    def test_transform_speeds_up_on_array(self, net):
+        array = ArrayConfig.square(16)
+        base = estimate_network(net, array).total_cycles
+        fuse = estimate_network(to_fuseconv(net, FuSeVariant.HALF, array), array).total_cycles
+        assert fuse < base
+
+    @given(net=random_separable_network(), variant=st.sampled_from(list(ALL_VARIANTS)))
+    @settings(max_examples=15, deadline=None)
+    def test_serialization_roundtrip(self, net, variant):
+        out = to_fuseconv(net, variant)
+        clone = network_from_dict(network_to_dict(out))
+        assert clone.total_macs() == out.total_macs()
+        assert infer_shapes(clone) == infer_shapes(out)
+
+    @given(net=random_separable_network())
+    @settings(max_examples=8, deadline=None)
+    def test_transformed_network_executes(self, net):
+        """Random FuSe graphs run end-to-end on the numpy substrate."""
+        out = to_fuseconv(net, FuSeVariant.HALF)
+        model = GraphExecutor(out, seed=0)
+        c, h, w = net.input_shape
+        x = Tensor(np.zeros((1, c, h, w), dtype=np.float32))
+        result = model(x)
+        oc, oh, ow = out.out_shape
+        assert result.shape == (1, oc, oh, ow)

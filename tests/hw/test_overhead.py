@@ -1,0 +1,93 @@
+"""Area/power model: the §V-B.5 broadcast-link overhead."""
+
+import pytest
+
+from repro.analysis import AREA_OVERHEAD, POWER_OVERHEAD
+from repro.hw import (
+    ACC_BITS,
+    OPERAND_BITS,
+    array_cost,
+    baseline_pe_blocks,
+    broadcast_extra_blocks,
+    broadcast_overhead,
+    cell,
+    pe_cost,
+)
+from repro.systolic import ArrayConfig
+
+
+class TestCells:
+    def test_lookup(self):
+        assert cell("mult_fp16").area_um2 > 0
+
+    def test_unknown_cell_lists_choices(self):
+        with pytest.raises(KeyError, match="mult_fp16"):
+            cell("quantum_mac")
+
+
+class TestPE:
+    def test_widths_match_fp16(self):
+        assert OPERAND_BITS == 16
+        assert ACC_BITS == 32
+
+    def test_baseline_inventory(self):
+        names = [b.cell.name for b in baseline_pe_blocks()]
+        assert "mult_fp16" in names and "adder32" in names
+
+    def test_broadcast_adds_mux_and_wire(self):
+        names = [b.cell.name for b in broadcast_extra_blocks()]
+        assert names == ["mux2_bit", "bcast_wire_pe"]
+
+    def test_broadcast_pe_slightly_larger(self):
+        base = pe_cost(broadcast=False)
+        bcast = pe_cost(broadcast=True)
+        assert bcast.area_um2 > base.area_um2
+        # The addition is small: well under 10 % of the PE.
+        assert (bcast.area_um2 - base.area_um2) / base.area_um2 < 0.10
+
+    def test_breakdown_sums_to_total(self):
+        pe = pe_cost(broadcast=True)
+        assert pe.area_um2 == pytest.approx(sum(a for _, a, _ in pe.breakdown))
+        assert pe.power_uw == pytest.approx(sum(p for _, _, p in pe.breakdown))
+
+
+class TestArrayCost:
+    def test_scales_with_pes(self):
+        small = array_cost(ArrayConfig.square(16, broadcast=False))
+        large = array_cost(ArrayConfig.square(32, broadcast=False))
+        assert large.area_um2 > 3.5 * small.area_um2
+
+    def test_broadcast_adds_row_drivers(self):
+        base = array_cost(ArrayConfig.square(8, broadcast=False))
+        bcast = array_cost(ArrayConfig.square(8, broadcast=True))
+        assert base.bcast_area_um2 == 0
+        assert bcast.bcast_area_um2 > 0
+
+    def test_unit_conversions(self):
+        cost = array_cost(ArrayConfig.square(8))
+        assert cost.area_mm2 == pytest.approx(cost.area_um2 / 1e6)
+        assert cost.power_mw == pytest.approx(cost.power_uw / 1e3)
+
+
+class TestPaperOverheads:
+    def test_area_overhead_matches_paper(self):
+        """Paper: 4.35 % area overhead at 32×32 in 45 nm."""
+        report = broadcast_overhead(32)
+        assert report.area_overhead == pytest.approx(AREA_OVERHEAD, abs=0.01)
+
+    def test_power_overhead_matches_paper(self):
+        """Paper: 2.25 % power overhead at 32×32 in 45 nm."""
+        report = broadcast_overhead(32)
+        assert report.power_overhead == pytest.approx(POWER_OVERHEAD, abs=0.01)
+
+    def test_overhead_roughly_size_independent(self):
+        """The per-PE mux dominates, so the ratio is stable across sizes."""
+        small = broadcast_overhead(16)
+        large = broadcast_overhead(128)
+        assert small.area_overhead == pytest.approx(large.area_overhead, abs=0.02)
+
+    def test_overheads_justifiably_small(self):
+        """The paper's conclusion: overhead ≪ the 3–7× speed-ups."""
+        report = broadcast_overhead(32)
+        assert report.area_overhead < 0.06
+        assert report.power_overhead < 0.04

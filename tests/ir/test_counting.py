@@ -1,0 +1,105 @@
+"""MAC/param counting: paper formulas and aggregation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import (
+    BatchNorm,
+    Conv2D,
+    DepthwiseConv2D,
+    Network,
+    PointwiseConv2D,
+    count_network,
+    fuse_block_counts,
+    macs_millions,
+    op_class,
+    params_millions,
+    separable_block_counts,
+    Linear,
+    FuSeConv1D,
+    SqueezeExcite,
+)
+
+
+def separable_net(c: int, cp: int, k: int, size: int) -> Network:
+    net = Network("sep", input_shape=(c, size, size))
+    net.add(DepthwiseConv2D(kernel=k, stride=1, padding="same"), block="b")
+    net.add(PointwiseConv2D(cp), block="b")
+    return net
+
+
+class TestPaperFormulas:
+    """§II-D / §IV-A closed forms pin the counting code to the paper."""
+
+    @given(
+        c=st.integers(1, 64),
+        cp=st.integers(1, 64),
+        k=st.sampled_from([3, 5, 7]),
+        size=st.integers(7, 32),
+    )
+    def test_separable_block_matches_closed_form(self, c, cp, k, size):
+        net = separable_net(c, cp, k, size)
+        expected = separable_block_counts(c, cp, k, size, size)
+        assert net.total_macs() == expected["macs"]
+        assert net.total_params() == expected["params"]
+
+    @given(
+        c=st.integers(2, 64).filter(lambda x: x % 2 == 0),
+        cp=st.integers(1, 64),
+        k=st.sampled_from([3, 5]),
+        size=st.integers(7, 24),
+        d=st.sampled_from([1, 2]),
+    )
+    def test_fuse_block_matches_closed_form(self, c, cp, k, size, d):
+        variant = FuSeVariant.FULL if d == 1 else FuSeVariant.HALF
+        net = to_fuseconv(separable_net(c, cp, k, size), variant)
+        expected = fuse_block_counts(c, cp, k, size, size, d)
+        assert net.total_macs() == expected["macs"]
+        assert net.total_params() == expected["params"]
+
+    def test_fuse_reduces_ops_when_k_large(self):
+        # (2/D)(K + C') < (K² + C') for K=5, C'=8, D=2.
+        sep = separable_block_counts(32, 8, 5, 14, 14)
+        fuse = fuse_block_counts(32, 8, 5, 14, 14, d=2)
+        assert fuse["macs"] < sep["macs"]
+        assert fuse["params"] < sep["params"]
+
+
+class TestOpClass:
+    def test_classification(self):
+        assert op_class(Conv2D(8, kernel=3)) == "conv"
+        assert op_class(Conv2D(8, kernel=1)) == "pointwise"
+        assert op_class(DepthwiseConv2D(kernel=3)) == "depthwise"
+        assert op_class(PointwiseConv2D(8)) == "pointwise"
+        assert op_class(FuSeConv1D(axis="row", kernel=3)) == "fuse"
+        assert op_class(Linear(10)) == "fc"
+        assert op_class(SqueezeExcite(se_channels=4)) == "se"
+        assert op_class(BatchNorm()) == "other"
+
+    def test_grouped_1x1_is_conv(self):
+        assert op_class(Conv2D(8, kernel=1, groups=2)) == "conv"
+
+
+class TestReport:
+    def test_totals_consistent(self):
+        net = separable_net(8, 16, 3, 14)
+        report = count_network(net)
+        assert report.total_macs == net.total_macs()
+        assert report.total_params == net.total_params()
+
+    def test_by_class_partitions_total(self):
+        net = separable_net(8, 16, 3, 14)
+        report = count_network(net)
+        assert sum(report.macs_by_class().values()) == report.total_macs
+        assert sum(report.params_by_class().values()) == report.total_params
+
+    def test_by_block(self):
+        net = separable_net(8, 16, 3, 14)
+        report = count_network(net)
+        assert report.macs_by_block() == {"b": report.total_macs}
+
+    def test_millions_helpers(self):
+        net = separable_net(8, 16, 3, 14)
+        assert macs_millions(net) == net.total_macs() / 1e6
+        assert params_millions(net) == net.total_params() / 1e6

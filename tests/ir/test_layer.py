@@ -1,0 +1,227 @@
+"""Shape inference and counting for every layer spec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Activation,
+    Add,
+    BatchNorm,
+    ChannelSplit,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    FuSeConv1D,
+    GlobalAvgPool,
+    Linear,
+    PointwiseConv2D,
+    Pool2D,
+    ShapeError,
+    SqueezeExcite,
+    conv_out_size,
+    make_divisible,
+)
+
+
+class TestConvOutSize:
+    def test_unit_stride_no_pad(self):
+        assert conv_out_size(10, 3, 1, 0) == 8
+
+    def test_stride_two(self):
+        assert conv_out_size(11, 3, 2, 0) == 5
+
+    def test_same_padding_stride_one(self):
+        assert conv_out_size(10, 3, 1, "same") == 10
+
+    def test_same_padding_stride_two(self):
+        assert conv_out_size(11, 3, 2, "same") == 6
+        assert conv_out_size(224, 3, 2, "same") == 112
+
+    def test_explicit_padding(self):
+        assert conv_out_size(10, 3, 1, 1) == 10
+
+    def test_collapsed_output_raises(self):
+        with pytest.raises(ShapeError):
+            conv_out_size(2, 5, 1, 0)
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(ShapeError):
+            conv_out_size(8, 3, 0, 0)
+
+    @given(
+        size=st.integers(1, 200),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+    )
+    def test_same_matches_ceil(self, size, kernel, stride):
+        assert conv_out_size(size, kernel, stride, "same") == -(-size // stride)
+
+
+class TestConv2D:
+    def test_out_shape(self):
+        layer = Conv2D(16, kernel=3, stride=2, padding="same")
+        assert layer.out_shape((3, 224, 224)) == (16, 112, 112)
+
+    def test_macs_matches_formula(self):
+        layer = Conv2D(8, kernel=3, padding=0)
+        # out 6x6, per output: 3*3*4 MACs, 8 filters
+        assert layer.macs((4, 8, 8)) == 6 * 6 * 8 * 4 * 9
+
+    def test_params_with_bias(self):
+        layer = Conv2D(8, kernel=3, bias=True)
+        assert layer.params((4, 8, 8)) == 8 * 4 * 9 + 8
+
+    def test_groups_divide_channels(self):
+        layer = Conv2D(8, kernel=3, groups=2, padding="same")
+        assert layer.out_shape((4, 8, 8)) == (8, 8, 8)
+        assert layer.macs((4, 8, 8)) == 8 * 8 * 8 * 2 * 9
+
+    def test_groups_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            Conv2D(8, kernel=3, groups=3)  # out_channels not divisible
+        layer = Conv2D(9, kernel=3, groups=3)
+        with pytest.raises(ShapeError):
+            layer.out_shape((4, 8, 8))  # in_channels not divisible
+
+    def test_invalid_out_channels(self):
+        with pytest.raises(ShapeError):
+            Conv2D(0, kernel=3)
+
+    def test_nonsquare_kernel(self):
+        layer = Conv2D(4, kernel=(1, 5), padding=0)
+        assert layer.out_shape((2, 8, 8)) == (4, 8, 4)
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self):
+        layer = DepthwiseConv2D(kernel=3, stride=1)
+        assert layer.out_shape((32, 56, 56)) == (32, 56, 56)
+
+    def test_stride_two(self):
+        layer = DepthwiseConv2D(kernel=3, stride=2)
+        assert layer.out_shape((32, 56, 56)) == (32, 28, 28)
+
+    def test_multiplier(self):
+        layer = DepthwiseConv2D(kernel=3, multiplier=2)
+        assert layer.out_shape((8, 10, 10)) == (16, 10, 10)
+
+    def test_macs(self):
+        layer = DepthwiseConv2D(kernel=3)
+        assert layer.macs((32, 56, 56)) == 56 * 56 * 32 * 9
+
+    def test_params(self):
+        assert DepthwiseConv2D(kernel=5).params((32, 56, 56)) == 32 * 25
+
+
+class TestPointwise:
+    def test_shape_and_counts(self):
+        layer = PointwiseConv2D(64)
+        assert layer.out_shape((32, 14, 14)) == (64, 14, 14)
+        assert layer.macs((32, 14, 14)) == 14 * 14 * 32 * 64
+        assert layer.params((32, 14, 14)) == 32 * 64
+
+
+class TestFuSeConv1D:
+    def test_row_kernel_orientation(self):
+        assert FuSeConv1D(axis="row", kernel=3).kernel_hw == (1, 3)
+        assert FuSeConv1D(axis="col", kernel=3).kernel_hw == (3, 1)
+
+    def test_bad_axis(self):
+        with pytest.raises(ShapeError):
+            FuSeConv1D(axis="diag", kernel=3)
+
+    def test_drop_in_shape_stride1(self):
+        layer = FuSeConv1D(axis="row", kernel=3)
+        assert layer.out_shape((32, 56, 56)) == (32, 56, 56)
+
+    def test_drop_in_shape_stride2_matches_depthwise(self):
+        dw = DepthwiseConv2D(kernel=3, stride=2)
+        for axis in ("row", "col"):
+            fuse = FuSeConv1D(axis=axis, kernel=3, stride=2)
+            assert fuse.out_shape((32, 57, 57)) == dw.out_shape((32, 57, 57))
+
+    def test_macs_linear_in_kernel(self):
+        layer = FuSeConv1D(axis="row", kernel=3)
+        assert layer.macs((32, 56, 56)) == 56 * 56 * 32 * 3
+
+    def test_params(self):
+        assert FuSeConv1D(axis="col", kernel=5).params((16, 8, 8)) == 16 * 5
+
+
+class TestOtherLayers:
+    def test_linear_requires_flat_input(self):
+        with pytest.raises(ShapeError):
+            Linear(10).out_shape((8, 2, 2))
+        assert Linear(10).out_shape((8, 1, 1)) == (10, 1, 1)
+
+    def test_linear_counts(self):
+        layer = Linear(10)
+        assert layer.macs((128, 1, 1)) == 1280
+        assert layer.params((128, 1, 1)) == 1280 + 10
+
+    def test_pool(self):
+        assert Pool2D("max", kernel=2).out_shape((8, 8, 8)) == (8, 4, 4)
+        assert Pool2D("avg", kernel=3, stride=2, padding="same").out_shape(
+            (8, 7, 7)
+        ) == (8, 4, 4)
+
+    def test_pool_bad_op(self):
+        with pytest.raises(ShapeError):
+            Pool2D("median", kernel=2)
+
+    def test_global_avg_pool(self):
+        assert GlobalAvgPool().out_shape((32, 7, 7)) == (32, 1, 1)
+
+    def test_activation_validation(self):
+        assert Activation("hswish").out_shape((4, 4, 4)) == (4, 4, 4)
+        with pytest.raises(ShapeError):
+            Activation("gelu")
+
+    def test_batchnorm_params(self):
+        assert BatchNorm().params((32, 8, 8)) == 64
+        assert BatchNorm().macs((32, 8, 8)) == 0
+
+    def test_squeeze_excite(self):
+        se = SqueezeExcite(se_channels=8)
+        assert se.out_shape((32, 7, 7)) == (32, 7, 7)
+        assert se.macs((32, 7, 7)) == 32 * 8 + 8 * 32 + 7 * 7 * 32
+        assert se.params((32, 7, 7)) == (32 * 8 + 8) + (8 * 32 + 32)
+
+    def test_squeeze_excite_default_bottleneck(self):
+        se = SqueezeExcite(reduction=4)
+        assert se.bottleneck(64) == 16
+
+    def test_concat_merged_shape(self):
+        assert Concat.merged_shape(((3, 8, 8), (5, 8, 8))) == (8, 8, 8)
+        with pytest.raises(ShapeError):
+            Concat.merged_shape(((3, 8, 8), (5, 4, 4)))
+
+    def test_channel_split(self):
+        layer = ChannelSplit(2, 6)
+        assert layer.out_shape((8, 4, 4)) == (4, 4, 4)
+        with pytest.raises(ShapeError):
+            ChannelSplit(2, 6).out_shape((4, 4, 4))
+        with pytest.raises(ShapeError):
+            ChannelSplit(6, 2)
+
+    def test_flatten(self):
+        assert Flatten().out_shape((8, 4, 4)) == (128, 1, 1)
+
+    def test_add_identity(self):
+        assert Add().out_shape((8, 4, 4)) == (8, 4, 4)
+
+
+class TestMakeDivisible:
+    def test_rounds_to_multiple(self):
+        assert make_divisible(37, 8) == 40
+        assert make_divisible(32, 8) == 32
+
+    def test_never_drops_more_than_ten_percent(self):
+        for value in range(8, 400):
+            assert make_divisible(value, 8) >= 0.9 * value
+
+    @given(st.floats(1.0, 10_000.0), st.sampled_from([4, 8, 16]))
+    def test_always_multiple(self, value, divisor):
+        assert make_divisible(value, divisor) % divisor == 0

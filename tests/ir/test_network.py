@@ -1,0 +1,125 @@
+"""Network DAG construction, traversal and summaries."""
+
+import pytest
+
+from repro.ir import (
+    Activation,
+    Add,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    Network,
+    PointwiseConv2D,
+    ShapeError,
+)
+
+
+def tiny_net() -> Network:
+    net = Network("tiny", input_shape=(3, 8, 8))
+    net.add(Conv2D(4, kernel=3, padding="same"), name="stem", block="stem")
+    net.add(DepthwiseConv2D(kernel=3), name="dw", block="b0")
+    net.add(PointwiseConv2D(8), name="pw", block="b0")
+    return net
+
+
+class TestBuild:
+    def test_sequential_chaining(self):
+        net = tiny_net()
+        assert net["dw"].inputs == ["stem"]
+        assert net["pw"].inputs == ["dw"]
+
+    def test_out_shape(self):
+        assert tiny_net().out_shape == (8, 8, 8)
+
+    def test_input_validation(self):
+        with pytest.raises(ShapeError):
+            Network("bad", input_shape=(0, 8, 8))
+
+    def test_duplicate_name_rejected(self):
+        net = tiny_net()
+        with pytest.raises(ShapeError):
+            net.add(Activation("relu"), name="dw")
+
+    def test_unknown_input_rejected(self):
+        net = tiny_net()
+        with pytest.raises(ShapeError):
+            net.add(Activation("relu"), inputs=["nope"])
+
+    def test_empty_network_has_no_last(self):
+        net = Network("empty", input_shape=(1, 4, 4))
+        with pytest.raises(ShapeError):
+            _ = net.last_name
+
+    def test_first_layer_reads_network_input(self):
+        net = Network("n", input_shape=(3, 8, 8))
+        net.add(Conv2D(4, kernel=1))
+        assert net[net.last_name].in_shape == (3, 8, 8)
+
+    def test_auto_names_unique(self):
+        net = Network("n", input_shape=(3, 8, 8))
+        a = net.add(Activation("relu"))
+        b = net.add(Activation("relu"))
+        assert a != b
+
+
+class TestMultiInput:
+    def test_residual_add(self):
+        net = Network("res", input_shape=(4, 8, 8))
+        entry = net.add(Conv2D(4, kernel=3, padding="same"), name="c1")
+        net.add(Conv2D(4, kernel=3, padding="same"), name="c2")
+        out = net.add(Add(), inputs=["c1", "c2"])
+        assert net[out].out_shape == (4, 8, 8)
+
+    def test_add_shape_mismatch(self):
+        net = Network("res", input_shape=(4, 8, 8))
+        net.add(Conv2D(4, kernel=3, padding="same"), name="c1")
+        net.add(Conv2D(8, kernel=3, padding="same"), name="c2", inputs=["c1"])
+        with pytest.raises(ShapeError):
+            net.add(Add(), inputs=["c1", "c2"])
+
+    def test_concat_channels(self):
+        net = Network("cat", input_shape=(4, 8, 8))
+        net.add(Conv2D(3, kernel=1), name="a")
+        net.add(Conv2D(5, kernel=1), name="b", inputs=[])
+        out = net.add(Concat(), inputs=["a", "b"])
+        assert net[out].out_shape == (8, 8, 8)
+
+    def test_single_input_layer_rejects_two(self):
+        net = Network("n", input_shape=(4, 8, 8))
+        net.add(Conv2D(4, kernel=1), name="a")
+        net.add(Conv2D(4, kernel=1), name="b", inputs=[])
+        with pytest.raises(ShapeError):
+            net.add(Activation("relu"), inputs=["a", "b"])
+
+
+class TestViews:
+    def test_find(self):
+        net = tiny_net()
+        assert [n.name for n in net.find(DepthwiseConv2D)] == ["dw"]
+
+    def test_blocks_order(self):
+        assert tiny_net().blocks() == ["stem", "b0"]
+
+    def test_block_nodes(self):
+        net = tiny_net()
+        assert [n.name for n in net.block_nodes("b0")] == ["dw", "pw"]
+
+    def test_consumers(self):
+        net = tiny_net()
+        assert [n.name for n in net.consumers("dw")] == ["pw"]
+
+    def test_len_contains_iter(self):
+        net = tiny_net()
+        assert len(net) == 3
+        assert "dw" in net
+        assert [n.name for n in net] == ["stem", "dw", "pw"]
+
+    def test_totals(self):
+        net = tiny_net()
+        assert net.total_macs() == sum(n.macs() for n in net)
+        assert net.total_params() == sum(n.params() for n in net)
+
+    def test_summary_mentions_every_node(self):
+        text = tiny_net().summary()
+        for name in ("stem", "dw", "pw"):
+            assert name in text

@@ -1,0 +1,101 @@
+"""Network JSON round-trips."""
+
+import pytest
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    validate_network,
+)
+from repro.models import PAPER_NETWORKS, build_model
+
+
+def roundtrip(net):
+    return network_from_dict(network_to_dict(net))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_zoo_models(self, name):
+        net = build_model(name, resolution=64)
+        clone = roundtrip(net)
+        assert clone.name == net.name
+        assert len(clone) == len(net)
+        assert clone.out_shape == net.out_shape
+        assert clone.total_macs() == net.total_macs()
+        assert clone.total_params() == net.total_params()
+        validate_network(clone)
+
+    def test_transformed_network(self):
+        net = to_fuseconv(build_model("mobilenet_v2", resolution=64), FuSeVariant.HALF)
+        clone = roundtrip(net)
+        assert clone.total_macs() == net.total_macs()
+        assert [n.kind for n in clone] == [n.kind for n in net]
+
+    def test_blocks_and_inputs_preserved(self):
+        net = build_model("mobilenet_v2", resolution=64)
+        clone = roundtrip(net)
+        for a, b in zip(net, clone):
+            assert a.inputs == b.inputs
+            assert a.block == b.block
+
+    def test_file_round_trip(self, tmp_path):
+        net = build_model("mobilenet_v3_small", resolution=64)
+        path = tmp_path / "net.json"
+        save_network(net, str(path))
+        clone = load_network(str(path))
+        assert clone.total_params() == net.total_params()
+
+
+class TestDot:
+    def test_dot_structure(self):
+        from repro.ir import network_to_dot
+
+        net = build_model("mobilenet_v1", resolution=64)
+        dot = network_to_dot(net)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # Every node and every edge rendered.
+        for node in net:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") == sum(len(n.inputs) for n in net)
+
+    def test_dot_colors_by_class(self):
+        from repro.ir import network_to_dot
+
+        net = to_fuseconv(build_model("mobilenet_v1", resolution=64), FuSeVariant.HALF)
+        dot = network_to_dot(net)
+        assert "#a1d99b" in dot  # FuSe nodes present and green
+
+
+class TestErrors:
+    def test_unknown_format_version(self):
+        with pytest.raises(ValueError, match="format"):
+            network_from_dict({"format": 99})
+
+    def test_unknown_layer_kind(self):
+        data = network_to_dict(build_model("mobilenet_v1", resolution=64))
+        data["nodes"][0]["kind"] = "WinogradConv"
+        with pytest.raises(ValueError, match="WinogradConv"):
+            network_from_dict(data)
+
+    def test_corrupted_graph_fails_loudly(self):
+        data = network_to_dict(build_model("mobilenet_v1", resolution=64))
+        data["nodes"][5]["inputs"] = ["no_such_node"]
+        from repro.ir import ShapeError
+
+        with pytest.raises(ShapeError):
+            network_from_dict(data)
+
+    def test_corrupted_spec_fails_loudly(self):
+        net = to_fuseconv(build_model("mobilenet_v1", resolution=64), FuSeVariant.HALF)
+        data = network_to_dict(net)
+        split = next(n for n in data["nodes"] if n["kind"] == "ChannelSplit")
+        split["spec"]["stop"] = 10_000  # beyond the channel count
+        from repro.ir import ShapeError
+
+        with pytest.raises(ShapeError):
+            network_from_dict(data)

@@ -1,0 +1,45 @@
+"""Independent shape re-inference and network validation."""
+
+import pytest
+
+from repro.ir import (
+    Add,
+    Conv2D,
+    DepthwiseConv2D,
+    Network,
+    PointwiseConv2D,
+    ShapeError,
+    infer_shapes,
+    validate_network,
+)
+from repro.models import build_model
+
+
+def test_infer_matches_cached_shapes():
+    net = Network("n", input_shape=(3, 16, 16))
+    net.add(Conv2D(8, kernel=3, stride=2, padding="same"), name="c")
+    net.add(DepthwiseConv2D(kernel=3), name="d")
+    net.add(PointwiseConv2D(16), name="p")
+    fresh = infer_shapes(net)
+    for node in net:
+        assert fresh[node.name] == (node.in_shape, node.out_shape)
+
+
+def test_validate_passes_on_models():
+    validate_network(build_model("mobilenet_v2", resolution=32))
+
+
+def test_validate_detects_stale_shape():
+    net = Network("n", input_shape=(3, 16, 16))
+    net.add(Conv2D(8, kernel=3, padding="same"), name="c")
+    net["c"].out_shape = (8, 1, 1)  # corrupt the cache
+    with pytest.raises(ShapeError):
+        validate_network(net)
+
+
+def test_residual_shapes_inferred():
+    net = Network("res", input_shape=(8, 8, 8))
+    net.add(Conv2D(8, kernel=3, padding="same"), name="a")
+    net.add(Conv2D(8, kernel=3, padding="same"), name="b")
+    net.add(Add(), inputs=["a", "b"], name="sum")
+    assert infer_shapes(net)["sum"] == ((8, 8, 8), (8, 8, 8))

@@ -1,0 +1,106 @@
+"""The model zoo builds correctly and matches reference counts."""
+
+import pytest
+
+from repro.ir import DepthwiseConv2D, SqueezeExcite, macs_millions, params_millions, validate_network
+from repro.models import PAPER_NETWORKS, available_models, build_model
+
+#: (MACs in millions, params in millions) reference values with generous
+#: tolerance — counting conventions differ a few percent between tools.
+REFERENCE = {
+    "efficientnet_b0": (388, 5.29),
+    "mobilenet_v1": (569, 4.23),
+    "mobilenet_v2": (301, 3.50),
+    "mnasnet_b1": (314, 4.38),
+    "mobilenet_v3_small": (57, 2.54),
+    "mobilenet_v3_large": (217, 5.48),
+    "resnet50": (4089, 25.56),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE))
+def test_counts_match_reference(name):
+    net = build_model(name)
+    macs_ref, params_ref = REFERENCE[name]
+    assert macs_millions(net) == pytest.approx(macs_ref, rel=0.02)
+    assert params_millions(net) == pytest.approx(params_ref, rel=0.02)
+
+
+@pytest.mark.parametrize("name", available_models())
+def test_builds_and_classifies(name):
+    net = build_model(name, resolution=64)
+    assert net.out_shape == (1000, 1, 1)
+    validate_network(net)
+
+
+@pytest.mark.parametrize("name", PAPER_NETWORKS)
+def test_paper_networks_have_depthwise(name):
+    net = build_model(name)
+    assert len(net.find(DepthwiseConv2D)) > 0
+
+
+def test_resnet_has_no_depthwise():
+    assert build_model("resnet50").find(DepthwiseConv2D) == []
+
+
+def test_efficientnet_structure():
+    net = build_model("efficientnet_b0")
+    assert len(net.find(DepthwiseConv2D)) == 16  # one per MBConv
+    assert len(net.find(SqueezeExcite)) == 16  # SE on every MBConv
+
+
+def test_efficientnet_fuse_transform():
+    """The §I-cited network accepts the drop-in transform (extension)."""
+    from repro.core import FuSeVariant, to_fuseconv
+    from repro.systolic import PAPER_ARRAY, estimate_network
+
+    net = build_model("efficientnet_b0", resolution=96)
+    fuse = to_fuseconv(net, FuSeVariant.HALF, PAPER_ARRAY)
+    assert fuse.out_shape == net.out_shape
+    base = estimate_network(net, PAPER_ARRAY).total_cycles
+    fast = estimate_network(fuse, PAPER_ARRAY).total_cycles
+    assert base / fast > 2.0
+
+
+def test_mobilenet_v1_block_count():
+    net = build_model("mobilenet_v1")
+    assert len(net.find(DepthwiseConv2D)) == 13
+
+
+def test_mobilenet_v2_block_count():
+    net = build_model("mobilenet_v2")
+    assert len(net.find(DepthwiseConv2D)) == 17
+
+
+def test_v3_small_se_blocks():
+    net = build_model("mobilenet_v3_small")
+    assert len(net.find(SqueezeExcite)) == 9
+
+
+def test_v3_large_se_blocks():
+    net = build_model("mobilenet_v3_large")
+    assert len(net.find(SqueezeExcite)) == 8
+
+
+def test_width_multiplier_shrinks_model():
+    full = build_model("mobilenet_v2")
+    half = build_model("mobilenet_v2", width_mult=0.5)
+    # The 1280-wide head is not scaled below 1.0 (paper rule), so the
+    # reduction is less than quadratic; MACs shrink much faster.
+    assert half.total_params() < 0.75 * full.total_params()
+    assert half.total_macs() < 0.35 * full.total_macs()
+
+
+def test_custom_classes_and_resolution():
+    net = build_model("mobilenet_v1", num_classes=10, resolution=96)
+    assert net.out_shape == (10, 1, 1)
+
+
+def test_unknown_model_raises_with_choices():
+    with pytest.raises(KeyError, match="mobilenet_v1"):
+        build_model("definitely_not_a_model")
+
+
+def test_num_classes_respected_everywhere():
+    for name in PAPER_NETWORKS:
+        assert build_model(name, num_classes=7, resolution=64).out_shape[0] == 7

@@ -1,0 +1,122 @@
+"""Trainable blocks: FuSe stage equivalence with the core operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import FuSeConvOp, fuseconv
+from repro.nn import (
+    FuSeDepthwiseStage,
+    InvertedResidual,
+    MiniInvertedResidualNet,
+    MiniSeparableNet,
+    SeparableBlock,
+    Tensor,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestFuSeDepthwiseStage:
+    def test_full_doubles_channels(self, rng):
+        stage = FuSeDepthwiseStage(6, kernel=3, d=1, rng=rng)
+        out = stage(Tensor(rng.normal(size=(2, 6, 8, 8))))
+        assert out.shape == (2, 12, 8, 8)
+        assert stage.out_channels == 12
+
+    def test_half_preserves_channels(self, rng):
+        stage = FuSeDepthwiseStage(6, kernel=3, d=2, rng=rng)
+        out = stage(Tensor(rng.normal(size=(2, 6, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            FuSeDepthwiseStage(6, kernel=3, d=4)
+
+    def test_matches_core_operator_full(self, rng):
+        """The trainable stage computes exactly core.fuseconv (D=1)."""
+        stage = FuSeDepthwiseStage(5, kernel=3, d=1, rng=rng)
+        x = rng.normal(size=(5, 9, 9))
+        ours = stage(Tensor(x[None])).data[0]
+        ref = fuseconv(
+            x, stage.row.weight.data, stage.col.weight.data, d=1
+        )
+        assert np.allclose(ours, ref, atol=1e-6)
+
+    def test_matches_core_operator_half(self, rng):
+        stage = FuSeDepthwiseStage(6, kernel=3, d=2, stride=2, rng=rng)
+        x = rng.normal(size=(6, 10, 10))
+        ours = stage(Tensor(x[None])).data[0]
+        ref = fuseconv(
+            x, stage.row.weight.data, stage.col.weight.data, d=2, stride=2
+        )
+        assert np.allclose(ours, ref, atol=1e-6)
+
+    def test_gradients_reach_both_branches(self, rng):
+        stage = FuSeDepthwiseStage(4, kernel=3, d=2, rng=rng)
+        out = stage(Tensor(rng.normal(size=(1, 4, 6, 6))))
+        (out ** 2).sum().backward()
+        assert stage.row.weight.grad is not None
+        assert stage.col.weight.grad is not None
+
+
+class TestBlocks:
+    @pytest.mark.parametrize("op", ["depthwise", "fuse_full", "fuse_half"])
+    def test_separable_block_shapes(self, op, rng):
+        block = SeparableBlock(6, 12, stride=2, op=op, rng=rng)
+        out = block(Tensor(rng.normal(size=(2, 6, 8, 8))))
+        assert out.shape == (2, 12, 4, 4)
+
+    def test_separable_block_bad_op(self, rng):
+        with pytest.raises(ValueError):
+            SeparableBlock(6, 12, op="winograd", rng=rng)
+
+    @pytest.mark.parametrize("op", ["depthwise", "fuse_full", "fuse_half"])
+    def test_inverted_residual_with_skip(self, op, rng):
+        block = InvertedResidual(8, 8, expand_channels=16, op=op, rng=rng)
+        assert block.use_residual
+        out = block(Tensor(rng.normal(size=(2, 8, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_inverted_residual_stride_disables_skip(self, rng):
+        block = InvertedResidual(8, 8, expand_channels=16, stride=2, rng=rng)
+        assert not block.use_residual
+
+    def test_inverted_residual_se(self, rng):
+        block = InvertedResidual(8, 8, expand_channels=16, use_se=True, rng=rng)
+        assert block.se is not None
+        out = block(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_expand_skipped_when_equal(self, rng):
+        block = InvertedResidual(8, 8, expand_channels=8, rng=rng)
+        assert block.expand is None
+
+
+class TestMiniNets:
+    @pytest.mark.parametrize("op", ["depthwise", "fuse_full", "fuse_half"])
+    def test_separable_net_forward(self, op):
+        model = MiniSeparableNet(num_classes=5, width=4, op=op, seed=0)
+        out = model(Tensor(np.random.default_rng(0).normal(size=(2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    @pytest.mark.parametrize("op", ["depthwise", "fuse_full", "fuse_half"])
+    def test_inverted_net_forward(self, op):
+        model = MiniInvertedResidualNet(num_classes=5, width=4, op=op, seed=0)
+        out = model(Tensor(np.random.default_rng(0).normal(size=(2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    def test_parameter_ordering_matches_paper(self):
+        """Full has more params than baseline, Half fewer (§IV-A)."""
+        base = MiniSeparableNet(width=8, op="depthwise", seed=0).num_parameters()
+        full = MiniSeparableNet(width=8, op="fuse_full", seed=0).num_parameters()
+        half = MiniSeparableNet(width=8, op="fuse_half", seed=0).num_parameters()
+        assert full > base > half
+
+    def test_seeded_nets_deterministic(self):
+        a = MiniSeparableNet(width=4, seed=3)
+        b = MiniSeparableNet(width=4, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)

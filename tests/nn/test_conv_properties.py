@@ -1,0 +1,101 @@
+"""Property-based equivalence: nn conv kernels vs the reference impls.
+
+The fixed-shape gradchecks in test_functional.py pin correctness at a few
+points; these hypothesis tests sweep shapes, strides, kernels, paddings
+and groupings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.functional as F
+from repro.core import reference
+from repro.nn import Tensor
+
+
+@st.composite
+def conv_case(draw):
+    groups = draw(st.sampled_from([1, 2, 4]))
+    c_in = groups * draw(st.integers(1, 3))
+    c_out = groups * draw(st.integers(1, 3))
+    k = draw(st.sampled_from([1, 2, 3, 5]))
+    stride = draw(st.sampled_from([1, 2, 3]))
+    padding = draw(st.sampled_from(["same", 0, 1]))
+    size = draw(st.integers(k if padding != "same" else 1, 12))
+    # Valid padding with stride can collapse the output; keep it legal.
+    if padding == 0 and size < k:
+        size = k
+    return c_in, c_out, k, stride, padding, groups, size
+
+
+class TestConvEquivalence:
+    @given(case=conv_case(), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_conv2d_matches_reference(self, case, seed):
+        c_in, c_out, k, stride, padding, groups, size = case
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(c_in, size, size))
+        w = rng.normal(size=(c_out, c_in // groups, k, k))
+        ours = F.conv2d(
+            Tensor(x[None]), Tensor(w), stride=stride, padding=padding, groups=groups
+        )
+        expected = reference.conv2d(x, w, stride=stride, padding=padding, groups=groups)
+        assert ours.shape[1:] == expected.shape
+        assert np.allclose(ours.data[0], expected, atol=1e-8)
+
+    @given(
+        c=st.integers(1, 6),
+        k=st.sampled_from([3, 5]),
+        stride=st.sampled_from([1, 2]),
+        size=st.integers(5, 12),
+        axis=st.sampled_from(["row", "col"]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fuse_conv1d_matches_reference(self, c, k, stride, size, axis, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(c, size, size))
+        w = rng.normal(size=(c, k))
+        ours = F.fuse_conv1d(Tensor(x[None]), Tensor(w), axis, stride=stride)
+        ref_fn = reference.conv1d_row if axis == "row" else reference.conv1d_col
+        expected = ref_fn(x, w, stride=stride, padding="same")
+        assert np.allclose(ours.data[0], expected, atol=1e-8)
+
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 4),
+        size=st.integers(2, 8),
+        k=st.sampled_from([1, 2, 3]),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_avg_pool_matches_naive(self, n, c, size, k, seed):
+        if size < k:
+            size = k
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, size, size))
+        ours = F.avg_pool2d(Tensor(x), k)
+        oh = (size - k) // k + 1
+        for i in range(oh):
+            for j in range(oh):
+                window = x[:, :, i * k:(i + 1) * k, j * k:(j + 1) * k]
+                assert np.allclose(ours.data[:, :, i, j], window.mean(axis=(2, 3)))
+
+    @given(
+        batch=st.integers(1, 4),
+        features=st.integers(1, 16),
+        classes=st.integers(2, 8),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_matches_manual(self, batch, features, classes, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(batch, classes))
+        labels = rng.integers(0, classes, size=batch)
+        loss = F.cross_entropy(Tensor(logits), labels)
+        z = logits - logits.max(axis=1, keepdims=True)
+        log_probs = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(batch), labels].mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-6)

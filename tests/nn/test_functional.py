@@ -1,0 +1,157 @@
+"""Functional ops: numeric gradient checks and forward equivalences."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.core import reference
+from repro.nn import Tensor, parameter
+
+
+def numeric_grad(fn, array, eps=1e-5):
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = array[idx]
+        array[idx] = orig + eps
+        hi = fn()
+        array[idx] = orig - eps
+        lo = fn()
+        array[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grads(build_loss, params, atol=1e-4):
+    """Compare autograd gradients of a scalar loss to numeric ones."""
+    loss = build_loss()
+    loss.backward()
+    for p in params:
+        expected = numeric_grad(lambda: float(build_loss().data), p.data)
+        assert np.allclose(p.grad, expected, atol=atol), p.shape
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestForwardEquivalence:
+    """nn ops must agree with the core numpy reference implementations."""
+
+    def test_conv2d_matches_reference(self, rng):
+        x = rng.normal(size=(3, 7, 7))
+        w = rng.normal(size=(5, 3, 3, 3))
+        ours = F.conv2d(Tensor(x[None]), Tensor(w), stride=2, padding="same")
+        ref = reference.conv2d(x, w, stride=2, padding="same")
+        assert np.allclose(ours.data[0], ref)
+
+    def test_depthwise_matches_reference(self, rng):
+        x = rng.normal(size=(4, 8, 8))
+        w = rng.normal(size=(4, 3, 3))
+        ours = F.depthwise_conv2d(Tensor(x[None]), Tensor(w[:, None]), stride=1, padding="same")
+        assert np.allclose(ours.data[0], reference.depthwise_conv2d(x, w, padding="same"))
+
+    def test_fuse_row_matches_reference(self, rng):
+        x = rng.normal(size=(4, 6, 9))
+        w = rng.normal(size=(4, 3))
+        ours = F.fuse_conv1d(Tensor(x[None]), Tensor(w), "row", stride=1)
+        assert np.allclose(ours.data[0], reference.conv1d_row(x, w, padding="same"))
+
+    def test_fuse_col_matches_reference(self, rng):
+        x = rng.normal(size=(4, 9, 6))
+        w = rng.normal(size=(4, 3))
+        ours = F.fuse_conv1d(Tensor(x[None]), Tensor(w), "col", stride=2)
+        assert np.allclose(ours.data[0], reference.conv1d_col(x, w, stride=2, padding="same"))
+
+    def test_fuse_bad_axis(self, rng):
+        with pytest.raises(ValueError):
+            F.fuse_conv1d(Tensor(np.ones((1, 2, 4, 4))), Tensor(np.ones((2, 3))), "diag")
+
+
+class TestGradChecks:
+    def test_linear(self, rng):
+        x = parameter(rng.normal(size=(3, 4)), np.float64)
+        w = parameter(rng.normal(size=(2, 4)), np.float64)
+        b = parameter(rng.normal(size=(2,)), np.float64)
+        check_grads(lambda: (F.linear(x, w, b) ** 2).sum(), [x, w, b])
+
+    def test_activations(self, rng):
+        # Sample away from kink points so numeric gradients are clean.
+        base = rng.normal(size=(2, 3, 4, 4)) * 2.0
+        base[np.abs(base) < 0.1] = 0.5
+        base[np.abs(base - 6) < 0.1] = 5.0
+        for act in (F.relu, F.relu6, F.hswish, F.hsigmoid, F.sigmoid, F.swish):
+            x = parameter(base.copy(), np.float64)
+            check_grads(lambda: (act(x) ** 2).sum(), [x])
+
+    def test_avg_pool(self, rng):
+        x = parameter(rng.normal(size=(2, 3, 6, 6)), np.float64)
+        check_grads(lambda: (F.avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = parameter(rng.normal(size=(2, 3, 4, 4)), np.float64)
+        check_grads(lambda: (F.global_avg_pool(x) ** 2).sum(), [x])
+
+    def test_concat_and_split(self, rng):
+        a = parameter(rng.normal(size=(1, 2, 3, 3)), np.float64)
+        b = parameter(rng.normal(size=(1, 3, 3, 3)), np.float64)
+
+        def loss():
+            cat = F.concat([a, b], axis=1)
+            return (F.channel_split(cat, 1, 4) ** 2).sum()
+
+        check_grads(loss, [a, b])
+
+    def test_log_softmax(self, rng):
+        x = parameter(rng.normal(size=(4, 5)), np.float64)
+        check_grads(lambda: (F.log_softmax(x, axis=1) ** 2).sum(), [x])
+
+    def test_cross_entropy(self, rng):
+        x = parameter(rng.normal(size=(6, 4)), np.float64)
+        labels = rng.integers(0, 4, size=6)
+        check_grads(lambda: F.cross_entropy(x, labels), [x])
+
+    def test_batch_norm_eval_mode(self, rng):
+        x = parameter(rng.normal(size=(3, 2, 4, 4)), np.float64)
+        gamma = parameter(rng.normal(size=2), np.float64)
+        beta = parameter(rng.normal(size=2), np.float64)
+        rm = rng.normal(size=2)
+        rv = np.abs(rng.normal(size=2)) + 0.5
+
+        def loss():
+            out = F.batch_norm(x, gamma, beta, rm.copy(), rv.copy(), training=False)
+            return (out ** 2).sum()
+
+        check_grads(loss, [x, gamma, beta])
+
+
+class TestNumericalBehaviour:
+    def test_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = F.log_softmax(x, axis=1)
+        assert np.all(np.isfinite(out.data))
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[20.0, -20.0], [-20.0, 20.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_batch_norm_normalizes_training_batch(self, rng):
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(16, 4, 8, 8)))
+        gamma = parameter(np.ones(4))
+        beta = parameter(np.zeros(4))
+        rm, rv = np.zeros(4, np.float64), np.ones(4, np.float64)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-3)
+        assert rm.mean() > 0  # running stats updated
+
+    def test_conv2d_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.ones((1, 3, 4, 4))), Tensor(np.ones((2, 2, 3, 3))))

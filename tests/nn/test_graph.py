@@ -1,0 +1,177 @@
+"""GraphExecutor: executing IR networks on the numpy substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import (
+    Activation,
+    Add,
+    BatchNorm,
+    ChannelSplit,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    FuSeConv1D,
+    GlobalAvgPool,
+    Linear,
+    Network,
+    PointwiseConv2D,
+    Pool2D,
+    SqueezeExcite,
+)
+from repro.models import build_model
+from repro.nn import GraphExecutor, Tensor, TrainConfig, train
+from repro.nn.data import Dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+def full_vocabulary_net() -> Network:
+    """A network touching every executable layer kind."""
+    net = Network("vocab", input_shape=(4, 12, 12))
+    net.add(Conv2D(8, kernel=3, stride=1, padding="same"), name="conv")
+    net.add(BatchNorm(), name="bn")
+    net.add(Activation("hswish"), name="act")
+    net.add(Pool2D("max", kernel=2), name="pool")
+    net.add(DepthwiseConv2D(kernel=3), name="dw")
+    net.add(SqueezeExcite(se_channels=4), name="se")
+    net.add(ChannelSplit(0, 4), name="lo")
+    net.add(ChannelSplit(4, 8), name="hi", inputs=["se"])
+    net.add(FuSeConv1D(axis="row", kernel=3), name="row", inputs=["lo"])
+    net.add(FuSeConv1D(axis="col", kernel=3), name="col", inputs=["hi"])
+    net.add(Concat(), name="cat", inputs=["row", "col"])
+    net.add(Add(), name="res", inputs=["cat", "se"])
+    net.add(PointwiseConv2D(16), name="pw")
+    net.add(GlobalAvgPool(), name="gap")
+    net.add(Flatten(), name="flat")
+    net.add(Linear(5), name="fc")
+    return net
+
+
+class TestExecution:
+    def test_vocabulary_network_runs(self, rng):
+        net = full_vocabulary_net()
+        model = GraphExecutor(net, seed=0)
+        out = model(Tensor(rng.normal(size=(3, 4, 12, 12)).astype(np.float32)))
+        assert out.shape == (3, 5)
+        assert np.all(np.isfinite(out.data))
+
+    def test_output_matches_ir_shape(self, rng):
+        net = build_model("mobilenet_v3_small", num_classes=7, resolution=32)
+        model = GraphExecutor(net, seed=0)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, net.out_shape[0])
+
+    def test_param_count_matches_ir(self):
+        net = build_model("mobilenet_v2", num_classes=10, resolution=32)
+        model = GraphExecutor(net, seed=0)
+        assert model.num_parameters() == net.total_params()
+
+    def test_param_count_matches_ir_after_transform(self):
+        net = to_fuseconv(
+            build_model("mobilenet_v1", num_classes=10, resolution=32),
+            FuSeVariant.HALF,
+        )
+        model = GraphExecutor(net, seed=0)
+        assert model.num_parameters() == net.total_params()
+
+    def test_resnet_maxpool_path(self, rng):
+        net = build_model("resnet50", num_classes=4, resolution=32)
+        model = GraphExecutor(net, seed=0)
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (1, 4)
+
+    def test_module_for_lookup(self):
+        model = GraphExecutor(full_vocabulary_net(), seed=0)
+        assert model.module_for("conv").weight.shape == (8, 4, 3, 3)
+        with pytest.raises(KeyError):
+            model.module_for("cat")  # plumbing has no module
+
+    def test_padded_avg_pool_rejected(self, rng):
+        net = Network("p", input_shape=(2, 8, 8))
+        net.add(Pool2D("avg", kernel=3, stride=2, padding="same"), name="pool")
+        model = GraphExecutor(net, seed=0)
+        with pytest.raises(NotImplementedError, match="average pooling"):
+            model(Tensor(rng.normal(size=(1, 2, 8, 8)).astype(np.float32)))
+
+    def test_unpadded_avg_pool_runs(self, rng):
+        net = Network("p", input_shape=(2, 8, 8))
+        net.add(Pool2D("avg", kernel=2), name="pool")
+        model = GraphExecutor(net, seed=0)
+        out = model(Tensor(np.ones((1, 2, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 2, 4, 4)
+        assert np.allclose(out.data, 1.0)
+
+    def test_multiplier_rejected(self):
+        net = Network("bad", input_shape=(4, 8, 8))
+        net.add(DepthwiseConv2D(kernel=3, multiplier=2), name="dw")
+        with pytest.raises(NotImplementedError):
+            GraphExecutor(net)
+
+    def test_deterministic_seed(self, rng):
+        net = full_vocabulary_net()
+        x = Tensor(rng.normal(size=(1, 4, 12, 12)).astype(np.float32))
+        a = GraphExecutor(net, seed=5)(x)
+        b = GraphExecutor(net, seed=5)(x)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestTraining:
+    def test_graph_model_trains(self):
+        """An IR-defined network learns through the executor."""
+        net = Network("tiny", input_shape=(1, 6, 6))
+        net.add(Conv2D(4, kernel=3, padding="same"), name="c")
+        net.add(BatchNorm(), name="b")
+        net.add(Activation("relu"), name="a")
+        net.add(GlobalAvgPool(), name="g")
+        net.add(Flatten(), name="f")
+        net.add(Linear(2), name="fc")
+        model = GraphExecutor(net, seed=0)
+
+        rng = np.random.default_rng(0)
+        # Trivially separable task: mean intensity decides the class.
+        images = rng.normal(size=(64, 1, 6, 6)).astype(np.float32)
+        labels = (images.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+        images[labels == 1] += 1.0
+        data = Dataset(images=images, labels=labels)
+        history = train(model, data, data, TrainConfig(epochs=5, batch_size=16, lr=0.01))
+        assert history.final_test_accuracy > 0.8
+
+    def test_gradients_flow_through_graph(self, rng):
+        model = GraphExecutor(full_vocabulary_net(), seed=0)
+        out = model(Tensor(rng.normal(size=(2, 4, 12, 12)).astype(np.float32)))
+        (out ** 2).sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+
+class TestMaxPool:
+    def test_max_pool_forward(self):
+        import repro.nn.functional as F
+
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_to_argmax_only(self):
+        import repro.nn.functional as F
+        from repro.nn import parameter
+
+        x = parameter(np.arange(16.0).reshape(1, 1, 4, 4), np.float64)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        assert np.allclose(x.grad[0, 0], expected)
+
+    def test_max_pool_same_padding(self):
+        import repro.nn.functional as F
+
+        x = Tensor(np.ones((1, 1, 5, 5)))
+        out = F.max_pool2d(x, 3, stride=2, padding="same")
+        assert out.shape == (1, 1, 3, 3)
+        assert np.all(out.data == 1.0)

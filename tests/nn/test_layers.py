@@ -1,0 +1,156 @@
+"""Module system: parameter discovery, modes, state dicts, layer shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    FuSeConv1d,
+    GlobalAvgPool,
+    Linear,
+    PointwiseConv2d,
+    Sequential,
+    SqueezeExcite,
+    Tensor,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+def tiny_model(rng) -> Sequential:
+    return Sequential(
+        Conv2d(3, 8, kernel=3, padding="same", rng=rng),
+        BatchNorm2d(8),
+        Activation("relu"),
+        GlobalAvgPool(),
+        Linear(8, 4, rng=rng),
+    )
+
+
+class TestModule:
+    def test_parameter_discovery(self, rng):
+        model = tiny_model(rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert "items.0.weight" in names
+        assert "items.1.gamma" in names
+        assert "items.4.bias" in names
+
+    def test_num_parameters(self, rng):
+        model = tiny_model(rng)
+        assert model.num_parameters() == 8 * 3 * 9 + 8 + 8 + 8 * 4 + 4
+
+    def test_train_eval_propagates(self, rng):
+        model = tiny_model(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        model = tiny_model(rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        (out ** 2).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = tiny_model(np.random.default_rng(0))
+        b = tiny_model(np.random.default_rng(1))
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        assert not np.allclose(a(x).data, b(x).data)
+        b.load_state_dict(a.state_dict())
+        # BN running stats differ but fresh models share zero-mean stats.
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_rejected(self, rng):
+        model = tiny_model(rng)
+        state = model.state_dict()
+        state.pop("items.4.bias")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_state_dict_shape_checked(self, rng):
+        model = tiny_model(rng)
+        state = model.state_dict()
+        state["items.4.bias"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestLayerShapes:
+    def test_conv2d(self, rng):
+        layer = Conv2d(3, 8, kernel=3, stride=2, padding="same", rng=rng)
+        assert layer(Tensor(np.zeros((2, 3, 9, 9)))).shape == (2, 8, 5, 5)
+
+    def test_depthwise(self, rng):
+        layer = DepthwiseConv2d(6, kernel=3, rng=rng)
+        assert layer(Tensor(np.zeros((1, 6, 8, 8)))).shape == (1, 6, 8, 8)
+
+    def test_fuse_conv1d_axes(self, rng):
+        row = FuSeConv1d(4, kernel=3, axis="row", rng=rng)
+        col = FuSeConv1d(4, kernel=3, axis="col", rng=rng)
+        x = Tensor(np.zeros((1, 4, 6, 6)))
+        assert row(x).shape == (1, 4, 6, 6)
+        assert col(x).shape == (1, 4, 6, 6)
+        assert row.weight.shape == (4, 3)
+
+    def test_fuse_bad_axis(self):
+        with pytest.raises(ValueError):
+            FuSeConv1d(4, kernel=3, axis="depth")
+
+    def test_pointwise(self, rng):
+        layer = PointwiseConv2d(4, 16, rng=rng)
+        assert layer(Tensor(np.zeros((1, 4, 5, 5)))).shape == (1, 16, 5, 5)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((2, 4, 3, 3)))).shape == (2, 36)
+
+    def test_activation_unknown(self):
+        with pytest.raises(ValueError):
+            Activation("gelu")
+
+    def test_squeeze_excite_preserves_shape(self, rng):
+        se = SqueezeExcite(8, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 8, 5, 5)))
+        assert se(x).shape == (2, 8, 5, 5)
+
+    def test_squeeze_excite_scales_channels(self, rng):
+        se = SqueezeExcite(4, 2, rng=rng)
+        x = Tensor(np.ones((1, 4, 3, 3)))
+        out = se(x)
+        # Output = input scaled per channel by a value in [0, 1].
+        scale = out.data[0, :, 0, 0]
+        assert np.all(scale >= 0) and np.all(scale <= 1)
+        assert np.allclose(out.data, x.data * scale[None, :, None, None])
+
+
+class TestBatchNorm2d:
+    def test_running_stats_update_in_train(self, rng):
+        bn = BatchNorm2d(4)
+        x = Tensor(rng.normal(loc=3.0, size=(8, 4, 6, 6)))
+        bn(x)
+        assert bn.running_mean.mean() > 0
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(4)
+        x = Tensor(rng.normal(size=(8, 4, 6, 6)))
+        bn.eval()
+        before = bn.running_mean.copy()
+        out = bn(x)
+        assert np.array_equal(bn.running_mean, before)
+        # With zero-mean/unit-var running stats this is ~identity.
+        assert np.allclose(out.data, x.data, atol=1e-3)
+
+    def test_sequential_helpers(self, rng):
+        seq = Sequential(Activation("relu"))
+        seq.append(Activation("relu6"))
+        assert len(seq) == 2
+        assert isinstance(seq[1], Activation)

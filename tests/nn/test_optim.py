@@ -1,0 +1,146 @@
+"""Optimizers: RMSprop algebra, LR schedule, EMA."""
+
+import numpy as np
+import pytest
+
+from repro.nn import EMA, ExponentialDecay, RMSprop, SGD, parameter
+
+
+class TestRMSprop:
+    def test_single_step_algebra(self):
+        p = parameter([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        opt = RMSprop([p], lr=0.1, alpha=0.9, momentum=0.0, eps=1e-8, weight_decay=0.0)
+        opt.step()
+        sq = 0.1 * 0.5 ** 2
+        expected = 1.0 - 0.1 * 0.5 / (np.sqrt(sq) + 1e-8)
+        assert p.data[0] == pytest.approx(expected, rel=1e-5)
+
+    def test_momentum_accumulates(self):
+        p = parameter([0.0])
+        opt = RMSprop([p], lr=0.1, momentum=0.9, weight_decay=0.0)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        first = -p.data[0]
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        second = -p.data[0] - first
+        assert second > first  # momentum carries the previous update
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = parameter([10.0])
+        opt = RMSprop([p], lr=0.01, weight_decay=0.1)
+        for _ in range(20):
+            p.grad = np.zeros(1, dtype=np.float32)
+            opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_none_grad_skipped(self):
+        p = parameter([1.0])
+        RMSprop([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_zero_grad(self):
+        p = parameter([1.0])
+        p.grad = np.ones(1)
+        opt = RMSprop([p])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            RMSprop([parameter([1.0])], lr=0.0)
+
+    def test_minimizes_quadratic(self):
+        p = parameter([5.0])
+        opt = RMSprop([p], lr=0.05, weight_decay=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = parameter([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.2).step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_momentum(self):
+        p = parameter([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(-1.5)
+
+
+class TestExponentialDecay:
+    def test_paper_schedule(self):
+        opt = RMSprop([parameter([1.0])], lr=0.016)
+        schedule = ExponentialDecay(opt, decay=0.97, every=2.4)
+        schedule.step(2.4)
+        assert opt.lr == pytest.approx(0.016 * 0.97)
+        schedule.step(2.4)
+        assert opt.lr == pytest.approx(0.016 * 0.97 ** 2)
+
+    def test_fractional_epochs(self):
+        opt = RMSprop([parameter([1.0])], lr=1.0)
+        schedule = ExponentialDecay(opt, decay=0.5, every=1.0)
+        schedule.step(0.5)
+        assert opt.lr == pytest.approx(0.5 ** 0.5)
+
+    def test_invalid_decay(self):
+        opt = RMSprop([parameter([1.0])])
+        with pytest.raises(ValueError):
+            ExponentialDecay(opt, decay=1.5)
+
+
+class TestEMA:
+    def test_shadow_tracks_parameters(self):
+        p = parameter([0.0])
+        ema = EMA([p], decay=0.9, warmup=False)
+        p.data = np.array([10.0], dtype=np.float32)
+        for _ in range(50):
+            ema.update()
+        assert ema.shadow[0][0] == pytest.approx(10.0, abs=0.1)
+
+    def test_warmup_accelerates_early_tracking(self):
+        p = parameter([0.0])
+        slow = EMA([p], decay=0.9999, warmup=False)
+        fast = EMA([p], decay=0.9999, warmup=True)
+        p.data = np.array([1.0], dtype=np.float32)
+        for _ in range(10):
+            slow.update()
+            fast.update()
+        assert fast.shadow[0][0] > slow.shadow[0][0]
+
+    def test_swap_restore(self):
+        p = parameter([1.0])
+        ema = EMA([p], decay=0.5, warmup=False)
+        p.data = np.array([3.0], dtype=np.float32)
+        ema.update()
+        ema.swap()
+        swapped = p.data[0]
+        assert swapped == pytest.approx(2.0)  # 0.5*1 + 0.5*3
+        ema.restore()
+        assert p.data[0] == pytest.approx(3.0)
+
+    def test_double_swap_rejected(self):
+        p = parameter([1.0])
+        ema = EMA([p])
+        ema.swap()
+        with pytest.raises(RuntimeError):
+            ema.swap()
+
+    def test_restore_without_swap_rejected(self):
+        with pytest.raises(RuntimeError):
+            EMA([parameter([1.0])]).restore()
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            EMA([parameter([1.0])], decay=1.0)

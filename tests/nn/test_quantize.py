@@ -1,0 +1,77 @@
+"""Post-training weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MiniSeparableNet, SyntheticSpec, TrainConfig, evaluate, make_synthetic, train
+from repro.nn.quantize import fake_quantize_model, quantization_error, quantize_array
+
+
+class TestQuantizeArray:
+    def test_round_trip_bounded_error(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 4, 3, 3)).astype(np.float32)
+        q, scale = quantize_array(w, bits=8)
+        # Max error is half a quantization step per channel.
+        step = np.asarray(scale.scale).reshape(-1, 1, 1, 1)
+        assert np.all(np.abs(q - w) <= step / 2 + 1e-7)
+
+    def test_per_tensor_scale_is_scalar(self):
+        w = np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32)
+        _, scale = quantize_array(w, bits=8, axis=None)
+        assert np.asarray(scale.scale).ndim == 0
+
+    def test_levels(self):
+        _, scale = quantize_array(np.ones((2, 2)), bits=8)
+        assert scale.levels == 127
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(16, 16)).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 8):
+            q, _ = quantize_array(w.copy(), bits=bits)
+            errors.append(float(np.abs(q - w).mean()))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_zero_weights_safe(self):
+        q, _ = quantize_array(np.zeros((3, 3)), bits=8)
+        assert np.all(q == 0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones((2, 2)), bits=1)
+
+
+class TestModelQuantization:
+    def test_only_weights_quantized(self):
+        model = MiniSeparableNet(num_classes=4, width=4, seed=0)
+        before_bias = model.classifier.bias.data.copy()
+        scales = fake_quantize_model(model, bits=8)
+        assert all(name.endswith("weight") for name in scales)
+        assert np.array_equal(model.classifier.bias.data, before_bias)
+
+    def test_error_metric_monotone(self):
+        model = MiniSeparableNet(num_classes=4, width=4, seed=0)
+        assert quantization_error(model, bits=4) > quantization_error(model, bits=8)
+        assert quantization_error(model, bits=8) < 0.01
+
+    def test_int8_keeps_accuracy_int2_destroys_it(self):
+        """The classic PTQ picture on a trained model."""
+        spec = SyntheticSpec(num_classes=4, image_size=10, noise=0.5,
+                             max_shift=1, train_per_class=24, test_per_class=12)
+        train_data, test_data = make_synthetic(spec, seed=0)
+        model = MiniSeparableNet(num_classes=4, width=6, seed=0)
+        train(model, train_data, test_data, TrainConfig(epochs=8, batch_size=24, lr=0.01))
+        float_acc = evaluate(model, test_data)
+        assert float_acc > 0.6
+
+        state = model.state_dict()
+        fake_quantize_model(model, bits=8)
+        int8_acc = evaluate(model, test_data)
+        assert int8_acc >= float_acc - 0.1
+
+        model.load_state_dict(state)
+        fake_quantize_model(model, bits=2)
+        int2_acc = evaluate(model, test_data)
+        assert int2_acc <= int8_acc

@@ -1,0 +1,151 @@
+"""Autograd engine basics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, parameter, unbroadcast
+
+finite = st.floats(-5, 5, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestBasics:
+    def test_wrapping_tensor_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(Tensor([1.0]))
+
+    def test_parameter_requires_grad(self):
+        p = parameter([1.0, 2.0])
+        assert p.requires_grad
+        assert p.dtype == np.float32
+
+    def test_detach_cuts_tape(self):
+        p = parameter([2.0])
+        y = (p * 3.0).detach() * 2.0
+        assert not y.requires_grad
+
+    def test_backward_needs_scalar_seed(self):
+        p = parameter([1.0, 2.0])
+        with pytest.raises(ValueError):
+            (p * 2).backward()
+
+    def test_repr(self):
+        assert "requires_grad" in repr(parameter([1.0]))
+
+
+class TestArithmeticGrads:
+    def test_add_mul(self):
+        a = parameter([2.0], np.float64)
+        b = parameter([3.0], np.float64)
+        ((a + b) * a).sum().backward()
+        assert a.grad == pytest.approx([7.0])  # d/da (a²+ab) = 2a+b
+        assert b.grad == pytest.approx([2.0])
+
+    def test_sub_div_pow(self):
+        a = parameter([4.0], np.float64)
+        b = parameter([2.0], np.float64)
+        ((a - b) / b + a ** 2).sum().backward()
+        assert a.grad == pytest.approx([1 / 2 + 8.0])
+        assert b.grad == pytest.approx([-4.0 / 4])
+
+    def test_neg_rsub_radd(self):
+        a = parameter([3.0], np.float64)
+        (1.0 - a + (2.0 + (-a))).sum().backward()
+        assert a.grad == pytest.approx([-2.0])
+
+    def test_rtruediv(self):
+        a = parameter([2.0], np.float64)
+        (6.0 / a).sum().backward()
+        assert a.grad == pytest.approx([-6.0 / 4.0])
+
+    def test_matmul_grads(self):
+        a = parameter(np.array([[1.0, 2.0], [3.0, 4.0]]), np.float64)
+        b = parameter(np.array([[5.0], [6.0]]), np.float64)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, [[5, 6], [5, 6]])
+        assert np.allclose(b.grad, [[4], [6]])
+
+    def test_grad_accumulates_across_uses(self):
+        a = parameter([1.0], np.float64)
+        y = a * 2 + a * 3
+        y.sum().backward()
+        assert a.grad == pytest.approx([5.0])
+
+    def test_diamond_graph(self):
+        a = parameter([2.0], np.float64)
+        b = a * 3
+        (b * b).sum().backward()
+        assert a.grad == pytest.approx([2 * 3 * 3 * 2.0])
+
+
+class TestBroadcasting:
+    def test_unbroadcast_sums_added_dims(self):
+        grad = np.ones((4, 3))
+        assert unbroadcast(grad, (3,)).tolist() == [4.0, 4.0, 4.0]
+
+    def test_unbroadcast_keeps_singleton(self):
+        grad = np.ones((4, 3))
+        assert unbroadcast(grad, (1, 3)).shape == (1, 3)
+
+    def test_broadcast_add_grads(self):
+        a = parameter(np.zeros((2, 3)), np.float64)
+        b = parameter(np.zeros((3,)), np.float64)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert np.allclose(b.grad, [2, 2, 2])
+
+    @given(
+        shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_roundtrip(self, shape):
+        big = np.ones((2,) + shape)
+        out = unbroadcast(big, shape)
+        assert out.shape == shape
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        a = parameter(np.arange(6.0), np.float64)
+        a.reshape(2, 3).sum().backward()
+        assert np.allclose(a.grad, np.ones(6))
+
+    def test_transpose_grad(self):
+        a = parameter(np.arange(6.0).reshape(2, 3), np.float64)
+        (a.transpose(1, 0) * np.arange(6.0).reshape(3, 2)).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_grad(self):
+        a = parameter(np.arange(5.0), np.float64)
+        a[1:3].sum().backward()
+        assert np.allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_fancy_index_repeated_entries(self):
+        a = parameter(np.arange(4.0), np.float64)
+        a[np.array([1, 1, 2])].sum().backward()
+        assert np.allclose(a.grad, [0, 2, 1, 0])
+
+    def test_mean_axis(self):
+        a = parameter(np.ones((2, 4)), np.float64)
+        a.mean(axis=1).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 4), 0.25))
+
+    def test_sum_keepdims(self):
+        a = parameter(np.ones((2, 4)), np.float64)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 4)))
+
+
+class TestDeepGraph:
+    def test_survives_deep_chains(self):
+        """The iterative topo sort must not hit recursion limits."""
+        a = parameter([1.0], np.float64)
+        x = a
+        for _ in range(5000):
+            x = x + 0.001
+        x.sum().backward()
+        assert a.grad == pytest.approx([1.0])

@@ -1,0 +1,97 @@
+"""Neural Operator Search: knapsack correctness and frontier shape."""
+
+import pytest
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.ir import DepthwiseConv2D, validate_network
+from repro.models import build_model
+from repro.nos import pareto_front, search_operators
+from repro.systolic import ArrayConfig, PAPER_ARRAY, estimate_network
+
+
+@pytest.fixture(scope="module")
+def v2_small():
+    return build_model("mobilenet_v2", resolution=96)
+
+
+class TestSearch:
+    def test_unconstrained_keeps_capacity(self, v2_small):
+        result = search_operators(v2_small, latency_budget=None)
+        # Without a latency constraint, the max-capacity option per layer
+        # wins; for K=3 depthwise that is the depthwise kernel itself
+        # (K²C > 2KC params).
+        assert all(choice is None for choice in result.choices.values())
+
+    def test_tight_budget_recovers_all_half(self, v2_small):
+        options = search_operators(v2_small, latency_budget=None).options
+        fastest = sum(min(o.cycles for o in opts) for opts in options)
+        result = search_operators(v2_small, latency_budget=int(fastest * 1.02))
+        assert all(choice == 2 for choice in result.choices.values())
+
+    def test_budget_respected(self, v2_small):
+        budget = 600_000
+        result = search_operators(v2_small, latency_budget=budget)
+        assert result.cycles <= budget
+
+    def test_infeasible_budget_raises(self, v2_small):
+        with pytest.raises(ValueError, match="below the minimum"):
+            search_operators(v2_small, latency_budget=10)
+
+    def test_built_network_validates(self, v2_small):
+        result = search_operators(v2_small, latency_budget=800_000)
+        net = result.build(v2_small)
+        validate_network(net)
+        assert net.out_shape == v2_small.out_shape
+
+    def test_no_depthwise_network(self):
+        net = build_model("resnet50", resolution=64)
+        result = search_operators(net, latency_budget=1000)
+        assert result.choices == {}
+
+    def test_every_depthwise_gets_a_choice(self, v2_small):
+        result = search_operators(v2_small, latency_budget=10**9)
+        assert len(result.choices) == len(v2_small.find(DepthwiseConv2D))
+
+    def test_extended_candidate_set(self, v2_small):
+        """D=4 (the §VI extension) can join the search space."""
+        options = search_operators(v2_small, latency_budget=None).options
+        fastest = sum(min(o.cycles for o in opts) for opts in options)
+        result = search_operators(
+            v2_small,
+            latency_budget=int(fastest * 1.02),
+            candidates=(None, 1, 2, 4),
+        )
+        # With a tight budget the even-cheaper D=4 becomes the workhorse.
+        assert 4 in set(result.choices.values())
+        net = result.build(v2_small)
+        validate_network(net)
+
+
+class TestParetoFront:
+    @pytest.fixture(scope="class")
+    def front(self, v2_small):
+        return pareto_front(v2_small, points=5)
+
+    def test_capacity_monotone_in_budget(self, front):
+        params = [r.params for r in front]
+        assert params == sorted(params)
+
+    def test_extremes(self, front):
+        # Tightest budget = all-Half; loosest = max capacity (all-keep).
+        assert all(c == 2 for c in front[0].choices.values())
+        assert all(c is None for c in front[-1].choices.values())
+
+    def test_interior_points_are_real_mixes(self, front):
+        interior = front[1:-1]
+        assert any(len(set(r.choices.values())) > 1 for r in interior)
+
+    def test_dominates_paper_variant_on_capacity(self, v2_small, front):
+        """At FuSe-Half's searched-layer latency, NOS keeps ≥ its params."""
+        half = to_fuseconv(v2_small, FuSeVariant.HALF)
+        tightest = front[0]
+        half_params = sum(
+            n.params()
+            for n in half.nodes()
+            if n.kind in ("FuSeConv1D",)
+        )
+        assert tightest.params >= half_params

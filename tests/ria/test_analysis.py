@@ -1,0 +1,137 @@
+"""The paper's §II-B/§III-A claims, checked formally."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ria import (
+    ALGORITHMS,
+    Affine,
+    RecurrenceSystem,
+    VarRef,
+    check_ria,
+    conv1d,
+    conv2d_direct,
+    conv2d_refactored,
+    dependence_vectors,
+    matmul,
+    pointwise_conv,
+)
+
+
+class TestPaperClaims:
+    def test_matmul_is_ria(self):
+        """Fig. 1(b): matrix multiplication is an RIA."""
+        assert check_ria(matmul()).is_ria
+
+    def test_conv1d_is_ria(self):
+        """Fig. 7(a): 1D convolution is an RIA — FuSeConv is systolic."""
+        assert check_ria(conv1d()).is_ria
+
+    def test_pointwise_is_ria(self):
+        """§IV-B: pointwise convolution (dot products) is an RIA."""
+        assert check_ria(pointwise_conv()).is_ria
+
+    def test_conv2d_is_not_ria(self):
+        """§III-A: 2D convolution cannot be written as an RIA."""
+        result = check_ria(conv2d_direct(3))
+        assert not result.is_ria
+        # The violating terms are exactly the floor/mod accesses of Fig 2(b).
+        reasons = " ".join(str(v) for v in result.violations)
+        assert "floor(k/3)" in reasons
+        assert "k%3" in reasons
+
+    def test_conv2d_refactor_also_fails(self):
+        """§III-A: no reordering of the K² products fixes the offsets."""
+        result = check_ria(conv2d_refactored(5))
+        assert not result.is_ria
+
+    def test_all_registered_algorithms_classify_as_documented(self):
+        expected = {
+            "matmul": True,
+            "conv1d": True,
+            "conv2d_direct": False,
+            "conv2d_refactored": False,
+            "im2col_matmul": True,
+            "pointwise_conv": True,
+        }
+        for name, builder in ALGORITHMS.items():
+            assert check_ria(builder()).is_ria == expected[name], name
+
+
+class TestOffsets:
+    def test_matmul_offsets(self):
+        result = check_ria(matmul())
+        assert result.offsets[("C", "C")] == (0, 0, -1)
+        assert result.offsets[("A", "A")] == (0, -1, 0)
+        assert result.offsets[("B", "B")] == (-1, 0, 0)
+
+    def test_dependence_vectors_negate_offsets(self):
+        deps = set(dependence_vectors(matmul()))
+        assert deps == {(0, 0, 1), (0, 1, 0), (1, 0, 0)}
+
+    def test_dependences_reject_non_ria(self):
+        with pytest.raises(ValueError, match="not an RIA"):
+            dependence_vectors(conv2d_direct())
+
+
+class TestStructuralConditions:
+    def test_single_assignment_violation(self):
+        sys = RecurrenceSystem("double", index_names=("i",))
+        sys.add("X", ("i",), [VarRef.simple("X", ("i", -1))])
+        sys.add("X", ("i",), [VarRef.simple("X", ("i", -2))])
+        result = check_ria(sys)
+        assert not result.is_ria
+        assert any("single-assignment" in str(v) for v in result.violations)
+
+    def test_inconsistent_arity_violation(self):
+        sys = RecurrenceSystem("arity", index_names=("i", "j"))
+        sys.add("X", ("i", "j"), [VarRef.simple("X", ("i", -1))])
+        result = check_ria(sys)
+        assert not result.is_ria
+
+    def test_unknown_lhs_index(self):
+        sys = RecurrenceSystem("idx", index_names=("i",))
+        sys.add("X", ("q",), [VarRef.simple("X", ("q", -1))])
+        assert not check_ria(sys).is_ria
+
+    def test_assigning_an_input_rejected(self):
+        sys = RecurrenceSystem("inp", index_names=("i",), inputs=("X",))
+        sys.add("X", ("i",), [VarRef.simple("X", ("i", -1))])
+        assert not check_ria(sys).is_ria
+
+
+class TestRandomUniformSystems:
+    """Any system built only from constant-offset references is an RIA."""
+
+    @given(
+        offsets=st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_references_always_ria(self, offsets):
+        sys = RecurrenceSystem("rand", index_names=("i", "j"))
+        refs = [
+            VarRef("X", (Affine.var("i", di), Affine.var("j", dj)))
+            for di, dj in offsets
+        ]
+        sys.add("Y", ("i", "j"), refs)
+        assert check_ria(sys).is_ria
+
+    @given(scale=st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_scaled_index_never_ria(self, scale):
+        sys = RecurrenceSystem("scaled", index_names=("i",))
+        sys.add("Y", ("i",), [VarRef("X", (Affine(coeffs={"i": scale}),))])
+        assert not check_ria(sys).is_ria
+
+
+class TestExplain:
+    def test_explain_ria(self):
+        text = check_ria(matmul()).explain()
+        assert "RIA" in text and "offset" in text
+
+    def test_explain_violation(self):
+        text = check_ria(conv2d_direct()).explain()
+        assert "NOT an RIA" in text

@@ -1,0 +1,47 @@
+"""Index expressions and offset extraction."""
+
+from repro.ria import Affine, NonAffine, floor_div, mod
+
+
+class TestAffine:
+    def test_var_offset(self):
+        assert Affine.var("k", -1).offset_from("k") == -1
+        assert Affine.var("k").offset_from("k") == 0
+
+    def test_wrong_variable_has_no_offset(self):
+        assert Affine.var("i").offset_from("j") is None
+
+    def test_mixed_coefficients_have_no_offset(self):
+        expr = Affine(coeffs={"i": 1, "k": 1})
+        assert expr.offset_from("i") is None
+
+    def test_scaled_variable_has_no_offset(self):
+        assert Affine(coeffs={"i": 2}).offset_from("i") is None
+
+    def test_constant_expr(self):
+        expr = Affine.const_expr(3)
+        assert expr.offset_from("i") is None
+        assert expr.depends_on == frozenset()
+
+    def test_zero_coeffs_normalized(self):
+        expr = Affine(coeffs={"i": 1, "j": 0})
+        assert expr.coeffs == {"i": 1}
+        assert expr.offset_from("i") == 0
+
+    def test_str_rendering(self):
+        assert str(Affine.var("k", -1)) == "k - 1"
+        assert str(Affine.const_expr(0)) == "0"
+
+
+class TestNonAffine:
+    def test_never_constant(self):
+        assert floor_div("k", 3).offset_from("k") is None
+        assert mod("k", 3).offset_from("k") is None
+
+    def test_depends_on(self):
+        assert floor_div("k", 3).depends_on == frozenset({"k"})
+
+    def test_descriptions(self):
+        assert str(floor_div("k", 3)) == "floor(k/3)"
+        assert str(mod("k", 3)) == "k%3"
+        assert str(NonAffine("i + floor(k/3)", frozenset({"i", "k"}))) == "i + floor(k/3)"

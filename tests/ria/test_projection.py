@@ -1,0 +1,92 @@
+"""Space-time mapping synthesis (§II-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ria import (
+    conv1d,
+    conv2d_direct,
+    dependence_vectors,
+    enumerate_schedules,
+    matmul,
+    synthesize_mapping,
+)
+
+
+class TestSchedules:
+    def test_valid_schedules_satisfy_dependences(self):
+        deps = dependence_vectors(matmul())
+        for schedule in enumerate_schedules(deps, 3, bound=1):
+            assert all(sum(l * d for l, d in zip(schedule, dep)) >= 1 for dep in deps)
+
+    def test_matmul_111_is_valid(self):
+        deps = dependence_vectors(matmul())
+        assert (1, 1, 1) in enumerate_schedules(deps, 3, bound=1)
+
+    def test_zero_schedule_excluded(self):
+        deps = dependence_vectors(matmul())
+        assert (0, 0, 0) not in enumerate_schedules(deps, 3, bound=2)
+
+
+class TestMatmulMapping:
+    def test_output_stationary_recovered(self):
+        """Fig. 1(d): projecting along k gives the output-stationary array."""
+        mapping = synthesize_mapping(matmul(), (4, 4, 8), projection=(0, 0, 1))
+        assert mapping.dataflow_name == "output-stationary"
+        assert mapping.stationary_vars == ("C",)
+        assert mapping.pe_extent == (4, 4)
+
+    def test_schedule_times_respect_dependences(self):
+        mapping = synthesize_mapping(matmul(), (4, 4, 8), projection=(0, 0, 1))
+        # C[i,j,k] depends on C[i,j,k-1]: strictly increasing time.
+        assert mapping.time_of((1, 2, 3)) > mapping.time_of((1, 2, 2))
+
+    def test_pe_assignment_drops_projected_dim(self):
+        mapping = synthesize_mapping(matmul(), (4, 4, 8), projection=(0, 0, 1))
+        assert mapping.pe_of((1, 2, 5)) == (1, 2)
+        assert mapping.pe_of((1, 2, 7)) == (1, 2)
+
+    def test_projection_conflicts_detected(self):
+        """PEs sharing a projection line must not fire at the same time."""
+        mapping = synthesize_mapping(matmul(), (4, 4, 8))
+        lam, u = mapping.schedule, mapping.projection
+        assert sum(l * x for l, x in zip(lam, u)) != 0
+
+    def test_makespan_positive_and_minimal_among_valid(self):
+        mapping = synthesize_mapping(matmul(), (4, 4, 8))
+        assert mapping.makespan >= 8  # at least the accumulation chain
+
+
+class TestConv1dMapping:
+    def test_conv1d_maps_to_linear_array(self):
+        mapping = synthesize_mapping(conv1d(), (6, 3))
+        assert len(mapping.pe_extent) == 1
+
+    def test_weight_stationary_possible(self):
+        """Kung's classic: 1D conv with weights resting in PEs."""
+        mapping = synthesize_mapping(conv1d(), (6, 3), projection=(1, 0))
+        assert "W" in mapping.stationary_vars
+
+
+class TestErrors:
+    def test_non_ria_rejected(self):
+        with pytest.raises(ValueError, match="not an RIA"):
+            synthesize_mapping(conv2d_direct(), (4, 4, 9))
+
+    def test_extent_arity_checked(self):
+        with pytest.raises(ValueError, match="extents"):
+            synthesize_mapping(matmul(), (4, 4))
+
+    def test_non_basis_projection_rejected(self):
+        with pytest.raises(ValueError, match="basis"):
+            synthesize_mapping(matmul(), (4, 4, 8), projection=(1, 1, 0))
+
+
+class TestMakespanScaling:
+    @given(n=st.integers(2, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_makespan_grows_with_domain(self, n):
+        small = synthesize_mapping(matmul(), (n, n, n)).makespan
+        large = synthesize_mapping(matmul(), (n + 1, n + 1, n + 1)).makespan
+        assert large > small

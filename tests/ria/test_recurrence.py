@@ -1,0 +1,66 @@
+"""Recurrence system structure: arity and single-assignment validation."""
+
+import pytest
+
+from repro.ria import Affine, Recurrence, RecurrenceSystem, StructureError, VarRef
+
+
+class TestVarRef:
+    def test_simple_builder_variants(self):
+        ref = VarRef.simple("A", "i", ("j", -1), Affine.const_expr(0))
+        assert str(ref) == "A[i, j - 1, 0]"
+
+    def test_str(self):
+        ref = VarRef.simple("C", "i", ("k", -1))
+        assert str(ref) == "C[i, k - 1]"
+
+
+class TestRecurrence:
+    def test_str_format(self):
+        rec = Recurrence("C", ("i",), (VarRef.simple("C", ("i", -1)),))
+        assert str(rec) == "C[i] = f(C[i - 1])"
+
+
+class TestSystemStructure:
+    def test_arities_collected(self):
+        sys = RecurrenceSystem("s", index_names=("i", "j"))
+        sys.add("Y", ("i", "j"), [VarRef.simple("X", "i", "j")])
+        arities = sys.variable_arities()
+        assert arities == {"Y": 2, "X": 2}
+
+    def test_inconsistent_arity_raises(self):
+        sys = RecurrenceSystem("s", index_names=("i", "j"))
+        sys.add("Y", ("i", "j"), [VarRef.simple("Y", ("i", -1))])
+        with pytest.raises(StructureError, match="arity"):
+            sys.variable_arities()
+
+    def test_single_assignment_ok(self):
+        sys = RecurrenceSystem("s", index_names=("i",))
+        sys.add("Y", ("i",), [VarRef.simple("Y", ("i", -1))])
+        assert sys.check_single_assignment() is None
+
+    def test_double_assignment_reported(self):
+        sys = RecurrenceSystem("s", index_names=("i",))
+        sys.add("Y", ("i",), [VarRef.simple("Y", ("i", -1))])
+        sys.add("Y", ("i",), [VarRef.simple("Y", ("i", -2))])
+        message = sys.check_single_assignment()
+        assert message is not None and "single-assignment" in message
+
+    def test_assigned_input_reported(self):
+        sys = RecurrenceSystem("s", index_names=("i",), inputs=("X",))
+        sys.add("X", ("i",), [VarRef.simple("X", ("i", -1))])
+        message = sys.check_single_assignment()
+        assert message is not None and "input" in message
+
+    def test_unknown_lhs_index_reported(self):
+        sys = RecurrenceSystem("s", index_names=("i",))
+        sys.add("Y", ("z",), [VarRef.simple("Y", ("z", -1))])
+        message = sys.check_single_assignment()
+        assert message is not None and "unknown indices" in message
+
+    def test_assigned_variables_groups(self):
+        sys = RecurrenceSystem("s", index_names=("i",))
+        sys.add("A", ("i",), [VarRef.simple("A", ("i", -1))])
+        sys.add("B", ("i",), [VarRef.simple("A", "i")])
+        grouped = sys.assigned_variables()
+        assert set(grouped) == {"A", "B"}

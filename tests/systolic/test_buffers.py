@@ -1,0 +1,61 @@
+"""SRAM buffer sizing analysis."""
+
+import pytest
+
+from repro.core import FuSeVariant, to_fuseconv
+from repro.models import build_model
+from repro.systolic import ArrayConfig, Conv1DBank, GemmDims
+from repro.systolic.buffers import (
+    BufferRequirement,
+    bank_buffer_requirement,
+    gemm_buffer_requirement,
+    network_buffer_requirement,
+)
+
+
+class TestGemmBuffers:
+    def test_single_fold(self):
+        req = gemm_buffer_requirement(GemmDims(4, 10, 3), ArrayConfig(8, 8))
+        assert req.input_values == 4 * 10 + 3 * 10
+        assert req.output_values == 12
+
+    def test_folded_takes_worst_fold(self):
+        array = ArrayConfig(4, 4)
+        req = gemm_buffer_requirement(GemmDims(10, 5, 10), array)
+        assert req.input_values == 4 * 5 + 4 * 5  # full 4x4 fold dominates
+        assert req.output_values == 16
+
+    def test_double_buffer_bytes(self):
+        req = BufferRequirement(input_values=100, output_values=50)
+        assert req.input_bytes == 2 * 100 * 2
+        assert req.output_bytes == 2 * 50 * 2
+        assert req.total_kib == pytest.approx((400 + 200) / 1024)
+
+
+class TestBankBuffers:
+    def test_stream_length_with_stride(self):
+        bank = Conv1DBank(num_convs=2, out_length=4, kernel=3, stride=2)
+        req = bank_buffer_requirement(bank, ArrayConfig(8, 8))
+        stream = (4 - 1) * 2 + 3
+        assert req.input_values == 2 * stream + 2 * 3
+        assert req.output_values == 8
+
+
+class TestNetworkBuffers:
+    def test_monotone_in_array_size(self):
+        net = build_model("mobilenet_v3_small", resolution=96)
+        small = network_buffer_requirement(net, ArrayConfig.square(16))
+        large = network_buffer_requirement(net, ArrayConfig.square(128))
+        assert large.input_values >= small.input_values
+
+    def test_reasonable_magnitude(self):
+        """A 64x64 array needs tens of KiB of operand buffering — the
+        right ballpark for an edge accelerator's SRAM."""
+        net = build_model("mobilenet_v2")
+        req = network_buffer_requirement(net, ArrayConfig.square(64))
+        assert 4 < req.total_kib < 4096
+
+    def test_fuse_network_computable(self):
+        net = to_fuseconv(build_model("mobilenet_v1", resolution=96), FuSeVariant.HALF)
+        req = network_buffer_requirement(net, ArrayConfig.square(64))
+        assert req.input_values > 0 and req.output_values > 0

@@ -1,0 +1,231 @@
+"""Functional cycle-level simulator vs numpy values and analytical cycles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.systolic import (
+    ArrayConfig,
+    Conv1DBank,
+    GemmDims,
+    broadcast_conv1d_stats,
+    os_gemm_stats,
+    simulate_conv1d_bank,
+    simulate_gemm,
+)
+
+finite = st.floats(-3, 3, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestGemmSim:
+    @given(
+        m=st.integers(1, 9),
+        k=st.integers(1, 6),
+        n=st.integers(1, 9),
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_and_cycles(self, m, k, n, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        array = ArrayConfig(rows=rows, cols=cols)
+        result = simulate_gemm(a, b, array)
+        assert np.allclose(result.values, a @ b)
+        assert result.cycles == os_gemm_stats(GemmDims(m, k, n), array).cycles
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            simulate_gemm(np.ones((2, 3)), np.ones((4, 2)), ArrayConfig(2, 2))
+
+    def test_identity_gemm(self):
+        array = ArrayConfig(4, 4)
+        a = np.eye(4)
+        b = np.arange(16.0).reshape(4, 4)
+        assert np.allclose(simulate_gemm(a, b, array).values, b)
+
+    def test_integer_inputs(self):
+        array = ArrayConfig(3, 3)
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(12).reshape(3, 4)
+        assert np.array_equal(simulate_gemm(a, b, array).values, a @ b)
+
+
+class TestBroadcastSim:
+    @given(
+        g=st.integers(1, 8),
+        k=st.integers(1, 4),
+        extra=st.integers(0, 10),
+        stride=st.integers(1, 3),
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_and_cycles(self, g, k, extra, stride, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        l_out = 1 + extra
+        l_in = (l_out - 1) * stride + k
+        x = rng.normal(size=(g, l_in))
+        w = rng.normal(size=(g, k))
+        array = ArrayConfig(rows=rows, cols=cols, broadcast=True)
+        result = simulate_conv1d_bank(x, w, array, stride=stride)
+
+        expected = np.stack(
+            [
+                [(x[i, j * stride:j * stride + k] * w[i]).sum() for j in range(l_out)]
+                for i in range(g)
+            ]
+        )
+        assert np.allclose(result.values, expected)
+        bank = Conv1DBank(num_convs=g, out_length=l_out, kernel=k, stride=stride)
+        assert result.cycles == broadcast_conv1d_stats(bank, array).cycles
+
+    def test_requires_broadcast(self):
+        array = ArrayConfig(2, 2, broadcast=False)
+        with pytest.raises(ValueError, match="broadcast"):
+            simulate_conv1d_bank(np.ones((2, 4)), np.ones((2, 2)), array)
+
+    def test_filter_count_checked(self):
+        array = ArrayConfig(2, 2)
+        with pytest.raises(ValueError, match="filters"):
+            simulate_conv1d_bank(np.ones((2, 4)), np.ones((3, 2)), array)
+
+    def test_collapsed_output_rejected(self):
+        array = ArrayConfig(2, 2)
+        with pytest.raises(ValueError, match="collapsed"):
+            simulate_conv1d_bank(np.ones((1, 2)), np.ones((1, 5)), array)
+
+
+class TestWeightStationarySim:
+    @given(
+        m=st.integers(1, 9),
+        k=st.integers(1, 8),
+        n=st.integers(1, 9),
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_and_cycles(self, m, k, n, rows, cols, seed):
+        from repro.systolic import ws_gemm_stats
+        from repro.systolic.functional import SystolicArraySim
+
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        array = ArrayConfig(rows=rows, cols=cols)
+        result = SystolicArraySim(array).run_ws_gemm(a, b)
+        assert np.allclose(result.values, a @ b)
+        assert result.cycles == ws_gemm_stats(GemmDims(m, k, n), array).cycles
+
+    def test_shape_mismatch(self):
+        from repro.systolic.functional import SystolicArraySim
+
+        with pytest.raises(ValueError):
+            SystolicArraySim(ArrayConfig(2, 2)).run_ws_gemm(
+                np.ones((2, 3)), np.ones((4, 2))
+            )
+
+    def test_agrees_with_os_sim(self):
+        """Both dataflows compute the same product (different cycles)."""
+        from repro.systolic.functional import SystolicArraySim
+
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=(6, 7)), rng.normal(size=(7, 5))
+        sim = SystolicArraySim(ArrayConfig(4, 4))
+        assert np.allclose(sim.run_gemm(a, b).values, sim.run_ws_gemm(a, b).values)
+
+
+class TestObserver:
+    def test_gemm_observer_sees_every_mac_cycle(self):
+        from repro.systolic.functional import SystolicArraySim
+
+        frames = []
+        sim = SystolicArraySim(
+            ArrayConfig(3, 3), observer=lambda p, t, s: frames.append((p, t))
+        )
+        rng = np.random.default_rng(0)
+        sim.run_gemm(rng.normal(size=(3, 4)), rng.normal(size=(4, 3)))
+        # One fold: (r-1)+(c-1)+k = 2+2+4 MAC cycles observed.
+        assert [t for _, t in frames] == list(range(8))
+        assert all(p == "gemm" for p, _ in frames)
+
+    def test_broadcast_observer_activity_mask(self):
+        from repro.systolic.functional import SystolicArraySim
+
+        frames = []
+        sim = SystolicArraySim(
+            ArrayConfig(2, 3), observer=lambda p, t, s: frames.append(s["active"])
+        )
+        rng = np.random.default_rng(0)
+        sim.run_conv1d_broadcast(rng.normal(size=(2, 5)), rng.normal(size=(2, 3)))
+        # Broadcast: whole columns activate together.
+        for mask in frames:
+            assert np.all(mask[0] == mask[1])
+        # Total active PE-cycles equal the bank's MACs.
+        assert sum(int(m.sum()) for m in frames) == 2 * 3 * 3
+
+
+class TestInputStationarySim:
+    @given(
+        m=st.integers(1, 9),
+        k=st.integers(1, 8),
+        n=st.integers(1, 9),
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_and_cycles(self, m, k, n, rows, cols, seed):
+        from repro.systolic import is_gemm_stats
+        from repro.systolic.functional import SystolicArraySim
+
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        array = ArrayConfig(rows=rows, cols=cols)
+        result = SystolicArraySim(array).run_is_gemm(a, b)
+        assert np.allclose(result.values, a @ b)
+        assert result.cycles == is_gemm_stats(GemmDims(m, k, n), array).cycles
+
+    def test_all_three_dataflows_agree_on_values(self):
+        from repro.systolic.functional import SystolicArraySim
+
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=(5, 6)), rng.normal(size=(6, 4))
+        sim = SystolicArraySim(ArrayConfig(3, 3))
+        os_run = sim.run_gemm(a, b)
+        ws_run = sim.run_ws_gemm(a, b)
+        is_run = sim.run_is_gemm(a, b)
+        assert np.allclose(os_run.values, ws_run.values)
+        assert np.allclose(os_run.values, is_run.values)
+
+    def test_shape_mismatch(self):
+        from repro.systolic.functional import SystolicArraySim
+
+        with pytest.raises(ValueError):
+            SystolicArraySim(ArrayConfig(2, 2)).run_is_gemm(
+                np.ones((2, 3)), np.ones((4, 2))
+            )
+
+
+class TestCrossValidation:
+    def test_depthwise_channel_through_gemm_sim(self):
+        """One depthwise channel as an im2col GEMM through the PE grid."""
+        from repro.core import im2col
+
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 6, 6))
+        w = rng.normal(size=(3, 3))
+        cols = im2col(x, (3, 3), (1, 1), 0)  # (16, 9)
+        result = simulate_gemm(cols, w.reshape(9, 1), ArrayConfig(4, 4))
+        from scipy.signal import correlate2d
+
+        assert np.allclose(
+            result.values.reshape(4, 4), correlate2d(x[0], w, mode="valid")
+        )

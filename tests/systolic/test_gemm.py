@@ -1,0 +1,123 @@
+"""Output-stationary GEMM cycle model: fold math and closed forms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systolic import (
+    ArrayConfig,
+    FoldShape,
+    GemmDims,
+    MappingStats,
+    batch_stats,
+    fold_counts,
+    iter_folds,
+    os_gemm_cycles,
+    os_gemm_stats,
+)
+
+
+class TestFoldShape:
+    def test_scale_sim_formula(self):
+        """Full-array fold cost is the SCALE-Sim ``2R + C + T - 2``."""
+        fold = FoldShape(r=8, c=4, k=10)
+        assert fold.cycles == 2 * 8 + 4 + 10 - 2
+
+    def test_single_pe(self):
+        assert FoldShape(r=1, c=1, k=5).cycles == 5 + 1  # MACs + drain
+
+    def test_active_macs(self):
+        assert FoldShape(r=3, c=4, k=5).active_mac_cycles == 60
+
+
+class TestGemmDims:
+    def test_macs(self):
+        assert GemmDims(3, 4, 5).macs == 60
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            GemmDims(0, 4, 5)
+
+
+class TestFoldCounts:
+    def test_exact_fit(self, small_array):
+        assert fold_counts(GemmDims(8, 3, 10), small_array) == (2, 2)
+
+    def test_remainders(self, small_array):
+        assert fold_counts(GemmDims(9, 3, 11), small_array) == (3, 3)
+
+    def test_iter_matches_counts(self, small_array):
+        dims = GemmDims(9, 3, 11)
+        folds = list(iter_folds(dims, small_array))
+        rf, cf = fold_counts(dims, small_array)
+        assert len(folds) == rf * cf
+
+
+class TestClosedForm:
+    @given(
+        m=st.integers(1, 40),
+        k=st.integers(1, 20),
+        n=st.integers(1, 40),
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_closed_form_equals_fold_sum(self, m, k, n, rows, cols):
+        dims = GemmDims(m, k, n)
+        array = ArrayConfig(rows=rows, cols=cols)
+        stats = os_gemm_stats(dims, array)
+        folds = list(iter_folds(dims, array))
+        assert stats.cycles == sum(f.cycles for f in folds)
+        assert stats.folds == len(folds)
+        assert stats.active_mac_cycles == sum(f.active_mac_cycles for f in folds)
+        assert stats.active_mac_cycles == dims.macs
+
+    def test_utilization_bounds(self, small_array):
+        stats = os_gemm_stats(GemmDims(16, 8, 20), small_array)
+        assert 0 < stats.utilization <= 1
+
+    def test_perfect_fit_high_utilization(self):
+        array = ArrayConfig(rows=8, cols=8)
+        # Long accumulation amortizes fill/drain: utilization → 1.
+        stats = os_gemm_stats(GemmDims(8, 10_000, 8), array)
+        assert stats.utilization > 0.99
+
+    def test_single_column_utilization_bound(self):
+        """§III-B: an N=1 GEMM can never use more than one column."""
+        array = ArrayConfig(rows=8, cols=8)
+        stats = os_gemm_stats(GemmDims(64, 9, 1), array)
+        assert stats.utilization <= 1 / array.cols
+
+
+class TestMonotonicity:
+    def test_more_work_more_cycles(self, small_array):
+        base = os_gemm_cycles(GemmDims(8, 8, 8), small_array)
+        assert os_gemm_cycles(GemmDims(16, 8, 8), small_array) > base
+        assert os_gemm_cycles(GemmDims(8, 16, 8), small_array) > base
+        assert os_gemm_cycles(GemmDims(8, 8, 16), small_array) > base
+
+    def test_bigger_array_never_slower(self):
+        dims = GemmDims(100, 30, 100)
+        small = os_gemm_cycles(dims, ArrayConfig.square(8))
+        big = os_gemm_cycles(dims, ArrayConfig.square(32))
+        assert big <= small
+
+
+class TestBatchAndMerge:
+    def test_batch_is_sum(self, small_array):
+        gemms = [GemmDims(3, 4, 5), GemmDims(7, 2, 9)]
+        total = batch_stats(gemms, small_array)
+        parts = [os_gemm_stats(g, small_array) for g in gemms]
+        assert total.cycles == sum(p.cycles for p in parts)
+        assert total.sram_reads == sum(p.sram_reads for p in parts)
+
+    def test_merge_accumulates(self):
+        a = MappingStats(cycles=10, folds=1, active_mac_cycles=5,
+                         occupied_pe_cycles=20, sram_reads=7, sram_writes=3)
+        b = MappingStats(cycles=1, folds=1, active_mac_cycles=1,
+                         occupied_pe_cycles=2, sram_reads=1, sram_writes=1)
+        a.merge(b)
+        assert (a.cycles, a.folds, a.sram_reads, a.sram_writes) == (11, 2, 8, 4)
+
+    def test_empty_stats_zero_utilization(self):
+        assert MappingStats().utilization == 0.0

@@ -1,0 +1,115 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet_v2" in out and "resnet50" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "mobilenet_v3_small", "--resolution", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "MACs" in out and "bneck0" in out
+
+    def test_summary_with_variant(self, capsys):
+        assert main([
+            "summary", "mobilenet_v1", "--resolution", "64", "--variant", "half",
+        ]) == 0
+        assert "FuSeConv1D" in capsys.readouterr().out
+
+    def test_latency_all_variants(self, capsys):
+        assert main([
+            "latency", "mobilenet_v3_small", "--resolution", "96", "--array", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FuSe-Half" in out and "speedup" in out
+
+    def test_latency_dataflow_option(self, capsys):
+        assert main([
+            "latency", "mobilenet_v3_small", "--resolution", "96",
+            "--array", "16", "--dataflow", "ws", "--variant", "half",
+        ]) == 0
+        assert "ws" in capsys.readouterr().out
+
+    def test_ria_single(self, capsys):
+        assert main(["ria", "matmul"]) == 0
+        assert "RIA" in capsys.readouterr().out
+
+    def test_ria_all(self, capsys):
+        assert main(["ria"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2d_direct" in out and "NOT an RIA" in out
+
+    def test_ria_unknown(self, capsys):
+        assert main(["ria", "winograd"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--size", "16"]) == 0
+        assert "area overhead" in capsys.readouterr().out
+
+    def test_nos(self, capsys):
+        assert main([
+            "nos", "mobilenet_v3_small", "--resolution", "96",
+            "--budget", "400000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "whole-network speedup" in out
+
+    def test_unknown_model_is_reported(self, capsys):
+        assert main(["summary", "lenet"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_summary_dot_output(self, capsys, tmp_path):
+        path = tmp_path / "net.dot"
+        assert main([
+            "summary", "mobilenet_v3_small", "--resolution", "64",
+            "--dot", str(path),
+        ]) == 0
+        assert path.read_text().startswith("digraph")
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet_v3_large" in out and "FuSe-Half" in out
+
+    def test_timeline(self, capsys):
+        assert main([
+            "timeline", "mobilenet_v3_small", "--resolution", "96",
+            "--array", "32", "--variant", "half", "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "%" in out
+
+    def test_traffic(self, capsys):
+        assert main([
+            "traffic", "mobilenet_v3_small", "--resolution", "96", "--array", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SRAM reads" in out and "read amplification" in out
+
+    def test_buffers(self, capsys):
+        assert main([
+            "buffers", "mobilenet_v3_small", "--resolution", "96", "--array", "32",
+        ]) == 0
+        assert "KiB" in capsys.readouterr().out
+
+    def test_energy_with_variant(self, capsys):
+        assert main([
+            "energy", "mobilenet_v3_small", "--resolution", "96",
+            "--array", "32", "--variant", "half",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "uJ / inference" in out
+
+    def test_pipelined_flag(self, capsys):
+        assert main([
+            "latency", "mobilenet_v3_small", "--resolution", "96",
+            "--array", "32", "--pipelined", "--variant", "half",
+        ]) == 0
+        assert "pipelined" in capsys.readouterr().out

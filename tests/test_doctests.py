@@ -1,0 +1,18 @@
+"""The examples embedded in module/class docstrings actually run."""
+
+import doctest
+import importlib
+
+import pytest
+
+# importlib avoids attribute shadowing: repro.core re-exports a *function*
+# named fuseconv, so plain attribute access would not yield the module.
+MODULES = ["repro.ir.network", "repro.core.fuseconv", "repro.nn.graph"]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {name}"
+    assert result.attempted > 0, f"no doctests collected in {name}"

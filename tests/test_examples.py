@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are documentation that executes; these tests keep them from
+bit-rotting.  The slower training example runs in its --quick mode.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "speed-up" in result.stdout
+        assert "NOT an RIA" in result.stdout
+
+    def test_ria_synthesis(self):
+        result = run_example("ria_synthesis.py")
+        assert result.returncode == 0, result.stderr
+        assert "output-stationary" in result.stdout
+
+    def test_visualize_dataflow(self):
+        result = run_example("visualize_dataflow.py")
+        assert result.returncode == 0, result.stderr
+        assert "cycle 0:" in result.stdout
+
+    def test_transform_mobilenet(self):
+        result = run_example("transform_mobilenet.py", "mobilenet_v3_small")
+        assert result.returncode == 0, result.stderr
+        assert "FuSe-Half" in result.stdout
+        assert "Per-block speed-up" in result.stdout
+
+    def test_design_space(self):
+        result = run_example("design_space.py")
+        assert result.returncode == 0, result.stderr
+        assert "area" in result.stdout
+
+    def test_train_quick(self):
+        result = run_example("train_fuse_classifier.py", "--quick")
+        assert result.returncode == 0, result.stderr
+        assert "Drop-in accuracy comparison" in result.stdout
+
+    def test_nos_search(self):
+        result = run_example("nos_search.py", "mobilenet_v3_small")
+        assert result.returncode == 0, result.stderr
+        assert "Pareto frontier" in result.stdout
+
+    def test_deploy_pipeline(self, tmp_path):
+        result = run_example("deploy_pipeline.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "int8 weight quantization" in result.stdout
+        assert (tmp_path / "mobilenet_v3_small_fuse_full.json").exists()
+        assert (tmp_path / "mobilenet_v3_small_fuse_full.dot").exists()
