@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test bench results examples clean
+.PHONY: install dev test trace-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,8 +8,16 @@ install:
 dev:
 	pip install -e .[dev]
 
-test:
+test: trace-smoke
 	pytest tests/
+
+# Capture one trace + metrics sidecar and validate both against their
+# schemas (docs/observability.md) — cheap end-to-end observability check.
+trace-smoke:
+	python -m repro latency mobilenet_v3_small --resolution 96 --array 32 \
+		--quiet --trace-out .smoke-trace.json --metrics-out .smoke-metrics.json
+	python -m repro.obs.validate .smoke-trace.json .smoke-metrics.json
+	rm -f .smoke-trace.json .smoke-metrics.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

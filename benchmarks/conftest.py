@@ -8,21 +8,40 @@ survives pytest's capture.  Run with::
 
 (Benchmark timing measures the experiment computation itself; the tables
 are the scientific output.)
+
+Observability: each saved result gets a ``<name>.metrics.json`` sidecar —
+a snapshot of the process metrics registry (``repro.metrics/v1`` schema:
+per-layer cycle counters, cache hit/miss, utilization gauges, profiling
+histograms) — and benchmarked tests carry the sidecar path plus series
+count in their ``extra_info``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.obs import get_registry, metrics_payload
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _write_metrics_sidecar(name: str) -> Path:
+    """Snapshot the default registry next to a result file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    payload = metrics_payload(extra={"result": name})
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
+
+
 def save_result(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it (plus metrics) under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _write_metrics_sidecar(name)
     print(f"\n{text}\n")
 
 
@@ -42,3 +61,15 @@ def save():
 @pytest.fixture
 def save_data():
     return save_csv
+
+
+@pytest.fixture(autouse=True)
+def attach_metrics(request):
+    """Attach the metrics snapshot to every benchmark result."""
+    yield
+    if "benchmark" not in request.fixturenames:
+        return
+    benchmark = request.getfixturevalue("benchmark")
+    sidecar = _write_metrics_sidecar(request.node.name)
+    benchmark.extra_info["metrics_json"] = str(sidecar)
+    benchmark.extra_info["metrics_series"] = len(get_registry())

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from ..core import FuSeVariant, to_fuseconv
 from ..ir import DepthwiseConv2D, Network, Shape
+from ..obs import profiled
 from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
 
 
@@ -34,6 +35,7 @@ class BlockSpeedup:
         return self.in_shape[1] * self.in_shape[2]
 
 
+@profiled("analysis.layerwise_speedups")
 def layerwise_speedups(
     network: Network,
     variant: FuSeVariant = FuSeVariant.FULL,

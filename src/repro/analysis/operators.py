@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 from ..core import FuSeVariant, to_fuseconv
 from ..ir import COMPUTE_CLASSES, Network
 from ..models import PAPER_NETWORKS, build_model
+from ..obs import profiled
 from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
 
 
@@ -41,6 +42,7 @@ def operator_distribution(
     )
 
 
+@profiled("analysis.figure_8c")
 def figure_8c(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     variant: FuSeVariant = FuSeVariant.FULL,

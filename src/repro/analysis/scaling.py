@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..core import FuSeVariant, to_fuseconv
 from ..models import PAPER_NETWORKS, build_model
+from ..obs import profiled
 from ..systolic import ArrayConfig, estimate_network
 
 #: Array sizes swept by the ablation (Fig. 8d uses a similar range).
@@ -33,6 +34,7 @@ class ScalingPoint:
         return self.baseline_cycles / self.fuse_cycles
 
 
+@profiled("analysis.scaling_curve")
 def scaling_curve(
     name: str,
     variant: FuSeVariant = FuSeVariant.HALF,
@@ -61,6 +63,7 @@ def scaling_curve(
     return points
 
 
+@profiled("analysis.figure_8d")
 def figure_8d(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     variant: FuSeVariant = FuSeVariant.HALF,
@@ -78,6 +81,7 @@ def figure_8d(
 DEFAULT_RESOLUTIONS: Tuple[int, ...] = (96, 128, 160, 192, 224)
 
 
+@profiled("analysis.resolution_curve")
 def resolution_curve(
     name: str,
     variant: FuSeVariant = FuSeVariant.HALF,

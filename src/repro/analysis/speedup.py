@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core import ALL_VARIANTS, FuSeVariant, to_fuseconv
 from ..ir import Network, macs_millions, params_millions
 from ..models import PAPER_NETWORKS, build_model
+from ..obs import profiled
 from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
 from .paper_values import TABLE1, PaperRow
 
@@ -49,6 +50,7 @@ def network_variants(
     return out
 
 
+@profiled("analysis.table1")
 def table1(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     variants: Sequence[FuSeVariant] = ALL_VARIANTS,
@@ -80,6 +82,7 @@ def table1(
     return rows
 
 
+@profiled("analysis.figure_8a")
 def figure_8a(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     array: Optional[ArrayConfig] = None,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..ir.network import Network
+from ..obs import profiled
 from ..systolic.config import ArrayConfig, PAPER_ARRAY
 from ..systolic.latency import estimate_network
 from .report import to_csv
@@ -77,6 +78,7 @@ class Timeline:
         )
 
 
+@profiled("analysis.execution_timeline")
 def execution_timeline(
     network: Network, array: Optional[ArrayConfig] = None
 ) -> Timeline:

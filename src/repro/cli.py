@@ -10,15 +10,24 @@ Commands:
 * ``ria``       — classify an algorithm (or all) under the RIA formalism;
 * ``overhead``  — broadcast-link area/power overhead for an array size;
 * ``nos``       — per-layer operator search under a latency budget.
+
+Every subcommand accepts the observability options (after the command
+name): ``--trace-out FILE`` dumps a Chrome-trace JSON of the run,
+``--metrics-out FILE`` a metrics JSON sidecar (``-`` = stdout for both),
+``--log-level`` / ``--quiet`` control the structured diagnostics on
+stderr.  Result tables always stay on stdout.  ``repro --version`` prints
+the toolkit version and git SHA.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections import Counter
 from typing import List, Optional
 
+from . import obs
 from .analysis import format_table, table1
 from .core import FuSeVariant, to_fuseconv
 from .hw import broadcast_overhead, energy_report
@@ -40,6 +49,8 @@ _VARIANTS = {
     "half_50": FuSeVariant.HALF_50,
 }
 
+log = obs.get_logger("cli")
+
 
 def _array_from_args(args: argparse.Namespace) -> ArrayConfig:
     return ArrayConfig.square(
@@ -58,6 +69,37 @@ def _add_array_options(parser: argparse.ArgumentParser) -> None:
                         help="enable fold pipelining (calibration knob)")
 
 
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared observability options, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome-trace JSON of this run "
+                            "('-' = stdout; open in Perfetto)")
+    group.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write a metrics JSON sidecar ('-' = stdout)")
+    group.add_argument("--log-level", choices=sorted(obs.logs.LEVELS),
+                       default="info", help="diagnostic log level (stderr)")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress diagnostics (tables still print)")
+    return parent
+
+
+def _add_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", nargs="?", default=None,
+                        help="model name (see 'repro models')")
+    parser.add_argument("--net", metavar="MODEL", default=None,
+                        help="model name (alternative to the positional)")
+
+
+def _model_name(args: argparse.Namespace) -> str:
+    name = args.net or args.model
+    if name is None:
+        raise ValueError("no model given (positional MODEL or --net)")
+    # Accept paper-style spellings like 'mobilenet-v2'.
+    return name.replace("-", "_")
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     for name in available_models():
         print(name)
@@ -65,7 +107,7 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 
 def cmd_summary(args: argparse.Namespace) -> int:
-    net = build_model(args.model, resolution=args.resolution)
+    net = build_model(_model_name(args), resolution=args.resolution)
     if args.variant:
         net = to_fuseconv(net, _VARIANTS[args.variant])
     if args.dot:
@@ -73,7 +115,7 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
         with open(args.dot, "w") as handle:
             handle.write(network_to_dot(net))
-        print(f"wrote {args.dot}")
+        log.info("wrote DOT graph", path=args.dot, network=net.name)
         return 0
     print(net.summary())
     return 0
@@ -81,7 +123,7 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 def cmd_latency(args: argparse.Namespace) -> int:
     array = _array_from_args(args)
-    net = build_model(args.model, resolution=args.resolution)
+    net = build_model(_model_name(args), resolution=args.resolution)
     base = estimate_network(net, array)
     rows = [["baseline", f"{macs_millions(net):.0f}",
              f"{params_millions(net):.2f}", f"{base.total_cycles:,}",
@@ -103,7 +145,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
     print(format_table(
         ["variant", "MACs(M)", "params(M)", "cycles", "ms", "speedup"],
         rows,
-        title=f"{args.model} on a {array.rows}x{array.cols} array "
+        title=f"{net.name} on a {array.rows}x{array.cols} array "
               f"({array.dataflow}, {'pipelined' if array.pipelined_folds else 'conservative'})",
     ))
     return 0
@@ -154,7 +196,7 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 def cmd_nos(args: argparse.Namespace) -> int:
     array = _array_from_args(args)
-    net = build_model(args.model, resolution=args.resolution)
+    net = build_model(_model_name(args), resolution=args.resolution)
     result = search_operators(net, latency_budget=args.budget, array=array)
     mix = Counter(result.choices.values())
     print(f"searched {len(result.choices)} depthwise layers: "
@@ -168,7 +210,7 @@ def cmd_nos(args: argparse.Namespace) -> int:
 
 
 def _net_for(args: argparse.Namespace):
-    net = build_model(args.model, resolution=args.resolution)
+    net = build_model(_model_name(args), resolution=args.resolution)
     if getattr(args, "variant", None):
         net = to_fuseconv(net, _VARIANTS[args.variant])
     return net
@@ -217,38 +259,52 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_variant_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--variant", "--fuse", dest="variant",
+                        choices=sorted(_VARIANTS),
+                        help="FuSe variant to apply (alias: --fuse)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FuSeConv (DATE 2021) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=obs.version_string())
+    common = _obs_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list available models").set_defaults(fn=cmd_models)
+    p = sub.add_parser("models", help="list available models", parents=[common])
+    p.set_defaults(fn=cmd_models)
 
-    p = sub.add_parser("summary", help="print a model's layer table")
-    p.add_argument("model")
+    p = sub.add_parser("summary", help="print a model's layer table",
+                       parents=[common])
+    _add_model_argument(p)
     p.add_argument("--resolution", type=int, default=224)
-    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    _add_variant_option(p)
     p.add_argument("--dot", metavar="FILE",
                    help="write a Graphviz DOT graph instead of the table")
     p.set_defaults(fn=cmd_summary)
 
-    p = sub.add_parser("latency", help="estimate latency and speed-ups")
-    p.add_argument("model")
+    p = sub.add_parser("latency", help="estimate latency and speed-ups",
+                       parents=[common])
+    _add_model_argument(p)
     p.add_argument("--resolution", type=int, default=224)
-    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    _add_variant_option(p)
     _add_array_options(p)
     p.set_defaults(fn=cmd_latency)
 
-    p = sub.add_parser("table1", help="regenerate Table I")
+    p = sub.add_parser("table1", help="regenerate Table I", parents=[common])
     p.set_defaults(fn=cmd_table1)
 
-    p = sub.add_parser("ria", help="RIA classification of an algorithm")
+    p = sub.add_parser("ria", help="RIA classification of an algorithm",
+                       parents=[common])
     p.add_argument("algorithm", nargs="?")
     p.set_defaults(fn=cmd_ria)
 
-    p = sub.add_parser("overhead", help="broadcast-link area/power overhead")
+    p = sub.add_parser("overhead", help="broadcast-link area/power overhead",
+                       parents=[common])
     p.add_argument("--size", type=int, default=32)
     p.set_defaults(fn=cmd_overhead)
 
@@ -257,24 +313,25 @@ def build_parser() -> argparse.ArgumentParser:
         ("buffers", cmd_buffers, "minimum stall-free SRAM buffer sizes"),
         ("energy", cmd_energy, "energy per inference"),
     ):
-        p = sub.add_parser(cmd, help=help_text)
-        p.add_argument("model")
+        p = sub.add_parser(cmd, help=help_text, parents=[common])
+        _add_model_argument(p)
         p.add_argument("--resolution", type=int, default=224)
-        p.add_argument("--variant", choices=sorted(_VARIANTS))
+        _add_variant_option(p)
         _add_array_options(p)
         p.set_defaults(fn=fn)
 
-    p = sub.add_parser("timeline", help="Gantt view of array occupation")
-    p.add_argument("model")
+    p = sub.add_parser("timeline", help="Gantt view of array occupation",
+                       parents=[common])
+    _add_model_argument(p)
     p.add_argument("--resolution", type=int, default=224)
-    p.add_argument("--variant", choices=sorted(_VARIANTS))
+    _add_variant_option(p)
     p.add_argument("--top", type=int, default=20,
                    help="show only the N longest layers (0 = all)")
     _add_array_options(p)
     p.set_defaults(fn=cmd_timeline)
 
-    p = sub.add_parser("nos", help="per-layer operator search")
-    p.add_argument("model")
+    p = sub.add_parser("nos", help="per-layer operator search", parents=[common])
+    _add_model_argument(p)
     p.add_argument("--resolution", type=int, default=224)
     p.add_argument("--budget", type=int, default=None,
                    help="latency budget in cycles for the searched layers")
@@ -283,15 +340,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _export_artifacts(args: argparse.Namespace) -> None:
+    """Write the ``--trace-out`` / ``--metrics-out`` sidecars of one run."""
+    array = _array_from_args(args) if hasattr(args, "array") else None
+    extra = {"command": args.command}
+    if args.trace_out:
+        obs.write_trace(args.trace_out, array=array, extra=extra)
+        log.info("wrote trace", path=args.trace_out,
+                 events=len(obs.get_tracer()))
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out, array=array, extra=extra)
+        log.info("wrote metrics", path=args.metrics_out,
+                 series=len(obs.get_registry()))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.configure_logging(level=args.log_level, quiet=args.quiet)
+    tracer = obs.get_tracer()
+    if args.trace_out:
+        tracer.clear()
+        tracer.enable()
+    if args.metrics_out:
+        # Fresh run scope so the sidecar describes this invocation only.
+        obs.get_registry().reset()
+    start = time.perf_counter()
     try:
-        return args.fn(args)
+        with tracer.span("cli.command", category="cli", command=args.command):
+            status = args.fn(args)
     except BrokenPipeError:
         return 0  # output piped into a pager/head that closed early
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if args.trace_out:
+            tracer.disable()
+    log.debug("command finished", command=args.command, status=status,
+              seconds=f"{time.perf_counter() - start:.3f}")
+    try:
+        _export_artifacts(args)
+    except OSError as exc:
+        print(f"error: cannot write export: {exc}", file=sys.stderr)
+        return 2
+    return status
 
 
 if __name__ == "__main__":

@@ -9,12 +9,14 @@ are supported via ``dtype``.)
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from . import functional as F
+from ..obs import get_registry, get_tracer
 from .data import Dataset
 from .layers import Module
 from .optim import EMA, ExponentialDecay, RMSprop
@@ -98,24 +100,42 @@ def train(
     schedule = ExponentialDecay(optimizer, config.lr_decay, config.lr_decay_epochs)
     ema = EMA(model.parameters(), config.ema_decay) if config.use_ema else None
 
+    registry = get_registry()
+    tracer = get_tracer()
     history = History()
     model.train()
-    for _ in range(config.epochs):
+    for epoch in range(config.epochs):
         losses: List[float] = []
         hits = 0
-        for images, labels in train_data.batches(config.batch_size, rng=rng):
-            optimizer.zero_grad()
-            logits = model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            loss.backward()
-            optimizer.step()
-            if ema is not None:
-                ema.update()
-            losses.append(loss.item())
-            hits += int((logits.data.argmax(axis=1) == labels).sum())
+        epoch_start = time.perf_counter()
+        with tracer.span("train.epoch", category="train", epoch=epoch) as sp:
+            for images, labels in train_data.batches(config.batch_size, rng=rng):
+                optimizer.zero_grad()
+                logits = model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                loss.backward()
+                optimizer.step()
+                if ema is not None:
+                    ema.update()
+                losses.append(loss.item())
+                hits += int((logits.data.argmax(axis=1) == labels).sum())
+            sp.set(loss=float(np.mean(losses)))
+        epoch_seconds = time.perf_counter() - epoch_start
         history.train_loss.append(float(np.mean(losses)))
         history.train_accuracy.append(hits / len(train_data))
         history.lr.append(schedule.step())
+
+        # Per-epoch observability: loss/accuracy gauges (last epoch wins),
+        # cumulative work counters, and a throughput gauge in samples/s.
+        registry.counter("train.epochs").inc()
+        registry.counter("train.steps").inc(len(losses))
+        registry.counter("train.samples").inc(len(train_data))
+        registry.gauge("train.loss").set(history.train_loss[-1])
+        registry.gauge("train.accuracy").set(history.train_accuracy[-1])
+        registry.gauge("train.throughput_sps").set(
+            len(train_data) / epoch_seconds if epoch_seconds > 0 else 0.0
+        )
+        registry.histogram("train.epoch.seconds").observe(epoch_seconds)
 
         if test_data is not None:
             if ema is not None:
@@ -123,6 +143,7 @@ def train(
             history.test_accuracy.append(evaluate(model, test_data))
             if ema is not None:
                 ema.restore()
+            registry.gauge("train.test_accuracy").set(history.test_accuracy[-1])
         if verbose:
             test_acc = history.test_accuracy[-1] if test_data is not None else float("nan")
             print(

@@ -1,0 +1,77 @@
+"""Observability: structured tracing, metrics, logging and profiling hooks.
+
+The instrumentation layer the rest of the toolkit reports into:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and histograms, JSON round-trip;
+* :mod:`repro.obs.tracing` — span-based wall-clock :class:`Tracer`
+  exporting Chrome trace-event format (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.logs` — ``key=value`` structured logging on stderr;
+* :mod:`repro.obs.export` — metrics/trace JSON sidecars with a
+  version + git SHA + :class:`~repro.systolic.ArrayConfig` header, plus
+  schema validators;
+* :mod:`repro.obs.profiling` — ``@profiled`` duration histograms.
+
+Everything funnels into process-wide singletons (:func:`get_registry`,
+:func:`get_tracer`) so the CLI's ``--metrics-out`` / ``--trace-out`` flags
+capture whatever the invoked code recorded.  The tracer is a strict no-op
+until enabled; see ``docs/observability.md``.
+"""
+
+from .export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    SchemaError,
+    array_dict,
+    git_sha,
+    metrics_payload,
+    repro_version,
+    run_header,
+    trace_payload,
+    validate_metrics,
+    validate_trace,
+    version_string,
+    write_metrics,
+    write_trace,
+)
+from .logs import StructuredLogger, configure as configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .profiling import profiled
+from .tracing import Span, Tracer, get_tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "SchemaError",
+    "array_dict",
+    "git_sha",
+    "metrics_payload",
+    "repro_version",
+    "run_header",
+    "trace_payload",
+    "validate_metrics",
+    "validate_trace",
+    "version_string",
+    "write_metrics",
+    "write_trace",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "profiled",
+    "Span",
+    "Tracer",
+    "get_tracer",
+]

@@ -1,0 +1,230 @@
+"""Export and validation of metrics / trace artifacts.
+
+Every export carries a reproducibility header: toolkit version (package
+metadata), git SHA of the working tree, python/platform, wall-clock
+timestamp, and — when the run targeted a systolic array — the full
+:class:`repro.systolic.ArrayConfig`.  Schemas:
+
+* metrics — ``{"schema": "repro.metrics/v1", "header": {...},
+  "metrics": [{name, type, labels, ...}]}``;
+* trace — Chrome trace-event format: ``{"traceEvents": [...],
+  "displayTimeUnit": "ms", "otherData": {"schema": "repro.trace/v1",
+  ...header}}`` — loadable in ``chrome://tracing`` / Perfetto, which
+  ignore the extra keys.
+
+:func:`validate_metrics` / :func:`validate_trace` check these shapes
+(hand-rolled — no jsonschema dependency); ``python -m repro.obs.validate``
+wraps them for ``make trace-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+METRICS_SCHEMA = "repro.metrics/v1"
+TRACE_SCHEMA = "repro.trace/v1"
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+_git_sha_cache: Optional[str] = None
+
+
+def repro_version() -> str:
+    """Toolkit version from package metadata (source-tree fallback)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or very old python
+        from .. import __version__
+
+        return __version__
+
+
+def git_sha() -> str:
+    """Git SHA of the source tree, or ``"unknown"`` outside a checkout."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except Exception:
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+def version_string() -> str:
+    """Human-readable ``repro <version> (<sha>)`` for ``--version``."""
+    return f"repro {repro_version()} (git {git_sha()[:12]})"
+
+
+def array_dict(array) -> Dict[str, object]:
+    """JSON-ready view of an :class:`repro.systolic.ArrayConfig`."""
+    return {
+        "rows": array.rows,
+        "cols": array.cols,
+        "broadcast": array.broadcast,
+        "dataflow": array.dataflow,
+        "frequency_mhz": array.frequency_mhz,
+        "pipelined_folds": array.pipelined_folds,
+    }
+
+
+def run_header(array=None, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """The reproducibility header embedded in every export."""
+    header: Dict[str, object] = {
+        "tool": "repro",
+        "version": repro_version(),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created_unix": time.time(),
+    }
+    if array is not None:
+        header["array"] = array_dict(array)
+    if extra:
+        header.update(extra)
+    return header
+
+
+# ------------------------------------------------------------------ payloads
+
+def metrics_payload(
+    registry: Optional[MetricsRegistry] = None,
+    array=None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The full ``--metrics-out`` JSON object."""
+    registry = registry if registry is not None else get_registry()
+    payload: Dict[str, object] = {
+        "schema": METRICS_SCHEMA,
+        "header": run_header(array, extra),
+    }
+    payload.update(registry.to_dict())
+    return payload
+
+
+def trace_payload(
+    tracer: Optional[Tracer] = None,
+    array=None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The full ``--trace-out`` JSON object (Chrome trace-event format)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    other = {"schema": TRACE_SCHEMA}
+    other.update(run_header(array, extra))
+    return tracer.to_chrome(other_data=other)
+
+
+# ------------------------------------------------------------------- writing
+
+def write_json(dest: str, payload: Dict[str, object]) -> None:
+    """Write a payload to a path, or stdout when ``dest`` is ``"-"``."""
+    text = json.dumps(payload, indent=2, sort_keys=False, default=str)
+    if dest == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        Path(dest).write_text(text + "\n")
+
+
+def write_metrics(
+    dest: str,
+    registry: Optional[MetricsRegistry] = None,
+    array=None,
+    extra: Optional[Dict[str, object]] = None,
+) -> None:
+    write_json(dest, metrics_payload(registry, array, extra))
+
+
+def write_trace(
+    dest: str,
+    tracer: Optional[Tracer] = None,
+    array=None,
+    extra: Optional[Dict[str, object]] = None,
+) -> None:
+    write_json(dest, trace_payload(tracer, array, extra))
+
+
+# ---------------------------------------------------------------- validation
+
+class SchemaError(ValueError):
+    """A metrics/trace payload does not match its schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _validate_header(header: object, where: str) -> None:
+    _require(isinstance(header, dict), f"{where}: header must be an object")
+    for key in ("tool", "version", "git_sha", "created_unix"):
+        _require(key in header, f"{where}: header missing {key!r}")
+    if "array" in header:
+        array = header["array"]
+        _require(isinstance(array, dict), f"{where}: header.array must be an object")
+        for key in ("rows", "cols", "dataflow"):
+            _require(key in array, f"{where}: header.array missing {key!r}")
+
+
+def validate_metrics(payload: Dict[str, object]) -> int:
+    """Validate a metrics payload; returns the number of metric series."""
+    _require(isinstance(payload, dict), "metrics payload must be a JSON object")
+    _require(payload.get("schema") == METRICS_SCHEMA,
+             f"metrics schema must be {METRICS_SCHEMA!r}, got {payload.get('schema')!r}")
+    _validate_header(payload.get("header"), "metrics")
+    metrics = payload.get("metrics")
+    _require(isinstance(metrics, list), "metrics must be a list")
+    for i, entry in enumerate(metrics):
+        where = f"metrics[{i}]"
+        _require(isinstance(entry, dict), f"{where}: must be an object")
+        _require(isinstance(entry.get("name"), str) and entry["name"],
+                 f"{where}: missing name")
+        _require(entry.get("type") in _METRIC_TYPES,
+                 f"{where}: type must be one of {_METRIC_TYPES}")
+        _require(isinstance(entry.get("labels"), dict), f"{where}: missing labels")
+        if entry["type"] == "histogram":
+            for key in ("count", "sum", "buckets"):
+                _require(key in entry, f"{where}: histogram missing {key!r}")
+        else:
+            _require(isinstance(entry.get("value"), (int, float)),
+                     f"{where}: {entry['type']} needs a numeric value")
+    return len(metrics)
+
+
+def validate_trace(payload: Dict[str, object]) -> int:
+    """Validate a Chrome-trace payload; returns the number of events."""
+    _require(isinstance(payload, dict), "trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    _require(isinstance(events, list), "trace payload must carry traceEvents")
+    other = payload.get("otherData")
+    _require(isinstance(other, dict), "trace payload must carry otherData header")
+    _require(other.get("schema") == TRACE_SCHEMA,
+             f"trace schema must be {TRACE_SCHEMA!r}, got {other.get('schema')!r}")
+    _validate_header(other, "trace")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(event, dict), f"{where}: must be an object")
+        _require(isinstance(event.get("name"), str), f"{where}: missing name")
+        _require(event.get("ph") in ("X", "B", "E", "i", "I", "M", "C"),
+                 f"{where}: unsupported phase {event.get('ph')!r}")
+        _require(isinstance(event.get("ts"), (int, float)), f"{where}: missing ts")
+        if event["ph"] == "X":
+            _require(isinstance(event.get("dur"), (int, float)),
+                     f"{where}: complete event missing dur")
+    return len(events)

@@ -1,0 +1,109 @@
+"""Structured logging for the toolkit (``key=value`` fields on stderr).
+
+Diagnostics go through here; user-facing *results* (tables, reports) stay
+on stdout.  :func:`get_logger` returns a thin wrapper over the stdlib
+logger namespace ``repro.*`` that renders keyword fields as ``key=value``
+pairs::
+
+    log = get_logger("cli")
+    log.info("command finished", command="latency", seconds=0.42)
+
+:func:`configure` installs the stderr handler and sets the level — the CLI
+calls it from ``--log-level`` / ``--quiet``; library use without
+:func:`configure` emits nothing below WARNING (stdlib default), so
+importing the toolkit stays silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Dict, Optional
+
+ROOT_NAME = "repro"
+
+LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def _format_fields(message: str, fields: Dict[str, object]) -> str:
+    if not fields:
+        return message
+    rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+    return f"{message} {rendered}"
+
+
+class StructuredLogger:
+    """Stdlib logger wrapper accepting keyword fields."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        return self._logger
+
+    def debug(self, message: str, **fields) -> None:
+        if self._logger.isEnabledFor(logging.DEBUG):
+            self._logger.debug(_format_fields(message, fields))
+
+    def info(self, message: str, **fields) -> None:
+        if self._logger.isEnabledFor(logging.INFO):
+            self._logger.info(_format_fields(message, fields))
+
+    def warning(self, message: str, **fields) -> None:
+        self._logger.warning(_format_fields(message, fields))
+
+    def error(self, message: str, **fields) -> None:
+        self._logger.error(_format_fields(message, fields))
+
+
+def get_logger(name: Optional[str] = None) -> StructuredLogger:
+    """A :class:`StructuredLogger` under the ``repro`` namespace."""
+    full = ROOT_NAME if not name else (
+        name if name.startswith(ROOT_NAME) else f"{ROOT_NAME}.{name}"
+    )
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure(
+    level: str = "info",
+    quiet: bool = False,
+    stream=None,
+) -> None:
+    """Install (or update) the stderr handler on the ``repro`` logger.
+
+    ``quiet`` raises the threshold to ERROR regardless of ``level`` —
+    diagnostics disappear while result tables keep printing on stdout.
+    Idempotent: repeated calls reconfigure the single managed handler.
+    """
+    try:
+        resolved = LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(LEVELS)}"
+        ) from None
+    if quiet:
+        resolved = logging.ERROR
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(resolved)
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_managed", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_managed = True
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    root.propagate = False

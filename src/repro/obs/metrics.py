@@ -1,0 +1,246 @@
+"""Process-wide metrics: counters, gauges and histograms with JSON export.
+
+The registry is deliberately small and dependency-free (no Prometheus
+client): experiments here are single-process, so a metric is just a named,
+optionally-labelled value that the CLI can dump as a JSON sidecar next to
+its tables (``--metrics-out``).  Semantics follow the usual conventions:
+
+* :class:`Counter` — monotonically non-decreasing (``inc`` only);
+* :class:`Gauge`   — last-write-wins (``set`` / ``inc`` / ``dec``);
+* :class:`Histogram` — count/sum/min/max plus fixed cumulative buckets.
+
+Metrics are identified by ``(name, labels)``; asking the registry for the
+same pair returns the same object, so hot paths can cache the handle and
+pay only an attribute add per event.  :meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.from_dict` round-trip the full state (tested).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram upper bounds, tuned for wall-clock seconds: 1 µs .. 100 s
+#: in decade steps (a terminal ``+inf`` bucket is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    if not labels:  # hot path: most instrumentation sites are label-free
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def _payload(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        self.value = float(payload["value"])
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _payload(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        self.value = float(payload["value"])
+
+
+class Histogram:
+    """A distribution: count, sum, min, max and cumulative buckets.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+inf`` bucket
+    catches the tail, so ``bucket_counts[-1] == count`` always holds.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds + (math.inf,)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                for j in range(i, len(self.bucket_counts)):
+                    self.bucket_counts[j] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _payload(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [
+                {"le": ("+inf" if math.isinf(b) else b), "count": c}
+                for b, c in zip(self.buckets, self.bucket_counts)
+            ],
+        }
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        self.count = int(payload["count"])
+        self.sum = float(payload["sum"])
+        self.min = math.inf if payload["min"] is None else float(payload["min"])
+        self.max = -math.inf if payload["max"] is None else float(payload["max"])
+        buckets = payload["buckets"]
+        self.buckets = tuple(
+            math.inf if b["le"] == "+inf" else float(b["le"]) for b in buckets
+        )
+        self.bucket_counts = [int(b["count"]) for b in buckets]
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- accessors
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, key[1], **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{metric.kind}, requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None, **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def get(self, name: str, **labels):
+        """The existing metric for ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    # ------------------------------------------------------------ inspection
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: (m.name, m.labels)))
+
+    def reset(self) -> None:
+        """Drop every metric (fresh run scope, e.g. one CLI invocation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: ``{"metrics": [...]}``, sorted by name."""
+        out: List[Dict[str, object]] = []
+        for metric in self:
+            entry: Dict[str, object] = {
+                "name": metric.name,
+                "type": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            entry.update(metric._payload())
+            out.append(entry)
+        return {"metrics": out}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for entry in payload["metrics"]:
+            kind = _KINDS[entry["type"]]
+            metric = registry._get_or_create(kind, entry["name"], entry["labels"])
+            metric._restore(entry)
+        return registry
+
+
+#: Process-wide default registry (what the CLI exports via ``--metrics-out``).
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _REGISTRY

@@ -1,0 +1,48 @@
+"""Profiling hooks: time a function into a histogram (and a span).
+
+``@profiled("analysis.table1")`` wraps a function so every call
+
+* observes its wall-clock duration in the histogram
+  ``profile.<name>.seconds`` and bumps ``profile.<name>.calls``;
+* appears as a span named ``<name>`` when the tracer is enabled.
+
+Intended for coarse-grained entry points (report generators, experiment
+drivers) — the bookkeeping is a few dict operations per *call*, so don't
+wrap per-element inner loops.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional, TypeVar
+
+from .metrics import get_registry
+from .tracing import get_tracer
+
+F = TypeVar("F", bound=Callable)
+
+
+def profiled(name: Optional[str] = None, category: str = "profile") -> Callable[[F], F]:
+    """Decorator recording call counts and durations for ``fn``."""
+
+    def decorate(fn: F) -> F:
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = get_tracer()
+            start = time.perf_counter()
+            with tracer.span(label, category=category):
+                result = fn(*args, **kwargs)
+            registry = get_registry()
+            registry.counter(f"profile.{label}.calls").inc()
+            registry.histogram(f"profile.{label}.seconds").observe(
+                time.perf_counter() - start
+            )
+            return result
+
+        wrapper.__wrapped__ = fn
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

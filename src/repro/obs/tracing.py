@@ -1,0 +1,197 @@
+"""Span-based wall-clock tracing with Chrome trace-event export.
+
+A :class:`Tracer` records nested spans::
+
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("network.estimate", network="mobilenet_v2"):
+        with tracer.span("gemm.fold", folds=12):
+            ...
+
+and serializes them as Chrome trace-event JSON (``ph: "X"`` complete
+events), loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+Nesting is implicit: Chrome/Perfetto stack events on the same thread by
+time containment, so recording child spans before their parents (exit
+order) renders correctly.
+
+The tracer starts **disabled** and :meth:`Tracer.span` then returns a
+shared no-op context manager — the cost of an instrumented call site is
+one attribute check, which is what lets the simulator keep tracing hooks
+in hot paths (the bound is benchmarked by ``bench_simulator_micro.py``).
+
+The cycle-level operand traces of :mod:`repro.systolic.trace` share this
+export format via :meth:`TraceEvent.to_chrome_event` and can be merged
+into a tracer with :meth:`Tracer.add_chrome_events`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+
+class _NullSpan:
+    """Shared no-op span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        """Discard late-bound span arguments."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; records a complete ("X") event when it exits."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start_ns = 0
+
+    def set(self, **args) -> None:
+        """Attach arguments discovered while the span is running."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            # Exception safety: the span still closes, flagged with the error.
+            self.args["error"] = exc_type.__name__
+        self._tracer._record(self, end_ns)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Collects spans and instant events; exports Chrome trace format."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._epoch_ns = time.perf_counter_ns()
+        self._tids: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording; resets the time origin (not the event buffer)."""
+        if not self._events:
+            self._epoch_ns = time.perf_counter_ns()
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._tids.clear()
+        self._epoch_ns = time.perf_counter_ns()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -------------------------------------------------------------- recording
+
+    def span(self, name: str, category: str = "repro", **args):
+        """A context manager timing one nested span (no-op when disabled)."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return Span(self, name, category, dict(args))
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record a zero-duration point event."""
+        if not self._enabled:
+            return
+        now = time.perf_counter_ns()
+        self._append({
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": (now - self._epoch_ns) / 1e3,
+            "pid": 0,
+            "tid": self._tid(),
+            "args": dict(args),
+        })
+
+    def add_chrome_events(self, events: Iterable[Dict[str, object]]) -> None:
+        """Merge pre-built Chrome trace events (e.g. cycle-level operand
+        traces via :meth:`repro.systolic.trace.TraceEvent.to_chrome_event`)."""
+        with self._lock:
+            self._events.extend(events)
+
+    def _record(self, span: Span, end_ns: int) -> None:
+        if not self._enabled:
+            return  # disabled while the span was open: drop it
+        self._append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": (span._start_ns - self._epoch_ns) / 1e3,
+            "dur": (end_ns - span._start_ns) / 1e3,
+            "pid": 0,
+            "tid": self._tid(),
+            "args": span.args,
+        })
+
+    def _append(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    # ---------------------------------------------------------------- export
+
+    def events(self) -> List[Dict[str, object]]:
+        """A snapshot copy of the recorded events."""
+        with self._lock:
+            return list(self._events)
+
+    def to_chrome(self, other_data: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """The Chrome trace-event JSON object (``{"traceEvents": [...]}``)."""
+        payload: Dict[str, object] = {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+        }
+        if other_data:
+            payload["otherData"] = other_data
+        return payload
+
+
+#: Process-wide default tracer (what the CLI exports via ``--trace-out``).
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`."""
+    return _TRACER

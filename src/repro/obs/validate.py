@@ -1,0 +1,53 @@
+"""Validate metrics / trace export files against their schemas.
+
+Used by ``make trace-smoke``::
+
+    python -m repro.obs.validate trace.json metrics.json
+
+Each file's kind is inferred from its content (``traceEvents`` → trace,
+``schema: repro.metrics/v1`` → metrics); exits non-zero with a diagnostic
+on the first invalid file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from .export import SchemaError, validate_metrics, validate_trace
+
+
+def validate_file(path: str) -> str:
+    """Validate one export file; returns a human-readable summary line.
+
+    Raises:
+        SchemaError: when the payload does not match its schema.
+        OSError / json.JSONDecodeError: when the file is unreadable.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        count = validate_trace(payload)
+        return f"OK {path}: trace with {count} events"
+    count = validate_metrics(payload)
+    return f"OK {path}: metrics with {count} series"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            print(validate_file(path))
+        except (SchemaError, OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from .im2col import ArrayOp, LoweredLayer, lower_layer
 from .latency import (
     LayerLatency,
     NetworkLatency,
+    clear_mapping_cache,
     estimate_layer,
     estimate_network,
     mapping_stats,
@@ -51,6 +52,7 @@ from .memory import (
 from .trace import (
     TraceEvent,
     TraceSummary,
+    chrome_trace,
     trace_conv1d_bank,
     trace_gemm,
     unique_addresses,
@@ -94,6 +96,7 @@ __all__ = [
     "lower_layer",
     "LayerLatency",
     "NetworkLatency",
+    "clear_mapping_cache",
     "estimate_layer",
     "estimate_network",
     "mapping_stats",
@@ -113,6 +116,7 @@ __all__ = [
     "utilization_report",
     "TraceEvent",
     "TraceSummary",
+    "chrome_trace",
     "trace_conv1d_bank",
     "trace_gemm",
     "unique_addresses",

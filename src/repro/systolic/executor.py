@@ -31,9 +31,12 @@ from ..ir import layer as ir
 from ..ir.network import Network
 from ..nn.graph import GraphExecutor
 from ..nn.tensor import Tensor
+from ..obs import get_logger, get_registry, get_tracer
 from .config import ArrayConfig
 from .functional import SystolicArraySim
 from .latency import estimate_layer
+
+_log = get_logger("systolic.executor")
 
 
 @dataclass
@@ -44,6 +47,7 @@ class LayerRun:
     kind: str
     cycles: int
     expected_cycles: int
+    utilization: float = 0.0
 
     @property
     def consistent(self) -> bool:
@@ -97,21 +101,51 @@ class ArrayNetworkExecutor:
         outputs: Dict[str, np.ndarray] = {}
         result = ArrayRunResult(values=x, cycles=0)
         current = x
-        for node in self.network:
-            inputs = [outputs[name] for name in node.inputs] or [x]
-            current, cycles = self._run_node(node, inputs)
-            outputs[node.name] = current
-            if cycles:
-                expected = estimate_layer(node, self.array).cycles
-                result.layers.append(
-                    LayerRun(
+        registry = get_registry()
+        tracer = get_tracer()
+        active_macs = 0
+        occupied = 0
+        with tracer.span("executor.network", category="executor",
+                         network=self.network.name) as net_span:
+            for node in self.network:
+                inputs = [outputs[name] for name in node.inputs] or [x]
+                with tracer.span("executor.layer", category="executor",
+                                 layer=node.name, kind=node.kind) as sp:
+                    current, cycles = self._run_node(node, inputs)
+                    sp.set(cycles=cycles)
+                outputs[node.name] = current
+                if cycles:
+                    expected = estimate_layer(node, self.array)
+                    run = LayerRun(
                         name=node.name,
                         kind=node.kind,
                         cycles=cycles,
-                        expected_cycles=expected,
+                        expected_cycles=expected.cycles,
+                        utilization=expected.utilization,
                     )
-                )
-                result.cycles += cycles
+                    result.layers.append(run)
+                    result.cycles += cycles
+                    active_macs += expected.stats.active_mac_cycles
+                    occupied += cycles * self.array.num_pes
+                    registry.counter(
+                        "executor.layer.cycles",
+                        network=self.network.name, layer=node.name,
+                    ).inc(cycles)
+                    if not run.consistent:
+                        registry.counter("executor.cycle_mismatch").inc()
+                        _log.warning(
+                            "measured cycles diverge from the analytical model",
+                            layer=node.name, measured=cycles,
+                            expected=expected.cycles,
+                        )
+            net_span.set(cycles=result.cycles)
+        registry.counter("executor.runs", network=self.network.name).inc()
+        registry.gauge("executor.network.cycles", network=self.network.name).set(
+            result.cycles
+        )
+        registry.gauge("executor.pe_utilization", network=self.network.name).set(
+            active_macs / occupied if occupied else 0.0
+        )
         result.values = current
         return result
 

@@ -28,6 +28,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs import get_registry, get_tracer
 from .config import ArrayConfig
 from .fuse_mapping import BroadcastFold
 from .gemm import FoldShape
@@ -47,12 +48,24 @@ class SimResult:
 Observer = "Callable[[str, int, dict], None]"
 
 
+def _record_sim_op(op: str, folds: int, cycles: int) -> None:
+    """Count one simulated operation on the default metrics registry."""
+    registry = get_registry()
+    registry.counter(f"sim.{op}.calls").inc()
+    registry.counter(f"sim.{op}.folds").inc(folds)
+    registry.counter(f"sim.{op}.cycles").inc(cycles)
+
+
 class SystolicArraySim:
     """A functional ``rows × cols`` output-stationary systolic array.
 
     Pass ``observer`` to watch the machine run: it receives per-cycle
     snapshots of the PE-grid state (used by
     ``examples/visualize_dataflow.py`` to animate the dataflows).
+
+    Every ``run_*`` call counts calls/folds/cycles on the default metrics
+    registry (``sim.gemm.*``, ``sim.conv1d.*``, …) and shows up as a span
+    when the :mod:`repro.obs` tracer is enabled.
     """
 
     def __init__(self, array: ArrayConfig, observer=None) -> None:
@@ -69,15 +82,20 @@ class SystolicArraySim:
             raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
-        for m0 in range(0, m, self.array.rows):
-            r = min(self.array.rows, m - m0)
-            for n0 in range(0, n, self.array.cols):
-                c = min(self.array.cols, n - n0)
-                tile, tile_cycles = self._run_gemm_fold(
-                    a[m0:m0 + r], b[:, n0:n0 + c]
-                )
-                out[m0:m0 + r, n0:n0 + c] = tile
-                cycles += tile_cycles
+        folds = 0
+        with get_tracer().span("sim.gemm", category="sim", m=m, k=k, n=n) as sp:
+            for m0 in range(0, m, self.array.rows):
+                r = min(self.array.rows, m - m0)
+                for n0 in range(0, n, self.array.cols):
+                    c = min(self.array.cols, n - n0)
+                    tile, tile_cycles = self._run_gemm_fold(
+                        a[m0:m0 + r], b[:, n0:n0 + c]
+                    )
+                    out[m0:m0 + r, n0:n0 + c] = tile
+                    cycles += tile_cycles
+                    folds += 1
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("gemm", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
     def _run_gemm_fold(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -133,15 +151,20 @@ class SystolicArraySim:
             raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
-        for k0 in range(0, k, self.array.rows):
-            r = min(self.array.rows, k - k0)
-            for n0 in range(0, n, self.array.cols):
-                c = min(self.array.cols, n - n0)
-                tile, tile_cycles = self._run_ws_fold(
-                    a[:, k0:k0 + r], b[k0:k0 + r, n0:n0 + c]
-                )
-                out[:, n0:n0 + c] += tile
-                cycles += tile_cycles
+        folds = 0
+        with get_tracer().span("sim.ws_gemm", category="sim", m=m, k=k, n=n) as sp:
+            for k0 in range(0, k, self.array.rows):
+                r = min(self.array.rows, k - k0)
+                for n0 in range(0, n, self.array.cols):
+                    c = min(self.array.cols, n - n0)
+                    tile, tile_cycles = self._run_ws_fold(
+                        a[:, k0:k0 + r], b[k0:k0 + r, n0:n0 + c]
+                    )
+                    out[:, n0:n0 + c] += tile
+                    cycles += tile_cycles
+                    folds += 1
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("ws_gemm", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
     def _run_ws_fold(self, a: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -199,15 +222,20 @@ class SystolicArraySim:
             raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
-        for m0 in range(0, m, self.array.rows):
-            r = min(self.array.rows, m - m0)
-            for k0 in range(0, k, self.array.cols):
-                c = min(self.array.cols, k - k0)
-                tile, tile_cycles = self._run_is_fold(
-                    a[m0:m0 + r, k0:k0 + c], b[k0:k0 + c, :]
-                )
-                out[m0:m0 + r, :] += tile
-                cycles += tile_cycles
+        folds = 0
+        with get_tracer().span("sim.is_gemm", category="sim", m=m, k=k, n=n) as sp:
+            for m0 in range(0, m, self.array.rows):
+                r = min(self.array.rows, m - m0)
+                for k0 in range(0, k, self.array.cols):
+                    c = min(self.array.cols, k - k0)
+                    tile, tile_cycles = self._run_is_fold(
+                        a[m0:m0 + r, k0:k0 + c], b[k0:k0 + c, :]
+                    )
+                    out[m0:m0 + r, :] += tile
+                    cycles += tile_cycles
+                    folds += 1
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("is_gemm", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
     def _run_is_fold(self, a_tile: np.ndarray, b_tile: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -275,15 +303,21 @@ class SystolicArraySim:
 
         out = np.zeros((g, l_out), dtype=np.result_type(inputs, weights))
         cycles = 0
-        for g0 in range(0, g, self.array.rows):
-            r = min(self.array.rows, g - g0)
-            for l0 in range(0, l_out, self.array.cols):
-                c = min(self.array.cols, l_out - l0)
-                tile, tile_cycles = self._run_broadcast_fold(
-                    inputs[g0:g0 + r], weights[g0:g0 + r], stride, l0, c
-                )
-                out[g0:g0 + r, l0:l0 + c] = tile
-                cycles += tile_cycles
+        folds = 0
+        with get_tracer().span("sim.conv1d", category="sim",
+                               convs=g, k=k, stride=stride) as sp:
+            for g0 in range(0, g, self.array.rows):
+                r = min(self.array.rows, g - g0)
+                for l0 in range(0, l_out, self.array.cols):
+                    c = min(self.array.cols, l_out - l0)
+                    tile, tile_cycles = self._run_broadcast_fold(
+                        inputs[g0:g0 + r], weights[g0:g0 + r], stride, l0, c
+                    )
+                    out[g0:g0 + r, l0:l0 + c] = tile
+                    cycles += tile_cycles
+                    folds += 1
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("conv1d", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
     def _run_broadcast_fold(

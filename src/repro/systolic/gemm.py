@@ -106,6 +106,13 @@ class MappingStats:
         self.sram_reads += other.sram_reads
         self.sram_writes += other.sram_writes
 
+    def copy(self) -> "MappingStats":
+        """A detached copy — safe to :meth:`merge` into without aliasing."""
+        return MappingStats(
+            self.cycles, self.folds, self.active_mac_cycles,
+            self.occupied_pe_cycles, self.sram_reads, self.sram_writes,
+        )
+
 
 def iter_folds(dims: GemmDims, array: ArrayConfig) -> Iterator[FoldShape]:
     """Folds of a GEMM over the array, row-major over the output tiles."""

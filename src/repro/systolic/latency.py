@@ -9,16 +9,24 @@ Entry points:
 * :func:`estimate_layer` — one layer on one array;
 * :func:`estimate_network` — whole network, with per-node, per-operator-class
   and per-block breakdowns (feeding Table I, Fig. 8a/b/c).
+
+Observability: :func:`mapping_stats` results are memoized on
+``(layer, shapes, array, batch)`` — design sweeps and Table I re-estimate
+the same depthwise shapes constantly — with ``latency.cache.hit`` /
+``latency.cache.miss`` counters on the default registry.  With the tracer
+enabled (``--trace-out``) the cache is bypassed so every network estimate
+emits its full ``network → layer → fold`` span tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.counting import op_class
 from ..ir.layer import LayerSpec, Shape
 from ..ir.network import Network, Node
+from ..obs import get_registry, get_tracer
 from .config import ArrayConfig
 from .fuse_mapping import (
     Conv1DBank,
@@ -92,10 +100,36 @@ class NetworkLatency:
         return active / occupied if occupied else 0.0
 
 
+#: Memo for :func:`mapping_stats` (bounded; cleared wholesale when full).
+_STATS_CACHE: Dict[Tuple, MappingStats] = {}
+_STATS_CACHE_MAX = 8192
+
+
+def clear_mapping_cache() -> None:
+    """Drop the memoized :func:`mapping_stats` results."""
+    _STATS_CACHE.clear()
+
+
 def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
                   array: ArrayConfig, batch: int = 1) -> MappingStats:
-    """Array cycle/utilization stats for one layer spec."""
+    """Array cycle/utilization stats for one layer spec (memoized)."""
     from collections import Counter
+
+    tracer = get_tracer()
+    key: Optional[Tuple] = None
+    if not tracer.enabled:
+        # Tracing bypasses the memo so every estimate emits fold spans.
+        try:
+            key = (layer, in_shape, out_shape, array, batch)
+            cached = _STATS_CACHE.get(key)
+        except TypeError:  # unhashable layer spec: skip the cache
+            key = None
+        else:
+            registry = get_registry()
+            if cached is not None:
+                registry.counter("latency.cache.hit").inc()
+                return cached.copy()
+            registry.counter("latency.cache.miss").inc()
 
     lowered = lower_layer(layer, in_shape, out_shape, batch)
     total = MappingStats()
@@ -103,19 +137,33 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
 
     # Depthwise layers lower to C identical GEMMs — compute each distinct
     # operation once and scale.
+    # repr(op) is only worth computing when a span will record it.
+    describe = repr if tracer.enabled else (lambda op: "")
     for op, count in Counter(lowered.ops).items():
         if isinstance(op, Conv1DBank):
-            if array.broadcast:
-                op_stats = broadcast_conv1d_stats(op, array)
-            else:
-                # Without the proposed link, 1D convs degrade to the
-                # single-column im2col mapping (§III-B).
-                op_stats = MappingStats()
-                for dims, n in Counter(fallback_conv1d_gemms(op)).items():
-                    op_stats.merge(_scaled(gemm_stats(dims, array), n))
+            with tracer.span("broadcast.fold", category="latency",
+                             op=describe(op), repeats=count) as sp:
+                if array.broadcast:
+                    op_stats = broadcast_conv1d_stats(op, array)
+                else:
+                    # Without the proposed link, 1D convs degrade to the
+                    # single-column im2col mapping (§III-B).
+                    op_stats = MappingStats()
+                    for dims, n in Counter(fallback_conv1d_gemms(op)).items():
+                        op_stats.merge(_scaled(gemm_stats(dims, array), n))
+                sp.set(folds=op_stats.folds * count, cycles=op_stats.cycles * count)
         else:
-            op_stats = gemm_stats(op, array)
+            with tracer.span("gemm.fold", category="latency",
+                             op=describe(op), repeats=count) as sp:
+                op_stats = gemm_stats(op, array)
+                sp.set(folds=op_stats.folds * count, cycles=op_stats.cycles * count)
         total.merge(_scaled(op_stats, count))
+
+    if key is not None:
+        if len(_STATS_CACHE) >= _STATS_CACHE_MAX:
+            _STATS_CACHE.clear()
+        # Store a private copy: callers may merge() into the returned stats.
+        _STATS_CACHE[key] = total.copy()
     return total
 
 
@@ -135,13 +183,17 @@ def _scaled(stats: MappingStats, count: int) -> MappingStats:
 
 def estimate_layer(node: Node, array: ArrayConfig, batch: int = 1) -> LayerLatency:
     """Latency of one placed node."""
-    return LayerLatency(
-        name=node.name,
-        kind=node.kind,
-        op_class=op_class(node.layer),
-        block=node.block,
-        stats=mapping_stats(node.layer, node.in_shape, node.out_shape, array, batch),
-    )
+    with get_tracer().span("layer.estimate", category="latency",
+                           layer=node.name, kind=node.kind) as sp:
+        result = LayerLatency(
+            name=node.name,
+            kind=node.kind,
+            op_class=op_class(node.layer),
+            block=node.block,
+            stats=mapping_stats(node.layer, node.in_shape, node.out_shape, array, batch),
+        )
+        sp.set(cycles=result.cycles, folds=result.stats.folds)
+    return result
 
 
 def estimate_network(
@@ -158,11 +210,31 @@ def estimate_network(
         from .config import PAPER_ARRAY
 
         array = PAPER_ARRAY
+    registry = get_registry()
     result = NetworkLatency(network=network.name, array=array)
-    for node in network:
-        layer_latency = estimate_layer(node, array, batch)
-        if layer_latency.stats.cycles:
-            result.layers.append(layer_latency)
+    with get_tracer().span("network.estimate", category="latency",
+                           network=network.name,
+                           array=f"{array.rows}x{array.cols}") as sp:
+        for node in network:
+            layer_latency = estimate_layer(node, array, batch)
+            if layer_latency.stats.cycles:
+                result.layers.append(layer_latency)
+                registry.counter(
+                    "latency.layer.cycles",
+                    network=network.name, layer=node.name,
+                ).inc(layer_latency.cycles)
+                registry.counter(
+                    "latency.layer.folds",
+                    network=network.name, layer=node.name,
+                ).inc(layer_latency.stats.folds)
+        sp.set(cycles=result.total_cycles)
+    registry.counter("latency.network.estimates", network=network.name).inc()
+    registry.gauge("latency.network.cycles", network=network.name).set(
+        result.total_cycles
+    )
+    registry.gauge("latency.network.pe_utilization", network=network.name).set(
+        result.mean_utilization
+    )
     return result
 
 

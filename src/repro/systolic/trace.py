@@ -17,12 +17,19 @@ Intended for small operations (debug, buffer sizing studies): a trace has
 one event per operand access, so a whole MobileNet layer produces millions
 of events — use :class:`repro.systolic.gemm.MappingStats` for aggregate
 counts instead.
+
+Export: cycle-level events share one format with the wall-clock spans of
+:mod:`repro.obs.tracing` — :meth:`TraceEvent.to_chrome_event` adapts one
+event to a Chrome trace-event dict (one simulated cycle = one trace
+microsecond, lanes as threads) and :func:`chrome_trace` wraps a whole
+stream into the same ``traceEvents`` payload the CLI's ``--trace-out``
+emits, so operand traces open in ``chrome://tracing`` / Perfetto too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .config import ArrayConfig
 from .fuse_mapping import Conv1DBank
@@ -47,6 +54,30 @@ class TraceEvent:
     operand: str
     address: int
     lane: int
+
+    def to_chrome_event(self, us_per_cycle: float = 1.0) -> Dict[str, object]:
+        """This access as a Chrome trace-event dict.
+
+        One simulated cycle maps to ``us_per_cycle`` trace microseconds
+        (default 1 — cycle indices read directly off the Perfetto
+        timeline); each edge lane renders as its own thread row.
+        """
+        return {
+            "name": f"{self.operand} {self.kind}",
+            "cat": "systolic",
+            "ph": "X",
+            "ts": self.cycle * us_per_cycle,
+            "dur": us_per_cycle,
+            "pid": 0,
+            "tid": self.lane,
+            "args": {
+                "cycle": self.cycle,
+                "operand": self.operand,
+                "kind": self.kind,
+                "address": self.address,
+                "lane": self.lane,
+            },
+        }
 
 
 def trace_gemm(dims: GemmDims, array: ArrayConfig) -> Iterator[TraceEvent]:
@@ -178,3 +209,25 @@ class TraceSummary:
 def unique_addresses(events: Iterator[TraceEvent], operand: str) -> List[int]:
     """Sorted unique addresses touched for one operand."""
     return sorted({e.address for e in events if e.operand == operand})
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent],
+    array: Optional[ArrayConfig] = None,
+    us_per_cycle: float = 1.0,
+) -> Dict[str, object]:
+    """A full Chrome-trace payload for a cycle-level event stream.
+
+    The result matches the ``--trace-out`` schema (``repro.trace/v1``
+    header in ``otherData``) so ``python -m repro.obs.validate`` and the
+    Perfetto UI accept operand traces and wall-clock span traces alike.
+    """
+    from ..obs.export import TRACE_SCHEMA, run_header
+
+    other = {"schema": TRACE_SCHEMA}
+    other.update(run_header(array, {"clock": "simulated-cycles"}))
+    return {
+        "traceEvents": [e.to_chrome_event(us_per_cycle) for e in events],
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }

@@ -89,3 +89,21 @@ class TestFP16:
         set_dtype(model, np.float16)
         out = model(Tensor(train_data.images[:4].astype(np.float16)))
         assert np.all(np.isfinite(out.data))
+
+
+class TestTrainingMetrics:
+    def test_epoch_metrics_recorded(self, small_task):
+        from repro.obs import get_registry
+
+        reg = get_registry()
+        reg.reset()
+        train_data, test_data = small_task
+        model = MiniSeparableNet(num_classes=4, width=4, seed=0)
+        train(model, train_data, test_data,
+              TrainConfig(epochs=2, batch_size=24, lr=0.01))
+        assert reg.get("train.epochs").value == 2
+        assert reg.get("train.steps").value > 0
+        assert reg.get("train.samples").value == 2 * len(train_data)
+        assert reg.get("train.loss") is not None
+        assert reg.get("train.test_accuracy") is not None
+        assert reg.get("train.epoch.seconds").count == 2

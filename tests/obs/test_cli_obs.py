@@ -1,0 +1,104 @@
+"""End-to-end CLI observability: sidecar exports, stdout JSON, --version."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import FuSeVariant, to_fuseconv
+from repro.models import build_model
+from repro.obs import get_registry, get_tracer, validate_metrics, validate_trace
+from repro.systolic import ArrayConfig, utilization_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    get_registry().reset()
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.clear()
+
+
+def _contains(outer, inner):
+    return (outer["ts"] <= inner["ts"]
+            and outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+
+class TestMetricsStdout:
+    def test_latency_metrics_to_stdout(self, capsys):
+        assert main(["latency", "--net", "mobilenet-v2",
+                     "--metrics-out", "-"]) == 0
+        out = capsys.readouterr().out
+        # The human-readable table prints first; the JSON object follows.
+        payload = json.loads(out[out.index("{"):])
+        assert validate_metrics(payload) > 0
+
+        cycles = [m for m in payload["metrics"]
+                  if m["name"] == "latency.layer.cycles"]
+        assert cycles, "no per-layer cycle counters exported"
+        assert all(m["value"] > 0 for m in cycles)
+        assert all("layer" in m["labels"] and "network" in m["labels"]
+                   for m in cycles)
+        assert any(m["labels"]["network"].startswith("mobilenet_v2")
+                   for m in cycles)
+
+
+class TestTraceAndMetricsFiles:
+    def test_nested_spans_and_utilization_gauge(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["latency", "--net", "mobilenet-v2", "--fuse", "full",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+
+        tp = json.loads(trace.read_text())
+        assert validate_trace(tp) > 0
+        events = tp["traceEvents"]
+        networks = [e for e in events if e["name"] == "network.estimate"]
+        layers = [e for e in events if e["name"] == "layer.estimate"]
+        folds = [e for e in events
+                 if e["name"] in ("broadcast.fold", "gemm.fold")]
+        assert networks and layers and folds
+
+        # network -> layer -> fold nesting by time containment.
+        fold = folds[0]
+        parents = [l for l in layers if _contains(l, fold)]
+        assert parents, "fold span not nested inside a layer span"
+        assert any(_contains(n, parents[0]) for n in networks)
+        assert tp["otherData"]["array"]["rows"] == 64
+
+        mp = json.loads(metrics.read_text())
+        assert validate_metrics(mp) > 0
+        fuse_gauges = [m for m in mp["metrics"]
+                       if m["name"] == "latency.network.pe_utilization"
+                       and m["labels"]["network"].endswith("+FuSe-Full")]
+        assert len(fuse_gauges) == 1
+
+        array = ArrayConfig.square(64)
+        net = to_fuseconv(build_model("mobilenet_v2", resolution=224),
+                          FuSeVariant.FULL, array)
+        assert fuse_gauges[0]["labels"]["network"] == net.name
+        expected = utilization_report(net, array).overall
+        assert fuse_gauges[0]["value"] == pytest.approx(expected, abs=1e-9)
+
+
+class TestDefaults:
+    def test_no_flags_leaves_tracer_disabled(self, capsys):
+        assert main(["latency", "mobilenet_v3_small",
+                     "--resolution", "96", "--array", "32"]) == 0
+        assert not get_tracer().enabled
+        assert len(get_tracer()) == 0
+
+    def test_quiet_silences_stderr(self, capsys):
+        assert main(["summary", "mobilenet_v3_small",
+                     "--resolution", "96", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""

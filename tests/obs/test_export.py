@@ -1,0 +1,99 @@
+"""Export headers, schema validation, and the validate CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SchemaError,
+    Tracer,
+    metrics_payload,
+    run_header,
+    trace_payload,
+    validate_metrics,
+    validate_trace,
+    version_string,
+)
+from repro.obs.validate import main as validate_main
+from repro.systolic import ArrayConfig
+
+
+class TestRunHeader:
+    def test_core_fields(self):
+        header = run_header()
+        for key in ("tool", "version", "git_sha", "python", "created_unix"):
+            assert key in header
+
+    def test_array_config_embedded(self):
+        header = run_header(array=ArrayConfig.square(32, dataflow="ws"))
+        assert header["array"]["rows"] == 32
+        assert header["array"]["dataflow"] == "ws"
+        assert header["array"]["broadcast"] is True
+
+    def test_version_string(self):
+        assert version_string().startswith("repro ")
+
+
+class TestValidators:
+    def test_metrics_payload_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(0.5)
+        assert validate_metrics(metrics_payload(reg)) == 2
+
+    def test_metrics_schema_mismatch(self):
+        payload = metrics_payload(MetricsRegistry())
+        payload["schema"] = "bogus/v0"
+        with pytest.raises(SchemaError):
+            validate_metrics(payload)
+
+    def test_metrics_bad_entry(self):
+        payload = metrics_payload(MetricsRegistry())
+        payload["metrics"] = [{"name": "x", "type": "counter"}]  # no labels/value
+        with pytest.raises(SchemaError):
+            validate_metrics(payload)
+
+    def test_trace_requires_header(self):
+        with pytest.raises(SchemaError):
+            validate_trace({"traceEvents": []})
+
+    def test_trace_bad_event(self):
+        payload = trace_payload(Tracer())
+        payload["traceEvents"] = [{"name": "x", "ph": "X", "ts": 0}]  # no dur
+        with pytest.raises(SchemaError):
+            validate_trace(payload)
+
+    def test_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # empty histogram carries inf min/max → None
+        json.dumps(metrics_payload(reg))
+
+
+class TestValidateCli:
+    def test_valid_files(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps(metrics_payload(reg)))
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("s"):
+            pass
+        trace = tmp_path / "t.json"
+        trace.write_text(json.dumps(trace_payload(tracer)))
+
+        assert validate_main([str(trace), str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "trace with 1 events" in out
+        assert "metrics with 1 series" in out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.metrics/v1"}))
+        assert validate_main([str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_no_args_usage(self, capsys):
+        assert validate_main([]) == 2
+        assert "usage" in capsys.readouterr().err

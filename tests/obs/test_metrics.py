@@ -1,0 +1,117 @@
+"""Counter/gauge/histogram semantics and JSON round-trip."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_monotone(self):
+        c = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", layer="a") is not reg.counter("x", layer="b")
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("cycles", layer="conv0").inc(10)
+        reg.counter("cycles", layer="conv1").inc(20)
+        assert reg.get("cycles", layer="conv0").value == 10
+        assert reg.get("cycles", layer="conv1").value == 20
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("utilization")
+        g.set(0.5)
+        g.inc(0.25)
+        g.dec(0.5)
+        assert g.value == pytest.approx(0.25)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = MetricsRegistry().histogram("seconds")
+        for v in (0.002, 0.004, 1.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(1.506)
+        assert h.min == pytest.approx(0.002)
+        assert h.max == pytest.approx(1.5)
+        assert h.mean == pytest.approx(1.506 / 3)
+
+    def test_buckets_are_cumulative(self):
+        h = MetricsRegistry().histogram("seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.buckets == (0.1, 1.0, math.inf)
+        assert h.bucket_counts == [1, 2, 3]
+        # The +inf bucket always equals the total count.
+        assert h.bucket_counts[-1] == h.count
+
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("seconds")
+        assert h.buckets[:-1] == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", cache="latency").inc(7)
+        reg.gauge("util", network="mnv2").set(0.125)
+        h = reg.histogram("dur", buckets=(0.5, 2.0))
+        h.observe(0.1)
+        h.observe(3.0)
+
+        rebuilt = MetricsRegistry.from_dict(reg.to_dict())
+        assert rebuilt.to_dict() == reg.to_dict()
+        assert rebuilt.get("hits", cache="latency").value == 7
+        assert rebuilt.get("util", network="mnv2").value == 0.125
+        h2 = rebuilt.get("dur")
+        assert h2.count == 2 and h2.bucket_counts == [1, 1, 2]
+
+    def test_empty_histogram_round_trips(self):
+        reg = MetricsRegistry()
+        reg.histogram("dur")
+        rebuilt = MetricsRegistry.from_dict(reg.to_dict())
+        assert rebuilt.get("dur").count == 0
+        assert rebuilt.to_dict() == reg.to_dict()
+
+    def test_payload_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(1)
+        reg.counter("a").inc()
+        entries = reg.to_dict()["metrics"]
+        assert [e["name"] for e in entries] == ["a", "b"]
+        assert entries[0]["type"] == "counter"
+        assert entries[1]["type"] == "gauge"
+
+
+class TestRegistry:
+    def test_reset_drops_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.get("x") is None

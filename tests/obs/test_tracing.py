@@ -1,0 +1,107 @@
+"""Tracer nesting, no-op fast path, exception safety, Chrome export."""
+
+import pytest
+
+from repro.obs import Tracer, validate_trace
+from repro.obs.export import trace_payload
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("work", layer="conv0")
+        assert span is _NULL_SPAN
+        with span as s:
+            s.set(cycles=1)  # accepted and discarded
+        assert len(tracer) == 0
+
+    def test_instant_disabled_records_nothing(self):
+        tracer = Tracer()
+        tracer.instant("marker")
+        assert len(tracer) == 0
+
+
+class TestEnabledTracer:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", category="test", layer="conv0") as sp:
+            sp.set(cycles=42)
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["cat"] == "test"
+        assert event["dur"] >= 0
+        assert event["args"] == {"layer": "conv0", "cycles": 42}
+
+    def test_nesting_child_contained_in_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        child, parent = tracer.events()  # children exit (record) first
+        assert child["name"] == "child" and parent["name"] == "parent"
+        assert parent["ts"] <= child["ts"]
+        assert parent["ts"] + parent["dur"] >= child["ts"] + child["dur"]
+
+    def test_exception_closes_span_and_propagates(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (event,) = tracer.events()
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("marker", detail=1)
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+
+    def test_clear_resets_buffer(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_disable_drops_open_spans_on_exit(self):
+        tracer = Tracer()
+        tracer.enable()
+        span = tracer.span("open")
+        span.__enter__()
+        tracer.disable()
+        span.__exit__(None, None, None)
+        assert len(tracer) == 0
+
+
+class TestChromeExport:
+    def test_payload_validates(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("net"):
+            with tracer.span("layer"):
+                pass
+        payload = trace_payload(tracer)
+        assert validate_trace(payload) == 2
+        assert payload["otherData"]["tool"] == "repro"
+        assert "version" in payload["otherData"]
+        assert "git_sha" in payload["otherData"]
+
+    def test_add_chrome_events_merges_cycle_traces(self):
+        from repro.systolic import ArrayConfig, GemmDims, trace_gemm
+
+        tracer = Tracer()
+        tracer.enable()
+        events = [
+            e.to_chrome_event()
+            for e in trace_gemm(GemmDims(m=2, k=2, n=2), ArrayConfig.square(2))
+        ]
+        tracer.add_chrome_events(events)
+        payload = trace_payload(tracer)
+        assert validate_trace(payload) == len(events)

@@ -127,3 +127,50 @@ class TestBroadcastFlagOnNetworks:
         with_links = estimate_network(fuse_net, paper_array).total_cycles
         without = estimate_network(fuse_net, paper_array.without_broadcast()).total_cycles
         assert with_links < without
+
+
+class TestMappingCache:
+    def test_counters_and_reuse(self, small_array):
+        from repro.obs import get_registry
+        from repro.systolic import clear_mapping_cache
+
+        clear_mapping_cache()
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        first = estimate_network(net, small_array)
+        cold_miss = reg.counter("latency.cache.miss").value
+        assert cold_miss > 0
+        assert reg.counter("latency.cache.hit").value == 0
+        second = estimate_network(net, small_array)
+        assert second.total_cycles == first.total_cycles
+        assert reg.counter("latency.cache.miss").value == cold_miss
+        assert reg.counter("latency.cache.hit").value == cold_miss
+
+    def test_returned_stats_are_private_copies(self, small_array):
+        from repro.systolic import clear_mapping_cache
+
+        clear_mapping_cache()
+        node = small_net()["conv"]
+        a = mapping_stats(node.layer, node.in_shape, node.out_shape, small_array)
+        cycles = a.cycles
+        a.merge(a)  # callers may accumulate into the returned stats
+        b = mapping_stats(node.layer, node.in_shape, node.out_shape, small_array)
+        assert b.cycles == cycles
+
+    def test_tracing_bypasses_cache(self, small_array):
+        from repro.obs import get_registry, get_tracer
+        from repro.systolic import clear_mapping_cache
+
+        clear_mapping_cache()
+        reg = get_registry()
+        reg.reset()
+        tracer = get_tracer()
+        tracer.enable()
+        try:
+            estimate_network(small_net(), small_array)
+        finally:
+            tracer.disable()
+            tracer.clear()
+        assert reg.get("latency.cache.miss") is None
+        assert reg.get("latency.cache.hit") is None

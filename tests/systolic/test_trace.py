@@ -110,3 +110,27 @@ class TestBroadcastTrace:
         for event in trace_conv1d_bank(bank, array):
             if event.operand == "X":
                 assert 0 <= event.address < 2 * line
+
+
+class TestChromeAdapter:
+    def test_event_fields(self):
+        event = next(trace_gemm(GemmDims(m=2, k=2, n=2), ArrayConfig(2, 2)))
+        chrome = event.to_chrome_event(us_per_cycle=2.0)
+        assert chrome["ph"] == "X"
+        assert chrome["cat"] == "systolic"
+        assert chrome["name"] == f"{event.operand} {event.kind}"
+        assert chrome["ts"] == event.cycle * 2.0
+        assert chrome["dur"] == 2.0
+        assert chrome["tid"] == event.lane
+        assert chrome["args"]["address"] == event.address
+
+    def test_chrome_trace_payload_validates(self):
+        from repro.obs import validate_trace
+        from repro.systolic import chrome_trace
+
+        array = ArrayConfig(2, 2)
+        events = list(trace_gemm(GemmDims(m=2, k=2, n=2), array))
+        payload = chrome_trace(events, array=array)
+        assert validate_trace(payload) == len(events)
+        assert payload["otherData"]["clock"] == "simulated-cycles"
+        assert payload["otherData"]["array"]["rows"] == 2
