@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke
+test: trace-smoke bench-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -18,6 +18,21 @@ trace-smoke:
 		--quiet --trace-out .smoke-trace.json --metrics-out .smoke-metrics.json
 	python -m repro.obs.validate .smoke-trace.json .smoke-metrics.json
 	rm -f .smoke-trace.json .smoke-metrics.json
+
+# Performance smoke (each step under a hard time budget):
+#  1. regression guard — the vectorized wavefront engine must stay >=5x
+#     the reference stepper on every dataflow (and bit-exact);
+#  2. a tiny sweep through the process pool (--jobs 2) with a cold then
+#     warm analytical disk cache (--cache-dir).
+bench-smoke:
+	timeout 180 python -m repro.systolic.bench --size 32 --repeats 2 \
+		--min-speedup 5
+	rm -rf .smoke-cache
+	timeout 180 python -m repro latency mobilenet_v3_small --resolution 96 \
+		--array 32 --jobs 2 --cache-dir .smoke-cache --quiet
+	timeout 60 python -m repro latency mobilenet_v3_small --resolution 96 \
+		--array 32 --jobs 2 --cache-dir .smoke-cache --quiet
+	rm -rf .smoke-cache
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -5,37 +5,16 @@ to sensitively trade-off latency and accuracy".  This ablation extends the
 knob to D ∈ {1, 2, 4, 8}: larger D spatially filters only 2C/D channels,
 shrinking parameters, MACs and latency monotonically — at an accuracy cost
 this harness proxies by the parameter count.
+
+The sweep itself is :func:`repro.analysis.d_knob_sweep`, run here with a
+two-worker process pool (one D point per task).
 """
 
-from repro.analysis import format_table
-from repro.core import to_mixed_fuseconv
-from repro.ir import DepthwiseConv2D, macs_millions, params_millions
-from repro.models import build_model
-from repro.systolic import PAPER_ARRAY, estimate_network
-
-D_VALUES = (1, 2, 4, 8)
-
-
-def _sweep():
-    baseline = build_model("mobilenet_v2")
-    base_cycles = estimate_network(baseline, PAPER_ARRAY).total_cycles
-    rows = [("baseline", macs_millions(baseline), params_millions(baseline),
-             base_cycles, 1.0)]
-    depthwise = [n.name for n in baseline.find(DepthwiseConv2D)]
-    for d in D_VALUES:
-        net = to_mixed_fuseconv(
-            baseline, {name: d for name in depthwise}, name_suffix=f"FuSe-D{d}"
-        )
-        cycles = estimate_network(net, PAPER_ARRAY).total_cycles
-        rows.append(
-            (f"FuSe D={d}", macs_millions(net), params_millions(net),
-             cycles, base_cycles / cycles)
-        )
-    return rows
+from repro.analysis import DEFAULT_D_VALUES, d_knob_sweep, format_table
 
 
 def test_d_sweep(benchmark, save):
-    rows = benchmark(_sweep)
+    rows = benchmark(lambda: d_knob_sweep("mobilenet_v2", jobs=2))
     text = format_table(
         ["variant", "MACs(M)", "params(M)", "cycles", "speedup"],
         [[label, f"{m:.0f}", f"{p:.2f}", f"{c:,}", f"{s:.2f}x"]
@@ -44,6 +23,7 @@ def test_d_sweep(benchmark, save):
     )
     save("ablation_dsweep", text)
 
+    assert len(rows) == 1 + len(DEFAULT_D_VALUES)
     # Larger D ⇒ monotonically fewer params/MACs and higher speed-up.
     fuse = rows[1:]
     params = [p for _, _, p, _, _ in fuse]

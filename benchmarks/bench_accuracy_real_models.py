@@ -26,7 +26,11 @@ SPEC = SyntheticSpec(
     train_per_class=40,
     test_per_class=20,
 )
-CONFIG = TrainConfig(epochs=10, batch_size=24, lr=0.01, seed=0)
+# 14 epochs puts every variant's best accuracy well clear of the 2x-chance
+# assertion; at 10 the runs were still mid-transient and ulp-level gradient
+# changes (e.g. a different float summation order in conv backward) could
+# swing a variant below the line.
+CONFIG = TrainConfig(epochs=14, batch_size=24, lr=0.01, seed=0)
 
 
 def _train_all():

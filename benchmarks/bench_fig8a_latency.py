@@ -10,7 +10,8 @@ VARIANT_ORDER = ["baseline", "FuSe-Full", "FuSe-Half", "FuSe-Full-50%", "FuSe-Ha
 
 
 def test_fig8a_latency(benchmark, save, save_data):
-    data = benchmark(figure_8a)
+    # One process-pool task per network (see repro.systolic.parallel).
+    data = benchmark(lambda: figure_8a(jobs=2))
     rows = [
         [network] + [f"{data[network][v]:.3f}" for v in VARIANT_ORDER]
         for network in data

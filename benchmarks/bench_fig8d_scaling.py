@@ -10,7 +10,8 @@ from repro.core import FuSeVariant
 
 
 def test_fig8d_scaling(benchmark, save, save_data):
-    data = benchmark(lambda: figure_8d(variant=FuSeVariant.HALF))
+    # One process-pool task per network (see repro.systolic.parallel).
+    data = benchmark(lambda: figure_8d(variant=FuSeVariant.HALF, jobs=2))
     rows = [
         [network] + [f"{p.speedup:.2f}x" for p in points]
         for network, points in data.items()

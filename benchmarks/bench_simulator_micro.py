@@ -2,7 +2,15 @@
 
 Not a paper artifact — keeps the analytical model fast enough for design
 sweeps and catches performance regressions in the lowering/latency path.
+
+The engine-comparison test times the reference per-cycle stepper against
+the vectorized wavefront engine on every dataflow, persists the speedup
+report to ``results/simulator_engines.json``, and fails if the vector
+engine falls below the regression floor (also enforced by ``make
+bench-smoke`` via ``python -m repro.systolic.bench``).
 """
+
+import json
 
 import numpy as np
 
@@ -17,6 +25,13 @@ from repro.systolic import (
     os_gemm_stats,
     simulate_gemm,
 )
+from repro.systolic.bench import compare_engines, format_report
+
+from conftest import RESULTS_DIR
+
+#: Regression floor for reference→vector speedup (acceptance asks ≥10×
+#: at 32×32; 5× leaves headroom for noisy CI machines in the gate).
+MIN_ENGINE_SPEEDUP = 5.0
 
 
 def test_gemm_stats_speed(benchmark):
@@ -53,3 +68,25 @@ def test_functional_sim_speed(benchmark):
     array = ArrayConfig.square(8)
     result = benchmark(simulate_gemm, a, b, array)
     assert np.allclose(result.values, a @ b)
+
+
+def test_engine_comparison(benchmark, save):
+    """Reference vs vector wavefront engine on all four dataflows.
+
+    Records the per-dataflow speedup into ``results/simulator_engines.json``
+    (and into the benchmark's ``extra_info``) so regressions show up in the
+    stored artifacts, not just in wall time.
+    """
+    report = benchmark.pedantic(
+        compare_engines, kwargs={"size": 32, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    save("simulator_engines", format_report(report))
+    out = RESULTS_DIR / "simulator_engines.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    benchmark.extra_info["engine_report_json"] = str(out)
+    benchmark.extra_info["min_engine_speedup"] = report["min_speedup"]
+
+    for name, row in report["workloads"].items():
+        assert row["exact_match"], f"engines disagree on {name}"
+    assert report["min_speedup"] >= MIN_ENGINE_SPEEDUP

@@ -11,7 +11,8 @@ from repro.analysis import calibration_stats, format_table, table1
 
 
 def test_table1_speedup(benchmark, save):
-    rows = benchmark(table1)
+    # One process-pool task per network (see repro.systolic.parallel).
+    rows = benchmark(lambda: table1(jobs=2))
     stats = calibration_stats(rows)
     table_rows = [
         [

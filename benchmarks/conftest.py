@@ -66,10 +66,16 @@ def save_data():
 @pytest.fixture(autouse=True)
 def attach_metrics(request):
     """Attach the metrics snapshot to every benchmark result."""
+    # Resolve the fixture up front: during teardown it may already be
+    # finalized and getfixturevalue() would raise.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
     yield
-    if "benchmark" not in request.fixturenames:
+    if benchmark is None:
         return
-    benchmark = request.getfixturevalue("benchmark")
     sidecar = _write_metrics_sidecar(request.node.name)
     benchmark.extra_info["metrics_json"] = str(sidecar)
     benchmark.extra_info["metrics_series"] = len(get_registry())

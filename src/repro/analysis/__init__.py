@@ -22,9 +22,11 @@ from .paper_values import (
 )
 from .report import format_table, ratio_or_na, to_csv
 from .scaling import (
+    DEFAULT_D_VALUES,
     DEFAULT_RESOLUTIONS,
     DEFAULT_SIZES,
     ScalingPoint,
+    d_knob_sweep,
     figure_8d,
     resolution_curve,
     scaling_curve,
@@ -57,6 +59,8 @@ __all__ = [
     "DEFAULT_RESOLUTIONS",
     "DEFAULT_SIZES",
     "ScalingPoint",
+    "DEFAULT_D_VALUES",
+    "d_knob_sweep",
     "figure_8d",
     "resolution_curve",
     "scaling_curve",

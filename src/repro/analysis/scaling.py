@@ -9,12 +9,13 @@ larger networks (MobileNet-V1) gain more on large arrays than small ones
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import FuSeVariant, to_fuseconv
 from ..models import PAPER_NETWORKS, build_model
 from ..obs import profiled
-from ..systolic import ArrayConfig, estimate_network
+from ..systolic import ArrayConfig, scatter
+from ..systolic.diskcache import estimate_network_cached
 
 #: Array sizes swept by the ablation (Fig. 8d uses a similar range).
 DEFAULT_SIZES: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
@@ -39,6 +40,7 @@ def scaling_curve(
     name: str,
     variant: FuSeVariant = FuSeVariant.HALF,
     sizes: Sequence[int] = DEFAULT_SIZES,
+    cache_dir=None,
     **model_kwargs,
 ) -> List[ScalingPoint]:
     """Speed-up vs array size for one network.
@@ -56,11 +58,21 @@ def scaling_curve(
             ScalingPoint(
                 network=name,
                 size=size,
-                baseline_cycles=estimate_network(baseline, array).total_cycles,
-                fuse_cycles=estimate_network(transformed, array).total_cycles,
+                baseline_cycles=estimate_network_cached(
+                    baseline, array, cache_dir=cache_dir
+                ).total_cycles,
+                fuse_cycles=estimate_network_cached(
+                    transformed, array, cache_dir=cache_dir
+                ).total_cycles,
             )
         )
     return points
+
+
+def _scaling_curve_worker(task) -> List[ScalingPoint]:
+    """Module-level adapter so :func:`repro.systolic.scatter` can fork it."""
+    name, variant, sizes, cache_dir, model_kwargs = task
+    return scaling_curve(name, variant, sizes, cache_dir, **model_kwargs)
 
 
 @profiled("analysis.figure_8d")
@@ -68,13 +80,21 @@ def figure_8d(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     variant: FuSeVariant = FuSeVariant.HALF,
     sizes: Sequence[int] = DEFAULT_SIZES,
+    jobs: Optional[int] = None,
+    cache_dir=None,
     **model_kwargs,
 ) -> Dict[str, List[ScalingPoint]]:
-    """The full ablation: speed-up curves for every paper network."""
-    return {
-        name: scaling_curve(name, variant, sizes, **model_kwargs)
+    """The full ablation: speed-up curves for every paper network.
+
+    ``jobs`` scatters the per-network curves across a process pool;
+    the result dict is keyed (and ordered) by ``networks`` either way.
+    """
+    tasks = [
+        (name, variant, tuple(sizes), cache_dir, dict(model_kwargs))
         for name in networks
-    }
+    ]
+    curves = scatter(_scaling_curve_worker, tasks, jobs=jobs)
+    return dict(zip(networks, curves))
 
 
 #: Input resolutions for the resolution ablation (extension).
@@ -87,6 +107,7 @@ def resolution_curve(
     variant: FuSeVariant = FuSeVariant.HALF,
     resolutions: Sequence[int] = DEFAULT_RESOLUTIONS,
     array_size: int = 64,
+    cache_dir=None,
     **model_kwargs,
 ) -> List[ScalingPoint]:
     """Extension ablation: speed-up vs *input resolution* on a fixed array.
@@ -105,8 +126,65 @@ def resolution_curve(
             ScalingPoint(
                 network=name,
                 size=resolution,
-                baseline_cycles=estimate_network(baseline, array).total_cycles,
-                fuse_cycles=estimate_network(transformed, array).total_cycles,
+                baseline_cycles=estimate_network_cached(
+                    baseline, array, cache_dir=cache_dir
+                ).total_cycles,
+                fuse_cycles=estimate_network_cached(
+                    transformed, array, cache_dir=cache_dir
+                ).total_cycles,
             )
         )
     return points
+
+
+#: Extended design-knob values for the D sweep (§VI extension).
+DEFAULT_D_VALUES: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _d_point_worker(task):
+    """One D value of :func:`d_knob_sweep`, fork-safe."""
+    from ..core import to_mixed_fuseconv
+    from ..ir import DepthwiseConv2D, macs_millions, params_millions
+
+    name, d, array, cache_dir, model_kwargs = task
+    baseline = build_model(name, **model_kwargs)
+    depthwise = [n.name for n in baseline.find(DepthwiseConv2D)]
+    net = to_mixed_fuseconv(
+        baseline, {ln: d for ln in depthwise}, name_suffix=f"FuSe-D{d}"
+    )
+    cycles = estimate_network_cached(net, array, cache_dir=cache_dir).total_cycles
+    return (f"FuSe D={d}", macs_millions(net), params_millions(net), cycles)
+
+
+@profiled("analysis.d_knob_sweep")
+def d_knob_sweep(
+    name: str = "mobilenet_v2",
+    d_values: Sequence[int] = DEFAULT_D_VALUES,
+    array: Optional[ArrayConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    **model_kwargs,
+) -> List[Tuple[str, float, float, int, float]]:
+    """§VI extension: sweep the design knob D beyond the paper's {1, 2}.
+
+    Returns ``(label, macs_M, params_M, cycles, speedup)`` rows, baseline
+    first; D points can be scattered across a process pool with ``jobs``.
+    """
+    from ..ir import macs_millions, params_millions
+
+    if array is None:
+        from ..systolic import PAPER_ARRAY
+
+        array = PAPER_ARRAY
+    baseline = build_model(name, **model_kwargs)
+    base_cycles = estimate_network_cached(
+        baseline, array, cache_dir=cache_dir
+    ).total_cycles
+    rows = [("baseline", macs_millions(baseline), params_millions(baseline),
+             base_cycles, 1.0)]
+    tasks = [
+        (name, d, array, cache_dir, dict(model_kwargs)) for d in d_values
+    ]
+    for label, macs, params, cycles in scatter(_d_point_worker, tasks, jobs=jobs):
+        rows.append((label, macs, params, cycles, base_cycles / cycles))
+    return rows

@@ -14,7 +14,8 @@ from ..core import ALL_VARIANTS, FuSeVariant, to_fuseconv
 from ..ir import Network, macs_millions, params_millions
 from ..models import PAPER_NETWORKS, build_model
 from ..obs import profiled
-from ..systolic import ArrayConfig, PAPER_ARRAY, estimate_network
+from ..systolic import ArrayConfig, PAPER_ARRAY, scatter
+from ..systolic.diskcache import estimate_network_cached
 from .paper_values import TABLE1, PaperRow
 
 
@@ -50,46 +51,78 @@ def network_variants(
     return out
 
 
+def _network_rows(
+    name: str,
+    variants: Sequence[FuSeVariant],
+    array: ArrayConfig,
+    cache_dir,
+    model_kwargs: Dict,
+) -> List[SpeedupRow]:
+    """Table I rows for one network (baseline + variants)."""
+    nets = network_variants(name, variants, array, **model_kwargs)
+    baseline_latency = estimate_network_cached(nets[None], array, cache_dir=cache_dir)
+    rows: List[SpeedupRow] = []
+    for label, net in nets.items():
+        latency = (
+            baseline_latency
+            if label is None
+            else estimate_network_cached(net, array, cache_dir=cache_dir)
+        )
+        rows.append(
+            SpeedupRow(
+                network=name,
+                variant=label,
+                macs_millions=macs_millions(net),
+                params_millions=params_millions(net),
+                cycles=latency.total_cycles,
+                latency_ms=latency.total_ms,
+                speedup=baseline_latency.total_cycles / latency.total_cycles,
+                paper=TABLE1.get((name, label)),
+            )
+        )
+    return rows
+
+
+def _network_rows_worker(task) -> List[SpeedupRow]:
+    """Module-level adapter so :func:`repro.systolic.scatter` can fork it."""
+    return _network_rows(*task)
+
+
 @profiled("analysis.table1")
 def table1(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     variants: Sequence[FuSeVariant] = ALL_VARIANTS,
     array: Optional[ArrayConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
     **model_kwargs,
 ) -> List[SpeedupRow]:
-    """Measured Table I (minus accuracy, which has its own proxy harness)."""
+    """Measured Table I (minus accuracy, which has its own proxy harness).
+
+    ``jobs`` fans the per-network work across a process pool (row order is
+    deterministic either way); ``cache_dir`` memoizes the latency estimates
+    on disk via :func:`repro.systolic.estimate_network_cached`.
+    """
     array = array or PAPER_ARRAY
-    rows: List[SpeedupRow] = []
-    for name in networks:
-        nets = network_variants(name, variants, array, **model_kwargs)
-        baseline_latency = estimate_network(nets[None], array)
-        for label, net in nets.items():
-            latency = (
-                baseline_latency if label is None else estimate_network(net, array)
-            )
-            rows.append(
-                SpeedupRow(
-                    network=name,
-                    variant=label,
-                    macs_millions=macs_millions(net),
-                    params_millions=params_millions(net),
-                    cycles=latency.total_cycles,
-                    latency_ms=latency.total_ms,
-                    speedup=baseline_latency.total_cycles / latency.total_cycles,
-                    paper=TABLE1.get((name, label)),
-                )
-            )
-    return rows
+    tasks = [
+        (name, tuple(variants), array, cache_dir, dict(model_kwargs))
+        for name in networks
+    ]
+    per_network = scatter(_network_rows_worker, tasks, jobs=jobs)
+    return [row for rows in per_network for row in rows]
 
 
 @profiled("analysis.figure_8a")
 def figure_8a(
     networks: Sequence[str] = tuple(PAPER_NETWORKS),
     array: Optional[ArrayConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
     **model_kwargs,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 8(a): absolute latency (ms) per network and variant."""
-    rows = table1(networks, array=array, **model_kwargs)
+    rows = table1(networks, array=array, jobs=jobs, cache_dir=cache_dir,
+                  **model_kwargs)
     out: Dict[str, Dict[str, float]] = {}
     for row in rows:
         out.setdefault(row.network, {})[row.variant or "baseline"] = row.latency_ms

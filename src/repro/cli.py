@@ -7,6 +7,9 @@ Commands:
 * ``latency``   — cycles/ms of a model (optionally FuSe-transformed) on a
   configurable systolic array;
 * ``table1``    — regenerate Table I (counts + speed-ups) on the terminal;
+* ``simulate``  — push real values through the functional PE-grid
+  simulator (``--engine vector|reference``) and check them against the
+  analytical cycle model;
 * ``ria``       — classify an algorithm (or all) under the RIA formalism;
 * ``overhead``  — broadcast-link area/power overhead for an array size;
 * ``nos``       — per-layer operator search under a latency budget.
@@ -17,6 +20,11 @@ name): ``--trace-out FILE`` dumps a Chrome-trace JSON of the run,
 ``--log-level`` / ``--quiet`` control the structured diagnostics on
 stderr.  Result tables always stay on stdout.  ``repro --version`` prints
 the toolkit version and git SHA.  See ``docs/observability.md``.
+
+Sweep commands (``latency``, ``table1``, ``simulate``) additionally take
+``--jobs N`` (process-pool fan-out; 0 = all cores) and ``--cache-dir DIR``
+(on-disk latency memo) — see ``docs/performance.md``.  ``--trace-out``
+forces ``--jobs 1``: spans cannot cross process boundaries.
 """
 
 from __future__ import annotations
@@ -31,11 +39,11 @@ from . import obs
 from .analysis import format_table, table1
 from .core import FuSeVariant, to_fuseconv
 from .hw import broadcast_overhead, energy_report
-from .ir import macs_millions, params_millions
 from .models import available_models, build_model
 from .nos import search_operators
 from .ria import ALGORITHMS, check_ria
 from .systolic import (
+    ENGINES,
     ArrayConfig,
     estimate_network,
     network_buffer_requirement,
@@ -67,6 +75,26 @@ def _add_array_options(parser: argparse.ArgumentParser) -> None:
                         help="GEMM dataflow (default os, as in the paper)")
     parser.add_argument("--pipelined", action="store_true",
                         help="enable fold pipelining (calibration knob)")
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("performance")
+    group.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the sweep (default "
+                            "$REPRO_JOBS or 1; 0 = all cores)")
+    group.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="on-disk memo cache for latency estimates "
+                            "(shared across runs; see docs/performance.md)")
+
+
+def _effective_jobs(args: argparse.Namespace) -> Optional[int]:
+    """The ``--jobs`` value, forced to 1 (with a warning) under tracing."""
+    jobs = getattr(args, "jobs", None)
+    if args.trace_out and jobs not in (None, 1):
+        log.warning("tracing forces --jobs 1 (spans cannot cross processes)",
+                    requested=jobs)
+        return 1
+    return jobs
 
 
 def _obs_options() -> argparse.ArgumentParser:
@@ -123,29 +151,33 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 def cmd_latency(args: argparse.Namespace) -> int:
     array = _array_from_args(args)
-    net = build_model(_model_name(args), resolution=args.resolution)
-    base = estimate_network(net, array)
-    rows = [["baseline", f"{macs_millions(net):.0f}",
-             f"{params_millions(net):.2f}", f"{base.total_cycles:,}",
-             f"{base.total_ms:.3f}", "1.00x"]]
+    name = _model_name(args)
     variants = (
-        [_VARIANTS[args.variant]] if args.variant else list(_VARIANTS.values())
+        (_VARIANTS[args.variant],) if args.variant else tuple(_VARIANTS.values())
     )
-    for variant in variants:
-        fuse = to_fuseconv(net, variant, array)
-        latency = estimate_network(fuse, array)
-        rows.append([
-            variant.label,
-            f"{macs_millions(fuse):.0f}",
-            f"{params_millions(fuse):.2f}",
-            f"{latency.total_cycles:,}",
-            f"{latency.total_ms:.3f}",
-            f"{base.total_cycles / latency.total_cycles:.2f}x",
-        ])
+    measured = table1(
+        networks=(name,),
+        variants=variants,
+        array=array,
+        jobs=_effective_jobs(args),
+        cache_dir=args.cache_dir,
+        resolution=args.resolution,
+    )
+    rows = [
+        [
+            row.variant or "baseline",
+            f"{row.macs_millions:.0f}",
+            f"{row.params_millions:.2f}",
+            f"{row.cycles:,}",
+            f"{row.latency_ms:.3f}",
+            f"{row.speedup:.2f}x",
+        ]
+        for row in measured
+    ]
     print(format_table(
         ["variant", "MACs(M)", "params(M)", "cycles", "ms", "speedup"],
         rows,
-        title=f"{net.name} on a {array.rows}x{array.cols} array "
+        title=f"{name} on a {array.rows}x{array.cols} array "
               f"({array.dataflow}, {'pipelined' if array.pipelined_folds else 'conservative'})",
     ))
     return 0
@@ -153,7 +185,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     rows = []
-    for row in table1():
+    for row in table1(jobs=_effective_jobs(args), cache_dir=args.cache_dir):
         paper = row.paper
         rows.append([
             row.network,
@@ -169,6 +201,34 @@ def cmd_table1(args: argparse.Namespace) -> int:
         title="Table I (measured; 64x64 output-stationary array)",
     ))
     return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .systolic.executor import ArrayNetworkExecutor
+
+    array = _array_from_args(args)
+    net = _net_for(args)
+    executor = ArrayNetworkExecutor(
+        net, array=array, seed=args.seed,
+        engine=args.engine, jobs=_effective_jobs(args) or 1,
+    )
+    x = np.random.default_rng(args.seed).standard_normal(net.input_shape)
+    start = time.perf_counter()
+    run = executor.run(x)
+    elapsed = time.perf_counter() - start
+    mismatches = [layer for layer in run.layers if not layer.consistent]
+    print(f"{net.name} on {array.rows}x{array.cols} "
+          f"({array.dataflow}, engine={executor.engine}, jobs={executor.jobs}):")
+    print(f"  cycles      : {run.cycles:,}")
+    print(f"  latency     : {array.cycles_to_ms(run.cycles):.3f} ms @ "
+          f"{array.frequency_mhz:.0f} MHz")
+    print(f"  array layers: {len(run.layers)}")
+    print(f"  model check : "
+          f"{'all layers match the analytical model' if run.all_cycles_consistent else f'{len(mismatches)} layer(s) diverge'}")
+    print(f"  wall clock  : {elapsed:.2f} s")
+    return 0 if run.all_cycles_consistent else 1
 
 
 def cmd_ria(args: argparse.Namespace) -> int:
@@ -293,10 +353,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resolution", type=int, default=224)
     _add_variant_option(p)
     _add_array_options(p)
+    _add_parallel_options(p)
     p.set_defaults(fn=cmd_latency)
 
     p = sub.add_parser("table1", help="regenerate Table I", parents=[common])
+    _add_parallel_options(p)
     p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser(
+        "simulate",
+        help="run real values through the functional PE-grid simulator",
+        parents=[common],
+    )
+    _add_model_argument(p)
+    p.add_argument("--resolution", type=int, default=96)
+    _add_variant_option(p)
+    _add_array_options(p)
+    _add_parallel_options(p)
+    p.add_argument("--engine", choices=ENGINES, default="vector",
+                   help="simulator engine (default vector; reference = "
+                        "scalar per-cycle stepper)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for weights and the input tensor")
+    p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("ria", help="RIA classification of an algorithm",
                        parents=[common])

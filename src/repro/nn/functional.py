@@ -52,6 +52,28 @@ def _windows(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
     )
 
 
+def _dilated_grad_windows(
+    grad: np.ndarray, kh: int, kw: int, sh: int, sw: int
+) -> np.ndarray:
+    """Windows for the transposed-conv trick shared by the conv/pool backwards.
+
+    Dilates ``grad (..., OH, OW)`` by the stride, pads by ``kernel - 1`` on
+    every side, and returns the dense sliding windows
+    ``(..., PH, PW, kh, kw)`` with ``PH = (OH-1)·sh + kh`` — correlating
+    them with spatially flipped filters scatters each output-gradient tap
+    back onto every input position it touched, replacing the per-tap
+    ``dx[..., dk::sh, dl::sw] += g`` Python loops with one strided view.
+    """
+    oh, ow = grad.shape[-2:]
+    lead = grad.shape[:-2]
+    ph, pw = (oh - 1) * sh + kh, (ow - 1) * sw + kw
+    gd = np.zeros(lead + (ph + kh - 1, pw + kw - 1), dtype=grad.dtype)
+    gd[..., kh - 1:kh - 1 + sh * oh:sh, kw - 1:kw - 1 + sw * ow:sw] = grad
+    flat = gd.reshape((1, -1) + gd.shape[-2:])
+    win = _windows(flat, kh, kw, 1, 1)
+    return win.reshape(lead + (ph, pw, kh, kw))
+
+
 # ----------------------------------------------------------- convolutions
 
 def conv2d(
@@ -100,12 +122,15 @@ def conv2d(
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            dwin = np.einsum("ngohw,gockl->ngchwkl", grad_g, w_g, optimize=True)
-            dwin = dwin.reshape(n, c, oh, ow, kh, kw)
+            # Transposed convolution as one correlation: flip the filters
+            # and slide them over the dilated output gradient.
+            gwin = _dilated_grad_windows(grad_g, kh, kw, sh, sw)
+            ph, pw = gwin.shape[3], gwin.shape[4]
             dxp = np.zeros_like(xp)
-            for dk in range(kh):
-                for dl in range(kw):
-                    dxp[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw] += dwin[..., dk, dl]
+            dxp[:, :, :ph, :pw] = np.einsum(
+                "ngoPQkl,gockl->ngcPQ", gwin, w_g[..., ::-1, ::-1],
+                optimize=True,
+            ).reshape(n, c, ph, pw)
             hp, wp = xp.shape[2], xp.shape[3]
             x._accumulate(dxp[:, :, top:hp - bottom or None, left:wp - right or None])
 
@@ -231,11 +256,12 @@ def avg_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
     out_data = win.mean(axis=(4, 5))
 
     def backward(grad: np.ndarray) -> None:
+        # The average filter is uniform, so the transposed conv collapses
+        # to a window sum over the dilated gradient (no flip needed).
+        gwin = _dilated_grad_windows(grad, kh, kw, sh, sw)
+        ph, pw = gwin.shape[2], gwin.shape[3]
         dx = np.zeros_like(x.data)
-        scale = 1.0 / (kh * kw)
-        for dk in range(kh):
-            for dl in range(kw):
-                dx[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw] += grad * scale
+        dx[:, :, :ph, :pw] = gwin.sum(axis=(4, 5)) * (1.0 / (kh * kw))
         x._accumulate(dx)
 
     return x._make_child(out_data, (x,), backward)

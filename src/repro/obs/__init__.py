@@ -42,6 +42,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    set_registry,
 )
 from .profiling import profiled
 from .tracing import Span, Tracer, get_tracer
@@ -70,6 +71,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "set_registry",
     "profiled",
     "Span",
     "Tracer",

@@ -58,6 +58,9 @@ class Counter:
     def _restore(self, payload: Dict[str, object]) -> None:
         self.value = float(payload["value"])
 
+    def _merge(self, payload: Dict[str, object]) -> None:
+        self.value += float(payload["value"])
+
 
 class Gauge:
     """A point-in-time value (last write wins)."""
@@ -83,6 +86,11 @@ class Gauge:
         return {"value": self.value}
 
     def _restore(self, payload: Dict[str, object]) -> None:
+        self.value = float(payload["value"])
+
+    def _merge(self, payload: Dict[str, object]) -> None:
+        # Last write wins across processes too: the incoming snapshot is
+        # "newer" than whatever this process saw.
         self.value = float(payload["value"])
 
 
@@ -153,6 +161,25 @@ class Histogram:
             math.inf if b["le"] == "+inf" else float(b["le"]) for b in buckets
         )
         self.bucket_counts = [int(b["count"]) for b in buckets]
+
+    def _merge(self, payload: Dict[str, object]) -> None:
+        bounds = tuple(
+            math.inf if b["le"] == "+inf" else float(b["le"])
+            for b in payload["buckets"]
+        )
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge buckets {bounds} "
+                f"into {self.buckets}"
+            )
+        self.count += int(payload["count"])
+        self.sum += float(payload["sum"])
+        if payload["min"] is not None:
+            self.min = min(self.min, float(payload["min"]))
+        if payload["max"] is not None:
+            self.max = max(self.max, float(payload["max"]))
+        for i, b in enumerate(payload["buckets"]):
+            self.bucket_counts[i] += int(b["count"])
 
 
 _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
@@ -236,6 +263,25 @@ class MetricsRegistry:
             metric._restore(entry)
         return registry
 
+    def merge_dict(self, payload: Dict[str, object]) -> None:
+        """Fold a :meth:`to_dict` snapshot from another registry into this one.
+
+        Used by :mod:`repro.systolic.parallel` to combine the metrics each
+        worker process recorded back into the parent's registry: counters
+        and histograms add (events happened in *some* process), gauges are
+        last-write-wins.  Raises :class:`TypeError` on a kind clash and
+        :class:`ValueError` on incompatible histogram buckets.
+        """
+        for entry in payload["metrics"]:
+            kind = _KINDS[entry["type"]]
+            metric = self._get_or_create(kind, entry["name"], entry["labels"])
+            if isinstance(metric, Histogram) and metric.count == 0:
+                # An empty histogram has this process's default bounds; the
+                # incoming snapshot defines the authoritative ones.
+                metric._restore(entry)
+            else:
+                metric._merge(entry)
+
 
 #: Process-wide default registry (what the CLI exports via ``--metrics-out``).
 _REGISTRY = MetricsRegistry()
@@ -244,3 +290,16 @@ _REGISTRY = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-wide default :class:`MetricsRegistry`."""
     return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one.
+
+    Worker processes install a fresh registry before running their chunk so
+    the instrumented hot paths (which all go through :func:`get_registry`)
+    record into an isolated scope that can be shipped back and merged.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

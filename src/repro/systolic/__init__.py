@@ -33,15 +33,19 @@ from .latency import (
     clear_mapping_cache,
     estimate_layer,
     estimate_network,
+    mapping_cache_info,
     mapping_stats,
     speedup,
 )
 from .functional import (
+    ENGINES,
     SimResult,
     SystolicArraySim,
     simulate_conv1d_bank,
     simulate_gemm,
 )
+from .diskcache import cache_key, estimate_network_cached
+from .parallel import default_jobs, resolve_jobs, scatter, shutdown_pool
 from .memory import (
     BYTES_PER_VALUE,
     LayerTraffic,
@@ -97,14 +101,22 @@ __all__ = [
     "LayerLatency",
     "NetworkLatency",
     "clear_mapping_cache",
+    "mapping_cache_info",
     "estimate_layer",
     "estimate_network",
     "mapping_stats",
     "speedup",
+    "ENGINES",
     "SimResult",
     "SystolicArraySim",
     "simulate_conv1d_bank",
     "simulate_gemm",
+    "cache_key",
+    "estimate_network_cached",
+    "default_jobs",
+    "resolve_jobs",
+    "scatter",
+    "shutdown_pool",
     "BYTES_PER_VALUE",
     "LayerTraffic",
     "TrafficReport",

@@ -1,0 +1,162 @@
+"""On-disk memo cache for analytical :func:`estimate_network` results.
+
+Sweeps re-estimate the same (network, array) pairs constantly — every CLI
+invocation of ``table1`` recomputes five networks × five variants, and the
+Fig. 8(d) size sweep multiplies that by six array sizes.  The analytical
+model is deterministic, so those results can be memoized *across
+processes*: this module keys a JSON snapshot of the per-layer
+:class:`~repro.systolic.gemm.MappingStats` on a SHA-256 fingerprint of
+
+* the full serialized network graph (``repro.ir.serialize.network_to_dict``
+  — layer specs, shapes, wiring), and
+* every cycle-relevant :class:`~repro.systolic.ArrayConfig` field plus the
+  batch size.
+
+Any change to the network transform, the array, or the serialization
+format changes the fingerprint, so stale entries are never *returned* —
+they just age out when the directory is deleted.  Entries are written
+atomically (``os.replace`` of a same-directory temp file), so concurrent
+sweep workers can share one cache directory; hits and misses are counted
+as ``latency.diskcache.hit`` / ``latency.diskcache.miss`` on the default
+metrics registry (visible via ``repro ... --metrics-out``).
+
+The cache stores *estimates only* (analytical model output), never
+functional simulation values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from ..ir.network import Network
+from ..ir.serialize import network_to_dict
+from ..obs import get_logger, get_registry
+from .config import ArrayConfig
+from .gemm import MappingStats
+from .latency import LayerLatency, NetworkLatency, estimate_network
+
+_log = get_logger("systolic.diskcache")
+
+#: Bump when the payload layout below changes: old entries miss, not break.
+CACHE_FORMAT = 1
+
+
+def cache_key(network: Network, array: ArrayConfig, batch: int = 1) -> str:
+    """SHA-256 fingerprint of one (network, array, batch) estimate."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "network": network_to_dict(network),
+        "array": {
+            "rows": array.rows,
+            "cols": array.cols,
+            "broadcast": array.broadcast,
+            "dataflow": array.dataflow,
+            "pipelined_folds": array.pipelined_folds,
+        },
+        "batch": batch,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _entry_path(cache_dir: Path, key: str) -> Path:
+    # Two-level fan-out keeps directory listings sane on big sweeps.
+    return cache_dir / key[:2] / f"{key}.json"
+
+
+def _layer_to_dict(layer: LayerLatency) -> dict:
+    s = layer.stats
+    return {
+        "name": layer.name,
+        "kind": layer.kind,
+        "op_class": layer.op_class,
+        "block": layer.block,
+        "stats": {
+            "cycles": s.cycles,
+            "folds": s.folds,
+            "active_mac_cycles": s.active_mac_cycles,
+            "occupied_pe_cycles": s.occupied_pe_cycles,
+            "sram_reads": s.sram_reads,
+            "sram_writes": s.sram_writes,
+        },
+    }
+
+
+def _layer_from_dict(entry: dict) -> LayerLatency:
+    return LayerLatency(
+        name=entry["name"],
+        kind=entry["kind"],
+        op_class=entry["op_class"],
+        block=entry["block"],
+        stats=MappingStats(**entry["stats"]),
+    )
+
+
+def estimate_network_cached(
+    network: Network,
+    array: Optional[ArrayConfig] = None,
+    batch: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> NetworkLatency:
+    """:func:`estimate_network`, memoized on disk under ``cache_dir``.
+
+    With ``cache_dir=None`` this is exactly :func:`estimate_network`.
+    A corrupt or unreadable entry is treated as a miss and rewritten.
+    Note the returned latency carries the *caller's* ``array`` (the
+    fingerprint guarantees it matches the cycle-relevant fields; only
+    ``frequency_mhz``, which scales ms after the fact, may differ).
+    """
+    if array is None:
+        from .config import PAPER_ARRAY
+
+        array = PAPER_ARRAY
+    if cache_dir is None:
+        return estimate_network(network, array, batch)
+
+    cache_dir = Path(cache_dir)
+    registry = get_registry()
+    key = cache_key(network, array, batch)
+    path = _entry_path(cache_dir, key)
+    try:
+        entry = json.loads(path.read_text())
+        result = NetworkLatency(
+            network=entry["network"],
+            array=array,
+            layers=[_layer_from_dict(e) for e in entry["layers"]],
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    else:
+        registry.counter("latency.diskcache.hit").inc()
+        return result
+
+    registry.counter("latency.diskcache.miss").inc()
+    result = estimate_network(network, array, batch)
+    _write_entry(path, result)
+    return result
+
+
+def _write_entry(path: Path, result: NetworkLatency) -> None:
+    payload = {
+        "format": CACHE_FORMAT,
+        "network": result.network,
+        "layers": [_layer_to_dict(layer) for layer in result.layers],
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError as exc:
+        # A read-only or full cache dir degrades to "no cache", not a crash.
+        _log.warning("disk cache write failed", path=str(path), error=str(exc))

@@ -35,8 +35,58 @@ from ..obs import get_logger, get_registry, get_tracer
 from .config import ArrayConfig
 from .functional import SystolicArraySim
 from .latency import estimate_layer
+from .parallel import resolve_jobs, scatter
 
 _log = get_logger("systolic.executor")
+
+
+def _tile_chunks(extent: int, tile: int, parts: int) -> List[tuple]:
+    """Split ``extent`` into ≤ ``parts`` contiguous ``(start, stop)`` chunks
+    whose boundaries fall on multiples of ``tile``.
+
+    Fold shapes are decided by how an axis divides into ``tile``-sized
+    spans, so cutting only at tile boundaries guarantees a chunked run
+    produces the exact same folds (values *and* cycles) as the unchunked
+    one — the remainder span stays intact inside the last chunk.
+    """
+    ntiles = -(-extent // tile)
+    parts = max(1, min(parts, ntiles))
+    bounds = [round(i * ntiles / parts) for i in range(parts + 1)]
+    return [
+        (bounds[i] * tile, min(bounds[i + 1] * tile, extent))
+        for i in range(parts)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def _gemm_chunk_worker(task):
+    """Run one row-chunk of a GEMM in a worker process."""
+    array, engine, a, b = task
+    run = SystolicArraySim(array, engine=engine).run_gemm(a, b)
+    return run.values, run.cycles
+
+
+def _conv1d_chunk_worker(task):
+    """Run one line-chunk of a broadcast conv1d bank in a worker process."""
+    array, engine, lines, weights, stride = task
+    run = SystolicArraySim(array, engine=engine).run_conv1d_broadcast(
+        lines, weights, stride
+    )
+    return run.values, run.cycles
+
+
+def _depthwise_chunk_worker(task):
+    """Lower and run a chunk of depthwise channels in a worker process."""
+    array, engine, x_chunk, w_chunk, kernel_hw, stride_hw, padding = task
+    sim = SystolicArraySim(array, engine=engine)
+    outs = []
+    cycles = 0
+    for ch in range(x_chunk.shape[0]):
+        cols = im2col(x_chunk[ch:ch + 1], kernel_hw, stride_hw, padding)
+        run = sim.run_gemm(cols, w_chunk[ch].reshape(-1, 1))
+        outs.append(run.values.reshape(-1))
+        cycles += run.cycles
+    return np.stack(outs), cycles
 
 
 @dataclass
@@ -77,6 +127,14 @@ class ArrayNetworkExecutor:
             BatchNorm uses running statistics, as at inference.
         array: the simulated array (defaults to a small 16×16 — functional
             simulation is slow on big grids).
+        engine: simulator engine (``"vector"`` default / ``"reference"``),
+            forwarded to :class:`SystolicArraySim`.
+        jobs: fan heavy layers (depthwise channel chunks, FuSe line banks,
+            large GEMMs) across this many worker processes via
+            :mod:`repro.systolic.parallel`.  ``None`` → ``$REPRO_JOBS`` or
+            1; ``0`` → all cores.  Chunk boundaries are always multiples
+            of ``array.rows``, so fold shapes — and therefore values and
+            cycle counts — are identical to the single-process run.
     """
 
     def __init__(
@@ -85,12 +143,16 @@ class ArrayNetworkExecutor:
         model: Optional[GraphExecutor] = None,
         array: Optional[ArrayConfig] = None,
         seed: int = 0,
+        engine: str = "vector",
+        jobs: Optional[int] = None,
     ) -> None:
         self.network = network
         self.model = model or GraphExecutor(network, seed=seed)
         self.model.eval()
         self.array = array or ArrayConfig.square(16)
-        self.sim = SystolicArraySim(self.array)
+        self.engine = engine
+        self.jobs = resolve_jobs(jobs)
+        self.sim = SystolicArraySim(self.array, engine=engine)
 
     # ------------------------------------------------------------------ run
 
@@ -171,6 +233,42 @@ class ArrayNetworkExecutor:
     def _weights(self, name: str) -> np.ndarray:
         return self.model.module_for(name).weight.data.astype(np.float64)
 
+    def _gemm(self, a: np.ndarray, b: np.ndarray):
+        """``a @ b`` through the array, row-chunked across workers.
+
+        Chunks split the M axis at multiples of ``array.rows`` only
+        (see :func:`_tile_chunks`), so values and cycles match the
+        unchunked run exactly.
+        """
+        m = a.shape[0]
+        if self.jobs > 1 and m > self.array.rows:
+            chunks = _tile_chunks(m, self.array.rows, self.jobs)
+            if len(chunks) > 1:
+                tasks = [
+                    (self.array, self.engine, a[s:e], b) for s, e in chunks
+                ]
+                parts = scatter(_gemm_chunk_worker, tasks, jobs=self.jobs)
+                values = np.concatenate([v for v, _ in parts], axis=0)
+                return values, sum(cyc for _, cyc in parts)
+        run = self.sim.run_gemm(a, b)
+        return run.values, run.cycles
+
+    def _conv1d_bank(self, lines: np.ndarray, weights: np.ndarray, stride: int):
+        """A broadcast conv1d bank, line-chunked across workers."""
+        g = lines.shape[0]
+        if self.jobs > 1 and g > self.array.rows:
+            chunks = _tile_chunks(g, self.array.rows, self.jobs)
+            if len(chunks) > 1:
+                tasks = [
+                    (self.array, self.engine, lines[s:e], weights[s:e], stride)
+                    for s, e in chunks
+                ]
+                parts = scatter(_conv1d_chunk_worker, tasks, jobs=self.jobs)
+                values = np.concatenate([v for v, _ in parts], axis=0)
+                return values, sum(cyc for _, cyc in parts)
+        run = self.sim.run_conv1d_broadcast(lines, weights, stride)
+        return run.values, run.cycles
+
     def _conv(self, node, x):
         spec = node.layer
         w = self._weights(node.name)
@@ -186,15 +284,30 @@ class ArrayNetworkExecutor:
                 spec.kernel_hw, spec.stride_hw, spec.padding,
             )
             wmat = w[gi * cg_out:(gi + 1) * cg_out].reshape(cg_out, -1)
-            run = self.sim.run_gemm(cols, wmat.T)
-            out[gi * cg_out:(gi + 1) * cg_out] = run.values.T.reshape(cg_out, oh, ow)
-            cycles += run.cycles
+            values, gemm_cycles = self._gemm(cols, wmat.T)
+            out[gi * cg_out:(gi + 1) * cg_out] = values.T.reshape(cg_out, oh, ow)
+            cycles += gemm_cycles
         return out, cycles
 
     def _depthwise(self, node, x):
         spec = node.layer
         w = self._weights(node.name)  # (C, 1, kh, kw)
         c, oh, ow = node.out_shape
+        if self.jobs > 1 and c > 1:
+            # Channels are independent single-column GEMMs — any chunking
+            # preserves the per-channel fold structure.
+            parts = min(self.jobs, c)
+            bounds = [round(i * c / parts) for i in range(parts + 1)]
+            tasks = [
+                (self.array, self.engine,
+                 x[bounds[i]:bounds[i + 1]].astype(np.float64),
+                 w[bounds[i]:bounds[i + 1]],
+                 spec.kernel_hw, spec.stride_hw, spec.padding)
+                for i in range(parts)
+            ]
+            results = scatter(_depthwise_chunk_worker, tasks, jobs=self.jobs)
+            out = np.concatenate([v for v, _ in results], axis=0)
+            return out.reshape(c, oh, ow), sum(cyc for _, cyc in results)
         out = np.empty((c, oh, ow))
         cycles = 0
         for ch in range(c):
@@ -210,11 +323,11 @@ class ArrayNetworkExecutor:
     def _pointwise(self, node, x):
         w = self._weights(node.name)  # (C_out, C_in, 1, 1)
         c_in, h, width = x.shape
-        run = self.sim.run_gemm(
+        values, cycles = self._gemm(
             x.reshape(c_in, h * width).T.astype(np.float64),
             w.reshape(w.shape[0], c_in).T,
         )
-        return run.values.T.reshape(w.shape[0], h, width), run.cycles
+        return values.T.reshape(w.shape[0], h, width), cycles
 
     def _fuse(self, node, x):
         spec = node.layer
@@ -226,14 +339,14 @@ class ArrayNetworkExecutor:
             # Lines: every (channel, selected row); conv along the width.
             lines = xp[:, ::sh, :].reshape(c * oh, xp.shape[2])
             weights = np.repeat(w, oh, axis=0)
-            run = self.sim.run_conv1d_broadcast(lines, weights, stride=sw)
-            out = run.values.reshape(c, oh, ow)
+            values, cycles = self._conv1d_bank(lines, weights, stride=sw)
+            out = values.reshape(c, oh, ow)
         else:
             lines = xp[:, :, ::sw].transpose(0, 2, 1).reshape(c * ow, xp.shape[1])
             weights = np.repeat(w, ow, axis=0)
-            run = self.sim.run_conv1d_broadcast(lines, weights, stride=sh)
-            out = run.values.reshape(c, ow, oh).transpose(0, 2, 1)
-        return out, run.cycles
+            values, cycles = self._conv1d_bank(lines, weights, stride=sh)
+            out = values.reshape(c, ow, oh).transpose(0, 2, 1)
+        return out, cycles
 
     def _linear(self, node, x):
         module = self.model.module_for(node.name)

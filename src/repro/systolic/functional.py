@@ -2,7 +2,7 @@
 
 While :mod:`repro.systolic.gemm` and :mod:`repro.systolic.fuse_mapping`
 *count* cycles analytically, this module actually executes the dataflows on
-a simulated PE grid, cycle by cycle:
+a simulated PE grid:
 
 * :class:`SystolicArraySim` — output-stationary GEMM.  Operand A streams in
   from the left edge (row ``i`` delayed by ``i`` cycles), operand B from the
@@ -16,9 +16,27 @@ a simulated PE grid, cycle by cycle:
   same weight in the same cycle), inputs stream along the row systolically,
   outputs stay stationary and then drain.
 
-Both methods return the numerically-exact result *and* the measured cycle
-count; the test suite asserts the values match numpy and the cycles match
-the analytical model fold-for-fold.
+Every dataflow exists in two interchangeable **engines**:
+
+* ``engine="reference"`` — the scalar stepper: one Python iteration per
+  machine cycle, explicit register shifts and skewed edge injection.  This
+  is the machine description, and the only engine that can drive the
+  ``observer`` hook (per-cycle state snapshots for visualization).
+* ``engine="vector"`` (default) — the wavefront formulation.  The skew
+  terms ``i + j + t`` only shift *when* each MAC happens; they never change
+  which product a PE sees nor the per-PE accumulation order (``t`` ascends
+  at every PE).  So the whole fold collapses to one whole-array rank-1
+  update per wavefront step, with the operand streams taken as
+  stride-tricks views of A/B — no per-cycle Python loops over rows or
+  columns.  The update order replays the reference machine exactly, making
+  the two engines **bit-identical** (tested), while the cycle count comes
+  from the same closed-form fold models the reference stepper asserts
+  against.
+
+Both engines return the numerically-exact result *and* the measured cycle
+count; the test suite asserts the values match numpy, the cycles match the
+analytical model fold-for-fold, and the engines agree bit-for-bit on
+randomized fold shapes (``tests/systolic/test_engines.py``).
 """
 
 from __future__ import annotations
@@ -32,6 +50,9 @@ from ..obs import get_registry, get_tracer
 from .config import ArrayConfig
 from .fuse_mapping import BroadcastFold
 from .gemm import FoldShape
+
+#: Valid values of the ``engine`` knob.
+ENGINES = ("vector", "reference")
 
 
 @dataclass
@@ -48,6 +69,24 @@ class SimResult:
 Observer = "Callable[[str, int, dict], None]"
 
 
+def _spans(extent: int, tile: int) -> list:
+    """Contiguous ``(start, tiles, size)`` groups when tiling ``extent``.
+
+    The full-size tiles form one group, the remainder (if any) another —
+    the same ≤2 distinct shapes per axis that :func:`repro.systolic.gemm.
+    _tile_counts` enumerates, but with their array offsets, so the vector
+    engine can process every same-shaped fold in one batch of whole-array
+    operations.
+    """
+    full, rem = divmod(extent, tile)
+    out = []
+    if full:
+        out.append((0, full, tile))
+    if rem:
+        out.append((full * tile, 1, rem))
+    return out
+
+
 def _record_sim_op(op: str, folds: int, cycles: int) -> None:
     """Count one simulated operation on the default metrics registry."""
     registry = get_registry()
@@ -59,18 +98,31 @@ def _record_sim_op(op: str, folds: int, cycles: int) -> None:
 class SystolicArraySim:
     """A functional ``rows × cols`` output-stationary systolic array.
 
-    Pass ``observer`` to watch the machine run: it receives per-cycle
-    snapshots of the PE-grid state (used by
-    ``examples/visualize_dataflow.py`` to animate the dataflows).
+    Args:
+        array: the simulated grid.
+        observer: per-cycle state callback (used by
+            ``examples/visualize_dataflow.py`` to animate the dataflows).
+            Observation needs the scalar stepper, so setting an observer
+            forces ``engine="reference"`` regardless of the knob.
+        engine: ``"vector"`` (default — vectorized wavefront, see module
+            docstring) or ``"reference"`` (scalar per-cycle stepper).
 
     Every ``run_*`` call counts calls/folds/cycles on the default metrics
     registry (``sim.gemm.*``, ``sim.conv1d.*``, …) and shows up as a span
     when the :mod:`repro.obs` tracer is enabled.
     """
 
-    def __init__(self, array: ArrayConfig, observer=None) -> None:
+    def __init__(self, array: ArrayConfig, observer=None,
+                 engine: str = "vector") -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self.array = array
         self.observer = observer
+        # The observer contract is "called once per simulated cycle" —
+        # only the scalar stepper has per-cycle state to show.
+        self.engine = "reference" if observer is not None else engine
 
     # ------------------------------------------------------------------ GEMM
 
@@ -83,23 +135,64 @@ class SystolicArraySim:
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
         folds = 0
-        with get_tracer().span("sim.gemm", category="sim", m=m, k=k, n=n) as sp:
-            for m0 in range(0, m, self.array.rows):
-                r = min(self.array.rows, m - m0)
-                for n0 in range(0, n, self.array.cols):
-                    c = min(self.array.cols, n - n0)
-                    tile, tile_cycles = self._run_gemm_fold(
-                        a[m0:m0 + r], b[:, n0:n0 + c]
-                    )
-                    out[m0:m0 + r, n0:n0 + c] = tile
-                    cycles += tile_cycles
-                    folds += 1
+        with get_tracer().span("sim.gemm", category="sim", m=m, k=k, n=n,
+                               engine=self.engine) as sp:
+            if self.engine == "vector":
+                cycles, folds = self._run_gemm_vector(a, b, out)
+            else:
+                for m0 in range(0, m, self.array.rows):
+                    r = min(self.array.rows, m - m0)
+                    for n0 in range(0, n, self.array.cols):
+                        c = min(self.array.cols, n - n0)
+                        tile, tile_cycles = self._run_gemm_fold_reference(
+                            a[m0:m0 + r], b[:, n0:n0 + c]
+                        )
+                        out[m0:m0 + r, n0:n0 + c] = tile
+                        cycles += tile_cycles
+                        folds += 1
             sp.set(folds=folds, cycles=cycles)
         _record_sim_op("gemm", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
-    def _run_gemm_fold(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, int]:
-        """One fold: ``a`` is ``r×k``, ``b`` is ``k×c``; both fit the array."""
+    def _run_gemm_vector(self, a: np.ndarray, b: np.ndarray,
+                         out: np.ndarray) -> Tuple[int, int]:
+        """Vectorized wavefront execution of a whole OS GEMM.
+
+        PE ``(i, j)`` of a fold executes its step-``t`` MAC at cycle
+        ``i + j + t``: the skew decides *when* products land, never which
+        products nor their per-PE order (``t`` ascends everywhere), and
+        the idle-edge zero injections of the reference machine add exactly
+        ``+0.0``.  So the machine state of *every fold of the same shape*
+        can be replayed together: one rank-1 wavefront update per step
+        ``t``, batched over all folds of the group — whole-array numpy
+        operations only, bit-identical to the scalar stepper (tested).
+
+        Returns ``(cycles, folds)``; fold outputs are scattered into
+        ``out`` (each fold owns a disjoint tile, as in the reference).
+        """
+        m, k = a.shape
+        _, n = b.shape
+        cycles = 0
+        folds = 0
+        for m0, rtiles, r in _spans(m, self.array.rows):
+            a_grp = a[m0:m0 + rtiles * r].reshape(rtiles, r, k)
+            a_steps = a_grp.transpose(2, 0, 1)  # (k, rtiles, r) view
+            for n0, ctiles, c in _spans(n, self.array.cols):
+                b_steps = b[:, n0:n0 + ctiles * c].reshape(k, ctiles, c)
+                acc = np.zeros((rtiles, ctiles, r, c),
+                               dtype=np.result_type(a, b))
+                for t in range(k):
+                    acc += (a_steps[t][:, np.newaxis, :, np.newaxis]
+                            * b_steps[t][np.newaxis, :, np.newaxis, :])
+                out[m0:m0 + rtiles * r, n0:n0 + ctiles * c] = (
+                    acc.transpose(0, 2, 1, 3).reshape(rtiles * r, ctiles * c)
+                )
+                cycles += rtiles * ctiles * FoldShape(r=r, c=c, k=k).cycles
+                folds += rtiles * ctiles
+        return cycles, folds
+
+    def _run_gemm_fold_reference(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Scalar stepper for one OS fold (one Python iteration per cycle)."""
         r, k = a.shape
         _, c = b.shape
         acc = np.zeros((r, c), dtype=np.result_type(a, b))
@@ -152,7 +245,8 @@ class SystolicArraySim:
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
         folds = 0
-        with get_tracer().span("sim.ws_gemm", category="sim", m=m, k=k, n=n) as sp:
+        with get_tracer().span("sim.ws_gemm", category="sim", m=m, k=k, n=n,
+                               engine=self.engine) as sp:
             for k0 in range(0, k, self.array.rows):
                 r = min(self.array.rows, k - k0)
                 for n0 in range(0, n, self.array.cols):
@@ -169,6 +263,29 @@ class SystolicArraySim:
 
     def _run_ws_fold(self, a: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, int]:
         """One WS fold: ``a`` is ``M×r``, stationary ``w`` is ``r×c``."""
+        if self.engine == "vector":
+            return self._run_ws_fold_vector(a, w)
+        return self._run_ws_fold_reference(a, w)
+
+    def _run_ws_fold_vector(self, a: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Wavefront formulation of one WS fold.
+
+        The partial sum of stream vector ``v`` cascades *down* its column:
+        it picks up the row-``i`` product in ``i``-ascending order at every
+        column, whatever the skew.  Rank-1 updates over the ``r`` resident
+        rows replay that order exactly.
+        """
+        m, r = a.shape
+        _, c = w.shape
+        out = np.zeros((m, c), dtype=np.result_type(a, w))
+        for i in range(r):
+            out += a[:, i, np.newaxis] * w[np.newaxis, i, :]
+        preload = r
+        total = preload + (r - 1) + (c - 1) + m + 1
+        return out, total
+
+    def _run_ws_fold_reference(self, a: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Scalar stepper for one WS fold."""
         m, r = a.shape
         _, c = w.shape
         out = np.zeros((m, c), dtype=np.result_type(a, w))
@@ -223,7 +340,8 @@ class SystolicArraySim:
         out = np.zeros((m, n), dtype=np.result_type(a, b))
         cycles = 0
         folds = 0
-        with get_tracer().span("sim.is_gemm", category="sim", m=m, k=k, n=n) as sp:
+        with get_tracer().span("sim.is_gemm", category="sim", m=m, k=k, n=n,
+                               engine=self.engine) as sp:
             for m0 in range(0, m, self.array.rows):
                 r = min(self.array.rows, m - m0)
                 for k0 in range(0, k, self.array.cols):
@@ -239,6 +357,27 @@ class SystolicArraySim:
         return SimResult(values=out, cycles=cycles)
 
     def _run_is_fold(self, a_tile: np.ndarray, b_tile: np.ndarray) -> Tuple[np.ndarray, int]:
+        if self.engine == "vector":
+            return self._run_is_fold_vector(a_tile, b_tile)
+        return self._run_is_fold_reference(a_tile, b_tile)
+
+    def _run_is_fold_vector(self, a_tile: np.ndarray, b_tile: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Wavefront formulation of one IS fold.
+
+        Partial sums cascade *rightward*: every output picks up its
+        column-``j`` product in ``j``-ascending order, so rank-1 updates
+        over the ``c`` resident columns replay the stepper exactly.
+        """
+        r, c = a_tile.shape
+        _, n = b_tile.shape
+        out = np.zeros((r, n), dtype=np.result_type(a_tile, b_tile))
+        for j in range(c):
+            out += a_tile[:, j, np.newaxis] * b_tile[j, np.newaxis, :]
+        preload = r
+        total = preload + (r - 1) + (c - 1) + n + 1
+        return out, total
+
+    def _run_is_fold_reference(self, a_tile: np.ndarray, b_tile: np.ndarray) -> Tuple[np.ndarray, int]:
         """One IS fold: stationary ``a_tile`` is ``r×c``, stream ``b_tile``
         is ``c×N``.
 
@@ -305,22 +444,79 @@ class SystolicArraySim:
         cycles = 0
         folds = 0
         with get_tracer().span("sim.conv1d", category="sim",
-                               convs=g, k=k, stride=stride) as sp:
-            for g0 in range(0, g, self.array.rows):
-                r = min(self.array.rows, g - g0)
-                for l0 in range(0, l_out, self.array.cols):
-                    c = min(self.array.cols, l_out - l0)
-                    tile, tile_cycles = self._run_broadcast_fold(
-                        inputs[g0:g0 + r], weights[g0:g0 + r], stride, l0, c
-                    )
-                    out[g0:g0 + r, l0:l0 + c] = tile
-                    cycles += tile_cycles
-                    folds += 1
+                               convs=g, k=k, stride=stride,
+                               engine=self.engine) as sp:
+            if self.engine == "vector":
+                cycles, folds = self._run_conv1d_vector(
+                    inputs, weights, stride, out
+                )
+            else:
+                for g0 in range(0, g, self.array.rows):
+                    r = min(self.array.rows, g - g0)
+                    for l0 in range(0, l_out, self.array.cols):
+                        c = min(self.array.cols, l_out - l0)
+                        tile, tile_cycles = self._run_broadcast_fold_reference(
+                            inputs[g0:g0 + r], weights[g0:g0 + r],
+                            stride, l0, c
+                        )
+                        out[g0:g0 + r, l0:l0 + c] = tile
+                        cycles += tile_cycles
+                        folds += 1
             sp.set(folds=folds, cycles=cycles)
         _record_sim_op("conv1d", folds, cycles)
         return SimResult(values=out, cycles=cycles)
 
-    def _run_broadcast_fold(
+    def _run_conv1d_vector(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        stride: int,
+        out: np.ndarray,
+    ) -> Tuple[int, int]:
+        """Vectorized wavefront execution of a whole conv1d bank.
+
+        The input stream of PE ``(i, j)`` of a fold is the stride-tricks
+        tap view ``taps[i, j, t] = inputs[i, (l0 + j)·stride + t]`` — the
+        column-``j`` skew only delays when tap ``t`` arrives, never which
+        value it is, and the broadcast link hands every PE of row ``i``
+        weight ``w[i, t]`` at step ``t``.  One rank-1 update per broadcast
+        step, batched over all same-shaped folds, replays the per-PE
+        ``t``-ascending accumulation of the stepper exactly.
+        """
+        g, _ = inputs.shape
+        _, k = weights.shape
+        _, l_out = out.shape
+        cycles = 0
+        folds = 0
+        s0, s1 = inputs.strides
+        for g0, gtiles, r in _spans(g, self.array.rows):
+            w_grp = weights[g0:g0 + gtiles * r].reshape(gtiles, r, k)
+            w_steps = w_grp.transpose(2, 0, 1)  # (k, gtiles, r) view
+            for l0, ctiles, c in _spans(l_out, self.array.cols):
+                # taps[gt, i, ct, j, t] = inputs[g0 + gt*r + i,
+                #                                (l0 + ct*c + j)*stride + t]
+                window = inputs[g0:, l0 * stride:]
+                taps = np.lib.stride_tricks.as_strided(
+                    window,
+                    shape=(gtiles, r, ctiles, c, k),
+                    strides=(r * s0, s0, c * stride * s1, stride * s1, s1),
+                    writeable=False,
+                )
+                tap_steps = taps.transpose(4, 0, 1, 2, 3)
+                acc = np.zeros((gtiles, r, ctiles, c),
+                               dtype=np.result_type(inputs, weights))
+                for t in range(k):
+                    acc += (w_steps[t][:, :, np.newaxis, np.newaxis]
+                            * tap_steps[t])
+                out[g0:g0 + gtiles * r, l0:l0 + ctiles * c] = (
+                    acc.reshape(gtiles * r, ctiles * c)
+                )
+                fold_cycles = BroadcastFold(r=r, c=c, k=k, stride=stride).cycles
+                cycles += gtiles * ctiles * fold_cycles
+                folds += gtiles * ctiles
+        return cycles, folds
+
+    def _run_broadcast_fold_reference(
         self,
         inputs: np.ndarray,
         weights: np.ndarray,
@@ -359,13 +555,21 @@ class SystolicArraySim:
         return acc, total
 
 
-def simulate_gemm(a: np.ndarray, b: np.ndarray, array: ArrayConfig) -> SimResult:
+def simulate_gemm(
+    a: np.ndarray, b: np.ndarray, array: ArrayConfig, engine: str = "vector"
+) -> SimResult:
     """Convenience wrapper: output-stationary GEMM through a fresh simulator."""
-    return SystolicArraySim(array).run_gemm(a, b)
+    return SystolicArraySim(array, engine=engine).run_gemm(a, b)
 
 
 def simulate_conv1d_bank(
-    inputs: np.ndarray, weights: np.ndarray, array: ArrayConfig, stride: int = 1
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    array: ArrayConfig,
+    stride: int = 1,
+    engine: str = "vector",
 ) -> SimResult:
     """Convenience wrapper: broadcast-dataflow 1D convolution bank."""
-    return SystolicArraySim(array).run_conv1d_broadcast(inputs, weights, stride)
+    return SystolicArraySim(array, engine=engine).run_conv1d_broadcast(
+        inputs, weights, stride
+    )

@@ -110,6 +110,42 @@ def clear_mapping_cache() -> None:
     _STATS_CACHE.clear()
 
 
+def mapping_cache_info() -> Dict[str, float]:
+    """Introspection: current size and lifetime hit/miss counts of the memo.
+
+    Counts come from the default metrics registry (``latency.cache.hit`` /
+    ``latency.cache.miss``), so they also land in ``--metrics-out``
+    sidecars.
+    """
+    registry = get_registry()
+    hit = registry.get("latency.cache.hit")
+    miss = registry.get("latency.cache.miss")
+    return {
+        "size": len(_STATS_CACHE),
+        "max_size": _STATS_CACHE_MAX,
+        "hits": hit.value if hit else 0.0,
+        "misses": miss.value if miss else 0.0,
+    }
+
+
+def _cache_key(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
+               array: ArrayConfig, batch: int) -> Tuple:
+    """Memo key over every cycle-relevant degree of freedom.
+
+    The :class:`ArrayConfig` fields are spelled out one by one so that a
+    field added to the config later *must* be classified here: everything
+    that changes fold shapes or cycle counts (rows, cols, broadcast link,
+    dataflow, fold pipelining) is part of the key; ``frequency_mhz`` is
+    deliberately excluded — it only rescales cycles to milliseconds after
+    the fact, so two arrays differing only in clock share an entry.
+    """
+    return (
+        layer, in_shape, out_shape, batch,
+        array.rows, array.cols, array.broadcast,
+        array.dataflow, array.pipelined_folds,
+    )
+
+
 def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
                   array: ArrayConfig, batch: int = 1) -> MappingStats:
     """Array cycle/utilization stats for one layer spec (memoized)."""
@@ -120,7 +156,7 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
     if not tracer.enabled:
         # Tracing bypasses the memo so every estimate emits fold spans.
         try:
-            key = (layer, in_shape, out_shape, array, batch)
+            key = _cache_key(layer, in_shape, out_shape, array, batch)
             cached = _STATS_CACHE.get(key)
         except TypeError:  # unhashable layer spec: skip the cache
             key = None
@@ -164,6 +200,7 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
             _STATS_CACHE.clear()
         # Store a private copy: callers may merge() into the returned stats.
         _STATS_CACHE[key] = total.copy()
+        get_registry().gauge("latency.cache.size").set(len(_STATS_CACHE))
     return total
 
 

@@ -1,0 +1,151 @@
+"""Process-pool fan-out with deterministic merging and metrics capture.
+
+The sweeps this repo runs — Table I speed-ups, the Fig. 8 latency/scaling
+curves, D-knob ablations, and functional :class:`~repro.systolic.executor.
+ArrayNetworkExecutor` runs — are embarrassingly parallel at the network /
+layer / channel-chunk level, but numpy releases the GIL only inside single
+kernels, so threads don't help the Python-heavy parts.  This module wraps
+:class:`concurrent.futures.ProcessPoolExecutor` with the three properties
+every caller here needs:
+
+* **Determinism** — :func:`scatter` returns results in *input order*, no
+  matter which worker finished first, so parallel sweeps are byte-identical
+  to ``jobs=1`` runs.
+* **Metrics round-trip** — each task runs under a fresh
+  :class:`~repro.obs.MetricsRegistry` (installed via
+  :func:`repro.obs.set_registry`); the snapshot travels back with the
+  result and is folded into the parent registry with
+  :meth:`~repro.obs.MetricsRegistry.merge_dict`, so ``--metrics-out``
+  sidecars look the same whether the work ran in-process or fanned out.
+* **Graceful degradation** — ``jobs=1`` (or a single task) bypasses the
+  pool entirely and runs inline, which keeps tracing (spans don't cross
+  process boundaries), observers, debuggers and coverage working.
+
+Worker functions must be module-level (picklable); on Linux the pool forks,
+so numpy arrays in closed-over state are shared copy-on-write.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs import MetricsRegistry, get_registry, set_registry
+
+__all__ = ["default_jobs", "resolve_jobs", "scatter", "shutdown_pool"]
+
+#: Environment knob consulted when ``jobs`` is not given explicitly.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count when the caller passes ``jobs=None``.
+
+    ``$REPRO_JOBS`` if set (``0`` meaning "all cores"), else 1 — parallelism
+    is opt-in so that plain test runs and traced/observed sessions stay
+    single-process.
+    """
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"${JOBS_ENV} must be an integer, got {raw!r}")
+    return resolve_jobs(jobs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None`` → env/default, ``0`` → cores."""
+    if jobs is None:
+        return default_jobs()
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+#: Cached pool, reused across :func:`scatter` calls: an executor fanning
+#: out dozens of layers must not pay a pool spawn per layer.  Keyed by the
+#: worker count it was built with; a request for *more* workers rebuilds it.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS < jobs:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the cached worker pool (idempotent).
+
+    Registered via :mod:`atexit`; call explicitly to reclaim workers early
+    or to force the next :func:`scatter` to fork fresh processes (e.g.
+    after mutating module-level state workers inherited on fork).
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _call_with_registry(fn: Callable, task) -> Tuple[object, dict]:
+    """Run one task under a fresh metrics registry; ship its snapshot back."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        result = fn(task)
+    finally:
+        set_registry(previous)
+    return result, registry.to_dict()
+
+
+def scatter(
+    fn: Callable,
+    tasks: Sequence,
+    jobs: Optional[int] = None,
+    merge_metrics: bool = True,
+) -> List[object]:
+    """Map ``fn`` over ``tasks`` across a process pool, deterministically.
+
+    Args:
+        fn: a *module-level* callable of one argument (pickled to workers).
+        tasks: the work items; results come back in this exact order.
+        jobs: worker processes. ``None`` → :func:`default_jobs`, ``0`` →
+            all cores, ``1`` → run inline (no pool, no pickling).
+        merge_metrics: fold each worker's metrics snapshot into the parent
+            registry (see module docstring).  Inline runs record into the
+            parent registry directly, so the flag only matters for pools.
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — same values, same order, whatever the
+        completion order of the workers was.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+
+    pool = _get_pool(min(jobs, len(tasks)))
+    registry = get_registry()
+    results: List[object] = []
+    # Executor.map preserves input order regardless of completion order.
+    for result, snapshot in pool.map(
+        _call_with_registry, [fn] * len(tasks), tasks
+    ):
+        if merge_metrics:
+            registry.merge_dict(snapshot)
+        results.append(result)
+    return results

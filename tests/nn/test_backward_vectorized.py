@@ -1,0 +1,98 @@
+"""The vectorized conv/pool backwards equal the per-tap scatter loops.
+
+``conv2d`` and ``avg_pool2d`` used to scatter the input gradient with
+``for dk in range(kh): for dl in range(kw)`` Python loops; they now build
+one strided-view correlation over the stride-dilated output gradient
+(``_dilated_grad_windows``).  These tests pin the new path to the old
+loop semantics on randomized shapes, strides, paddings and group counts.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+
+def _loop_conv_dx(x, w, grad, groups, stride, padding):
+    """The historical scatter-loop input gradient, kept as the oracle."""
+    n, c, h, wdt = x.shape
+    co, cg, kh, kw = w.shape
+    sh, sw = F._pair(stride)
+    top, bottom, left, right = F._pad_amounts(h, wdt, kh, kw, sh, sw, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    oh, ow = grad.shape[2], grad.shape[3]
+    g, og = groups, co // groups
+    grad_g = grad.reshape(n, g, og, oh, ow)
+    w_g = w.reshape(g, og, cg, kh, kw)
+    dwin = np.einsum("ngohw,gockl->ngchwkl", grad_g, w_g)
+    dwin = dwin.reshape(n, c, oh, ow, kh, kw)
+    dxp = np.zeros_like(xp)
+    for dk in range(kh):
+        for dl in range(kw):
+            dxp[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw] += dwin[..., dk, dl]
+    hp, wp = xp.shape[2], xp.shape[3]
+    return dxp[:, :, top:hp - bottom or None, left:wp - right or None]
+
+
+class TestConv2dBackwardVectorized:
+    @pytest.mark.parametrize("padding", ["same", 0, 1])
+    @pytest.mark.parametrize("stride", [1, 2, (2, 1)])
+    @pytest.mark.parametrize("groups,cg,og", [(1, 3, 4), (2, 2, 2), (4, 1, 1)])
+    def test_input_gradient_matches_scatter_loop(
+        self, padding, stride, groups, cg, og
+    ):
+        rng = np.random.default_rng(hash((str(padding), str(stride), groups)) % 2**32)
+        c, co, kh, kw = groups * cg, groups * og, 3, 3
+        x = Tensor(rng.standard_normal((2, c, 9, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((co, cg, kh, kw)), requires_grad=True)
+        out = F.conv2d(x, w, stride=stride, padding=padding, groups=groups)
+        grad = rng.standard_normal(out.shape)
+        out.backward(grad)
+        expected = _loop_conv_dx(x.data, w.data, grad, groups, stride, padding)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("k,stride", [(1, 1), (1, 2), (5, 2), (3, 3)])
+    def test_asymmetric_kernels_and_wide_strides(self, k, stride):
+        rng = np.random.default_rng(k * 10 + stride)
+        x = Tensor(rng.standard_normal((1, 2, 11, 11)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 1, 1, k)), requires_grad=True)
+        out = F.conv2d(x, w, stride=stride, padding="same", groups=2)
+        grad = rng.standard_normal(out.shape)
+        out.backward(grad)
+        expected = _loop_conv_dx(x.data, w.data, grad, 2, stride, "same")
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    def test_forward_unchanged_vs_reference_windows(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 4, 8, 8)))
+        w = Tensor(rng.standard_normal((6, 4, 3, 3)))
+        out = F.conv2d(x, w, stride=1, padding=1)
+        # Direct dense correlation oracle.
+        xp = np.pad(x.data, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.einsum(
+            "nchwkl,ockl->nohw", F._windows(xp, 3, 3, 1, 1), w.data
+        )
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+
+class TestAvgPoolBackwardVectorized:
+    @pytest.mark.parametrize("k,stride,hw", [
+        (2, 2, 8),   # non-overlapping, exact cover
+        (3, 1, 7),   # fully overlapping
+        (3, 2, 10),  # overlap + uncovered tail rows
+        (2, 3, 11),  # gaps between windows
+    ])
+    def test_matches_scatter_loop(self, k, stride, hw):
+        rng = np.random.default_rng(k * 100 + stride)
+        x = Tensor(rng.standard_normal((2, 3, hw, hw)), requires_grad=True)
+        out = F.avg_pool2d(x, k, stride)
+        grad = rng.standard_normal(out.shape)
+        out.backward(grad)
+        oh, ow = out.shape[2], out.shape[3]
+        expected = np.zeros_like(x.data)
+        for dk in range(k):
+            for dl in range(k):
+                expected[:, :, dk:dk + stride * oh:stride,
+                         dl:dl + stride * ow:stride] += grad / (k * k)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)

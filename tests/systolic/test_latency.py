@@ -158,6 +158,70 @@ class TestMappingCache:
         b = mapping_stats(node.layer, node.in_shape, node.out_shape, small_array)
         assert b.cycles == cycles
 
+    def test_key_covers_every_cycle_relevant_config_field(self, small_array):
+        """Changing any cycle-relevant ArrayConfig field must miss the memo."""
+        from repro.obs import get_registry
+        from repro.systolic import clear_mapping_cache
+
+        clear_mapping_cache()
+        reg = get_registry()
+        reg.reset()
+        node = small_net()["dw"]
+        base = ArrayConfig(8, 8, broadcast=True)
+        variants = [
+            ArrayConfig(16, 8, broadcast=True),
+            ArrayConfig(8, 16, broadcast=True),
+            ArrayConfig(8, 8, broadcast=False),
+            ArrayConfig(8, 8, broadcast=True, dataflow="ws"),
+            ArrayConfig(8, 8, broadcast=True, pipelined_folds=True),
+        ]
+        results = [
+            mapping_stats(node.layer, node.in_shape, node.out_shape, arr)
+            for arr in [base] + variants
+        ]
+        assert reg.counter("latency.cache.hit").value == 0
+        assert reg.counter("latency.cache.miss").value == len(results)
+        # Each config variant really maps differently (sanity, not required
+        # by the memo contract — but all of these do change the cycle model).
+        assert len({r.cycles for r in results}) > 1
+
+    def test_frequency_only_change_shares_entry(self, small_array):
+        """frequency_mhz rescales cycles→ms post hoc; it must not split keys."""
+        from repro.obs import get_registry
+        from repro.systolic import clear_mapping_cache
+
+        clear_mapping_cache()
+        reg = get_registry()
+        reg.reset()
+        node = small_net()["conv"]
+        slow = ArrayConfig(8, 8, broadcast=True, frequency_mhz=100.0)
+        fast = ArrayConfig(8, 8, broadcast=True, frequency_mhz=940.0)
+        a = mapping_stats(node.layer, node.in_shape, node.out_shape, slow)
+        b = mapping_stats(node.layer, node.in_shape, node.out_shape, fast)
+        assert a.cycles == b.cycles
+        assert reg.counter("latency.cache.hit").value == 1
+        assert reg.counter("latency.cache.miss").value == 1
+
+    def test_clear_invalidates_and_info_tracks_size(self, small_array):
+        from repro.obs import get_registry
+        from repro.systolic import clear_mapping_cache, mapping_cache_info
+
+        clear_mapping_cache()
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        estimate_network(net, small_array)
+        info = mapping_cache_info()
+        assert info["size"] > 0
+        assert info["misses"] == info["size"]
+        assert info["hits"] == 0
+        assert reg.get("latency.cache.size").value == info["size"]
+        clear_mapping_cache()
+        assert mapping_cache_info()["size"] == 0
+        estimate_network(net, small_array)
+        # Every entry re-misses after invalidation.
+        assert mapping_cache_info()["misses"] == 2 * info["size"]
+
     def test_tracing_bypasses_cache(self, small_array):
         from repro.obs import get_registry, get_tracer
         from repro.systolic import clear_mapping_cache

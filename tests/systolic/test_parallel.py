@@ -1,0 +1,234 @@
+"""Process-pool scatter, chunked executor parity, and the disk cache.
+
+Parallelism must be *invisible* in the results: scatter keeps input
+order, the chunked executor produces byte-identical values and the same
+cycles as serial runs, worker metrics fold back into the parent
+registry, and a disk-cache hit reproduces the cold estimate exactly.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ir import Conv2D, DepthwiseConv2D, Network, PointwiseConv2D
+from repro.obs import get_registry
+from repro.systolic import (
+    ArrayConfig,
+    cache_key,
+    estimate_network,
+    estimate_network_cached,
+    resolve_jobs,
+    scatter,
+    shutdown_pool,
+)
+from repro.systolic.executor import ArrayNetworkExecutor, _tile_chunks
+from repro.systolic.parallel import JOBS_ENV, default_jobs
+
+
+def _square(task):
+    return task * task
+
+
+def _square_with_metric(task):
+    get_registry().counter("test.parallel.calls").inc()
+    get_registry().gauge("test.parallel.last").set(task)
+    return task * task
+
+
+def small_net() -> Network:
+    net = Network("small", input_shape=(3, 12, 12))
+    net.add(Conv2D(6, kernel=3, stride=1, padding="same"), name="conv")
+    net.add(DepthwiseConv2D(kernel=3), name="dw")
+    net.add(PointwiseConv2D(8), name="pw")
+    return net
+
+
+class TestResolveJobs:
+    def test_none_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+        assert default_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+
+class TestScatter:
+    def test_results_in_input_order(self):
+        tasks = list(range(20))
+        assert scatter(_square, tasks, jobs=2) == [t * t for t in tasks]
+
+    def test_parallel_equals_inline(self):
+        tasks = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert scatter(_square, tasks, jobs=2) == scatter(_square, tasks, jobs=1)
+
+    def test_single_task_runs_inline(self):
+        # One task must not pay pool overhead; observable via metrics
+        # landing directly in the parent registry even with jobs=2.
+        reg = get_registry()
+        reg.reset()
+        assert scatter(_square_with_metric, [7], jobs=2) == [49]
+        assert reg.counter("test.parallel.calls").value == 1
+
+    def test_worker_metrics_merge_into_parent(self):
+        reg = get_registry()
+        reg.reset()
+        results = scatter(_square_with_metric, list(range(6)), jobs=2)
+        assert results == [t * t for t in range(6)]
+        # Counters add across workers; the gauge takes some worker's last
+        # write (which task is unspecified, but it must be one of them).
+        assert reg.counter("test.parallel.calls").value == 6
+        assert reg.gauge("test.parallel.last").value in range(6)
+
+    def test_merge_metrics_opt_out(self):
+        reg = get_registry()
+        reg.reset()
+        scatter(_square_with_metric, list(range(4)), jobs=2,
+                merge_metrics=False)
+        assert reg.get("test.parallel.calls") is None
+
+    def test_shutdown_pool_idempotent(self):
+        scatter(_square, [1, 2, 3], jobs=2)
+        shutdown_pool()
+        shutdown_pool()
+        # The pool rebuilds transparently on the next call.
+        assert scatter(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+
+
+class TestTileChunks:
+    @pytest.mark.parametrize("extent,tile,parts", [
+        (100, 8, 4), (7, 8, 4), (8, 8, 3), (33, 16, 2), (1, 1, 5),
+        (64, 8, 1), (65, 8, 16),
+    ])
+    def test_chunks_cover_and_align(self, extent, tile, parts):
+        chunks = _tile_chunks(extent, tile, parts)
+        # Full disjoint cover, in order.
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == extent
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0
+            assert a0 < a1
+        # Every interior boundary sits on a fold boundary, so chunking
+        # never changes the fold shapes the cycle model sees.
+        for start, _ in chunks[1:]:
+            assert start % tile == 0
+        assert len(chunks) <= max(parts, 1)
+
+
+class TestExecutorParallelParity:
+    def test_values_and_cycles_identical(self):
+        net = small_net()
+        array = ArrayConfig(4, 4, broadcast=True)
+        x = np.random.default_rng(0).standard_normal(net.input_shape)
+        serial = ArrayNetworkExecutor(net, array=array, seed=1, jobs=1).run(x)
+        parallel = ArrayNetworkExecutor(net, array=array, seed=1, jobs=2).run(x)
+        assert serial.values.tobytes() == parallel.values.tobytes()
+        assert serial.cycles == parallel.cycles
+        assert [l.cycles for l in serial.layers] == [
+            l.cycles for l in parallel.layers
+        ]
+        assert parallel.all_cycles_consistent
+
+    def test_worker_sim_metrics_visible(self):
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        array = ArrayConfig(4, 4, broadcast=True)
+        x = np.random.default_rng(0).standard_normal(net.input_shape)
+        ArrayNetworkExecutor(net, array=array, seed=1, jobs=2).run(x)
+        metrics = {m.name for m in reg}
+        assert any(name.startswith("sim.") for name in metrics)
+
+
+class TestDiskCache:
+    def test_none_cache_dir_is_plain_estimate(self):
+        net = small_net()
+        array = ArrayConfig(8, 8, broadcast=True)
+        cached = estimate_network_cached(net, array, cache_dir=None)
+        assert cached.total_cycles == estimate_network(net, array).total_cycles
+
+    def test_hit_reproduces_cold_result(self, tmp_path):
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        array = ArrayConfig(8, 8, broadcast=True)
+        cold = estimate_network_cached(net, array, cache_dir=tmp_path)
+        warm = estimate_network_cached(net, array, cache_dir=tmp_path)
+        assert reg.counter("latency.diskcache.miss").value == 1
+        assert reg.counter("latency.diskcache.hit").value == 1
+        assert warm.total_cycles == cold.total_cycles
+        assert warm.total_ms == cold.total_ms
+        assert [l.name for l in warm.layers] == [l.name for l in cold.layers]
+        assert [l.cycles for l in warm.layers] == [
+            l.cycles for l in cold.layers
+        ]
+        assert warm.mean_utilization == cold.mean_utilization
+
+    def test_key_ignores_frequency_but_not_geometry(self):
+        net = small_net()
+        slow = ArrayConfig(8, 8, broadcast=True, frequency_mhz=100.0)
+        fast = ArrayConfig(8, 8, broadcast=True, frequency_mhz=900.0)
+        assert cache_key(net, slow) == cache_key(net, fast)
+        for other in (
+            ArrayConfig(16, 8, broadcast=True),
+            ArrayConfig(8, 16, broadcast=True),
+            ArrayConfig(8, 8, broadcast=False),
+            ArrayConfig(8, 8, broadcast=True, dataflow="ws"),
+            ArrayConfig(8, 8, broadcast=True, pipelined_folds=True),
+        ):
+            assert cache_key(net, other) != cache_key(net, slow)
+        assert cache_key(net, slow, batch=2) != cache_key(net, slow, batch=1)
+
+    def test_corrupt_entry_is_a_miss_and_rewritten(self, tmp_path):
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        array = ArrayConfig(8, 8, broadcast=True)
+        cold = estimate_network_cached(net, array, cache_dir=tmp_path)
+        entries = list(tmp_path.rglob("*.json"))
+        assert len(entries) == 1
+        entries[0].write_text("{not json")
+        again = estimate_network_cached(net, array, cache_dir=tmp_path)
+        assert again.total_cycles == cold.total_cycles
+        assert reg.counter("latency.diskcache.miss").value == 2
+        # The corrupt entry was replaced with a valid one.
+        json.loads(entries[0].read_text())
+        estimate_network_cached(net, array, cache_dir=tmp_path)
+        assert reg.counter("latency.diskcache.hit").value == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        net = small_net()
+        estimate_network_cached(net, ArrayConfig(8, 8, broadcast=True),
+                                cache_dir=tmp_path)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path):
+        net = small_net()
+        array = ArrayConfig(8, 8, broadcast=True)
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        os.chmod(ro, 0o500)
+        try:
+            result = estimate_network_cached(net, array, cache_dir=ro)
+        finally:
+            os.chmod(ro, 0o700)
+        assert result.total_cycles == estimate_network(net, array).total_cycles
