@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke
+test: trace-smoke bench-smoke serve-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -33,6 +33,18 @@ bench-smoke:
 	timeout 60 python -m repro latency mobilenet_v3_small --resolution 96 \
 		--array 32 --jobs 2 --cache-dir .smoke-cache --quiet
 	rm -rf .smoke-cache
+
+# Serving smoke (docs/serving.md): an in-process server takes 50
+# closed-loop requests across two models; --check fails the target on any
+# errored request or missing SLO accounting, and the metrics sidecar must
+# validate and carry the serve.loadgen.* report gauges.
+serve-smoke:
+	timeout 180 python -m repro loadgen mobilenet_v3_small mobilenet_v1 \
+		--resolution 32 --requests 50 --clients 4 --max-batch 8 \
+		--slo-ms 1000 --check --quiet --metrics-out .smoke-serve.json
+	python -m repro.obs.validate .smoke-serve.json
+	python -c "import json,sys; names={m['name'] for m in json.load(open('.smoke-serve.json'))['metrics']}; missing=[n for n in ('serve.loadgen.throughput_rps','serve.loadgen.p99_ms','serve.loadgen.shed_rate','serve.loadgen.slo_violation_rate') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
+	rm -f .smoke-serve.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

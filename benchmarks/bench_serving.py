@@ -1,0 +1,101 @@
+"""Serving subsystem behaviour (extension — not a paper artifact).
+
+Two standard serving experiments over `repro.serve`:
+
+* closed loop on the ``analytical`` engine — sustained traffic from
+  concurrent virtual users, isolating *scheduler* behaviour (admission,
+  batching, SLO accounting) from forward-pass compute: the dynamic
+  batcher should coalesce compatible requests and nothing should shed;
+* open loop on the ``graph`` engine over a tiny admission queue —
+  deliberate overload against real service times: the server must
+  degrade by shedding with retry-after hints, not by queueing without
+  bound.
+"""
+
+import asyncio
+
+from repro.analysis import format_table
+from repro.serve import (
+    InferenceServer,
+    ModelKey,
+    ServeConfig,
+    WorkloadSpec,
+    run_workload,
+)
+
+KEYS = [
+    ModelKey("mobilenet_v3_small", variant="half", resolution=32),
+    ModelKey("mobilenet_v1", resolution=32),
+]
+
+
+def _run(config: ServeConfig, spec: WorkloadSpec):
+    async def main():
+        async with InferenceServer(config) as server:
+            return await run_workload(server.submit, spec)
+
+    return asyncio.run(main())
+
+
+def _report_rows(report):
+    hist = ", ".join(f"{k}:{v}" for k, v in report.batch_histogram.items())
+    return [
+        ["requests", f"{report.total}", ""],
+        ["ok / shed / errors",
+         f"{report.ok} / {report.shed} / {report.errors}", ""],
+        ["throughput", f"{report.throughput_rps:.1f} req/s", ""],
+        ["p50 / p95 / p99",
+         f"{report.p50_ms:.1f} / {report.p95_ms:.1f} / "
+         f"{report.p99_ms:.1f} ms", ""],
+        ["mean batch", f"{report.mean_batch:.2f}", hist],
+        ["shed rate", f"{report.shed_rate * 100:.1f}%", ""],
+        ["SLO violations", f"{report.slo_violations}",
+         f"{report.slo_violation_rate * 100:.1f}% of ok"],
+        ["simulated/batch", f"{report.mean_simulated_ms:.3f} ms",
+         "systolic cost model"],
+    ]
+
+
+def test_serving_closed_loop(benchmark, save):
+    config = ServeConfig(engine="analytical", preload=KEYS, workers=2,
+                         max_batch=8, batch_timeout_ms=2.0, slo_ms=1000.0)
+    spec = WorkloadSpec(keys=KEYS, requests=400, mode="closed",
+                        clients=16, seed=0)
+    report = benchmark(lambda: _run(config, spec))
+
+    text = format_table(
+        ["metric", "value", "detail"],
+        _report_rows(report),
+        title="Serving — closed loop, 16 clients, 2 models, analytical engine",
+    )
+    save("serving_closed_loop", text)
+
+    assert report.errors == 0
+    assert report.ok == report.total
+    assert report.mean_batch > 1.0  # dynamic batching actually engaged
+    assert report.p99_ms >= report.p50_ms > 0
+
+
+def test_serving_overload_sheds(benchmark, save):
+    # The graph engine's real service time (~10-20 ms/forward) against a
+    # 2000 req/s arrival process: a genuine overload, unlike the
+    # analytical engine which drains faster than arrivals can queue.
+    config = ServeConfig(engine="graph", preload=[KEYS[0]], workers=1,
+                         max_batch=2, max_queue=8, batch_timeout_ms=0.0,
+                         slo_ms=1000.0)
+    spec = WorkloadSpec(keys=[KEYS[0]], requests=300, mode="open",
+                        rate=2000.0, seed=1)
+    report = benchmark(lambda: _run(config, spec))
+
+    text = format_table(
+        ["metric", "value", "detail"],
+        _report_rows(report),
+        title="Serving — open loop at 2000 req/s over an 8-slot queue "
+              "(graph engine)",
+    )
+    save("serving_overload", text)
+
+    assert report.errors == 0
+    assert report.shed > 0            # overload must shed, not queue forever
+    assert report.ok > 0              # ...while still serving
+    assert 0.0 < report.shed_rate < 1.0

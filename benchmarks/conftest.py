@@ -10,20 +10,24 @@ survives pytest's capture.  Run with::
 are the scientific output.)
 
 Observability: each saved result gets a ``<name>.metrics.json`` sidecar —
-a snapshot of the process metrics registry (``repro.metrics/v1`` schema:
-per-layer cycle counters, cache hit/miss, utilization gauges, profiling
-histograms) — and benchmarked tests carry the sidecar path plus series
-count in their ``extra_info``.
+a snapshot of the process metrics registry (``repro.metrics/v1`` schema) —
+and benchmarked tests carry the sidecar path plus series count in their
+``extra_info``.  Sidecars are written *compact* by default (one series
+per metric name via :func:`repro.obs.summarize_metrics`): the full
+per-layer label fan-out runs to megabytes per file and is diagnostic
+exhaust, not a result.  Set ``REPRO_BENCH_FULL_METRICS=1`` to keep the
+raw snapshots when debugging a specific run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.obs import get_registry, metrics_payload
+from repro.obs import get_registry, metrics_payload, summarize_metrics
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,6 +37,8 @@ def _write_metrics_sidecar(name: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.metrics.json"
     payload = metrics_payload(extra={"result": name})
+    if not os.environ.get("REPRO_BENCH_FULL_METRICS"):
+        payload = summarize_metrics(payload)
     path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     return path
 

@@ -12,7 +12,11 @@ Commands:
   analytical cycle model;
 * ``ria``       — classify an algorithm (or all) under the RIA formalism;
 * ``overhead``  — broadcast-link area/power overhead for an array size;
-* ``nos``       — per-layer operator search under a latency budget.
+* ``nos``       — per-layer operator search under a latency budget;
+* ``serve``     — async dynamic-batching inference server (JSON-lines TCP)
+  with SLO-aware scheduling over the model zoo (``docs/serving.md``);
+* ``loadgen``   — deterministic closed/open-loop load generation against
+  an in-process server or a running ``serve`` instance (``--connect``).
 
 Every subcommand accepts the observability options (after the command
 name): ``--trace-out FILE`` dumps a Chrome-trace JSON of the run,
@@ -325,6 +329,178 @@ def _add_variant_option(parser: argparse.ArgumentParser) -> None:
                         help="FuSe variant to apply (alias: --fuse)")
 
 
+# ------------------------------------------------------------------ serving
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by ``serve`` and in-process ``loadgen``."""
+    group = parser.add_argument_group("serving")
+    parser.add_argument("models", nargs="*", metavar="MODEL",
+                        help="models to serve; 'name' or 'name:variant' "
+                             "(default mobilenet_v3_small mobilenet_v1)")
+    parser.add_argument("--net", metavar="MODELS", default=None,
+                        help="comma-separated model list (alternative to "
+                             "the positionals; same name[:variant] syntax)")
+    _add_variant_option(parser)
+    parser.add_argument("--resolution", type=int, default=64,
+                        help="input resolution served (default 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="weight seed of every served model")
+    group.add_argument("--engine", choices=("graph", "array", "analytical"),
+                       default="graph",
+                       help="batch executor: numpy forward (graph, default), "
+                            "functional simulated hardware (array), or cost "
+                            "model only (analytical)")
+    group.add_argument("--workers", type=int, default=2,
+                       help="concurrent batch executors (default 2)")
+    group.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batch ceiling (default 8)")
+    group.add_argument("--max-queue", type=int, default=128,
+                       help="admission bound; beyond it requests are shed "
+                            "(default 128)")
+    group.add_argument("--slo-ms", type=float, default=200.0,
+                       help="default per-request deadline budget (default 200)")
+    group.add_argument("--batch-timeout-ms", type=float, default=2.0,
+                       help="linger to fill a batch (default 2)")
+    group.add_argument("--no-bitexact", dest="bitexact", action="store_false",
+                       help="stacked batch execution (faster, float-close "
+                            "instead of bit-identical to unbatched)")
+    _add_array_options(parser)
+    _add_parallel_options(parser)
+
+
+def _serve_keys(args: argparse.Namespace) -> list:
+    """The ModelKeys named on a serve/loadgen command line."""
+    from .serve import ModelKey
+
+    names: List[str] = list(args.models or [])
+    if args.net:
+        names.extend(part.strip() for part in args.net.split(",") if part.strip())
+    if not names:
+        names = ["mobilenet_v3_small", "mobilenet_v1"]
+    keys = []
+    for name in names:
+        variant = args.variant
+        if ":" in name:
+            name, variant = name.split(":", 1)
+        name = name.replace("-", "_")
+        if variant is not None and variant not in _VARIANTS:
+            raise ValueError(
+                f"unknown FuSe variant {variant!r}; choose from "
+                f"{', '.join(sorted(_VARIANTS))}"
+            )
+        keys.append(ModelKey(network=name, variant=variant,
+                             resolution=args.resolution, seed=args.seed))
+    return keys
+
+
+def _serve_config(args: argparse.Namespace, keys: list):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        engine=args.engine,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        batch_timeout_ms=args.batch_timeout_ms,
+        slo_ms=args.slo_ms,
+        bitexact=args.bitexact,
+        jobs=_effective_jobs(args) or 1,
+        cache_dir=args.cache_dir,
+        array=_array_from_args(args),
+        preload=keys,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import InferenceServer, serve_tcp
+
+    keys = _serve_keys(args)
+    config = _serve_config(args, keys)
+
+    async def run() -> int:
+        server = InferenceServer(config)
+        await server.start()
+        tcp = await serve_tcp(server, args.host, args.port)
+        bound = tcp.sockets[0].getsockname()[1] if tcp.sockets else args.port
+        print(f"serving {len(keys)} model(s) on {args.host}:{bound} "
+              f"(engine={config.engine}, workers={config.workers}, "
+              f"max_batch={config.max_batch}, slo={config.slo_ms:.0f}ms)")
+        for key in keys:
+            print(f"  - {key.canonical()}")
+        try:
+            if args.duration and args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # until interrupted
+        finally:
+            tcp.close()
+            await tcp.wait_closed()
+            await server.stop()
+            stats = server.stats()
+            print(f"served: ok={stats['requests_ok']} "
+                  f"shed={stats['requests_shed']} "
+                  f"expired={stats['requests_expired']} "
+                  f"errors={stats['requests_error']} "
+                  f"batches={stats['batches']}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import InferenceServer, WorkloadSpec, run_workload
+
+    keys = _serve_keys(args)
+    spec = WorkloadSpec(
+        keys=keys,
+        requests=args.requests,
+        mode=args.mode,
+        clients=args.clients,
+        rate=args.rate,
+        slo_ms=None,  # server default (--slo-ms) applies
+        seed=args.workload_seed,
+    )
+
+    async def run() -> "object":
+        if args.connect:
+            from .serve import RemoteClient
+
+            host, _, port = args.connect.rpartition(":")
+            client = RemoteClient(host or "127.0.0.1", int(port))
+            await client.connect()
+            try:
+                return await run_workload(client.submit, spec)
+            finally:
+                await client.close()
+        server = InferenceServer(_serve_config(args, keys))
+        async with server:
+            return await run_workload(server.submit, spec)
+
+    report = asyncio.run(run())
+    print(report.render())
+    if args.check:
+        problems = []
+        if report.errors:
+            problems.append(f"{report.errors} request(s) errored")
+        if report.ok == 0:
+            problems.append("no request completed")
+        if report.ok and report.p50_ms <= 0:
+            problems.append("SLO accounting missing (p50 is zero)")
+        if problems:
+            print("loadgen check FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 1
+        print("loadgen check ok: zero errors, SLO accounting present")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,6 +592,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="latency budget in cycles for the searched layers")
     _add_array_options(p)
     p.set_defaults(fn=cmd_nos)
+
+    p = sub.add_parser(
+        "serve",
+        help="async dynamic-batching inference server (JSON-lines TCP)",
+        parents=[common],
+    )
+    _add_serve_options(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707,
+                   help="TCP port (0 = ephemeral; default 8707)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve (0 = until Ctrl-C)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="deterministic load generation against a serving instance",
+        parents=[common],
+    )
+    _add_serve_options(p)
+    p.add_argument("--requests", type=int, default=500,
+                   help="total requests to issue (default 500)")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed loop (concurrent clients) or open loop "
+                        "(Poisson arrivals; exercises shedding)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop virtual users (default 8)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop arrival rate in req/s (default 50)")
+    p.add_argument("--workload-seed", type=int, default=0,
+                   help="seed of the deterministic request stream")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="target a running 'repro serve' instead of an "
+                        "in-process server")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless zero errors and SLO "
+                        "accounting present (smoke gate)")
+    p.set_defaults(fn=cmd_loadgen)
     return parser
 
 

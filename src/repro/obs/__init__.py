@@ -27,6 +27,7 @@ from .export import (
     metrics_payload,
     repro_version,
     run_header,
+    summarize_metrics,
     trace_payload,
     validate_metrics,
     validate_trace,
@@ -56,6 +57,7 @@ __all__ = [
     "metrics_payload",
     "repro_version",
     "run_header",
+    "summarize_metrics",
     "trace_payload",
     "validate_metrics",
     "validate_trace",

@@ -1,0 +1,57 @@
+"""Rewrite metrics sidecars as compact summaries: ``python -m repro.obs.compact``.
+
+The benchmark harness historically committed full-fidelity metrics
+snapshots — megabytes of per-layer counter series per sidecar.  This tool
+applies :func:`repro.obs.export.summarize_metrics` in place::
+
+    python -m repro.obs.compact benchmarks/results/*.metrics.json
+
+Already-compact files (``header.metrics_compact``) are left untouched, so
+the command is idempotent.  Each rewritten file is revalidated against the
+``repro.metrics/v1`` schema before it replaces the original.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from .export import summarize_metrics, validate_metrics
+
+
+def compact_file(path: Path) -> bool:
+    """Summarize one sidecar in place; returns True if it was rewritten."""
+    payload = json.loads(path.read_text())
+    header = payload.get("header") or {}
+    if header.get("metrics_compact"):
+        return False
+    summary = summarize_metrics(payload)
+    validate_metrics(summary)
+    path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+    return True
+
+
+def main(argv=None) -> int:
+    paths = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: python -m repro.obs.compact FILE.metrics.json [...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            before = path.stat().st_size
+            changed = compact_file(path)
+            after = path.stat().st_size
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        state = f"{before:,} -> {after:,} bytes" if changed else "already compact"
+        print(f"{path}: {state}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,71 @@ def metrics_payload(
     return payload
 
 
+def summarize_metrics(payload: Dict[str, object]) -> Dict[str, object]:
+    """Collapse a metrics payload to one series per (name, type).
+
+    Fine-grained label sets (per-layer cycle counters, per-network gauges)
+    dominate sidecar size — a full Table-I run carries thousands of series
+    and megabytes of JSON, which is observability exhaust, not a result.
+    This keeps the ``repro.metrics/v1`` shape (every entry still validates)
+    while aggregating across label sets:
+
+    * counters — summed (events happened under *some* label);
+    * gauges — mean, with ``min``/``max`` sidecar keys;
+    * histograms — bucket-merged when bounds agree, first-kept otherwise.
+
+    Collapsed entries get ``labels: {}`` plus a ``series`` count recording
+    how many label sets were folded in; the header gains
+    ``metrics_compact: true`` and the original series count.
+    """
+    metrics = payload.get("metrics", [])
+    groups: Dict[tuple, list] = {}
+    for entry in metrics:
+        groups.setdefault((entry["name"], entry["type"]), []).append(entry)
+
+    out = []
+    for (name, kind), entries in sorted(groups.items()):
+        if len(entries) == 1 and not entries[0].get("labels"):
+            out.append(entries[0])
+            continue
+        if kind == "counter":
+            out.append({
+                "name": name, "type": kind, "labels": {},
+                "value": sum(float(e["value"]) for e in entries),
+                "series": len(entries),
+            })
+        elif kind == "gauge":
+            values = [float(e["value"]) for e in entries]
+            out.append({
+                "name": name, "type": kind, "labels": {},
+                "value": sum(values) / len(values),
+                "min": min(values), "max": max(values),
+                "series": len(entries),
+            })
+        else:  # histogram
+            merged = MetricsRegistry()
+            kept = 0
+            for e in entries:
+                try:
+                    merged.merge_dict({"metrics": [dict(e, labels={})]})
+                    kept += 1
+                except ValueError:
+                    pass  # incompatible buckets: drop from the summary
+            snapshot = merged.to_dict()["metrics"]
+            if snapshot:
+                entry = snapshot[0]
+                entry["series"] = kept
+                out.append(entry)
+
+    summary: Dict[str, object] = dict(payload)
+    header = dict(summary.get("header") or {})
+    header["metrics_compact"] = True
+    header["metrics_series_full"] = len(metrics)
+    summary["header"] = header
+    summary["metrics"] = out
+    return summary
+
+
 def trace_payload(
     tracer: Optional[Tracer] = None,
     array=None,

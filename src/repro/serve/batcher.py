@@ -1,0 +1,123 @@
+"""Dynamic batching: coalesce compatible requests into cost-sized batches.
+
+Requests are *batch-compatible* when they share a
+:class:`~repro.serve.request.ModelKey` — same graph, same weights, same
+input shape.  The pending store keeps one FIFO lane per key plus a
+priority heap over (priority, deadline) deciding which lane is served
+next; the batcher drains the chosen lane up to a *planned* batch size
+computed by the :class:`~repro.serve.costmodel.BatchCostModel` from the
+earliest deadline's slack.
+
+The store is intentionally not thread-safe: all mutation happens on the
+server's event loop (the scheduler), which is the usual asyncio
+single-writer discipline.  Worker threads only ever see fully-formed
+:class:`Batch` objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .request import InferenceRequest, ModelKey
+
+__all__ = ["Pending", "Batch", "PendingStore"]
+
+_seq = itertools.count()
+
+
+@dataclass
+class Pending:
+    """A queued request together with its completion future."""
+
+    request: InferenceRequest
+    future: "object"  # asyncio.Future; untyped to keep this module loop-free
+
+
+@dataclass
+class Batch:
+    """A formed batch, ready for one worker to execute."""
+
+    key: ModelKey
+    items: List[Pending]
+    planned_size: int            # what the cost model allowed
+    formed_at: float = field(default_factory=time.monotonic)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def earliest_deadline(self) -> float:
+        return min(p.request.deadline for p in self.items)
+
+    @property
+    def requests(self) -> List[InferenceRequest]:
+        return [p.request for p in self.items]
+
+
+class PendingStore:
+    """Per-key FIFO lanes plus a priority heap over the lane heads.
+
+    The heap holds one entry per *enqueued request* — ``(priority,
+    deadline, seq, key)`` — with lazy deletion: entries whose lane has
+    already been drained by an earlier batch are skipped on pop.  This
+    keeps both enqueue and pop O(log n) without ever moving requests
+    between structures.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: Dict[ModelKey, Deque[Pending]] = {}
+        self._heap: List[tuple] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def lanes(self) -> Dict[ModelKey, Deque[Pending]]:
+        return self._lanes
+
+    def push(self, pending: Pending) -> None:
+        request = pending.request
+        lane = self._lanes.get(request.key)
+        if lane is None:
+            lane = self._lanes[request.key] = deque()
+        lane.append(pending)
+        heapq.heappush(
+            self._heap,
+            (request.priority, request.deadline, next(_seq), request.key),
+        )
+        self._size += 1
+
+    def next_key(self) -> Optional[ModelKey]:
+        """The key the scheduler should serve next (None when empty)."""
+        while self._heap:
+            _, _, _, key = self._heap[0]
+            lane = self._lanes.get(key)
+            if lane:
+                return key
+            heapq.heappop(self._heap)  # stale entry: lane already drained
+        return None
+
+    def take(self, key: ModelKey, limit: int) -> List[Pending]:
+        """Drain up to ``limit`` requests from one lane (FIFO order)."""
+        lane = self._lanes.get(key)
+        taken: List[Pending] = []
+        while lane and len(taken) < limit:
+            taken.append(lane.popleft())
+        self._size -= len(taken)
+        if lane is not None and not lane:
+            del self._lanes[key]
+        return taken
+
+    def drain_all(self) -> List[Pending]:
+        """Empty the store entirely (shutdown path)."""
+        everything = [p for lane in self._lanes.values() for p in lane]
+        self._lanes.clear()
+        self._heap.clear()
+        self._size = 0
+        return everything

@@ -1,0 +1,147 @@
+"""Cost model pricing dynamic batches with the analytical latency model.
+
+This is where the serving layer closes the paper's loop: batch sizing and
+admission decisions are driven by the *simulated systolic-array cost* of
+each FuSeConv network, computed by :func:`repro.systolic.latency.
+estimate_network` (optionally memoized on disk via
+:mod:`repro.systolic.diskcache`, the PR-2 cache).
+
+Simulated milliseconds are not wall-clock milliseconds — the host that
+runs the numpy forward is not a 700 MHz systolic array — so the model
+keeps a per-process *calibration* factor: an EWMA of observed
+``wall_ms / simulated_ms`` per model, updated after every executed batch.
+Predictions used against SLO budgets are calibrated; the raw simulated
+cost is also reported per response (it is the paper-relevant number).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple, Union
+
+from ..obs import get_logger, get_registry
+from ..systolic import ArrayConfig
+from ..systolic.diskcache import estimate_network_cached
+from .registry import RegisteredModel
+from .request import ModelKey
+
+__all__ = ["BatchCostModel"]
+
+_log = get_logger("serve.costmodel")
+
+#: EWMA smoothing for the wall/simulated calibration factor.
+_CALIBRATION_ALPHA = 0.3
+
+
+class BatchCostModel:
+    """Predict batch latency from the systolic-array analytical model.
+
+    Args:
+        array: the modeled accelerator (defaults to the paper's 64×64
+            output-stationary array).
+        cache_dir: optional on-disk memo for the per-(network, batch)
+            estimates, shared across processes and runs.
+    """
+
+    def __init__(
+        self,
+        array: Optional[ArrayConfig] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if array is None:
+            from ..systolic.config import PAPER_ARRAY
+
+            array = PAPER_ARRAY
+        self.array = array
+        self.cache_dir = cache_dir
+        self._sim_ms: Dict[Tuple[ModelKey, int], float] = {}
+        self._calibration: Dict[ModelKey, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------- simulated cost
+
+    def simulated_ms(self, model: RegisteredModel, batch: int = 1) -> float:
+        """Analytical systolic-array latency of one batch, in milliseconds."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        memo_key = (model.key, batch)
+        with self._lock:
+            cached = self._sim_ms.get(memo_key)
+        if cached is not None:
+            return cached
+        latency = estimate_network_cached(
+            model.network, self.array, batch=batch, cache_dir=self.cache_dir
+        )
+        ms = latency.total_ms
+        with self._lock:
+            self._sim_ms[memo_key] = ms
+        get_registry().counter("serve.costmodel.estimates").inc()
+        return ms
+
+    # -------------------------------------------------------- wall estimate
+
+    def calibration(self, key: ModelKey) -> float:
+        """Current wall-per-simulated-ms factor for a model (1.0 until seen)."""
+        with self._lock:
+            return self._calibration.get(key, 1.0)
+
+    def observe(self, model: RegisteredModel, batch: int, wall_ms: float) -> None:
+        """Fold one executed batch into the calibration EWMA."""
+        sim = self.simulated_ms(model, batch)
+        if sim <= 0 or wall_ms <= 0:
+            return
+        ratio = wall_ms / sim
+        with self._lock:
+            previous = self._calibration.get(model.key)
+            value = (
+                ratio if previous is None
+                else previous + _CALIBRATION_ALPHA * (ratio - previous)
+            )
+            self._calibration[model.key] = value
+        get_registry().gauge(
+            "serve.costmodel.calibration", model=model.key.canonical()
+        ).set(value)
+
+    def predicted_wall_ms(self, model: RegisteredModel, batch: int = 1) -> float:
+        """Calibrated wall-clock prediction for one batch."""
+        return self.simulated_ms(model, batch) * self.calibration(model.key)
+
+    # ---------------------------------------------------------- batch sizing
+
+    def plan_batch_size(
+        self,
+        model: RegisteredModel,
+        slack_ms: float,
+        max_batch: int,
+    ) -> int:
+        """Largest batch (≤ ``max_batch``) predicted to finish within ``slack_ms``.
+
+        Batch latency is non-decreasing in the batch size, so a linear
+        scan from 1 terminates at the first violation.  At least 1 is
+        always returned — a single request that cannot meet its deadline
+        is the scheduler's problem (expiry), not the batcher's.
+        """
+        max_batch = max(1, max_batch)
+        planned = 1
+        for n in range(2, max_batch + 1):
+            if self.predicted_wall_ms(model, n) > slack_ms:
+                break
+            planned = n
+        return planned
+
+    # ------------------------------------------------------------- backlog
+
+    def drain_ms(self, backlog: Union[int, list], model: Optional[RegisteredModel],
+                 workers: int = 1) -> float:
+        """Rough time to drain a backlog — the SHED ``retry_after`` hint.
+
+        ``backlog`` is a queue depth (requests); the estimate assumes each
+        drains at the model's calibrated single-request rate across the
+        worker pool.  With no model yet registered the hint degrades to a
+        fixed small pause.
+        """
+        depth = backlog if isinstance(backlog, int) else len(backlog)
+        if model is None or depth <= 0:
+            return 10.0
+        per_request = self.predicted_wall_ms(model, 1)
+        return depth * per_request / max(1, workers)

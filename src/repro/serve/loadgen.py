@@ -1,0 +1,275 @@
+"""Deterministic load generation + closed/open-loop benchmark harness.
+
+A :class:`WorkloadSpec` expands to a fully deterministic request stream
+(model choice, input seed and priority all derive from one workload
+seed), so two runs of the same spec issue byte-identical requests — the
+timing varies with the host, the *work* does not.
+
+Two standard load models:
+
+* **closed loop** — ``clients`` concurrent virtual users, each issuing
+  its next request as soon as the previous one completes.  Throughput is
+  an output; this is the "sustained traffic" mode.
+* **open loop** — requests arrive on a seeded exponential (Poisson)
+  schedule at ``rate`` req/s regardless of completions, which is the mode
+  that actually exercises shedding and SLO expiry under overload.
+
+The :class:`LoadReport` aggregates what a serving benchmark needs —
+throughput, p50/p95/p99 wall latency, batch-size histogram, shed rate,
+SLO violations, simulated-hardware milliseconds — renders a table, and
+records itself as ``serve.loadgen.*`` gauges so ``--metrics-out``
+sidecars carry the numbers in ``repro.metrics/v1`` form.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import get_logger, get_registry
+from .request import InferenceRequest, InferenceResponse, ModelKey, Status
+
+__all__ = ["WorkloadSpec", "LoadReport", "build_requests", "run_workload"]
+
+_log = get_logger("serve.loadgen")
+
+Submit = Callable[[InferenceRequest], Awaitable[InferenceResponse]]
+
+
+@dataclass
+class WorkloadSpec:
+    """A reproducible traffic description."""
+
+    keys: List[ModelKey]
+    requests: int = 500
+    mode: str = "closed"                 #: closed | open
+    clients: int = 8                     #: closed-loop virtual users
+    rate: float = 50.0                   #: open-loop arrivals per second
+    slo_ms: Optional[float] = None       #: per-request budget (server default if None)
+    priorities: Sequence[int] = (0,)     #: sampled uniformly per request
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("workload needs at least one ModelKey")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+
+
+def build_requests(spec: WorkloadSpec) -> List[InferenceRequest]:
+    """Expand a spec into its deterministic request stream."""
+    rng = np.random.default_rng(spec.seed)
+    picks = rng.integers(0, len(spec.keys), size=spec.requests)
+    seeds = rng.integers(0, 2**31 - 1, size=spec.requests)
+    prios = rng.integers(0, len(spec.priorities), size=spec.requests)
+    return [
+        InferenceRequest(
+            key=spec.keys[int(picks[i])],
+            input_seed=int(seeds[i]),
+            slo_ms=spec.slo_ms,
+            priority=int(spec.priorities[int(prios[i])]),
+        )
+        for i in range(spec.requests)
+    ]
+
+
+# ------------------------------------------------------------------ drivers
+
+async def _run_closed(
+    submit: Submit, requests: List[InferenceRequest], clients: int
+) -> List[InferenceResponse]:
+    responses: List[Optional[InferenceResponse]] = [None] * len(requests)
+    cursor = iter(range(len(requests)))
+
+    async def client() -> None:
+        for index in cursor:  # the shared iterator hands out unique indices
+            responses[index] = await submit(requests[index])
+
+    await asyncio.gather(*(client() for _ in range(max(1, clients))))
+    return [r for r in responses if r is not None]
+
+
+async def _run_open(
+    submit: Submit, requests: List[InferenceRequest], rate: float, seed: int
+) -> List[InferenceResponse]:
+    if rate <= 0:
+        raise ValueError("open-loop rate must be > 0")
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    gaps = rng.exponential(1.0 / rate, size=len(requests))
+    tasks = []
+    for request, gap in zip(requests, gaps):
+        await asyncio.sleep(float(gap))
+        tasks.append(asyncio.create_task(submit(request)))
+    return list(await asyncio.gather(*tasks))
+
+
+async def run_workload(submit: Submit, spec: WorkloadSpec) -> "LoadReport":
+    """Drive one workload against any submit callable; aggregate a report."""
+    requests = build_requests(spec)
+    _log.info("load generation starting", mode=spec.mode,
+              requests=len(requests), clients=spec.clients,
+              models=len(spec.keys))
+    start = time.perf_counter()
+    if spec.mode == "closed":
+        responses = await _run_closed(submit, requests, spec.clients)
+    else:
+        responses = await _run_open(submit, requests, spec.rate, spec.seed)
+    wall_s = time.perf_counter() - start
+    report = LoadReport.from_responses(responses, wall_s, spec)
+    report.record()
+    return report
+
+
+# ------------------------------------------------------------------- report
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of pre-sorted data."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-generation run."""
+
+    total: int
+    wall_s: float
+    status_counts: Dict[str, int]
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    mean_batch: float
+    batch_histogram: Dict[int, int]
+    slo_violations: int
+    mean_simulated_ms: float
+    mode: str
+    per_model: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_responses(
+        cls,
+        responses: List[InferenceResponse],
+        wall_s: float,
+        spec: WorkloadSpec,
+    ) -> "LoadReport":
+        counts: Dict[str, int] = {}
+        per_model: Dict[str, int] = {}
+        batch_hist: Dict[int, int] = {}
+        ok_latencies: List[float] = []
+        batches: List[int] = []
+        sims: List[float] = []
+        violations = 0
+        for r in responses:
+            counts[r.status.value] = counts.get(r.status.value, 0) + 1
+            per_model[r.key.canonical()] = per_model.get(r.key.canonical(), 0) + 1
+            if r.ok:
+                ok_latencies.append(r.total_ms)
+                batches.append(r.batch_size)
+                batch_hist[r.batch_size] = batch_hist.get(r.batch_size, 0) + 1
+                sims.append(r.simulated_ms)
+                if not r.slo_met:
+                    violations += 1
+        ok_latencies.sort()
+        return cls(
+            total=len(responses),
+            wall_s=wall_s,
+            status_counts=counts,
+            p50_ms=_percentile(ok_latencies, 50),
+            p95_ms=_percentile(ok_latencies, 95),
+            p99_ms=_percentile(ok_latencies, 99),
+            mean_ms=float(np.mean(ok_latencies)) if ok_latencies else 0.0,
+            max_ms=ok_latencies[-1] if ok_latencies else 0.0,
+            mean_batch=float(np.mean(batches)) if batches else 0.0,
+            batch_histogram=dict(sorted(batch_hist.items())),
+            slo_violations=violations,
+            mean_simulated_ms=float(np.mean(sims)) if sims else 0.0,
+            mode=spec.mode,
+        )
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def ok(self) -> int:
+        return self.status_counts.get(Status.OK.value, 0)
+
+    @property
+    def errors(self) -> int:
+        return self.status_counts.get(Status.ERROR.value, 0)
+
+    @property
+    def shed(self) -> int:
+        return (self.status_counts.get(Status.SHED.value, 0)
+                + self.status_counts.get(Status.EXPIRED.value, 0))
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def slo_violation_rate(self) -> float:
+        return self.slo_violations / self.ok if self.ok else 0.0
+
+    # -------------------------------------------------------------- outputs
+
+    def record(self) -> None:
+        """Publish the report as ``serve.loadgen.*`` gauges (metrics JSON)."""
+        registry = get_registry()
+        gauges = {
+            "serve.loadgen.requests": self.total,
+            "serve.loadgen.ok": self.ok,
+            "serve.loadgen.errors": self.errors,
+            "serve.loadgen.shed": self.shed,
+            "serve.loadgen.shed_rate": self.shed_rate,
+            "serve.loadgen.throughput_rps": self.throughput_rps,
+            "serve.loadgen.p50_ms": self.p50_ms,
+            "serve.loadgen.p95_ms": self.p95_ms,
+            "serve.loadgen.p99_ms": self.p99_ms,
+            "serve.loadgen.mean_batch": self.mean_batch,
+            "serve.loadgen.slo_violations": self.slo_violations,
+            "serve.loadgen.slo_violation_rate": self.slo_violation_rate,
+            "serve.loadgen.wall_seconds": self.wall_s,
+            "serve.loadgen.mean_simulated_ms": self.mean_simulated_ms,
+        }
+        for name, value in gauges.items():
+            registry.gauge(name).set(float(value))
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"load report ({self.mode} loop): {self.total} requests "
+            f"in {self.wall_s:.2f} s",
+            f"  throughput  : {self.throughput_rps:.1f} ok req/s",
+            f"  status      : " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.status_counts.items())
+            ),
+            f"  latency ms  : p50={self.p50_ms:.1f}  p95={self.p95_ms:.1f}  "
+            f"p99={self.p99_ms:.1f}  mean={self.mean_ms:.1f}  max={self.max_ms:.1f}",
+            f"  batch size  : mean={self.mean_batch:.2f}  histogram=" + (
+                "{" + ", ".join(f"{k}: {v}" for k, v in self.batch_histogram.items()) + "}"
+            ),
+            f"  shed rate   : {self.shed_rate * 100:.1f}%  "
+            f"(shed+expired {self.shed}/{self.total})",
+            f"  SLO         : {self.slo_violations} violations "
+            f"({self.slo_violation_rate * 100:.1f}% of ok)",
+            f"  simulated   : {self.mean_simulated_ms:.3f} ms/batch mean "
+            f"(systolic-array cost model)",
+        ]
+        if self.per_model:
+            lines.append("  per model   : " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.per_model.items())
+            ))
+        return "\n".join(lines)

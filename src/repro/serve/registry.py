@@ -1,0 +1,129 @@
+"""Model registry: preload and share executable models across workers.
+
+Building a model for serving is expensive relative to a request — the IR
+graph is constructed, FuSe-transformed, and a :class:`GraphExecutor`
+materializes deterministic weights from the key's seed — so the registry
+builds each :class:`~repro.serve.request.ModelKey` once and shares the
+result across every worker thread.  Sharing is safe because serving only
+runs forward passes in eval mode: modules are read-only at inference.
+
+The registry also owns the per-model lazy :class:`ArrayNetworkExecutor`
+(the simulated-hardware engine) and caches the analytical latency of the
+network so the cost model can price batches without re-estimating.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import to_fuseconv
+from ..ir.network import Network
+from ..models import build_model
+from ..nn.graph import GraphExecutor
+from ..obs import get_logger, get_registry
+from ..systolic import ArrayConfig
+from .request import ModelKey
+
+__all__ = ["RegisteredModel", "ModelRegistry"]
+
+_log = get_logger("serve.registry")
+
+
+@dataclass
+class RegisteredModel:
+    """One preloaded, shareable model."""
+
+    key: ModelKey
+    network: Network                  # FuSe-transformed IR graph
+    executor: GraphExecutor           # eval-mode weights (seeded by key.seed)
+    input_shape: Tuple[int, int, int]
+
+    # Simulated-hardware executors, one per (array geometry, engine, jobs).
+    _array_executors: Dict[Tuple, object] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def array_executor(self, array: ArrayConfig, engine: str = "vector",
+                       jobs: int = 1):
+        """Lazy :class:`ArrayNetworkExecutor` sharing this model's weights."""
+        from ..systolic.executor import ArrayNetworkExecutor
+
+        cache_key = (array.rows, array.cols, array.broadcast, array.dataflow,
+                     array.pipelined_folds, engine, jobs)
+        with self._lock:
+            executor = self._array_executors.get(cache_key)
+            if executor is None:
+                executor = ArrayNetworkExecutor(
+                    self.network, model=self.executor, array=array,
+                    engine=engine, jobs=jobs,
+                )
+                self._array_executors[cache_key] = executor
+        return executor
+
+
+class ModelRegistry:
+    """Get-or-build store of :class:`RegisteredModel`, keyed by ModelKey."""
+
+    def __init__(self) -> None:
+        self._models: Dict[ModelKey, RegisteredModel] = {}
+        self._lock = threading.Lock()
+        self._building: Dict[ModelKey, threading.Event] = {}
+
+    def keys(self) -> List[ModelKey]:
+        with self._lock:
+            return list(self._models)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def get(self, key: ModelKey) -> RegisteredModel:
+        """The registered model for ``key``, building it on first use.
+
+        Concurrent callers for the same key block on one build instead of
+        duplicating it (build-once latching, same idea as the parallel
+        module's pool reuse).
+        """
+        while True:
+            with self._lock:
+                model = self._models.get(key)
+                if model is not None:
+                    return model
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    break  # this thread builds
+            event.wait()  # another thread is building: wait and re-check
+
+        try:
+            model = self._build(key)
+            with self._lock:
+                self._models[key] = model
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            event.set()
+        return model
+
+    def preload(self, keys) -> List[RegisteredModel]:
+        """Build a batch of keys up front (server start-up)."""
+        return [self.get(key) for key in keys]
+
+    def _build(self, key: ModelKey) -> RegisteredModel:
+        network = build_model(key.network, resolution=key.resolution)
+        if key.fuse_variant is not None:
+            network = to_fuseconv(network, key.fuse_variant)
+        executor = GraphExecutor(network, seed=key.seed)
+        executor.eval()
+        get_registry().counter("serve.registry.builds",
+                               model=key.canonical()).inc()
+        _log.info("registered model", model=key.canonical(),
+                  layers=len(list(network)))
+        return RegisteredModel(
+            key=key,
+            network=network,
+            executor=executor,
+            input_shape=network.input_shape,
+        )

@@ -1,0 +1,163 @@
+"""Request/response data model of the serving subsystem.
+
+A request names *what* to run — a :class:`ModelKey` (network, FuSe
+variant, resolution, weight seed) — and *how urgently* — an SLO deadline
+and a priority class.  The input tensor is either attached directly or
+derived deterministically from ``input_seed``, so a request is fully
+reproducible from its JSON form (the transport sends seeds, not tensors,
+unless the caller insists).
+
+Responses carry the latency breakdown the benchmark harness aggregates
+(queue wait, batch-formation wait, execution), the dynamic batch size the
+request rode in, and both clocks that matter here:
+
+* ``total_ms`` — wall-clock service latency (what the SLO is about);
+* ``simulated_ms`` — the systolic-array latency of the batch under the
+  analytical model of :mod:`repro.systolic.latency`, i.e. what the same
+  batch would cost on the paper's hardware.
+
+``digest`` is a SHA-256 over the output tensor bytes; the bit-determinism
+guarantee (batched == unbatched) is stated and tested in terms of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core import FuSeVariant
+
+__all__ = [
+    "ModelKey",
+    "Status",
+    "InferenceRequest",
+    "InferenceResponse",
+    "make_input",
+    "output_digest",
+]
+
+_ids = itertools.count(1)
+
+
+class Status(str, Enum):
+    """Terminal state of one request."""
+
+    OK = "ok"              #: executed; output attached
+    SHED = "shed"          #: refused at admission (queue full / overload)
+    EXPIRED = "expired"    #: deadline passed before execution started
+    ERROR = "error"        #: execution raised; message in ``error``
+    CANCELLED = "cancelled"  #: server stopped without draining the queue
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """What to run: everything that decides weights, graph and shapes.
+
+    Two requests are *batch-compatible* iff their keys are equal — same
+    IR graph, same weights, same input shape — so a key is also the
+    coalescing key of the dynamic batcher and the lookup key of the
+    model registry.
+    """
+
+    network: str
+    variant: Optional[str] = None      # FuSe variant value, e.g. "half"
+    resolution: int = 64
+    seed: int = 0                      # weight seed of the GraphExecutor
+
+    def __post_init__(self) -> None:
+        if self.variant is not None:
+            FuSeVariant.from_label(self.variant)  # validate early
+
+    @property
+    def fuse_variant(self) -> Optional[FuSeVariant]:
+        if self.variant is None:
+            return None
+        return FuSeVariant.from_label(self.variant)
+
+    def canonical(self) -> str:
+        """Stable display/label form, e.g. ``mobilenet_v1:half@64``."""
+        variant = f":{self.variant}" if self.variant else ""
+        seed = f"/s{self.seed}" if self.seed else ""
+        return f"{self.network}{variant}@{self.resolution}{seed}"
+
+
+def make_input(shape: Tuple[int, ...], seed: int) -> np.ndarray:
+    """The deterministic input tensor a seed stands for (float32)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+def output_digest(values: Optional[np.ndarray]) -> Optional[str]:
+    """SHA-256 over dtype, shape and raw bytes of an output tensor."""
+    if values is None:
+        return None
+    arr = np.ascontiguousarray(values)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class InferenceRequest:
+    """One unit of admitted (or refused) work."""
+
+    key: ModelKey
+    input_seed: int = 0
+    input: Optional[np.ndarray] = None   # (C, H, W); derived from seed if None
+    slo_ms: Optional[float] = None       # deadline budget; server default if None
+    priority: int = 0                    # lower sorts first (0 = interactive)
+    request_id: int = field(default_factory=lambda: next(_ids))
+
+    # Filled in by the server at admission (monotonic clock).
+    arrival: float = 0.0
+    deadline: float = 0.0
+
+    def resolve_input(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """The concrete input tensor (attached, or derived from the seed)."""
+        if self.input is not None:
+            return np.asarray(self.input, dtype=np.float32)
+        return make_input(shape, self.input_seed)
+
+    def slack_ms(self, now: Optional[float] = None) -> float:
+        """Milliseconds until the deadline (negative = already late)."""
+        now = time.monotonic() if now is None else now
+        return (self.deadline - now) * 1000.0
+
+
+@dataclass
+class InferenceResponse:
+    """Terminal record of one request."""
+
+    request_id: int
+    key: ModelKey
+    status: Status
+    output: Optional[np.ndarray] = None
+    digest: Optional[str] = None
+    error: Optional[str] = None
+
+    # Latency breakdown (wall-clock milliseconds).
+    queue_ms: float = 0.0        # admission → batch dispatch
+    execute_ms: float = 0.0      # batch dispatch → done (shared by the batch)
+    total_ms: float = 0.0        # admission → response
+    simulated_ms: float = 0.0    # analytical systolic-array cost of the batch
+
+    batch_size: int = 0          # dynamic batch this request rode in
+    slo_ms: float = 0.0          # the deadline budget that applied
+    retry_after_ms: Optional[float] = None  # set on SHED: predicted drain time
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.OK
+
+    @property
+    def slo_met(self) -> bool:
+        """Did the request complete within its deadline budget?"""
+        return self.ok and (self.slo_ms <= 0 or self.total_ms <= self.slo_ms)

@@ -1,0 +1,230 @@
+"""SLO-aware scheduling: admission control, priorities, expiry, backpressure.
+
+The scheduler is the single writer of the pending store and runs entirely
+on the server's event loop.  Its contract:
+
+* :meth:`submit` — admit a request (stamping arrival and deadline) or
+  *shed* it immediately when the bounded queue is full, attaching a
+  ``retry_after_ms`` hint derived from the cost model's calibrated drain
+  estimate (classic load-shedding backpressure).
+* :meth:`next_batch` — block until work is available, pick the most
+  urgent lane (priority, then deadline), drop requests whose deadline
+  already passed (*expiry* — executing them would waste array time a
+  live request could use), size the batch with the cost model against
+  the earliest deadline's slack, and optionally linger up to
+  ``batch_timeout_ms`` to let compatible requests arrive and fill the
+  batch (bounded by the slack itself, so lingering never causes the
+  miss it is trying to amortize).
+* :meth:`close` — wake every waiter; undrained requests resolve as
+  ``CANCELLED``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from ..obs import get_logger, get_registry
+from .batcher import Batch, Pending, PendingStore
+from .costmodel import BatchCostModel
+from .registry import ModelRegistry, RegisteredModel
+from .request import InferenceRequest, InferenceResponse, Status
+
+__all__ = ["SLOScheduler"]
+
+_log = get_logger("serve.scheduler")
+
+
+class SLOScheduler:
+    """Priority admission queue + deadline-aware dynamic batcher."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        cost_model: BatchCostModel,
+        max_queue: int = 128,
+        max_batch: int = 8,
+        batch_timeout_ms: float = 2.0,
+        default_slo_ms: float = 100.0,
+        workers: int = 1,
+    ) -> None:
+        self.registry = registry
+        self.cost_model = cost_model
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.batch_timeout_ms = batch_timeout_ms
+        self.default_slo_ms = default_slo_ms
+        self.workers = workers
+        self.store = PendingStore()
+        self._wakeup = asyncio.Condition()
+        self._closed = False
+        self._metrics = get_registry()
+
+    # ------------------------------------------------------------ admission
+
+    async def submit(self, request: InferenceRequest) -> "asyncio.Future":
+        """Admit (or shed) one request; returns the completion future."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        now = time.monotonic()
+        request.arrival = now
+        slo = request.slo_ms if request.slo_ms is not None else self.default_slo_ms
+        request.slo_ms = slo
+        request.deadline = now + slo / 1000.0
+
+        if self._closed:
+            future.set_result(self._terminal(request, Status.CANCELLED))
+            return future
+
+        if len(self.store) >= self.max_queue:
+            model = self._model_if_loaded(request)
+            retry = self.cost_model.drain_ms(
+                len(self.store), model, self.workers
+            )
+            self._metrics.counter("serve.requests",
+                                  status=Status.SHED.value).inc()
+            self._metrics.counter("serve.shed").inc()
+            _log.debug("shed request", id=request.request_id,
+                       queue=len(self.store), retry_after_ms=f"{retry:.1f}")
+            future.set_result(
+                self._terminal(request, Status.SHED, retry_after_ms=retry)
+            )
+            return future
+
+        self.store.push(Pending(request, future))
+        self._metrics.gauge("serve.queue.depth").set(len(self.store))
+        async with self._wakeup:
+            self._wakeup.notify_all()
+        return future
+
+    def _model_if_loaded(self, request: InferenceRequest) -> Optional[RegisteredModel]:
+        """A registered model for the retry hint, without triggering a build."""
+        keys = self.registry.keys()
+        if request.key in keys:
+            return self.registry.get(request.key)
+        return self.registry.get(keys[0]) if keys else None
+
+    # ------------------------------------------------------------- batching
+
+    async def next_batch(self) -> Optional[Batch]:
+        """The next batch to execute, or ``None`` once closed and drained."""
+        while True:
+            async with self._wakeup:
+                while not self._closed and self.store.next_key() is None:
+                    await self._wakeup.wait()
+            if self.store.next_key() is None:
+                if self._closed:
+                    return None
+                continue
+
+            key = self.store.next_key()
+            now = time.monotonic()
+            head = self._reap_expired(key, now)
+            if head is None:
+                continue  # whole lane had expired; pick again
+
+            try:
+                model = await self._model_for(head)
+            except Exception as exc:  # unknown net, bad variant, OOM, ...
+                # A failed build must resolve the request, not kill the
+                # worker that pulled it: surface it as an ERROR response.
+                self._metrics.counter("serve.requests",
+                                      status=Status.ERROR.value).inc()
+                _log.warning("model build failed",
+                             model=head.request.key.canonical(),
+                             error=f"{type(exc).__name__}: {exc}")
+                if not head.future.done():
+                    response = self._terminal(head.request, Status.ERROR)
+                    response.error = f"{type(exc).__name__}: {exc}"
+                    head.future.set_result(response)
+                continue
+            slack = max(0.0, head.request.slack_ms(now))
+            planned = self.cost_model.plan_batch_size(
+                model, slack, self.max_batch
+            )
+            items = [head] + self.store.take(key, planned - 1)
+
+            # Linger: let compatible requests arrive to fill the batch, but
+            # never longer than the slack that remains on the batch head.
+            linger_ms = min(self.batch_timeout_ms, slack)
+            deadline = time.monotonic() + linger_ms / 1000.0
+            while len(items) < planned and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                async with self._wakeup:
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                items.extend(self.store.take(key, planned - len(items)))
+
+            self._metrics.gauge("serve.queue.depth").set(len(self.store))
+            batch = Batch(key=key, items=items, planned_size=planned)
+            self._metrics.counter("serve.batches").inc()
+            self._metrics.histogram(
+                "serve.batch.size", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ).observe(len(batch))
+            return batch
+
+    def _reap_expired(self, key, now: float) -> Optional[Pending]:
+        """Pop the lane head, resolving already-dead requests as EXPIRED."""
+        while True:
+            taken = self.store.take(key, 1)
+            if not taken:
+                return None
+            pending = taken[0]
+            if pending.request.deadline >= now:
+                return pending
+            self._metrics.counter("serve.requests",
+                                  status=Status.EXPIRED.value).inc()
+            self._metrics.counter("serve.expired").inc()
+            pending.future.set_result(
+                self._terminal(pending.request, Status.EXPIRED)
+            )
+
+    async def _model_for(self, pending: Pending) -> RegisteredModel:
+        """Resolve the model; a cold build runs off-loop in a thread."""
+        key = pending.request.key
+        if key in self.registry.keys():
+            return self.registry.get(key)
+        return await asyncio.to_thread(self.registry.get, key)
+
+    # ------------------------------------------------------------- shutdown
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admitting; optionally cancel whatever is still queued."""
+        self._closed = True
+        if not drain:
+            for pending in self.store.drain_all():
+                if not pending.future.done():
+                    pending.future.set_result(
+                        self._terminal(pending.request, Status.CANCELLED)
+                    )
+        async with self._wakeup:
+            self._wakeup.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _terminal(
+        request: InferenceRequest,
+        status: Status,
+        retry_after_ms: Optional[float] = None,
+    ) -> InferenceResponse:
+        now = time.monotonic()
+        waited = max(0.0, (now - request.arrival) * 1000.0) if request.arrival else 0.0
+        return InferenceResponse(
+            request_id=request.request_id,
+            key=request.key,
+            status=status,
+            queue_ms=waited,
+            total_ms=waited,
+            slo_ms=request.slo_ms or 0.0,
+            retry_after_ms=retry_after_ms,
+        )

@@ -1,0 +1,164 @@
+"""The inference server: registry + scheduler + workers behind one facade.
+
+:class:`InferenceServer` is transport-agnostic — callers ``await
+submit(request)`` from any coroutine on the server's loop; the TCP
+JSON-lines front-end in :mod:`repro.serve.transport` and the in-process
+load generator in :mod:`repro.serve.loadgen` are both thin clients of
+this interface.
+
+Lifecycle::
+
+    server = InferenceServer(ServeConfig(preload=[key1, key2]))
+    await server.start()          # builds models off-loop, starts workers
+    response = await server.submit(InferenceRequest(key=key1))
+    await server.stop()           # drains the queue, joins the workers
+
+Everything observable funnels through :mod:`repro.obs`: per-status
+request counters, queue-depth gauge, batch-size / latency / queue-wait
+histograms, SLO-violation and shed counters, plus ``serve.*`` spans when
+tracing is enabled.  ``stats()`` snapshots the serving-relevant slice of
+the registry for reports and smoke checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..obs import get_logger, get_registry
+from ..systolic import ArrayConfig
+from .costmodel import BatchCostModel
+from .registry import ModelRegistry
+from .request import InferenceRequest, InferenceResponse, ModelKey
+from .scheduler import SLOScheduler
+from .workers import ENGINES, WorkerPool
+
+__all__ = ["ServeConfig", "InferenceServer"]
+
+_log = get_logger("serve.server")
+
+
+@dataclass
+class ServeConfig:
+    """Every serving knob in one place (CLI flags map 1:1 onto fields)."""
+
+    engine: str = "graph"            #: graph | array | analytical
+    workers: int = 2                 #: concurrent batch executors
+    max_batch: int = 8               #: dynamic batch ceiling
+    max_queue: int = 128             #: admission bound (backpressure)
+    batch_timeout_ms: float = 2.0    #: linger to fill a batch
+    slo_ms: float = 100.0            #: default per-request deadline budget
+    bitexact: bool = True            #: lockstep batch execution (see workers)
+    jobs: int = 1                    #: process fan-out of the array engine
+    sim_engine: str = "vector"       #: functional-simulator engine
+    cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
+    array: Optional[ArrayConfig] = None  #: modeled accelerator (default 64x64)
+    preload: List[ModelKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+class InferenceServer:
+    """Async dynamic-batching inference server over the reproduction stack."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.registry = ModelRegistry()
+        self.cost_model = BatchCostModel(
+            array=self.config.array, cache_dir=self.config.cache_dir
+        )
+        self.scheduler = SLOScheduler(
+            self.registry,
+            self.cost_model,
+            max_queue=self.config.max_queue,
+            max_batch=self.config.max_batch,
+            batch_timeout_ms=self.config.batch_timeout_ms,
+            default_slo_ms=self.config.slo_ms,
+            workers=self.config.workers,
+        )
+        self.pool = WorkerPool(
+            self.scheduler,
+            self.registry,
+            self.cost_model,
+            workers=self.config.workers,
+            engine=self.config.engine,
+            bitexact=self.config.bitexact,
+            jobs=self.config.jobs,
+            sim_engine=self.config.sim_engine,
+        )
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "InferenceServer":
+        if self._started:
+            return self
+        if self.config.preload:
+            await asyncio.to_thread(self.registry.preload, self.config.preload)
+        self.pool.start()
+        self._started = True
+        _log.info(
+            "server started", engine=self.config.engine,
+            workers=self.config.workers, max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue, slo_ms=self.config.slo_ms,
+            preloaded=len(self.registry),
+        )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop admitting, then drain (default) or cancel queued work."""
+        if not self._started:
+            return
+        await self.scheduler.close(drain=drain)
+        await self.pool.join()
+        self._started = False
+        _log.info("server stopped", drained=drain)
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -------------------------------------------------------------- serving
+
+    async def submit(self, request: InferenceRequest) -> InferenceResponse:
+        """Serve one request end to end (admission → batch → response)."""
+        if not self._started:
+            raise RuntimeError("server is not started")
+        future = await self.scheduler.submit(request)
+        return await future
+
+    async def submit_many(
+        self, requests: List[InferenceRequest]
+    ) -> List[InferenceResponse]:
+        """Submit a burst concurrently; responses in request order."""
+        futures = [await self.scheduler.submit(r) for r in requests]
+        return list(await asyncio.gather(*futures))
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Snapshot of the serving metrics (counts, queue, batch sizes)."""
+        registry = get_registry()
+        out = {"queue_depth": len(self.scheduler.store),
+               "models": [k.canonical() for k in self.registry.keys()]}
+        for status in ("ok", "shed", "expired", "error", "cancelled"):
+            metric = registry.get("serve.requests", status=status)
+            out[f"requests_{status}"] = int(metric.value) if metric else 0
+        batches = registry.get("serve.batches")
+        out["batches"] = int(batches.value) if batches else 0
+        sizes = registry.get("serve.batch.size")
+        if sizes is not None and sizes.count:
+            out["mean_batch"] = sizes.mean
+            out["max_batch"] = sizes.max
+        violations = registry.get("serve.slo.violations")
+        out["slo_violations"] = int(violations.value) if violations else 0
+        return out

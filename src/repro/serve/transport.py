@@ -1,0 +1,245 @@
+"""JSON-lines TCP transport: a network front-end for the server.
+
+Wire format: newline-delimited JSON, one object per request/response.
+Responses carry the client's ``id`` echo and may complete out of order
+(dynamic batching reorders freely) — clients correlate by ``id``.
+
+Request fields (all optional except ``net``)::
+
+    {"id": 7, "net": "mobilenet_v1", "variant": "half", "resolution": 64,
+     "seed": 0, "input_seed": 123, "slo_ms": 80, "priority": 0,
+     "return_output": false}
+
+Inputs travel as seeds, not tensors — a request is a few dozen bytes and
+fully reproducible.  ``return_output: true`` inlines the output tensor as
+a nested list (debugging; the digest is always included).
+
+This is deliberately framework-free (stdlib ``asyncio`` streams): the
+reproduction's no-new-dependencies rule applies to the serving layer too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..obs import get_logger, get_registry
+from .request import InferenceRequest, InferenceResponse, ModelKey
+from .server import InferenceServer
+
+__all__ = [
+    "request_from_wire",
+    "response_to_wire",
+    "serve_tcp",
+    "RemoteClient",
+]
+
+_log = get_logger("serve.transport")
+
+
+def request_from_wire(payload: dict) -> Tuple[InferenceRequest, dict]:
+    """Decode one wire object → (request, client envelope)."""
+    key = ModelKey(
+        network=payload["net"],
+        variant=payload.get("variant"),
+        resolution=int(payload.get("resolution", 64)),
+        seed=int(payload.get("seed", 0)),
+    )
+    request = InferenceRequest(
+        key=key,
+        input_seed=int(payload.get("input_seed", 0)),
+        slo_ms=payload.get("slo_ms"),
+        priority=int(payload.get("priority", 0)),
+    )
+    envelope = {
+        "id": payload.get("id"),
+        "return_output": bool(payload.get("return_output", False)),
+    }
+    return request, envelope
+
+
+def response_to_wire(response: InferenceResponse, envelope: dict) -> dict:
+    """Encode one response → wire object (outputs only on request)."""
+    out = {
+        "id": envelope.get("id"),
+        "request_id": response.request_id,
+        "model": response.key.canonical(),
+        "status": response.status.value,
+        "digest": response.digest,
+        "queue_ms": round(response.queue_ms, 3),
+        "execute_ms": round(response.execute_ms, 3),
+        "total_ms": round(response.total_ms, 3),
+        "simulated_ms": round(response.simulated_ms, 6),
+        "batch_size": response.batch_size,
+        "slo_ms": response.slo_ms,
+        "slo_met": response.slo_met,
+    }
+    if response.retry_after_ms is not None:
+        out["retry_after_ms"] = round(response.retry_after_ms, 3)
+    if response.error is not None:
+        out["error"] = response.error
+    if envelope.get("return_output") and response.output is not None:
+        out["output"] = response.output.tolist()
+    return out
+
+
+async def _handle_connection(
+    server: InferenceServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    peer = writer.get_extra_info("peername")
+    _log.debug("connection opened", peer=str(peer))
+    get_registry().counter("serve.transport.connections").inc()
+    write_lock = asyncio.Lock()
+    tasks = set()
+
+    async def respond(line: bytes) -> None:
+        try:
+            request, envelope = request_from_wire(json.loads(line))
+        except (ValueError, KeyError) as exc:
+            reply = {"status": "error", "error": f"bad request: {exc}"}
+        else:
+            response = await server.submit(request)
+            reply = response_to_wire(response, envelope)
+        async with write_lock:
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            task = asyncio.create_task(respond(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        _log.debug("connection closed", peer=str(peer))
+
+
+async def serve_tcp(
+    server: InferenceServer, host: str = "127.0.0.1", port: int = 8707
+) -> asyncio.AbstractServer:
+    """Expose an (already started) :class:`InferenceServer` over TCP."""
+    tcp = await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w), host, port
+    )
+    addr = tcp.sockets[0].getsockname() if tcp.sockets else (host, port)
+    _log.info("listening", host=str(addr[0]), port=addr[1])
+    return tcp
+
+
+class RemoteClient:
+    """Async JSON-lines client correlating responses by ``id``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8707) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: dict = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "RemoteClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def __aenter__(self) -> "RemoteClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                for future in self._pending.values():
+                    if not future.done():
+                        future.set_exception(ConnectionError("server closed"))
+                self._pending.clear()
+                return
+            reply = json.loads(line)
+            future = self._pending.pop(reply.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(reply)
+
+    async def request(self, request: InferenceRequest,
+                      return_output: bool = False) -> dict:
+        """Send one request; returns the decoded wire response."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._next_id += 1
+        wire_id = self._next_id
+        payload = {
+            "id": wire_id,
+            "net": request.key.network,
+            "variant": request.key.variant,
+            "resolution": request.key.resolution,
+            "seed": request.key.seed,
+            "input_seed": request.input_seed,
+            "slo_ms": request.slo_ms,
+            "priority": request.priority,
+            "return_output": return_output,
+        }
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[wire_id] = future
+        async with self._write_lock:
+            self._writer.write(json.dumps(payload).encode() + b"\n")
+            await self._writer.drain()
+        return await future
+
+    async def submit(self, request: InferenceRequest) -> InferenceResponse:
+        """Loadgen-compatible submit: wire response → InferenceResponse."""
+        from .request import Status
+
+        reply = await self.request(request)
+        return InferenceResponse(
+            request_id=reply.get("request_id", request.request_id),
+            key=request.key,
+            status=Status(reply["status"]),
+            digest=reply.get("digest"),
+            error=reply.get("error"),
+            queue_ms=reply.get("queue_ms", 0.0),
+            execute_ms=reply.get("execute_ms", 0.0),
+            total_ms=reply.get("total_ms", 0.0),
+            simulated_ms=reply.get("simulated_ms", 0.0),
+            batch_size=reply.get("batch_size", 0),
+            slo_ms=reply.get("slo_ms", 0.0) or 0.0,
+            retry_after_ms=reply.get("retry_after_ms"),
+        )

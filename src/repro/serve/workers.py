@@ -1,0 +1,204 @@
+"""Worker pool: execute formed batches on one of three engines.
+
+Each worker is an asyncio task that pulls batches from the scheduler and
+runs them in a thread (``asyncio.to_thread``), so N workers give N
+concurrently-executing batches while the event loop keeps admitting and
+batching.  numpy releases the GIL inside its kernels, so worker threads
+overlap for the compute-heavy engines.
+
+Engines:
+
+* ``graph`` — the pure :mod:`repro.nn` forward path
+  (:class:`GraphExecutor`).  Default execution is *lockstep*: each batch
+  item runs as its own single-sample forward, which makes a batch of N
+  identical requests **bit-identical** to N unbatched calls (the einsum
+  contraction path inside the vectorized forward depends on the batch
+  dimension, so stacked execution is only float-close).  ``bitexact=False``
+  switches to stacked ``(N, C, H, W)`` execution for throughput.
+* ``array`` — the simulated-hardware path: every item runs through
+  :class:`repro.systolic.executor.ArrayNetworkExecutor` (which fans its
+  heavy layers across the PR-2 process pool when ``jobs > 1``), and the
+  response's ``simulated_ms`` is the *measured* cycle count instead of
+  the analytical estimate.  Use small arrays/resolutions: the functional
+  simulator is the slow, faithful machine.
+* ``analytical`` — no numerics at all: the batch "executes" in zero work
+  and responses carry only the cost model's simulated latency.  This is
+  the engine for scheduler/batcher experiments at high request rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from ..obs import get_logger, get_registry, get_tracer
+from ..systolic import ArrayConfig
+from .batcher import Batch
+from .costmodel import BatchCostModel
+from .registry import ModelRegistry, RegisteredModel
+from .request import InferenceResponse, Status, output_digest
+from .scheduler import SLOScheduler
+
+__all__ = ["ENGINES", "WorkerPool", "execute_batch"]
+
+ENGINES = ("graph", "array", "analytical")
+
+_log = get_logger("serve.workers")
+
+
+def _run_graph(model: RegisteredModel, inputs: List[np.ndarray],
+               bitexact: bool) -> List[np.ndarray]:
+    if bitexact:
+        return [
+            model.executor(Tensor(x[None])).data[0] for x in inputs
+        ]
+    stacked = np.stack(inputs)
+    out = model.executor(Tensor(stacked)).data
+    return [out[i] for i in range(out.shape[0])]
+
+
+def _run_array(model: RegisteredModel, inputs: List[np.ndarray],
+               array: ArrayConfig, sim_engine: str,
+               jobs: int) -> tuple:
+    executor = model.array_executor(array, engine=sim_engine, jobs=jobs)
+    outputs, cycles = [], 0
+    for x in inputs:
+        run = executor.run(np.asarray(x, dtype=np.float64))
+        outputs.append(np.asarray(run.values, dtype=np.float32))
+        cycles += run.cycles
+    return outputs, cycles
+
+
+def execute_batch(
+    batch: Batch,
+    model: RegisteredModel,
+    cost_model: BatchCostModel,
+    engine: str = "graph",
+    bitexact: bool = True,
+    jobs: int = 1,
+    sim_engine: str = "vector",
+) -> List[InferenceResponse]:
+    """Run one batch synchronously (worker-thread body); returns responses.
+
+    The responses are in batch order and not yet delivered — the caller
+    resolves the futures back on the event loop.
+    """
+    n = len(batch)
+    requests = batch.requests
+    dispatch = time.monotonic()
+    simulated_ms = cost_model.simulated_ms(model, n)
+    error: Optional[str] = None
+    outputs: List[Optional[np.ndarray]] = [None] * n
+
+    start = time.perf_counter()
+    try:
+        with get_tracer().span("serve.execute", category="serve",
+                               model=batch.key.canonical(), batch=n,
+                               engine=engine):
+            if engine == "graph":
+                inputs = [r.resolve_input(model.input_shape) for r in requests]
+                outputs = _run_graph(model, inputs, bitexact)
+            elif engine == "array":
+                inputs = [r.resolve_input(model.input_shape) for r in requests]
+                outputs, cycles = _run_array(
+                    model, inputs, cost_model.array, sim_engine, jobs
+                )
+                simulated_ms = cost_model.array.cycles_to_ms(cycles)
+            elif engine == "analytical":
+                pass  # cost only; no numerics
+            else:
+                raise ValueError(f"unknown serve engine {engine!r}")
+    except Exception as exc:  # surfaces per-request, never kills the worker
+        error = f"{type(exc).__name__}: {exc}"
+        _log.warning("batch execution failed", model=batch.key.canonical(),
+                     batch=n, error=error)
+    execute_ms = (time.perf_counter() - start) * 1000.0
+
+    if error is None:
+        cost_model.observe(model, n, execute_ms)
+
+    registry = get_registry()
+    responses = []
+    for request, out in zip(requests, outputs):
+        status = Status.ERROR if error is not None else Status.OK
+        queue_ms = max(0.0, (dispatch - request.arrival) * 1000.0)
+        total_ms = queue_ms + execute_ms
+        responses.append(InferenceResponse(
+            request_id=request.request_id,
+            key=request.key,
+            status=status,
+            output=out,
+            digest=output_digest(out),
+            error=error,
+            queue_ms=queue_ms,
+            execute_ms=execute_ms,
+            total_ms=total_ms,
+            simulated_ms=simulated_ms,
+            batch_size=n,
+            slo_ms=request.slo_ms or 0.0,
+        ))
+        registry.counter("serve.requests", status=status.value).inc()
+        registry.histogram("serve.latency.seconds").observe(total_ms / 1000.0)
+        registry.histogram("serve.queue.wait_seconds").observe(queue_ms / 1000.0)
+        if status is Status.OK and not responses[-1].slo_met:
+            registry.counter("serve.slo.violations").inc()
+    registry.histogram("serve.execute.seconds").observe(execute_ms / 1000.0)
+    registry.counter("serve.batch.requests").inc(n)
+    return responses
+
+
+class WorkerPool:
+    """N asyncio worker tasks draining the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: SLOScheduler,
+        registry: ModelRegistry,
+        cost_model: BatchCostModel,
+        workers: int = 2,
+        engine: str = "graph",
+        bitexact: bool = True,
+        jobs: int = 1,
+        sim_engine: str = "vector",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.scheduler = scheduler
+        self.registry = registry
+        self.cost_model = cost_model
+        self.workers = max(1, workers)
+        self.engine = engine
+        self.bitexact = bitexact
+        self.jobs = jobs
+        self.sim_engine = sim_engine
+        self._tasks: List[asyncio.Task] = []
+
+    def start(self) -> None:
+        for i in range(self.workers):
+            self._tasks.append(
+                asyncio.create_task(self._loop(i), name=f"serve-worker-{i}")
+            )
+
+    async def join(self) -> None:
+        """Wait for every worker to exit (after the scheduler closes)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+            self._tasks = []
+
+    async def _loop(self, index: int) -> None:
+        while True:
+            batch = await self.scheduler.next_batch()
+            if batch is None:
+                return
+            model = self.registry.get(batch.key)  # hot: built at batch time
+            responses = await asyncio.to_thread(
+                execute_batch, batch, model, self.cost_model,
+                self.engine, self.bitexact, self.jobs, self.sim_engine,
+            )
+            for pending, response in zip(batch.items, responses):
+                if not pending.future.done():
+                    pending.future.set_result(response)

@@ -20,6 +20,7 @@ emits its full ``network → layer → fold`` span tree.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -101,13 +102,18 @@ class NetworkLatency:
 
 
 #: Memo for :func:`mapping_stats` (bounded; cleared wholesale when full).
+#: Guarded by ``_STATS_LOCK``: server worker threads estimate concurrently
+#: (see ``repro.serve``), and dict reads racing a wholesale ``clear()``
+#: are not something to rely on even under the GIL.
 _STATS_CACHE: Dict[Tuple, MappingStats] = {}
 _STATS_CACHE_MAX = 8192
+_STATS_LOCK = threading.Lock()
 
 
 def clear_mapping_cache() -> None:
-    """Drop the memoized :func:`mapping_stats` results."""
-    _STATS_CACHE.clear()
+    """Drop the memoized :func:`mapping_stats` results (thread-safe)."""
+    with _STATS_LOCK:
+        _STATS_CACHE.clear()
 
 
 def mapping_cache_info() -> Dict[str, float]:
@@ -115,13 +121,15 @@ def mapping_cache_info() -> Dict[str, float]:
 
     Counts come from the default metrics registry (``latency.cache.hit`` /
     ``latency.cache.miss``), so they also land in ``--metrics-out``
-    sidecars.
+    sidecars.  Safe to call while server workers are estimating.
     """
     registry = get_registry()
     hit = registry.get("latency.cache.hit")
     miss = registry.get("latency.cache.miss")
+    with _STATS_LOCK:
+        size = len(_STATS_CACHE)
     return {
-        "size": len(_STATS_CACHE),
+        "size": size,
         "max_size": _STATS_CACHE_MAX,
         "hits": hit.value if hit else 0.0,
         "misses": miss.value if miss else 0.0,
@@ -157,7 +165,8 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
         # Tracing bypasses the memo so every estimate emits fold spans.
         try:
             key = _cache_key(layer, in_shape, out_shape, array, batch)
-            cached = _STATS_CACHE.get(key)
+            with _STATS_LOCK:
+                cached = _STATS_CACHE.get(key)
         except TypeError:  # unhashable layer spec: skip the cache
             key = None
         else:
@@ -196,11 +205,13 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
         total.merge(_scaled(op_stats, count))
 
     if key is not None:
-        if len(_STATS_CACHE) >= _STATS_CACHE_MAX:
-            _STATS_CACHE.clear()
-        # Store a private copy: callers may merge() into the returned stats.
-        _STATS_CACHE[key] = total.copy()
-        get_registry().gauge("latency.cache.size").set(len(_STATS_CACHE))
+        with _STATS_LOCK:
+            if len(_STATS_CACHE) >= _STATS_CACHE_MAX:
+                _STATS_CACHE.clear()
+            # Store a private copy: callers may merge() into the returned stats.
+            _STATS_CACHE[key] = total.copy()
+            size = len(_STATS_CACHE)
+        get_registry().gauge("latency.cache.size").set(size)
     return total
 
 

@@ -1,0 +1,113 @@
+"""Thread-safety of the metrics primitives and the mapping-stats memo.
+
+Before the per-metric locks, ``value += x`` was a read-modify-write that
+dropped updates under the serve worker threads; these tests hammer each
+mutator from many threads and require *exact* totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ir import PointwiseConv2D
+from repro.obs.metrics import MetricsRegistry
+from repro.systolic import ArrayConfig, mapping_cache_info, mapping_stats
+from repro.systolic.latency import clear_mapping_cache
+
+THREADS = 8
+ITERS = 2500
+
+
+def _hammer(fn):
+    barrier = threading.Barrier(THREADS)
+
+    def body():
+        barrier.wait()  # maximize interleaving
+        for _ in range(ITERS):
+            fn()
+
+    threads = [threading.Thread(target=body) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_counter_inc_is_exact_under_contention():
+    counter = MetricsRegistry().counter("t.counter")
+    _hammer(lambda: counter.inc())
+    assert counter.value == THREADS * ITERS
+
+
+def test_gauge_inc_dec_balance_out():
+    gauge = MetricsRegistry().gauge("t.gauge")
+
+    def body():
+        gauge.inc(2.0)
+        gauge.dec(2.0)
+
+    _hammer(body)
+    assert gauge.value == 0.0
+
+
+def test_histogram_counts_are_exact():
+    hist = MetricsRegistry().histogram("t.hist", buckets=[1.0, 10.0])
+    _hammer(lambda: hist.observe(0.5))
+    total = THREADS * ITERS
+    assert hist.count == total
+    assert hist.sum == 0.5 * total
+    assert hist.bucket_counts[-1] == total  # +inf bucket tracks count
+    assert hist.min == 0.5 and hist.max == 0.5
+
+
+def test_registry_get_or_create_race_yields_one_object():
+    registry = MetricsRegistry()
+    found = []
+    barrier = threading.Barrier(THREADS)
+
+    def body():
+        barrier.wait()
+        found.append(registry.counter("t.shared"))
+
+    threads = [threading.Thread(target=body) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(m) for m in found}) == 1
+    assert len(registry) == 1
+
+
+def test_mapping_stats_memo_safe_under_threads():
+    """Concurrent mapping_stats calls on a cold memo: one coherent entry,
+    identical results, no lost size accounting."""
+    clear_mapping_cache()
+    array = ArrayConfig.square(8)
+    specs = [
+        (PointwiseConv2D(out_channels=8 * m), (8, 6, 6), (8 * m, 6, 6))
+        for m in range(1, 6)
+    ]
+    results = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+
+    def body():
+        barrier.wait()
+        for m, (spec, in_shape, out_shape) in enumerate(specs, start=1):
+            stats = mapping_stats(spec, in_shape, out_shape, array)
+            with lock:
+                results.append((m, stats.cycles))
+
+    threads = [threading.Thread(target=body) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    by_m = {}
+    for m, cycles in results:
+        by_m.setdefault(m, set()).add(cycles)
+    assert all(len(v) == 1 for v in by_m.values()), "divergent memo results"
+    assert mapping_cache_info()["size"] == 5
+    clear_mapping_cache()
+    assert mapping_cache_info()["size"] == 0

@@ -1,0 +1,73 @@
+"""PendingStore: priority ordering, lane coalescing, lazy heap deletion."""
+
+from __future__ import annotations
+
+from repro.serve import InferenceRequest, ModelKey, Pending, PendingStore
+
+KEY_A = ModelKey("mobilenet_v1", resolution=32)
+KEY_B = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+def _pending(key, priority=0, deadline=100.0, seq=[0]):
+    request = InferenceRequest(key=key, priority=priority)
+    request.deadline = deadline
+    return Pending(request, future=None)
+
+
+def test_fifo_within_one_lane():
+    store = PendingStore()
+    first, second = _pending(KEY_A), _pending(KEY_A)
+    store.push(first)
+    store.push(second)
+    assert len(store) == 2
+    taken = store.take(KEY_A, 2)
+    assert taken == [first, second]
+    assert len(store) == 0
+
+
+def test_priority_beats_deadline():
+    store = PendingStore()
+    store.push(_pending(KEY_A, priority=1, deadline=1.0))
+    store.push(_pending(KEY_B, priority=0, deadline=99.0))
+    assert store.next_key() == KEY_B
+
+
+def test_earlier_deadline_wins_within_priority():
+    store = PendingStore()
+    store.push(_pending(KEY_A, deadline=50.0))
+    store.push(_pending(KEY_B, deadline=10.0))
+    assert store.next_key() == KEY_B
+
+
+def test_stale_heap_entries_skipped_after_batch_drain():
+    store = PendingStore()
+    for _ in range(3):
+        store.push(_pending(KEY_A, deadline=1.0))
+    store.push(_pending(KEY_B, deadline=2.0))
+    # One batch drains the whole A lane; its two remaining heap entries
+    # are stale and must be skipped, not served.
+    taken = store.take(KEY_A, 3)
+    assert len(taken) == 3
+    assert store.next_key() == KEY_B
+    assert len(store) == 1
+
+
+def test_take_respects_limit_and_empties_lane():
+    store = PendingStore()
+    for _ in range(5):
+        store.push(_pending(KEY_A))
+    assert len(store.take(KEY_A, 3)) == 3
+    assert len(store) == 2
+    assert len(store.take(KEY_A, 10)) == 2
+    assert store.take(KEY_A, 1) == []
+    assert store.next_key() is None
+
+
+def test_drain_all_empties_everything():
+    store = PendingStore()
+    store.push(_pending(KEY_A))
+    store.push(_pending(KEY_B))
+    drained = store.drain_all()
+    assert len(drained) == 2
+    assert len(store) == 0
+    assert store.next_key() is None

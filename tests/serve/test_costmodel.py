@@ -1,0 +1,84 @@
+"""Cost model: analytical batch pricing, calibration, SLO-aware sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BatchCostModel, ModelKey, ModelRegistry
+from repro.systolic import ArrayConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    registry = ModelRegistry()
+    return registry.get(ModelKey("mobilenet_v3_small", resolution=32))
+
+
+@pytest.fixture
+def cost(model):
+    return BatchCostModel(array=ArrayConfig.square(32))
+
+
+def test_simulated_ms_positive_and_monotone(cost, model):
+    singles = cost.simulated_ms(model, 1)
+    assert singles > 0
+    previous = 0.0
+    for n in (1, 2, 4, 8):
+        ms = cost.simulated_ms(model, n)
+        assert ms >= previous
+        previous = ms
+
+
+def test_simulated_ms_memoized(cost, model):
+    first = cost.simulated_ms(model, 2)
+    assert cost.simulated_ms(model, 2) == first
+
+
+def test_batch_cheaper_than_n_singles(cost, model):
+    # The point of batching on a systolic array: one batch of 8 costs less
+    # than 8 sequential single-request passes (fold pipelining amortizes).
+    assert cost.simulated_ms(model, 8) <= 8 * cost.simulated_ms(model, 1)
+
+
+def test_calibration_tracks_observed_wall_clock(cost, model):
+    assert cost.calibration(model.key) == 1.0
+    sim = cost.simulated_ms(model, 1)
+    cost.observe(model, 1, wall_ms=sim * 50.0)
+    assert cost.calibration(model.key) == pytest.approx(50.0)
+    # EWMA: a second observation moves the factor toward the new ratio.
+    cost.observe(model, 1, wall_ms=sim * 100.0)
+    assert 50.0 < cost.calibration(model.key) < 100.0
+
+
+def test_plan_batch_size_bounded_by_slack(cost, model):
+    # Calibrate so predictions are meaningful, then shrink the slack and
+    # watch the planned batch shrink with it.
+    sim = cost.simulated_ms(model, 1)
+    cost.observe(model, 1, wall_ms=sim)  # calibration 1.0
+    wide = cost.plan_batch_size(model, slack_ms=1e9, max_batch=16)
+    assert wide == 16
+    tight = cost.plan_batch_size(
+        model, slack_ms=cost.predicted_wall_ms(model, 2) * 0.99, max_batch=16
+    )
+    assert 1 <= tight < wide
+    assert cost.plan_batch_size(model, slack_ms=0.0, max_batch=16) == 1
+
+
+def test_plan_batch_size_at_least_one(cost, model):
+    assert cost.plan_batch_size(model, slack_ms=-5.0, max_batch=4) == 1
+    assert cost.plan_batch_size(model, slack_ms=100.0, max_batch=1) == 1
+
+
+def test_drain_ms_scales_with_backlog_and_workers(cost, model):
+    sim = cost.simulated_ms(model, 1)
+    cost.observe(model, 1, wall_ms=sim)
+    one_worker = cost.drain_ms(10, model, workers=1)
+    two_workers = cost.drain_ms(10, model, workers=2)
+    assert one_worker == pytest.approx(2 * two_workers)
+    assert cost.drain_ms(0, model) == 10.0
+    assert cost.drain_ms(5, None) == 10.0
+
+
+def test_invalid_batch_rejected(cost, model):
+    with pytest.raises(ValueError):
+        cost.simulated_ms(model, 0)

@@ -1,0 +1,90 @@
+"""Satellite regression: batched serving is bit-deterministic.
+
+The contract: a batch of N requests served through the dynamic batcher
+produces outputs bit-identical to N independent unbatched forward passes
+of the same eval-mode :class:`GraphExecutor`.  This is why the default
+engine runs the batch in lockstep per item — numpy's einsum contraction
+order (and therefore the floating-point rounding) depends on the batch
+dimension, so a stacked ``(N, C, H, W)`` forward is *not* bit-equal to
+per-sample forwards.  ``bitexact=False`` opts into the stacked path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceRequest,
+    InferenceServer,
+    ModelKey,
+    ModelRegistry,
+    ServeConfig,
+    Status,
+    make_input,
+    output_digest,
+)
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+SEEDS = [11, 22, 33, 44, 55, 66]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Unbatched ground truth: one forward per seed, straight through the
+    executor the registry would build for KEY."""
+    from repro.nn.tensor import Tensor
+
+    model = ModelRegistry().get(KEY)
+    outputs = {}
+    for seed in SEEDS:
+        x = make_input(model.input_shape, seed)
+        outputs[seed] = model.executor(Tensor(x[None])).data[0]
+    return outputs
+
+
+def _serve_batch(bitexact: bool):
+    async def main():
+        config = ServeConfig(
+            engine="graph", preload=[KEY], workers=1, max_batch=len(SEEDS),
+            batch_timeout_ms=100.0, slo_ms=60000.0, bitexact=bitexact,
+        )
+        async with InferenceServer(config) as server:
+            return await server.submit_many(
+                [InferenceRequest(key=KEY, input_seed=s) for s in SEEDS]
+            )
+    return asyncio.run(main())
+
+
+def test_batched_equals_unbatched_bit_for_bit(reference):
+    responses = _serve_batch(bitexact=True)
+    assert all(r.status is Status.OK for r in responses)
+    # The whole point of the test: the batcher actually coalesced.
+    assert max(r.batch_size for r in responses) > 1
+    for response, seed in zip(responses, SEEDS):
+        expected = reference[seed]
+        assert response.output.dtype == expected.dtype
+        assert response.output.shape == expected.shape
+        assert response.output.tobytes() == expected.tobytes()
+        assert response.digest == output_digest(expected)
+
+
+def test_digests_stable_across_servers(reference):
+    first = {r.request_id: r for r in _serve_batch(bitexact=True)}
+    second = _serve_batch(bitexact=True)
+    digests_first = sorted(r.digest for r in first.values())
+    digests_second = sorted(r.digest for r in second)
+    assert digests_first == digests_second
+
+
+def test_stacked_mode_still_close(reference):
+    """bitexact=False trades the guarantee for one stacked forward; the
+    result must still match to float32 round-off."""
+    responses = _serve_batch(bitexact=False)
+    assert all(r.status is Status.OK for r in responses)
+    for response, seed in zip(responses, SEEDS):
+        np.testing.assert_allclose(
+            response.output, reference[seed], rtol=1e-5, atol=1e-6
+        )

@@ -1,0 +1,152 @@
+"""Load generator: deterministic streams, percentile math, report maths."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    InferenceResponse,
+    LoadReport,
+    ModelKey,
+    Status,
+    WorkloadSpec,
+    build_requests,
+    run_workload,
+)
+from repro.serve.loadgen import _percentile
+
+KEYS = [
+    ModelKey("mobilenet_v1", resolution=32),
+    ModelKey("mobilenet_v3_small", resolution=32),
+]
+
+
+def _spec(**kwargs):
+    defaults = dict(keys=KEYS, requests=40, clients=4, seed=7)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestBuildRequests:
+    def test_same_seed_same_stream(self):
+        a = build_requests(_spec())
+        b = build_requests(_spec())
+        assert [(r.key, r.input_seed, r.priority) for r in a] == \
+            [(r.key, r.input_seed, r.priority) for r in b]
+
+    def test_different_seed_different_stream(self):
+        a = build_requests(_spec(seed=1))
+        b = build_requests(_spec(seed=2))
+        assert [r.input_seed for r in a] != [r.input_seed for r in b]
+
+    def test_all_keys_sampled(self):
+        requests = build_requests(_spec(requests=100))
+        assert {r.key for r in requests} == set(KEYS)
+
+    def test_priorities_sampled_from_spec(self):
+        requests = build_requests(_spec(requests=50, priorities=(0, 2)))
+        assert {r.priority for r in requests} <= {0, 2}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(keys=[])
+        with pytest.raises(ValueError):
+            WorkloadSpec(keys=KEYS, mode="sideways")
+        with pytest.raises(ValueError):
+            WorkloadSpec(keys=KEYS, requests=0)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 50) == 50.0
+        assert _percentile(values, 95) == 95.0
+        assert _percentile(values, 99) == 99.0
+        assert _percentile(values, 100) == 100.0
+
+    def test_small_and_empty(self):
+        assert _percentile([], 50) == 0.0
+        assert _percentile([3.0], 99) == 3.0
+
+
+def _response(status=Status.OK, total_ms=10.0, batch=2, slo_ms=100.0,
+              sim=0.5, key=KEYS[0]):
+    return InferenceResponse(
+        request_id="r", key=key, status=status, total_ms=total_ms,
+        batch_size=batch, slo_ms=slo_ms, simulated_ms=sim,
+    )
+
+
+class TestLoadReport:
+    def test_aggregates(self):
+        responses = (
+            [_response(total_ms=ms) for ms in (10.0, 20.0, 30.0, 40.0)]
+            + [_response(Status.SHED, batch=0)]
+            + [_response(Status.OK, total_ms=500.0)]  # SLO violation
+        )
+        report = LoadReport.from_responses(responses, wall_s=2.0, spec=_spec())
+        assert report.total == 6
+        assert report.ok == 5
+        assert report.shed == 1
+        assert report.shed_rate == pytest.approx(1 / 6)
+        assert report.throughput_rps == pytest.approx(2.5)
+        assert report.slo_violations == 1
+        assert report.p50_ms == 30.0
+        assert report.max_ms == 500.0
+        assert report.batch_histogram == {2: 5}
+
+    def test_empty_run(self):
+        report = LoadReport.from_responses([], wall_s=1.0, spec=_spec())
+        assert report.total == 0
+        assert report.throughput_rps == 0.0
+        assert report.shed_rate == 0.0
+        assert report.slo_violation_rate == 0.0
+
+    def test_render_mentions_key_numbers(self):
+        report = LoadReport.from_responses(
+            [_response()], wall_s=1.0, spec=_spec()
+        )
+        text = report.render()
+        for token in ("throughput", "p50", "batch size", "shed rate", "SLO"):
+            assert token in text
+
+    def test_record_publishes_gauges(self):
+        from repro.obs import get_registry
+
+        report = LoadReport.from_responses(
+            [_response()], wall_s=1.0, spec=_spec()
+        )
+        report.record()
+        snapshot = {
+            m["name"]: m for m in get_registry().to_dict()["metrics"]
+            if m["name"].startswith("serve.loadgen.")
+        }
+        assert snapshot["serve.loadgen.requests"]["value"] == 1.0
+        assert snapshot["serve.loadgen.p50_ms"]["value"] == 10.0
+        assert "serve.loadgen.throughput_rps" in snapshot
+
+
+class TestDrivers:
+    def test_closed_loop_covers_every_request(self):
+        seen = []
+
+        async def submit(request):
+            seen.append(request.request_id)
+            await asyncio.sleep(0)
+            return _response(key=request.key)
+
+        report = asyncio.run(run_workload(submit, _spec(requests=25)))
+        assert report.total == 25
+        assert len(set(seen)) == 25
+
+    def test_open_loop_covers_every_request(self):
+        async def submit(request):
+            return _response(key=request.key)
+
+        report = asyncio.run(run_workload(
+            submit, _spec(requests=10, mode="open", rate=5000.0)
+        ))
+        assert report.total == 10
+        assert report.mode == "open"

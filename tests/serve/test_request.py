@@ -1,0 +1,77 @@
+"""Request/response model: keys, deterministic inputs, digests, SLO math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceRequest,
+    InferenceResponse,
+    ModelKey,
+    Status,
+    make_input,
+    output_digest,
+)
+
+
+class TestModelKey:
+    def test_equal_keys_are_batch_compatible(self):
+        a = ModelKey("mobilenet_v1", variant="half", resolution=64)
+        b = ModelKey("mobilenet_v1", variant="half", resolution=64)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_resolution_not_compatible(self):
+        a = ModelKey("mobilenet_v1", resolution=64)
+        b = ModelKey("mobilenet_v1", resolution=96)
+        assert a != b
+
+    def test_invalid_variant_rejected_early(self):
+        with pytest.raises(ValueError):
+            ModelKey("mobilenet_v1", variant="bogus")
+
+    def test_canonical_forms(self):
+        assert ModelKey("mobilenet_v1", resolution=64).canonical() == \
+            "mobilenet_v1@64"
+        assert ModelKey("mnasnet_b1", variant="full", resolution=96,
+                        seed=3).canonical() == "mnasnet_b1:full@96/s3"
+
+
+class TestInputsAndDigests:
+    def test_make_input_deterministic(self):
+        a = make_input((3, 8, 8), seed=42)
+        b = make_input((3, 8, 8), seed=42)
+        assert a.dtype == np.float32
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, make_input((3, 8, 8), seed=43))
+
+    def test_resolve_input_prefers_attached_tensor(self):
+        attached = np.ones((3, 4, 4), dtype=np.float32)
+        request = InferenceRequest(
+            key=ModelKey("mobilenet_v1"), input=attached, input_seed=7
+        )
+        assert np.array_equal(request.resolve_input((3, 4, 4)), attached)
+
+    def test_digest_covers_dtype_shape_bytes(self):
+        x = np.arange(6, dtype=np.float32)
+        assert output_digest(x) == output_digest(x.copy())
+        assert output_digest(x) != output_digest(x.astype(np.float64))
+        assert output_digest(x) != output_digest(x.reshape(2, 3))
+        assert output_digest(None) is None
+
+
+class TestResponse:
+    def test_slo_met_requires_ok_and_budget(self):
+        key = ModelKey("mobilenet_v1")
+        ok = InferenceResponse(1, key, Status.OK, total_ms=50.0, slo_ms=100.0)
+        late = InferenceResponse(2, key, Status.OK, total_ms=150.0, slo_ms=100.0)
+        shed = InferenceResponse(3, key, Status.SHED, total_ms=1.0, slo_ms=100.0)
+        assert ok.slo_met and ok.ok
+        assert not late.slo_met
+        assert not shed.slo_met and not shed.ok
+
+    def test_request_ids_unique(self):
+        key = ModelKey("mobilenet_v1")
+        ids = {InferenceRequest(key=key).request_id for _ in range(10)}
+        assert len(ids) == 10

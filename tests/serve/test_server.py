@@ -1,0 +1,192 @@
+"""End-to-end server behaviour: batching, shedding, expiry, lifecycle.
+
+Scheduler-behaviour tests run on the ``analytical`` engine (no numerics)
+so they exercise admission/batching/SLO logic without paying for forward
+passes; one test runs the real ``graph`` engine end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceRequest,
+    InferenceServer,
+    ModelKey,
+    ServeConfig,
+    Status,
+)
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+KEY2 = ModelKey("mobilenet_v1", resolution=32)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _request(key=KEY, slo_ms=None, **kwargs):
+    return InferenceRequest(key=key, slo_ms=slo_ms, **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        async def main():
+            server = InferenceServer(ServeConfig(engine="analytical"))
+            with pytest.raises(RuntimeError):
+                await server.submit(_request())
+        run(main())
+
+    def test_start_stop_idempotent(self):
+        async def main():
+            server = InferenceServer(
+                ServeConfig(engine="analytical", preload=[KEY])
+            )
+            await server.start()
+            await server.start()
+            await server.stop()
+            await server.stop()
+        run(main())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(engine="gpu")
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue=0)
+
+
+class TestServing:
+    def test_single_request_ok(self):
+        async def main():
+            config = ServeConfig(engine="analytical", preload=[KEY],
+                                 slo_ms=5000.0)
+            async with InferenceServer(config) as server:
+                response = await server.submit(_request())
+            assert response.status is Status.OK
+            assert response.batch_size >= 1
+            assert response.simulated_ms > 0
+            assert response.slo_ms == 5000.0
+        run(main())
+
+    def test_burst_forms_dynamic_batches(self):
+        async def main():
+            config = ServeConfig(
+                engine="analytical", preload=[KEY], workers=1,
+                max_batch=8, batch_timeout_ms=50.0, slo_ms=5000.0,
+            )
+            async with InferenceServer(config) as server:
+                responses = await server.submit_many(
+                    [_request() for _ in range(16)]
+                )
+            assert all(r.status is Status.OK for r in responses)
+            assert max(r.batch_size for r in responses) > 1
+        run(main())
+
+    def test_graph_engine_end_to_end(self):
+        async def main():
+            config = ServeConfig(engine="graph", preload=[KEY, KEY2],
+                                 workers=2, slo_ms=30000.0)
+            async with InferenceServer(config) as server:
+                responses = await server.submit_many(
+                    [_request(KEY, input_seed=1),
+                     _request(KEY2, input_seed=2)]
+                )
+            for r in responses:
+                assert r.status is Status.OK
+                assert r.output is not None
+                assert r.digest is not None
+                assert np.isfinite(r.output).all()
+            # Different networks must never share a batch.
+            assert all(r.batch_size == 1 for r in responses)
+        run(main())
+
+    def test_unknown_network_surfaces_as_error_response(self):
+        async def main():
+            config = ServeConfig(engine="graph", slo_ms=30000.0)
+            async with InferenceServer(config) as server:
+                first = await server.submit(
+                    _request(ModelKey("no_such_net", resolution=32))
+                )
+                # The failed build must not have killed the worker.
+                second = await server.submit(_request(KEY))
+            return first, second
+
+        first, second = run(main())
+        assert first.status is Status.ERROR
+        assert "no_such_net" in first.error
+        assert second.status is Status.OK
+
+
+class TestOverload:
+    def test_queue_full_sheds_with_retry_after(self):
+        async def main():
+            config = ServeConfig(
+                engine="analytical", preload=[KEY], workers=1,
+                max_queue=2, max_batch=1, batch_timeout_ms=0.0,
+                slo_ms=5000.0,
+            )
+            async with InferenceServer(config) as server:
+                responses = await server.submit_many(
+                    [_request() for _ in range(30)]
+                )
+            return responses
+        responses = run(main())
+        shed = [r for r in responses if r.status is Status.SHED]
+        assert shed, "a 30-deep burst over a 2-slot queue must shed"
+        assert all(r.retry_after_ms is not None and r.retry_after_ms > 0
+                   for r in shed)
+        assert any(r.status is Status.OK for r in responses)
+
+    def test_expired_requests_dropped_not_executed(self):
+        async def main():
+            config = ServeConfig(
+                engine="analytical", preload=[KEY], workers=1,
+                max_batch=1, batch_timeout_ms=0.0, slo_ms=5000.0,
+            )
+            async with InferenceServer(config) as server:
+                # A dead-on-arrival deadline: expires before any worker
+                # can dispatch it.
+                responses = await server.submit_many(
+                    [_request(slo_ms=0.0) for _ in range(4)]
+                )
+            return responses
+        responses = run(main())
+        assert all(r.status is Status.EXPIRED for r in responses)
+        assert all(r.output is None for r in responses)
+
+    def test_stop_without_drain_cancels_queued(self):
+        async def main():
+            config = ServeConfig(
+                engine="analytical", preload=[KEY], workers=1,
+                max_batch=1, batch_timeout_ms=0.0, slo_ms=5000.0,
+            )
+            server = InferenceServer(config)
+            await server.start()
+            futures = [
+                await server.scheduler.submit(_request()) for _ in range(6)
+            ]
+            await server.stop(drain=False)
+            return await asyncio.gather(*futures)
+        responses = run(main())
+        # Whatever had not been dispatched resolves as CANCELLED.
+        assert any(r.status is Status.CANCELLED for r in responses)
+        assert all(r.status in (Status.OK, Status.CANCELLED)
+                   for r in responses)
+
+
+class TestStats:
+    def test_stats_snapshot_counts(self):
+        async def main():
+            config = ServeConfig(engine="analytical", preload=[KEY],
+                                 slo_ms=5000.0)
+            async with InferenceServer(config) as server:
+                await server.submit_many([_request() for _ in range(5)])
+                return server.stats()
+        stats = run(main())
+        assert stats["requests_ok"] >= 5
+        assert stats["batches"] >= 1
+        assert stats["queue_depth"] == 0
+        assert KEY.canonical() in stats["models"]

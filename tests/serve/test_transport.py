@@ -1,0 +1,143 @@
+"""JSON-lines TCP transport: wire codec + a real loopback round trip."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceRequest,
+    InferenceResponse,
+    InferenceServer,
+    ModelKey,
+    RemoteClient,
+    ServeConfig,
+    Status,
+    request_from_wire,
+    response_to_wire,
+    serve_tcp,
+)
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+class TestWireCodec:
+    def test_request_round_trip(self):
+        payload = {
+            "id": 7, "net": "mobilenet_v1", "variant": "half",
+            "resolution": 96, "seed": 2, "input_seed": 123,
+            "slo_ms": 80.0, "priority": 1, "return_output": True,
+        }
+        request, envelope = request_from_wire(payload)
+        assert request.key == ModelKey("mobilenet_v1", variant="half",
+                                       resolution=96, seed=2)
+        assert request.input_seed == 123
+        assert request.slo_ms == 80.0
+        assert request.priority == 1
+        assert envelope == {"id": 7, "return_output": True}
+
+    def test_request_defaults(self):
+        request, envelope = request_from_wire({"net": "mobilenet_v1"})
+        assert request.key == ModelKey("mobilenet_v1")
+        assert request.input_seed == 0
+        assert envelope["return_output"] is False
+
+    def test_response_encoding(self):
+        response = InferenceResponse(
+            request_id="abc", key=KEY, status=Status.OK,
+            output=np.zeros(3, dtype=np.float32), digest="d",
+            queue_ms=1.0, execute_ms=2.0, total_ms=3.0,
+            batch_size=4, slo_ms=100.0,
+        )
+        wire = response_to_wire(response, {"id": 5, "return_output": False})
+        assert wire["id"] == 5
+        assert wire["status"] == "ok"
+        assert wire["batch_size"] == 4
+        assert "output" not in wire
+        wire = response_to_wire(response, {"id": 5, "return_output": True})
+        assert wire["output"] == [0.0, 0.0, 0.0]
+
+    def test_shed_response_carries_retry_after(self):
+        response = InferenceResponse(
+            request_id="abc", key=KEY, status=Status.SHED,
+            slo_ms=100.0, retry_after_ms=12.5,
+        )
+        wire = response_to_wire(response, {"id": 1})
+        assert wire["status"] == "shed"
+        assert wire["retry_after_ms"] == 12.5
+
+
+class TestTcpLoopback:
+    def test_serve_and_query_over_tcp(self):
+        async def main():
+            config = ServeConfig(engine="analytical", preload=[KEY],
+                                 slo_ms=10000.0)
+            async with InferenceServer(config) as server:
+                tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    async with RemoteClient("127.0.0.1", port) as client:
+                        replies = await asyncio.gather(*(
+                            client.request(
+                                InferenceRequest(key=KEY, input_seed=i)
+                            )
+                            for i in range(8)
+                        ))
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+            return replies
+
+        replies = asyncio.run(main())
+        assert len(replies) == 8
+        assert all(r["status"] == "ok" for r in replies)
+        assert len({r["id"] for r in replies}) == 8
+        assert all(r["model"] == KEY.canonical() for r in replies)
+
+    def test_client_submit_adapts_to_response(self):
+        async def main():
+            config = ServeConfig(engine="analytical", preload=[KEY],
+                                 slo_ms=10000.0)
+            async with InferenceServer(config) as server:
+                tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    async with RemoteClient("127.0.0.1", port) as client:
+                        return await client.submit(
+                            InferenceRequest(key=KEY, input_seed=3)
+                        )
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        response = asyncio.run(main())
+        assert isinstance(response, InferenceResponse)
+        assert response.status is Status.OK
+        assert response.batch_size >= 1
+
+    def test_malformed_line_gets_error_reply(self):
+        async def main():
+            config = ServeConfig(engine="analytical", slo_ms=10000.0)
+            async with InferenceServer(config) as server:
+                tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    writer.write(b'{"resolution": 64}\n')  # missing "net"
+                    await writer.drain()
+                    line = await reader.readline()
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+            return line
+
+        import json
+        reply = json.loads(asyncio.run(main()))
+        assert reply["status"] == "error"
+        assert "bad request" in reply["error"]

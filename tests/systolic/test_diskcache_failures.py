@@ -1,0 +1,141 @@
+"""Disk cache failure modes: corruption, contention, and permissions all
+degrade to a miss (recompute) — never an exception, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+import threading
+
+import pytest
+
+from repro.models import build_model
+from repro.obs import get_registry
+from repro.systolic import ArrayConfig
+from repro.systolic.diskcache import (
+    _entry_path,
+    cache_key,
+    estimate_network_cached,
+)
+
+ARRAY = ArrayConfig.square(16)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_model("mobilenet_v3_small", resolution=32)
+
+
+@pytest.fixture
+def baseline(network):
+    """Uncached ground truth for this (network, array)."""
+    return estimate_network_cached(network, ARRAY, cache_dir=None)
+
+
+def _counter_value(name):
+    metric = get_registry().get(name)
+    return metric.value if metric is not None else 0.0
+
+
+def _entry(network, cache_dir):
+    return _entry_path(cache_dir, cache_key(network, ARRAY, batch=1))
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_miss(self, network, baseline, tmp_path):
+        estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        path = _entry(network, tmp_path)
+        assert path.exists()
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        result = estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        assert result.total_cycles == baseline.total_cycles
+        # The rewrite repaired the entry: next read is a hit again.
+        json.loads(path.read_text())
+
+    def test_garbage_json_is_a_miss(self, network, baseline, tmp_path):
+        path = _entry(network, tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all {{{")
+        result = estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        assert result.total_cycles == baseline.total_cycles
+
+    def test_wrong_schema_is_a_miss(self, network, baseline, tmp_path):
+        path = _entry(network, tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"format": 1, "layers": [{"bogus": 1}]}))
+        result = estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        assert result.total_cycles == baseline.total_cycles
+
+    def test_entry_is_a_directory_is_a_miss(self, network, baseline, tmp_path):
+        path = _entry(network, tmp_path)
+        path.mkdir(parents=True)  # read_text() -> IsADirectoryError (OSError)
+        result = estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        assert result.total_cycles == baseline.total_cycles
+
+
+class TestPermissions:
+    def test_readonly_cache_dir_degrades_to_no_cache(
+        self, network, baseline, tmp_path
+    ):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores file permissions")
+        os.chmod(tmp_path, stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            result = estimate_network_cached(
+                network, ARRAY, cache_dir=tmp_path
+            )
+        finally:
+            os.chmod(tmp_path, stat.S_IRWXU)
+        assert result.total_cycles == baseline.total_cycles
+        assert not _entry(network, tmp_path).exists()
+
+    def test_unreadable_entry_is_a_miss(self, network, baseline, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores file permissions")
+        estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        path = _entry(network, tmp_path)
+        os.chmod(path, 0)
+        try:
+            result = estimate_network_cached(
+                network, ARRAY, cache_dir=tmp_path
+            )
+        finally:
+            os.chmod(path, stat.S_IRUSR | stat.S_IWUSR)
+        assert result.total_cycles == baseline.total_cycles
+
+
+class TestContention:
+    def test_concurrent_writers_agree(self, network, baseline, tmp_path):
+        """Many threads race the same cold entry: everyone must land on the
+        baseline answer and the surviving file must be valid JSON."""
+        results = [None] * 8
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = estimate_network_cached(
+                    network, ARRAY, cache_dir=tmp_path
+                )
+            except Exception as exc:  # noqa: BLE001 - the test is the catch
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(r.total_cycles == baseline.total_cycles for r in results)
+        json.loads(_entry(network, tmp_path).read_text())
+
+    def test_hit_and_miss_counters_move(self, network, tmp_path):
+        before_miss = _counter_value("latency.diskcache.miss")
+        before_hit = _counter_value("latency.diskcache.hit")
+        estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        estimate_network_cached(network, ARRAY, cache_dir=tmp_path)
+        assert _counter_value("latency.diskcache.miss") == before_miss + 1
+        assert _counter_value("latency.diskcache.hit") == before_hit + 1
