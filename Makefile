@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -45,6 +45,14 @@ serve-smoke:
 	python -m repro.obs.validate .smoke-serve.json
 	python -c "import json,sys; names={m['name'] for m in json.load(open('.smoke-serve.json'))['metrics']}; missing=[n for n in ('serve.loadgen.throughput_rps','serve.loadgen.p99_ms','serve.loadgen.shed_rate','serve.loadgen.slo_violation_rate') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
 	rm -f .smoke-serve.json
+
+# Compiled-runtime smoke (docs/runtime.md): the exact plan must stay
+# bit-identical to eager, the folded plan within 1e-4, and faster than
+# eager (the full >=2x claim is asserted by bench_compile.py under
+# pytest-benchmark; the smoke floor tolerates loaded CI hosts).  Writes
+# benchmarks/results/BENCH_compile.json.
+compile-smoke:
+	timeout 180 python benchmarks/bench_compile.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,206 @@
+"""Compiled inference runtime vs eager graph execution (pytest-benchmark).
+
+Measures the headline claim of the compiled runtime (docs/runtime.md):
+MobileNet-V3-Small at batch 8 / resolution 32 runs >=2x faster through a
+folded :class:`~repro.nn.compile.InferencePlan` than through the eager
+:class:`~repro.nn.graph.GraphExecutor`, while the exact (no-fold) plan
+stays bit-identical and the folded plan stays within 1e-4.
+
+Also runnable directly as the ``make compile-smoke`` gate::
+
+    python benchmarks/bench_compile.py --smoke
+
+which writes ``benchmarks/results/BENCH_compile.json`` and exits non-zero
+if the exact plan is not bit-identical, the folded error exceeds 1e-4, or
+the speedup falls under ``--min-speedup``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.models import build_model
+from repro.nn import CompileConfig, GraphExecutor, Tensor, compile_executor
+
+RESULTS_DIR = Path(__file__).parent / "results"
+FOLD_TOLERANCE = 1e-4
+
+
+def _best_ms(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times) * 1000.0
+
+
+def run_compile_benchmark(network: str = "mobilenet_v3_small", batch: int = 8,
+                          resolution: int = 32, repeats: int = 5,
+                          seed: int = 0) -> dict:
+    """Eager vs exact-plan vs folded-plan on one model; returns the record."""
+    net = build_model(network, num_classes=10, resolution=resolution)
+    executor = GraphExecutor(net, seed=seed)
+    executor.eval()
+    shape = (batch,) + tuple(net.input_shape)
+    x = np.random.default_rng(seed + 1).standard_normal(shape).astype(np.float32)
+
+    folded = compile_executor(executor, shape)
+    exact = compile_executor(executor, shape, CompileConfig.exact())
+
+    ref = executor(Tensor(x)).data
+    folded_err = float(np.max(np.abs(
+        folded.run(x).astype(np.float64) - ref.astype(np.float64)
+    )))
+    eager_ms = _best_ms(lambda: executor(Tensor(x)), repeats)
+    plan_ms = _best_ms(lambda: folded.run(x), repeats)
+    exact_ms = _best_ms(lambda: exact.run(x), repeats)
+
+    s = folded.stats
+    return {
+        "network": network,
+        "batch": batch,
+        "resolution": resolution,
+        "repeats": repeats,
+        "eager_ms": eager_ms,
+        "plan_ms": plan_ms,
+        "exact_plan_ms": exact_ms,
+        "speedup": eager_ms / plan_ms,
+        "exact_speedup": eager_ms / exact_ms,
+        "exact_bit_identical": bool(exact.run(x).tobytes() == ref.tobytes()),
+        "folded_max_abs_err": folded_err,
+        "nodes": s.nodes,
+        "ops": s.ops,
+        "folded_bn": s.folded_bn,
+        "fused_activations": s.fused_activations,
+        "arena_bytes": s.arena_bytes,
+        "naive_bytes": s.naive_bytes,
+        "arena_saving": s.arena_saving,
+        "compile_ms": s.compile_ms,
+    }
+
+
+def render(result: dict) -> str:
+    return "\n".join([
+        f"compiled runtime: {result['network']} "
+        f"(batch {result['batch']}, res {result['resolution']}, "
+        f"best of {result['repeats']})",
+        f"  eager       : {result['eager_ms']:.2f} ms",
+        f"  exact plan  : {result['exact_plan_ms']:.2f} ms  "
+        f"({result['exact_speedup']:.2f}x, bit-identical="
+        f"{result['exact_bit_identical']})",
+        f"  folded plan : {result['plan_ms']:.2f} ms  "
+        f"({result['speedup']:.2f}x, max|err|={result['folded_max_abs_err']:.2e})",
+        f"  fusion      : {result['nodes']} nodes -> {result['ops']} ops "
+        f"({result['folded_bn']} BN folded, "
+        f"{result['fused_activations']} activations fused)",
+        f"  arena       : {result['arena_bytes'] / 1024:.0f} KiB vs "
+        f"{result['naive_bytes'] / 1024:.0f} KiB naive "
+        f"({result['arena_saving'] * 100:.1f}% saved); "
+        f"compile {result['compile_ms']:.1f} ms",
+    ])
+
+
+def write_json(result: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_compile.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_compiled_runtime_speedup(benchmark, save):
+    """The acceptance benchmark: >=2x over eager on V3-Small batch 8."""
+    net = build_model("mobilenet_v3_small", num_classes=10, resolution=32)
+    executor = GraphExecutor(net, seed=0)
+    executor.eval()
+    shape = (8,) + tuple(net.input_shape)
+    x = np.random.default_rng(1).standard_normal(shape).astype(np.float32)
+    plan = compile_executor(executor, shape)
+
+    out = benchmark(plan.run, x)
+    assert out.shape == (8, 10)
+
+    result = run_compile_benchmark(repeats=5)
+    write_json(result)
+    save("BENCH_compile", render(result))
+    assert result["exact_bit_identical"]
+    assert result["folded_max_abs_err"] <= FOLD_TOLERANCE
+    assert result["speedup"] >= 2.0
+    benchmark.extra_info.update(
+        speedup=result["speedup"], eager_ms=result["eager_ms"],
+        plan_ms=result["plan_ms"],
+    )
+
+
+def test_eager_forward_baseline(benchmark):
+    """The eager number the speedup is measured against."""
+    net = build_model("mobilenet_v3_small", num_classes=10, resolution=32)
+    executor = GraphExecutor(net, seed=0)
+    executor.eval()
+    x = Tensor(np.random.default_rng(1).standard_normal(
+        (8,) + tuple(net.input_shape)).astype(np.float32))
+    out = benchmark(executor, x)
+    assert out.shape == (8, 10)
+
+
+# ------------------------------------------------------------------- smoke
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compiled-runtime benchmark / smoke gate")
+    parser.add_argument("--network", default="mobilenet_v3_small")
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast gate: fewer repeats, relaxed speedup floor")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail under this folded-plan speedup "
+                             "(default: 2.0, or 1.0 with --smoke)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path "
+                             "(default benchmarks/results/BENCH_compile.json)")
+    args = parser.parse_args(argv)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 1.0 if args.smoke else 2.0
+    repeats = 3 if args.smoke and args.repeats == 5 else args.repeats
+
+    result = run_compile_benchmark(args.network, args.batch, args.resolution,
+                                   repeats, args.seed)
+    print(render(result))
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+    else:
+        path = write_json(result)
+    print(f"wrote {path}")
+
+    problems = []
+    if not result["exact_bit_identical"]:
+        problems.append("exact plan is not bit-identical to eager")
+    if result["folded_max_abs_err"] > FOLD_TOLERANCE:
+        problems.append(
+            f"folded error {result['folded_max_abs_err']:.2e} > {FOLD_TOLERANCE}")
+    if result["speedup"] < min_speedup:
+        problems.append(
+            f"speedup {result['speedup']:.2f}x < required {min_speedup:.2f}x")
+    if problems:
+        print("compile benchmark FAILED: " + "; ".join(problems),
+              file=sys.stderr)
+        return 1
+    print(f"compile benchmark ok: {result['speedup']:.2f}x folded, "
+          f"{result['exact_speedup']:.2f}x exact, bit-identical exact plan")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

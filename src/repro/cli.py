@@ -13,6 +13,8 @@ Commands:
 * ``ria``       — classify an algorithm (or all) under the RIA formalism;
 * ``overhead``  — broadcast-link area/power overhead for an array size;
 * ``nos``       — per-layer operator search under a latency budget;
+* ``compile-stats`` — compile a model into a static inference plan and
+  report what folding/fusion/arena planning did (``docs/runtime.md``);
 * ``serve``     — async dynamic-batching inference server (JSON-lines TCP)
   with SLO-aware scheduling over the model zoo (``docs/serving.md``);
 * ``loadgen``   — deterministic closed/open-loop load generation against
@@ -314,6 +316,57 @@ def cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compile_stats(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .nn.compile import CompileConfig, compile_executor
+    from .nn.graph import GraphExecutor
+    from .nn.tensor import Tensor
+
+    net = _net_for(args)
+    executor = GraphExecutor(net, seed=args.seed)
+    executor.eval()
+    config = CompileConfig.exact() if args.exact else CompileConfig()
+    plan = compile_executor(
+        executor, (args.batch,) + tuple(net.input_shape), config
+    )
+    s = plan.stats
+    mode = "exact (bit-identical)" if args.exact else "folded"
+    print(f"{s.network}: compiled {mode} plan for input {plan.input_shape}")
+    print(f"  nodes -> ops : {s.nodes} -> {s.ops}")
+    print(f"  folded BN    : {s.folded_bn}")
+    print(f"  fused act    : {s.fused_activations}")
+    print(f"  arena        : {s.arena_bytes / 1024:.0f} KiB "
+          f"(pool {s.pooled_bytes / 1024:.0f} KiB, "
+          f"naive {s.naive_bytes / 1024:.0f} KiB, "
+          f"saving {s.arena_saving * 100:.1f}%)")
+    print(f"  compile time : {s.compile_ms:.1f} ms")
+    if args.bench:
+        x = np.random.default_rng(args.seed + 1).standard_normal(
+            plan.input_shape).astype(np.float32)
+        ref = executor(Tensor(x)).data
+        err = float(np.max(np.abs(
+            plan.run(x).astype(np.float64) - ref.astype(np.float64)
+        )))
+
+        def best_ms(fn) -> float:
+            times = []
+            for _ in range(args.bench):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times) * 1000.0
+
+        eager_ms = best_ms(lambda: executor(Tensor(x)))
+        plan_ms = best_ms(lambda: plan.run(x))
+        print(f"  eager        : {eager_ms:.2f} ms  (best of {args.bench})")
+        print(f"  plan         : {plan_ms:.2f} ms  "
+              f"({eager_ms / plan_ms:.2f}x)")
+        print(f"  max |err|    : {err:.3e}"
+              + ("  (bit-identical)" if err == 0.0 else ""))
+    return 0
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     from .analysis import execution_timeline
 
@@ -364,6 +417,9 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--no-bitexact", dest="bitexact", action="store_false",
                        help="stacked batch execution (faster, float-close "
                             "instead of bit-identical to unbatched)")
+    group.add_argument("--no-compile", dest="compile", action="store_false",
+                       help="eager graph execution instead of compiled "
+                            "inference plans (see docs/runtime.md)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -404,6 +460,7 @@ def _serve_config(args: argparse.Namespace, keys: list):
         batch_timeout_ms=args.batch_timeout_ms,
         slo_ms=args.slo_ms,
         bitexact=args.bitexact,
+        compile=args.compile,
         jobs=_effective_jobs(args) or 1,
         cache_dir=args.cache_dir,
         array=_array_from_args(args),
@@ -584,6 +641,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show only the N longest layers (0 = all)")
     _add_array_options(p)
     p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser(
+        "compile-stats",
+        help="compile an inference plan and report fusion/arena statistics",
+        parents=[common],
+    )
+    _add_model_argument(p)
+    p.add_argument("--resolution", type=int, default=32)
+    _add_variant_option(p)
+    p.add_argument("--batch", type=int, default=8,
+                   help="batch size the plan is compiled for (default 8)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="weight seed (and bench-input seed)")
+    p.add_argument("--exact", action="store_true",
+                   help="bit-exact preset: no folding/fusion "
+                        "(output bit-identical to the eager forward)")
+    p.add_argument("--bench", type=int, default=0, metavar="N",
+                   help="time N eager-vs-plan repeats and report the "
+                        "speedup and max abs error (default off)")
+    p.set_defaults(fn=cmd_compile_stats)
 
     p = sub.add_parser("nos", help="per-layer operator search", parents=[common])
     _add_model_argument(p)

@@ -8,6 +8,7 @@ from .blocks import (
     MiniSeparableNet,
     SeparableBlock,
 )
+from .compile import CompileConfig, InferencePlan, PlanStats, compile_executor
 from .data import Dataset, SyntheticSpec, make_synthetic, make_teacher_dataset
 from .graph import GraphExecutor
 from .layers import (
@@ -41,6 +42,10 @@ __all__ = [
     "MiniInvertedResidualNet",
     "MiniSeparableNet",
     "SeparableBlock",
+    "CompileConfig",
+    "InferencePlan",
+    "PlanStats",
+    "compile_executor",
     "Dataset",
     "SyntheticSpec",
     "make_synthetic",

@@ -1,0 +1,747 @@
+"""Compiled inference runtime: static plans for :class:`GraphExecutor`.
+
+The eager executor re-derives everything per forward: it builds autograd
+closures it never uses at inference, lets ``np.einsum`` re-search its
+contraction path per op, allocates a fresh array for every output and
+runs BatchNorm unfolded.  :func:`compile_executor` pays those costs once,
+turning a ``GraphExecutor`` plus a concrete input shape into an
+:class:`InferencePlan`:
+
+* **graph compilation** — one pass over the (already topologically
+  ordered) IR decides a static op list with per-op shapes inferred once;
+  each op becomes a zero-argument closure over preallocated buffers and
+  the no-tape kernels of :mod:`repro.nn.functional`;
+* **constant folding** — everything that depends only on weights and
+  hyper-parameters is evaluated at compile time: BatchNorm ``scale`` /
+  ``shift`` from the running statistics, folded convolution filters,
+  grouped-weight reshapes, padding geometry, window views and
+  ``np.einsum_path`` contraction orders;
+* **Conv+BN folding & activation fusion** — a BatchNorm that is the sole
+  consumer of a Conv / Depthwise / FuSe-1D / Pointwise / Linear op is
+  folded into its weights and bias; a following ReLU / ReLU6 / h-swish
+  (any :data:`repro.nn.functional.ACTIVATIONS` entry) is fused as an
+  in-place post-op on the producer's output buffer;
+* **arena memory planning** — output buffers are views into a pool of
+  slabs recycled by liveness (a buffer returns to the pool after its last
+  consumer), so a whole forward runs in a fixed, preallocated footprint.
+  Padded inputs get dedicated scratch whose zero / ``-inf`` borders are
+  written once at compile time and only the interior per run.
+
+Bit-exactness policy (PR-3 convention): with folding and fusion disabled
+(:meth:`CompileConfig.exact`) every kernel mirrors the eager float
+operation sequence, so the plan output is **bit-identical** to
+``GraphExecutor.forward`` — regression-tested.  With folding enabled the
+output is float-close (max-abs error ≤ 1e-4 on unit-scale activations,
+see ``docs/runtime.md``).
+
+Example:
+    >>> import numpy as np
+    >>> from repro.models import build_model
+    >>> from repro.nn import GraphExecutor
+    >>> from repro.nn.compile import compile_executor
+    >>> net = build_model("mobilenet_v2", num_classes=10, resolution=32)
+    >>> model = GraphExecutor(net, seed=0).eval()
+    >>> plan = compile_executor(model, (2, 3, 32, 32))
+    >>> plan.run(np.zeros((2, 3, 32, 32), dtype=np.float32)).shape
+    (2, 10)
+
+A plan freezes the model: weights (folded or referenced) and shapes are
+captured at compile time, so recompile after mutating parameters, and
+build one plan per batch size.  ``run()`` is serialized by an internal
+lock because concurrent runs would race on the shared arena.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir import layer as ir
+from ..ir.network import Network, Node
+from ..obs import get_logger, get_registry, get_tracer
+from . import functional as F
+from .functional import _pad_amounts, _pair, _windows
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    FuSeConv1d,
+    Linear,
+    SqueezeExcite,
+)
+
+__all__ = ["CompileConfig", "PlanStats", "InferencePlan", "compile_executor"]
+
+_log = get_logger("nn.compile")
+
+#: IR kinds whose weights a trailing BatchNorm can fold into.
+_FOLDABLE = (
+    ir.Conv2D,
+    ir.DepthwiseConv2D,
+    ir.PointwiseConv2D,
+    ir.FuSeConv1D,
+    ir.Linear,
+)
+
+#: IR kinds that accept a fused in-place activation post-op.
+_ACT_HOSTS = _FOLDABLE + (ir.BatchNorm, ir.Add)
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Plan optimization switches.
+
+    The default enables everything; :meth:`exact` is the bit-exact
+    preset serving uses for its deterministic (``bitexact``) path.
+    """
+
+    fold_bn: bool = True            #: fold BatchNorm into producer weights
+    fuse_activations: bool = True   #: in-place activation post-ops
+    constant_fold: bool = True      #: precompute BN scale/shift constants
+    arena: bool = True              #: liveness-based buffer reuse
+
+    @classmethod
+    def exact(cls) -> "CompileConfig":
+        """Bit-identical-to-eager preset (folding and fusion off)."""
+        return cls(fold_bn=False, fuse_activations=False, constant_fold=False)
+
+
+@dataclass
+class PlanStats:
+    """What compilation did — surfaced by ``repro compile-stats``."""
+
+    network: str
+    batch: int
+    input_shape: Tuple[int, ...]
+    nodes: int                   #: IR nodes walked
+    ops: int                     #: plan steps after fusion
+    folded_bn: int               #: BatchNorm layers folded into weights
+    fused_activations: int       #: activations fused into producers
+    arena_bytes: int             #: preallocated footprint (slabs + scratch)
+    pooled_bytes: int            #: reusable slab pool subset of the arena
+    naive_bytes: int             #: footprint without reuse (fresh per op)
+    compile_ms: float = 0.0
+
+    @property
+    def ops_fused(self) -> int:
+        return self.folded_bn + self.fused_activations
+
+    @property
+    def arena_saving(self) -> float:
+        """Fraction of the naive footprint the arena planner avoided."""
+        if self.naive_bytes <= 0:
+            return 0.0
+        return 1.0 - self.arena_bytes / self.naive_bytes
+
+
+class _Arena:
+    """Slab allocator with liveness-driven reuse.
+
+    ``acquire`` hands out a view into the smallest free slab that fits
+    (or a new one); ``release`` returns the slab to the pool.  Dedicated
+    buffers (padded scratch with persistent borders) bypass the pool.
+    """
+
+    def __init__(self, dtype: np.dtype, enabled: bool = True) -> None:
+        self.dtype = np.dtype(dtype)
+        self.enabled = enabled
+        self.slabs: List[np.ndarray] = []
+        self.dedicated: List[np.ndarray] = []
+        self._free: List[np.ndarray] = []
+
+    def acquire(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns ``(slab, view)``; pass ``slab`` back to :meth:`release`."""
+        size = int(np.prod(shape, dtype=np.int64))
+        slab = None
+        if self.enabled:
+            fits = [(s.size, i) for i, s in enumerate(self._free) if s.size >= size]
+            if fits:
+                _, i = min(fits)
+                slab = self._free.pop(i)
+        if slab is None:
+            slab = np.empty(size, dtype=self.dtype)
+            self.slabs.append(slab)
+        return slab, np.reshape(slab[:size], shape)
+
+    def release(self, slab: np.ndarray) -> None:
+        self._free.append(slab)
+
+    def dedicate(self, array: np.ndarray) -> np.ndarray:
+        self.dedicated.append(array)
+        return array
+
+    @property
+    def pooled_bytes(self) -> int:
+        return sum(s.nbytes for s in self.slabs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.pooled_bytes + sum(a.nbytes for a in self.dedicated)
+
+
+@dataclass
+class _PlanNode:
+    """One plan step: a primary IR node plus what was folded into it."""
+
+    node: Node
+    bn: Optional[Node] = None
+    act: Optional[Node] = None
+
+    @property
+    def out_name(self) -> str:
+        return (self.act or self.bn or self.node).name
+
+    @property
+    def label(self) -> str:
+        parts = [self.node.kind]
+        if self.bn is not None:
+            parts.append("BN")
+        if self.act is not None:
+            parts.append(self.act.layer.fn)
+        return "+".join(parts)
+
+
+# ------------------------------------------------- fused activation post-ops
+
+def _act_post_op(fn: str) -> Tuple[Callable[[np.ndarray, Optional[np.ndarray]], None], bool]:
+    """In-place activation ``(buf, scratch) -> None``; bool = needs scratch."""
+    if fn == "relu":
+        return (lambda buf, scratch: np.maximum(buf, 0.0, out=buf)), False
+    if fn == "relu6":
+        return (lambda buf, scratch: np.clip(buf, 0.0, 6.0, out=buf)), False
+    if fn == "hsigmoid":
+        def hsigmoid_(buf, scratch):
+            np.add(buf, 3.0, out=buf)
+            np.clip(buf, 0.0, 6.0, out=buf)
+            np.multiply(buf, 1.0 / 6.0, out=buf)
+        return hsigmoid_, False
+    if fn == "hswish":
+        def hswish_(buf, scratch):
+            np.add(buf, 3.0, out=scratch)
+            np.clip(scratch, 0.0, 6.0, out=scratch)
+            np.multiply(scratch, 1.0 / 6.0, out=scratch)
+            np.multiply(buf, scratch, out=buf)
+        return hswish_, True
+    if fn == "sigmoid":
+        def sigmoid_(buf, scratch):
+            np.copyto(buf, F.sigmoid_infer(buf))
+        return sigmoid_, False
+    if fn == "swish":
+        def swish_(buf, scratch):
+            np.copyto(scratch, F.sigmoid_infer(buf))
+            np.multiply(buf, scratch, out=buf)
+        return swish_, True
+    raise NotImplementedError(f"no fused post-op for activation {fn!r}")
+
+
+# -------------------------------------------------------------- shape logic
+
+def _conv_geometry(module, node: Node):
+    """(weight4d, bias, stride_hw, padding, groups) of any conv-like module."""
+    if isinstance(module, FuSeConv1d):
+        c, k = module.weight.shape
+        if module.axis == "row":
+            w4 = module.weight.data.reshape(c, 1, 1, k)
+        else:
+            w4 = module.weight.data.reshape(c, 1, k, 1)
+        groups = c
+    else:
+        w4 = module.weight.data
+        groups = getattr(module, "groups", None)
+        if groups is None:  # DepthwiseConv2d stores no explicit groups
+            groups = w4.shape[0] if isinstance(module, DepthwiseConv2d) else 1
+    bias = module.bias.data if module.bias is not None else None
+    return w4, bias, _pair(module.stride), module.padding, groups
+
+
+def _conv_out_shape(in_shape, w4, stride_hw, padding, groups):
+    n, c, h, w = in_shape
+    c_out, c_g, kh, kw = w4.shape
+    if c % groups or c_g != c // groups:
+        raise ValueError(
+            f"conv shape mismatch: input C={c}, weight {w4.shape}, groups={groups}"
+        )
+    sh, sw = stride_hw
+    top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
+    oh = (h + top + bottom - kh) // sh + 1
+    ow = (w + left + right - kw) // sw + 1
+    return (n, c_out, oh, ow), (top, bottom, left, right)
+
+
+def _fold_bn_into(w4: np.ndarray, bias: Optional[np.ndarray], bn: BatchNorm2d):
+    """Fold an eval-mode BatchNorm into conv/linear weights (constant fold)."""
+    scale, shift = bn.inference_scale_shift()
+    view = (-1,) + (1,) * (w4.ndim - 1)
+    w_f = (w4 * scale.reshape(view)).astype(w4.dtype)
+    b0 = bias if bias is not None else 0.0
+    b_f = (shift + scale * b0).astype(scale.dtype)
+    return w_f, b_f
+
+
+# ---------------------------------------------------------------- the plan
+
+class InferencePlan:
+    """A compiled, preallocated forward pass for one input shape.
+
+    Call :meth:`run` with an ``(N, C, H, W)`` float array of exactly the
+    compiled shape/dtype.  Runs are serialized by an internal lock (the
+    arena is shared state); build one plan per concurrent stream if you
+    need parallel execution of the same model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CompileConfig,
+        input_view: np.ndarray,
+        output_view: np.ndarray,
+        steps: List[Callable[[], None]],
+        labels: List[str],
+        stats: PlanStats,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.stats = stats
+        self.labels = labels
+        self._input = input_view
+        self._output = output_view
+        self._steps = steps
+        self._lock = threading.Lock()
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self._input.shape
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        return self._output.shape
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"InferencePlan({self.name!r}, input={self._input.shape}, "
+            f"ops={s.ops}, folded_bn={s.folded_bn}, "
+            f"fused_act={s.fused_activations}, arena={s.arena_bytes}B)"
+        )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One forward pass; returns a fresh array detached from the arena."""
+        x = np.asarray(x)
+        if x.shape != self._input.shape:
+            raise ValueError(
+                f"plan compiled for input {self._input.shape}, got {x.shape}"
+            )
+        if x.dtype != self._input.dtype:
+            raise ValueError(
+                f"plan compiled for dtype {self._input.dtype}, got {x.dtype} "
+                "(cast the input or recompile)"
+            )
+        with self._lock, get_tracer().span("plan.run", category="nn",
+                                           plan=self.name):
+            np.copyto(self._input, x)
+            for step in self._steps:
+                step()
+            return self._output.copy()
+
+
+# ------------------------------------------------------------- compilation
+
+def compile_executor(
+    executor,
+    input_shape: Sequence[int],
+    config: Optional[CompileConfig] = None,
+) -> InferencePlan:
+    """Compile a :class:`~repro.nn.graph.GraphExecutor` into a static plan.
+
+    Args:
+        executor: an **eval-mode** executor (BatchNorm running statistics
+            are baked in as constants).
+        input_shape: concrete ``(N, C, H, W)`` the plan will accept.
+        config: optimization switches; default :class:`CompileConfig()`.
+    """
+    config = config or CompileConfig()
+    network: Network = executor.network
+    if executor.training:
+        raise ValueError(
+            "compile_executor needs an eval-mode executor "
+            "(call executor.eval() first): plans bake in running statistics"
+        )
+    input_shape = tuple(int(d) for d in input_shape)
+    if len(input_shape) != 4 or input_shape[1:] != tuple(network.input_shape):
+        raise ValueError(
+            f"input_shape must be (N,) + {tuple(network.input_shape)}, "
+            f"got {input_shape}"
+        )
+
+    start = time.perf_counter()
+    with get_tracer().span("nn.compile", category="nn", network=network.name,
+                           batch=input_shape[0]):
+        plan = _build_plan(executor, network, input_shape, config)
+    plan.stats.compile_ms = (time.perf_counter() - start) * 1000.0
+
+    registry = get_registry()
+    registry.gauge("runtime.compile_ms").set(plan.stats.compile_ms)
+    registry.gauge("runtime.arena_bytes").set(float(plan.stats.arena_bytes))
+    registry.gauge("runtime.ops_fused").set(float(plan.stats.ops_fused))
+    registry.counter("runtime.plans").inc()
+    _log.info(
+        "compiled inference plan", network=network.name, batch=input_shape[0],
+        ops=plan.stats.ops, folded_bn=plan.stats.folded_bn,
+        fused_act=plan.stats.fused_activations,
+        arena_kib=f"{plan.stats.arena_bytes / 1024:.0f}",
+        ms=f"{plan.stats.compile_ms:.1f}",
+    )
+    return plan
+
+
+def _sole_consumer(network: Network, name: str) -> Optional[Node]:
+    consumers = network.consumers(name)
+    if len(consumers) == 1 and consumers[0].inputs == [name]:
+        return consumers[0]
+    return None
+
+
+def _fuse_pass(network: Network, config: CompileConfig) -> List[_PlanNode]:
+    """Decide which BN / activation nodes disappear into their producers."""
+    plan_nodes: List[_PlanNode] = []
+    consumed: set = set()
+    for node in network:
+        if node.name in consumed:
+            continue
+        pn = _PlanNode(node)
+        if config.fold_bn and isinstance(node.layer, _FOLDABLE):
+            nxt = _sole_consumer(network, node.name)
+            if nxt is not None and isinstance(nxt.layer, ir.BatchNorm):
+                pn.bn = nxt
+                consumed.add(nxt.name)
+        if config.fuse_activations and isinstance(node.layer, _ACT_HOSTS):
+            tail = pn.bn or pn.node
+            nxt = _sole_consumer(network, tail.name)
+            if nxt is not None and isinstance(nxt.layer, ir.Activation):
+                pn.act = nxt
+                consumed.add(nxt.name)
+        plan_nodes.append(pn)
+    return plan_nodes
+
+
+def _build_plan(
+    executor, network: Network, input_shape: Tuple[int, ...],
+    config: CompileConfig,
+) -> InferencePlan:
+    n = input_shape[0]
+    dtype = np.dtype(np.float32)
+    for p in executor.parameters():
+        dtype = p.dtype
+        break
+
+    plan_nodes = _fuse_pass(network, config)
+    produced_by: Dict[str, int] = {}
+    for i, pn in enumerate(plan_nodes):
+        for part in (pn.node, pn.bn, pn.act):
+            if part is not None:
+                produced_by[part.name] = i
+
+    # Liveness: how many plan steps read each buffer (+1 for the output).
+    refs = [0] * len(plan_nodes)
+    for pn in plan_nodes:
+        for src in pn.node.inputs:
+            refs[produced_by[src]] += 1
+    refs[len(plan_nodes) - 1] += 1
+
+    arena = _Arena(dtype, enabled=config.arena)
+    input_view = arena.dedicate(np.zeros(input_shape, dtype=dtype))
+    buffers: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(plan_nodes)
+    naive_bytes = input_view.nbytes
+    steps: List[Callable[[], None]] = []
+    labels: List[str] = []
+    folded = fused = 0
+
+    def in_views(pn: _PlanNode) -> List[np.ndarray]:
+        if not pn.node.inputs:
+            return [input_view]
+        return [buffers[produced_by[src]][1] for src in pn.node.inputs]
+
+    for idx, pn in enumerate(plan_nodes):
+        inputs = in_views(pn)
+        step, out_entry, extra_bytes = _build_step(
+            executor, pn, inputs, arena, config, n
+        )
+        buffers[idx] = out_entry
+        naive_bytes += out_entry[1].nbytes + extra_bytes
+        steps.append(step)
+        labels.append(pn.label)
+        folded += pn.bn is not None
+        fused += pn.act is not None
+        # Release buffers whose last consumer this step was.
+        for src in pn.node.inputs:
+            j = produced_by[src]
+            refs[j] -= 1
+            if refs[j] == 0 and buffers[j] is not None:
+                arena.release(buffers[j][0])
+
+    output_view = buffers[-1][1]
+    stats = PlanStats(
+        network=network.name,
+        batch=n,
+        input_shape=input_shape,
+        nodes=len(network),
+        ops=len(steps),
+        folded_bn=folded,
+        fused_activations=fused,
+        arena_bytes=arena.total_bytes + input_view.nbytes,
+        pooled_bytes=arena.pooled_bytes,
+        naive_bytes=naive_bytes,
+    )
+    return InferencePlan(
+        name=network.name, config=config, input_view=input_view,
+        output_view=output_view, steps=steps, labels=labels, stats=stats,
+    )
+
+
+def _build_step(
+    executor, pn: _PlanNode, inputs: List[np.ndarray], arena: _Arena,
+    config: CompileConfig, n: int,
+):
+    """One plan step: returns ``(closure, (slab, out_view), scratch_bytes)``.
+
+    The closure captures every constant — weights, views, einsum path —
+    so the per-run body is only the irreducible numpy calls.
+    """
+    node = pn.node
+    spec = node.layer
+    x = inputs[0]
+    dtype = arena.dtype
+    extra_bytes = 0
+
+    post = None
+    post_scratch = None
+    if pn.act is not None:
+        post, needs_scratch = _act_post_op(pn.act.layer.fn)
+    else:
+        needs_scratch = False
+
+    def finish(out_shape, run_core):
+        """Acquire the output (and post-op scratch), wrap the post-op."""
+        nonlocal post_scratch, extra_bytes
+        slab, out = arena.acquire(out_shape)
+        if post is not None and needs_scratch:
+            sslab, post_scratch = arena.acquire(out_shape)
+            arena.release(sslab)  # live only inside this step
+            extra_bytes += post_scratch.nbytes
+        scratch = post_scratch
+        if post is None:
+            step = lambda: run_core(out)  # noqa: E731
+        else:
+            def step():
+                run_core(out)
+                post(out, scratch)
+        return step, (slab, out), extra_bytes
+
+    # ----------------------------------------------------------- conv-like
+    if isinstance(spec, _FOLDABLE) and not isinstance(spec, ir.Linear):
+        module = executor.module_for(node.name)
+        w4, bias, stride_hw, padding, groups = _conv_geometry(module, node)
+        if pn.bn is not None:
+            bn_module = executor.module_for(pn.bn.name)
+            w4, bias = _fold_bn_into(w4, bias, bn_module)
+        out_shape, pads = _conv_out_shape(x.shape, w4, stride_hw, padding, groups)
+        top, bottom, left, right = pads
+        pad_buf = None
+        if any(pads):
+            nb, cb, h, w = x.shape
+            pad_buf = arena.dedicate(np.zeros(
+                (nb, cb, h + top + bottom, w + left + right), dtype=dtype))
+            extra_bytes += pad_buf.nbytes
+        # Constant-fold the contraction order (identical to what the
+        # kernel's optimize=True would pick per call).  Mirror the
+        # depthwise/grouped branch of :func:`conv2d_infer`.
+        c_out, c_g, kh, kw = w4.shape
+        og = c_out // groups
+        c_in = x.shape[1]
+        sh, sw = stride_hw
+        xp = pad_buf if pad_buf is not None else x
+        if groups == 1 and kh == kw == 1 and sh == sw == 1 and xp is x:
+            path = np.einsum_path(
+                "nchw,oc->nohw", x, w4.reshape(c_out, c_in),
+                optimize=True)[0]
+
+            def run_core(out, x=x, w4=w4, bias=bias, stride=stride_hw,
+                         padding=padding, groups=groups, path=path):
+                F.conv2d_infer(x, w4, bias, stride, padding, groups,
+                               out=out, pad_buf=None, path=path)
+
+            return finish(out_shape, run_core)
+        win = _windows(xp, kh, kw, *stride_hw)
+        if groups == c_in and og == 1 and c_g == 1:
+            path = np.einsum_path(
+                "nchwkl,ckl->nchw", win, w4.reshape(c_in, kh, kw),
+                optimize=True)[0]
+        else:
+            win_g = win.reshape(
+                n, groups, c_in // groups, out_shape[2], out_shape[3], kh, kw)
+            w_g = w4.reshape(groups, og, c_g, kh, kw)
+            path = np.einsum_path("ngchwkl,gockl->ngohw", win_g, w_g,
+                                  optimize=True)[0]
+
+        def run_core(out, x=x, w4=w4, bias=bias, stride=stride_hw,
+                     padding=padding, groups=groups, pad_buf=pad_buf,
+                     path=path):
+            F.conv2d_infer(x, w4, bias, stride, padding, groups,
+                           out=out, pad_buf=pad_buf, path=path)
+
+        return finish(out_shape, run_core)
+
+    # -------------------------------------------------------------- linear
+    if isinstance(spec, ir.Linear):
+        module = executor.module_for(node.name)
+        weight = module.weight.data
+        bias = module.bias.data if module.bias is not None else None
+        if pn.bn is not None:
+            bn_module = executor.module_for(pn.bn.name)
+            weight, bias = _fold_bn_into(weight, bias, bn_module)
+        wt = weight.T
+        out_shape = (n, weight.shape[0])
+
+        def run_core(out, x=x, wt=wt, bias=bias):
+            np.matmul(x, wt, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+
+        return finish(out_shape, run_core)
+
+    # ---------------------------------------------------------- batch norm
+    if isinstance(spec, ir.BatchNorm):
+        module: BatchNorm2d = executor.module_for(node.name)
+        if config.constant_fold:
+            scale, shift = module.inference_scale_shift()
+            view = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+            scale_v = scale.reshape(view).astype(dtype)
+            shift_v = shift.reshape(view).astype(dtype)
+
+            def run_core(out, x=x, scale_v=scale_v, shift_v=shift_v):
+                np.multiply(x, scale_v, out=out)
+                np.add(out, shift_v, out=out)
+        else:
+            gamma, beta = module.gamma.data, module.beta.data
+            rm, rv, eps = module.running_mean, module.running_var, module.eps
+
+            def run_core(out, x=x, gamma=gamma, beta=beta, rm=rm, rv=rv,
+                         eps=eps):
+                F.batch_norm_infer(x, gamma, beta, rm, rv, eps, out=out)
+
+        return finish(x.shape, run_core)
+
+    # ---------------------------------------------------------- activation
+    if isinstance(spec, ir.Activation):
+        fn = F.ACTIVATIONS_INFER[spec.fn]
+
+        def run_core(out, x=x, fn=fn):
+            np.copyto(out, fn(x))
+
+        return finish(x.shape, run_core)
+
+    # ------------------------------------------------------ squeeze-excite
+    if isinstance(spec, ir.SqueezeExcite):
+        module: SqueezeExcite = executor.module_for(node.name)
+        w1, b1 = module.fc1.weight.data, module.fc1.bias.data
+        w2, b2 = module.fc2.weight.data, module.fc2.bias.data
+        c = x.shape[1]
+
+        def run_core(out, x=x, w1=w1, b1=b1, w2=w2, b2=b2, c=c):
+            squeezed = F.global_avg_pool_infer(x)
+            hidden = F.relu_infer(F.linear_infer(squeezed, w1, b1))
+            scale = F.hsigmoid_infer(F.linear_infer(hidden, w2, b2))
+            np.multiply(x, scale.reshape(x.shape[0], c, 1, 1), out=out)
+
+        return finish(x.shape, run_core)
+
+    # ------------------------------------------------------------ plumbing
+    if isinstance(spec, ir.Add):
+        rest = inputs[1:]
+
+        def run_core(out, x=x, rest=rest):
+            np.add(x, rest[0], out=out)
+            for other in rest[1:]:
+                np.add(out, other, out=out)
+
+        return finish(x.shape, run_core)
+
+    if isinstance(spec, ir.Concat):
+        channels = sum(v.shape[1] for v in inputs)
+        out_shape = (n, channels) + x.shape[2:]
+
+        def run_core(out, inputs=tuple(inputs)):
+            np.concatenate(inputs, axis=1, out=out)
+
+        return finish(out_shape, run_core)
+
+    if isinstance(spec, ir.ChannelSplit):
+        start, stop = spec.start, spec.stop
+        out_shape = (n, stop - start) + x.shape[2:]
+
+        def run_core(out, x=x, start=start, stop=stop):
+            np.copyto(out, x[:, start:stop])
+
+        return finish(out_shape, run_core)
+
+    if isinstance(spec, ir.Pool2D):
+        kh, kw = spec.kernel_hw
+        sh, sw = spec.stride_hw
+        if spec.op == "avg":
+            if spec.padding not in (0, (0, 0)):
+                raise NotImplementedError(
+                    "padded average pooling is not executable; use padding=0"
+                )
+            nb, cb, h, w = x.shape
+            out_shape = (nb, cb, (h - kh) // sh + 1, (w - kw) // sw + 1)
+
+            def run_core(out, x=x, kernel=(kh, kw), stride=(sh, sw)):
+                F.avg_pool2d_infer(x, kernel, stride, out=out)
+
+            return finish(out_shape, run_core)
+
+        nb, cb, h, w = x.shape
+        top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw,
+                                                spec.padding)
+        pad_buf = None
+        if top or bottom or left or right:
+            pad_buf = arena.dedicate(np.full(
+                (nb, cb, h + top + bottom, w + left + right), -np.inf,
+                dtype=dtype))
+            extra_bytes += pad_buf.nbytes
+        out_shape = (nb, cb,
+                     (h + top + bottom - kh) // sh + 1,
+                     (w + left + right - kw) // sw + 1)
+        pool_padding = spec.padding
+
+        def run_core(out, x=x, kernel=(kh, kw), stride=(sh, sw),
+                     padding=pool_padding, pad_buf=pad_buf):
+            F.max_pool2d_infer(x, kernel, stride, padding,
+                               out=out, pad_buf=pad_buf)
+
+        return finish(out_shape, run_core)
+
+    if isinstance(spec, ir.GlobalAvgPool):
+        def run_core(out, x=x):
+            F.global_avg_pool_infer(x, out=out)
+
+        return finish((n, x.shape[1]), run_core)
+
+    if isinstance(spec, ir.Flatten):
+        flat = (n, int(np.prod(x.shape[1:], dtype=np.int64)))
+
+        def run_core(out, x=x, flat=flat):
+            np.copyto(out, x.reshape(flat))
+
+        return finish(flat, run_core)
+
+    raise NotImplementedError(
+        f"no compiled op for {node.kind} ({node.name})"
+    )

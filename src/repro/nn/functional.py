@@ -99,7 +99,13 @@ def conv2d(
         )
     sh, sw = _pair(stride)
     top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
-    xp = np.pad(x.data, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    # ascontiguousarray: np.pad with zero widths keeps the input's (possibly
+    # einsum-transposed) layout, and einsum's BLAS rounding is
+    # layout-dependent — normalize so value-equal inputs give bit-equal
+    # outputs regardless of upstream memory order.
+    xp = np.ascontiguousarray(
+        np.pad(x.data, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    )
     win = _windows(xp, kh, kw, sh, sw)
     oh, ow = win.shape[2], win.shape[3]
 
@@ -215,8 +221,26 @@ def hswish(x: Tensor) -> Tensor:
     return x * hsigmoid(x)
 
 
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function (split by sign).
+
+    ``1 / (1 + exp(-x))`` overflows (and warns) for large-magnitude
+    negative inputs; evaluating ``exp`` only on the non-positive side of
+    each branch keeps the argument bounded above by zero.
+    """
+    x = np.asarray(x)
+    out = np.empty_like(x)
+    pos = x >= 0
+    np.exp(-x, where=pos, out=out)
+    out[pos] = 1.0 / (1.0 + out[pos])
+    neg = ~pos
+    ex = np.exp(x[neg])
+    out[neg] = ex / (1.0 + ex)
+    return out
+
+
 def sigmoid(x: Tensor) -> Tensor:
-    out_data = 1.0 / (1.0 + np.exp(-x.data))
+    out_data = _stable_sigmoid(x.data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * out_data * (1.0 - out_data))
@@ -242,7 +266,14 @@ ACTIVATIONS = {
 
 def global_avg_pool(x: Tensor) -> Tensor:
     """``(N, C, H, W)`` → ``(N, C)``."""
-    return x.mean(axis=(2, 3))
+    out = x.mean(axis=(2, 3))
+    # Normalize the memory layout: the reduction inherits the (possibly
+    # transposed) einsum-output layout of x, and the BLAS behind the
+    # downstream matmul rounds differently per layout.  Same values,
+    # deterministic strides.
+    if not out.data.flags["C_CONTIGUOUS"]:
+        out.data = np.ascontiguousarray(out.data)
+    return out
 
 
 def avg_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
@@ -251,7 +282,9 @@ def avg_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
     kh, kw = _pair(kernel)
     sh, sw = _pair(stride if stride is not None else kernel)
     n, c, h, w = x.shape
-    win = _windows(x.data, kh, kw, sh, sw)
+    # Contiguous input keeps the window-mean accumulation order (and its
+    # float rounding) independent of upstream memory layout.
+    win = _windows(np.ascontiguousarray(x.data), kh, kw, sh, sw)
     oh, ow = win.shape[2], win.shape[3]
     out_data = win.mean(axis=(4, 5))
 
@@ -287,11 +320,20 @@ def max_pool2d(x: Tensor, kernel: Union[int, Tuple[int, int]],
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
+        # Scatter each output gradient onto its argmax tap with one strided
+        # slice-add per tap (kh*kw vectorized passes) instead of np.add.at's
+        # per-element inner loop.  For a fixed tap the windows land on
+        # disjoint input positions, so `where=` masks never collide within a
+        # pass; iterating taps in *descending* order visits the contributing
+        # windows of any input position in ascending order — the same
+        # accumulation order (and therefore the same float32 rounding) as
+        # the element-order np.add.at scatter this replaces.  (np.bincount
+        # would accumulate in float64 and round differently on overlaps.)
         dxp = np.zeros_like(xp)
-        ni, ci, hi, wi = np.indices((n, c, oh, ow))
-        rows = hi * sh + arg // kw
-        cols = wi * sw + arg % kw
-        np.add.at(dxp, (ni, ci, rows, cols), grad)
+        for kidx in range(kh * kw - 1, -1, -1):
+            dk, dl = divmod(kidx, kw)
+            sl = dxp[:, :, dk:dk + sh * oh:sh, dl:dl + sw * ow:sw]
+            np.add(sl, grad, out=sl, where=(arg == kidx))
         hp, wp = xp.shape[2], xp.shape[3]
         x._accumulate(dxp[:, :, top:hp - bottom or None, left:wp - right or None])
 
@@ -414,3 +456,222 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
 def accuracy(logits: Tensor, labels: np.ndarray) -> float:
     """Top-1 accuracy of ``logits (N, K)`` against integer labels."""
     return float((logits.data.argmax(axis=1) == labels).mean())
+
+
+# ----------------------------------------------------- inference kernels
+#
+# ndarray-in / ndarray-out forward kernels for the compiled runtime
+# (:mod:`repro.nn.compile`): no Tensor wrapper, no tape, no backward
+# closures, and optional preallocated ``out=`` / scratch buffers so a
+# static plan can reuse arena memory across ops.  Each kernel mirrors the
+# float operation sequence of its autograd twin above exactly — with all
+# plan optimizations disabled the compiled forward is bit-identical to
+# the eager one (regression-tested in ``tests/nn/test_compile.py``).
+
+
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Pad = 0,
+    groups: int = 1,
+    *,
+    out: Optional[np.ndarray] = None,
+    pad_buf: Optional[np.ndarray] = None,
+    path=None,
+) -> np.ndarray:
+    """Grouped 2D convolution forward on raw arrays.
+
+    Args:
+        out: optional ``(N, C_out, OH, OW)`` output buffer.
+        pad_buf: optional preallocated zero-padded input buffer whose
+            border is already (and stays) zero; only the interior is
+            written each call.
+        path: optional precomputed ``np.einsum_path`` contraction order
+            (the plan computes it once; ``True`` recomputes per call like
+            the eager kernel does).
+    """
+    n, c, h, w = x.shape
+    c_out, c_g, kh, kw = weight.shape
+    g = groups
+    og = c_out // g
+    sh, sw = _pair(stride)
+    top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
+    if pad_buf is not None:
+        np.copyto(pad_buf[:, :, top:top + h, left:left + w], x)
+        xp = pad_buf
+    elif top or bottom or left or right:
+        xp = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+    else:
+        xp = x
+    if g == 1 and kh == kw == 1 and sh == sw == 1 and xp is x:
+        # Pointwise 1×1 stride-1: a pure channel contraction — same dot
+        # order as the windowed grouped form (bit-identical,
+        # regression-tested) without the degenerate 7-d window view.
+        res = np.einsum(
+            "nchw,oc->nohw", x, weight.reshape(c_out, c),
+            optimize=True if path is None else path, out=out,
+        )
+        out4 = res if out is None else out
+        if bias is not None:
+            np.add(out4, bias.reshape(1, c_out, 1, 1), out=out4)
+        return out4
+    win = _windows(xp, kh, kw, sh, sw)
+    oh, ow = win.shape[2], win.shape[3]
+    if g == c and og == 1 and c_g == 1:
+        # Depthwise: drop the degenerate group axes.  Same contraction over
+        # (kh, kw) in the same index order as the grouped form — bit-identical
+        # (regression-tested) and several times faster than einsum's handling
+        # of the g=C, c=o=1 grouped subscripts.
+        wk = weight.reshape(c, kh, kw)
+        res = np.einsum(
+            "nchwkl,ckl->nchw", win, wk,
+            optimize=True if path is None else path, out=out,
+        )
+        out4 = res if out is None else out
+    else:
+        win_g = win.reshape(n, g, c // g, oh, ow, kh, kw)
+        w_g = weight.reshape(g, og, c_g, kh, kw)
+        out5 = None if out is None else out.reshape(n, g, og, oh, ow)
+        res = np.einsum(
+            "ngchwkl,gockl->ngohw", win_g, w_g,
+            optimize=True if path is None else path, out=out5,
+        )
+        out4 = res.reshape(n, c_out, oh, ow) if out is None else out
+    if bias is not None:
+        np.add(out4, bias.reshape(1, c_out, 1, 1), out=out4)
+    return out4
+
+
+def linear_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fully connected forward: ``x (N, F) @ weight.T + bias``."""
+    if out is None:
+        out = x @ weight.T
+    else:
+        np.matmul(x, weight.T, out=out)
+    if bias is not None:
+        np.add(out, bias, out=out)
+    return out
+
+
+def batch_norm_infer(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    eps: float = 1e-5,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Eval-mode batch norm, mirroring :func:`batch_norm` bit-for-bit."""
+    c = x.shape[1]
+    view = (1, c, 1, 1) if x.ndim == 4 else (1, c)
+    inv_std = (1.0 / np.sqrt(running_var.astype(np.float32) + eps)).astype(np.float32)
+    xhat = ((x - running_mean.reshape(view).astype(np.float32))
+            * inv_std.reshape(view)).astype(x.dtype)
+    res = gamma.reshape(view) * xhat + beta.reshape(view)
+    if out is None:
+        return res
+    np.copyto(out, res)
+    return out
+
+
+def avg_pool2d_infer(
+    x: np.ndarray,
+    kernel: Union[int, Tuple[int, int]],
+    stride: Optional[Union[int, Tuple[int, int]]] = None,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Average pooling (no padding) on a raw array."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    win = _windows(x, kh, kw, sh, sw)
+    if out is None:
+        return win.mean(axis=(4, 5))
+    return np.mean(win, axis=(4, 5), out=out)
+
+
+def max_pool2d_infer(
+    x: np.ndarray,
+    kernel: Union[int, Tuple[int, int]],
+    stride: Optional[Union[int, Tuple[int, int]]] = None,
+    padding: Pad = 0,
+    *,
+    out: Optional[np.ndarray] = None,
+    pad_buf: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Max pooling on a raw array; ``pad_buf`` borders must hold ``-inf``."""
+    n, c, h, w = x.shape
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw, padding)
+    if pad_buf is not None:
+        np.copyto(pad_buf[:, :, top:top + h, left:left + w], x)
+        xp = pad_buf
+    elif top or bottom or left or right:
+        xp = np.pad(
+            x, ((0, 0), (0, 0), (top, bottom), (left, right)),
+            constant_values=-np.inf,
+        )
+    else:
+        xp = x
+    win = _windows(xp, kh, kw, sh, sw)
+    if out is None:
+        return win.max(axis=(4, 5))
+    return np.max(win, axis=(4, 5), out=out)
+
+
+def global_avg_pool_infer(
+    x: np.ndarray, *, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``(N, C, H, W)`` → ``(N, C)``; sum-then-scale like :meth:`Tensor.mean`."""
+    scale = 1.0 / (x.shape[2] * x.shape[3])
+    if out is None:
+        return x.sum(axis=(2, 3)) * scale
+    np.sum(x, axis=(2, 3), out=out)
+    np.multiply(out, scale, out=out)
+    return out
+
+
+def relu_infer(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x, 0)
+
+
+def relu6_infer(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0.0, 6.0)
+
+
+def hsigmoid_infer(x: np.ndarray) -> np.ndarray:
+    return np.clip(x + 3.0, 0.0, 6.0) * (1.0 / 6.0)
+
+
+def hswish_infer(x: np.ndarray) -> np.ndarray:
+    return x * hsigmoid_infer(x)
+
+
+def sigmoid_infer(x: np.ndarray) -> np.ndarray:
+    return _stable_sigmoid(x)
+
+
+def swish_infer(x: np.ndarray) -> np.ndarray:
+    return x * _stable_sigmoid(x)
+
+
+#: Inference (no-tape) activation kernels, keyed like :data:`ACTIVATIONS`.
+ACTIVATIONS_INFER = {
+    "relu": relu_infer,
+    "relu6": relu6_infer,
+    "hswish": hswish_infer,
+    "hsigmoid": hsigmoid_infer,
+    "sigmoid": sigmoid_infer,
+    "swish": swish_infer,
+}

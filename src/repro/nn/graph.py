@@ -151,3 +151,15 @@ class GraphExecutor(Module):
     def module_for(self, name: str) -> Module:
         """The trainable module realizing node ``name`` (KeyError if plumbing)."""
         return self._module_of[name]
+
+    def compile(self, input_shape, config=None):
+        """Compile this executor into a static :class:`InferencePlan`.
+
+        Convenience wrapper around :func:`repro.nn.compile.compile_executor`;
+        ``input_shape`` is the concrete ``(N, C, H, W)`` the plan will
+        accept.  Requires eval mode — the plan bakes in running statistics
+        and (by default) folds BatchNorm into the preceding weights.
+        """
+        from .compile import compile_executor
+
+        return compile_executor(self, input_shape, config)

@@ -219,6 +219,21 @@ class BatchNorm2d(Module):
             eps=self.eps,
         )
 
+    def inference_scale_shift(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Constant ``(scale, shift)`` of the eval-mode affine transform.
+
+        Eval-mode batch norm is ``y = x * scale + shift`` per channel with
+        ``scale = gamma / sqrt(running_var + eps)`` and
+        ``shift = beta - running_mean * scale`` — the form the compiled
+        runtime folds into a preceding convolution's weights
+        (:mod:`repro.nn.compile`).  Float-close to, not bit-identical
+        with, the unfolded ``(x - mean) * inv_std * gamma + beta``.
+        """
+        inv_std = (1.0 / np.sqrt(self.running_var.astype(np.float32) + self.eps)).astype(np.float32)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift
+
 
 class Activation(Module):
     """Stateless activation by name (relu, relu6, hswish, hsigmoid, ...)."""

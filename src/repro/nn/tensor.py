@@ -156,7 +156,19 @@ class Tensor:
             out._backward = backward
         return out
 
+    @staticmethod
+    def _is_scalar(value) -> bool:
+        """Python number (not a bool/array): keeps numpy's weak-scalar
+        promotion, so ``float32_tensor + 3.0`` stays float32 instead of
+        being upcast to float64 via a wrapped 0-d array."""
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
     def __add__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad)
+
+            return self._make_child(self.data + other, (self,), backward)
         other = self._wrap(other)
         out_data = self.data + other.data
 
@@ -178,12 +190,24 @@ class Tensor:
         return self._make_child(-self.data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            return self.__add__(-other)
         return self.__add__(-self._wrap(other))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(-grad)
+
+            return self._make_child(other - self.data, (self,), backward)
         return self._wrap(other).__add__(-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * other)
+
+            return self._make_child(self.data * other, (self,), backward)
         other = self._wrap(other)
         out_data = self.data * other.data
 
@@ -199,6 +223,11 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad / other)
+
+            return self._make_child(self.data / other, (self,), backward)
         other = self._wrap(other)
         out_data = self.data / other.data
 
@@ -213,6 +242,11 @@ class Tensor:
         return self._make_child(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        if self._is_scalar(other):
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(-grad * other / (self.data ** 2))
+
+            return self._make_child(other / self.data, (self,), backward)
         return self._wrap(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":

@@ -272,4 +272,23 @@ class LoadReport:
             lines.append("  per model   : " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.per_model.items())
             ))
+        runtime = self._runtime_line()
+        if runtime:
+            lines.append(runtime)
         return "\n".join(lines)
+
+    @staticmethod
+    def _runtime_line() -> str:
+        """Compiled-runtime gauges, when the graph engine built a plan."""
+        registry = get_registry()
+        compile_ms = registry.get("runtime.compile_ms")
+        if compile_ms is None:
+            return ""
+        arena = registry.get("runtime.arena_bytes")
+        fused = registry.get("runtime.ops_fused")
+        parts = [f"compile={compile_ms.value:.1f} ms"]
+        if arena is not None:
+            parts.append(f"arena={arena.value / 1024.0:.0f} KiB")
+        if fused is not None:
+            parts.append(f"ops_fused={int(fused.value)}")
+        return "  runtime     : " + "  ".join(parts) + " (last compiled plan)"

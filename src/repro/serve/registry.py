@@ -42,6 +42,9 @@ class RegisteredModel:
 
     # Simulated-hardware executors, one per (array geometry, engine, jobs).
     _array_executors: Dict[Tuple, object] = field(default_factory=dict)
+    # Compiled inference plans, one per (batch, exact); None latches a
+    # compilation failure so workers fall back to eager without retrying.
+    _plans: Dict[Tuple[int, bool], object] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def array_executor(self, array: ArrayConfig, engine: str = "vector",
@@ -60,6 +63,34 @@ class RegisteredModel:
                 )
                 self._array_executors[cache_key] = executor
         return executor
+
+    def plan_for(self, batch: int, exact: bool = True):
+        """Lazy compiled :class:`~repro.nn.compile.InferencePlan`.
+
+        ``exact=True`` builds the bit-exact plan (no folding — output is
+        bit-identical to the eager forward, the serving determinism
+        contract); ``exact=False`` builds the fully folded/fused plan for
+        throughput.  Returns ``None`` (latched) if compilation fails, so
+        callers degrade to the eager path.
+        """
+        from ..nn.compile import CompileConfig, compile_executor
+
+        cache_key = (int(batch), bool(exact))
+        with self._lock:
+            if cache_key in self._plans:
+                return self._plans[cache_key]
+        config = CompileConfig.exact() if exact else CompileConfig()
+        try:
+            plan = compile_executor(
+                self.executor, (int(batch),) + tuple(self.input_shape), config
+            )
+        except Exception as exc:  # degrade to eager, never kill serving
+            _log.warning("plan compilation failed; falling back to eager",
+                         model=self.key.canonical(), batch=batch, exact=exact,
+                         error=f"{type(exc).__name__}: {exc}")
+            plan = None
+        with self._lock:
+            return self._plans.setdefault(cache_key, plan)
 
 
 class ModelRegistry:

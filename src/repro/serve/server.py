@@ -50,6 +50,7 @@ class ServeConfig:
     batch_timeout_ms: float = 2.0    #: linger to fill a batch
     slo_ms: float = 100.0            #: default per-request deadline budget
     bitexact: bool = True            #: lockstep batch execution (see workers)
+    compile: bool = True             #: compiled InferencePlan graph path
     jobs: int = 1                    #: process fan-out of the array engine
     sim_engine: str = "vector"       #: functional-simulator engine
     cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
@@ -92,6 +93,7 @@ class InferenceServer:
             bitexact=self.config.bitexact,
             jobs=self.config.jobs,
             sim_engine=self.config.sim_engine,
+            compiled=self.config.compile,
         )
         self._started = False
 

@@ -14,7 +14,12 @@ Engines:
   identical requests **bit-identical** to N unbatched calls (the einsum
   contraction path inside the vectorized forward depends on the batch
   dimension, so stacked execution is only float-close).  ``bitexact=False``
-  switches to stacked ``(N, C, H, W)`` execution for throughput.
+  switches to stacked ``(N, C, H, W)`` execution for throughput.  With
+  ``compiled=True`` (the default) both modes run through a cached
+  :class:`~repro.nn.compile.InferencePlan` — an exact (no-fold) plan in
+  lockstep mode, which keeps the bit-identity contract, and a fully
+  folded/fused plan in stacked mode.  Plan compilation failure degrades
+  to the eager executor without surfacing an error.
 * ``array`` — the simulated-hardware path: every item runs through
   :class:`repro.systolic.executor.ArrayNetworkExecutor` (which fans its
   heavy layers across the PR-2 process pool when ``jobs > 1``), and the
@@ -51,7 +56,21 @@ _log = get_logger("serve.workers")
 
 
 def _run_graph(model: RegisteredModel, inputs: List[np.ndarray],
-               bitexact: bool) -> List[np.ndarray]:
+               bitexact: bool, compiled: bool = True) -> List[np.ndarray]:
+    if compiled:
+        if bitexact:
+            # Exact (no-fold) single-sample plan: bit-identical to the
+            # eager unbatched forward, preserving the determinism contract.
+            plan = model.plan_for(1, exact=True)
+            if plan is not None:
+                return [plan.run(x[None].astype(np.float32, copy=False))[0]
+                        for x in inputs]
+        else:
+            plan = model.plan_for(len(inputs), exact=False)
+            if plan is not None:
+                stacked = np.stack(inputs).astype(np.float32, copy=False)
+                out = plan.run(stacked)
+                return [out[i] for i in range(out.shape[0])]
     if bitexact:
         return [
             model.executor(Tensor(x[None])).data[0] for x in inputs
@@ -81,6 +100,7 @@ def execute_batch(
     bitexact: bool = True,
     jobs: int = 1,
     sim_engine: str = "vector",
+    compiled: bool = True,
 ) -> List[InferenceResponse]:
     """Run one batch synchronously (worker-thread body); returns responses.
 
@@ -101,7 +121,7 @@ def execute_batch(
                                engine=engine):
             if engine == "graph":
                 inputs = [r.resolve_input(model.input_shape) for r in requests]
-                outputs = _run_graph(model, inputs, bitexact)
+                outputs = _run_graph(model, inputs, bitexact, compiled)
             elif engine == "array":
                 inputs = [r.resolve_input(model.input_shape) for r in requests]
                 outputs, cycles = _run_array(
@@ -164,6 +184,7 @@ class WorkerPool:
         bitexact: bool = True,
         jobs: int = 1,
         sim_engine: str = "vector",
+        compiled: bool = True,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -175,6 +196,7 @@ class WorkerPool:
         self.bitexact = bitexact
         self.jobs = jobs
         self.sim_engine = sim_engine
+        self.compiled = compiled
         self._tasks: List[asyncio.Task] = []
 
     def start(self) -> None:
@@ -198,6 +220,7 @@ class WorkerPool:
             responses = await asyncio.to_thread(
                 execute_batch, batch, model, self.cost_model,
                 self.engine, self.bitexact, self.jobs, self.sim_engine,
+                self.compiled,
             )
             for pending, response in zip(batch.items, responses):
                 if not pending.future.done():

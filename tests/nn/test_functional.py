@@ -155,3 +155,68 @@ class TestNumericalBehaviour:
     def test_conv2d_shape_mismatch(self, rng):
         with pytest.raises(ValueError):
             F.conv2d(Tensor(np.ones((1, 3, 4, 4))), Tensor(np.ones((2, 2, 3, 3))))
+
+    def test_sigmoid_stable_at_extremes(self):
+        """x = ±100 must not overflow exp (regression for the naive form)."""
+        x = Tensor(np.array([-100.0, 0.0, 100.0]), requires_grad=True)
+        with np.errstate(over="raise"):
+            out = F.sigmoid(x)
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-40)
+        assert out.data[1] == pytest.approx(0.5)
+        assert out.data[2] == pytest.approx(1.0)
+        out.backward(np.ones(3))
+        assert np.all(np.isfinite(x.grad))
+
+    def test_sigmoid_matches_naive_midrange(self, rng):
+        x = rng.normal(size=64) * 4.0
+        naive = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(F.sigmoid(Tensor(x)).data, naive, rtol=1e-12)
+
+    def test_swish_stable_at_extremes(self):
+        x = Tensor(np.array([-100.0, 100.0]), requires_grad=True)
+        with np.errstate(over="raise"):
+            out = F.swish(x)
+        assert out.data[0] == pytest.approx(0.0, abs=1e-40)
+        assert out.data[1] == pytest.approx(100.0)
+
+
+def _max_pool_grad_add_at(x, g, kernel, stride, padding):
+    """The element-order ``np.add.at`` scatter the vectorized backward
+    replaced — the bit-exactness reference."""
+    kh, kw = F._pair(kernel)
+    sh, sw = F._pair(stride if stride is not None else kernel)
+    n, c, h, w = x.shape
+    top, bottom, left, right = F._pad_amounts(h, w, kh, kw, sh, sw, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)),
+                constant_values=-np.inf)
+    win = F._windows(xp, kh, kw, sh, sw)
+    oh, ow = win.shape[2], win.shape[3]
+    arg = win.reshape(n, c, oh, ow, kh * kw).argmax(axis=-1)
+    dk, dl = np.divmod(arg, kw)
+    rows = np.arange(oh).reshape(1, 1, oh, 1) * sh + dk
+    cols = np.arange(ow).reshape(1, 1, 1, ow) * sw + dl
+    ni = np.arange(n).reshape(n, 1, 1, 1)
+    ci = np.arange(c).reshape(1, c, 1, 1)
+    dxp = np.zeros_like(xp)
+    np.add.at(dxp, (ni, ci, rows, cols), g)
+    hp, wp = xp.shape[2], xp.shape[3]
+    return dxp[:, :, top:hp - bottom or None, left:wp - right or None]
+
+
+class TestMaxPoolBackward:
+    """The strided per-tap scatter must be *bit-identical* to np.add.at."""
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (2, 2, 0),        # disjoint windows
+        (3, 2, 1),        # overlapping windows + padding
+        (3, 1, 0),        # heavy overlap: every interior tap collides
+    ])
+    def test_bitwise_matches_add_at_scatter(self, rng, kernel, stride, padding):
+        x_data = rng.normal(size=(2, 3, 9, 9)).astype(np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        out = F.max_pool2d(x, kernel, stride, padding)
+        g = rng.normal(size=out.shape).astype(np.float32)
+        out.backward(g)
+        expected = _max_pool_grad_add_at(x_data, g, kernel, stride, padding)
+        assert np.array_equal(x.grad, expected)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import MiniSeparableNet, SyntheticSpec, TrainConfig, evaluate, make_synthetic, train
+from repro.nn import MiniSeparableNet, SyntheticSpec, Tensor, TrainConfig, evaluate, make_synthetic, train
 from repro.nn.quantize import fake_quantize_model, quantization_error, quantize_array
 
 
@@ -42,6 +42,15 @@ class TestQuantizeArray:
         with pytest.raises(ValueError):
             quantize_array(np.ones((2, 2)), bits=1)
 
+    def test_round_trip_is_idempotent(self):
+        """Quantizing already-quantized weights must be a fixed point."""
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(6, 4, 3, 3)).astype(np.float32)
+        q1, s1 = quantize_array(w, bits=8)
+        q2, s2 = quantize_array(q1, bits=8)
+        assert np.allclose(q1, q2, atol=1e-7)
+        assert np.allclose(np.asarray(s1.scale), np.asarray(s2.scale))
+
 
 class TestModelQuantization:
     def test_only_weights_quantized(self):
@@ -50,6 +59,21 @@ class TestModelQuantization:
         scales = fake_quantize_model(model, bits=8)
         assert all(name.endswith("weight") for name in scales)
         assert np.array_equal(model.classifier.bias.data, before_bias)
+
+    def test_int8_forward_agrees_with_float(self):
+        """Quantized and float forwards must agree closely on real inputs."""
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)).astype(np.float32))
+        model = MiniSeparableNet(num_classes=4, width=8, seed=0)
+        model.eval()
+        float_out = model(x).data.copy()
+        fake_quantize_model(model, bits=8)
+        int8_out = model(x).data
+        assert int8_out.shape == float_out.shape
+        # int8 weights perturb logits only slightly...
+        assert np.max(np.abs(int8_out - float_out)) < 0.15
+        # ...and never flip the prediction on this input.
+        assert np.array_equal(int8_out.argmax(axis=1), float_out.argmax(axis=1))
 
     def test_error_metric_monotone(self):
         model = MiniSeparableNet(num_classes=4, width=4, seed=0)

@@ -45,11 +45,12 @@ def reference():
     return outputs
 
 
-def _serve_batch(bitexact: bool):
+def _serve_batch(bitexact: bool, compile: bool = True):
     async def main():
         config = ServeConfig(
             engine="graph", preload=[KEY], workers=1, max_batch=len(SEEDS),
             batch_timeout_ms=100.0, slo_ms=60000.0, bitexact=bitexact,
+            compile=compile,
         )
         async with InferenceServer(config) as server:
             return await server.submit_many(
@@ -77,6 +78,16 @@ def test_digests_stable_across_servers(reference):
     digests_first = sorted(r.digest for r in first.values())
     digests_second = sorted(r.digest for r in second)
     assert digests_first == digests_second
+
+
+def test_compiled_and_eager_paths_agree_bitwise(reference):
+    """The compiled (default) and --no-compile graph paths are both held
+    to the same bit-identity contract, so their outputs must match."""
+    compiled = _serve_batch(bitexact=True, compile=True)
+    eager = _serve_batch(bitexact=True, compile=False)
+    for a, b, seed in zip(compiled, eager, SEEDS):
+        assert a.output.tobytes() == reference[seed].tobytes()
+        assert a.output.tobytes() == b.output.tobytes()
 
 
 def test_stacked_mode_still_close(reference):
