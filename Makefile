@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -45,6 +45,23 @@ serve-smoke:
 	python -m repro.obs.validate .smoke-serve.json
 	python -c "import json,sys; names={m['name'] for m in json.load(open('.smoke-serve.json'))['metrics']}; missing=[n for n in ('serve.loadgen.throughput_rps','serve.loadgen.p99_ms','serve.loadgen.shed_rate','serve.loadgen.slo_violation_rate') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
 	rm -f .smoke-serve.json
+
+# Chaos smoke (docs/robustness.md): a seeded fault schedule — engine
+# errors and latency spikes, a worker crash, a plan-compile failure,
+# garbage frames and a client disconnect — drives the full TCP serving
+# path; --check fails the target unless every resilience bound held
+# (zero unhandled exceptions, >=99% of non-shed requests answered OK,
+# server healthy afterwards, p99 under the degradation bound).  The same
+# seed replays the same fault schedule and request stream; the metrics
+# sidecar (faults.injected.*, resilience.*, serve.chaos.*) is committed
+# as the reference run.
+chaos-smoke:
+	timeout 300 python -m repro loadgen mobilenet_v3_small:full \
+		--resolution 32 --requests 120 --clients 6 --workers 2 \
+		--slo-ms 400 --chaos --check --quiet \
+		--metrics-out benchmarks/results/BENCH_chaos.json
+	python -m repro.obs.validate benchmarks/results/BENCH_chaos.json
+	python -c "import json,sys; names={m['name'] for m in json.load(open('benchmarks/results/BENCH_chaos.json'))['metrics']}; missing=[n for n in ('serve.chaos.answered_rate','serve.chaos.faults_fired','serve.chaos.unhandled_failures','resilience.degraded_responses') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
 
 # Compiled-runtime smoke (docs/runtime.md): the exact plan must stay
 # bit-identical to eager, the folded plan within 1e-4, and faster than

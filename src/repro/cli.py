@@ -420,6 +420,11 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--no-compile", dest="compile", action="store_false",
                        help="eager graph execution instead of compiled "
                             "inference plans (see docs/runtime.md)")
+    group.add_argument("--no-resilience", dest="resilience",
+                       action="store_false",
+                       help="disable the degradation chain, circuit breakers "
+                            "and worker restarts (failures surface as "
+                            "errors; see docs/robustness.md)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -465,6 +470,7 @@ def _serve_config(args: argparse.Namespace, keys: list):
         cache_dir=args.cache_dir,
         array=_array_from_args(args),
         preload=keys,
+        resilience=args.resilience,
     )
 
 
@@ -524,6 +530,33 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         slo_ms=None,  # server default (--slo-ms) applies
         seed=args.workload_seed,
     )
+
+    if args.chaos:
+        if args.connect:
+            print("--chaos runs its own in-process server; "
+                  "drop --connect", file=sys.stderr)
+            return 2
+        from .serve import default_chaos_plan, run_chaos
+
+        chaos_seed = (args.chaos_seed if args.chaos_seed is not None
+                      else args.workload_seed)
+        p99_bound = (args.chaos_p99_ms if args.chaos_p99_ms is not None
+                     else 2.0 * args.slo_ms)
+        chaos = asyncio.run(run_chaos(
+            spec,
+            plan=default_chaos_plan(chaos_seed),
+            config=_serve_config(args, keys),
+            max_p99_ms=p99_bound,
+        ))
+        print(chaos.render())
+        if args.check:
+            failures = chaos.check()
+            if failures:
+                print("chaos check FAILED: " + "; ".join(failures),
+                      file=sys.stderr)
+                return 1
+            print("chaos check ok: all resilience bounds held")
+        return 0
 
     async def run() -> "object":
         if args.connect:
@@ -706,6 +739,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="exit non-zero unless zero errors and SLO "
                         "accounting present (smoke gate)")
+    p.add_argument("--chaos", action="store_true",
+                   help="drive a seeded fault schedule (repro.faults) "
+                        "against an in-process server and assert the "
+                        "resilience bounds (see docs/robustness.md)")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="fault-schedule seed (default: --workload-seed)")
+    p.add_argument("--chaos-p99-ms", type=float, default=None,
+                   help="p99 degradation bound under chaos "
+                        "(default: 2 x --slo-ms)")
     p.set_defaults(fn=cmd_loadgen)
     return parser
 

@@ -1,0 +1,202 @@
+"""Fault plans: the declarative half of the fault-injection framework.
+
+A :class:`FaultPlan` names *which* registered fault points misbehave,
+*how* (raise, delay, kill), and *when* (probability, one-shot counts,
+warm-up skips), all derived deterministically from one seed.  Plans are
+plain JSON — build them in code, load them from a file, or drop one into
+the ``REPRO_FAULTS`` environment variable (inline JSON or a path) to
+inject faults into any CLI invocation without touching code.
+
+Every injectable site in the codebase is declared in :data:`FAULT_POINTS`
+below; a plan naming an unknown point is rejected at construction, so the
+catalog doubles as the authoritative fault-point registry documented in
+``docs/robustness.md``.
+
+Determinism contract: the *schedule* of a plan — which evaluations of a
+fault point fire — is a pure function of ``(seed, point, spec index)``.
+Re-running the same workload with the same plan replays the same
+schedule.  Which in-flight request a firing lands on can still vary with
+thread interleaving; the counts and the draw sequence do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FAULT_POINTS", "KINDS", "FaultSpec", "FaultPlan", "FAULTS_ENV"]
+
+#: Environment knob: inline JSON (starts with ``{``) or a path to a plan file.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The registry of injectable fault points.  Instrumentation sites call
+#: :func:`repro.faults.inject` / :func:`repro.faults.should_fire` with one
+#: of these names; plans naming anything else are rejected.
+FAULT_POINTS: Dict[str, str] = {
+    "serve.engine": (
+        "batch execution body in repro.serve.workers.execute_batch: "
+        "'error' raises mid-batch (exercises the degradation chain and the "
+        "circuit breaker), 'delay' injects an artificial latency spike"
+    ),
+    "serve.worker": (
+        "serve worker task right after it takes a batch: 'error' crashes "
+        "the task (its batch is re-queued and the supervisor restarts the "
+        "worker)"
+    ),
+    "nn.compile": (
+        "InferencePlan compilation entry (repro.nn.compile.compile_executor): "
+        "'error' fails the compile so serving falls back to the eager graph"
+    ),
+    "transport.disconnect": (
+        "server side of a JSON-lines TCP connection: drops the connection "
+        "mid-stream (clients with retries reconnect and resend)"
+    ),
+    "transport.garbage": (
+        "server side of the TCP transport: emits one garbage frame before "
+        "a response (clients must skip it and keep correlating by id)"
+    ),
+    "parallel.worker": (
+        "process-pool task body in repro.systolic.parallel: 'kill' makes "
+        "the worker process die (os._exit), breaking the pool; resilient "
+        "scatter resurrects the pool and re-dispatches the remaining chunk"
+    ),
+    "diskcache.write": (
+        "disk-cache entry writer in repro.systolic.diskcache: truncates "
+        "the payload mid-write (partial-write corruption; the next read "
+        "must degrade to a miss, never crash)"
+    ),
+}
+
+#: What a firing does at a generic site (custom sites interpret the spec
+#: themselves and may ignore the kind).
+KINDS = ("error", "delay", "kill")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One activation rule for one fault point.
+
+    Args:
+        point: a name from :data:`FAULT_POINTS`.
+        kind: ``error`` (raise :class:`~repro.faults.InjectedFault`),
+            ``delay`` (sleep ``delay_ms``) or ``kill`` (``os._exit``);
+            custom sites (diskcache, transport) implement the corruption
+            themselves and only consult the firing decision.
+        probability: chance that one evaluation fires (seeded, so the
+            draw sequence is deterministic).
+        max_fires: total firings allowed (``None`` = unlimited); the
+            default of 1 makes specs one-shot unless asked otherwise.
+        after: skip the first N evaluations (warm-up guard).
+        delay_ms: sleep duration for ``kind="delay"``.
+        exit_code: process exit status for ``kind="kill"``.
+    """
+
+    point: str
+    kind: str = "error"
+    probability: float = 1.0
+    max_fires: Optional[int] = 1
+    after: int = 0
+    delay_ms: float = 0.0
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; registered points: "
+                f"{', '.join(sorted(FAULT_POINTS))}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+            "after": self.after,
+            "delay_ms": self.delay_ms,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        unknown = set(payload) - {
+            "point", "kind", "probability", "max_fires", "after",
+            "delay_ms", "exit_code",
+        }
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        if "point" not in payload:
+            raise ValueError("a fault spec needs a 'point'")
+        return cls(**payload)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of fault specs — the unit of chaos configuration."""
+
+    seed: int = 0
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [s.to_dict() for s in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError(f"a fault plan must be a JSON object, got "
+                             f"{type(payload).__name__}")
+        unknown = set(payload) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("'faults' must be a list of fault specs")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            faults=[FaultSpec.from_dict(s) for s in faults],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_env(cls, env: str = FAULTS_ENV) -> Optional["FaultPlan"]:
+        """The plan named by ``$REPRO_FAULTS``, or ``None`` when unset.
+
+        The value is inline JSON when it starts with ``{``, otherwise a
+        path to a JSON plan file.
+        """
+        raw = os.environ.get(env)
+        if not raw or not raw.strip():
+            return None
+        raw = raw.strip()
+        if raw.startswith("{"):
+            return cls.from_json(raw)
+        with open(raw, "r") as handle:
+            return cls.from_json(handle.read())
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical plan JSON — the determinism witness.
+
+        Two runs with equal fingerprints replay the same fault schedule
+        (same seeds, same draw sequences per point).
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def points(self) -> List[str]:
+        return sorted({s.point for s in self.faults})

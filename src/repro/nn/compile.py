@@ -60,6 +60,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import inject
 from ..ir import layer as ir
 from ..ir.network import Network, Node
 from ..obs import get_logger, get_registry, get_tracer
@@ -367,6 +368,7 @@ def compile_executor(
         config: optimization switches; default :class:`CompileConfig()`.
     """
     config = config or CompileConfig()
+    inject("nn.compile")
     network: Network = executor.network
     if executor.training:
         raise ValueError(

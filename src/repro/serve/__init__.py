@@ -15,12 +15,16 @@ The subsystem that turns the offline toolkit into a request path:
 * :mod:`repro.serve.server` — the :class:`InferenceServer` facade;
 * :mod:`repro.serve.transport` — JSON-lines TCP front-end and client;
 * :mod:`repro.serve.loadgen` — deterministic closed/open-loop load
-  generation and the benchmark report.
+  generation and the benchmark report;
+* :mod:`repro.serve.resilience` — circuit breaker and retry policy;
+* :mod:`repro.serve.chaos` — seeded chaos runs over :mod:`repro.faults`.
 
-See ``docs/serving.md`` for the architecture and an example session.
+See ``docs/serving.md`` for the architecture and an example session, and
+``docs/robustness.md`` for the fault-injection and resilience story.
 """
 
 from .batcher import Batch, Pending, PendingStore
+from .chaos import ChaosReport, default_chaos_plan, run_chaos
 from .costmodel import BatchCostModel
 from .loadgen import LoadReport, WorkloadSpec, build_requests, run_workload
 from .registry import ModelRegistry, RegisteredModel
@@ -32,9 +36,11 @@ from .request import (
     make_input,
     output_digest,
 )
+from .resilience import CircuitBreaker, RetryPolicy
 from .scheduler import SLOScheduler
 from .server import InferenceServer, ServeConfig
 from .transport import (
+    MAX_LINE_BYTES,
     RemoteClient,
     request_from_wire,
     response_to_wire,
@@ -63,6 +69,12 @@ __all__ = [
     "SLOScheduler",
     "InferenceServer",
     "ServeConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ChaosReport",
+    "default_chaos_plan",
+    "run_chaos",
+    "MAX_LINE_BYTES",
     "RemoteClient",
     "request_from_wire",
     "response_to_wire",

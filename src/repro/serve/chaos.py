@@ -1,0 +1,313 @@
+"""Chaos mode: seeded fault schedules driven against a live server.
+
+``repro loadgen --chaos`` (and ``make chaos-smoke``) runs an end-to-end
+resilience exercise: an :class:`InferenceServer` behind the TCP transport
+takes a deterministic workload while a seeded :class:`FaultPlan` fires
+engine exceptions, latency spikes, a worker crash, a plan-compile
+failure, garbage frames and a client disconnect — and a raw "garbage
+feeder" connection pokes the transport with malformed and oversized
+lines the whole time.  :class:`ChaosReport.check` then asserts the
+resilience bounds:
+
+* zero unhandled exceptions (every request got *an* answer: OK —
+  possibly degraded — or an accounted SHED/EXPIRED/ERROR);
+* ≥ ``min_answered_rate`` of non-shed requests answered OK;
+* the server still reports healthy and ready afterwards;
+* p99 latency stayed under the degradation bound.
+
+Determinism: the request stream and the fault *schedule* (which
+evaluations fire, per point) replay exactly for a given seed — the
+report carries both fingerprints so a re-run can prove it.  Which
+in-flight request a firing lands on may vary with thread interleaving;
+the asserted bounds are aggregate for exactly that reason (see
+:mod:`repro.faults.plan`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..faults import FaultPlan, FaultSpec, clear_plan, current_injector, install_plan
+from ..obs import get_logger, get_registry
+from .loadgen import LoadReport, WorkloadSpec, build_requests, run_workload
+from .request import ModelKey
+from .server import InferenceServer, ServeConfig
+from .transport import MAX_LINE_BYTES, RemoteClient, serve_tcp
+
+__all__ = ["ChaosReport", "default_chaos_plan", "run_chaos"]
+
+_log = get_logger("serve.chaos")
+
+#: Counters snapshotted before/after the run (deltas in the report).
+_TRACKED = (
+    "resilience.retries",
+    "resilience.degraded_responses",
+    "resilience.worker_restarts",
+    "resilience.requeued",
+    "resilience.compile_fallbacks",
+    "resilience.breaker_short_circuits",
+    "serve.transport.bad_lines",
+    "serve.transport.oversized_lines",
+    "serve.client.bad_lines",
+)
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The standard chaos schedule: every serving fault point, bounded.
+
+    Sized for a few-hundred-request workload: a handful of engine
+    errors and delays, one worker crash after warm-up, one plan-compile
+    failure, a few garbage frames and one client disconnect.
+    """
+    return FaultPlan(seed=seed, faults=[
+        FaultSpec(point="serve.engine", kind="error",
+                  probability=0.05, max_fires=4, after=5),
+        FaultSpec(point="serve.engine", kind="delay",
+                  probability=0.05, max_fires=5, delay_ms=25.0),
+        FaultSpec(point="serve.worker", kind="error", after=10, max_fires=1),
+        FaultSpec(point="nn.compile", kind="error", max_fires=1),
+        FaultSpec(point="transport.garbage", kind="error",
+                  probability=0.05, max_fires=3),
+        FaultSpec(point="transport.disconnect", kind="error",
+                  after=40, max_fires=1),
+    ])
+
+
+def _requests_digest(spec: WorkloadSpec) -> str:
+    """SHA-256 over the deterministic request stream (replay proof)."""
+    h = hashlib.sha256()
+    for r in build_requests(spec):
+        h.update(f"{r.key.canonical()}|{r.input_seed}|{r.priority}\n".encode())
+    return h.hexdigest()
+
+
+def _counter_values() -> Dict[str, float]:
+    registry = get_registry()
+    out = {}
+    for name in _TRACKED:
+        metric = registry.get(name)
+        out[name] = float(metric.value) if metric is not None else 0.0
+    return out
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed, plus the bound checks."""
+
+    report: LoadReport
+    plan_fingerprint: str
+    requests_digest: str
+    faults_injected: Dict[str, int]
+    resilience: Dict[str, float]
+    health_after: dict
+    garbage_answered: bool
+    min_answered_rate: float = 0.99
+    max_p99_ms: Optional[float] = None
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def answered_rate(self) -> float:
+        """OK responses over requests that were not shed/expired."""
+        denom = self.report.total - self.report.shed
+        return self.report.ok / denom if denom > 0 else 1.0
+
+    def check(self) -> List[str]:
+        """Evaluate the resilience bounds; the (cached) list of failures."""
+        failures: List[str] = []
+        if self.answered_rate < self.min_answered_rate:
+            failures.append(
+                f"answered rate {self.answered_rate:.4f} < "
+                f"{self.min_answered_rate} ({self.report.ok} ok of "
+                f"{self.report.total - self.report.shed} non-shed)"
+            )
+        if not self.health_after.get("ready", False):
+            failures.append(f"server not ready after chaos: {self.health_after}")
+        if not self.garbage_answered:
+            failures.append("garbage feeder got no structured error replies")
+        if self.max_p99_ms is not None and self.report.p99_ms > self.max_p99_ms:
+            failures.append(
+                f"p99 {self.report.p99_ms:.1f} ms exceeded the degradation "
+                f"bound {self.max_p99_ms:.1f} ms"
+            )
+        if sum(self.faults_injected.values()) == 0:
+            failures.append("no faults fired — the chaos schedule is inert")
+        self.failures = failures
+        return failures
+
+    @property
+    def ok(self) -> bool:
+        return not self.check()
+
+    def record(self) -> None:
+        """Publish chaos gauges next to the ``serve.loadgen.*`` ones."""
+        registry = get_registry()
+        registry.gauge("serve.chaos.answered_rate").set(self.answered_rate)
+        registry.gauge("serve.chaos.faults_fired").set(
+            float(sum(self.faults_injected.values()))
+        )
+        registry.gauge("serve.chaos.unhandled_failures").set(
+            float(len(self.check()))
+        )
+
+    def render(self) -> str:
+        lines = [
+            self.report.render(),
+            f"  chaos       : plan {self.plan_fingerprint[:12]}  "
+            f"requests {self.requests_digest[:12]}",
+            "  faults      : " + (", ".join(
+                f"{point}={count}"
+                for point, count in sorted(self.faults_injected.items())
+            ) or "none fired"),
+            "  resilience  : " + ", ".join(
+                f"{name.split('.', 1)[1]}={int(value)}"
+                for name, value in sorted(self.resilience.items())
+                if value
+            ),
+            f"  answered    : {self.answered_rate * 100:.2f}% of non-shed "
+            f"(bound {self.min_answered_rate * 100:.0f}%)",
+            f"  health      : ready={self.health_after.get('ready')}  "
+            f"workers={self.health_after.get('workers_alive')}  "
+            f"restarts={self.health_after.get('worker_restarts')}",
+        ]
+        failures = self.check()
+        if failures:
+            lines.append("  CHAOS FAIL  : " + "; ".join(failures))
+        else:
+            lines.append("  chaos check : all resilience bounds held")
+        return "\n".join(lines)
+
+
+async def _garbage_feeder(host: str, port: int, frames: int = 4) -> bool:
+    """Poke the transport with malformed + oversized lines.
+
+    Returns ``True`` iff every bad frame got a structured error reply and
+    the connection still answered a well-formed op at the end.  An
+    injected ``transport.disconnect`` may land on *this* connection, so
+    each frame tolerates a reconnect — what is asserted is the structured
+    reply, not connection affinity.
+    """
+    reader = writer = None
+
+    async def reconnect():
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        reader, writer = await asyncio.open_connection(host, port)
+
+    async def exchange(payload: bytes) -> Optional[dict]:
+        for _ in range(3):
+            try:
+                if writer is None or writer.is_closing():
+                    await reconnect()
+                writer.write(payload)
+                await writer.drain()
+                # The server may inject a garbage frame ahead of the real
+                # reply (transport.garbage) — skip unparseable lines.
+                for _skip in range(4):
+                    line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=10.0)
+                    if not line:
+                        break
+                    try:
+                        return json.loads(line)
+                    except ValueError:
+                        continue
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                pass
+            await reconnect()
+        return None
+
+    answered = 0
+    try:
+        await reconnect()
+        payloads = [b"{this is not json]\n", b"[1, 2, 3]\n"] * frames
+        payloads.append(b"x" * (MAX_LINE_BYTES + 512) + b"\n")
+        for payload in payloads:
+            reply = await exchange(payload)
+            if (reply is not None and reply.get("status") == "error"
+                    and "bad request" in reply.get("error", "")):
+                answered += 1
+        pong = await exchange(b'{"op": "ping"}\n')
+        return (pong is not None and pong.get("op") == "pong"
+                and answered == len(payloads))
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def run_chaos(
+    spec: WorkloadSpec,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ServeConfig] = None,
+    min_answered_rate: float = 0.99,
+    max_p99_ms: Optional[float] = None,
+    client_retries: int = 3,
+    client_timeout_s: float = 30.0,
+) -> ChaosReport:
+    """One full chaos exercise: server + transport + faults + workload."""
+    plan = plan if plan is not None else default_chaos_plan(spec.seed)
+    config = config or ServeConfig(preload=list(spec.keys))
+    previous = current_injector()
+    injector = install_plan(plan)
+    assert injector is not None
+    before = _counter_values()
+    _log.info("chaos run starting", seed=spec.seed,
+              plan=plan.fingerprint()[:12], requests=spec.requests)
+    try:
+        server = InferenceServer(config)
+        await server.start()
+        tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+        port = tcp.sockets[0].getsockname()[1]
+        client = RemoteClient("127.0.0.1", port, timeout_s=client_timeout_s,
+                              retries=client_retries, seed=spec.seed)
+        try:
+            await client.connect()
+            feeder = asyncio.create_task(_garbage_feeder("127.0.0.1", port))
+            report = await run_workload(client.submit, spec)
+            try:
+                garbage_answered = bool(await feeder)
+            except Exception as exc:  # a dead feeder is a finding, not a crash
+                _log.warning("garbage feeder failed",
+                             error=f"{type(exc).__name__}: {exc}")
+                garbage_answered = False
+            health = await client.health()
+        finally:
+            await client.close()
+            tcp.close()
+            await tcp.wait_closed()
+            await server.stop()
+        snapshot = injector.snapshot()
+        faults = {point: info["fired"] for point, info in snapshot.items()
+                  if info["fired"]}
+        after = _counter_values()
+    finally:
+        # Restore whatever plan (or none) was active before the run.
+        if previous is not None:
+            install_plan(previous.plan)
+        else:
+            clear_plan()
+    chaos = ChaosReport(
+        report=report,
+        plan_fingerprint=plan.fingerprint(),
+        requests_digest=_requests_digest(spec),
+        faults_injected=faults,
+        resilience={k: after[k] - before[k] for k in after},
+        health_after=health,
+        garbage_answered=garbage_answered,
+        min_answered_rate=min_answered_rate,
+        max_p99_ms=max_p99_ms,
+    )
+    chaos.record()
+    return chaos

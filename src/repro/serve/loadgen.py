@@ -154,6 +154,7 @@ class LoadReport:
     mean_simulated_ms: float
     mode: str
     per_model: Dict[str, int] = field(default_factory=dict)
+    degraded: int = 0      #: OK responses produced by a fallback stage
 
     @classmethod
     def from_responses(
@@ -169,9 +170,12 @@ class LoadReport:
         batches: List[int] = []
         sims: List[float] = []
         violations = 0
+        degraded = 0
         for r in responses:
             counts[r.status.value] = counts.get(r.status.value, 0) + 1
             per_model[r.key.canonical()] = per_model.get(r.key.canonical(), 0) + 1
+            if r.degraded:
+                degraded += 1
             if r.ok:
                 ok_latencies.append(r.total_ms)
                 batches.append(r.batch_size)
@@ -194,6 +198,7 @@ class LoadReport:
             slo_violations=violations,
             mean_simulated_ms=float(np.mean(sims)) if sims else 0.0,
             mode=spec.mode,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------ accessors
@@ -243,6 +248,7 @@ class LoadReport:
             "serve.loadgen.slo_violation_rate": self.slo_violation_rate,
             "serve.loadgen.wall_seconds": self.wall_s,
             "serve.loadgen.mean_simulated_ms": self.mean_simulated_ms,
+            "serve.loadgen.degraded": self.degraded,
         }
         for name, value in gauges.items():
             registry.gauge(name).set(float(value))
@@ -265,6 +271,8 @@ class LoadReport:
             f"(shed+expired {self.shed}/{self.total})",
             f"  SLO         : {self.slo_violations} violations "
             f"({self.slo_violation_rate * 100:.1f}% of ok)",
+            f"  degraded    : {self.degraded} responses served by a "
+            f"fallback stage",
             f"  simulated   : {self.mean_simulated_ms:.3f} ms/batch mean "
             f"(systolic-array cost model)",
         ]

@@ -85,6 +85,8 @@ class RegisteredModel:
                 self.executor, (int(batch),) + tuple(self.input_shape), config
             )
         except Exception as exc:  # degrade to eager, never kill serving
+            get_registry().counter("resilience.compile_fallbacks",
+                                   model=self.key.canonical()).inc()
             _log.warning("plan compilation failed; falling back to eager",
                          model=self.key.canonical(), batch=batch, exact=exact,
                          error=f"{type(exc).__name__}: {exc}")

@@ -153,6 +153,13 @@ class InferenceResponse:
     slo_ms: float = 0.0          # the deadline budget that applied
     retry_after_ms: Optional[float] = None  # set on SHED: predicted drain time
 
+    # Graceful degradation (docs/robustness.md): an OK response produced by
+    # a fallback stage of the chain (eager graph instead of a compiled
+    # plan, or the analytical estimate with no numerics at all) is flagged
+    # so callers can tell a degraded answer from a full one.
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+
     @property
     def ok(self) -> bool:
         return self.status is Status.OK

@@ -59,6 +59,7 @@ class SLOScheduler:
         self.store = PendingStore()
         self._wakeup = asyncio.Condition()
         self._closed = False
+        self._draining = False
         self._metrics = get_registry()
 
     # ------------------------------------------------------------ admission
@@ -74,7 +75,21 @@ class SLOScheduler:
         request.deadline = now + slo / 1000.0
 
         if self._closed:
-            future.set_result(self._terminal(request, Status.CANCELLED))
+            if self._draining:
+                # Graceful drain: refuse politely with a retry hint sized to
+                # the work still queued, instead of a hard CANCELLED.
+                model = self._model_if_loaded(request)
+                retry = self.cost_model.drain_ms(
+                    len(self.store) + 1, model, self.workers
+                )
+                self._metrics.counter("serve.requests",
+                                      status=Status.SHED.value).inc()
+                self._metrics.counter("serve.drain_rejections").inc()
+                future.set_result(
+                    self._terminal(request, Status.SHED, retry_after_ms=retry)
+                )
+            else:
+                future.set_result(self._terminal(request, Status.CANCELLED))
             return future
 
         if len(self.store) >= self.max_queue:
@@ -97,6 +112,25 @@ class SLOScheduler:
         async with self._wakeup:
             self._wakeup.notify_all()
         return future
+
+    async def requeue(self, items) -> None:
+        """Put a dispatched batch back in the queue (crashed worker).
+
+        Deadlines are unchanged, so a request whose SLO lapsed while its
+        worker died expires on the next :meth:`next_batch` pass rather
+        than silently getting a second budget.
+        """
+        requeued = 0
+        for pending in items:
+            if not pending.future.done():
+                self.store.push(pending)
+                requeued += 1
+        if requeued:
+            self._metrics.counter("resilience.requeued").inc(requeued)
+            self._metrics.gauge("serve.queue.depth").set(len(self.store))
+            _log.warning("requeued batch from crashed worker", count=requeued)
+        async with self._wakeup:
+            self._wakeup.notify_all()
 
     def _model_if_loaded(self, request: InferenceRequest) -> Optional[RegisteredModel]:
         """A registered model for the retry hint, without triggering a build."""
@@ -194,8 +228,14 @@ class SLOScheduler:
     # ------------------------------------------------------------- shutdown
 
     async def close(self, drain: bool = True) -> None:
-        """Stop admitting; optionally cancel whatever is still queued."""
+        """Stop admitting; optionally cancel whatever is still queued.
+
+        With ``drain=True`` late submissions are SHED with a retry-after
+        hint while the queue empties; with ``drain=False`` they (and the
+        queue) resolve CANCELLED.
+        """
         self._closed = True
+        self._draining = drain
         if not drain:
             for pending in self.store.drain_all():
                 if not pending.future.done():
@@ -208,6 +248,11 @@ class SLOScheduler:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def draining(self) -> bool:
+        """Closed for admission but still completing queued work."""
+        return self._closed and self._draining
 
     # -------------------------------------------------------------- helpers
 

@@ -56,6 +56,9 @@ class ServeConfig:
     cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
     array: Optional[ArrayConfig] = None  #: modeled accelerator (default 64x64)
     preload: List[ModelKey] = field(default_factory=list)
+    resilience: bool = True          #: degradation chain / breakers / restarts
+    breaker_threshold: int = 3       #: consecutive failures before open
+    breaker_cooldown_s: float = 2.0  #: open → half-open probe delay
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -94,6 +97,9 @@ class InferenceServer:
             jobs=self.config.jobs,
             sim_engine=self.config.sim_engine,
             compiled=self.config.compile,
+            resilience=self.config.resilience,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown_s=self.config.breaker_cooldown_s,
         )
         self._started = False
 
@@ -146,6 +152,29 @@ class InferenceServer:
         return list(await asyncio.gather(*futures))
 
     # ---------------------------------------------------------------- stats
+
+    def health(self) -> dict:
+        """Liveness/readiness snapshot (the transport's ``health`` op).
+
+        ``ready`` means the server accepts new work; during a graceful
+        drain it flips to ``False`` while ``draining`` is ``True`` and
+        queued requests are still being completed.
+        """
+        draining = self.scheduler.draining and (
+            self._started or len(self.scheduler.store) > 0
+        )
+        return {
+            "status": "ok",
+            "ready": self._started and not self.scheduler.closed,
+            "draining": draining,
+            "queue_depth": len(self.scheduler.store),
+            "workers_alive": self.pool.alive,
+            "worker_restarts": self.pool.restarts,
+            "models": [k.canonical() for k in self.registry.keys()],
+            "breakers": self.pool.breaker_states(),
+            "engine": self.config.engine,
+            "resilience": self.config.resilience,
+        }
 
     def stats(self) -> dict:
         """Snapshot of the serving metrics (counts, queue, batch sizes)."""

@@ -29,16 +29,29 @@ Engines:
 * ``analytical`` — no numerics at all: the batch "executes" in zero work
   and responses carry only the cost model's simulated latency.  This is
   the engine for scheduler/batcher experiments at high request rates.
+
+Resilience (``docs/robustness.md``): with ``resilience=True`` (default)
+a failing batch walks the **degradation chain** — compiled plan → eager
+graph → analytical estimate — instead of erroring, and the surviving
+response carries ``degraded=True`` with the reason.  A per-model
+:class:`~repro.serve.resilience.CircuitBreaker` short-circuits repeated
+primary failures straight to the analytical stage until a cooldown
+passes.  Crashed worker tasks re-queue their batch and are restarted by
+the pool supervisor (``resilience.worker_restarts``).  The
+``serve.engine`` / ``serve.worker`` fault points of :mod:`repro.faults`
+are injected here.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..faults import inject
 from ..nn.tensor import Tensor
 from ..obs import get_logger, get_registry, get_tracer
 from ..systolic import ArrayConfig
@@ -46,6 +59,7 @@ from .batcher import Batch
 from .costmodel import BatchCostModel
 from .registry import ModelRegistry, RegisteredModel
 from .request import InferenceResponse, Status, output_digest
+from .resilience import CircuitBreaker
 from .scheduler import SLOScheduler
 
 __all__ = ["ENGINES", "WorkerPool", "execute_batch"]
@@ -92,6 +106,32 @@ def _run_array(model: RegisteredModel, inputs: List[np.ndarray],
     return outputs, cycles
 
 
+def _run_engine(
+    batch: Batch,
+    model: RegisteredModel,
+    cost_model: BatchCostModel,
+    engine: str,
+    bitexact: bool,
+    jobs: int,
+    sim_engine: str,
+    compiled: bool,
+) -> Tuple[List[Optional[np.ndarray]], Optional[float]]:
+    """One attempt of one engine; (outputs, simulated_ms override)."""
+    requests = batch.requests
+    if engine == "graph":
+        inputs = [r.resolve_input(model.input_shape) for r in requests]
+        return _run_graph(model, inputs, bitexact, compiled), None
+    if engine == "array":
+        inputs = [r.resolve_input(model.input_shape) for r in requests]
+        outputs, cycles = _run_array(
+            model, inputs, cost_model.array, sim_engine, jobs
+        )
+        return outputs, cost_model.array.cycles_to_ms(cycles)
+    if engine == "analytical":
+        return [None] * len(requests), None  # cost only; no numerics
+    raise ValueError(f"unknown serve engine {engine!r}")
+
+
 def execute_batch(
     batch: Batch,
     model: RegisteredModel,
@@ -101,47 +141,93 @@ def execute_batch(
     jobs: int = 1,
     sim_engine: str = "vector",
     compiled: bool = True,
+    breaker: Optional[CircuitBreaker] = None,
+    resilience: bool = True,
 ) -> List[InferenceResponse]:
     """Run one batch synchronously (worker-thread body); returns responses.
 
     The responses are in batch order and not yet delivered — the caller
     resolves the futures back on the event loop.
+
+    With ``resilience=True`` a primary-path failure degrades instead of
+    erroring: ``graph``-engine batches retry on the eager executor, and
+    any engine's last resort is an analytical-estimate response flagged
+    ``degraded`` (no output tensor, but a priced answer within the SLO
+    machinery).  ``resilience=False`` restores the pre-hardening
+    behavior: the failure surfaces as an ERROR response per request.
     """
     n = len(batch)
     requests = batch.requests
     dispatch = time.monotonic()
     simulated_ms = cost_model.simulated_ms(model, n)
     error: Optional[str] = None
+    degraded = False
+    degraded_reason: Optional[str] = None
     outputs: List[Optional[np.ndarray]] = [None] * n
+    registry = get_registry()
 
     start = time.perf_counter()
-    try:
-        with get_tracer().span("serve.execute", category="serve",
-                               model=batch.key.canonical(), batch=n,
-                               engine=engine):
-            if engine == "graph":
-                inputs = [r.resolve_input(model.input_shape) for r in requests]
-                outputs = _run_graph(model, inputs, bitexact, compiled)
-            elif engine == "array":
-                inputs = [r.resolve_input(model.input_shape) for r in requests]
-                outputs, cycles = _run_array(
-                    model, inputs, cost_model.array, sim_engine, jobs
+    if breaker is not None and not breaker.allow():
+        # Open breaker: skip the primary entirely; the analytical estimate
+        # is the fastest truthful answer while the model cools down.
+        degraded = True
+        degraded_reason = "circuit breaker open"
+        registry.counter("resilience.breaker_short_circuits").inc()
+    else:
+        try:
+            with get_tracer().span("serve.execute", category="serve",
+                                   model=batch.key.canonical(), batch=n,
+                                   engine=engine):
+                inject("serve.engine")
+                outputs, sim_override = _run_engine(
+                    batch, model, cost_model, engine, bitexact, jobs,
+                    sim_engine, compiled,
                 )
-                simulated_ms = cost_model.array.cycles_to_ms(cycles)
-            elif engine == "analytical":
-                pass  # cost only; no numerics
+                if sim_override is not None:
+                    simulated_ms = sim_override
+            if breaker is not None:
+                breaker.record(True)
+        except Exception as exc:  # surfaces per-request, never kills the worker
+            failure = f"{type(exc).__name__}: {exc}"
+            if breaker is not None:
+                breaker.record(False)
+            _log.warning("batch execution failed", model=batch.key.canonical(),
+                         batch=n, engine=engine, error=failure)
+            if not resilience:
+                error = failure
+            elif engine == "graph" and compiled:
+                # Chain stage 2: the eager graph (no compiled plan).
+                try:
+                    with get_tracer().span("resilience.degrade",
+                                           category="serve", stage="eager",
+                                           model=batch.key.canonical()):
+                        outputs, _ = _run_engine(
+                            batch, model, cost_model, "graph", bitexact,
+                            jobs, sim_engine, compiled=False,
+                        )
+                    degraded = True
+                    degraded_reason = f"eager fallback after: {failure}"
+                except Exception as exc2:
+                    degraded = True
+                    degraded_reason = (
+                        f"analytical fallback after: "
+                        f"{type(exc2).__name__}: {exc2}"
+                    )
+                    outputs = [None] * n
             else:
-                raise ValueError(f"unknown serve engine {engine!r}")
-    except Exception as exc:  # surfaces per-request, never kills the worker
-        error = f"{type(exc).__name__}: {exc}"
-        _log.warning("batch execution failed", model=batch.key.canonical(),
-                     batch=n, error=error)
+                # Chain stage 3 directly: analytical estimate only.
+                degraded = True
+                degraded_reason = f"analytical fallback after: {failure}"
+                outputs = [None] * n
+            if degraded:
+                get_tracer().instant("resilience.degraded", category="serve",
+                                     model=batch.key.canonical(),
+                                     reason=degraded_reason)
     execute_ms = (time.perf_counter() - start) * 1000.0
 
-    if error is None:
+    if error is None and not degraded:
         cost_model.observe(model, n, execute_ms)
 
-    registry = get_registry()
     responses = []
     for request, out in zip(requests, outputs):
         status = Status.ERROR if error is not None else Status.OK
@@ -160,8 +246,12 @@ def execute_batch(
             simulated_ms=simulated_ms,
             batch_size=n,
             slo_ms=request.slo_ms or 0.0,
+            degraded=degraded,
+            degraded_reason=degraded_reason,
         ))
         registry.counter("serve.requests", status=status.value).inc()
+        if degraded:
+            registry.counter("resilience.degraded_responses").inc()
         registry.histogram("serve.latency.seconds").observe(total_ms / 1000.0)
         registry.histogram("serve.queue.wait_seconds").observe(queue_ms / 1000.0)
         if status is Status.OK and not responses[-1].slo_met:
@@ -172,7 +262,14 @@ def execute_batch(
 
 
 class WorkerPool:
-    """N asyncio worker tasks draining the scheduler."""
+    """N asyncio worker tasks draining the scheduler, with supervision.
+
+    The pool restarts crashed workers (their in-hand batch is re-queued
+    first, so no admitted request is lost) up to ``max_restarts`` times
+    and keeps one :class:`CircuitBreaker` per served model.  With
+    ``resilience=False`` a crash is logged and the worker stays down —
+    the pre-hardening baseline.
+    """
 
     def __init__(
         self,
@@ -185,6 +282,10 @@ class WorkerPool:
         jobs: int = 1,
         sim_engine: str = "vector",
         compiled: bool = True,
+        resilience: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 2.0,
+        max_restarts: int = 100,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -197,30 +298,107 @@ class WorkerPool:
         self.jobs = jobs
         self.sim_engine = sim_engine
         self.compiled = compiled
-        self._tasks: List[asyncio.Task] = []
+        self.resilience = resilience
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.max_restarts = max_restarts
+        self.restarts = 0
+        self._tasks: Set[asyncio.Task] = set()
+        self._breakers: Dict[object, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+
+    # ------------------------------------------------------------- breakers
+
+    def breaker_for(self, key) -> Optional[CircuitBreaker]:
+        """The per-model breaker (lazily created); ``None`` when disabled."""
+        if not self.resilience:
+            return None
+        with self._breaker_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                    label=key.canonical(),
+                )
+                self._breakers[key] = breaker
+                breaker.publish()
+        return breaker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Model → breaker state, for health introspection."""
+        with self._breaker_lock:
+            return {
+                key.canonical(): breaker.state
+                for key, breaker in self._breakers.items()
+            }
+
+    # ------------------------------------------------------------ lifecycle
 
     def start(self) -> None:
         for i in range(self.workers):
-            self._tasks.append(
-                asyncio.create_task(self._loop(i), name=f"serve-worker-{i}")
-            )
+            self._spawn(i)
+
+    def _spawn(self, index: int) -> None:
+        task = asyncio.create_task(self._loop(index), name=f"serve-worker-{index}")
+        self._tasks.add(task)
+        task.add_done_callback(lambda t, i=index: self._on_worker_done(i, t))
+
+    def _on_worker_done(self, index: int, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return  # normal exit: scheduler closed and drained
+        _log.warning("serve worker crashed", worker=index,
+                     error=f"{type(exc).__name__}: {exc}")
+        if not self.resilience:
+            _log.error("worker left down (resilience disabled)", worker=index)
+            return
+        if self.restarts >= self.max_restarts:
+            _log.error("worker restart limit reached; leaving worker down",
+                       worker=index, restarts=self.restarts)
+            return
+        self.restarts += 1
+        get_registry().counter("resilience.worker_restarts").inc()
+        get_tracer().instant("resilience.worker_restart", category="serve",
+                             worker=index)
+        self._spawn(index)
+
+    @property
+    def alive(self) -> int:
+        """Currently-running worker tasks."""
+        return sum(1 for t in self._tasks if not t.done())
 
     async def join(self) -> None:
-        """Wait for every worker to exit (after the scheduler closes)."""
-        if self._tasks:
-            await asyncio.gather(*self._tasks)
-            self._tasks = []
+        """Wait for every worker to exit (after the scheduler closes).
+
+        Restarted workers spawned while joining are waited on too: the
+        loop drains until the supervisor has nothing left alive.
+        """
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+            await asyncio.sleep(0)  # let done-callbacks (restarts) run
+        self._tasks.clear()
 
     async def _loop(self, index: int) -> None:
         while True:
             batch = await self.scheduler.next_batch()
             if batch is None:
                 return
-            model = self.registry.get(batch.key)  # hot: built at batch time
+            try:
+                inject("serve.worker")
+                model = self.registry.get(batch.key)  # hot: built at batch time
+            except BaseException:
+                # Crash with a batch in hand: put the work back before
+                # dying so the restarted worker (or a sibling) re-forms it.
+                await self.scheduler.requeue(batch.items)
+                raise
             responses = await asyncio.to_thread(
                 execute_batch, batch, model, self.cost_model,
                 self.engine, self.bitexact, self.jobs, self.sim_engine,
-                self.compiled,
+                self.compiled, self.breaker_for(batch.key), self.resilience,
             )
             for pending, response in zip(batch.items, responses):
                 if not pending.future.done():

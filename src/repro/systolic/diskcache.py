@@ -33,6 +33,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from ..faults import should_fire
 from ..ir.network import Network
 from ..ir.serialize import network_to_dict
 from ..obs import get_logger, get_registry
@@ -129,8 +130,15 @@ def estimate_network_cached(
             array=array,
             layers=[_layer_from_dict(e) for e in entry["layers"]],
         )
-    except (OSError, ValueError, KeyError, TypeError):
-        pass
+    except FileNotFoundError:
+        pass  # plain miss: nothing cached yet
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # The entry *exists* but cannot be decoded — a torn write from a
+        # killed process, disk corruption, or an injected fault.  Degrade
+        # to a miss (and rewrite below), but leave an audit trail.
+        registry.counter("faults.diskcache.corrupt").inc()
+        _log.warning("corrupt disk cache entry; treating as miss",
+                     path=str(path), error=f"{type(exc).__name__}: {exc}")
     else:
         registry.counter("latency.diskcache.hit").inc()
         return result
@@ -152,7 +160,13 @@ def _write_entry(path: Path, result: NetworkLatency) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                blob = json.dumps(payload, separators=(",", ":"))
+                if should_fire("diskcache.write") is not None:
+                    # Simulate a torn write: half the payload, no tail.
+                    # os.replace still lands it, so the *next* read sees a
+                    # present-but-undecodable entry (the corruption path).
+                    blob = blob[: len(blob) // 2]
+                fh.write(blob)
             os.replace(tmp, path)  # atomic on POSIX: readers never see partials
         except BaseException:
             os.unlink(tmp)

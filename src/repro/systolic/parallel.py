@@ -23,6 +23,18 @@ every caller here needs:
 
 Worker functions must be module-level (picklable); on Linux the pool forks,
 so numpy arrays in closed-over state are shared copy-on-write.
+
+A fourth property was added with the robustness work (``docs/
+robustness.md``): **resurrection**.  A worker process dying (OOM killer,
+segfault in a C extension, an injected ``parallel.worker`` kill) breaks
+the whole ``ProcessPoolExecutor``; by default :func:`scatter` detects the
+``BrokenProcessPool``, rebuilds the pool, and re-dispatches exactly the
+tasks whose results had not yet been consumed — input order and thus
+byte-determinism of the merged results are preserved (results of a
+resurrected run equal a clean run; only worker-side metric snapshots of
+the lost in-flight tasks are recomputed rather than double-merged).
+``resilient=False`` (or ``$REPRO_POOL_RESILIENT=0``) keeps the
+fail-fast behavior, now with an actionable error message.
 """
 
 from __future__ import annotations
@@ -30,14 +42,25 @@ from __future__ import annotations
 import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..obs import MetricsRegistry, get_registry, set_registry
+from ..faults import inject
+from ..obs import MetricsRegistry, get_logger, get_registry, set_registry
 
 __all__ = ["default_jobs", "resolve_jobs", "scatter", "shutdown_pool"]
 
 #: Environment knob consulted when ``jobs`` is not given explicitly.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Set to ``0`` to disable pool resurrection (fail fast on worker death).
+RESILIENT_ENV = "REPRO_POOL_RESILIENT"
+
+_log = get_logger("systolic.parallel")
+
+
+def _default_resilient() -> bool:
+    return os.environ.get(RESILIENT_ENV, "1") != "0"
 
 
 def default_jobs() -> int:
@@ -103,6 +126,10 @@ atexit.register(shutdown_pool)
 
 def _call_with_registry(fn: Callable, task) -> Tuple[object, dict]:
     """Run one task under a fresh metrics registry; ship its snapshot back."""
+    # Fault point for chaos/tests: a ``kill`` spec here exits the worker
+    # process mid-task, breaking the pool.  Forked workers inherit the
+    # parent's installed plan (each child gets its own firing counters).
+    inject("parallel.worker")
     registry = MetricsRegistry()
     previous = set_registry(registry)
     try:
@@ -117,6 +144,8 @@ def scatter(
     tasks: Sequence,
     jobs: Optional[int] = None,
     merge_metrics: bool = True,
+    resilient: Optional[bool] = None,
+    max_resurrections: int = 2,
 ) -> List[object]:
     """Map ``fn`` over ``tasks`` across a process pool, deterministically.
 
@@ -128,6 +157,11 @@ def scatter(
         merge_metrics: fold each worker's metrics snapshot into the parent
             registry (see module docstring).  Inline runs record into the
             parent registry directly, so the flag only matters for pools.
+        resilient: rebuild the pool and re-dispatch unfinished tasks when
+            a worker process dies (see module docstring).  ``None`` reads
+            ``$REPRO_POOL_RESILIENT`` (default on).
+        max_resurrections: pool rebuilds allowed per :func:`scatter` call
+            before the failure is re-raised as persistent.
 
     Returns:
         ``[fn(t) for t in tasks]`` — same values, same order, whatever the
@@ -137,15 +171,49 @@ def scatter(
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(t) for t in tasks]
+    if resilient is None:
+        resilient = _default_resilient()
 
-    pool = _get_pool(min(jobs, len(tasks)))
     registry = get_registry()
     results: List[object] = []
-    # Executor.map preserves input order regardless of completion order.
-    for result, snapshot in pool.map(
-        _call_with_registry, [fn] * len(tasks), tasks
-    ):
-        if merge_metrics:
-            registry.merge_dict(snapshot)
-        results.append(result)
-    return results
+    resurrections = 0
+    while True:
+        remaining = tasks[len(results):]
+        pool = _get_pool(min(jobs, len(remaining)))
+        try:
+            # Executor.map preserves input order regardless of completion
+            # order; consuming in order means ``results`` is always an
+            # exact prefix of ``tasks``, which is what makes re-dispatching
+            # ``tasks[len(results):]`` after a pool loss correct.
+            for result, snapshot in pool.map(
+                _call_with_registry, [fn] * len(remaining), remaining
+            ):
+                if merge_metrics:
+                    registry.merge_dict(snapshot)
+                results.append(result)
+            return results
+        except BrokenProcessPool as exc:
+            shutdown_pool()  # the executor is unusable; drop it
+            if not resilient:
+                raise RuntimeError(
+                    f"a worker process died while running {len(tasks)} "
+                    f"task(s) ({len(results)} completed) — likely an OOM "
+                    "kill or a crash in a C extension. Re-run with fewer "
+                    f"jobs (jobs={jobs} now), more memory, or jobs=1 to "
+                    "debug inline; or leave resurrection enabled "
+                    f"(${RESILIENT_ENV} unset) to retry automatically."
+                ) from exc
+            if resurrections >= max_resurrections:
+                raise RuntimeError(
+                    f"worker pool died {resurrections + 1} times during one "
+                    f"scatter ({len(results)}/{len(tasks)} tasks done) — "
+                    "the failure looks persistent, not transient. Run with "
+                    "jobs=1 to reproduce inline."
+                ) from exc
+            resurrections += 1
+            registry.counter("resilience.pool_resurrections").inc()
+            _log.warning(
+                "worker pool died; resurrecting",
+                done=len(results), total=len(tasks),
+                resurrection=resurrections,
+            )

@@ -1,0 +1,205 @@
+"""The fault-injection framework: plans, the injector, determinism.
+
+The framework's contract is stronger than "faults happen": the schedule
+must replay exactly for a seed, the hooks must be no-ops without a plan,
+and every firing must leave a metrics trail.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_plan,
+    current_injector,
+    inject,
+    install_plan,
+    should_fire,
+)
+from repro.obs import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no installed plan."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultSpec(point="serve.nonexistent")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(point="serve.engine", kind="explode")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": 1.5},
+        {"probability": -0.1},
+        {"max_fires": -1},
+        {"after": -2},
+        {"delay_ms": -5.0},
+    ])
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(point="serve.engine", **kwargs)
+
+    def test_round_trip(self):
+        spec = FaultSpec(point="transport.garbage", kind="error",
+                         probability=0.25, max_fires=3, after=7)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"point": "serve.engine", "colour": "red"})
+
+    def test_from_dict_requires_point(self):
+        with pytest.raises(ValueError, match="point"):
+            FaultSpec.from_dict({"kind": "error"})
+
+    def test_every_catalog_point_is_constructible(self):
+        for point in FAULT_POINTS:
+            assert FaultSpec(point=point).point == point
+
+
+class TestFaultPlan:
+    def test_round_trip_and_fingerprint(self):
+        plan = FaultPlan(seed=42, faults=[
+            FaultSpec(point="serve.engine", probability=0.5, max_fires=None),
+            FaultSpec(point="diskcache.write"),
+        ])
+        clone = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+        assert plan.points() == ["diskcache.write", "serve.engine"]
+
+    def test_fingerprint_depends_on_seed_and_specs(self):
+        base = FaultPlan(seed=0, faults=[FaultSpec(point="serve.engine")])
+        reseeded = FaultPlan(seed=1, faults=[FaultSpec(point="serve.engine")])
+        respecced = FaultPlan(seed=0, faults=[FaultSpec(point="serve.worker")])
+        prints = {p.fingerprint() for p in (base, reseeded, respecced)}
+        assert len(prints) == 3
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict([1, 2, 3])
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"seed": 0, "chaos_level": 11})
+        with pytest.raises(ValueError, match="list"):
+            FaultPlan.from_dict({"faults": "lots"})
+
+    def test_from_env_inline_and_file(self, tmp_path, monkeypatch):
+        plan = FaultPlan(seed=3, faults=[FaultSpec(point="nn.compile")])
+        blob = json.dumps(plan.to_dict())
+        monkeypatch.setenv("REPRO_FAULTS", blob)
+        assert FaultPlan.from_env() == plan
+        path = tmp_path / "plan.json"
+        path.write_text(blob)
+        monkeypatch.setenv("REPRO_FAULTS", str(path))
+        assert FaultPlan.from_env() == plan
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert FaultPlan.from_env() is None
+
+
+class TestInjector:
+    def test_schedule_is_deterministic(self):
+        plan = FaultPlan(seed=7, faults=[
+            FaultSpec(point="serve.engine", probability=0.3, max_fires=None),
+        ])
+        schedules = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            schedules.append([
+                injector.should_fire("serve.engine") is not None
+                for _ in range(200)
+            ])
+        assert schedules[0] == schedules[1]
+        assert any(schedules[0])      # p=0.3 over 200 draws must fire
+        assert not all(schedules[0])  # ... and must also skip
+
+    def test_seed_changes_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(FaultPlan(seed=seed, faults=[
+                FaultSpec(point="serve.engine", probability=0.3,
+                          max_fires=None),
+            ]))
+            return [injector.should_fire("serve.engine") is not None
+                    for _ in range(100)]
+
+        assert schedule(1) != schedule(2)
+
+    def test_after_and_max_fires(self):
+        injector = FaultInjector(FaultPlan(faults=[
+            FaultSpec(point="serve.engine", after=3, max_fires=2),
+        ]))
+        fired = [injector.should_fire("serve.engine") is not None
+                 for _ in range(10)]
+        assert fired == [False] * 3 + [True, True] + [False] * 5
+        assert injector.fired("serve.engine") == 2
+        assert injector.snapshot()["serve.engine"] == {"evals": 10, "fired": 2}
+
+    def test_first_matching_spec_wins_but_draws_stay_aligned(self):
+        # Two specs on one point: the one-shot first spec wins once, then
+        # the always-on second spec takes over; total fires = evals.
+        injector = FaultInjector(FaultPlan(faults=[
+            FaultSpec(point="serve.engine", kind="delay", max_fires=1),
+            FaultSpec(point="serve.engine", kind="error", max_fires=None),
+        ]))
+        kinds = [injector.should_fire("serve.engine").kind for _ in range(4)]
+        assert kinds == ["delay", "error", "error", "error"]
+
+    def test_unlisted_point_never_fires(self):
+        injector = FaultInjector(FaultPlan(faults=[
+            FaultSpec(point="serve.engine"),
+        ]))
+        assert injector.should_fire("diskcache.write") is None
+
+    def test_firing_counts_metric(self):
+        reg = get_registry()
+        reg.reset()
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        assert should_fire("serve.engine") is not None
+        assert reg.counter("faults.injected.serve.engine").value == 1
+        assert should_fire("serve.engine") is None  # one-shot exhausted
+        assert reg.counter("faults.injected.serve.engine").value == 1
+
+
+class TestInjectSites:
+    def test_noop_without_plan(self):
+        assert current_injector() is None or True  # may be env-latched None
+        assert should_fire("serve.engine") is None
+        inject("serve.engine")  # must not raise
+
+    def test_error_kind_raises_injected_fault(self):
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        with pytest.raises(InjectedFault) as excinfo:
+            inject("serve.engine")
+        assert excinfo.value.point == "serve.engine"
+        inject("serve.engine")  # exhausted: back to a no-op
+
+    def test_delay_kind_sleeps(self):
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.engine", kind="delay", delay_ms=30.0),
+        ]))
+        start = time.perf_counter()
+        inject("serve.engine")
+        assert time.perf_counter() - start >= 0.025
+
+    def test_install_and_clear(self):
+        injector = install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.engine"),
+        ]))
+        assert current_injector() is injector
+        clear_plan()
+        assert current_injector() is None

@@ -1,0 +1,303 @@
+"""Resilience machinery: breaker, retries, degradation chain, drain.
+
+These tests pin the hardening contracts of docs/robustness.md: a failing
+primary path degrades instead of erroring, an open breaker short-circuits,
+crashed workers restart without losing admitted requests, and a graceful
+drain completes in-flight work while refusing new admissions politely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+from repro.obs import get_registry
+from repro.serve import (
+    Batch,
+    BatchCostModel,
+    CircuitBreaker,
+    InferenceRequest,
+    InferenceServer,
+    ModelKey,
+    ModelRegistry,
+    Pending,
+    RetryPolicy,
+    ServeConfig,
+    Status,
+    execute_batch,
+)
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record(False)
+        assert breaker.state == "closed"   # under threshold
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now += 5.0
+        assert breaker.state == "half-open"
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record(False)
+        clock.now += 1.0
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits
+        breaker.record(True)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record(False)
+        clock.now += 1.0
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record(False)
+        breaker.record(True)
+        breaker.record(False)
+        assert breaker.state == "closed"  # streak broken; never reached 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestRetryPolicy:
+    def test_delays_bounded_by_exponential_ceiling(self):
+        policy = RetryPolicy(retries=5, backoff_ms=100.0, backoff_max_ms=300.0)
+        for attempt in range(1, 6):
+            ceiling = min(300.0, 100.0 * 2 ** (attempt - 1)) / 1000.0
+            delay = policy.delay_s(attempt)
+            assert 0.0 <= delay <= ceiling
+
+    def test_seeded_jitter_replays(self):
+        a = [RetryPolicy(seed=9).delay_s(i) for i in (1, 2, 3)]
+        b = [RetryPolicy(seed=9).delay_s(i) for i in (1, 2, 3)]
+        c = [RetryPolicy(seed=10).delay_s(i) for i in (1, 2, 3)]
+        assert a == b
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+
+
+def _batch(requests):
+    now = time.monotonic()
+    for r in requests:
+        r.arrival = now
+        r.deadline = now + 60.0
+    items = [Pending(request=r, future=None) for r in requests]
+    return Batch(key=requests[0].key, items=items, planned_size=len(items))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ModelRegistry().get(KEY)
+
+
+class TestDegradationChain:
+    def test_engine_fault_degrades_to_eager_bit_identically(self, model):
+        cost = BatchCostModel()
+        batch = _batch([InferenceRequest(key=KEY, input_seed=i)
+                        for i in range(2)])
+        clean = execute_batch(batch, model, cost)
+        assert all(r.status is Status.OK and not r.degraded for r in clean)
+
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        degraded = execute_batch(batch, model, cost)
+        assert all(r.status is Status.OK for r in degraded)
+        assert all(r.degraded for r in degraded)
+        assert all("eager fallback" in r.degraded_reason for r in degraded)
+        # The eager stage preserves the bit-determinism contract.
+        assert [r.digest for r in degraded] == [r.digest for r in clean]
+
+    def test_non_graph_engine_degrades_to_analytical(self, model):
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        batch = _batch([InferenceRequest(key=KEY, input_seed=0)])
+        responses = execute_batch(batch, model, BatchCostModel(),
+                                  engine="analytical")
+        (r,) = responses
+        assert r.status is Status.OK
+        assert r.degraded and "analytical fallback" in r.degraded_reason
+        assert r.output is None and r.digest is None
+        assert r.simulated_ms > 0  # the estimate still prices the batch
+
+    def test_no_resilience_surfaces_error(self, model):
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        batch = _batch([InferenceRequest(key=KEY, input_seed=0)])
+        (r,) = execute_batch(batch, model, BatchCostModel(), resilience=False)
+        assert r.status is Status.ERROR
+        assert "injected fault" in r.error
+        assert not r.degraded
+
+    def test_open_breaker_short_circuits_to_analytical(self, model):
+        reg = get_registry()
+        reg.reset()
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=60.0, clock=clock)
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        batch = _batch([InferenceRequest(key=KEY, input_seed=0)])
+        first = execute_batch(batch, model, BatchCostModel(), breaker=breaker)
+        assert first[0].degraded  # primary failed; breaker absorbed it
+        assert breaker.state == "open"
+        # No fault left to fire, but the open breaker skips the primary.
+        second = execute_batch(batch, model, BatchCostModel(), breaker=breaker)
+        assert second[0].degraded
+        assert second[0].degraded_reason == "circuit breaker open"
+        assert second[0].output is None
+        assert reg.counter("resilience.breaker_short_circuits").value == 1
+
+    def test_delay_fault_slows_but_succeeds(self, model):
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.engine", kind="delay", delay_ms=40.0),
+        ]))
+        batch = _batch([InferenceRequest(key=KEY, input_seed=0)])
+        (r,) = execute_batch(batch, model, BatchCostModel())
+        assert r.status is Status.OK and not r.degraded
+        assert r.execute_ms >= 40.0
+
+
+class TestWorkerRestart:
+    def test_crashed_worker_requeues_and_restarts(self):
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.worker", max_fires=1),
+        ]))
+        config = ServeConfig(engine="analytical", preload=[KEY],
+                             workers=1, slo_ms=30000.0)
+
+        async def main():
+            async with InferenceServer(config) as server:
+                responses = await server.submit_many([
+                    InferenceRequest(key=KEY, input_seed=i) for i in range(4)
+                ])
+                health = server.health()
+                restarts = server.pool.restarts
+            return responses, health, restarts
+
+        responses, health, restarts = asyncio.run(main())
+        # The crash lost nothing: every admitted request was answered OK.
+        assert [r.status for r in responses] == [Status.OK] * 4
+        assert restarts == 1
+        assert health["workers_alive"] == 1
+
+    def test_no_resilience_leaves_worker_down(self):
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.worker", max_fires=1),
+        ]))
+        config = ServeConfig(engine="analytical", preload=[KEY], workers=2,
+                             slo_ms=30000.0, resilience=False)
+
+        async def main():
+            async with InferenceServer(config) as server:
+                responses = await server.submit_many([
+                    InferenceRequest(key=KEY, input_seed=i) for i in range(4)
+                ])
+                return responses, server.pool.restarts, server.pool.alive
+
+        responses, restarts, alive = asyncio.run(main())
+        assert restarts == 0
+        # The second worker still drains the requeued work.
+        assert [r.status for r in responses] == [Status.OK] * 4
+
+
+class TestGracefulDrain:
+    def test_drain_completes_inflight_and_sheds_new(self):
+        config = ServeConfig(engine="analytical", preload=[KEY], workers=1,
+                             slo_ms=30000.0, batch_timeout_ms=50.0)
+
+        async def main():
+            server = InferenceServer(config)
+            await server.start()
+            futures = [
+                await server.scheduler.submit(
+                    InferenceRequest(key=KEY, input_seed=i)
+                )
+                for i in range(6)
+            ]
+            stop = asyncio.create_task(server.stop(drain=True))
+            await asyncio.sleep(0.01)  # let close() flip the scheduler
+            assert server.scheduler.closed
+            late_future = await server.scheduler.submit(
+                InferenceRequest(key=KEY, input_seed=99)
+            )
+            late = await late_future
+            drained = await asyncio.gather(*futures)
+            await stop
+            return drained, late, server.health()
+
+        drained, late, health = asyncio.run(main())
+        # Every in-flight request completed (none cancelled)...
+        assert [r.status for r in drained] == [Status.OK] * 6
+        # ...while the late admission was refused politely, with a hint.
+        assert late.status is Status.SHED
+        assert late.retry_after_ms is not None and late.retry_after_ms > 0
+        assert health["ready"] is False
+
+    def test_hard_stop_still_cancels(self):
+        config = ServeConfig(engine="analytical", preload=[KEY], workers=1,
+                             slo_ms=30000.0)
+
+        async def main():
+            server = InferenceServer(config)
+            await server.start()
+            await server.stop(drain=False)
+            future = await server.scheduler.submit(
+                InferenceRequest(key=KEY, input_seed=0)
+            )
+            return await future
+
+        response = asyncio.run(main())
+        assert response.status is Status.CANCELLED
+
+
+class TestCompileFallback:
+    def test_injected_compile_failure_counts_and_latches(self, model):
+        reg = get_registry()
+        reg.reset()
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="nn.compile", max_fires=None),
+        ]))
+        fresh = ModelRegistry().get(KEY)
+        assert fresh.plan_for(1, exact=True) is None
+        assert reg.counter("resilience.compile_fallbacks",
+                           model=KEY.canonical()).value == 1
+        clear_plan()
+        # The failure latched: no recompile storm after the fault clears.
+        assert fresh.plan_for(1, exact=True) is None

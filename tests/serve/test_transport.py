@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.serve import (
+    MAX_LINE_BYTES,
     InferenceRequest,
     InferenceResponse,
     InferenceServer,
@@ -141,3 +142,116 @@ class TestTcpLoopback:
         reply = json.loads(asyncio.run(main()))
         assert reply["status"] == "error"
         assert "bad request" in reply["error"]
+
+
+class TestTransportHardening:
+    """Satellite contracts: bad input degrades the reply, never the link."""
+
+    @staticmethod
+    async def _serve(body):
+        config = ServeConfig(engine="analytical", preload=[KEY],
+                             slo_ms=10000.0)
+        async with InferenceServer(config) as server:
+            tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            try:
+                return await body(port)
+            finally:
+                tcp.close()
+                await tcp.wait_closed()
+
+    def test_oversized_line_errors_but_connection_survives(self):
+        import json
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"x" * (MAX_LINE_BYTES + 1024) + b"\n")
+                await writer.drain()
+                oversized = json.loads(await reader.readline())
+                # Same connection, well-formed follow-up: still served.
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                followup = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return oversized, followup
+
+        oversized, followup = asyncio.run(self._serve(body))
+        assert oversized["status"] == "error"
+        assert "bad request" in oversized["error"]
+        assert "line exceeded" in oversized["error"]
+        assert followup["op"] == "pong"
+
+    def test_non_object_payload_gets_structured_error(self):
+        import json
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"[1, 2, 3]\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        reply = asyncio.run(self._serve(body))
+        assert reply["status"] == "error"
+        assert "bad request" in reply["error"]
+
+    def test_health_op_over_the_wire(self):
+        async def body(port):
+            async with RemoteClient("127.0.0.1", port) as client:
+                return await client.health()
+
+        health = asyncio.run(self._serve(body))
+        assert health["status"] == "ok"
+        assert health["ready"] is True
+        assert health["workers_alive"] >= 1
+        assert KEY.canonical() in health["models"]
+
+    def test_client_skips_injected_garbage_frames(self):
+        from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="transport.garbage", max_fires=2),
+        ]))
+        try:
+            async def body(port):
+                async with RemoteClient("127.0.0.1", port) as client:
+                    return [
+                        await client.submit(
+                            InferenceRequest(key=KEY, input_seed=i)
+                        )
+                        for i in range(4)
+                    ]
+
+            responses = asyncio.run(self._serve(body))
+        finally:
+            clear_plan()
+        # Garbage frames preceded two replies; the client skipped them
+        # and every request still resolved OK.
+        assert [r.status for r in responses] == [Status.OK] * 4
+
+    def test_client_timeout_produces_error_response(self):
+        from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="serve.engine", kind="delay", delay_ms=300.0),
+        ]))
+        try:
+            async def body(port):
+                async with RemoteClient("127.0.0.1", port,
+                                        timeout_s=0.05) as client:
+                    return await client.submit(
+                        InferenceRequest(key=KEY, input_seed=0)
+                    )
+
+            response = asyncio.run(self._serve(body))
+        finally:
+            clear_plan()
+        assert response.status is Status.ERROR
+        assert response.error.startswith("transport:")
+        assert "TimeoutError" in response.error

@@ -37,6 +37,29 @@ def _square_with_metric(task):
     return task * task
 
 
+def _maybe_die(task):
+    """Die (once) on the poisoned task; a marker file makes it one-shot.
+
+    The marker lives on disk, so the *resurrected* worker sees it and
+    computes normally — exactly the "transient worker death" scenario the
+    resilient scatter is for.
+    """
+    value, poison, marker = task
+    if value == poison and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("died here\n")
+        os._exit(13)
+    return value * value
+
+
+def _always_die(task):
+    """Unconditionally kill the worker on the poisoned value."""
+    value, poison = task
+    if value == poison:
+        os._exit(13)
+    return value * value
+
+
 def small_net() -> Network:
     net = Network("small", input_shape=(3, 12, 12))
     net.add(Conv2D(6, kernel=3, stride=1, padding="same"), name="conv")
@@ -112,6 +135,58 @@ class TestScatter:
         shutdown_pool()
         # The pool rebuilds transparently on the next call.
         assert scatter(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+
+
+class TestScatterResilience:
+    """Worker death: resurrection re-dispatches, fail-fast explains."""
+
+    def _tasks(self, tmp_path, poison=3, n=8):
+        marker = str(tmp_path / "died.marker")
+        return [(i, poison, marker) for i in range(n)], marker
+
+    def test_resurrection_matches_clean_run(self, tmp_path):
+        reg = get_registry()
+        reg.reset()
+        shutdown_pool()  # fresh workers, no inherited state
+        tasks, marker = self._tasks(tmp_path)
+        results = scatter(_maybe_die, tasks, jobs=2)
+        assert results == [i * i for i in range(8)]
+        assert os.path.exists(marker)  # the death really happened
+        assert reg.counter("resilience.pool_resurrections").value == 1
+
+    def test_fail_fast_raises_actionable_error(self, tmp_path):
+        shutdown_pool()
+        tasks, marker = self._tasks(tmp_path)
+        with pytest.raises(RuntimeError, match="worker process died"):
+            scatter(_maybe_die, tasks, jobs=2, resilient=False)
+        assert os.path.exists(marker)
+
+    def test_injected_worker_kill_breaks_pool(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+
+        # Forked workers inherit the installed plan; the kill spec fires
+        # in a child and takes the pool down.  ``resilient=False`` proves
+        # the fault point end-to-end without fighting per-child counters
+        # (each resurrected fork would re-fire its own one-shot).
+        shutdown_pool()
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="parallel.worker", kind="kill", max_fires=1),
+        ]))
+        try:
+            with pytest.raises(RuntimeError, match="worker process died"):
+                scatter(_square, list(range(8)), jobs=2, resilient=False)
+        finally:
+            clear_plan()
+            shutdown_pool()  # drop workers still holding the plan
+
+    def test_persistent_failure_gives_up(self):
+        # A poison with no one-shot marker dies on every dispatch: the
+        # resilient path must stop after ``max_resurrections`` rebuilds,
+        # not spin forever.
+        shutdown_pool()
+        tasks = [(i, 3) for i in range(8)]
+        with pytest.raises(RuntimeError, match="persistent"):
+            scatter(_always_die, tasks, jobs=2, max_resurrections=1)
 
 
 class TestTileChunks:
@@ -212,6 +287,31 @@ class TestDiskCache:
         assert reg.counter("latency.diskcache.miss").value == 2
         # The corrupt entry was replaced with a valid one.
         json.loads(entries[0].read_text())
+        estimate_network_cached(net, array, cache_dir=tmp_path)
+        assert reg.counter("latency.diskcache.hit").value == 1
+
+    def test_injected_partial_write_degrades_to_miss(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+
+        reg = get_registry()
+        reg.reset()
+        net = small_net()
+        array = ArrayConfig(8, 8, broadcast=True)
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="diskcache.write", max_fires=1),
+        ]))
+        try:
+            # The first write lands torn (truncated blob) but never raises.
+            cold = estimate_network_cached(net, array, cache_dir=tmp_path)
+        finally:
+            clear_plan()
+        # The torn entry reads as corrupt: counted, degraded to a miss,
+        # recomputed identically, and rewritten in full.
+        again = estimate_network_cached(net, array, cache_dir=tmp_path)
+        assert again.total_cycles == cold.total_cycles
+        assert reg.counter("faults.diskcache.corrupt").value == 1
+        assert reg.counter("latency.diskcache.miss").value == 2
+        # Third call: the rewrite healed the cache.
         estimate_network_cached(net, array, cache_dir=tmp_path)
         assert reg.counter("latency.diskcache.hit").value == 1
 
