@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke telemetry-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke telemetry-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -62,6 +62,21 @@ chaos-smoke:
 		--metrics-out benchmarks/results/BENCH_chaos.json
 	python -m repro.obs.validate benchmarks/results/BENCH_chaos.json
 	python -c "import json,sys; names={m['name'] for m in json.load(open('benchmarks/results/BENCH_chaos.json'))['metrics']}; missing=[n for n in ('serve.chaos.answered_rate','serve.chaos.faults_fired','serve.chaos.unhandled_failures','resilience.degraded_responses') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
+
+# Telemetry smoke (docs/observability.md): a short traced loadgen run
+# must leave (1) a metrics sidecar that renders to parseable Prometheus
+# exposition with the snapshot loop advanced past its start/stop samples
+# and every burn-rate alert evaluated, and (2) a trace sidecar whose
+# request spans form linked admit->queue->request chains in Perfetto.
+telemetry-smoke:
+	timeout 180 python -m repro loadgen mobilenet_v3_small --resolution 32 \
+		--requests 40 --clients 4 --slo-ms 1000 --snapshot-interval 0.1 \
+		--check --quiet --trace-out .smoke-telemetry-trace.json \
+		--metrics-out .smoke-telemetry-metrics.json
+	python -m repro.obs.validate .smoke-telemetry-trace.json .smoke-telemetry-metrics.json
+	python -c "import json; from repro.obs.expose import render_exposition_dict, parse_exposition; p=parse_exposition(render_exposition_dict(json.load(open('.smoke-telemetry-metrics.json')))); taken=p.value('repro_obs_snapshots_taken'); assert taken is not None and taken > 2, 'snapshot loop did not advance: %r' % taken; ok=p.value('repro_serve_loadgen_ok'); assert ok and ok >= 40, 'exposition missing ok requests: %r' % ok; assert p.value('repro_serve_loadgen_alert_firing', rule='shed-burn') is not None, 'burn-rate alerts were not evaluated'"
+	python -c "import json; from repro.obs.tracing import span_topology; topo=span_topology(json.load(open('.smoke-telemetry-trace.json'))['traceEvents']); assert topo, 'no linked request traces recorded'; names={n for shape in topo for n, _ in shape}; assert {'serve.admit', 'serve.queue', 'serve.request'} <= names, 'incomplete request chains: %s' % sorted(names)"
+	rm -f .smoke-telemetry-trace.json .smoke-telemetry-metrics.json
 
 # Compiled-runtime smoke (docs/runtime.md): the exact plan must stay
 # bit-identical to eager, the folded plan within 1e-4, and faster than

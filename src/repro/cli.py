@@ -18,7 +18,10 @@ Commands:
 * ``serve``     — async dynamic-batching inference server (JSON-lines TCP)
   with SLO-aware scheduling over the model zoo (``docs/serving.md``);
 * ``loadgen``   — deterministic closed/open-loop load generation against
-  an in-process server or a running ``serve`` instance (``--connect``).
+  an in-process server or a running ``serve`` instance (``--connect``);
+* ``top``       — live terminal telemetry (QPS, windowed percentiles,
+  shed/burn-rate alerts) scraped from a running ``serve`` over the wire
+  protocol's ``op: metrics``.
 
 Every subcommand accepts the observability options (after the command
 name): ``--trace-out FILE`` dumps a Chrome-trace JSON of the run,
@@ -425,6 +428,18 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                        help="disable the degradation chain, circuit breakers "
                             "and worker restarts (failures surface as "
                             "errors; see docs/robustness.md)")
+    group.add_argument("--no-telemetry", dest="telemetry",
+                       action="store_false",
+                       help="disable the snapshot loop feeding live stats "
+                            "and burn-rate alerts (see docs/observability.md)")
+    group.add_argument("--snapshot-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="telemetry sampling cadence in seconds "
+                            "(default 1.0)")
+    group.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                       help="also expose GET /metrics + /telemetry over HTTP "
+                            "on this port (0 = ephemeral; default off — "
+                            "'op: metrics' on the main port always works)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -471,6 +486,9 @@ def _serve_config(args: argparse.Namespace, keys: list):
         array=_array_from_args(args),
         preload=keys,
         resilience=args.resilience,
+        telemetry=args.telemetry,
+        snapshot_interval_s=args.snapshot_interval,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -492,6 +510,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"max_batch={config.max_batch}, slo={config.slo_ms:.0f}ms)")
         for key in keys:
             print(f"  - {key.canonical()}")
+        if server.metrics_port is not None:
+            print(f"metrics exposition on "
+                  f"http://{args.host}:{server.metrics_port}/metrics "
+                  f"(watch live: repro top --port {bound})")
         try:
             if args.duration and args.duration > 0:
                 await asyncio.sleep(args.duration)
@@ -571,7 +593,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 await client.close()
         server = InferenceServer(_serve_config(args, keys))
         async with server:
-            return await run_workload(server.submit, spec)
+            report = await run_workload(server.submit, spec)
+            return report.attach_alerts(server.alerts())
 
     report = asyncio.run(run())
     print(report.render())
@@ -588,6 +611,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print("loadgen check ok: zero errors, SLO accounting present")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.top import run_top
+
+    try:
+        rendered = asyncio.run(run_top(
+            host=args.host,
+            port=args.port,
+            interval_s=args.interval,
+            frames=args.frames,
+        ))
+    except KeyboardInterrupt:
+        return 0
+    if args.frames and rendered < args.frames:
+        print(f"top: rendered {rendered}/{args.frames} frames "
+              f"(server unreachable?)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -749,6 +793,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="p99 degradation bound under chaos "
                         "(default: 2 x --slo-ms)")
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top",
+        help="live telemetry view of a running 'repro serve'",
+        parents=[common],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707,
+                   help="serving port to scrape (default 8707)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between frames (default 1)")
+    p.add_argument("--frames", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: until Ctrl-C)")
+    p.set_defaults(fn=cmd_top)
     return parser
 
 

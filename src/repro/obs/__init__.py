@@ -10,7 +10,17 @@ The instrumentation layer the rest of the toolkit reports into:
 * :mod:`repro.obs.export` — metrics/trace JSON sidecars with a
   version + git SHA + :class:`~repro.systolic.ArrayConfig` header, plus
   schema validators;
-* :mod:`repro.obs.profiling` — ``@profiled`` duration histograms.
+* :mod:`repro.obs.profiling` — ``@profiled`` duration histograms;
+* :mod:`repro.obs.context` — request-scoped :class:`SpanContext`
+  propagation (contextvars + wire);
+* :mod:`repro.obs.stats` — shared percentile math (nearest-rank and
+  histogram-quantile estimators);
+* :mod:`repro.obs.expose` — Prometheus-style text exposition, parser,
+  and the ``--metrics-port`` HTTP endpoint;
+* :mod:`repro.obs.snapshots` — bounded snapshot ring + loop over the
+  registry, with live QPS/latency derivation;
+* :mod:`repro.obs.alerts` — multi-window SLO burn-rate rules over the
+  snapshot ring.
 
 Everything funnels into process-wide singletons (:func:`get_registry`,
 :func:`get_tracer`) so the CLI's ``--metrics-out`` / ``--trace-out`` flags
@@ -18,6 +28,14 @@ capture whatever the invoked code recorded.  The tracer is a strict no-op
 until enabled; see ``docs/observability.md``.
 """
 
+from .alerts import Alert, BurnRule, evaluate_alerts, render_alerts
+from .context import (
+    SpanContext,
+    activate_span_context,
+    current_span_context,
+    new_span_id,
+    new_trace_id,
+)
 from .export import (
     METRICS_SCHEMA,
     TRACE_SCHEMA,
@@ -28,12 +46,19 @@ from .export import (
     repro_version,
     run_header,
     summarize_metrics,
+    summarize_trace,
     trace_payload,
     validate_metrics,
     validate_trace,
     version_string,
     write_metrics,
     write_trace,
+)
+from .expose import (
+    ExpositionServer,
+    parse_exposition,
+    render_exposition,
+    render_exposition_dict,
 )
 from .logs import StructuredLogger, configure as configure_logging, get_logger
 from .metrics import (
@@ -46,9 +71,41 @@ from .metrics import (
     set_registry,
 )
 from .profiling import profiled
-from .tracing import Span, Tracer, get_tracer
+from .snapshots import (
+    LiveStats,
+    Snapshot,
+    SnapshotLoop,
+    SnapshotRing,
+    derive_live,
+)
+from .stats import histogram_quantile, percentile, quantile_from_payload
+from .tracing import Span, Tracer, get_tracer, span_topology, trace_chains
 
 __all__ = [
+    "Alert",
+    "BurnRule",
+    "evaluate_alerts",
+    "render_alerts",
+    "SpanContext",
+    "activate_span_context",
+    "current_span_context",
+    "new_span_id",
+    "new_trace_id",
+    "summarize_trace",
+    "ExpositionServer",
+    "parse_exposition",
+    "render_exposition",
+    "render_exposition_dict",
+    "LiveStats",
+    "Snapshot",
+    "SnapshotLoop",
+    "SnapshotRing",
+    "derive_live",
+    "histogram_quantile",
+    "percentile",
+    "quantile_from_payload",
+    "span_topology",
+    "trace_chains",
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
     "SchemaError",

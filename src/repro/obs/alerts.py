@@ -1,0 +1,143 @@
+"""SLO burn-rate alerts over the snapshot ring.
+
+A burn-rate rule fires when a bad-event rate exceeds its threshold over
+*two* windows at once — a short one (so pages are fast) and a long one
+(so a single bad second doesn't page).  That is the standard
+multi-window construction; here the "budget" is the serving node's SLO
+posture:
+
+* ``shed-burn``  — fraction of submitted requests shed or expired;
+* ``slo-burn``   — fraction of answered requests that missed their SLO;
+* ``p99-vs-slo`` — windowed p99 latency above the configured SLO target
+  (only evaluated when the caller knows the target, e.g. the server's
+  ``slo_ms``).
+
+:func:`evaluate_alerts` reduces a :class:`~repro.obs.snapshots.SnapshotRing`
+through :func:`~repro.obs.snapshots.derive_live` once per window and
+returns every rule's state (firing or not), so ``repro top``, the
+loadgen report and the chaos bounds all render the same verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from .snapshots import LiveStats, SnapshotRing, derive_live
+
+__all__ = ["BurnRule", "Alert", "DEFAULT_RULES", "evaluate_alerts",
+           "render_alerts"]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate rule over a :class:`LiveStats` field."""
+
+    name: str
+    field: str            # LiveStats attribute holding the bad-event rate
+    threshold: float      # fire when BOTH windows exceed this
+    fast_window_s: float = 5.0
+    slow_window_s: float = 30.0
+    severity: str = "page"
+    needs_slo: bool = False  # only evaluated when an SLO target is known
+
+    def value(self, stats: LiveStats, slo_ms: Optional[float]) -> float:
+        raw = float(getattr(stats, self.field))
+        if self.field == "p99_ms" and slo_ms:
+            # Normalize latency to a burn ratio: 1.0 == exactly at SLO.
+            return raw / slo_ms if slo_ms > 0 else 0.0
+        return raw
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule's evaluated state."""
+
+    rule: str
+    severity: str
+    firing: bool
+    fast_value: float
+    slow_value: float
+    threshold: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "firing": self.firing,
+            "fast_value": self.fast_value,
+            "slow_value": self.slow_value,
+            "threshold": self.threshold,
+        }
+
+
+DEFAULT_RULES: Sequence[BurnRule] = (
+    BurnRule(name="shed-burn", field="shed_rate", threshold=0.10),
+    BurnRule(name="slo-burn", field="slo_violation_rate", threshold=0.10),
+    BurnRule(name="p99-vs-slo", field="p99_ms", threshold=1.0,
+             needs_slo=True),
+)
+
+
+def evaluate_alerts(
+    ring: SnapshotRing,
+    slo_ms: Optional[float] = None,
+    rules: Sequence[BurnRule] = DEFAULT_RULES,
+) -> List[Alert]:
+    """Evaluate every applicable rule against the ring's recent history.
+
+    A rule fires only when its rate exceeds the threshold over the fast
+    *and* the slow window — and only once the ring holds enough history
+    to cover the fast window (no alerts off a single cold sample).
+    """
+    applicable = [r for r in rules if slo_ms or not r.needs_slo]
+    if not applicable:
+        return []
+    stats_by_window: Dict[float, LiveStats] = {}
+    for rule in applicable:
+        for window in (rule.fast_window_s, rule.slow_window_s):
+            if window not in stats_by_window:
+                stats_by_window[window] = derive_live(ring, window_s=window)
+    out: List[Alert] = []
+    for rule in applicable:
+        fast = stats_by_window[rule.fast_window_s]
+        slow = stats_by_window[rule.slow_window_s]
+        fast_value = rule.value(fast, slo_ms)
+        slow_value = rule.value(slow, slo_ms)
+        warm = fast.window_s > 0 and slow.window_s > 0
+        out.append(Alert(
+            rule=rule.name,
+            severity=rule.severity,
+            firing=bool(
+                warm
+                and fast_value > rule.threshold
+                and slow_value > rule.threshold
+            ),
+            fast_value=fast_value,
+            slow_value=slow_value,
+            threshold=rule.threshold,
+        ))
+    return out
+
+
+def with_windows(rules: Sequence[BurnRule], fast_s: float,
+                 slow_s: float) -> List[BurnRule]:
+    """The same rules with rescaled windows (short smoke runs can't wait
+    30 s for a slow window to warm up)."""
+    return [replace(r, fast_window_s=fast_s, slow_window_s=slow_s)
+            for r in rules]
+
+
+def render_alerts(alerts: Sequence[Alert]) -> str:
+    """One-line-per-rule text block (used by ``repro top`` and reports)."""
+    if not alerts:
+        return "alerts: none configured"
+    lines = []
+    for alert in alerts:
+        state = "FIRING" if alert.firing else "ok"
+        lines.append(
+            f"  {alert.rule:<12} {state:<7} "
+            f"fast={alert.fast_value:.3f} slow={alert.slow_value:.3f} "
+            f"(> {alert.threshold:.2f} fires)"
+        )
+    return "alerts:\n" + "\n".join(lines)

@@ -1,14 +1,19 @@
-"""Rewrite metrics sidecars as compact summaries: ``python -m repro.obs.compact``.
+"""Rewrite observability sidecars as compact summaries: ``python -m repro.obs.compact``.
 
 The benchmark harness historically committed full-fidelity metrics
-snapshots — megabytes of per-layer counter series per sidecar.  This tool
-applies :func:`repro.obs.export.summarize_metrics` in place::
+snapshots — megabytes of per-layer counter series per sidecar — and the
+serving stack now adds span sidecars with one trace chain per request.
+This tool applies :func:`repro.obs.export.summarize_metrics` /
+:func:`repro.obs.export.summarize_trace` in place::
 
-    python -m repro.obs.compact benchmarks/results/*.metrics.json
+    python -m repro.obs.compact benchmarks/results/*.metrics.json \
+        benchmarks/results/*.trace.json
 
-Already-compact files (``header.metrics_compact``) are left untouched, so
-the command is idempotent.  Each rewritten file is revalidated against the
-``repro.metrics/v1`` schema before it replaces the original.
+The sidecar kind is inferred from its shape (``traceEvents`` marks a
+trace).  Already-compact files (``header.metrics_compact`` /
+``otherData.trace_compact``) are left untouched, so the command is
+idempotent.  Each rewritten file is revalidated against its schema
+before it replaces the original.
 """
 
 from __future__ import annotations
@@ -17,17 +22,29 @@ import json
 import sys
 from pathlib import Path
 
-from .export import summarize_metrics, validate_metrics
+from .export import (
+    summarize_metrics,
+    summarize_trace,
+    validate_metrics,
+    validate_trace,
+)
 
 
-def compact_file(path: Path) -> bool:
+def compact_file(path: Path, keep_per_name: int = 50) -> bool:
     """Summarize one sidecar in place; returns True if it was rewritten."""
     payload = json.loads(path.read_text())
-    header = payload.get("header") or {}
-    if header.get("metrics_compact"):
-        return False
-    summary = summarize_metrics(payload)
-    validate_metrics(summary)
+    if "traceEvents" in payload:
+        other = payload.get("otherData") or {}
+        if other.get("trace_compact"):
+            return False
+        summary = summarize_trace(payload, keep_per_name=keep_per_name)
+        validate_trace(summary)
+    else:
+        header = payload.get("header") or {}
+        if header.get("metrics_compact"):
+            return False
+        summary = summarize_metrics(payload)
+        validate_metrics(summary)
     path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
     return True
 
@@ -35,7 +52,7 @@ def compact_file(path: Path) -> bool:
 def main(argv=None) -> int:
     paths = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
     if not paths:
-        print("usage: python -m repro.obs.compact FILE.metrics.json [...]",
+        print("usage: python -m repro.obs.compact FILE.{metrics,trace}.json [...]",
               file=sys.stderr)
         return 2
     status = 0

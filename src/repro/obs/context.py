@@ -1,0 +1,118 @@
+"""Trace context: the request-scoped identity that links spans together.
+
+A :class:`SpanContext` is the ``(trace_id, span_id)`` pair one span hands
+to its children.  The *trace* identifies one end-to-end request (a client
+call travelling through transport, admission, queueing, batching and
+execution); the *span* identifies one stage of it.  Contexts propagate
+two ways:
+
+* **implicitly** — :class:`~repro.obs.tracing.Span` publishes its context
+  into a :class:`contextvars.ContextVar` while it is open, so nested
+  spans (including across ``await`` and ``asyncio.to_thread``) pick up
+  their parent automatically and structured log records
+  (:mod:`repro.obs.logs`) can stamp ``trace_id``/``span_id`` fields;
+* **explicitly** — the serving wire protocol carries the pair as a
+  ``trace`` object (:mod:`repro.serve.transport`), and stages that
+  execute far from the originating coroutine (queue wait recorded at
+  batch dispatch, per-request engine spans inside a batch) pass the
+  request's saved context straight to the tracer.
+
+Identifiers are opaque hex strings, unique per process (a random process
+prefix plus a counter).  Two same-seed runs therefore mint *different*
+ids — replay determinism is stated over the span *topology* (names and
+parent/child links; see :func:`repro.obs.tracing.span_topology`), never
+over the ids themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "SpanContext",
+    "current_span_context",
+    "activate_span_context",
+    "new_trace_id",
+    "new_span_id",
+]
+
+#: Random per-process prefix: ids stay unique when client and server are
+#: different processes writing into traces that later get merged.
+_PROCESS = secrets.token_hex(4)
+
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh trace identifier (one per end-to-end request)."""
+    return f"{_PROCESS}t{next(_trace_ids):06x}"
+
+
+def new_span_id() -> str:
+    """A fresh span identifier (one per stage)."""
+    return f"{_PROCESS}s{next(_span_ids):06x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What a span hands to its children: its trace and its own id."""
+
+    trace_id: str
+    span_id: str
+
+    def child(self) -> "SpanContext":
+        """A new context in the same trace (the caller becomes the parent)."""
+        return SpanContext(self.trace_id, new_span_id())
+
+    def to_wire(self) -> dict:
+        """The JSON object carried by the serving wire protocol."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: object) -> Optional["SpanContext"]:
+        """Decode a wire ``trace`` object; ``None`` when absent/malformed."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if isinstance(trace_id, str) and trace_id and isinstance(span_id, str):
+            return cls(trace_id, span_id)
+        return None
+
+
+_ACTIVE: ContextVar[Optional[SpanContext]] = ContextVar(
+    "repro.obs.span_context", default=None
+)
+
+
+def current_span_context() -> Optional[SpanContext]:
+    """The innermost active span's context (``None`` outside any trace)."""
+    return _ACTIVE.get()
+
+
+def _set_context(ctx: Optional[SpanContext]):
+    return _ACTIVE.set(ctx)
+
+
+def _reset_context(token) -> None:
+    _ACTIVE.reset(token)
+
+
+@contextmanager
+def activate_span_context(ctx: Optional[SpanContext]) -> Iterator[Optional[SpanContext]]:
+    """Make ``ctx`` the current context for the duration of the block.
+
+    Used by code that received a context out-of-band (the transport
+    decoding a wire ``trace`` object) rather than by opening a span.
+    """
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)

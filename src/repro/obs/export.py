@@ -196,6 +196,42 @@ def trace_payload(
     return tracer.to_chrome(other_data=other)
 
 
+def summarize_trace(
+    payload: Dict[str, object], keep_per_name: int = 50
+) -> Dict[str, object]:
+    """Trim a trace payload to a representative sample per event name.
+
+    A serving run's trace sidecar carries one span chain per request —
+    tens of thousands of near-identical ``serve.request``/``serve.queue``
+    slices.  For committed artifacts, the first ``keep_per_name`` events
+    of each name keep the timeline's shape (whole early traces survive
+    intact, so chains still link up in Perfetto) while the bulk goes; the
+    header gains ``trace_compact: true``, the original event count, and a
+    per-name ``trace_dropped_by_name`` tally so the loss is explicit.
+    """
+    events = payload.get("traceEvents", [])
+    kept: list = []
+    seen: Dict[str, int] = {}
+    dropped: Dict[str, int] = {}
+    for event in events:
+        name = str(event.get("name"))
+        count = seen.get(name, 0)
+        if count < keep_per_name:
+            seen[name] = count + 1
+            kept.append(event)
+        else:
+            dropped[name] = dropped.get(name, 0) + 1
+    summary: Dict[str, object] = dict(payload)
+    other = dict(summary.get("otherData") or {})
+    other["trace_compact"] = True
+    other["trace_events_full"] = len(events)
+    if dropped:
+        other["trace_dropped_by_name"] = dict(sorted(dropped.items()))
+    summary["otherData"] = other
+    summary["traceEvents"] = kept
+    return summary
+
+
 # ------------------------------------------------------------------- writing
 
 def write_json(dest: str, payload: Dict[str, object]) -> None:

@@ -1,0 +1,322 @@
+"""Prometheus-style text exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot in the
+text format scrapers understand::
+
+    # TYPE repro_serve_requests_total counter
+    repro_serve_requests_total{model="mobilenet_v1:half@64"} 128
+
+Metric names are sanitized (dots become underscores — the registry's
+``serve.queue_wait_ms`` is spelled ``repro_serve_queue_wait_ms`` on the
+wire), counters gain a ``_total`` suffix, and histograms expand into the
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` family.
+
+Three consumers:
+
+* the serving wire protocol answers ``{"op": "metrics"}`` with this text
+  (:mod:`repro.serve.transport`);
+* ``--metrics-port`` starts :class:`ExpositionServer`, a stdlib HTTP
+  endpoint (``GET /metrics``) any Prometheus scrape config can poll, plus
+  ``GET /telemetry`` returning the live-telemetry JSON;
+* ``repro top`` scrapes either and re-parses the text with
+  :func:`parse_exposition` — the renderer and parser round-trip
+  (tested), so the CLI exercises the same format a real scraper sees.
+
+``python -m repro.obs.expose run.metrics.json`` renders an existing
+sidecar for eyeballing or ad-hoc ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "render_exposition",
+    "render_exposition_dict",
+    "parse_exposition",
+    "Sample",
+    "ExpositionServer",
+    "sanitize_metric_name",
+]
+
+#: Every exposed name carries this prefix, marking the exporting system.
+NAME_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_TYPE_LINE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>\S+)\s*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Registry name → exposition name (``serve.shed`` → ``repro_serve_shed``)."""
+    flat = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if flat.startswith(NAME_PREFIX):
+        return flat
+    return NAME_PREFIX + flat
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _render_labels(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def render_exposition_dict(snapshot: Dict[str, object]) -> str:
+    """Render a ``MetricsRegistry.to_dict`` snapshot as exposition text."""
+    lines: List[str] = []
+    typed: set = set()
+    for entry in snapshot.get("metrics", []):
+        kind = entry["type"]
+        labels = {str(k): str(v) for k, v in (entry.get("labels") or {}).items()}
+        name = sanitize_metric_name(str(entry["name"]))
+        if kind == "counter":
+            exposed = name if name.endswith("_total") else name + "_total"
+            if exposed not in typed:
+                lines.append(f"# TYPE {exposed} counter")
+                typed.add(exposed)
+            lines.append(
+                f"{exposed}{_render_labels(labels)} {_format_value(entry['value'])}"
+            )
+        elif kind == "gauge":
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(
+                f"{name}{_render_labels(labels)} {_format_value(entry['value'])}"
+            )
+        elif kind == "histogram":
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            for bucket in entry.get("buckets", []):
+                le = bucket["le"]
+                bound = math.inf if le == "+inf" else float(le)
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_render_labels(labels, ('le', _format_le(bound)))}"
+                    f" {_format_value(bucket['count'])}"
+                )
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} {_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {_format_value(entry['count'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_exposition(registry: Optional[MetricsRegistry] = None) -> str:
+    """Exposition text for a registry (process default when omitted)."""
+    registry = registry if registry is not None else get_registry()
+    return render_exposition_dict(registry.to_dict())
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition line: a named, labelled value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, key: str) -> Optional[str]:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return None
+
+
+@dataclass
+class Exposition:
+    """Parsed exposition text: samples plus the declared metric types."""
+
+    samples: List[Sample] = field(default_factory=list)
+    types: Dict[str, str] = field(default_factory=dict)
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """The value of the first sample matching name and label subset."""
+        want = {k: str(v) for k, v in labels.items()}
+        for sample in self.samples:
+            if sample.name != name:
+                continue
+            if all(sample.label(k) == v for k, v in want.items()):
+                return sample.value
+        return None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse exposition text back into samples (inverse of the renderer).
+
+    Tolerates comments and blank lines; raises :class:`ValueError` on a
+    line that is neither — a garbled scrape should fail loudly, not
+    silently drop metrics.
+    """
+    out = Exposition()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _TYPE_LINE.match(line)
+            if match:
+                out.types[match.group("name")] = match.group("kind")
+            continue  # HELP and other comments pass through
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"exposition line {lineno}: cannot parse {raw!r}")
+        labels_text = match.group("labels")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if labels_text:
+            labels = tuple(
+                (m.group("key"), _unescape_label_value(m.group("value")))
+                for m in _LABEL_PAIR.finditer(labels_text)
+            )
+        out.samples.append(Sample(
+            name=match.group("name"),
+            labels=labels,
+            value=_parse_value(match.group("value")),
+        ))
+    return out
+
+
+# ----------------------------------------------------------------- HTTP server
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Class attributes injected by ExpositionServer.
+    metrics_fn: Callable[[], str] = staticmethod(lambda: "")
+    telemetry_fn: Optional[Callable[[], Dict[str, object]]] = None
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.metrics_fn().encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/telemetry" and self.telemetry_fn is not None:
+            body = json.dumps(self.telemetry_fn(), default=str).encode("utf-8")
+            self._reply(200, body, "application/json")
+        else:
+            self._reply(404, b"not found\n", "text/plain")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        """Silence per-request stderr lines; scrapes are high-frequency."""
+
+
+class ExpositionServer:
+    """A daemon-thread HTTP endpoint exposing ``/metrics`` (text) and
+    ``/telemetry`` (JSON) — what ``--metrics-port`` starts."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        metrics_fn: Optional[Callable[[], str]] = None,
+        telemetry_fn: Optional[Callable[[], Dict[str, object]]] = None,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {
+            "metrics_fn": staticmethod(metrics_fn or render_exposition),
+            "telemetry_fn": (
+                staticmethod(telemetry_fn) if telemetry_fn is not None else None
+            ),
+        })
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "ExpositionServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-expose",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+def main(argv=None) -> int:
+    """Render a metrics sidecar as exposition text on stdout."""
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1:
+        print("usage: python -m repro.obs.expose FILE.metrics.json",
+              file=sys.stderr)
+        return 2
+    payload = json.loads(Path(args[0]).read_text())
+    snapshot = payload if "metrics" in payload else {"metrics": []}
+    sys.stdout.write(render_exposition_dict(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

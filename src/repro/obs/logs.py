@@ -12,6 +12,11 @@ pairs::
 calls it from ``--log-level`` / ``--quiet``; library use without
 :func:`configure` emits nothing below WARNING (stdlib default), so
 importing the toolkit stays silent.
+
+When a record is emitted under an active span
+(:func:`repro.obs.context.current_span_context`), ``trace_id`` and
+``span_id`` fields are stamped automatically, so a degraded request's log
+lines and its spans join up in one grep.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from __future__ import annotations
 import logging
 import sys
 from typing import Dict, Optional
+
+from .context import current_span_context
 
 ROOT_NAME = "repro"
 
@@ -34,6 +41,11 @@ _DATE_FORMAT = "%H:%M:%S"
 
 
 def _format_fields(message: str, fields: Dict[str, object]) -> str:
+    ctx = current_span_context()
+    if ctx is not None:
+        fields = dict(fields)
+        fields.setdefault("trace_id", ctx.trace_id)
+        fields.setdefault("span_id", ctx.span_id)
     if not fields:
         return message
     rendered = " ".join(f"{k}={v}" for k, v in fields.items())

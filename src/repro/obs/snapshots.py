@@ -1,0 +1,296 @@
+"""Live telemetry: periodic registry snapshots in a bounded ring.
+
+Counters and histograms in :class:`~repro.obs.metrics.MetricsRegistry`
+are cumulative — good for end-of-run sidecars, useless for "what is the
+QPS *right now*".  :class:`SnapshotLoop` samples ``registry.to_dict()``
+on a daemon thread every ``interval_s`` into a :class:`SnapshotRing`
+(fixed size, oldest evicted), and :func:`derive_live` turns the
+difference between two snapshots into rates and windowed percentiles:
+
+* **rates** from counter deltas (QPS, shed rate, SLO violation rate);
+* **percentiles** from histogram *bucket* deltas — the cumulative bucket
+  counts of two snapshots subtract into a valid windowed histogram,
+  which :func:`repro.obs.stats.histogram_quantile` then estimates
+  p50/p95/p99 from;
+* **instantaneous** values (queue depth, per-model breaker state) read
+  straight from the latest snapshot's gauges.
+
+The ring is what ``repro top``, the ``/telemetry`` HTTP endpoint and the
+burn-rate alert evaluator (:mod:`repro.obs.alerts`) all read; the server
+owns one loop per process (:class:`repro.serve.InferenceServer`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from .metrics import MetricsRegistry, get_registry
+from .stats import histogram_quantile
+
+__all__ = [
+    "Snapshot",
+    "SnapshotRing",
+    "SnapshotLoop",
+    "LiveStats",
+    "derive_live",
+]
+
+#: Default ring size × default interval ≈ two minutes of history, enough
+#: for the longest burn-rate window with room to spare.
+DEFAULT_RING_CAPACITY = 120
+DEFAULT_INTERVAL_S = 1.0
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One timestamped ``registry.to_dict()`` sample."""
+
+    ts: float  # time.monotonic() at capture
+    seq: int   # capture ordinal (strictly increasing, survives eviction)
+    data: Dict[str, object]
+
+    def metric(self, name: str, **labels) -> Optional[Dict[str, object]]:
+        """The entry for ``(name, labels)``, or ``None``."""
+        want = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        for entry in self.data.get("metrics", []):
+            if entry["name"] != name:
+                continue
+            have = tuple(sorted(
+                (str(k), str(v)) for k, v in (entry.get("labels") or {}).items()
+            ))
+            if have == want:
+                return entry
+        return None
+
+    def metrics_named(self, name: str) -> List[Dict[str, object]]:
+        """All entries (any labels) with this name."""
+        return [e for e in self.data.get("metrics", []) if e["name"] == name]
+
+
+class SnapshotRing:
+    """Fixed-size, thread-safe ring of :class:`Snapshot` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError(f"snapshot ring needs capacity >= 2, got {capacity}")
+        self.capacity = capacity
+        self._snaps: Deque[Snapshot] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._taken = 0
+
+    @property
+    def taken(self) -> int:
+        """Snapshots ever captured (monotonic, unaffected by eviction)."""
+        return self._taken
+
+    def capture(self, registry: Optional[MetricsRegistry] = None,
+                ts: Optional[float] = None) -> Snapshot:
+        """Snapshot a registry now and append it."""
+        registry = registry if registry is not None else get_registry()
+        data = registry.to_dict()
+        with self._lock:
+            snap = Snapshot(
+                ts=time.monotonic() if ts is None else ts,
+                seq=self._taken,
+                data=data,
+            )
+            self._taken += 1
+            self._snaps.append(snap)
+        # Published as a gauge so sidecars and smoke checks can assert
+        # the loop actually advanced (the value lags the data by one
+        # sample: the gauge lands in the *next* snapshot).
+        registry.gauge("obs.snapshots_taken").set(float(self._taken))
+        return snap
+
+    def latest(self) -> Optional[Snapshot]:
+        with self._lock:
+            return self._snaps[-1] if self._snaps else None
+
+    def window(self, seconds: float) -> List[Snapshot]:
+        """Snapshots from the last ``seconds`` (relative to the newest)."""
+        with self._lock:
+            if not self._snaps:
+                return []
+            horizon = self._snaps[-1].ts - seconds
+            return [s for s in self._snaps if s.ts >= horizon]
+
+    def all(self) -> List[Snapshot]:
+        with self._lock:
+            return list(self._snaps)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snaps)
+
+
+class SnapshotLoop:
+    """Daemon thread feeding a :class:`SnapshotRing` at a fixed cadence."""
+
+    def __init__(
+        self,
+        ring: Optional[SnapshotRing] = None,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"snapshot interval must be > 0, got {interval_s}")
+        self.ring = ring if ring is not None else SnapshotRing()
+        self._registry = registry
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "SnapshotLoop":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self.ring.capture(self._registry)  # immediate first sample
+        self._thread = threading.Thread(
+            target=self._run, name="repro-snapshots", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s + 2.0)
+            self._thread = None
+        # Final sample so short runs still show an end-state delta.
+        self.ring.capture(self._registry)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.ring.capture(self._registry)
+
+
+# ------------------------------------------------------------ derived view
+
+
+@dataclass
+class LiveStats:
+    """What ``repro top`` renders: the serving node's vitals over a window."""
+
+    window_s: float = 0.0
+    qps: float = 0.0
+    shed_rate: float = 0.0          # shed / submitted, over the window
+    slo_violation_rate: float = 0.0  # violations / OK answers, over the window
+    degraded_rate: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    queue_depth: float = 0.0
+    batch_occupancy: float = 0.0    # requests per formed batch
+    requests_total: float = 0.0     # cumulative, from the latest snapshot
+    breaker_states: Dict[str, float] = field(default_factory=dict)
+    snapshots: int = 0              # ring samples ever taken
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window_s": self.window_s,
+            "qps": self.qps,
+            "shed_rate": self.shed_rate,
+            "slo_violation_rate": self.slo_violation_rate,
+            "degraded_rate": self.degraded_rate,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "queue_depth": self.queue_depth,
+            "batch_occupancy": self.batch_occupancy,
+            "requests_total": self.requests_total,
+            "breaker_states": dict(self.breaker_states),
+            "snapshots": self.snapshots,
+        }
+
+
+def _counter_sum(snap: Snapshot, name: str) -> float:
+    return sum(float(e["value"]) for e in snap.metrics_named(name))
+
+
+def _histogram_delta(
+    old: Optional[Dict[str, object]], new: Optional[Dict[str, object]]
+) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    """Windowed cumulative buckets: ``new - old`` (old may be absent)."""
+    import math
+
+    if new is None:
+        return (), ()
+    bounds = tuple(
+        math.inf if b["le"] == "+inf" else float(b["le"])
+        for b in new.get("buckets", [])
+    )
+    counts = [int(b["count"]) for b in new.get("buckets", [])]
+    if old is not None:
+        old_counts = [int(b["count"]) for b in old.get("buckets", [])]
+        if len(old_counts) == len(counts):
+            counts = [max(0, c - o) for c, o in zip(counts, old_counts)]
+    return bounds, tuple(counts)
+
+
+def derive_live(ring: SnapshotRing, window_s: float = 10.0) -> LiveStats:
+    """Reduce the ring's recent history to a :class:`LiveStats` view.
+
+    Uses the oldest and newest snapshot inside ``window_s``; with fewer
+    than two snapshots the rates stay zero and only instantaneous gauges
+    are populated.
+    """
+    stats = LiveStats(snapshots=ring.taken)
+    window = ring.window(window_s)
+    if not window:
+        return stats
+    new = window[-1]
+    stats.requests_total = _counter_sum(new, "serve.requests")
+    queue_gauge = new.metric("serve.queue.depth")
+    if queue_gauge is not None:
+        stats.queue_depth = float(queue_gauge["value"])
+    for entry in new.metrics_named("resilience.breaker_state"):
+        model = (entry.get("labels") or {}).get("model", "?")
+        stats.breaker_states[str(model)] = float(entry["value"])
+    if len(window) < 2:
+        return stats
+    old = window[0]
+    dt = new.ts - old.ts
+    if dt <= 0:
+        return stats
+    stats.window_s = dt
+
+    d_requests = stats.requests_total - _counter_sum(old, "serve.requests")
+    stats.qps = max(0.0, d_requests) / dt
+
+    def delta(name: str) -> float:
+        return max(0.0, _counter_sum(new, name) - _counter_sum(old, name))
+
+    d_shed = delta("serve.shed") + delta("serve.drain_rejections")
+    d_expired = delta("serve.expired")
+    if d_requests > 0:
+        stats.shed_rate = min(1.0, (d_shed + d_expired) / d_requests)
+        stats.degraded_rate = min(
+            1.0, delta("resilience.degraded_responses") / d_requests
+        )
+    d_ok = max(0.0, d_requests - d_shed - d_expired)
+    if d_ok > 0:
+        stats.slo_violation_rate = min(1.0, delta("serve.slo.violations") / d_ok)
+
+    bounds, counts = _histogram_delta(
+        old.metric("serve.latency.seconds"), new.metric("serve.latency.seconds")
+    )
+    if counts and counts[-1] > 0:
+        stats.p50_ms = histogram_quantile(bounds, counts, 50) * 1000.0
+        stats.p95_ms = histogram_quantile(bounds, counts, 95) * 1000.0
+        stats.p99_ms = histogram_quantile(bounds, counts, 99) * 1000.0
+
+    d_batches = delta("serve.batches")
+    if d_batches > 0:
+        stats.batch_occupancy = delta("serve.batch.requests") / d_batches
+    return stats

@@ -1,0 +1,129 @@
+"""Shared percentile math: nearest-rank over samples, quantiles over buckets.
+
+Two estimators, one home (previously ``serve.loadgen`` carried a private
+nearest-rank copy):
+
+* :func:`percentile` — exact nearest-rank over a sorted sample list; what
+  the load generator reports, since it holds every latency it measured.
+* :func:`histogram_quantile` — the Prometheus-style estimate over
+  cumulative histogram buckets; what live telemetry reports, since the
+  registry keeps only bucket counts, not samples.  Linear interpolation
+  inside the bucket containing the target rank, clamped to the observed
+  ``lo``/``hi`` when known (which also tames the ``+inf`` tail bucket).
+
+Both define the degenerate cases the edge-case tests pin down: empty
+input yields 0.0, a single sample yields that sample for every ``q``,
+``q=0`` yields the minimum and ``q=100`` the maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["percentile", "histogram_quantile", "quantile_from_payload"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list.
+
+    ``q`` is in percent (0..100).  Empty input returns 0.0 — reports
+    render a zero rather than crash on a run that answered nothing.
+    """
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return float(sorted_values[0])
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+def histogram_quantile(
+    bounds: Sequence[float],
+    cumulative_counts: Sequence[int],
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-th percentile from cumulative histogram buckets.
+
+    ``bounds`` are inclusive upper bounds (the last may be ``+inf``) and
+    ``cumulative_counts`` the matching cumulative counts, exactly the
+    shape :class:`repro.obs.metrics.Histogram` maintains.  The estimate
+    interpolates linearly within the bucket containing the target rank;
+    ``lo``/``hi`` (observed min/max, when the histogram tracked them)
+    clamp the result and bound the first and ``+inf`` buckets.
+    """
+    if not bounds or not cumulative_counts:
+        return 0.0
+    total = cumulative_counts[-1]
+    if total <= 0:
+        return 0.0
+    if q <= 0:
+        return float(lo) if lo is not None else _bucket_floor(bounds, 0, lo)
+    if q >= 100:
+        if hi is not None:
+            return float(hi)
+        # Highest non-empty bucket's bound (or its floor if unbounded).
+        idx = _first_bucket_at_or_above(cumulative_counts, total)
+        bound = bounds[idx]
+        return float(bound) if not math.isinf(bound) else _bucket_floor(bounds, idx, lo)
+    rank = q / 100.0 * total
+    idx = _first_bucket_at_or_above(cumulative_counts, rank)
+    floor = _bucket_floor(bounds, idx, lo)
+    ceil_ = bounds[idx]
+    if math.isinf(ceil_):
+        ceil_ = float(hi) if hi is not None else floor
+    below = cumulative_counts[idx - 1] if idx > 0 else 0
+    in_bucket = cumulative_counts[idx] - below
+    if in_bucket <= 0:
+        estimate = ceil_
+    else:
+        estimate = floor + (ceil_ - floor) * (rank - below) / in_bucket
+    if lo is not None:
+        estimate = max(estimate, float(lo))
+    if hi is not None:
+        estimate = min(estimate, float(hi))
+    return float(estimate)
+
+
+def quantile_from_payload(entry: Dict[str, object], q: float) -> float:
+    """:func:`histogram_quantile` over one ``MetricsRegistry.to_dict``
+    histogram entry (``{"buckets": [{"le": ..., "count": ...}], ...}``)."""
+    bounds, counts = _payload_buckets(entry)
+    return histogram_quantile(
+        bounds, counts, q,
+        lo=_finite_or_none(entry.get("min")),
+        hi=_finite_or_none(entry.get("max")),
+    )
+
+
+def _payload_buckets(entry: Dict[str, object]) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    buckets = entry.get("buckets") or []
+    bounds = tuple(
+        math.inf if b["le"] == "+inf" else float(b["le"]) for b in buckets
+    )
+    counts = tuple(int(b["count"]) for b in buckets)
+    return bounds, counts
+
+
+def _finite_or_none(value: object) -> Optional[float]:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _first_bucket_at_or_above(cumulative_counts: Sequence[int], rank: float) -> int:
+    for i, count in enumerate(cumulative_counts):
+        if count >= rank:
+            return i
+    return len(cumulative_counts) - 1
+
+
+def _bucket_floor(bounds: Sequence[float], idx: int, lo: Optional[float]) -> float:
+    if idx > 0:
+        return float(bounds[idx - 1])
+    if lo is not None:
+        return float(lo)
+    return 0.0 if bounds[0] >= 0 else float(bounds[0])

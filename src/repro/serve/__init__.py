@@ -17,7 +17,15 @@ The subsystem that turns the offline toolkit into a request path:
 * :mod:`repro.serve.loadgen` — deterministic closed/open-loop load
   generation and the benchmark report;
 * :mod:`repro.serve.resilience` — circuit breaker and retry policy;
-* :mod:`repro.serve.chaos` — seeded chaos runs over :mod:`repro.faults`.
+* :mod:`repro.serve.chaos` — seeded chaos runs over :mod:`repro.faults`;
+* :mod:`repro.serve.top` — the live ``repro top`` terminal view over the
+  ``op: metrics`` telemetry scrape.
+
+Observability (``docs/observability.md``): every request carries a
+:class:`~repro.obs.context.SpanContext` across the wire, so a loadgen or
+chaos run exports one Perfetto timeline of linked
+client→transport→admit→queue→batch→engine spans, and the server feeds a
+snapshot ring that serves live QPS/latency/shed/burn-rate telemetry.
 
 See ``docs/serving.md`` for the architecture and an example session, and
 ``docs/robustness.md`` for the fault-injection and resilience story.
@@ -39,6 +47,7 @@ from .request import (
 from .resilience import CircuitBreaker, RetryPolicy
 from .scheduler import SLOScheduler
 from .server import InferenceServer, ServeConfig
+from .top import render_frame, run_top
 from .transport import (
     MAX_LINE_BYTES,
     RemoteClient,
@@ -82,4 +91,6 @@ __all__ = [
     "SERVE_ENGINES",
     "WorkerPool",
     "execute_batch",
+    "render_frame",
+    "run_top",
 ]

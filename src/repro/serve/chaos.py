@@ -13,7 +13,10 @@ resilience bounds:
   possibly degraded — or an accounted SHED/EXPIRED/ERROR);
 * ≥ ``min_answered_rate`` of non-shed requests answered OK;
 * the server still reports healthy and ready afterwards;
-* p99 latency stayed under the degradation bound.
+* p99 latency stayed under the degradation bound;
+* live telemetry stayed alive: the snapshot loop advanced during the
+  run (chaos must not be able to kill observability either), and the
+  report carries the burn-rate alert verdicts.
 
 Determinism: the request stream and the fault *schedule* (which
 evaluations fire, per point) replay exactly for a given seed — the
@@ -108,6 +111,8 @@ class ChaosReport:
     min_answered_rate: float = 0.99
     max_p99_ms: Optional[float] = None
     failures: List[str] = field(default_factory=list)
+    telemetry_enabled: bool = False   #: server ran its snapshot loop
+    telemetry_snapshots: int = 0      #: ring samples taken over the run
 
     @property
     def answered_rate(self) -> float:
@@ -135,6 +140,11 @@ class ChaosReport:
             )
         if sum(self.faults_injected.values()) == 0:
             failures.append("no faults fired — the chaos schedule is inert")
+        if self.telemetry_enabled and self.telemetry_snapshots < 2:
+            failures.append(
+                f"telemetry snapshot loop did not advance "
+                f"({self.telemetry_snapshots} snapshots taken)"
+            )
         self.failures = failures
         return failures
 
@@ -173,6 +183,11 @@ class ChaosReport:
             f"workers={self.health_after.get('workers_alive')}  "
             f"restarts={self.health_after.get('worker_restarts')}",
         ]
+        if self.telemetry_enabled:
+            lines.append(
+                f"  telemetry   : {self.telemetry_snapshots} snapshots taken "
+                f"during the run"
+            )
         failures = self.check()
         if failures:
             lines.append("  CHAOS FAIL  : " + "; ".join(failures))
@@ -283,11 +298,16 @@ async def run_chaos(
                              error=f"{type(exc).__name__}: {exc}")
                 garbage_answered = False
             health = await client.health()
+            alerts = server.alerts()
         finally:
             await client.close()
             tcp.close()
             await tcp.wait_closed()
             await server.stop()
+        telemetry_enabled = server.snapshots is not None
+        telemetry_snapshots = (
+            server.snapshots.ring.taken if server.snapshots else 0
+        )
         snapshot = injector.snapshot()
         faults = {point: info["fired"] for point, info in snapshot.items()
                   if info["fired"]}
@@ -298,6 +318,7 @@ async def run_chaos(
             install_plan(previous.plan)
         else:
             clear_plan()
+    report.attach_alerts(alerts)
     chaos = ChaosReport(
         report=report,
         plan_fingerprint=plan.fingerprint(),
@@ -308,6 +329,8 @@ async def run_chaos(
         garbage_answered=garbage_answered,
         min_answered_rate=min_answered_rate,
         max_p99_ms=max_p99_ms,
+        telemetry_enabled=telemetry_enabled,
+        telemetry_snapshots=telemetry_snapshots,
     )
     chaos.record()
     return chaos

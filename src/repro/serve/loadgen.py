@@ -31,6 +31,8 @@ from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import get_logger, get_registry
+from ..obs.alerts import Alert
+from ..obs.stats import percentile
 from .request import InferenceRequest, InferenceResponse, ModelKey, Status
 
 __all__ = ["WorkloadSpec", "LoadReport", "build_requests", "run_workload"]
@@ -128,12 +130,10 @@ async def run_workload(submit: Submit, spec: WorkloadSpec) -> "LoadReport":
 
 # ------------------------------------------------------------------- report
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of pre-sorted data."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
-    return sorted_values[rank - 1]
+#: Kept as a module alias (tests and older callers import it from here);
+#: the implementation lives in :func:`repro.obs.stats.percentile` now,
+#: shared with the histogram-quantile estimator of live telemetry.
+_percentile = percentile
 
 
 @dataclass
@@ -155,6 +155,10 @@ class LoadReport:
     mode: str
     per_model: Dict[str, int] = field(default_factory=dict)
     degraded: int = 0      #: OK responses produced by a fallback stage
+    #: Burn-rate alert states attached after the run (the loadgen only
+    #: sees responses; the caller owning the server's snapshot ring calls
+    #: :meth:`attach_alerts` so the report shows the telemetry verdicts).
+    alerts: List[Alert] = field(default_factory=list)
 
     @classmethod
     def from_responses(
@@ -228,6 +232,16 @@ class LoadReport:
     def slo_violation_rate(self) -> float:
         return self.slo_violations / self.ok if self.ok else 0.0
 
+    def attach_alerts(self, alerts: List[Alert]) -> "LoadReport":
+        """Attach evaluated burn-rate alerts (rendered and recorded)."""
+        self.alerts = list(alerts)
+        registry = get_registry()
+        for alert in self.alerts:
+            registry.gauge(
+                "serve.loadgen.alert_firing", rule=alert.rule
+            ).set(1.0 if alert.firing else 0.0)
+        return self
+
     # -------------------------------------------------------------- outputs
 
     def record(self) -> None:
@@ -279,6 +293,11 @@ class LoadReport:
         if self.per_model:
             lines.append("  per model   : " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.per_model.items())
+            ))
+        if self.alerts:
+            lines.append("  alerts      : " + "  ".join(
+                f"{a.rule}={'FIRING' if a.firing else 'ok'}"
+                for a in self.alerts
             ))
         runtime = self._runtime_line()
         if runtime:

@@ -32,6 +32,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core import FuSeVariant
+from ..obs.context import SpanContext
 
 __all__ = [
     "ModelKey",
@@ -119,6 +120,14 @@ class InferenceRequest:
     # Filled in by the server at admission (monotonic clock).
     arrival: float = 0.0
     deadline: float = 0.0
+    # Tracing: the originating span's context (minted by the client or at
+    # admission), plus the tracer-clock arrival used to place the
+    # retroactive queue-wait span.  ``arrival`` stays on time.monotonic
+    # for deadline math; spans need the perf_counter_ns clock.
+    trace: Optional[SpanContext] = None
+    arrival_ns: int = 0
+    # Wire flag: echo the per-stage timing breakdown on the response.
+    want_timings: bool = False
 
     def resolve_input(self, shape: Tuple[int, ...]) -> np.ndarray:
         """The concrete input tensor (attached, or derived from the seed)."""
@@ -159,6 +168,12 @@ class InferenceResponse:
     # so callers can tell a degraded answer from a full one.
     degraded: bool = False
     degraded_reason: Optional[str] = None
+
+    # Tracing: the trace this request belongs to, and — when the request
+    # asked for them — the per-stage wall-clock breakdown
+    # (``{"queue_ms": ..., "batch_ms": ..., "execute_ms": ...}``).
+    trace_id: Optional[str] = None
+    timings: Optional[dict] = None
 
     @property
     def ok(self) -> bool:

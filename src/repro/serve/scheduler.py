@@ -25,7 +25,7 @@ import asyncio
 import time
 from typing import Optional
 
-from ..obs import get_logger, get_registry
+from ..obs import get_logger, get_registry, get_tracer
 from .batcher import Batch, Pending, PendingStore
 from .costmodel import BatchCostModel
 from .registry import ModelRegistry, RegisteredModel
@@ -70,45 +70,64 @@ class SLOScheduler:
         future: asyncio.Future = loop.create_future()
         now = time.monotonic()
         request.arrival = now
+        request.arrival_ns = time.perf_counter_ns()
         slo = request.slo_ms if request.slo_ms is not None else self.default_slo_ms
         request.slo_ms = slo
         request.deadline = now + slo / 1000.0
 
-        if self._closed:
-            if self._draining:
-                # Graceful drain: refuse politely with a retry hint sized to
-                # the work still queued, instead of a hard CANCELLED.
+        # The admission decision is one span of the request's trace: a
+        # child of the wire context when the client minted one, a fresh
+        # trace root for in-process submissions, nothing when disabled.
+        tracer = get_tracer()
+        span = tracer.span(
+            "serve.admit", category="serve",
+            ctx=request.trace, new_trace=request.trace is None,
+            request_id=request.request_id, model=request.key.canonical(),
+        )
+        with span:
+            if span.context is not None:
+                request.trace = span.context
+
+            if self._closed:
+                if self._draining:
+                    # Graceful drain: refuse politely with a retry hint sized to
+                    # the work still queued, instead of a hard CANCELLED.
+                    model = self._model_if_loaded(request)
+                    retry = self.cost_model.drain_ms(
+                        len(self.store) + 1, model, self.workers
+                    )
+                    self._metrics.counter("serve.requests",
+                                          status=Status.SHED.value).inc()
+                    self._metrics.counter("serve.drain_rejections").inc()
+                    span.set(outcome="shed", reason="draining")
+                    future.set_result(
+                        self._terminal(request, Status.SHED, retry_after_ms=retry)
+                    )
+                else:
+                    span.set(outcome="cancelled", reason="closed")
+                    future.set_result(self._terminal(request, Status.CANCELLED))
+                return future
+
+            if len(self.store) >= self.max_queue:
                 model = self._model_if_loaded(request)
                 retry = self.cost_model.drain_ms(
-                    len(self.store) + 1, model, self.workers
+                    len(self.store), model, self.workers
                 )
                 self._metrics.counter("serve.requests",
                                       status=Status.SHED.value).inc()
-                self._metrics.counter("serve.drain_rejections").inc()
+                self._metrics.counter("serve.shed").inc()
+                span.set(outcome="shed", reason="queue_full",
+                         queue=len(self.store))
+                _log.debug("shed request", id=request.request_id,
+                           queue=len(self.store), retry_after_ms=f"{retry:.1f}")
                 future.set_result(
                     self._terminal(request, Status.SHED, retry_after_ms=retry)
                 )
-            else:
-                future.set_result(self._terminal(request, Status.CANCELLED))
-            return future
+                return future
 
-        if len(self.store) >= self.max_queue:
-            model = self._model_if_loaded(request)
-            retry = self.cost_model.drain_ms(
-                len(self.store), model, self.workers
-            )
-            self._metrics.counter("serve.requests",
-                                  status=Status.SHED.value).inc()
-            self._metrics.counter("serve.shed").inc()
-            _log.debug("shed request", id=request.request_id,
-                       queue=len(self.store), retry_after_ms=f"{retry:.1f}")
-            future.set_result(
-                self._terminal(request, Status.SHED, retry_after_ms=retry)
-            )
-            return future
-
-        self.store.push(Pending(request, future))
-        self._metrics.gauge("serve.queue.depth").set(len(self.store))
+            self.store.push(Pending(request, future))
+            span.set(outcome="admitted", queue=len(self.store))
+            self._metrics.gauge("serve.queue.depth").set(len(self.store))
         async with self._wakeup:
             self._wakeup.notify_all()
         return future
@@ -214,6 +233,15 @@ class SLOScheduler:
             self._metrics.counter("serve.requests",
                                   status=Status.EXPIRED.value).inc()
             self._metrics.counter("serve.expired").inc()
+            request = pending.request
+            if request.arrival_ns:
+                # The queue wait still happened; close its span so the
+                # trace shows where the expired request's budget went.
+                get_tracer().complete(
+                    "serve.queue", request.arrival_ns, time.perf_counter_ns(),
+                    category="serve", ctx=request.trace,
+                    request_id=request.request_id, outcome="expired",
+                )
             pending.future.set_result(
                 self._terminal(pending.request, Status.EXPIRED)
             )
@@ -272,4 +300,5 @@ class SLOScheduler:
             total_ms=waited,
             slo_ms=request.slo_ms or 0.0,
             retry_after_ms=retry_after_ms,
+            trace_id=request.trace.trace_id if request.trace else None,
         )

@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..obs import get_logger, get_registry
+from ..obs.alerts import evaluate_alerts
+from ..obs.expose import ExpositionServer, render_exposition
+from ..obs.snapshots import LiveStats, SnapshotLoop, derive_live
 from ..systolic import ArrayConfig
 from .costmodel import BatchCostModel
 from .registry import ModelRegistry
@@ -59,6 +62,9 @@ class ServeConfig:
     resilience: bool = True          #: degradation chain / breakers / restarts
     breaker_threshold: int = 3       #: consecutive failures before open
     breaker_cooldown_s: float = 2.0  #: open → half-open probe delay
+    telemetry: bool = True           #: snapshot loop feeding live stats/alerts
+    snapshot_interval_s: float = 1.0  #: registry sampling cadence
+    metrics_port: Optional[int] = None  #: HTTP exposition port (0 = ephemeral)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -102,6 +108,8 @@ class InferenceServer:
             breaker_cooldown_s=self.config.breaker_cooldown_s,
         )
         self._started = False
+        self._snapshots: Optional[SnapshotLoop] = None
+        self._exposition: Optional[ExpositionServer] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -111,6 +119,18 @@ class InferenceServer:
         if self.config.preload:
             await asyncio.to_thread(self.registry.preload, self.config.preload)
         self.pool.start()
+        if self.config.telemetry:
+            self._snapshots = SnapshotLoop(
+                interval_s=self.config.snapshot_interval_s
+            ).start()
+        if self.config.metrics_port is not None:
+            self._exposition = ExpositionServer(
+                port=self.config.metrics_port,
+                metrics_fn=render_exposition,
+                telemetry_fn=self.telemetry_payload,
+            ).start()
+            _log.info("metrics exposition listening",
+                      port=self._exposition.port)
         self._started = True
         _log.info(
             "server started", engine=self.config.engine,
@@ -126,6 +146,11 @@ class InferenceServer:
             return
         await self.scheduler.close(drain=drain)
         await self.pool.join()
+        if self._exposition is not None:
+            self._exposition.stop()
+            self._exposition = None
+        if self._snapshots is not None:
+            await asyncio.to_thread(self._snapshots.stop)
         self._started = False
         _log.info("server stopped", drained=drain)
 
@@ -193,3 +218,39 @@ class InferenceServer:
         violations = registry.get("serve.slo.violations")
         out["slo_violations"] = int(violations.value) if violations else 0
         return out
+
+    # ------------------------------------------------------------- telemetry
+
+    @property
+    def snapshots(self) -> Optional[SnapshotLoop]:
+        """The live snapshot loop (``None`` with telemetry disabled).
+
+        Kept after :meth:`stop` so post-run reports can still read the
+        ring; only the sampling thread is stopped.
+        """
+        return self._snapshots
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound exposition port (resolves ``metrics_port=0``)."""
+        return self._exposition.port if self._exposition is not None else None
+
+    def live(self, window_s: float = 10.0) -> LiveStats:
+        """The derived live view (QPS, windowed percentiles, sheds...)."""
+        if self._snapshots is None:
+            return LiveStats()
+        return derive_live(self._snapshots.ring, window_s=window_s)
+
+    def alerts(self) -> list:
+        """Current burn-rate alert states over the snapshot ring."""
+        if self._snapshots is None:
+            return []
+        return evaluate_alerts(self._snapshots.ring, slo_ms=self.config.slo_ms)
+
+    def telemetry_payload(self) -> dict:
+        """JSON view served by ``op: metrics`` and ``GET /telemetry``."""
+        return {
+            "live": self.live().to_dict(),
+            "alerts": [a.to_dict() for a in self.alerts()],
+            "health": self.health(),
+        }

@@ -1,0 +1,150 @@
+"""``repro top``: a live terminal view of a running inference server.
+
+Polls the serving wire protocol's ``op: metrics`` (so it works against
+any reachable server, no extra port needed), parses the Prometheus-style
+exposition text with :func:`repro.obs.expose.parse_exposition` — the
+scrape path a real collector would take, exercised on purpose — and
+renders one frame per interval::
+
+    repro top --port 8707 --interval 1.0
+
+    repro serve @ 127.0.0.1:8707 — frame 3
+      qps         : 212.4 req/s   (window 10.0 s)
+      latency ms  : p50=8.2   p95=19.7  p99=31.0
+      queue       : depth 12   batch occupancy 5.3
+      shed        : 1.2%   slo-violation 0.4%   degraded 0.0%
+      requests    : ok=1204 shed=15 expired=0 error=0
+      breakers    : mobilenet_v1:half@64=closed
+      alerts      :
+        shed-burn    ok      fast=0.012 slow=0.010 (> 0.10 fires)
+        ...
+
+Rates and percentiles come from the server's snapshot ring (the
+``telemetry`` object); cumulative totals are read from the parsed
+exposition samples, so a wire-format regression shows up here first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Dict, List, Optional, TextIO
+
+from ..obs import get_logger
+from ..obs.alerts import render_alerts, Alert
+from ..obs.expose import Exposition, parse_exposition
+from .request import Status
+from .transport import RemoteClient
+
+__all__ = ["render_frame", "run_top"]
+
+_log = get_logger("serve.top")
+
+#: Gauge value → breaker state (inverse of resilience.BREAKER_STATES).
+_BREAKER_NAMES = {0.0: "closed", 0.5: "half-open", 1.0: "open"}
+
+
+def _status_counts(exposition: Exposition) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for sample in exposition.samples:
+        if sample.name != "repro_serve_requests_total":
+            continue
+        status = sample.label("status") or "?"
+        counts[status] = counts.get(status, 0) + int(sample.value)
+    return counts
+
+
+def render_frame(
+    live: Dict[str, object],
+    alerts: List[dict],
+    exposition: Exposition,
+    title: str = "repro serve",
+    frame: int = 0,
+) -> str:
+    """One ``top`` frame from the telemetry payload + parsed exposition."""
+    def num(key: str) -> float:
+        return float(live.get(key, 0.0) or 0.0)
+
+    counts = _status_counts(exposition)
+    ordered = [s.value for s in Status if s.value in counts]
+    ordered += sorted(set(counts) - set(ordered))
+    breakers = live.get("breaker_states") or {}
+    lines = [
+        f"{title} — frame {frame}",
+        f"  qps         : {num('qps'):.1f} req/s   "
+        f"(window {num('window_s'):.1f} s, {int(num('snapshots'))} snapshots)",
+        f"  latency ms  : p50={num('p50_ms'):.1f}  p95={num('p95_ms'):.1f}  "
+        f"p99={num('p99_ms'):.1f}",
+        f"  queue       : depth {num('queue_depth'):.0f}   "
+        f"batch occupancy {num('batch_occupancy'):.2f}",
+        f"  shed        : {num('shed_rate') * 100:.1f}%   "
+        f"slo-violation {num('slo_violation_rate') * 100:.1f}%   "
+        f"degraded {num('degraded_rate') * 100:.1f}%",
+        f"  requests    : " + (" ".join(
+            f"{status}={counts[status]}" for status in ordered
+        ) or "none yet"),
+    ]
+    if breakers:
+        lines.append("  breakers    : " + "  ".join(
+            f"{model}={_BREAKER_NAMES.get(float(value), str(value))}"
+            for model, value in sorted(breakers.items())
+        ))
+    alert_objs = [
+        Alert(
+            rule=str(a.get("rule")), severity=str(a.get("severity", "page")),
+            firing=bool(a.get("firing")),
+            fast_value=float(a.get("fast_value", 0.0)),
+            slow_value=float(a.get("slow_value", 0.0)),
+            threshold=float(a.get("threshold", 0.0)),
+        )
+        for a in alerts
+    ]
+    lines.append("  " + render_alerts(alert_objs).replace("\n", "\n  "))
+    return "\n".join(lines)
+
+
+async def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8707,
+    interval_s: float = 1.0,
+    frames: Optional[int] = None,
+    out: Optional[TextIO] = None,
+    clear: bool = True,
+) -> int:
+    """Poll a server's ``op: metrics`` and render frames until stopped.
+
+    ``frames`` bounds the run (``None`` = until interrupted); returns the
+    number of frames rendered.  ``clear`` redraws in place on a TTY and
+    appends frames otherwise (piped output stays a readable log).
+    """
+    out = out if out is not None else sys.stdout
+    clear = clear and out.isatty()
+    rendered = 0
+    client = RemoteClient(host, port)
+    try:
+        await client.connect()
+        while frames is None or rendered < frames:
+            reply = await client.metrics()
+            exposition = parse_exposition(reply.get("exposition", ""))
+            telemetry = reply.get("telemetry") or {}
+            text = render_frame(
+                telemetry.get("live") or {},
+                telemetry.get("alerts") or [],
+                exposition,
+                title=f"repro serve @ {host}:{port}",
+                frame=rendered + 1,
+            )
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(text + "\n")
+            out.flush()
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                break
+            await asyncio.sleep(interval_s)
+    except (ConnectionError, OSError) as exc:
+        _log.error("top lost the server", host=host, port=port,
+                   error=f"{type(exc).__name__}: {exc}")
+    finally:
+        await client.close()
+    return rendered

@@ -42,7 +42,8 @@ import json
 from typing import Optional, Tuple
 
 from ..faults import should_fire
-from ..obs import get_logger, get_registry
+from ..obs import get_logger, get_registry, get_tracer, render_exposition
+from ..obs.context import SpanContext
 from .request import InferenceRequest, InferenceResponse, ModelKey, Status
 from .resilience import RetryPolicy
 from .server import InferenceServer
@@ -77,6 +78,8 @@ def request_from_wire(payload: dict) -> Tuple[InferenceRequest, dict]:
         input_seed=int(payload.get("input_seed", 0)),
         slo_ms=payload.get("slo_ms"),
         priority=int(payload.get("priority", 0)),
+        trace=SpanContext.from_wire(payload.get("trace")),
+        want_timings=bool(payload.get("timings", False)),
     )
     envelope = {
         "id": payload.get("id"),
@@ -108,6 +111,10 @@ def response_to_wire(response: InferenceResponse, envelope: dict) -> dict:
     if response.degraded:
         out["degraded"] = True
         out["degraded_reason"] = response.degraded_reason
+    if response.trace_id is not None:
+        out["trace_id"] = response.trace_id
+    if response.timings is not None:
+        out["timings"] = response.timings
     if envelope.get("return_output") and response.output is not None:
         out["output"] = response.output.tolist()
     return out
@@ -190,15 +197,35 @@ async def _handle_connection(
         if op == "ping":
             await send({"id": payload.get("id"), "op": "pong"})
             return
-        try:
-            request, envelope = request_from_wire(payload)
-        except (ValueError, KeyError, TypeError) as exc:
-            metrics.counter("serve.transport.bad_lines").inc()
-            await send({"id": payload.get("id"), "status": "error",
-                        "error": f"bad request: {exc}"})
+        if op == "metrics":
+            # Live telemetry over the same wire: Prometheus-style text
+            # plus the derived live/alert view, scheduler-independent so
+            # a saturated queue cannot starve the scrape.
+            await send({"id": payload.get("id"), "op": "metrics",
+                        "exposition": render_exposition(),
+                        "telemetry": server.telemetry_payload()})
             return
-        response = await server.submit(request)
-        await send(response_to_wire(response, envelope))
+        # The transport span joins the client's trace (carried in the
+        # wire ``trace`` object) and becomes the server-side parent of
+        # the admit/queue/request chain.
+        with get_tracer().span(
+            "transport.request", category="serve",
+            ctx=SpanContext.from_wire(payload.get("trace")),
+        ) as tspan:
+            try:
+                request, envelope = request_from_wire(payload)
+            except (ValueError, KeyError, TypeError) as exc:
+                metrics.counter("serve.transport.bad_lines").inc()
+                await send({"id": payload.get("id"), "status": "error",
+                            "error": f"bad request: {exc}"})
+                return
+            if tspan.context is not None:
+                request.trace = tspan.context
+            tspan.set(request_id=request.request_id,
+                      model=request.key.canonical())
+            response = await server.submit(request)
+            tspan.set(status=response.status.value)
+            await send(response_to_wire(response, envelope))
 
     buffer = bytearray()
     try:
@@ -410,8 +437,15 @@ class RemoteClient:
         raise last_error
 
     async def request(self, request: InferenceRequest,
-                      return_output: bool = False) -> dict:
-        """Send one request; returns the decoded wire response."""
+                      return_output: bool = False,
+                      timings: bool = False) -> dict:
+        """Send one request; returns the decoded wire response.
+
+        When tracing is enabled the client mints the request's root span
+        here and carries its context on the wire, so the server-side
+        stages link under one end-to-end trace.  ``timings=True`` asks
+        the server to echo the per-stage breakdown on the reply.
+        """
         if self._writer is None and self._closed:
             raise RuntimeError("client is not connected")
         self._next_id += 1
@@ -426,12 +460,29 @@ class RemoteClient:
             "priority": request.priority,
             "return_output": return_output,
         }
-        return await self._roundtrip(payload)
+        if timings or request.want_timings:
+            payload["timings"] = True
+        with get_tracer().span(
+            "client.request", category="serve", new_trace=True,
+            request_id=request.request_id, model=request.key.canonical(),
+        ) as span:
+            if span.context is not None:
+                payload["trace"] = span.context.to_wire()
+                request.trace = span.context
+            reply = await self._roundtrip(payload)
+            span.set(status=str(reply.get("status")))
+            return reply
 
     async def health(self) -> dict:
         """The server's liveness/readiness snapshot (``op: health``)."""
         self._next_id += 1
         return await self._roundtrip({"id": self._next_id, "op": "health"})
+
+    async def metrics(self) -> dict:
+        """The server's live telemetry (``op: metrics``): a Prometheus
+        ``exposition`` text block plus the derived ``telemetry`` view."""
+        self._next_id += 1
+        return await self._roundtrip({"id": self._next_id, "op": "metrics"})
 
     async def submit(self, request: InferenceRequest) -> InferenceResponse:
         """Loadgen-compatible submit: wire response → InferenceResponse.
@@ -441,7 +492,7 @@ class RemoteClient:
         accounting under chaos.
         """
         try:
-            reply = await self.request(request)
+            reply = await self.request(request, timings=request.want_timings)
         except (ConnectionError, asyncio.TimeoutError, OSError, RuntimeError) as exc:
             get_registry().counter("serve.client.transport_errors").inc()
             return InferenceResponse(
@@ -450,6 +501,7 @@ class RemoteClient:
                 status=Status.ERROR,
                 error=f"transport: {type(exc).__name__}: {exc}",
                 slo_ms=request.slo_ms or 0.0,
+                trace_id=request.trace.trace_id if request.trace else None,
             )
         return InferenceResponse(
             request_id=reply.get("request_id", request.request_id),
@@ -466,4 +518,6 @@ class RemoteClient:
             retry_after_ms=reply.get("retry_after_ms"),
             degraded=bool(reply.get("degraded", False)),
             degraded_reason=reply.get("degraded_reason"),
+            trace_id=reply.get("trace_id"),
+            timings=reply.get("timings"),
         )

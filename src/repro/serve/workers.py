@@ -159,71 +159,90 @@ def execute_batch(
     n = len(batch)
     requests = batch.requests
     dispatch = time.monotonic()
+    dispatch_ns = time.perf_counter_ns()
     simulated_ms = cost_model.simulated_ms(model, n)
     error: Optional[str] = None
     degraded = False
     degraded_reason: Optional[str] = None
     outputs: List[Optional[np.ndarray]] = [None] * n
     registry = get_registry()
+    tracer = get_tracer()
 
     start = time.perf_counter()
-    if breaker is not None and not breaker.allow():
-        # Open breaker: skip the primary entirely; the analytical estimate
-        # is the fastest truthful answer while the model cools down.
-        degraded = True
-        degraded_reason = "circuit breaker open"
-        registry.counter("resilience.breaker_short_circuits").inc()
-    else:
-        try:
-            with get_tracer().span("serve.execute", category="serve",
-                                   model=batch.key.canonical(), batch=n,
-                                   engine=engine):
-                inject("serve.engine")
-                outputs, sim_override = _run_engine(
-                    batch, model, cost_model, engine, bitexact, jobs,
-                    sim_engine, compiled,
-                )
-                if sim_override is not None:
-                    simulated_ms = sim_override
-            if breaker is not None:
-                breaker.record(True)
-        except Exception as exc:  # surfaces per-request, never kills the worker
-            failure = f"{type(exc).__name__}: {exc}"
-            if breaker is not None:
-                breaker.record(False)
-            _log.warning("batch execution failed", model=batch.key.canonical(),
-                         batch=n, engine=engine, error=failure)
-            if not resilience:
-                error = failure
-            elif engine == "graph" and compiled:
-                # Chain stage 2: the eager graph (no compiled plan).
-                try:
-                    with get_tracer().span("resilience.degrade",
-                                           category="serve", stage="eager",
-                                           model=batch.key.canonical()):
-                        outputs, _ = _run_engine(
-                            batch, model, cost_model, "graph", bitexact,
-                            jobs, sim_engine, compiled=False,
-                        )
-                    degraded = True
-                    degraded_reason = f"eager fallback after: {failure}"
-                except Exception as exc2:
-                    degraded = True
-                    degraded_reason = (
-                        f"analytical fallback after: "
-                        f"{type(exc2).__name__}: {exc2}"
+    # One batch span (its own trace — N request traces fan into it via the
+    # trace_ids annotation and the per-request spans recorded below); the
+    # engine/degradation spans nest inside it through the ambient context.
+    with tracer.span(
+        "serve.batch", category="serve", new_trace=True,
+        model=batch.key.canonical(), batch=n, engine=engine,
+        trace_ids=[r.trace.trace_id for r in requests if r.trace],
+    ) as batch_span:
+        if breaker is not None and not breaker.allow():
+            # Open breaker: skip the primary entirely; the analytical estimate
+            # is the fastest truthful answer while the model cools down.
+            degraded = True
+            degraded_reason = "circuit breaker open"
+            registry.counter("resilience.breaker_short_circuits").inc()
+            tracer.instant("resilience.breaker_open", category="serve",
+                           model=batch.key.canonical())
+        else:
+            try:
+                with tracer.span("serve.execute", category="serve",
+                                 model=batch.key.canonical(), batch=n,
+                                 engine=engine):
+                    inject("serve.engine")
+                    outputs, sim_override = _run_engine(
+                        batch, model, cost_model, engine, bitexact, jobs,
+                        sim_engine, compiled,
                     )
+                    if sim_override is not None:
+                        simulated_ms = sim_override
+                if breaker is not None:
+                    breaker.record(True)
+            except Exception as exc:  # surfaces per-request, never kills the worker
+                failure = f"{type(exc).__name__}: {exc}"
+                if breaker is not None:
+                    breaker.record(False)
+                _log.warning("batch execution failed",
+                             model=batch.key.canonical(),
+                             batch=n, engine=engine, error=failure)
+                if not resilience:
+                    error = failure
+                elif engine == "graph" and compiled:
+                    # Chain stage 2: the eager graph (no compiled plan).
+                    try:
+                        with tracer.span("resilience.degrade",
+                                         category="serve", stage="eager",
+                                         model=batch.key.canonical()):
+                            outputs, _ = _run_engine(
+                                batch, model, cost_model, "graph", bitexact,
+                                jobs, sim_engine, compiled=False,
+                            )
+                        degraded = True
+                        degraded_reason = f"eager fallback after: {failure}"
+                    except Exception as exc2:
+                        degraded = True
+                        degraded_reason = (
+                            f"analytical fallback after: "
+                            f"{type(exc2).__name__}: {exc2}"
+                        )
+                        outputs = [None] * n
+                else:
+                    # Chain stage 3 directly: analytical estimate only.
+                    degraded = True
+                    degraded_reason = f"analytical fallback after: {failure}"
                     outputs = [None] * n
-            else:
-                # Chain stage 3 directly: analytical estimate only.
-                degraded = True
-                degraded_reason = f"analytical fallback after: {failure}"
-                outputs = [None] * n
-            if degraded:
-                get_tracer().instant("resilience.degraded", category="serve",
-                                     model=batch.key.canonical(),
-                                     reason=degraded_reason)
+                if degraded:
+                    tracer.instant("resilience.degraded", category="serve",
+                                   model=batch.key.canonical(),
+                                   reason=degraded_reason)
+        if degraded:
+            batch_span.set(degraded=True, reason=degraded_reason)
+        if error is not None:
+            batch_span.set(failed=True)
     execute_ms = (time.perf_counter() - start) * 1000.0
+    end_ns = dispatch_ns + int(execute_ms * 1e6)
+    batch_ms = max(0.0, (dispatch - batch.formed_at) * 1000.0)
 
     if error is None and not degraded:
         cost_model.observe(model, n, execute_ms)
@@ -233,7 +252,7 @@ def execute_batch(
         status = Status.ERROR if error is not None else Status.OK
         queue_ms = max(0.0, (dispatch - request.arrival) * 1000.0)
         total_ms = queue_ms + execute_ms
-        responses.append(InferenceResponse(
+        response = InferenceResponse(
             request_id=request.request_id,
             key=request.key,
             status=status,
@@ -248,7 +267,31 @@ def execute_batch(
             slo_ms=request.slo_ms or 0.0,
             degraded=degraded,
             degraded_reason=degraded_reason,
-        ))
+            trace_id=request.trace.trace_id if request.trace else None,
+        )
+        if request.want_timings:
+            response.timings = {
+                "queue_ms": round(queue_ms, 3),
+                "batch_ms": round(batch_ms, 3),
+                "execute_ms": round(execute_ms, 3),
+                "total_ms": round(total_ms, 3),
+            }
+        responses.append(response)
+        if request.arrival_ns:
+            # Retroactive per-request slices: queue wait (admission →
+            # dispatch, only knowable now) and this request's ride through
+            # the shared batch execution, both in the *request's* trace.
+            queue_ctx = tracer.complete(
+                "serve.queue", request.arrival_ns, dispatch_ns,
+                category="serve", ctx=request.trace,
+                request_id=request.request_id, outcome="dispatched",
+            )
+            tracer.complete(
+                "serve.request", dispatch_ns, end_ns,
+                category="serve", ctx=queue_ctx or request.trace,
+                request_id=request.request_id, status=status.value,
+                engine=engine, batch=n, degraded=degraded,
+            )
         registry.counter("serve.requests", status=status.value).inc()
         if degraded:
             registry.counter("resilience.degraded_responses").inc()

@@ -1,0 +1,131 @@
+"""Burn-rate alerts: warm-up guard, multi-window firing, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.alerts import (
+    Alert,
+    BurnRule,
+    DEFAULT_RULES,
+    evaluate_alerts,
+    render_alerts,
+    with_windows,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshots import LiveStats, SnapshotRing
+
+
+def _ring(shed: int = 0, ok: int = 10, latency_s: float = 0.005,
+          span_s: float = 2.0) -> SnapshotRing:
+    """Two snapshots ``span_s`` apart with the given traffic in between."""
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", status="ok")
+    hist = registry.histogram("serve.latency.seconds", buckets=[0.01, 0.1, 1.0])
+    ring = SnapshotRing()
+    ring.capture(registry, ts=0.0)
+    registry.counter("serve.requests", status="ok").inc(ok)
+    if shed:
+        registry.counter("serve.requests", status="shed").inc(shed)
+        registry.counter("serve.shed").inc(shed)
+    for _ in range(ok):
+        hist.observe(latency_s)
+    ring.capture(registry, ts=span_s)
+    return ring
+
+
+class TestEvaluation:
+    def test_healthy_traffic_fires_nothing(self):
+        alerts = evaluate_alerts(_ring(shed=0), slo_ms=100.0)
+        assert [a.rule for a in alerts] == [
+            "shed-burn", "slo-burn", "p99-vs-slo",
+        ]
+        assert not any(a.firing for a in alerts)
+
+    def test_sustained_shedding_fires_the_shed_burn(self):
+        # 8 shed of 18 submitted over a window both rules' windows cover.
+        alerts = {a.rule: a for a in evaluate_alerts(_ring(shed=8), slo_ms=100.0)}
+        alert = alerts["shed-burn"]
+        assert alert.firing
+        assert alert.fast_value > alert.threshold
+        assert alert.slow_value > alert.threshold
+
+    def test_cold_ring_never_fires(self):
+        # One snapshot: no window, no verdicts — a single bad sample
+        # cannot page.
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", status="shed").inc(100)
+        registry.counter("serve.shed").inc(100)
+        ring = SnapshotRing()
+        ring.capture(registry, ts=0.0)
+        assert not any(a.firing for a in evaluate_alerts(ring, slo_ms=100.0))
+
+    def test_slow_latency_fires_p99_vs_slo(self):
+        # Every answer took ~500 ms against a 100 ms SLO target.
+        alerts = {a.rule: a for a in evaluate_alerts(
+            _ring(latency_s=0.5), slo_ms=100.0
+        )}
+        assert alerts["p99-vs-slo"].firing
+        assert alerts["p99-vs-slo"].fast_value > 1.0
+
+    def test_p99_rule_needs_an_slo_target(self):
+        rules = [a.rule for a in evaluate_alerts(_ring())]
+        assert "p99-vs-slo" not in rules
+        assert "shed-burn" in rules
+
+    def test_both_windows_must_exceed_the_threshold(self):
+        # Shed burst older than the fast window: slow sees it, fast does
+        # not — the alert must stay quiet.
+        registry = MetricsRegistry()
+        ring = SnapshotRing()
+        ring.capture(registry, ts=0.0)
+        registry.counter("serve.requests", status="shed").inc(50)
+        registry.counter("serve.shed").inc(50)
+        ring.capture(registry, ts=10.0)  # burst lands here
+        registry.counter("serve.requests", status="ok").inc(100)
+        ring.capture(registry, ts=27.0)
+        ring.capture(registry, ts=29.0)  # fast window: quiet traffic only
+        rules = [BurnRule(name="shed-burn", field="shed_rate", threshold=0.10,
+                          fast_window_s=5.0, slow_window_s=30.0)]
+        (alert,) = evaluate_alerts(ring, rules=rules)
+        assert alert.slow_value > alert.threshold
+        assert alert.fast_value <= alert.threshold
+        assert not alert.firing
+
+
+class TestRules:
+    def test_p99_value_normalizes_against_the_slo(self):
+        rule = next(r for r in DEFAULT_RULES if r.name == "p99-vs-slo")
+        stats = LiveStats(p99_ms=250.0)
+        assert rule.value(stats, slo_ms=100.0) == pytest.approx(2.5)
+        assert rule.value(stats, slo_ms=None) == 250.0  # raw without target
+
+    def test_with_windows_rescales_for_smoke_runs(self):
+        scaled = with_windows(DEFAULT_RULES, fast_s=0.5, slow_s=2.0)
+        assert all(r.fast_window_s == 0.5 for r in scaled)
+        assert all(r.slow_window_s == 2.0 for r in scaled)
+        # Originals untouched (frozen dataclass + replace).
+        assert DEFAULT_RULES[0].fast_window_s == 5.0
+
+
+class TestRendering:
+    def test_render_marks_firing_rules(self):
+        text = render_alerts([
+            Alert(rule="shed-burn", severity="page", firing=True,
+                  fast_value=0.5, slow_value=0.4, threshold=0.1),
+            Alert(rule="slo-burn", severity="page", firing=False,
+                  fast_value=0.0, slow_value=0.0, threshold=0.1),
+        ])
+        assert "shed-burn" in text and "FIRING" in text
+        assert "slo-burn" in text and "ok" in text
+
+    def test_render_handles_no_rules(self):
+        assert "none configured" in render_alerts([])
+
+    def test_alert_to_dict_round_trips_the_fields(self):
+        alert = Alert(rule="r", severity="page", firing=True,
+                      fast_value=1.0, slow_value=2.0, threshold=0.5)
+        assert alert.to_dict() == {
+            "rule": "r", "severity": "page", "firing": True,
+            "fast_value": 1.0, "slow_value": 2.0, "threshold": 0.5,
+        }

@@ -1,0 +1,72 @@
+"""Trace-sidecar compaction: per-name sampling, explicit loss, idempotence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Tracer, validate_trace
+from repro.obs.compact import compact_file
+from repro.obs.export import summarize_trace, trace_payload
+
+
+def _serving_payload(requests: int = 120) -> dict:
+    tracer = Tracer()
+    tracer.enable()
+    for _ in range(requests):
+        with tracer.span("serve.request", new_trace=True):
+            with tracer.span("serve.execute"):
+                pass
+    return trace_payload(tracer)
+
+
+class TestSummarizeTrace:
+    def test_keeps_the_first_n_events_per_name(self):
+        summary = summarize_trace(_serving_payload(120), keep_per_name=50)
+        names = [e["name"] for e in summary["traceEvents"]]
+        assert names.count("serve.request") == 50
+        assert names.count("serve.execute") == 50
+        other = summary["otherData"]
+        assert other["trace_compact"] is True
+        assert other["trace_events_full"] == 240
+        assert other["trace_dropped_by_name"] == {
+            "serve.request": 70, "serve.execute": 70,
+        }
+
+    def test_early_traces_survive_as_complete_chains(self):
+        # The first keep_per_name requests keep both their spans, so the
+        # surviving timeline still links up in Perfetto.
+        summary = summarize_trace(_serving_payload(120), keep_per_name=10)
+        from repro.obs.tracing import trace_chains
+
+        chains = trace_chains(summary["traceEvents"])
+        complete = [
+            c for c in chains.values()
+            if {e["name"] for e in c} == {"serve.request", "serve.execute"}
+        ]
+        assert len(complete) == 10
+
+    def test_small_traces_are_untouched_but_marked(self):
+        payload = _serving_payload(5)
+        summary = summarize_trace(payload, keep_per_name=50)
+        assert summary["traceEvents"] == payload["traceEvents"]
+        assert summary["otherData"]["trace_compact"] is True
+        assert "trace_dropped_by_name" not in summary["otherData"]
+
+
+class TestCompactFile:
+    def test_compacts_a_trace_sidecar_in_place(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        path.write_text(json.dumps(_serving_payload(120), default=str))
+        assert compact_file(path, keep_per_name=20) is True
+        reloaded = json.loads(path.read_text())
+        validate_trace(reloaded)
+        assert reloaded["otherData"]["trace_compact"] is True
+        assert len(reloaded["traceEvents"]) == 40
+
+    def test_second_pass_is_a_no_op(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        path.write_text(json.dumps(_serving_payload(120), default=str))
+        assert compact_file(path, keep_per_name=20) is True
+        before = path.read_text()
+        assert compact_file(path, keep_per_name=20) is False
+        assert path.read_text() == before

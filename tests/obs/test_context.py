@@ -1,0 +1,232 @@
+"""Trace context: propagation rules, the bounded ring, log correlation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry
+from repro.obs.context import (
+    SpanContext,
+    activate_span_context,
+    current_span_context,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.logs import _format_fields
+from repro.obs.tracing import Tracer, span_topology, trace_chains
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        ctx = SpanContext(new_trace_id(), new_span_id())
+        assert SpanContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize("payload", [
+        None, "nope", 42, {}, {"trace_id": ""}, {"trace_id": "t"},
+        {"trace_id": 1, "span_id": "s"}, {"span_id": "s"},
+    ])
+    def test_malformed_wire_payloads_decode_to_none(self, payload):
+        assert SpanContext.from_wire(payload) is None
+
+    def test_child_stays_in_the_trace_with_a_fresh_span_id(self):
+        parent = SpanContext(new_trace_id(), new_span_id())
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+
+    def test_activate_scopes_the_ambient_context(self):
+        ctx = SpanContext("t1", "s1")
+        assert current_span_context() is None
+        with activate_span_context(ctx):
+            assert current_span_context() == ctx
+        assert current_span_context() is None
+
+
+class TestSpanContextPropagation:
+    def test_plain_span_carries_no_trace_ids(self):
+        # The pre-tracing-context arg contract: an uncorrelated span's
+        # args are exactly what the caller passed.
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("plain", layer="conv0"):
+            pass
+        (event,) = tracer.events()
+        assert event["args"] == {"layer": "conv0"}
+
+    def test_new_trace_mints_a_root(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root", new_trace=True) as span:
+            assert span.context is not None
+        (event,) = tracer.events()
+        assert event["args"]["trace_id"] == span.context.trace_id
+        assert event["args"]["span_id"] == span.context.span_id
+        assert "parent_span_id" not in event["args"]
+
+    def test_nested_span_inherits_the_ambient_context(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root", new_trace=True) as root:
+            with tracer.span("child") as child:
+                assert child.context.trace_id == root.context.trace_id
+        child_ev, root_ev = tracer.events()
+        assert child_ev["args"]["parent_span_id"] == root.context.span_id
+
+    def test_explicit_ctx_overrides_the_ambient_context(self):
+        tracer = Tracer()
+        tracer.enable()
+        other = SpanContext("elsewhere", "s-far")
+        with tracer.span("root", new_trace=True):
+            with tracer.span("child", ctx=other):
+                pass
+        child_ev, _ = tracer.events()
+        assert child_ev["args"]["trace_id"] == "elsewhere"
+        assert child_ev["args"]["parent_span_id"] == "s-far"
+
+    def test_activated_context_parents_a_plain_span(self):
+        tracer = Tracer()
+        tracer.enable()
+        ctx = SpanContext("t-wire", "s-wire")
+        with activate_span_context(ctx):
+            with tracer.span("stage"):
+                pass
+        (event,) = tracer.events()
+        assert event["args"]["trace_id"] == "t-wire"
+        assert event["args"]["parent_span_id"] == "s-wire"
+
+    def test_complete_records_retroactively_and_chains(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root", new_trace=True) as root:
+            pass
+        queue = tracer.complete("queue", 1_000, 2_000, ctx=root.context)
+        assert queue is not None
+        execute = tracer.complete("execute", 2_000, 3_000, ctx=queue)
+        events = {e["name"]: e for e in tracer.events()}
+        assert events["queue"]["args"]["parent_span_id"] == root.context.span_id
+        assert events["execute"]["args"]["parent_span_id"] == queue.span_id
+        assert events["execute"]["args"]["trace_id"] == root.context.trace_id
+        assert events["queue"]["dur"] == pytest.approx(1.0)  # µs
+
+    def test_complete_returns_none_when_disabled(self):
+        tracer = Tracer()
+        assert tracer.complete("queue", 0, 1) is None
+
+    def test_instant_joins_the_active_trace(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root", new_trace=True) as root:
+            tracer.instant("breaker_open")
+        instant = next(e for e in tracer.events() if e["ph"] == "i")
+        assert instant["args"]["trace_id"] == root.context.trace_id
+        assert instant["args"]["parent_span_id"] == root.context.span_id
+
+
+class TestBoundedRing:
+    def test_ring_caps_events_and_counts_drops(self):
+        registry = get_registry()
+        metric = registry.get("obs.trace_dropped")
+        before = float(metric.value) if metric else 0.0
+        tracer = Tracer(capacity=8)
+        tracer.enable()
+        for i in range(20):
+            with tracer.span(f"span-{i}"):
+                pass
+        assert len(tracer) == 8
+        assert tracer.dropped == 12
+        # The newest events survive, the oldest were evicted.
+        names = [e["name"] for e in tracer.events()]
+        assert names == [f"span-{i}" for i in range(12, 20)]
+        after = float(registry.get("obs.trace_dropped").value)
+        assert after - before == 12
+
+    def test_add_chrome_events_counts_overflow(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        tracer.add_chrome_events(
+            {"name": f"e{i}", "ph": "X", "ts": i, "dur": 1} for i in range(10)
+        )
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+
+    def test_clear_resets_the_drop_count(self):
+        tracer = Tracer(capacity=2)
+        tracer.enable()
+        for _ in range(4):
+            with tracer.span("x"):
+                pass
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert tracer.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestTraceAnalysis:
+    def _run_trace(self, tracer):
+        with tracer.span("client", new_trace=True):
+            with tracer.span("server"):
+                with tracer.span("engine"):
+                    pass
+
+    def test_topology_is_id_free_and_replay_stable(self):
+        a, b = Tracer(), Tracer()
+        for tracer in (a, b):
+            tracer.enable()
+            self._run_trace(tracer)
+            self._run_trace(tracer)
+        # Every id and timestamp differs between the two runs...
+        assert a.events() != b.events()
+        # ...but the reduced shape is identical.
+        topo = span_topology(a.events())
+        assert topo == span_topology(b.events())
+        assert len(topo) == 2
+        assert topo[0] == (
+            ("client", None), ("engine", "server"), ("server", "client"),
+        )
+
+    def test_uncorrelated_spans_do_not_appear_in_the_topology(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("plain"):
+            pass
+        assert span_topology(tracer.events()) == []
+
+    def test_trace_chains_groups_by_trace_id(self):
+        tracer = Tracer()
+        tracer.enable()
+        self._run_trace(tracer)
+        self._run_trace(tracer)
+        with tracer.span("plain"):
+            pass
+        chains = trace_chains(tracer.events())
+        assert len(chains) == 2
+        for events in chains.values():
+            assert sorted(e["name"] for e in events) == [
+                "client", "engine", "server",
+            ]
+
+
+class TestLogCorrelation:
+    def test_fields_gain_trace_ids_under_an_active_span(self):
+        ctx = SpanContext("t-log", "s-log")
+        with activate_span_context(ctx):
+            line = _format_fields("queue full", {"queue": 3})
+        assert "queue=3" in line
+        assert "trace_id=t-log" in line
+        assert "span_id=s-log" in line
+
+    def test_fields_stay_clean_outside_a_span(self):
+        assert _format_fields("hello", {"a": 1}) == "hello a=1"
+
+    def test_explicit_trace_id_field_wins(self):
+        with activate_span_context(SpanContext("ambient", "s")):
+            line = _format_fields("msg", {"trace_id": "mine"})
+        assert "trace_id=mine" in line
+        assert "ambient" not in line

@@ -1,0 +1,133 @@
+"""Prometheus-style exposition: render/parse round trip + HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    ExpositionServer,
+    parse_exposition,
+    render_exposition,
+    render_exposition_dict,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _example_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", status="ok").inc(40)
+    registry.counter("serve.requests", status="shed").inc(2)
+    registry.gauge("serve.queue.depth").set(3)
+    hist = registry.histogram("serve.latency.seconds", buckets=[0.01, 0.1, 1.0])
+    for value in (0.005, 0.05, 0.05, 0.5):
+        hist.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert sanitize_metric_name("serve.shed") == "repro_serve_shed"
+        assert sanitize_metric_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_already_prefixed_names_are_stable(self):
+        once = sanitize_metric_name("serve.shed")
+        assert sanitize_metric_name(once) == once
+
+
+class TestRoundTrip:
+    def test_render_and_parse_recover_every_value(self):
+        text = render_exposition(_example_registry())
+        parsed = parse_exposition(text)
+        assert parsed.value("repro_serve_requests_total", status="ok") == 40
+        assert parsed.value("repro_serve_requests_total", status="shed") == 2
+        assert parsed.value("repro_serve_queue_depth") == 3
+        assert parsed.value("repro_serve_latency_seconds_count") == 4
+        assert parsed.value("repro_serve_latency_seconds_sum") == pytest.approx(0.605)
+        # Cumulative buckets, including the +Inf terminal.
+        assert parsed.value("repro_serve_latency_seconds_bucket", le="0.01") == 1
+        assert parsed.value("repro_serve_latency_seconds_bucket", le="0.1") == 3
+        assert parsed.value("repro_serve_latency_seconds_bucket", le="+Inf") == 4
+
+    def test_type_lines_declare_the_metric_kinds(self):
+        parsed = parse_exposition(render_exposition(_example_registry()))
+        assert parsed.types["repro_serve_requests_total"] == "counter"
+        assert parsed.types["repro_serve_queue_depth"] == "gauge"
+        assert parsed.types["repro_serve_latency_seconds"] == "histogram"
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'quote " backslash \\ newline \n end'
+        registry.gauge("t.g", model=nasty).set(1.0)
+        parsed = parse_exposition(render_exposition(registry))
+        (sample,) = parsed.samples
+        assert sample.label("model") == nasty
+
+    def test_empty_registry_renders_empty_text(self):
+        assert render_exposition(MetricsRegistry()) == ""
+        assert len(parse_exposition("")) == 0
+
+    def test_renders_the_process_registry_by_default(self):
+        from repro.obs import get_registry
+
+        get_registry().gauge("t.expose.default").set(5.0)
+        assert "repro_t_expose_default 5" in render_exposition()
+
+
+class TestParser:
+    def test_comments_and_blanks_are_tolerated(self):
+        parsed = parse_exposition(
+            "# HELP repro_x something\n\n# TYPE repro_x gauge\nrepro_x 1\n"
+        )
+        assert parsed.value("repro_x") == 1
+
+    def test_garbage_lines_fail_loudly(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_exposition("repro_x 1\n}{ not a metric\n")
+
+    def test_special_values_parse(self):
+        parsed = parse_exposition("repro_a +Inf\nrepro_b -Inf\n")
+        import math
+
+        assert parsed.value("repro_a") == math.inf
+        assert parsed.value("repro_b") == -math.inf
+
+    def test_render_dict_accepts_a_raw_snapshot(self):
+        text = render_exposition_dict(_example_registry().to_dict())
+        assert "repro_serve_requests_total" in text
+
+
+class TestExpositionServer:
+    def test_serves_metrics_and_telemetry_over_http(self):
+        registry = _example_registry()
+        server = ExpositionServer(
+            port=0,
+            metrics_fn=lambda: render_exposition(registry),
+            telemetry_fn=lambda: {"live": {"qps": 1.5}},
+        ).start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as reply:
+                assert reply.status == 200
+                assert "text/plain" in reply.headers["Content-Type"]
+                text = reply.read().decode()
+            parsed = parse_exposition(text)  # scrape path must stay parseable
+            assert parsed.value("repro_serve_requests_total", status="ok") == 40
+            with urllib.request.urlopen(f"{base}/telemetry", timeout=5) as reply:
+                assert json.load(reply) == {"live": {"qps": 1.5}}
+        finally:
+            server.stop()
+
+    def test_unknown_paths_get_404(self):
+        server = ExpositionServer(port=0, metrics_fn=lambda: "").start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+            assert err.value.code == 404
+        finally:
+            server.stop()

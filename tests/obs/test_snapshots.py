@@ -1,0 +1,144 @@
+"""Snapshot ring + loop, and the derived live view (rates, percentiles)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshots import (
+    LiveStats,
+    SnapshotLoop,
+    SnapshotRing,
+    derive_live,
+)
+
+
+def _serving_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", status="ok")
+    registry.histogram("serve.latency.seconds", buckets=[0.01, 0.1, 1.0])
+    return registry
+
+
+class TestSnapshotRing:
+    def test_capacity_bounds_the_ring_but_not_the_count(self):
+        ring = SnapshotRing(capacity=4)
+        registry = MetricsRegistry()
+        for i in range(10):
+            ring.capture(registry, ts=float(i))
+        assert len(ring) == 4
+        assert ring.taken == 10
+        assert [s.ts for s in ring.all()] == [6.0, 7.0, 8.0, 9.0]
+        assert ring.latest().ts == 9.0
+
+    def test_capacity_below_two_is_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotRing(capacity=1)
+
+    def test_window_selects_by_timestamp(self):
+        ring = SnapshotRing(capacity=16)
+        registry = MetricsRegistry()
+        for ts in (0.0, 5.0, 9.0, 10.0):
+            ring.capture(registry, ts=ts)
+        assert [s.ts for s in ring.window(2.0)] == [9.0, 10.0]
+        assert len(ring.window(100.0)) == 4
+        assert SnapshotRing().window(5.0) == []
+
+    def test_snapshot_metric_lookup_respects_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", status="ok").inc(3)
+        registry.counter("serve.requests", status="shed").inc(1)
+        snap = SnapshotRing().capture(registry, ts=0.0)
+        assert snap.metric("serve.requests", status="ok")["value"] == 3
+        assert snap.metric("serve.requests", status="missing") is None
+        assert len(snap.metrics_named("serve.requests")) == 2
+
+
+class TestSnapshotLoop:
+    def test_loop_advances_and_stops_cleanly(self):
+        registry = _serving_registry()
+        loop = SnapshotLoop(registry=registry, interval_s=0.02)
+        loop.start()
+        assert loop.ring.taken >= 1  # immediate first sample
+        deadline = time.monotonic() + 2.0
+        while loop.ring.taken < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert loop.ring.taken >= 3
+        loop.stop()
+        assert not loop.running
+        taken = loop.ring.taken  # stop() appended a final sample
+        time.sleep(0.06)
+        assert loop.ring.taken == taken  # thread really stopped
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SnapshotLoop(interval_s=0.0)
+
+
+class TestDeriveLive:
+    def _populated_ring(self) -> SnapshotRing:
+        registry = _serving_registry()
+        ring = SnapshotRing()
+        ring.capture(registry, ts=0.0)  # cold baseline
+        registry.counter("serve.requests", status="ok").inc(40)
+        registry.counter("serve.requests", status="shed").inc(5)
+        registry.counter("serve.requests", status="expired").inc(5)
+        registry.counter("serve.shed").inc(5)
+        registry.counter("serve.expired").inc(5)
+        registry.counter("serve.slo.violations").inc(4)
+        registry.counter("resilience.degraded_responses").inc(2)
+        registry.counter("serve.batches").inc(10)
+        registry.counter("serve.batch.requests").inc(40)
+        registry.gauge("serve.queue.depth").set(7)
+        registry.gauge("resilience.breaker_state", model="m@64").set(0.5)
+        hist = registry.get("serve.latency.seconds")
+        for value in [0.005] * 20 + [0.05] * 19 + [0.5]:
+            hist.observe(value)
+        ring.capture(registry, ts=10.0)
+        return ring
+
+    def test_rates_come_from_counter_deltas(self):
+        stats = derive_live(self._populated_ring(), window_s=100.0)
+        assert stats.window_s == 10.0
+        assert stats.qps == pytest.approx(5.0)          # 50 requests / 10 s
+        assert stats.shed_rate == pytest.approx(0.2)    # 10 of 50
+        assert stats.slo_violation_rate == pytest.approx(0.1)  # 4 of 40 ok
+        assert stats.degraded_rate == pytest.approx(0.04)
+        assert stats.batch_occupancy == pytest.approx(4.0)
+        assert stats.requests_total == 50
+
+    def test_percentiles_come_from_bucket_deltas(self):
+        stats = derive_live(self._populated_ring(), window_s=100.0)
+        # 20 obs <= 10 ms, 39 <= 100 ms, 40 <= 1 s (in milliseconds here).
+        assert 0.0 < stats.p50_ms <= 10.0
+        assert 10.0 < stats.p95_ms <= 100.0
+        assert 100.0 < stats.p99_ms <= 1000.0
+
+    def test_instantaneous_gauges_read_the_latest_snapshot(self):
+        stats = derive_live(self._populated_ring(), window_s=100.0)
+        assert stats.queue_depth == 7.0
+        assert stats.breaker_states == {"m@64": 0.5}
+
+    def test_single_snapshot_keeps_rates_zero(self):
+        registry = _serving_registry()
+        registry.counter("serve.requests", status="ok").inc(9)
+        registry.gauge("serve.queue.depth").set(2)
+        ring = SnapshotRing()
+        ring.capture(registry, ts=0.0)
+        stats = derive_live(ring, window_s=10.0)
+        assert stats.window_s == 0.0
+        assert stats.qps == 0.0
+        assert stats.queue_depth == 2.0      # instantaneous still populated
+        assert stats.requests_total == 9.0
+
+    def test_empty_ring_yields_the_zero_view(self):
+        stats = derive_live(SnapshotRing(), window_s=10.0)
+        assert stats == LiveStats()
+
+    def test_to_dict_carries_every_field(self):
+        payload = derive_live(self._populated_ring(), window_s=100.0).to_dict()
+        for key in ("qps", "shed_rate", "p99_ms", "queue_depth",
+                    "batch_occupancy", "breaker_states", "snapshots"):
+            assert key in payload

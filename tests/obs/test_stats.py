@@ -1,0 +1,94 @@
+"""Shared percentile math: nearest-rank and histogram-quantile edges."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.stats import histogram_quantile, percentile, quantile_from_payload
+
+
+class TestPercentile:
+    def test_empty_input_yields_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    @pytest.mark.parametrize("q", [0, 1, 50, 99, 100])
+    def test_single_sample_answers_every_quantile(self, q):
+        assert percentile([7.5], q) == 7.5
+
+    def test_q0_is_min_and_q100_is_max(self):
+        values = [1.0, 2.0, 3.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_nearest_rank_on_a_known_list(self):
+        values = [float(i) for i in range(1, 11)]  # 1..10
+        assert percentile(values, 50) == 5.0   # ceil(0.5 * 10) = rank 5
+        assert percentile(values, 95) == 10.0  # ceil(9.5) = rank 10
+        assert percentile(values, 10) == 1.0
+
+    def test_all_equal_samples(self):
+        values = [4.0] * 25
+        for q in (0, 25, 50, 99, 100):
+            assert percentile(values, q) == 4.0
+
+    def test_loadgen_alias_is_this_function(self):
+        from repro.serve.loadgen import _percentile
+
+        assert _percentile is percentile
+
+
+class TestHistogramQuantile:
+    BOUNDS = (1.0, 2.0, 4.0, math.inf)
+
+    def test_empty_histogram_yields_zero(self):
+        assert histogram_quantile((), (), 50) == 0.0
+        assert histogram_quantile(self.BOUNDS, (0, 0, 0, 0), 50) == 0.0
+
+    def test_interpolates_inside_the_target_bucket(self):
+        # 2 obs <= 1, 2 in (1, 2], 4 in (2, 4]: p50 rank 4 lands exactly
+        # on the (1, 2] bucket's upper edge.
+        counts = (2, 4, 8, 8)
+        assert histogram_quantile(self.BOUNDS, counts, 50) == pytest.approx(2.0)
+        # p75 rank 6 is halfway through the (2, 4] bucket.
+        assert histogram_quantile(self.BOUNDS, counts, 75) == pytest.approx(3.0)
+
+    def test_q0_and_q100_use_observed_extremes_when_known(self):
+        counts = (2, 4, 8, 8)
+        assert histogram_quantile(self.BOUNDS, counts, 0, lo=0.25) == 0.25
+        assert histogram_quantile(self.BOUNDS, counts, 100, hi=3.5) == 3.5
+
+    def test_q100_without_hi_falls_back_to_the_highest_bound(self):
+        counts = (2, 4, 8, 8)  # +inf bucket empty beyond 4
+        assert histogram_quantile(self.BOUNDS, counts, 100) == 4.0
+
+    def test_all_mass_in_the_first_bucket_interpolates_from_zero(self):
+        assert histogram_quantile((1.0, math.inf), (5, 5), 50) == pytest.approx(0.5)
+
+    def test_mass_in_the_inf_bucket_is_clamped_by_hi(self):
+        counts = (0, 0, 0, 10)
+        assert histogram_quantile(self.BOUNDS, counts, 50, hi=9.0) <= 9.0
+        # Without hi, the +inf bucket collapses to its floor.
+        assert histogram_quantile(self.BOUNDS, counts, 50) == 4.0
+
+    def test_estimate_respects_lo_hi_clamps(self):
+        counts = (2, 4, 8, 8)
+        value = histogram_quantile(self.BOUNDS, counts, 50, lo=1.9, hi=1.95)
+        assert 1.9 <= value <= 1.95
+
+
+class TestQuantileFromPayload:
+    def test_reads_a_registry_histogram_entry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("t.latency", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 1.5, 3.0, 3.0, 3.0):
+            hist.observe(value)
+        (entry,) = registry.to_dict()["metrics"]
+        assert quantile_from_payload(entry, 0) == 0.5    # observed min
+        assert quantile_from_payload(entry, 100) == 3.0  # observed max
+        assert 1.0 <= quantile_from_payload(entry, 50) <= 2.0
