@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke telemetry-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke chaos-smoke telemetry-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -85,6 +85,14 @@ telemetry-smoke:
 # benchmarks/results/BENCH_compile.json.
 compile-smoke:
 	timeout 180 python benchmarks/bench_compile.py --smoke
+
+# Int8 quantization smoke (docs/runtime.md): trains V3-Small on the
+# synthetic task (~1 min), calibrates the int8 plan on the training
+# batches, and gates the acceptance claims — >=1.3x over the folded
+# float plan at batch 8 with <=1pp top-1 drop on the held-out split.
+# Writes benchmarks/results/BENCH_quantize.json.
+quantize-smoke:
+	timeout 300 python benchmarks/bench_quantize.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

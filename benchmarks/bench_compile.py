@@ -4,7 +4,9 @@ Measures the headline claim of the compiled runtime (docs/runtime.md):
 MobileNet-V3-Small at batch 8 / resolution 32 runs >=2x faster through a
 folded :class:`~repro.nn.compile.InferencePlan` than through the eager
 :class:`~repro.nn.graph.GraphExecutor`, while the exact (no-fold) plan
-stays bit-identical and the folded plan stays within 1e-4.
+stays bit-identical and the folded plan stays within 1e-4.  The int8
+preset rides along as a third flavor column (its accuracy gate lives in
+``bench_quantize.py``, which needs a trained model).
 
 Also runnable directly as the ``make compile-smoke`` gate::
 
@@ -51,6 +53,7 @@ def run_compile_benchmark(network: str = "mobilenet_v3_small", batch: int = 8,
 
     folded = compile_executor(executor, shape)
     exact = compile_executor(executor, shape, CompileConfig.exact())
+    int8 = compile_executor(executor, shape, CompileConfig.int8())
 
     ref = executor(Tensor(x)).data
     folded_err = float(np.max(np.abs(
@@ -59,6 +62,7 @@ def run_compile_benchmark(network: str = "mobilenet_v3_small", batch: int = 8,
     eager_ms = _best_ms(lambda: executor(Tensor(x)), repeats)
     plan_ms = _best_ms(lambda: folded.run(x), repeats)
     exact_ms = _best_ms(lambda: exact.run(x), repeats)
+    int8_ms = _best_ms(lambda: int8.run(x), repeats)
 
     s = folded.stats
     return {
@@ -69,8 +73,13 @@ def run_compile_benchmark(network: str = "mobilenet_v3_small", batch: int = 8,
         "eager_ms": eager_ms,
         "plan_ms": plan_ms,
         "exact_plan_ms": exact_ms,
+        "int8_plan_ms": int8_ms,
         "speedup": eager_ms / plan_ms,
         "exact_speedup": eager_ms / exact_ms,
+        "int8_speedup": eager_ms / int8_ms,
+        "int8_vs_folded": plan_ms / int8_ms,
+        "int8_ops": int8.stats.int8_ops,
+        "int8_fallbacks": int8.stats.int8_fallbacks,
         "exact_bit_identical": bool(exact.run(x).tobytes() == ref.tobytes()),
         "folded_max_abs_err": folded_err,
         "nodes": s.nodes,
@@ -95,6 +104,12 @@ def render(result: dict) -> str:
         f"{result['exact_bit_identical']})",
         f"  folded plan : {result['plan_ms']:.2f} ms  "
         f"({result['speedup']:.2f}x, max|err|={result['folded_max_abs_err']:.2e})",
+        f"  int8 plan   : {result['int8_plan_ms']:.2f} ms  "
+        f"({result['int8_speedup']:.2f}x eager, "
+        f"{result['int8_vs_folded']:.2f}x folded; "
+        f"{result['int8_ops']} int8 ops, "
+        f"{result['int8_fallbacks']} fallbacks — accuracy gated by "
+        f"bench_quantize.py)",
         f"  fusion      : {result['nodes']} nodes -> {result['ops']} ops "
         f"({result['folded_bn']} BN folded, "
         f"{result['fused_activations']} activations fused)",

@@ -73,6 +73,7 @@ def _array_from_args(args: argparse.Namespace) -> ArrayConfig:
     return ArrayConfig.square(
         args.array,
         dataflow=args.dataflow,
+        datawidth=getattr(args, "datawidth", 16),
         pipelined_folds=args.pipelined,
     )
 
@@ -84,6 +85,10 @@ def _add_array_options(parser: argparse.ArgumentParser) -> None:
                         help="GEMM dataflow (default os, as in the paper)")
     parser.add_argument("--pipelined", action="store_true",
                         help="enable fold pipelining (calibration knob)")
+    parser.add_argument("--datawidth", type=int, choices=(8, 16), default=16,
+                        help="PE datapath width in bits: 16 = FP16 MACs "
+                             "(paper), 8 = int8 MACs with int32 accumulation "
+                             "(changes energy/area, not cycles)")
 
 
 def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
@@ -256,8 +261,10 @@ def cmd_ria(args: argparse.Namespace) -> int:
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
-    report = broadcast_overhead(args.size)
-    print(f"{args.size}x{args.size} array, 45nm structural model:")
+    width = getattr(args, "datawidth", 16)
+    report = broadcast_overhead(args.size, datawidth=width)
+    print(f"{args.size}x{args.size} array, {width}-bit PEs, "
+          f"45nm structural model:")
     print(f"  area overhead : {report.area_overhead * 100:.2f}%  (paper: 4.35% @32x32)")
     print(f"  power overhead: {report.power_overhead * 100:.2f}%  (paper: 2.25% @32x32)")
     return 0
@@ -326,19 +333,31 @@ def cmd_compile_stats(args: argparse.Namespace) -> int:
     from .nn.graph import GraphExecutor
     from .nn.tensor import Tensor
 
+    if args.exact and args.int8:
+        print("--exact and --int8 are mutually exclusive", file=sys.stderr)
+        return 2
     net = _net_for(args)
     executor = GraphExecutor(net, seed=args.seed)
     executor.eval()
-    config = CompileConfig.exact() if args.exact else CompileConfig()
+    if args.int8:
+        config = CompileConfig.int8()
+    elif args.exact:
+        config = CompileConfig.exact()
+    else:
+        config = CompileConfig()
     plan = compile_executor(
         executor, (args.batch,) + tuple(net.input_shape), config
     )
     s = plan.stats
-    mode = "exact (bit-identical)" if args.exact else "folded"
+    mode = ("int8 (quantized)" if args.int8
+            else "exact (bit-identical)" if args.exact else "folded")
     print(f"{s.network}: compiled {mode} plan for input {plan.input_shape}")
     print(f"  nodes -> ops : {s.nodes} -> {s.ops}")
     print(f"  folded BN    : {s.folded_bn}")
     print(f"  fused act    : {s.fused_activations}")
+    if args.int8:
+        print(f"  int8 ops     : {s.int8_ops} "
+              f"({s.int8_fallbacks} float fallbacks)")
     print(f"  arena        : {s.arena_bytes / 1024:.0f} KiB "
           f"(pool {s.pooled_bytes / 1024:.0f} KiB, "
           f"naive {s.naive_bytes / 1024:.0f} KiB, "
@@ -420,6 +439,11 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--no-bitexact", dest="bitexact", action="store_false",
                        help="stacked batch execution (faster, float-close "
                             "instead of bit-identical to unbatched)")
+    group.add_argument("--int8", action="store_true",
+                       help="serve requests on the int8 quantized plan by "
+                            "default (requests may also opt in per-request "
+                            "with the 'int8' wire field; with loadgen "
+                            "--connect the remote server's --int8 governs)")
     group.add_argument("--no-compile", dest="compile", action="store_false",
                        help="eager graph execution instead of compiled "
                             "inference plans (see docs/runtime.md)")
@@ -481,6 +505,7 @@ def _serve_config(args: argparse.Namespace, keys: list):
         slo_ms=args.slo_ms,
         bitexact=args.bitexact,
         compile=args.compile,
+        int8=args.int8,
         jobs=_effective_jobs(args) or 1,
         cache_dir=args.cache_dir,
         array=_array_from_args(args),
@@ -695,6 +720,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("overhead", help="broadcast-link area/power overhead",
                        parents=[common])
     p.add_argument("--size", type=int, default=32)
+    p.add_argument("--datawidth", type=int, choices=(8, 16), default=16,
+                   help="PE datapath width in bits (default 16 = FP16)")
     p.set_defaults(fn=cmd_overhead)
 
     for cmd, fn, help_text in (
@@ -731,6 +758,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batch size the plan is compiled for (default 8)")
     p.add_argument("--seed", type=int, default=0,
                    help="weight seed (and bench-input seed)")
+    p.add_argument("--int8", action="store_true",
+                   help="compile the int8 quantized plan "
+                        "(integer GEMMs; see docs/runtime.md)")
     p.add_argument("--exact", action="store_true",
                    help="bit-exact preset: no folding/fusion "
                         "(output bit-identical to the eager forward)")

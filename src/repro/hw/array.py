@@ -48,8 +48,8 @@ class ArrayCost:
 
 
 def array_cost(array: ArrayConfig) -> ArrayCost:
-    """Structural cost of an array (honours ``array.broadcast``)."""
-    pe = pe_cost(broadcast=array.broadcast)
+    """Structural cost of an array (honours ``broadcast`` and ``datawidth``)."""
+    pe = pe_cost(broadcast=array.broadcast, datawidth=array.datawidth)
     n_pes = array.num_pes
     edge = cell("edge_lane")
     # Operand feeders along both edges plus output collectors per column.
@@ -74,6 +74,7 @@ class OverheadReport:
     """Relative cost of the broadcast dataflow on one array size."""
 
     size: int
+    datawidth: int
     base_area_um2: float
     base_power_uw: float
     bcast_area_um2: float
@@ -90,12 +91,20 @@ class OverheadReport:
         return self.bcast_power_uw / self.base_power_uw - 1.0
 
 
-def broadcast_overhead(size: int = 32) -> OverheadReport:
-    """The §V-B.5 experiment: array with vs without broadcast links."""
-    base = array_cost(ArrayConfig.square(size, broadcast=False))
-    with_links = array_cost(ArrayConfig.square(size, broadcast=True))
+def broadcast_overhead(size: int = 32, datawidth: int = 16) -> OverheadReport:
+    """The §V-B.5 experiment: array with vs without broadcast links.
+
+    At the paper's 16-bit datapath the structural model lands on the
+    measured 4.35 % area / 2.25 % power; at ``datawidth=8`` the base PE
+    shrinks faster than the added mux, so the *relative* overhead grows.
+    """
+    base = array_cost(
+        ArrayConfig.square(size, broadcast=False, datawidth=datawidth))
+    with_links = array_cost(
+        ArrayConfig.square(size, broadcast=True, datawidth=datawidth))
     return OverheadReport(
         size=size,
+        datawidth=datawidth,
         base_area_um2=base.area_um2,
         base_power_uw=base.power_uw,
         bcast_area_um2=with_links.area_um2,

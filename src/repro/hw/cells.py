@@ -42,6 +42,11 @@ class Cell:
 CELLS: Dict[str, Cell] = {
     # FP16 multiplier (the MAC's multiply half).
     "mult_fp16": Cell("mult_fp16", area_um2=800.0, power_uw=400.0),
+    # Int8 multiplier — a fixed-point 8×8 array multiplier is roughly
+    # 5× smaller and cheaper than the FP16 datapath (no alignment,
+    # normalization or exponent logic; consistent with published 45 nm
+    # synthesis ratios).
+    "mult_int8": Cell("mult_int8", area_um2=160.0, power_uw=70.0),
     # 32-bit accumulator adder.
     "adder32": Cell("adder32", area_um2=150.0, power_uw=60.0),
     # Per-bit D flip-flop (pipeline and accumulator registers).

@@ -1,13 +1,16 @@
 """Structural inventory of one processing element (PE).
 
-The baseline PE (output-stationary MAC, Fig. 1d): an FP16 multiplier, a
+The baseline PE (output-stationary MAC, Fig. 1d): a multiplier, a
 32-bit accumulator adder, pipeline registers for the two streaming
-operands (16 bits each) and the stationary 32-bit accumulator, plus local
-control.
+operands (one ``datawidth`` each) and the stationary 32-bit accumulator,
+plus local control.  The datapath width is parameterized: 16 bits is the
+paper's FP16 setup (§V-A.2), 8 bits models an int8 MAC array with int32
+accumulation, matching the compiled int8 inference plans
+(:meth:`repro.nn.compile.CompileConfig.int8`).
 
-The broadcast-capable PE (Fig. 5) adds a 16-bit 2:1 mux selecting between
-the top systolic link and the row broadcast link, and its share of the
-broadcast wire/repeater.
+The broadcast-capable PE (Fig. 5) adds a ``datawidth``-wide 2:1 mux
+selecting between the top systolic link and the row broadcast link, and
+its share of the broadcast wire/repeater.
 """
 
 from __future__ import annotations
@@ -17,10 +20,23 @@ from typing import List, Tuple
 
 from .cells import Cell, cell
 
-#: operand width (FP16 weights/activations, §V-A.2)
+#: default operand width (FP16 weights/activations, §V-A.2)
 OPERAND_BITS = 16
-#: accumulator width
+#: accumulator width (int32 for int8 MACs too — see docs/runtime.md)
 ACC_BITS = 32
+
+#: datapath width → multiplier cell
+_MULT_CELLS = {16: "mult_fp16", 8: "mult_int8"}
+
+
+def _mult_cell(datawidth: int) -> Cell:
+    try:
+        return cell(_MULT_CELLS[datawidth])
+    except KeyError:
+        raise ValueError(
+            f"no multiplier cell for datawidth {datawidth}; "
+            f"supported: {sorted(_MULT_CELLS)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -39,21 +55,21 @@ class BlockCount:
         return self.cell.power_uw * self.count
 
 
-def baseline_pe_blocks() -> List[BlockCount]:
+def baseline_pe_blocks(datawidth: int = OPERAND_BITS) -> List[BlockCount]:
     """Inventory of the standard output-stationary PE."""
     return [
-        BlockCount(cell("mult_fp16"), 1),
+        BlockCount(_mult_cell(datawidth), 1),
         BlockCount(cell("adder32"), 1),
         # Two streaming operand registers + the stationary accumulator.
-        BlockCount(cell("dff_bit"), 2 * OPERAND_BITS + ACC_BITS),
+        BlockCount(cell("dff_bit"), 2 * datawidth + ACC_BITS),
         BlockCount(cell("control"), 1),
     ]
 
 
-def broadcast_extra_blocks() -> List[BlockCount]:
+def broadcast_extra_blocks(datawidth: int = OPERAND_BITS) -> List[BlockCount]:
     """Cells *added* per PE by the §IV-C broadcast dataflow."""
     return [
-        BlockCount(cell("mux2_bit"), OPERAND_BITS),
+        BlockCount(cell("mux2_bit"), datawidth),
         BlockCount(cell("bcast_wire_pe"), 1),
     ]
 
@@ -74,11 +90,11 @@ class PECost:
     breakdown: Tuple[Tuple[str, float, float], ...]
 
 
-def pe_cost(broadcast: bool = False) -> PECost:
+def pe_cost(broadcast: bool = False, datawidth: int = OPERAND_BITS) -> PECost:
     """Cost of one PE, with or without the broadcast additions."""
-    blocks = baseline_pe_blocks()
+    blocks = baseline_pe_blocks(datawidth)
     if broadcast:
-        blocks = blocks + broadcast_extra_blocks()
+        blocks = blocks + broadcast_extra_blocks(datawidth)
     area, power = _totals(blocks)
     return PECost(
         area_um2=area,

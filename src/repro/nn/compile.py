@@ -74,6 +74,12 @@ from .layers import (
     Linear,
     SqueezeExcite,
 )
+from .quantize import (
+    activation_lut,
+    lut_uint8_order,
+    observe_plan,
+    quantize_weights,
+)
 
 __all__ = ["CompileConfig", "PlanStats", "InferencePlan", "compile_executor"]
 
@@ -104,11 +110,42 @@ class CompileConfig:
     fuse_activations: bool = True   #: in-place activation post-ops
     constant_fold: bool = True      #: precompute BN scale/shift constants
     arena: bool = True              #: liveness-based buffer reuse
+    quantize: bool = False          #: int8 PTQ plan (see :meth:`int8`)
+    quantize_bits: int = 8          #: weight/activation code width
+    calibration_batches: int = 2    #: observer batches for activation ranges
+    calibration_seed: int = 2021    #: seed of the synthetic calibration data
+    #: Optional representative calibration inputs — a tuple of (N, C, H, W)
+    #: float arrays (any N, same CHW as the plan).  Without it the
+    #: observer pass runs on seeded standard-normal batches, which
+    #: matches serving's seed-derived inputs but NOT a model trained on a
+    #: real data distribution: always calibrate on real data when the
+    #: model has been trained.  Excluded from config equality/hash.
+    calibration_data: Optional[Tuple[np.ndarray, ...]] = field(
+        default=None, repr=False, compare=False)
 
     @classmethod
     def exact(cls) -> "CompileConfig":
         """Bit-identical-to-eager preset (folding and fusion off)."""
         return cls(fold_bn=False, fuse_activations=False, constant_fold=False)
+
+    @classmethod
+    def int8(cls, calibration_data: Optional[Sequence[np.ndarray]] = None
+             ) -> "CompileConfig":
+        """Quantized preset: per-channel int8 PTQ of the folded network.
+
+        Weights are quantized at compile time (per-channel symmetric, on
+        the BN-folded filters), activation ranges are calibrated with a
+        small observer pass, and the plan executes integer GEMM kernels
+        with requantization fused at each op boundary.  Ops without an
+        integer kernel fall back to float per op (counted in the
+        ``runtime.int8_fallbacks`` gauge and ``PlanStats``).
+
+        ``calibration_data`` (batches of representative inputs) replaces
+        the synthetic standard-normal calibration set — pass it whenever
+        the model was trained on a concrete data distribution.
+        """
+        data = None if calibration_data is None else tuple(calibration_data)
+        return cls(quantize=True, calibration_data=data)
 
 
 @dataclass
@@ -126,6 +163,8 @@ class PlanStats:
     pooled_bytes: int            #: reusable slab pool subset of the arena
     naive_bytes: int             #: footprint without reuse (fresh per op)
     compile_ms: float = 0.0
+    int8_ops: int = 0            #: steps executing integer-domain math
+    int8_fallbacks: int = 0      #: steps that fell back to float per op
 
     @property
     def ops_fused(self) -> int:
@@ -145,28 +184,37 @@ class _Arena:
     ``acquire`` hands out a view into the smallest free slab that fits
     (or a new one); ``release`` returns the slab to the pool.  Dedicated
     buffers (padded scratch with persistent borders) bypass the pool.
+
+    Slabs are raw byte arrays so one pool serves mixed buffer widths —
+    the int8 plan interleaves int8 activation codes, float32/float64
+    accumulator lanes and float scratch in the same arena.  A view is
+    always taken at slab offset 0, so alignment holds for every dtype.
     """
 
     def __init__(self, dtype: np.dtype, enabled: bool = True) -> None:
-        self.dtype = np.dtype(dtype)
+        self.dtype = np.dtype(dtype)  # default dtype for acquire()
         self.enabled = enabled
         self.slabs: List[np.ndarray] = []
         self.dedicated: List[np.ndarray] = []
         self._free: List[np.ndarray] = []
 
-    def acquire(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+    def acquire(
+        self, shape: Tuple[int, ...], dtype: Optional[np.dtype] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Returns ``(slab, view)``; pass ``slab`` back to :meth:`release`."""
-        size = int(np.prod(shape, dtype=np.int64))
+        dt = self.dtype if dtype is None else np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
         slab = None
         if self.enabled:
-            fits = [(s.size, i) for i, s in enumerate(self._free) if s.size >= size]
+            fits = [(s.nbytes, i) for i, s in enumerate(self._free)
+                    if s.nbytes >= nbytes]
             if fits:
                 _, i = min(fits)
                 slab = self._free.pop(i)
         if slab is None:
-            slab = np.empty(size, dtype=self.dtype)
+            slab = np.empty(nbytes, dtype=np.uint8)
             self.slabs.append(slab)
-        return slab, np.reshape(slab[:size], shape)
+        return slab, slab[:nbytes].view(dt).reshape(shape)
 
     def release(self, slab: np.ndarray) -> None:
         self._free.append(slab)
@@ -303,6 +351,8 @@ class InferencePlan:
         steps: List[Callable[[], None]],
         labels: List[str],
         stats: PlanStats,
+        step_names: Optional[List[str]] = None,
+        step_views: Optional[List[np.ndarray]] = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -311,6 +361,8 @@ class InferencePlan:
         self._input = input_view
         self._output = output_view
         self._steps = steps
+        self._step_names = step_names or []
+        self._step_views = step_views or []
         self._lock = threading.Lock()
 
     @property
@@ -351,6 +403,30 @@ class InferencePlan:
                 step()
             return self._output.copy()
 
+    def run_observed(
+        self, x: np.ndarray,
+        callback: Callable[[str, np.ndarray], None],
+    ) -> np.ndarray:
+        """:meth:`run`, invoking ``callback(step_name, output_view)`` after
+        each step executes.
+
+        This is the activation-calibration hook
+        (:func:`repro.nn.quantize.observe_plan`): arena buffers are
+        reused between steps but never during one, so the view passed to
+        the callback holds exactly that step's output.
+        """
+        if len(self._step_views) != len(self._steps):
+            raise RuntimeError("plan was built without step output views")
+        x = np.asarray(x)
+        with self._lock:
+            np.copyto(self._input, x)
+            for step, name, view in zip(
+                self._steps, self._step_names, self._step_views
+            ):
+                step()
+                callback(name, view)
+            return self._output.copy()
+
 
 # ------------------------------------------------------------- compilation
 
@@ -384,14 +460,20 @@ def compile_executor(
 
     start = time.perf_counter()
     with get_tracer().span("nn.compile", category="nn", network=network.name,
-                           batch=input_shape[0]):
-        plan = _build_plan(executor, network, input_shape, config)
+                           batch=input_shape[0], int8=config.quantize):
+        if config.quantize:
+            plan = _build_int8_plan(executor, network, input_shape, config)
+        else:
+            plan = _build_plan(executor, network, input_shape, config)
     plan.stats.compile_ms = (time.perf_counter() - start) * 1000.0
 
     registry = get_registry()
     registry.gauge("runtime.compile_ms").set(plan.stats.compile_ms)
     registry.gauge("runtime.arena_bytes").set(float(plan.stats.arena_bytes))
     registry.gauge("runtime.ops_fused").set(float(plan.stats.ops_fused))
+    if config.quantize:
+        registry.gauge("runtime.int8_fallbacks").set(
+            float(plan.stats.int8_fallbacks))
     registry.counter("runtime.plans").inc()
     _log.info(
         "compiled inference plan", network=network.name, batch=input_shape[0],
@@ -463,6 +545,8 @@ def _build_plan(
     naive_bytes = input_view.nbytes
     steps: List[Callable[[], None]] = []
     labels: List[str] = []
+    step_names: List[str] = []
+    step_views: List[np.ndarray] = []
     folded = fused = 0
 
     def in_views(pn: _PlanNode) -> List[np.ndarray]:
@@ -479,6 +563,8 @@ def _build_plan(
         naive_bytes += out_entry[1].nbytes + extra_bytes
         steps.append(step)
         labels.append(pn.label)
+        step_names.append(pn.out_name)
+        step_views.append(out_entry[1])
         folded += pn.bn is not None
         fused += pn.act is not None
         # Release buffers whose last consumer this step was.
@@ -504,6 +590,7 @@ def _build_plan(
     return InferencePlan(
         name=network.name, config=config, input_view=input_view,
         output_view=output_view, steps=steps, labels=labels, stats=stats,
+        step_names=step_names, step_views=step_views,
     )
 
 
@@ -747,3 +834,916 @@ def _build_step(
     raise NotImplementedError(
         f"no compiled op for {node.kind} ({node.name})"
     )
+
+
+# ------------------------------------------------------------- int8 plan
+#
+# The quantized plan (``CompileConfig.int8()``) is a separate builder
+# sharing the fuse pass, geometry helpers and arena with the float one.
+# Differences:
+#
+# * **channels-last** — int8 buffers are NHWC internally; contiguous
+#   channel-axis passes make the depthwise tap loop ~2.7x faster than
+#   the float plan's NCHW windowed einsum (the input is transposed and
+#   quantized once at the top, the output converted back at the bottom);
+# * **per-node representation** — every produced buffer is either int8
+#   codes with a scale (symmetric, zero-point 0) or plain float; ops
+#   with integer kernels consume/produce codes, everything else falls
+#   back to float *per op* (``PlanStats.int8_fallbacks``, surfaced as
+#   the ``runtime.int8_fallbacks`` gauge);
+# * **requantize fused at op boundaries** — each integer GEMM rescales
+#   its int32-valued accumulator straight to the consumer's grid, with
+#   ReLU/ReLU6 folded into the clip bounds and curved activations
+#   (h-swish & friends) applied as a single 256-entry LUT gather;
+# * **float head** — the final Linear (the logits producer) stays in
+#   float, standard PTQ practice that protects top-1 agreement.
+#
+# Calibration runs a float plan of identical fuse structure (BN folded,
+# activations *not* fused, so both pre- and post-activation ranges are
+# observed) over a few seeded standard-normal batches — the same
+# distribution serving inputs are drawn from (``make_input``).
+
+#: Activations requantized through a 256-entry LUT (the rest fold into
+#: the requantize clip bounds).
+_INT8_LUT_ACTS = ("hswish", "hsigmoid", "sigmoid", "swish")
+
+
+@dataclass
+class _Repr:
+    """How the int8 plan represents one produced buffer."""
+
+    kind: str          # "i8" (codes + scale) or "f32" (float values)
+    scale: float = 1.0  # code scale (meaningful for kind == "i8")
+    name: str = ""      # producing step's out_name (range lookup)
+
+
+def _scale_for(amax: Dict[str, float], name: str, levels: int) -> float:
+    a = amax.get(name, 0.0)
+    return a / levels if a > 0 else 1.0
+
+
+def _act_requant(act: Optional[Node], s_out: float, levels: int):
+    """(direct, low, high, post) of a fused activation at requantize time.
+
+    ``direct`` activations (none / ReLU / ReLU6) fold entirely into the
+    requantize clip bounds — a single rounding straight to the output
+    grid.  Curved activations (h-swish & friends) return their float
+    post-op instead: the accumulator is rescaled to the *value* domain,
+    the activation applied analytically, then rounded once to the output
+    grid — no intermediate 8-bit rounding.
+    """
+    if act is None:
+        return True, -levels, levels, None
+    fn = act.layer.fn
+    if fn == "relu":
+        return True, 0, levels, None
+    if fn == "relu6":
+        return True, 0, min(levels, int(round(6.0 / s_out))), None
+    return False, -levels, levels, _act_post_op(fn)
+
+def _calibrate_activations(
+    executor, network: Network, input_shape: Tuple[int, ...],
+    config: CompileConfig,
+) -> Dict[str, float]:
+    """Observer pass: per-step max-abs ranges from a float folded plan.
+
+    The calibration plan folds BN like the int8 plan but keeps
+    activations *unfused*, so every conv's pre-activation range and
+    every activation's post-range get their own observer entry.
+    """
+    calib_config = CompileConfig(fold_bn=config.fold_bn,
+                                 fuse_activations=False,
+                                 constant_fold=True, arena=config.arena)
+    if config.calibration_data is not None:
+        batches = [np.asarray(b, dtype=np.float32)
+                   for b in config.calibration_data]
+        if not batches:
+            raise ValueError("calibration_data must hold at least one batch")
+        for b in batches:
+            if b.ndim != 4 or b.shape != batches[0].shape:
+                raise ValueError(
+                    "calibration batches must share one (N, C, H, W) shape; "
+                    f"got {[tuple(x.shape) for x in batches]}")
+        if batches[0].shape[1:] != tuple(input_shape[1:]):
+            raise ValueError(
+                f"calibration batches have shape {tuple(batches[0].shape)}, "
+                f"plan input is {tuple(input_shape)} (C, H, W must match)")
+        calib_shape = batches[0].shape
+    else:
+        rng = np.random.default_rng(config.calibration_seed)
+        calib_shape = input_shape
+        batches = [
+            rng.standard_normal(input_shape).astype(np.float32)
+            for _ in range(max(1, config.calibration_batches))
+        ]
+    calib_plan = _build_plan(executor, network, calib_shape, calib_config)
+    observers = observe_plan(calib_plan, batches)
+    return {name: obs.amax for name, obs in observers.items()}
+
+
+def _build_int8_plan(
+    executor, network: Network, input_shape: Tuple[int, ...],
+    config: CompileConfig,
+) -> InferencePlan:
+    if not 2 <= config.quantize_bits <= 8:
+        raise NotImplementedError(
+            f"int8 plans support quantize_bits in [2, 8], "
+            f"got {config.quantize_bits}")
+    levels = 2 ** (config.quantize_bits - 1) - 1
+    amax = _calibrate_activations(executor, network, input_shape, config)
+
+    n = input_shape[0]
+    plan_nodes = _fuse_pass(network, config)
+    produced_by: Dict[str, int] = {}
+    for i, pn in enumerate(plan_nodes):
+        for part in (pn.node, pn.bn, pn.act):
+            if part is not None:
+                produced_by[part.name] = i
+
+    refs = [0] * len(plan_nodes)
+    input_refs = 0
+    for pn in plan_nodes:
+        if not pn.node.inputs:
+            input_refs += 1
+        for src in pn.node.inputs:
+            refs[produced_by[src]] += 1
+    refs[len(plan_nodes) - 1] += 1
+
+    arena = _Arena(np.float32, enabled=config.arena)
+    input_view = arena.dedicate(np.zeros(input_shape, dtype=np.float32))
+    naive_bytes = input_view.nbytes
+    steps: List[Callable[[], None]] = []
+    labels: List[str] = []
+    step_names: List[str] = []
+    step_views: List[np.ndarray] = []
+    folded = fused = int8_ops = fallbacks = 0
+
+    # Implicit first step: quantize + transpose the float NCHW input into
+    # int8 NHWC codes (one fused multiply/round/cast pass).
+    nb, c_in, h_in, w_in = input_shape
+    s_input = _scale_for(amax, "__input__", levels)
+    q_in_slab, q_in = arena.acquire((nb, h_in, w_in, c_in), np.int8)
+    scr_slab, scr = arena.acquire((nb, h_in, w_in, c_in), np.float32)
+    arena.release(scr_slab)
+    naive_bytes += q_in.nbytes + scr.nbytes
+
+    def quantize_input(src=input_view, scr=scr, out=q_in,
+                       inv=1.0 / s_input, lv=levels):
+        np.multiply(src.transpose(0, 2, 3, 1), inv, out=scr)
+        np.rint(scr, out=scr)
+        np.clip(scr, -lv, lv, out=scr)
+        np.copyto(out, scr, casting="unsafe")
+
+    steps.append(quantize_input)
+    labels.append("QuantizeInput")
+    step_names.append("__input__")
+    step_views.append(q_in)
+    int8_ops += 1
+
+    buffers: List[Optional[Tuple[np.ndarray, np.ndarray]]] = \
+        [None] * len(plan_nodes)
+    reprs: List[Optional[_Repr]] = [None] * len(plan_nodes)
+    input_entry = (q_in, _Repr("i8", s_input, "__input__"))
+
+    def in_entries(pn: _PlanNode):
+        if not pn.node.inputs:
+            return [input_entry]
+        return [
+            (buffers[produced_by[src]][1], reprs[produced_by[src]])
+            for src in pn.node.inputs
+        ]
+
+    for idx, pn in enumerate(plan_nodes):
+        entries = in_entries(pn)
+        step, out_entry, out_repr, extra_bytes, native = _build_int8_step(
+            executor, pn, entries, arena, config, n, amax, levels,
+            is_last=(idx == len(plan_nodes) - 1),
+        )
+        buffers[idx] = out_entry
+        reprs[idx] = out_repr
+        naive_bytes += out_entry[1].nbytes + extra_bytes
+        steps.append(step)
+        labels.append(pn.label + (":int8" if native else ":float"))
+        step_names.append(pn.out_name)
+        step_views.append(out_entry[1])
+        folded += pn.bn is not None
+        fused += pn.act is not None
+        int8_ops += native
+        fallbacks += not native
+        if not pn.node.inputs:
+            input_refs -= 1
+            if input_refs == 0:
+                arena.release(q_in_slab)
+        for src in pn.node.inputs:
+            j = produced_by[src]
+            refs[j] -= 1
+            if refs[j] == 0 and buffers[j] is not None:
+                arena.release(buffers[j][0])
+
+    # Implicit last step: hand back float in the eager layout.
+    last_view = buffers[-1][1]
+    last_repr = reprs[-1]
+    if last_repr.kind == "i8" or last_view.ndim == 4:
+        if last_view.ndim == 4:
+            nb2, h2, w2, c2 = last_view.shape
+            out_shape = (nb2, c2, h2, w2)
+        else:
+            out_shape = last_view.shape
+        out_slab, final_out = arena.acquire(out_shape, np.float32)
+        naive_bytes += final_out.nbytes
+        src4 = last_view.transpose(0, 3, 1, 2) if last_view.ndim == 4 \
+            else last_view
+        if last_repr.kind == "i8":
+            def finalize(src=src4, out=final_out, s=last_repr.scale):
+                np.multiply(src, s, out=out)
+        else:
+            def finalize(src=src4, out=final_out):
+                np.copyto(out, src)
+        steps.append(finalize)
+        labels.append("Dequantize")
+        step_names.append("__output__")
+        step_views.append(final_out)
+        int8_ops += last_repr.kind == "i8"
+        output_view = final_out
+    else:
+        output_view = last_view
+
+    stats = PlanStats(
+        network=network.name,
+        batch=n,
+        input_shape=input_shape,
+        nodes=len(network),
+        ops=len(steps),
+        folded_bn=folded,
+        fused_activations=fused,
+        arena_bytes=arena.total_bytes + input_view.nbytes,
+        pooled_bytes=arena.pooled_bytes,
+        naive_bytes=naive_bytes,
+        int8_ops=int8_ops,
+        int8_fallbacks=fallbacks,
+    )
+    _log.info(
+        "built int8 plan", network=network.name, batch=n,
+        int8_ops=int8_ops, fallbacks=fallbacks,
+        arena_kib=f"{stats.arena_bytes / 1024:.0f}",
+    )
+    return InferencePlan(
+        name=network.name, config=config, input_view=input_view,
+        output_view=output_view, steps=steps, labels=labels, stats=stats,
+        step_names=step_names, step_views=step_views,
+    )
+
+def _build_int8_step(
+    executor, pn: _PlanNode, entries, arena: _Arena, config: CompileConfig,
+    n: int, amax: Dict[str, float], levels: int, is_last: bool,
+):
+    """One int8 plan step.
+
+    Returns ``(closure, (slab, out_view), out_repr, extra_bytes,
+    int8_native)``.  Scratch slabs are acquired before the output buffer
+    and released together at the end (so no two buffers of this step
+    alias), then recycled by later steps — safe because a scratch is
+    only written while its own step runs.
+    """
+    node = pn.node
+    spec = node.layer
+    bits = config.quantize_bits
+    x_view, x_repr = entries[0]
+    extra = 0
+    scratch_slabs: List[np.ndarray] = []
+
+    def take(shape, dtype):
+        nonlocal extra
+        slab, view = arena.acquire(shape, dtype)
+        scratch_slabs.append(slab)
+        extra += view.nbytes
+        return view
+
+    def done(step, out_entry, out_repr, native):
+        for slab in scratch_slabs:
+            arena.release(slab)
+        return step, out_entry, out_repr, extra, native
+
+    def as_codes(view, rep):
+        """(prep, codes, scale): quantize a float input on the fly."""
+        if rep.kind == "i8":
+            return None, view, rep.scale
+        s = _scale_for(amax, rep.name, levels)
+        qv = take(view.shape, np.int8)
+        fv = take(view.shape, np.float32)
+
+        def prep(view=view, qv=qv, fv=fv, inv=1.0 / s, lv=levels):
+            np.multiply(view, inv, out=fv)
+            np.rint(fv, out=fv)
+            np.clip(fv, -lv, lv, out=fv)
+            np.copyto(qv, fv, casting="unsafe")
+
+        return prep, qv, s
+
+    def requant_into(src, acc, m, b, low, high, out,
+                     post=None, post_scr=None, inv_out=1.0):
+        """Closure: requantize ``src`` into int8 ``out``.
+
+        Direct path (``post is None``): ``m``/``b`` already target the
+        output grid — ``out = clip(rint(src·m + b))``, one rounding.
+        Curved path: ``m``/``b`` target the *value* domain; the float
+        activation ``post`` runs analytically on the exact accumulator,
+        then one rounding onto the output grid (``× inv_out``).
+        """
+        if post is None:
+            def run(src=src, acc=acc, m=m, b=b, low=low, high=high, out=out):
+                np.multiply(src, m, out=acc)
+                if b is not None:
+                    np.add(acc, b, out=acc)
+                np.rint(acc, out=acc)
+                np.clip(acc, low, high, out=acc)
+                np.copyto(out, acc, casting="unsafe")
+        else:
+            def run(src=src, acc=acc, m=m, b=b, low=low, high=high,
+                    post=post, ps=post_scr, inv=inv_out, out=out):
+                np.multiply(src, m, out=acc)
+                if b is not None:
+                    np.add(acc, b, out=acc)
+                post(acc, ps)
+                np.multiply(acc, inv, out=acc)
+                np.rint(acc, out=acc)
+                np.clip(acc, low, high, out=acc)
+                np.copyto(out, acc, casting="unsafe")
+        return run
+
+    def requant_params(s_in, sw_vec, bias, s_out, acc_shape, acc_dtype):
+        """(m_row, b_row, low, high, post, post_scr) for one GEMM boundary.
+
+        Direct activations fold into the multiplier and clip bounds;
+        curved ones keep the accumulator in the value domain (multiplier
+        ``s_in·s_w``, real bias) for the analytic float post-op.
+        """
+        direct, low, high, post = _act_requant(pn.act, s_out, levels)
+        target = s_out if direct else 1.0
+        m_row = (s_in * np.asarray(sw_vec, np.float64) / target) \
+            .astype(np.float32)
+        b_row = None if bias is None else \
+            (np.asarray(bias, np.float64) / target).astype(np.float32)
+        post_scr = None
+        if post is not None:
+            post_fn, needs_scratch = post
+            if needs_scratch:
+                post_scr = take(acc_shape, acc_dtype)
+            post = post_fn
+        return m_row, b_row, low, high, post, post_scr
+
+    # ----------------------------------------------------------- conv-like
+    if isinstance(spec, _FOLDABLE) and not isinstance(spec, ir.Linear):
+        module = executor.module_for(node.name)
+        w4, bias, stride_hw, padding, groups = _conv_geometry(module, node)
+        if pn.bn is not None:
+            w4, bias = _fold_bn_into(
+                w4, bias, executor.module_for(pn.bn.name))
+        nb, h, w, c = x_view.shape
+        nchw = (nb, c, h, w)
+        out_nchw, pads = _conv_out_shape(nchw, w4, stride_hw, padding, groups)
+        _, c_out, oh, ow = out_nchw
+        top, bottom, left, right = pads
+        c_g, kh, kw = w4.shape[1], w4.shape[2], w4.shape[3]
+        sh, sw = stride_hw
+        out_shape = (nb, oh, ow, c_out)
+
+        depthwise = groups == c and c_g == 1
+        pointwise = groups == 1 and kh == kw == 1 and not any(pads)
+        dense = groups == 1
+
+        if depthwise or pointwise or dense:
+            prep, xq, s_in = as_codes(x_view, x_repr)
+            s_out = _scale_for(amax, pn.out_name, levels)
+            wq, sw_vec = quantize_weights(w4, bits=bits, axis=0)
+
+            if depthwise:
+                w_lanes = wq.reshape(c, kh, kw).transpose(1, 2, 0) \
+                    .astype(np.float32)
+                pad_buf = None
+                if any(pads):
+                    pad_buf = arena.dedicate(np.zeros(
+                        (nb, h + top + bottom, w + left + right, c),
+                        dtype=np.int8))
+                    extra += pad_buf.nbytes
+                acc = take(out_shape, np.float32)
+                tap = take(out_shape, np.float32)
+                m_row, b_row, low, high, post, post_scr = requant_params(
+                    s_in, sw_vec, bias, s_out, out_shape, np.float32)
+                slab, out = arena.acquire(out_shape, np.int8)
+                req = requant_into(acc, acc, m_row, b_row, low, high, out,
+                                   post, post_scr, 1.0 / s_out)
+
+                def step(prep=prep, xq=xq, pad_buf=pad_buf, top=top,
+                         left=left, h=h, w=w, w_lanes=w_lanes,
+                         stride=(sh, sw), acc=acc, tap=tap, req=req):
+                    if prep is not None:
+                        prep()
+                    if pad_buf is not None:
+                        np.copyto(pad_buf[:, top:top + h, left:left + w, :],
+                                  xq)
+                        xp = pad_buf
+                    else:
+                        xp = xq
+                    F.depthwise_int8_nhwc(xp, w_lanes, stride, out=acc,
+                                          scratch=tap)
+                    req()
+
+                return done(step, (slab, out),
+                            _Repr("i8", s_out, pn.out_name), True)
+
+            if pointwise:
+                lane_dt = np.float32 if c <= F.INT8_EXACT_MAX_K \
+                    else np.float64
+                w_lanes = wq.reshape(c_out, c).T.astype(lane_dt)
+                m_total = nb * oh * ow
+                x_lanes = take((nb, oh, ow, c), lane_dt)
+                acc = take((m_total, c_out), lane_dt)
+                m_row, b_row, low, high, post, post_scr = requant_params(
+                    s_in, sw_vec, bias, s_out, (m_total, c_out), lane_dt)
+                slab, out = arena.acquire(out_shape, np.int8)
+                out2d = out.reshape(m_total, c_out)
+                src = xq if sh == sw == 1 \
+                    else xq[:, :oh * sh:sh, :ow * sw:sw, :]
+                req = requant_into(acc, acc, m_row, b_row, low, high, out2d,
+                                   post, post_scr, 1.0 / s_out)
+
+                def step(prep=prep, src=src, x_lanes=x_lanes,
+                         w_lanes=w_lanes, acc=acc, req=req,
+                         m_total=m_total, c=c):
+                    if prep is not None:
+                        prep()
+                    np.copyto(x_lanes, src)
+                    np.matmul(x_lanes.reshape(m_total, c), w_lanes, out=acc)
+                    req()
+
+                return done(step, (slab, out),
+                            _Repr("i8", s_out, pn.out_name), True)
+
+            # dense conv: im2col int8 GEMM
+            k_depth = kh * kw * c
+            lane_dt = np.float32 if k_depth <= F.INT8_EXACT_MAX_K \
+                else np.float64
+            w_lanes = wq.transpose(2, 3, 1, 0).reshape(k_depth, c_out) \
+                .astype(lane_dt)
+            pad_buf = None
+            xp_static = xq
+            if any(pads):
+                pad_buf = arena.dedicate(np.zeros(
+                    (nb, h + top + bottom, w + left + right, c),
+                    dtype=np.int8))
+                extra += pad_buf.nbytes
+                xp_static = pad_buf
+            m_total = nb * oh * ow
+            cols = take((m_total, k_depth), lane_dt)
+            acc = take((m_total, c_out), lane_dt)
+            m_row, b_row, low, high, post, post_scr = requant_params(
+                s_in, sw_vec, bias, s_out, (m_total, c_out), lane_dt)
+            slab, out = arena.acquire(out_shape, np.int8)
+            out2d = out.reshape(m_total, c_out)
+            req = requant_into(acc, acc, m_row, b_row, low, high, out2d,
+                               post, post_scr, 1.0 / s_out)
+
+            def step(prep=prep, xq=xq, pad_buf=pad_buf, top=top, left=left,
+                     h=h, w=w, xp=xp_static, kh=kh, kw=kw, stride=(sh, sw),
+                     cols=cols, w_lanes=w_lanes, acc=acc, req=req):
+                if prep is not None:
+                    prep()
+                if pad_buf is not None:
+                    np.copyto(pad_buf[:, top:top + h, left:left + w, :], xq)
+                F.im2col_int8_nhwc(xp, kh, kw, stride, out_cols=cols)
+                np.matmul(cols, w_lanes, out=acc)
+                req()
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_out, pn.out_name), True)
+
+        # grouped conv without an integer kernel: per-op float fallback
+        # (dequantize → NCHW float conv → back to NHWC float).
+        x_f = take(nchw, np.float32)
+        out_f = take(out_nchw, np.float32)
+        post, needs_scratch = (None, False) if pn.act is None \
+            else _act_post_op(pn.act.layer.fn)
+        post_scr = take(out_nchw, np.float32) if needs_scratch else None
+        slab, out = arena.acquire(out_shape, np.float32)
+
+        def step(x_view=x_view, x_repr=x_repr, x_f=x_f, w4=w4, bias=bias,
+                 stride=stride_hw, padding=padding, groups=groups,
+                 out_f=out_f, post=post, post_scr=post_scr, out=out):
+            src = x_view.transpose(0, 3, 1, 2)
+            if x_repr.kind == "i8":
+                np.multiply(src, x_repr.scale, out=x_f)
+            else:
+                np.copyto(x_f, src)
+            F.conv2d_infer(x_f, w4, bias, stride, padding, groups, out=out_f)
+            if post is not None:
+                post(out_f, post_scr)
+            np.copyto(out, out_f.transpose(0, 2, 3, 1))
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    # -------------------------------------------------------------- linear
+    if isinstance(spec, ir.Linear):
+        module = executor.module_for(node.name)
+        weight = module.weight.data
+        bias = module.bias.data if module.bias is not None else None
+        if pn.bn is not None:
+            weight, bias = _fold_bn_into(
+                weight, bias, executor.module_for(pn.bn.name))
+        c_out, k_depth = weight.shape
+        out_shape = (n, c_out)
+
+        # Linear layers stay float: int8 buys them nothing here (the
+        # GEMM already runs on the same BLAS lanes either way) and the
+        # classifier head is where PTQ error hurts top-1 agreement the
+        # most.  Counted as fallback steps.
+        wt = weight.T.astype(np.float32)
+        post, needs_scratch = (None, False) if pn.act is None \
+            else _act_post_op(pn.act.layer.fn)
+        post_scr = take(out_shape, np.float32) if needs_scratch else None
+        x_f = take(x_view.shape, np.float32) \
+            if x_repr.kind == "i8" else None
+        slab, out = arena.acquire(out_shape, np.float32)
+
+        def step(x_view=x_view, x_repr=x_repr, x_f=x_f, wt=wt,
+                 bias=bias, out=out, post=post, post_scr=post_scr):
+            if x_f is not None:
+                np.multiply(x_view, x_repr.scale, out=x_f)
+                src = x_f
+            else:
+                src = x_view
+            np.matmul(src, wt, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+            if post is not None:
+                post(out, post_scr)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    # ---------------------------------------------------------- batch norm
+    if isinstance(spec, ir.BatchNorm):
+        module = executor.module_for(node.name)
+        scale, shift = module.inference_scale_shift()
+        if x_repr.kind == "i8":
+            s_in = x_repr.scale
+            s_out = _scale_for(amax, pn.out_name, levels)
+            acc = take(x_view.shape, np.float32)
+            m_row, b_row, low, high, post, post_scr = requant_params(
+                s_in, scale, shift, s_out, x_view.shape, np.float32)
+            slab, out = arena.acquire(x_view.shape, np.int8)
+            req = requant_into(x_view, acc, m_row, b_row, low, high, out,
+                               post, post_scr, 1.0 / s_out)
+            return done(req, (slab, out),
+                        _Repr("i8", s_out, pn.out_name), True)
+
+        post, needs_scratch = (None, False) if pn.act is None \
+            else _act_post_op(pn.act.layer.fn)
+        post_scr = take(x_view.shape, np.float32) if needs_scratch else None
+        scale_row = scale.astype(np.float32)
+        shift_row = shift.astype(np.float32)
+        slab, out = arena.acquire(x_view.shape, np.float32)
+
+        def step(x=x_view, scale_row=scale_row, shift_row=shift_row,
+                 out=out, post=post, post_scr=post_scr):
+            np.multiply(x, scale_row, out=out)
+            np.add(out, shift_row, out=out)
+            if post is not None:
+                post(out, post_scr)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    # ---------------------------------------------------------- activation
+    if isinstance(spec, ir.Activation):
+        if x_repr.kind == "i8":
+            s_out = _scale_for(amax, pn.out_name, levels)
+            lut = lut_uint8_order(activation_lut(
+                F.ACTIVATIONS_INFER[spec.fn], x_repr.scale, s_out, bits))
+            slab, out = arena.acquire(x_view.shape, np.int8)
+
+            def step(x=x_view, lut=lut, out=out):
+                np.take(lut, x.reshape(-1).view(np.uint8),
+                        out=out.reshape(-1))
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_out, pn.out_name), True)
+
+        fn = F.ACTIVATIONS_INFER[spec.fn]
+        slab, out = arena.acquire(x_view.shape, np.float32)
+
+        def step(x=x_view, fn=fn, out=out):
+            np.copyto(out, fn(x))
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    # ------------------------------------------------------ squeeze-excite
+    if isinstance(spec, ir.SqueezeExcite):
+        module = executor.module_for(node.name)
+        w1, b1 = module.fc1.weight.data, module.fc1.bias.data
+        w2, b2 = module.fc2.weight.data, module.fc2.bias.data
+        nb, h, w, c = x_view.shape
+        hid = w1.shape[0]
+        pool = take((nb, c), np.float32)
+        hidden = take((nb, hid), np.float32)
+        gate = take((nb, c), np.float32)
+        scr = take(x_view.shape, np.float32)
+
+        if x_repr.kind == "i8":
+            s_in = x_repr.scale
+            slab, out = arena.acquire(x_view.shape, np.int8)
+
+            def step(xq=x_view, pool=pool, hidden=hidden, gate=gate,
+                     scr=scr, out=out, w1=w1, b1=b1, w2=w2, b2=b2,
+                     mean_scale=s_in / (h * w)):
+                # Gate computed in float from dequantized channel means;
+                # output keeps the input scale, so the excite multiply
+                # stays on the codes (gate ∈ [0, 1] cannot overflow).
+                np.sum(xq, axis=(1, 2), out=pool)
+                np.multiply(pool, mean_scale, out=pool)
+                F.linear_infer(pool, w1, b1, out=hidden)
+                np.maximum(hidden, 0.0, out=hidden)
+                F.linear_infer(hidden, w2, b2, out=gate)
+                np.add(gate, 3.0, out=gate)
+                np.clip(gate, 0.0, 6.0, out=gate)
+                np.multiply(gate, 1.0 / 6.0, out=gate)
+                np.multiply(xq, gate[:, None, None, :], out=scr)
+                np.rint(scr, out=scr)
+                np.copyto(out, scr, casting="unsafe")
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_in, pn.out_name), True)
+
+        slab, out = arena.acquire(x_view.shape, np.float32)
+
+        def step(x=x_view, pool=pool, hidden=hidden, gate=gate, out=out,
+                 w1=w1, b1=b1, w2=w2, b2=b2, inv_hw=1.0 / (h * w)):
+            np.sum(x, axis=(1, 2), out=pool)
+            np.multiply(pool, inv_hw, out=pool)
+            F.linear_infer(pool, w1, b1, out=hidden)
+            np.maximum(hidden, 0.0, out=hidden)
+            F.linear_infer(hidden, w2, b2, out=gate)
+            np.add(gate, 3.0, out=gate)
+            np.clip(gate, 0.0, 6.0, out=gate)
+            np.multiply(gate, 1.0 / 6.0, out=gate)
+            np.multiply(x, gate[:, None, None, :], out=out)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    # ------------------------------------------------------------ plumbing
+    if isinstance(spec, ir.Add):
+        if all(rep.kind == "i8" for _, rep in entries):
+            s_out = _scale_for(amax, pn.out_name, levels)
+            direct, low, high, post = _act_requant(pn.act, s_out, levels)
+            target = s_out if direct else 1.0
+            factors = [rep.scale / target for _, rep in entries]
+            views = [v for v, _ in entries]
+            acc = take(x_view.shape, np.float32)
+            tmp = take(x_view.shape, np.float32)
+            post_scr = None
+            if post is not None:
+                post_fn, needs_scratch = post
+                if needs_scratch:
+                    post_scr = take(x_view.shape, np.float32)
+                post = post_fn
+            slab, out = arena.acquire(x_view.shape, np.int8)
+
+            if post is None:
+                def tail(acc=acc, low=low, high=high, out=out):
+                    np.rint(acc, out=acc)
+                    np.clip(acc, low, high, out=acc)
+                    np.copyto(out, acc, casting="unsafe")
+            else:
+                def tail(acc=acc, low=low, high=high, post=post,
+                         ps=post_scr, inv=1.0 / s_out, out=out):
+                    post(acc, ps)
+                    np.multiply(acc, inv, out=acc)
+                    np.rint(acc, out=acc)
+                    np.clip(acc, low, high, out=acc)
+                    np.copyto(out, acc, casting="unsafe")
+
+            def step(views=tuple(views), factors=tuple(factors), acc=acc,
+                     tmp=tmp, tail=tail):
+                np.multiply(views[0], factors[0], out=acc)
+                for v, f in zip(views[1:], factors[1:]):
+                    np.multiply(v, f, out=tmp)
+                    np.add(acc, tmp, out=acc)
+                tail()
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_out, pn.out_name), True)
+
+        # mixed-representation add: float fallback
+        post, needs_scratch = (None, False) if pn.act is None \
+            else _act_post_op(pn.act.layer.fn)
+        post_scr = take(x_view.shape, np.float32) if needs_scratch else None
+        tmp = take(x_view.shape, np.float32)
+        slab, out = arena.acquire(x_view.shape, np.float32)
+
+        def step(entries=tuple(entries), tmp=tmp, out=out, post=post,
+                 post_scr=post_scr):
+            first_v, first_r = entries[0]
+            if first_r.kind == "i8":
+                np.multiply(first_v, first_r.scale, out=out)
+            else:
+                np.copyto(out, first_v)
+            for v, rep in entries[1:]:
+                if rep.kind == "i8":
+                    np.multiply(v, rep.scale, out=tmp)
+                    np.add(out, tmp, out=out)
+                else:
+                    np.add(out, v, out=out)
+            if post is not None:
+                post(out, post_scr)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    if isinstance(spec, ir.Concat):
+        channels = sum(v.shape[-1] for v, _ in entries)
+        out_shape = x_view.shape[:-1] + (channels,)
+        if all(rep.kind == "i8" for _, rep in entries):
+            s_out = _scale_for(amax, pn.out_name, levels)
+            scr = take(out_shape, np.float32)
+            slab, out = arena.acquire(out_shape, np.int8)
+            pieces = []
+            offset = 0
+            for v, rep in entries:
+                ci = v.shape[-1]
+                pieces.append((v, rep.scale / s_out, offset, offset + ci))
+                offset += ci
+
+            def step(pieces=tuple(pieces), scr=scr, out=out, lv=levels):
+                for v, f, a, b in pieces:
+                    if f == 1.0:
+                        np.copyto(out[..., a:b], v)
+                    else:
+                        s = scr[..., a:b]
+                        np.multiply(v, f, out=s)
+                        np.rint(s, out=s)
+                        np.clip(s, -lv, lv, out=s)
+                        np.copyto(out[..., a:b], s, casting="unsafe")
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_out, pn.out_name), True)
+
+        slab, out = arena.acquire(out_shape, np.float32)
+        pieces = []
+        offset = 0
+        for v, rep in entries:
+            ci = v.shape[-1]
+            pieces.append((v, rep, offset, offset + ci))
+            offset += ci
+
+        def step(pieces=tuple(pieces), out=out):
+            for v, rep, a, b in pieces:
+                if rep.kind == "i8":
+                    np.multiply(v, rep.scale, out=out[..., a:b])
+                else:
+                    np.copyto(out[..., a:b], v)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    if isinstance(spec, ir.ChannelSplit):
+        start, stop = spec.start, spec.stop
+        out_shape = x_view.shape[:-1] + (stop - start,)
+        native = x_repr.kind == "i8"
+        slab, out = arena.acquire(out_shape,
+                                  np.int8 if native else np.float32)
+
+        def step(x=x_view, start=start, stop=stop, out=out):
+            np.copyto(out, x[..., start:stop])
+
+        rep = _Repr(x_repr.kind, x_repr.scale, pn.out_name)
+        return done(step, (slab, out), rep, native)
+
+    if isinstance(spec, ir.GlobalAvgPool):
+        nb, h, w, c = x_view.shape
+        slab, out = arena.acquire((nb, c), np.float32)
+        if x_repr.kind == "i8":
+            def step(xq=x_view, out=out,
+                     mean_scale=x_repr.scale / (h * w)):
+                np.sum(xq, axis=(1, 2), out=out)
+                np.multiply(out, mean_scale, out=out)
+
+            return done(step, (slab, out),
+                        _Repr("f32", name=pn.out_name), True)
+
+        def step(x=x_view, out=out, inv_hw=1.0 / (h * w)):
+            np.sum(x, axis=(1, 2), out=out)
+            np.multiply(out, inv_hw, out=out)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    if isinstance(spec, ir.Flatten):
+        if x_view.ndim == 2:
+            native = x_repr.kind == "i8"
+            slab, out = arena.acquire(x_view.shape,
+                                      np.int8 if native else np.float32)
+
+            def step(x=x_view, out=out):
+                np.copyto(out, x)
+
+            rep = _Repr(x_repr.kind, x_repr.scale, pn.out_name)
+            return done(step, (slab, out), rep, native)
+
+        # Flatten of a 4-d map follows NCHW semantic order: dequantize
+        # (if needed) through a transposed view.
+        nb, h, w, c = x_view.shape
+        flat = (nb, c * h * w)
+        slab, out = arena.acquire(flat, np.float32)
+        out4 = out.reshape(nb, c, h, w)
+        if x_repr.kind == "i8":
+            def step(x=x_view, out4=out4, s=x_repr.scale):
+                np.multiply(x.transpose(0, 3, 1, 2), s, out=out4)
+        else:
+            def step(x=x_view, out4=out4):
+                np.copyto(out4, x.transpose(0, 3, 1, 2))
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name),
+                    x_repr.kind == "i8")
+
+    if isinstance(spec, ir.Pool2D):
+        kh, kw = spec.kernel_hw
+        sh, sw = spec.stride_hw
+        nb, h, w, c = x_view.shape
+        top, bottom, left, right = _pad_amounts(h, w, kh, kw, sh, sw,
+                                                spec.padding)
+        if spec.op == "avg" and any((top, bottom, left, right)):
+            raise NotImplementedError(
+                "padded average pooling is not executable; use padding=0")
+        oh = (h + top + bottom - kh) // sh + 1
+        ow = (w + left + right - kw) // sw + 1
+        out_shape = (nb, oh, ow, c)
+
+        def nhwc_windows(xp):
+            s0, s1, s2, s3 = xp.strides
+            return np.lib.stride_tricks.as_strided(
+                xp, shape=(nb, oh, ow, kh, kw, c),
+                strides=(s0, s1 * sh, s2 * sw, s1, s2, s3),
+                writeable=False)
+
+        if x_repr.kind == "i8":
+            s_in = x_repr.scale
+            if spec.op == "avg":
+                s_out = _scale_for(amax, pn.out_name, levels)
+                acc = take(out_shape, np.float32)
+                slab, out = arena.acquire(out_shape, np.int8)
+                win = nhwc_windows(x_view)
+                req = requant_into(
+                    acc, acc,
+                    np.float32(s_in / (kh * kw) / s_out), None,
+                    -levels, levels, out)
+
+                def step(win=win, acc=acc, req=req):
+                    np.sum(win, axis=(3, 4), out=acc)
+                    req()
+
+                return done(step, (slab, out),
+                            _Repr("i8", s_out, pn.out_name), True)
+
+            # max: order-preserving on codes — same scale in and out.
+            pad_buf = None
+            xp_static = x_view
+            if any((top, bottom, left, right)):
+                pad_buf = arena.dedicate(np.full(
+                    (nb, h + top + bottom, w + left + right, c), -128,
+                    dtype=np.int8))
+                extra += pad_buf.nbytes
+                xp_static = pad_buf
+            win = nhwc_windows(xp_static)
+            slab, out = arena.acquire(out_shape, np.int8)
+
+            def step(x=x_view, pad_buf=pad_buf, top=top, left=left, h=h,
+                     w=w, win=win, out=out):
+                if pad_buf is not None:
+                    np.copyto(pad_buf[:, top:top + h, left:left + w, :], x)
+                np.max(win, axis=(3, 4), out=out)
+
+            return done(step, (slab, out),
+                        _Repr("i8", s_in, pn.out_name), True)
+
+        # float fallback pooling (NHWC)
+        pad_buf = None
+        xp_static = x_view
+        if any((top, bottom, left, right)):
+            fill = 0.0 if spec.op == "avg" else -np.inf
+            pad_buf = arena.dedicate(np.full(
+                (nb, h + top + bottom, w + left + right, c), fill,
+                dtype=np.float32))
+            extra += pad_buf.nbytes
+            xp_static = pad_buf
+        win = nhwc_windows(xp_static)
+        slab, out = arena.acquire(out_shape, np.float32)
+        if spec.op == "avg":
+            def step(win=win, out=out, inv=1.0 / (kh * kw)):
+                np.sum(win, axis=(3, 4), out=out)
+                np.multiply(out, inv, out=out)
+        else:
+            def step(x=x_view, pad_buf=pad_buf, top=top, left=left, h=h,
+                     w=w, win=win, out=out):
+                if pad_buf is not None:
+                    np.copyto(pad_buf[:, top:top + h, left:left + w, :], x)
+                np.max(win, axis=(3, 4), out=out)
+
+        return done(step, (slab, out), _Repr("f32", name=pn.out_name), False)
+
+    raise NotImplementedError(
+        f"no int8 compiled op for {node.kind} ({node.name})")

@@ -675,3 +675,198 @@ ACTIVATIONS_INFER = {
     "sigmoid": sigmoid_infer,
     "swish": swish_infer,
 }
+
+
+# ----------------------------------------------------- int8 inference kernels
+#
+# Integer kernels for the quantized compiled runtime
+# (``CompileConfig.int8()``).  Operands are genuine int8 codes
+# (symmetric, zero-point 0); products are accumulated to int32-valued
+# results.  The accumulation itself runs on float32 BLAS lanes: a
+# float32 mantissa holds every integer up to 2**24 exactly, so an int8
+# GEMM with reduction depth K satisfying K * 127**2 <= 2**24 (K <= 1040)
+# produces the *bit-exact* int32 accumulator while running at BLAS
+# speed — pure integer-dtype einsum/matmul is 20-50x slower in numpy.
+# Deeper reductions fall back to float64 lanes (exact up to 2**53).
+# ``int8_matmul_ref`` / ``depthwise_int8_ref_nhwc`` are the true
+# integer-dtype references; bit-equality of the float-lane kernels
+# against them is regression-tested in ``tests/nn/test_int8_kernels.py``.
+#
+# Layout: the int8 plan is channels-last (NHWC) internally — contiguous
+# SIMD passes over the channel axis make the depthwise tap loop ~2.7x
+# faster than the float plan's NCHW windowed einsum on the paper
+# networks' layer shapes.
+
+#: Largest reduction depth for which float32 lanes accumulate an int8
+#: GEMM exactly (K * 127**2 <= 2**24).
+INT8_EXACT_MAX_K = 1040
+
+#: Symmetric int8 code range: [-127, 127] (−128 is never produced).
+INT8_LEVELS = 127
+
+
+def quantize_to_int8(
+    x: np.ndarray,
+    inv_scale: float,
+    *,
+    out: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``clip(round(x * inv_scale))`` → int8 codes, via a float scratch."""
+    if scratch is None:
+        scratch = np.empty(x.shape, np.float32)
+    np.multiply(x, inv_scale, out=scratch)
+    np.rint(scratch, out=scratch)
+    np.clip(scratch, -INT8_LEVELS, INT8_LEVELS, out=scratch)
+    np.copyto(out, scratch, casting="unsafe")
+    return out
+
+
+def dequantize_int8(
+    q: np.ndarray, scale, *, out: np.ndarray
+) -> np.ndarray:
+    """``q * scale`` → float; ``scale`` may broadcast per channel (last axis)."""
+    np.multiply(q, scale, out=out)
+    return out
+
+
+def requantize_int8(
+    acc: np.ndarray,
+    multiplier: np.ndarray,
+    bias: Optional[np.ndarray],
+    *,
+    out: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+    low: int = -INT8_LEVELS,
+    high: int = INT8_LEVELS,
+) -> np.ndarray:
+    """Rescale an int32-valued accumulator to int8 output codes.
+
+    ``q = clip(round(acc * multiplier + bias), low, high)`` with
+    ``multiplier``/``bias`` broadcasting per output channel (last axis).
+    A fused ReLU is ``low=0``; relu6 additionally lowers ``high`` to
+    ``round(6 / output_scale)``.  Writes int8 into ``out``.
+    """
+    scr = acc if scratch is None else scratch
+    np.multiply(acc, multiplier, out=scr)
+    if bias is not None:
+        np.add(scr, bias, out=scr)
+    np.rint(scr, out=scr)
+    np.clip(scr, low, high, out=scr)
+    np.copyto(out, scr, casting="unsafe")
+    return out
+
+
+def int8_lut_gather(
+    q: np.ndarray, lut_u8_order: np.ndarray, *, out: np.ndarray
+) -> np.ndarray:
+    """One-gather activation: ``out[i] = lut[q[i]]`` for int8 codes.
+
+    ``lut_u8_order`` must be ordered for the uint8 *reinterpretation* of
+    the code (see :func:`repro.nn.quantize.activation_lut` and
+    ``lut_uint8_order``) so the whole nonlinearity is a single
+    ``np.take`` instead of 4–6 elementwise float passes.
+    """
+    np.take(lut_u8_order, q.reshape(-1).view(np.uint8), out=out.reshape(-1))
+    return out
+
+
+def int8_matmul(
+    xq: np.ndarray,
+    w_lanes: np.ndarray,
+    *,
+    out: np.ndarray,
+    x_lanes: np.ndarray,
+) -> np.ndarray:
+    """Int8 GEMM ``xq (M, K) @ w_lanes (K, O)`` on float lanes.
+
+    ``w_lanes`` holds the int8 weight *codes* widened to float32 (or
+    float64 when ``K > INT8_EXACT_MAX_K``); ``x_lanes``/``out`` are
+    caller-provided buffers of the same float dtype.  The result is the
+    bit-exact int32 accumulator value, represented in float.
+    """
+    np.copyto(x_lanes, xq)
+    np.matmul(x_lanes, w_lanes, out=out)
+    return out
+
+
+def int8_matmul_ref(xq: np.ndarray, wq: np.ndarray) -> np.ndarray:
+    """True integer-dtype reference GEMM: int8 × int8 → int32 (slow)."""
+    return xq.astype(np.int32) @ wq.astype(np.int32)
+
+
+def depthwise_int8_nhwc(
+    xp: np.ndarray,
+    w_lanes: np.ndarray,
+    stride: Tuple[int, int],
+    *,
+    out: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Depthwise conv over padded int8 NHWC input via a per-tap loop.
+
+    ``xp`` is ``(N, H+pad, W+pad, C)`` int8; ``w_lanes`` is ``(KH, KW,
+    C)`` float32 weight codes.  Each tap is one contiguous
+    multiply-accumulate pass over the channel axis (numpy widens the
+    int8 operand in-loop — measured as fast as a separate cast pass).
+    Also covers the FuSe 1-D stages (``KH == 1`` or ``KW == 1``).  The
+    float32 ``out`` holds the exact int32-valued accumulator (each tap
+    product ≤ 127², at most KH·KW ≤ 49 summands).
+    """
+    kh, kw, _ = w_lanes.shape
+    sh, sw = stride
+    oh, ow = out.shape[1], out.shape[2]
+    first = True
+    for i in range(kh):
+        for j in range(kw):
+            src = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+            if first:
+                np.multiply(src, w_lanes[i, j], out=out)
+                first = False
+            else:
+                np.multiply(src, w_lanes[i, j], out=scratch)
+                np.add(out, scratch, out=out)
+    return out
+
+
+def depthwise_int8_ref_nhwc(
+    xp: np.ndarray, wq: np.ndarray, stride: Tuple[int, int], oh: int, ow: int
+) -> np.ndarray:
+    """True integer-dtype depthwise reference: int8 × int8 → int32 (slow)."""
+    kh, kw, c = wq.shape
+    sh, sw = stride
+    n = xp.shape[0]
+    acc = np.zeros((n, oh, ow, c), np.int32)
+    for i in range(kh):
+        for j in range(kw):
+            src = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+            acc += src.astype(np.int32) * wq[i, j].astype(np.int32)
+    return acc
+
+
+def im2col_int8_nhwc(
+    xp: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    *,
+    out_cols: np.ndarray,
+) -> np.ndarray:
+    """Gather padded int8 NHWC input into GEMM columns.
+
+    ``out_cols`` is ``(N*OH*OW, KH*KW*C)`` float lanes; the strided
+    window view is materialized (and widened) by a single ``copyto``.
+    """
+    n, hp, wp, c = xp.shape
+    sh, sw = stride
+    oh = (hp - kh) // sh + 1
+    ow = (wp - kw) // sw + 1
+    s0, s1, s2, s3 = xp.strides
+    win = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(s0, s1 * sh, s2 * sw, s1, s2, s3),
+        writeable=False,
+    )
+    np.copyto(out_cols.reshape(n, oh, ow, kh, kw, c), win)
+    return out_cols

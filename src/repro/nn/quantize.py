@@ -1,20 +1,37 @@
-"""Post-training weight quantization (extension).
+"""Post-training quantization (PTQ) for the compiled runtime.
 
 The paper runs FP16 end to end; production systolic accelerators (TPUv1
-class) run int8.  This module provides symmetric linear weight
-quantization in the "fake-quant" style: weights are rounded to the
-``bits``-bit integer grid and immediately dequantized, so the regular
-float kernels evaluate the quantized network — the standard way to
-measure post-training-quantization accuracy without integer kernels.
+class) run int8.  This module has grown from weight-only "fake quant"
+(round to the integer grid, dequantize immediately, evaluate with float
+kernels) into the full PTQ toolbox the compiled int8 runtime
+(``repro.nn.compile`` / ``CompileConfig.int8()``) is built on:
 
-Only weights are quantized (weight-only PTQ); activations stay in the
-model's float dtype.
+* :func:`quantize_array` / :func:`fake_quantize_model` — the original
+  fake-quant API, kept backward compatible (used to *measure* PTQ
+  accuracy without integer kernels);
+* :func:`quantize_weights` — real integer weight quantization:
+  per-channel symmetric int8 codes plus the per-channel scale vector,
+  applied to *folded* (Conv+BN) weights at compile time;
+* :class:`ActivationObserver` / :func:`observe_plan` — activation range
+  calibration: run a few batches through the float plan and record
+  per-step max-abs ranges, from which per-tensor activation scales are
+  derived;
+* :class:`QuantParams` — the requantization parameters of one op
+  boundary (input scale, per-channel weight scale, output scale) and the
+  reference int32→int8 rescale;
+* :func:`activation_lut` — a 256-entry int8→int8 lookup table that fuses
+  a nonlinear activation with requantization.
+
+Symmetric quantization everywhere (zero-point 0): codes live in
+[-levels, +levels] with ``levels = 2**(bits-1) - 1`` (±127 for int8), so
+an int8×int8 product never overflows int16 and a K-deep dot product fits
+int32 for any realistic K.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +51,39 @@ class QuantizationScale:
         return 2 ** (self.bits - 1) - 1
 
 
+def _validate_bits(bits: int) -> int:
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+def _validate_axis(values: np.ndarray, axis: int) -> int:
+    """Normalize ``axis`` for per-channel quantization, or raise clearly."""
+    if not -values.ndim <= axis < values.ndim:
+        raise ValueError(
+            f"per-channel axis {axis} is out of range for a {values.ndim}-d "
+            f"array of shape {values.shape}; pass axis=None for per-tensor"
+        )
+    return axis % values.ndim
+
+
+def _symmetric_scale(
+    values: np.ndarray, levels: int, axis: Optional[int]
+) -> np.ndarray:
+    """Max-abs / levels, with degenerate (all-zero) ranges mapped to 1.0.
+
+    A scale of exactly 1.0 on an all-zero channel keeps the quantizer a
+    no-op there (0 / 1.0 rounds to 0, dequantizes to 0) instead of
+    dividing by zero.
+    """
+    if axis is None:
+        max_abs = np.max(np.abs(values)) if values.size else 0.0
+        return np.asarray(max_abs / levels if max_abs > 0 else 1.0, dtype=np.float64)
+    reduce_axes = tuple(d for d in range(values.ndim) if d != axis)
+    max_abs = np.max(np.abs(values), axis=reduce_axes, keepdims=True)
+    return np.where(max_abs > 0, max_abs / levels, 1.0)
+
+
 def quantize_array(
     values: np.ndarray, bits: int = 8, axis: Optional[int] = 0
 ) -> Tuple[np.ndarray, QuantizationScale]:
@@ -43,25 +93,46 @@ def quantize_array(
         values: float array.
         bits: integer width (2–16).
         axis: per-channel axis (output-channel convention), or None for a
-            single per-tensor scale.
+            single per-tensor scale.  Out-of-range axes raise
+            ``ValueError`` (negative axes follow numpy convention).
 
     Returns:
         (quantize-dequantized values, the scale metadata).
     """
-    if not 2 <= bits <= 16:
-        raise ValueError(f"bits must be in [2, 16], got {bits}")
-    levels = 2 ** (bits - 1) - 1
-    if axis is None:
-        max_abs = np.max(np.abs(values))
-        scale = np.asarray(max_abs / levels if max_abs > 0 else 1.0)
-    else:
-        reduce_axes = tuple(d for d in range(values.ndim) if d != axis)
-        max_abs = np.max(np.abs(values), axis=reduce_axes, keepdims=True)
-        scale = np.where(max_abs > 0, max_abs / levels, 1.0)
+    levels = _validate_bits(bits)
+    if axis is not None:
+        axis = _validate_axis(values, axis)
+    scale = _symmetric_scale(values, levels, axis)
     q = np.clip(np.round(values / scale), -levels, levels)
     return (q * scale).astype(values.dtype), QuantizationScale(
         scale=np.squeeze(scale), bits=bits, axis=axis
     )
+
+
+def quantize_weights(
+    values: np.ndarray, bits: int = 8, axis: Optional[int] = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Real integer weight quantization (not fake-quant).
+
+    Returns ``(codes, scale)`` where ``codes`` is an int8 (bits ≤ 8) or
+    int16 array of quantized levels in [-levels, +levels] and ``scale``
+    is the float64 dequantization factor — scalar for per-tensor, or a
+    vector of length ``values.shape[axis]`` for per-channel — such that
+    ``codes * scale ≈ values`` (broadcast over ``axis``).
+
+    This is the form the compiled int8 runtime stores: codes feed the
+    integer GEMM, the scale folds into the requantization multiplier.
+    """
+    levels = _validate_bits(bits)
+    if axis is not None:
+        axis = _validate_axis(values, axis)
+    scale = _symmetric_scale(values, levels, axis)
+    dtype = np.int8 if bits <= 8 else np.int16
+    codes = np.clip(np.round(values / scale), -levels, levels).astype(dtype)
+    if axis is None:
+        return codes, np.float64(scale)
+    flat = np.reshape(scale, -1).astype(np.float64)
+    return codes, flat
 
 
 def fake_quantize_model(
@@ -100,3 +171,170 @@ def quantization_error(model: Module, bits: int = 8) -> float:
             continue
         errors.append(float(np.linalg.norm(quantized - param.data)) / denom)
     return float(np.mean(errors)) if errors else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Activation range calibration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ActivationObserver:
+    """Tracks the max-abs dynamic range of one tensor over calibration data.
+
+    Symmetric (max-abs) observation: the activation scale for ``bits``
+    is ``amax / levels``.  An observer that never saw data (or only saw
+    zeros) yields scale 1.0, keeping quantization a no-op on that path.
+    """
+
+    name: str = ""
+    amax: float = 0.0
+    batches: int = 0
+
+    def update(self, values: np.ndarray) -> None:
+        if values.size:
+            self.amax = max(self.amax, float(np.max(np.abs(values))))
+        self.batches += 1
+
+    def scale(self, bits: int = 8) -> float:
+        levels = _validate_bits(bits)
+        return self.amax / levels if self.amax > 0 else 1.0
+
+
+def observe_plan(
+    plan: "InferencePlanLike", batches: Iterable[np.ndarray]
+) -> Dict[str, ActivationObserver]:
+    """Calibrate activation ranges by running batches through a float plan.
+
+    ``plan`` must expose ``step_observers(callback)`` — the compiled
+    :class:`repro.nn.compile.InferencePlan` does — where ``callback``
+    receives ``(step_name, output_view)`` immediately after each step
+    executes (arena buffers are reused *between* steps, never during, so
+    observing right after a step sees exactly that step's output).  The
+    plan input is observed under the reserved name ``"__input__"``.
+
+    Returns per-step observers keyed by step output name.
+    """
+    observers: Dict[str, ActivationObserver] = {}
+
+    def observe(name: str, values: np.ndarray) -> None:
+        obs = observers.get(name)
+        if obs is None:
+            obs = observers[name] = ActivationObserver(name=name)
+        obs.update(values)
+
+    for batch in batches:
+        observe("__input__", np.asarray(batch))
+        plan.run_observed(batch, observe)
+    return observers
+
+
+class InferencePlanLike:  # pragma: no cover - typing aid only
+    """Protocol stand-in: anything with ``run_observed(x, callback)``."""
+
+    def run_observed(
+        self, x: np.ndarray, callback: Callable[[str, np.ndarray], None]
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Requantization parameters (one op boundary)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale/zero-point bundle for one quantized op boundary.
+
+    Symmetric quantization fixes every zero-point at 0; what remains is
+    the int32→int8 rescale: an int32 accumulator ``acc`` of an
+    int8 GEMM represents the real value ``acc * input_scale *
+    weight_scale[c]``, so requantizing to the output grid is
+
+        q_out = clip(round(acc * multiplier[c] + bias_terms), -127, 127)
+
+    with ``multiplier[c] = input_scale * weight_scale[c] / output_scale``.
+    """
+
+    input_scale: float
+    weight_scale: np.ndarray  # per-output-channel vector (or scalar array)
+    output_scale: float
+    bits: int = 8
+    zero_point: int = 0  # always 0 for symmetric quantization
+
+    @property
+    def levels(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def accumulator_scale(self) -> np.ndarray:
+        """Real value of one accumulator unit, per output channel."""
+        return np.asarray(self.input_scale * np.asarray(self.weight_scale))
+
+    @property
+    def multiplier(self) -> np.ndarray:
+        """int32→int8 rescale factor, per output channel."""
+        return self.accumulator_scale / self.output_scale
+
+    def requantize(self, acc: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reference int32→int8 rescale (used by tests and fallbacks).
+
+        ``acc`` is the integer accumulator laid out channels-last; an
+        optional float ``bias`` (real-valued, per channel) is added in
+        the real domain before rescaling.
+        """
+        real = acc * self.accumulator_scale
+        if bias is not None:
+            real = real + bias
+        q = np.rint(real / self.output_scale)
+        return np.clip(q, -self.levels, self.levels).astype(np.int8)
+
+
+def activation_lut(
+    fn: Callable[[np.ndarray], np.ndarray],
+    input_scale: float,
+    output_scale: float,
+    bits: int = 8,
+) -> np.ndarray:
+    """256-entry int8→int8 table fusing an activation with requantization.
+
+    ``lut[q + 128]`` maps an input code ``q`` (value ``q * input_scale``)
+    to ``clip(round(fn(q * input_scale) / output_scale))``.  Indexing by
+    ``q + 128`` (cast through uint8 view semantics) lets the kernel do a
+    single ``np.take`` per tensor instead of 4–6 elementwise float
+    passes for hard-swish and friends.
+    """
+    levels = _validate_bits(bits)
+    if bits > 8:
+        raise ValueError("activation_lut supports bits <= 8 (int8 codes)")
+    codes = np.arange(-128, 128, dtype=np.float64)
+    real = fn(codes * input_scale)
+    q = np.clip(np.rint(real / output_scale), -levels, levels)
+    return q.astype(np.int8)
+
+
+def lut_uint8_order(lut: np.ndarray) -> np.ndarray:
+    """Reorder a ``lut[q + 128]`` table for uint8-reinterpreted indexing.
+
+    The kernel gathers with ``np.take(table, q.view(np.uint8))`` — one
+    pass, no index-offset add — which reads entry ``q mod 256``.  That
+    ordering is the signed table rolled by 128.
+    """
+    if lut.shape != (256,):
+        raise ValueError(f"expected a 256-entry LUT, got shape {lut.shape}")
+    return np.concatenate([lut[128:], lut[:128]])
+
+
+__all__ = [
+    "QuantizationScale",
+    "quantize_array",
+    "quantize_weights",
+    "fake_quantize_model",
+    "quantization_error",
+    "ActivationObserver",
+    "observe_plan",
+    "QuantParams",
+    "activation_lut",
+    "lut_uint8_order",
+]

@@ -81,6 +81,7 @@ def array_dict(array) -> Dict[str, object]:
         "broadcast": array.broadcast,
         "dataflow": array.dataflow,
         "frequency_mhz": array.frequency_mhz,
+        "datawidth": getattr(array, "datawidth", 16),
         "pipelined_folds": array.pipelined_folds,
     }
 

@@ -45,6 +45,7 @@ class Batch:
     key: ModelKey
     items: List[Pending]
     planned_size: int            # what the cost model allowed
+    int8: bool = False           # plan flavor every item opted into
     formed_at: float = field(default_factory=time.monotonic)
 
     def __len__(self) -> int:
@@ -59,18 +60,29 @@ class Batch:
         return [p.request for p in self.items]
 
 
-class PendingStore:
-    """Per-key FIFO lanes plus a priority heap over the lane heads.
+def lane_key(request: InferenceRequest) -> tuple:
+    """The coalescing key of one request: model identity plus plan flavor.
 
-    The heap holds one entry per *enqueued request* — ``(priority,
-    deadline, seq, key)`` — with lazy deletion: entries whose lane has
-    already been drained by an earlier batch are skipped on pop.  This
-    keeps both enqueue and pop O(log n) without ever moving requests
-    between structures.
+    Int8 and float requests for the same model are *not* batch-compatible
+    (their outputs differ), so the flavor rides in the lane key and the
+    scheduler treats the whole tuple opaquely.
+    """
+    return (request.key, request.int8)
+
+
+class PendingStore:
+    """Per-lane FIFO queues plus a priority heap over the lane heads.
+
+    Lanes are keyed by :func:`lane_key` — the :class:`ModelKey` plus the
+    plan flavor.  The heap holds one entry per *enqueued request* —
+    ``(priority, deadline, seq, lane)`` — with lazy deletion: entries
+    whose lane has already been drained by an earlier batch are skipped
+    on pop.  This keeps both enqueue and pop O(log n) without ever
+    moving requests between structures.
     """
 
     def __init__(self) -> None:
-        self._lanes: Dict[ModelKey, Deque[Pending]] = {}
+        self._lanes: Dict[tuple, Deque[Pending]] = {}
         self._heap: List[tuple] = []
         self._size = 0
 
@@ -78,23 +90,24 @@ class PendingStore:
         return self._size
 
     @property
-    def lanes(self) -> Dict[ModelKey, Deque[Pending]]:
+    def lanes(self) -> Dict[tuple, Deque[Pending]]:
         return self._lanes
 
     def push(self, pending: Pending) -> None:
         request = pending.request
-        lane = self._lanes.get(request.key)
+        key = lane_key(request)
+        lane = self._lanes.get(key)
         if lane is None:
-            lane = self._lanes[request.key] = deque()
+            lane = self._lanes[key] = deque()
         lane.append(pending)
         heapq.heappush(
             self._heap,
-            (request.priority, request.deadline, next(_seq), request.key),
+            (request.priority, request.deadline, next(_seq), key),
         )
         self._size += 1
 
-    def next_key(self) -> Optional[ModelKey]:
-        """The key the scheduler should serve next (None when empty)."""
+    def next_key(self) -> Optional[tuple]:
+        """The lane the scheduler should serve next (None when empty)."""
         while self._heap:
             _, _, _, key = self._heap[0]
             lane = self._lanes.get(key)
@@ -103,8 +116,14 @@ class PendingStore:
             heapq.heappop(self._heap)  # stale entry: lane already drained
         return None
 
-    def take(self, key: ModelKey, limit: int) -> List[Pending]:
-        """Drain up to ``limit`` requests from one lane (FIFO order)."""
+    def take(self, key, limit: int) -> List[Pending]:
+        """Drain up to ``limit`` requests from one lane (FIFO order).
+
+        ``key`` is a :func:`lane_key` tuple; a bare :class:`ModelKey` is
+        accepted for convenience and addresses the float lane.
+        """
+        if isinstance(key, ModelKey):
+            key = (key, False)
         lane = self._lanes.get(key)
         taken: List[Pending] = []
         while lane and len(taken) < limit:

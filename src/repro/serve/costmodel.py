@@ -55,7 +55,10 @@ class BatchCostModel:
         self.array = array
         self.cache_dir = cache_dir
         self._sim_ms: Dict[Tuple[ModelKey, int], float] = {}
-        self._calibration: Dict[ModelKey, float] = {}
+        # Wall/simulated calibration, learned per (model, plan flavor):
+        # the int8 plan executes a different kernel set than the float
+        # plans, so its wall-clock-per-simulated-ms ratio is its own.
+        self._calibration: Dict[Tuple[ModelKey, str], float] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------- simulated cost
@@ -80,31 +83,43 @@ class BatchCostModel:
 
     # -------------------------------------------------------- wall estimate
 
-    def calibration(self, key: ModelKey) -> float:
-        """Current wall-per-simulated-ms factor for a model (1.0 until seen)."""
-        with self._lock:
-            return self._calibration.get(key, 1.0)
+    def calibration(self, key: ModelKey, flavor: str = "float") -> float:
+        """Wall-per-simulated-ms factor for (model, flavor).
 
-    def observe(self, model: RegisteredModel, batch: int, wall_ms: float) -> None:
-        """Fold one executed batch into the calibration EWMA."""
+        An unseen int8 flavor borrows the float factor (better than 1.0:
+        the plans differ by a bounded kernel-speed ratio, not by orders
+        of magnitude); a completely unseen model starts at 1.0.
+        """
+        with self._lock:
+            value = self._calibration.get((key, flavor))
+            if value is None and flavor != "float":
+                value = self._calibration.get((key, "float"))
+            return 1.0 if value is None else value
+
+    def observe(self, model: RegisteredModel, batch: int, wall_ms: float,
+                flavor: str = "float") -> None:
+        """Fold one executed batch into the per-flavor calibration EWMA."""
         sim = self.simulated_ms(model, batch)
         if sim <= 0 or wall_ms <= 0:
             return
         ratio = wall_ms / sim
         with self._lock:
-            previous = self._calibration.get(model.key)
+            previous = self._calibration.get((model.key, flavor))
             value = (
                 ratio if previous is None
                 else previous + _CALIBRATION_ALPHA * (ratio - previous)
             )
-            self._calibration[model.key] = value
+            self._calibration[(model.key, flavor)] = value
         get_registry().gauge(
-            "serve.costmodel.calibration", model=model.key.canonical()
+            "serve.costmodel.calibration", model=model.key.canonical(),
+            flavor=flavor,
         ).set(value)
 
-    def predicted_wall_ms(self, model: RegisteredModel, batch: int = 1) -> float:
+    def predicted_wall_ms(self, model: RegisteredModel, batch: int = 1,
+                          flavor: str = "float") -> float:
         """Calibrated wall-clock prediction for one batch."""
-        return self.simulated_ms(model, batch) * self.calibration(model.key)
+        return self.simulated_ms(model, batch) * self.calibration(
+            model.key, flavor)
 
     # ---------------------------------------------------------- batch sizing
 
@@ -113,6 +128,7 @@ class BatchCostModel:
         model: RegisteredModel,
         slack_ms: float,
         max_batch: int,
+        flavor: str = "float",
     ) -> int:
         """Largest batch (≤ ``max_batch``) predicted to finish within ``slack_ms``.
 
@@ -124,7 +140,7 @@ class BatchCostModel:
         max_batch = max(1, max_batch)
         planned = 1
         for n in range(2, max_batch + 1):
-            if self.predicted_wall_ms(model, n) > slack_ms:
+            if self.predicted_wall_ms(model, n, flavor) > slack_ms:
                 break
             planned = n
         return planned

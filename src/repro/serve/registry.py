@@ -42,9 +42,9 @@ class RegisteredModel:
 
     # Simulated-hardware executors, one per (array geometry, engine, jobs).
     _array_executors: Dict[Tuple, object] = field(default_factory=dict)
-    # Compiled inference plans, one per (batch, exact); None latches a
-    # compilation failure so workers fall back to eager without retrying.
-    _plans: Dict[Tuple[int, bool], object] = field(default_factory=dict)
+    # Compiled inference plans, one per (batch, flavor); None latches a
+    # compilation failure so workers fall back without retrying.
+    _plans: Dict[Tuple[int, str], object] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def array_executor(self, array: ArrayConfig, engine: str = "vector",
@@ -52,6 +52,8 @@ class RegisteredModel:
         """Lazy :class:`ArrayNetworkExecutor` sharing this model's weights."""
         from ..systolic.executor import ArrayNetworkExecutor
 
+        # datawidth and frequency_mhz are deliberately absent: neither
+        # changes what the functional simulator computes.
         cache_key = (array.rows, array.cols, array.broadcast, array.dataflow,
                      array.pipelined_folds, engine, jobs)
         with self._lock:
@@ -64,31 +66,51 @@ class RegisteredModel:
                 self._array_executors[cache_key] = executor
         return executor
 
-    def plan_for(self, batch: int, exact: bool = True):
+    #: Plan flavors → CompileConfig factories (see ``plan_for``).
+    FLAVORS = ("exact", "folded", "int8")
+
+    def plan_for(self, batch: int, exact: Optional[bool] = None,
+                 flavor: Optional[str] = None):
         """Lazy compiled :class:`~repro.nn.compile.InferencePlan`.
 
-        ``exact=True`` builds the bit-exact plan (no folding — output is
-        bit-identical to the eager forward, the serving determinism
-        contract); ``exact=False`` builds the fully folded/fused plan for
-        throughput.  Returns ``None`` (latched) if compilation fails, so
-        callers degrade to the eager path.
+        Three flavors, each cached independently per batch size:
+
+        * ``"exact"`` — no folding; output is bit-identical to the eager
+          forward (the serving determinism contract);
+        * ``"folded"`` — fully folded/fused float plan for throughput;
+        * ``"int8"`` — the quantized plan (compile-time PTQ + integer
+          kernels; float-close, never bit-exact).
+
+        ``exact=True/False`` is the legacy boolean spelling of
+        exact/folded.  Returns ``None`` (latched) if compilation fails,
+        so callers degrade down the chain without retrying the build.
         """
         from ..nn.compile import CompileConfig, compile_executor
 
-        cache_key = (int(batch), bool(exact))
+        if flavor is None:
+            flavor = "folded" if exact is False else "exact"
+        if flavor not in self.FLAVORS:
+            raise ValueError(
+                f"plan flavor must be one of {self.FLAVORS}, got {flavor!r}")
+        cache_key = (int(batch), flavor)
         with self._lock:
             if cache_key in self._plans:
                 return self._plans[cache_key]
-        config = CompileConfig.exact() if exact else CompileConfig()
+        config = {
+            "exact": CompileConfig.exact,
+            "folded": CompileConfig,
+            "int8": CompileConfig.int8,
+        }[flavor]()
         try:
             plan = compile_executor(
                 self.executor, (int(batch),) + tuple(self.input_shape), config
             )
-        except Exception as exc:  # degrade to eager, never kill serving
+        except Exception as exc:  # degrade down the chain, never kill serving
             get_registry().counter("resilience.compile_fallbacks",
                                    model=self.key.canonical()).inc()
-            _log.warning("plan compilation failed; falling back to eager",
-                         model=self.key.canonical(), batch=batch, exact=exact,
+            _log.warning("plan compilation failed; degrading",
+                         model=self.key.canonical(), batch=batch,
+                         flavor=flavor,
                          error=f"{type(exc).__name__}: {exc}")
             plan = None
         with self._lock:

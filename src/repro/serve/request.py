@@ -115,6 +115,11 @@ class InferenceRequest:
     input: Optional[np.ndarray] = None   # (C, H, W); derived from seed if None
     slo_ms: Optional[float] = None       # deadline budget; server default if None
     priority: int = 0                    # lower sorts first (0 = interactive)
+    # Plan-flavor opt-in: run on the quantized int8 plan (wire field
+    # ``"int8": true``).  Int8 requests batch separately from float ones
+    # (their outputs differ) and take precedence over ``bitexact`` — a
+    # quantized answer is by construction not bit-identical to eager.
+    int8: bool = False
     request_id: int = field(default_factory=lambda: next(_ids))
 
     # Filled in by the server at admission (monotonic clock).

@@ -171,9 +171,9 @@ class SLOScheduler:
                     return None
                 continue
 
-            key = self.store.next_key()
+            lane = self.store.next_key()
             now = time.monotonic()
-            head = self._reap_expired(key, now)
+            head = self._reap_expired(lane, now)
             if head is None:
                 continue  # whole lane had expired; pick again
 
@@ -193,10 +193,11 @@ class SLOScheduler:
                     head.future.set_result(response)
                 continue
             slack = max(0.0, head.request.slack_ms(now))
+            flavor = "int8" if head.request.int8 else "float"
             planned = self.cost_model.plan_batch_size(
-                model, slack, self.max_batch
+                model, slack, self.max_batch, flavor=flavor
             )
-            items = [head] + self.store.take(key, planned - 1)
+            items = [head] + self.store.take(lane, planned - 1)
 
             # Linger: let compatible requests arrive to fill the batch, but
             # never longer than the slack that remains on the batch head.
@@ -211,20 +212,21 @@ class SLOScheduler:
                         await asyncio.wait_for(self._wakeup.wait(), remaining)
                     except asyncio.TimeoutError:
                         break
-                items.extend(self.store.take(key, planned - len(items)))
+                items.extend(self.store.take(lane, planned - len(items)))
 
             self._metrics.gauge("serve.queue.depth").set(len(self.store))
-            batch = Batch(key=key, items=items, planned_size=planned)
+            batch = Batch(key=head.request.key, items=items,
+                          planned_size=planned, int8=head.request.int8)
             self._metrics.counter("serve.batches").inc()
             self._metrics.histogram(
                 "serve.batch.size", buckets=(1, 2, 4, 8, 16, 32, 64)
             ).observe(len(batch))
             return batch
 
-    def _reap_expired(self, key, now: float) -> Optional[Pending]:
+    def _reap_expired(self, lane, now: float) -> Optional[Pending]:
         """Pop the lane head, resolving already-dead requests as EXPIRED."""
         while True:
-            taken = self.store.take(key, 1)
+            taken = self.store.take(lane, 1)
             if not taken:
                 return None
             pending = taken[0]

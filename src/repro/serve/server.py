@@ -54,6 +54,7 @@ class ServeConfig:
     slo_ms: float = 100.0            #: default per-request deadline budget
     bitexact: bool = True            #: lockstep batch execution (see workers)
     compile: bool = True             #: compiled InferencePlan graph path
+    int8: bool = False               #: default requests onto the int8 plan
     jobs: int = 1                    #: process fan-out of the array engine
     sim_engine: str = "vector"       #: functional-simulator engine
     cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
@@ -163,9 +164,16 @@ class InferenceServer:
     # -------------------------------------------------------------- serving
 
     async def submit(self, request: InferenceRequest) -> InferenceResponse:
-        """Serve one request end to end (admission → batch → response)."""
+        """Serve one request end to end (admission → batch → response).
+
+        With ``ServeConfig.int8`` the server defaults every request onto
+        the quantized plan flavor; requests can still opt in per-request
+        via ``InferenceRequest.int8`` when the server default is float.
+        """
         if not self._started:
             raise RuntimeError("server is not started")
+        if self.config.int8:
+            request.int8 = True
         future = await self.scheduler.submit(request)
         return await future
 
@@ -173,6 +181,9 @@ class InferenceServer:
         self, requests: List[InferenceRequest]
     ) -> List[InferenceResponse]:
         """Submit a burst concurrently; responses in request order."""
+        if self.config.int8:
+            for request in requests:
+                request.int8 = True
         futures = [await self.scheduler.submit(r) for r in requests]
         return list(await asyncio.gather(*futures))
 

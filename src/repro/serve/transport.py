@@ -8,7 +8,7 @@ Request fields (all optional except ``net``)::
 
     {"id": 7, "net": "mobilenet_v1", "variant": "half", "resolution": 64,
      "seed": 0, "input_seed": 123, "slo_ms": 80, "priority": 0,
-     "return_output": false}
+     "int8": false, "return_output": false}
 
 Inputs travel as seeds, not tensors — a request is a few dozen bytes and
 fully reproducible.  ``return_output: true`` inlines the output tensor as
@@ -78,6 +78,7 @@ def request_from_wire(payload: dict) -> Tuple[InferenceRequest, dict]:
         input_seed=int(payload.get("input_seed", 0)),
         slo_ms=payload.get("slo_ms"),
         priority=int(payload.get("priority", 0)),
+        int8=bool(payload.get("int8", False)),
         trace=SpanContext.from_wire(payload.get("trace")),
         want_timings=bool(payload.get("timings", False)),
     )
@@ -460,6 +461,8 @@ class RemoteClient:
             "priority": request.priority,
             "return_output": return_output,
         }
+        if request.int8:
+            payload["int8"] = True
         if timings or request.want_timings:
             payload["timings"] = True
         with get_tracer().span(

@@ -32,8 +32,9 @@ Engines:
 
 Resilience (``docs/robustness.md``): with ``resilience=True`` (default)
 a failing batch walks the **degradation chain** — compiled plan → eager
-graph → analytical estimate — instead of erroring, and the surviving
-response carries ``degraded=True`` with the reason.  A per-model
+graph → analytical estimate; int8 batches prepend their flavor, walking
+int8 plan → folded plan → eager → analytical — instead of erroring, and
+the surviving response carries ``degraded=True`` with the reason.  A per-model
 :class:`~repro.serve.resilience.CircuitBreaker` short-circuits repeated
 primary failures straight to the analytical stage until a cooldown
 passes.  Crashed worker tasks re-queue their batch and are restarted by
@@ -70,9 +71,20 @@ _log = get_logger("serve.workers")
 
 
 def _run_graph(model: RegisteredModel, inputs: List[np.ndarray],
-               bitexact: bool, compiled: bool = True) -> List[np.ndarray]:
+               bitexact: bool, compiled: bool = True,
+               int8: bool = False) -> List[np.ndarray]:
     if compiled:
-        if bitexact:
+        if int8:
+            # The quantized plan: stacked execution on integer kernels.
+            # int8 takes precedence over bitexact (a quantized answer is
+            # never bit-identical to eager by construction).  A latched
+            # build failure falls through to the float plans below.
+            plan = model.plan_for(len(inputs), flavor="int8")
+            if plan is not None:
+                stacked = np.stack(inputs).astype(np.float32, copy=False)
+                out = plan.run(stacked)
+                return [out[i] for i in range(out.shape[0])]
+        if bitexact and not int8:
             # Exact (no-fold) single-sample plan: bit-identical to the
             # eager unbatched forward, preserving the determinism contract.
             plan = model.plan_for(1, exact=True)
@@ -115,12 +127,18 @@ def _run_engine(
     jobs: int,
     sim_engine: str,
     compiled: bool,
+    int8: Optional[bool] = None,
 ) -> Tuple[List[Optional[np.ndarray]], Optional[float]]:
-    """One attempt of one engine; (outputs, simulated_ms override)."""
+    """One attempt of one engine; (outputs, simulated_ms override).
+
+    ``int8=None`` follows the batch's flavor; the degradation chain
+    passes ``int8=False`` to retry the same batch on the float path.
+    """
     requests = batch.requests
+    use_int8 = batch.int8 if int8 is None else int8
     if engine == "graph":
         inputs = [r.resolve_input(model.input_shape) for r in requests]
-        return _run_graph(model, inputs, bitexact, compiled), None
+        return _run_graph(model, inputs, bitexact, compiled, use_int8), None
     if engine == "array":
         inputs = [r.resolve_input(model.input_shape) for r in requests]
         outputs, cycles = _run_array(
@@ -175,6 +193,7 @@ def execute_batch(
     with tracer.span(
         "serve.batch", category="serve", new_trace=True,
         model=batch.key.canonical(), batch=n, engine=engine,
+        int8=batch.int8,
         trace_ids=[r.trace.trace_id for r in requests if r.trace],
     ) as batch_span:
         if breaker is not None and not breaker.allow():
@@ -209,22 +228,38 @@ def execute_batch(
                 if not resilience:
                     error = failure
                 elif engine == "graph" and compiled:
-                    # Chain stage 2: the eager graph (no compiled plan).
-                    try:
-                        with tracer.span("resilience.degrade",
-                                         category="serve", stage="eager",
-                                         model=batch.key.canonical()):
-                            outputs, _ = _run_engine(
-                                batch, model, cost_model, "graph", bitexact,
-                                jobs, sim_engine, compiled=False,
+                    # Degradation chain: int8 batches first retry the
+                    # folded float plan, then everything retries the
+                    # eager graph, and the last resort is the analytical
+                    # estimate.  Each stage's reason names the stage that
+                    # answered and the failure it is covering for.
+                    stages = []
+                    if batch.int8:
+                        stages.append(("folded", {"int8": False}))
+                    stages.append(("eager", {"int8": False,
+                                             "compiled": False}))
+                    for stage, overrides in stages:
+                        try:
+                            with tracer.span("resilience.degrade",
+                                             category="serve", stage=stage,
+                                             model=batch.key.canonical()):
+                                outputs, _ = _run_engine(
+                                    batch, model, cost_model, "graph",
+                                    bitexact, jobs, sim_engine,
+                                    overrides.get("compiled", True),
+                                    int8=overrides["int8"],
+                                )
+                            degraded = True
+                            degraded_reason = (
+                                f"{stage} fallback after: {failure}"
                             )
-                        degraded = True
-                        degraded_reason = f"eager fallback after: {failure}"
-                    except Exception as exc2:
+                            break
+                        except Exception as exc2:
+                            failure = f"{type(exc2).__name__}: {exc2}"
+                    else:
                         degraded = True
                         degraded_reason = (
-                            f"analytical fallback after: "
-                            f"{type(exc2).__name__}: {exc2}"
+                            f"analytical fallback after: {failure}"
                         )
                         outputs = [None] * n
                 else:
@@ -245,7 +280,8 @@ def execute_batch(
     batch_ms = max(0.0, (dispatch - batch.formed_at) * 1000.0)
 
     if error is None and not degraded:
-        cost_model.observe(model, n, execute_ms)
+        cost_model.observe(model, n, execute_ms,
+                           flavor="int8" if batch.int8 else "float")
 
     responses = []
     for request, out in zip(requests, outputs):

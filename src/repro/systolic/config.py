@@ -27,6 +27,14 @@ class ArrayConfig:
             ``"ws"`` / ``"is"`` (weight-/input-stationary, provided as an
             ablation extension; see :mod:`repro.systolic.dataflows`).
         frequency_mhz: clock used when converting cycles to wall time.
+        datawidth: operand width of the PE datapath in bits — 16 (FP16
+            MACs, the paper's §V-A.2 setup) or 8 (int8 MACs with int32
+            accumulation, matching the compiled int8 inference plans).
+            Cycle counts are datawidth-independent in this model (the
+            array has the same rows × cols and the same fold shapes);
+            what changes is silicon cost and energy — an int8 multiplier
+            is several times smaller and cheaper per MAC than an FP16
+            one, and SRAM accesses move half the bits.
         pipelined_folds: when True, consecutive folds of one operation
             overlap: the next fold's operand skew streams in behind the
             current fold's drain, so only the first fold pays the full
@@ -40,6 +48,7 @@ class ArrayConfig:
     broadcast: bool = True
     dataflow: str = "os"
     frequency_mhz: float = 700.0
+    datawidth: int = 16
     pipelined_folds: bool = False
 
     def __post_init__(self) -> None:
@@ -48,6 +57,10 @@ class ArrayConfig:
         if self.dataflow not in ("os", "ws", "is"):
             raise ValueError(
                 f"dataflow must be 'os', 'ws' or 'is', got {self.dataflow!r}"
+            )
+        if self.datawidth not in (8, 16):
+            raise ValueError(
+                f"datawidth must be 8 or 16 bits, got {self.datawidth!r}"
             )
 
     @classmethod
@@ -62,6 +75,10 @@ class ArrayConfig:
     def without_broadcast(self) -> "ArrayConfig":
         """The same array minus the broadcast links (baseline hardware)."""
         return replace(self, broadcast=False)
+
+    def with_datawidth(self, bits: int) -> "ArrayConfig":
+        """The same array with ``bits``-wide PEs (8 = int8 MACs)."""
+        return replace(self, datawidth=bits)
 
     def cycles_to_ms(self, cycles: int) -> float:
         """Convert a cycle count to milliseconds at the configured clock."""

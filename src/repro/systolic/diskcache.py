@@ -52,6 +52,8 @@ def cache_key(network: Network, array: ArrayConfig, batch: int = 1) -> str:
     payload = {
         "format": CACHE_FORMAT,
         "network": network_to_dict(network),
+        # Cycle-relevant fields only: frequency_mhz rescales afterwards
+        # and datawidth changes silicon cost, not the fold schedule.
         "array": {
             "rows": array.rows,
             "cols": array.cols,

@@ -146,6 +146,9 @@ def _cache_key(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
     dataflow, fold pipelining) is part of the key; ``frequency_mhz`` is
     deliberately excluded — it only rescales cycles to milliseconds after
     the fact, so two arrays differing only in clock share an entry.
+    ``datawidth`` is likewise excluded: 8- and 16-bit PEs run the same
+    fold schedule, the width only changes area/power/energy (see
+    :mod:`repro.hw`).
     """
     return (
         layer, in_shape, out_shape, batch,

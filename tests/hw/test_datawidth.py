@@ -1,0 +1,100 @@
+"""8-bit PE modeling: datawidth plumbing, cost scaling, energy, pins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import array_cost, broadcast_overhead, energy_report
+from repro.hw.pe import baseline_pe_blocks, pe_cost
+from repro.models import build_model
+from repro.systolic import ArrayConfig
+from repro.systolic.latency import estimate_network
+
+
+class TestArrayConfigDatawidth:
+    def test_default_is_paper_fp16(self):
+        assert ArrayConfig.square(64).datawidth == 16
+
+    def test_with_datawidth_returns_new_config(self):
+        base = ArrayConfig.square(64)
+        int8 = base.with_datawidth(8)
+        assert int8.datawidth == 8
+        assert base.datawidth == 16
+        assert (int8.rows, int8.cols, int8.broadcast) == (64, 64, True)
+
+    @pytest.mark.parametrize("bad", [0, 4, 12, 32, -8])
+    def test_rejects_unsupported_widths(self, bad):
+        with pytest.raises(ValueError, match="datawidth"):
+            ArrayConfig.square(8, datawidth=bad)
+
+
+class TestPECost:
+    def test_int8_pe_is_substantially_smaller(self):
+        fp16 = pe_cost(datawidth=16)
+        int8 = pe_cost(datawidth=8)
+        assert int8.area_um2 < 0.5 * fp16.area_um2
+        assert int8.power_uw < 0.5 * fp16.power_uw
+
+    def test_int8_pe_uses_int8_multiplier(self):
+        names = [b.cell.name for b in baseline_pe_blocks(8)]
+        assert "mult_int8" in names
+        assert "mult_fp16" not in names
+
+    def test_accumulator_stays_32_bit(self):
+        # The register count shrinks only by the two operand registers
+        # (2 x 8 bits); the stationary int32 accumulator does not shrink.
+        dff16 = next(b for b in baseline_pe_blocks(16)
+                     if b.cell.name == "dff_bit")
+        dff8 = next(b for b in baseline_pe_blocks(8)
+                    if b.cell.name == "dff_bit")
+        assert dff16.count == 2 * 16 + 32
+        assert dff8.count == 2 * 8 + 32
+
+    def test_unknown_width_names_supported_ones(self):
+        with pytest.raises(ValueError, match="supported"):
+            pe_cost(datawidth=12)
+
+
+class TestArrayCostAndOverhead:
+    def test_array_cost_honours_datawidth(self):
+        fp16 = array_cost(ArrayConfig.square(32))
+        int8 = array_cost(ArrayConfig.square(32, datawidth=8))
+        assert int8.area_um2 < fp16.area_um2
+        assert int8.power_uw < fp16.power_uw
+
+    def test_paper_pin_unchanged_at_default_width(self):
+        report = broadcast_overhead(32)
+        assert report.datawidth == 16
+        assert report.area_overhead == pytest.approx(0.0435, abs=0.005)
+        assert report.power_overhead == pytest.approx(0.0225, abs=0.005)
+
+    def test_relative_overhead_grows_at_8_bits(self):
+        # The broadcast mux shrinks with the datapath but the wire and
+        # driver do not, while the base PE shrinks a lot — so the
+        # *relative* overhead of the FuSe links is higher on an int8 array.
+        assert (broadcast_overhead(32, datawidth=8).area_overhead
+                > broadcast_overhead(32, datawidth=16).area_overhead)
+
+
+class TestEnergyAndCycles:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_model("mobilenet_v3_small", resolution=32)
+
+    def test_cycles_are_datawidth_independent(self, net):
+        fp16 = ArrayConfig.square(64)
+        cycles16 = estimate_network(net, fp16).total_cycles
+        cycles8 = estimate_network(net, fp16.with_datawidth(8)).total_cycles
+        assert cycles16 == cycles8
+
+    def test_int8_inference_uses_less_energy(self, net):
+        fp16 = ArrayConfig.square(64)
+        e16 = energy_report(net, fp16)
+        e8 = energy_report(net, fp16.with_datawidth(8))
+        assert e8.cycles == e16.cycles
+        # Every component drops: MACs 5x, SRAM 2x, static with the PE.
+        assert e8.mac_pj == pytest.approx(e16.mac_pj / 5.0)
+        assert e8.sram_read_pj == pytest.approx(e16.sram_read_pj / 2.0)
+        assert e8.sram_write_pj == pytest.approx(e16.sram_write_pj / 2.0)
+        assert e8.static_pj < e16.static_pj
+        assert 2.0 < e16.total_pj / e8.total_pj < 5.0

@@ -1,0 +1,137 @@
+"""Int8 kernels: float-lane GEMMs must be bit-exact vs integer references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn.quantize import activation_lut, lut_uint8_order
+
+
+def _codes(rng, shape):
+    return rng.integers(-127, 128, size=shape).astype(np.int8)
+
+
+class TestQuantDequantRequant:
+    def test_quantize_to_int8_rounds_and_clips(self):
+        x = np.array([0.0, 0.49, 0.51, -200.0, 200.0], np.float32)
+        out = np.empty(5, np.int8)
+        F.quantize_to_int8(x, 1.0, out=out)
+        assert out.tolist() == [0, 0, 1, -127, 127]
+
+    def test_quantize_dequantize_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32)
+        scale = float(np.max(np.abs(x))) / 127
+        q = np.empty(x.shape, np.int8)
+        F.quantize_to_int8(x, 1.0 / scale, out=q)
+        back = F.dequantize_int8(q, scale, out=np.empty(x.shape, np.float32))
+        assert np.max(np.abs(back - x)) <= scale / 2 + 1e-7
+
+    def test_requantize_matches_reference_formula(self):
+        rng = np.random.default_rng(1)
+        acc = rng.integers(-100_000, 100_000, size=(16, 8)).astype(np.float32)
+        mult = rng.uniform(1e-4, 1e-2, size=8).astype(np.float32)
+        bias = rng.uniform(-3, 3, size=8).astype(np.float32)
+        out = np.empty(acc.shape, np.int8)
+        F.requantize_int8(acc, mult, bias, out=out,
+                          scratch=np.empty(acc.shape, np.float32))
+        ref = np.clip(np.rint(acc * mult + bias), -127, 127).astype(np.int8)
+        assert np.array_equal(out, ref)
+
+    def test_requantize_relu_bounds(self):
+        acc = np.array([[-500.0, 500.0, 20_000.0]], np.float32)
+        out = np.empty((1, 3), np.int8)
+        F.requantize_int8(acc, np.float32(0.01), None, out=out,
+                          scratch=np.empty((1, 3), np.float32), low=0, high=60)
+        assert out.tolist() == [[0, 5, 60]]
+
+
+class TestInt8Matmul:
+    @pytest.mark.parametrize("m,k,o", [(1, 1, 1), (7, 64, 5), (32, 1040, 16)])
+    def test_f32_lanes_bit_exact_up_to_max_k(self, m, k, o):
+        assert k <= F.INT8_EXACT_MAX_K
+        rng = np.random.default_rng(k)
+        xq, wq = _codes(rng, (m, k)), _codes(rng, (k, o))
+        out = np.empty((m, o), np.float32)
+        F.int8_matmul(xq, wq.astype(np.float32), out=out,
+                      x_lanes=np.empty((m, k), np.float32))
+        ref = F.int8_matmul_ref(xq, wq)
+        assert np.array_equal(out.astype(np.int64), ref.astype(np.int64))
+
+    def test_worst_case_k_saturated_codes(self):
+        """All-±127 operands at K = INT8_EXACT_MAX_K sit exactly at the
+        float32 mantissa limit (1040 * 127**2 < 2**24) — still exact."""
+        k = F.INT8_EXACT_MAX_K
+        xq = np.full((2, k), 127, np.int8)
+        wq = np.full((k, 3), 127, np.int8)
+        wq[:, 1] = -127
+        out = np.empty((2, 3), np.float32)
+        F.int8_matmul(xq, wq.astype(np.float32), out=out,
+                      x_lanes=np.empty((2, k), np.float32))
+        assert np.array_equal(out.astype(np.int64), F.int8_matmul_ref(xq, wq))
+
+    def test_f64_lanes_exact_beyond_max_k(self):
+        k = F.INT8_EXACT_MAX_K + 500
+        rng = np.random.default_rng(9)
+        xq, wq = _codes(rng, (4, k)), _codes(rng, (k, 6))
+        out = np.empty((4, 6), np.float64)
+        F.int8_matmul(xq, wq.astype(np.float64), out=out,
+                      x_lanes=np.empty((4, k), np.float64))
+        assert np.array_equal(out.astype(np.int64), F.int8_matmul_ref(xq, wq))
+
+
+class TestDepthwiseInt8:
+    @pytest.mark.parametrize("kh,kw,stride", [
+        (3, 3, (1, 1)), (3, 3, (2, 2)), (5, 5, (1, 1)),
+        (1, 7, (1, 1)), (7, 1, (1, 1)),      # FuSe 1-D stages
+    ])
+    def test_bit_exact_vs_integer_reference(self, kh, kw, stride):
+        rng = np.random.default_rng(kh * 10 + kw)
+        c, h = 6, 12
+        pad_h, pad_w = kh // 2, kw // 2
+        xp = np.zeros((2, h + 2 * pad_h, h + 2 * pad_w, c), np.int8)
+        xp[:, pad_h:pad_h + h, pad_w:pad_w + h, :] = _codes(rng, (2, h, h, c))
+        wq = _codes(rng, (kh, kw, c))
+        oh = (h + 2 * pad_h - kh) // stride[0] + 1
+        ow = (h + 2 * pad_w - kw) // stride[1] + 1
+        out = np.empty((2, oh, ow, c), np.float32)
+        F.depthwise_int8_nhwc(xp, wq.astype(np.float32), stride, out=out,
+                              scratch=np.empty_like(out))
+        ref = F.depthwise_int8_ref_nhwc(xp, wq, stride, oh, ow)
+        assert np.array_equal(out.astype(np.int64), ref.astype(np.int64))
+
+
+class TestIm2col:
+    def test_columns_match_dense_reference(self):
+        rng = np.random.default_rng(3)
+        n, h, c, kh, kw = 2, 8, 4, 3, 3
+        xp = _codes(rng, (n, h, h, c))
+        oh = ow = h - kh + 1
+        cols = np.empty((n * oh * ow, kh * kw * c), np.float32)
+        F.im2col_int8_nhwc(xp, kh, kw, (1, 1), out_cols=cols)
+        wq = _codes(rng, (kh * kw * c, 5))
+        out = np.empty((n * oh * ow, 5), np.float32)
+        F.int8_matmul(cols.astype(np.int8), wq.astype(np.float32), out=out,
+                      x_lanes=np.empty(cols.shape, np.float32))
+        # Reference: integer dense conv via explicit window gathering.
+        ref = np.zeros((n, oh, ow, 5), np.int64)
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[:, i:i + kh, j:j + kw, :].reshape(n, -1)
+                ref[:, i, j, :] = patch.astype(np.int64) @ wq.astype(np.int64)
+        assert np.array_equal(out.reshape(n, oh, ow, 5).astype(np.int64), ref)
+
+
+class TestLutGather:
+    def test_gather_equals_direct_indexing(self):
+        lut = activation_lut(F.hswish_infer, input_scale=0.05,
+                             output_scale=0.03)
+        ordered = lut_uint8_order(lut)
+        rng = np.random.default_rng(4)
+        q = _codes(rng, (64,))
+        out = np.empty(64, np.int8)
+        F.int8_lut_gather(q, ordered, out=out)
+        ref = np.array([lut[int(code) + 128] for code in q], np.int8)
+        assert np.array_equal(out, ref)

@@ -42,6 +42,49 @@ class TestQuantizeArray:
         with pytest.raises(ValueError):
             quantize_array(np.ones((2, 2)), bits=1)
 
+    def test_all_zero_channels_degenerate_scale(self):
+        """One dead output channel must not poison the others."""
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        w[2] = 0.0
+        q, scale = quantize_array(w, bits=8)
+        assert np.all(q[2] == 0)                      # dead channel stays dead
+        assert np.all(np.isfinite(q))
+        scales = np.asarray(scale.scale)
+        assert scales[2] == 1.0                       # degenerate scale is 1.0
+        assert np.all(scales > 0)
+
+    def test_single_element_tensor(self):
+        q, scale = quantize_array(np.array([[3.5]], dtype=np.float32),
+                                  bits=8, axis=None)
+        assert q.shape == (1, 1)
+        assert q[0, 0] == pytest.approx(3.5, rel=1e-2)
+        assert float(np.asarray(scale.scale)) == pytest.approx(3.5 / 127)
+
+    def test_bits_2_extremes(self):
+        """bits=2 leaves only codes {-1, 0, +1} — the coarsest grid."""
+        w = np.array([-2.0, -0.4, 0.0, 0.4, 2.0], dtype=np.float32)
+        q, scale = quantize_array(w, bits=2, axis=None)
+        assert scale.levels == 1
+        step = float(np.asarray(scale.scale))
+        codes = q / step
+        assert set(np.round(codes).astype(int).tolist()) <= {-1, 0, 1}
+        assert q[0] == -q[4] == -step                 # extremes saturate
+
+    @pytest.mark.parametrize("axis", [4, -5, 17])
+    def test_out_of_range_axis_raises(self, axis):
+        w = np.zeros((2, 3, 4, 5), dtype=np.float32)
+        with pytest.raises(ValueError, match="out of range"):
+            quantize_array(w, bits=8, axis=axis)
+
+    def test_negative_axis_follows_numpy(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(4, 6)).astype(np.float32)
+        q_pos, s_pos = quantize_array(w, bits=8, axis=1)
+        q_neg, s_neg = quantize_array(w, bits=8, axis=-1)
+        assert np.array_equal(q_pos, q_neg)
+        assert s_pos.axis == s_neg.axis == 1
+
     def test_round_trip_is_idempotent(self):
         """Quantizing already-quantized weights must be a fixed point."""
         rng = np.random.default_rng(7)

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from repro.serve import InferenceRequest, ModelKey, Pending, PendingStore
+from repro.serve.batcher import lane_key
 
 KEY_A = ModelKey("mobilenet_v1", resolution=32)
 KEY_B = ModelKey("mobilenet_v3_small", resolution=32)
+LANE_A = (KEY_A, False)
+LANE_B = (KEY_B, False)
 
 
-def _pending(key, priority=0, deadline=100.0, seq=[0]):
-    request = InferenceRequest(key=key, priority=priority)
+def _pending(key, priority=0, deadline=100.0, int8=False):
+    request = InferenceRequest(key=key, priority=priority, int8=int8)
     request.deadline = deadline
     return Pending(request, future=None)
 
@@ -29,14 +32,14 @@ def test_priority_beats_deadline():
     store = PendingStore()
     store.push(_pending(KEY_A, priority=1, deadline=1.0))
     store.push(_pending(KEY_B, priority=0, deadline=99.0))
-    assert store.next_key() == KEY_B
+    assert store.next_key() == LANE_B
 
 
 def test_earlier_deadline_wins_within_priority():
     store = PendingStore()
     store.push(_pending(KEY_A, deadline=50.0))
     store.push(_pending(KEY_B, deadline=10.0))
-    assert store.next_key() == KEY_B
+    assert store.next_key() == LANE_B
 
 
 def test_stale_heap_entries_skipped_after_batch_drain():
@@ -48,7 +51,7 @@ def test_stale_heap_entries_skipped_after_batch_drain():
     # are stale and must be skipped, not served.
     taken = store.take(KEY_A, 3)
     assert len(taken) == 3
-    assert store.next_key() == KEY_B
+    assert store.next_key() == LANE_B
     assert len(store) == 1
 
 
@@ -61,6 +64,28 @@ def test_take_respects_limit_and_empties_lane():
     assert len(store.take(KEY_A, 10)) == 2
     assert store.take(KEY_A, 1) == []
     assert store.next_key() is None
+
+
+def test_int8_requests_form_their_own_lane():
+    store = PendingStore()
+    f8, i8 = _pending(KEY_A), _pending(KEY_A, int8=True)
+    store.push(f8)
+    store.push(i8)
+    assert len(store) == 2
+    assert lane_key(f8.request) != lane_key(i8.request)
+    # Draining the float lane must not touch the int8 lane.
+    assert store.take(LANE_A, 8) == [f8]
+    assert store.next_key() == (KEY_A, True)
+    assert store.take((KEY_A, True), 8) == [i8]
+    assert len(store) == 0
+
+
+def test_bare_model_key_addresses_float_lane():
+    store = PendingStore()
+    i8 = _pending(KEY_A, int8=True)
+    store.push(i8)
+    assert store.take(KEY_A, 8) == []       # float lane is empty
+    assert store.take((KEY_A, True), 8) == [i8]
 
 
 def test_drain_all_empties_everything():

@@ -1,0 +1,157 @@
+"""Int8 serving end to end: wire field, flavor execution, degradation.
+
+The int8 plan flavor must honour the full serving contract from
+docs/serving.md: requests opt in over the wire (``"int8": true``) or via
+the server default (``ServeConfig.int8``), int8 batches answer OK with a
+*different* digest than the float lane, and under fault injection the
+degradation chain steps int8 → float plan → eager → analytical, never
+surfacing an error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+from repro.serve import (
+    Batch,
+    BatchCostModel,
+    InferenceRequest,
+    InferenceServer,
+    ModelKey,
+    ModelRegistry,
+    Pending,
+    ServeConfig,
+    Status,
+    execute_batch,
+)
+from repro.serve.transport import request_from_wire
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _batch(requests):
+    now = time.monotonic()
+    for r in requests:
+        r.arrival = now
+        r.deadline = now + 60.0
+    items = [Pending(request=r, future=None) for r in requests]
+    return Batch(key=requests[0].key, items=items,
+                 planned_size=len(items), int8=requests[0].int8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ModelRegistry().get(KEY)
+
+
+class TestWireField:
+    def test_int8_field_decodes(self):
+        request, _ = request_from_wire(
+            {"net": "mobilenet_v3_small", "resolution": 32, "int8": True})
+        assert request.int8 is True
+
+    def test_int8_defaults_to_float(self):
+        request, _ = request_from_wire({"net": "mobilenet_v3_small"})
+        assert request.int8 is False
+
+
+class TestInt8Execution:
+    def test_int8_batch_answers_ok_with_distinct_digest(self, model):
+        cost = BatchCostModel()
+        float_batch = _batch([InferenceRequest(key=KEY, input_seed=i)
+                              for i in range(2)])
+        int8_batch = _batch([InferenceRequest(key=KEY, input_seed=i, int8=True)
+                             for i in range(2)])
+        float_rs = execute_batch(float_batch, model, cost)
+        int8_rs = execute_batch(int8_batch, model, cost)
+        assert all(r.status is Status.OK and not r.degraded
+                   for r in float_rs + int8_rs)
+        # Quantized answers are real answers — but not the float answers.
+        for f, q in zip(float_rs, int8_rs):
+            assert q.digest is not None
+            assert q.digest != f.digest
+
+    def test_int8_digest_deterministic(self, model):
+        cost = BatchCostModel()
+        request = lambda: InferenceRequest(key=KEY, input_seed=7, int8=True)
+        first = execute_batch(_batch([request()]), model, cost)
+        second = execute_batch(_batch([request()]), model, cost)
+        assert first[0].digest == second[0].digest
+
+
+class TestInt8Degradation:
+    def test_engine_fault_falls_back_to_float_plan(self, model):
+        """Stage 1 of the int8 chain: the float plan answers, flagged."""
+        install_plan(FaultPlan(faults=[FaultSpec(point="serve.engine")]))
+        cost = BatchCostModel()
+        batch = _batch([InferenceRequest(key=KEY, input_seed=i, int8=True)
+                        for i in range(2)])
+        responses = execute_batch(batch, model, cost)
+        assert all(r.status is Status.OK for r in responses)
+        assert all(r.degraded for r in responses)
+        assert all("folded fallback after:" in r.degraded_reason
+                   for r in responses)
+        # The fallback genuinely produced the float answer: digests match a
+        # clean float batch over the same seeds.
+        clear_plan()
+        float_rs = execute_batch(
+            _batch([InferenceRequest(key=KEY, input_seed=i)
+                    for i in range(2)]), model, cost)
+        assert [r.digest for r in responses] == [r.digest for r in float_rs]
+
+    def test_chain_reaches_eager_when_all_plans_fail(self, monkeypatch):
+        """Stages 1+2: plans gone entirely → the eager executor answers."""
+        fresh = ModelRegistry().get(KEY)
+
+        def no_plans(*args, **kwargs):
+            raise RuntimeError("no plans today")
+
+        monkeypatch.setattr(fresh, "plan_for", no_plans)
+        cost = BatchCostModel()
+        batch = _batch([InferenceRequest(key=KEY, input_seed=3, int8=True)])
+        responses = execute_batch(batch, fresh, cost)
+        assert responses[0].status is Status.OK
+        assert responses[0].degraded
+        assert "eager fallback after:" in responses[0].degraded_reason
+        assert responses[0].digest is not None
+
+
+class TestServerDefaultFlavor:
+    def test_config_int8_routes_requests_onto_int8_plan(self, model):
+        """``ServeConfig.int8`` flips every admitted request to int8."""
+        # max_batch=1 pins the plan's batch shape so digests are comparable
+        # with a direct single-request execute_batch below.
+        config = ServeConfig(engine="graph", preload=[KEY], workers=1,
+                             max_batch=1, slo_ms=30000.0, int8=True)
+
+        async def main():
+            async with InferenceServer(config) as server:
+                return await server.submit_many([
+                    InferenceRequest(key=KEY, input_seed=5) for _ in range(2)
+                ])
+
+        responses = asyncio.run(main())
+        assert all(r.status is Status.OK and not r.degraded
+                   for r in responses)
+        digests = {r.digest for r in responses}
+        assert len(digests) == 1          # same seed, same quantized answer
+        # The digest is the int8 plan's, not the float plan's.
+        cost = BatchCostModel()
+        int8_direct = execute_batch(
+            _batch([InferenceRequest(key=KEY, input_seed=5, int8=True)]),
+            model, cost)
+        float_direct = execute_batch(
+            _batch([InferenceRequest(key=KEY, input_seed=5)]), model, cost)
+        assert digests == {int8_direct[0].digest}
+        assert digests != {float_direct[0].digest}

@@ -1,0 +1,92 @@
+"""Plan-flavor caching: exact / folded / int8 are three independent plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelKey
+from repro.serve.registry import ModelRegistry, RegisteredModel
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+@pytest.fixture(scope="module")
+def model() -> RegisteredModel:
+    return ModelRegistry().get(KEY)
+
+
+class TestFlavorCaching:
+    def test_three_flavors_three_plans(self, model):
+        plans = {f: model.plan_for(4, flavor=f)
+                 for f in RegisteredModel.FLAVORS}
+        assert all(p is not None for p in plans.values())
+        # Three distinct plan objects — no cache-key collisions.
+        ids = {id(p) for p in plans.values()}
+        assert len(ids) == 3
+
+    def test_same_flavor_same_batch_is_cached(self, model):
+        assert model.plan_for(4, flavor="int8") is model.plan_for(
+            4, flavor="int8")
+        assert model.plan_for(4, flavor="folded") is model.plan_for(
+            4, flavor="folded")
+
+    def test_batch_sizes_cached_independently(self, model):
+        b4 = model.plan_for(4, flavor="int8")
+        b2 = model.plan_for(2, flavor="int8")
+        assert b4 is not b2
+        assert b4.input_shape[0] == 4
+        assert b2.input_shape[0] == 2
+
+    def test_legacy_bool_maps_onto_flavors(self, model):
+        assert model.plan_for(4, exact=True) is model.plan_for(
+            4, flavor="exact")
+        assert model.plan_for(4, exact=False) is model.plan_for(
+            4, flavor="folded")
+        # Default (no argument) is the exact plan — the bitexact contract.
+        assert model.plan_for(4) is model.plan_for(4, flavor="exact")
+
+    def test_unknown_flavor_raises(self, model):
+        with pytest.raises(ValueError, match="flavor"):
+            model.plan_for(4, flavor="fp8")
+
+
+class TestFlavorSemantics:
+    def test_flavors_disagree_the_right_amount(self, model):
+        x = np.random.default_rng(0).standard_normal(
+            (4,) + tuple(model.input_shape)).astype(np.float32)
+        exact = model.plan_for(4, flavor="exact").run(x)
+        folded = model.plan_for(4, flavor="folded").run(x)
+        int8 = model.plan_for(4, flavor="int8").run(x)
+        assert exact.shape == folded.shape == int8.shape
+        # Folded is float-close to exact; int8 is close but clearly coarser.
+        fold_err = float(np.max(np.abs(folded - exact)))
+        int8_err = float(np.max(np.abs(int8 - exact)))
+        assert fold_err < 1e-4
+        assert 0.0 < int8_err < 0.1
+        assert int8_err > fold_err
+
+    def test_int8_plan_reports_integer_coverage(self, model):
+        plan = model.plan_for(4, flavor="int8")
+        assert plan.stats.int8_ops > 10
+        assert plan.stats.int8_fallbacks < plan.stats.int8_ops
+
+
+class TestCompileFailureLatching:
+    def test_failure_latches_none_per_flavor(self, monkeypatch):
+        model = ModelRegistry().get(ModelKey("mobilenet_v1", resolution=32))
+        import repro.nn.compile as compile_mod
+
+        calls = {"n": 0}
+
+        def boom(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("injected compile failure")
+
+        monkeypatch.setattr(compile_mod, "compile_executor", boom)
+        assert model.plan_for(2, flavor="int8") is None
+        assert model.plan_for(2, flavor="int8") is None   # latched: no retry
+        assert calls["n"] == 1
+        monkeypatch.undo()
+        # Other flavors are unaffected by the latched int8 failure.
+        assert model.plan_for(2, flavor="folded") is not None

@@ -1,0 +1,59 @@
+"""Repository hygiene: compiled bytecode must never be tracked.
+
+PR 6 accidentally committed 98 ``__pycache__/*.pyc`` files.  This guard
+fails tier-1 if any compiled bytecode (or a ``__pycache__`` directory)
+ever lands in the git index again, and checks that ``.gitignore`` keeps
+ignoring the patterns that caused it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+
+
+def _tracked_files() -> list[str]:
+    return _git("ls-files").splitlines()
+
+
+@pytest.fixture(scope="module")
+def in_git_repo() -> None:
+    if shutil.which("git") is None:
+        pytest.skip("git not available")
+    if not (REPO_ROOT / ".git").exists():
+        pytest.skip("not running from a git checkout")
+
+
+def test_no_tracked_bytecode(in_git_repo: None) -> None:
+    offenders = [
+        path
+        for path in _tracked_files()
+        if path.endswith((".pyc", ".pyo")) or "__pycache__" in path.split("/")
+    ]
+    assert not offenders, (
+        "compiled bytecode is tracked by git (run `git rm -r --cached` on it):\n"
+        + "\n".join(offenders[:20])
+    )
+
+
+def test_gitignore_covers_bytecode(in_git_repo: None) -> None:
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.exists(), ".gitignore is missing"
+    patterns = {line.strip() for line in gitignore.read_text().splitlines()}
+    assert "__pycache__/" in patterns
+    assert "*.pyc" in patterns
