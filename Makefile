@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke fleet-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke fleet-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -77,6 +77,24 @@ telemetry-smoke:
 	python -c "import json; from repro.obs.expose import render_exposition_dict, parse_exposition; p=parse_exposition(render_exposition_dict(json.load(open('.smoke-telemetry-metrics.json')))); taken=p.value('repro_obs_snapshots_taken'); assert taken is not None and taken > 2, 'snapshot loop did not advance: %r' % taken; ok=p.value('repro_serve_loadgen_ok'); assert ok and ok >= 40, 'exposition missing ok requests: %r' % ok; assert p.value('repro_serve_loadgen_alert_firing', rule='shed-burn') is not None, 'burn-rate alerts were not evaluated'"
 	python -c "import json; from repro.obs.tracing import span_topology; topo=span_topology(json.load(open('.smoke-telemetry-trace.json'))['traceEvents']); assert topo, 'no linked request traces recorded'; names={n for shape in topo for n, _ in shape}; assert {'serve.admit', 'serve.queue', 'serve.request'} <= names, 'incomplete request chains: %s' % sorted(names)"
 	rm -f .smoke-telemetry-trace.json .smoke-telemetry-metrics.json
+
+# Fleet smoke (docs/fleet.md): four replicas behind the consistent-hash
+# router take a seeded workload while one replica is killed mid-run;
+# --check fails the target unless every fleet bound held (zero unhandled
+# errors, >=99% of non-shed requests answered, only the victim's lanes
+# moved, same-seed replay fingerprint identical) and the metrics sidecar
+# must carry the fleet.chaos.* / fleet.router.* series.  The scaling
+# comparison (single node vs 4 replicas, core-count-honest gates) is
+# regenerated by bench_fleet.py into benchmarks/results/BENCH_fleet.json.
+fleet-smoke:
+	timeout 300 python -m repro loadgen mobilenet_v3_small --resolution 32 \
+		--requests 120 --clients 6 --workers 2 --engine analytical \
+		--slo-ms 1000 --chaos --fleet 4 --check --quiet \
+		--metrics-out .smoke-fleet.json
+	python -m repro.obs.validate .smoke-fleet.json
+	python -c "import json,sys; names={m['name'] for m in json.load(open('.smoke-fleet.json'))['metrics']}; missing=[n for n in ('fleet.chaos.answered_rate','fleet.chaos.reroutes','fleet.chaos.unhandled_failures','fleet.router.requests') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
+	rm -f .smoke-fleet.json
+	timeout 300 python benchmarks/bench_fleet.py --smoke
 
 # Compiled-runtime smoke (docs/runtime.md): the exact plan must stay
 # bit-identical to eager, the folded plan within 1e-4, and faster than

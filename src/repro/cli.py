@@ -464,6 +464,10 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                        help="also expose GET /metrics + /telemetry over HTTP "
                             "on this port (0 = ephemeral; default off — "
                             "'op: metrics' on the main port always works)")
+    group.add_argument("--plan-cache-cap", type=int, default=None, metavar="N",
+                       help="LRU bound on compiled plans kept per model "
+                            "across (batch, flavor) keys; evictions count "
+                            "as serve.plan_evictions (default unbounded)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -508,6 +512,7 @@ def _serve_config(args: argparse.Namespace, keys: list):
         int8=args.int8,
         jobs=_effective_jobs(args) or 1,
         cache_dir=args.cache_dir,
+        plan_cache_cap=args.plan_cache_cap,
         array=_array_from_args(args),
         preload=keys,
         resilience=args.resilience,
@@ -562,20 +567,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _parse_ramp(text: str):
+    """``start:end:steps`` → the WorkloadSpec ramp tuple."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"--ramp wants START:END:STEPS (e.g. 20:200:5), got {text!r}")
+    return (float(parts[0]), float(parts[1]), int(parts[2]))
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve import InferenceServer, WorkloadSpec, run_workload
 
     keys = _serve_keys(args)
+    ramp = _parse_ramp(args.ramp) if args.ramp else None
     spec = WorkloadSpec(
         keys=keys,
         requests=args.requests,
-        mode=args.mode,
+        mode="open" if ramp else args.mode,  # ramps are open-loop
         clients=args.clients,
         rate=args.rate,
         slo_ms=None,  # server default (--slo-ms) applies
         seed=args.workload_seed,
+        ramp=ramp,
     )
 
     if args.chaos:
@@ -583,18 +599,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print("--chaos runs its own in-process server; "
                   "drop --connect", file=sys.stderr)
             return 2
-        from .serve import default_chaos_plan, run_chaos
-
         chaos_seed = (args.chaos_seed if args.chaos_seed is not None
                       else args.workload_seed)
         p99_bound = (args.chaos_p99_ms if args.chaos_p99_ms is not None
                      else 2.0 * args.slo_ms)
-        chaos = asyncio.run(run_chaos(
-            spec,
-            plan=default_chaos_plan(chaos_seed),
-            config=_serve_config(args, keys),
-            max_p99_ms=p99_bound,
-        ))
+        if args.fleet:
+            from .fleet import run_fleet_chaos
+
+            chaos = asyncio.run(run_fleet_chaos(
+                spec,
+                replicas=args.fleet,
+                config=_serve_config(args, keys),
+                max_p99_ms=p99_bound,
+            ))
+        else:
+            from .serve import default_chaos_plan, run_chaos
+
+            chaos = asyncio.run(run_chaos(
+                spec,
+                plan=default_chaos_plan(chaos_seed),
+                config=_serve_config(args, keys),
+                max_p99_ms=p99_bound,
+            ))
         print(chaos.render())
         if args.check:
             failures = chaos.check()
@@ -616,6 +642,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 return await run_workload(client.submit, spec)
             finally:
                 await client.close()
+        if args.fleet:
+            # An in-process fleet: N replicas behind a router, every
+            # request crossing real loopback sockets through both hops.
+            from .fleet import FleetRouter, FleetSupervisor, RouterConfig
+            from .serve import RemoteClient
+
+            supervisor = FleetSupervisor(
+                base_config=_serve_config(args, keys), mode="inproc")
+            endpoints = [await supervisor.spawn()
+                         for _ in range(args.fleet)]
+            router = FleetRouter(endpoints,
+                                 RouterConfig(seed=args.workload_seed))
+            await router.start()
+            client = RemoteClient("127.0.0.1", router.port)
+            try:
+                await client.connect()
+                return await run_workload(client.submit, spec)
+            finally:
+                await client.close()
+                await router.stop()
+                await supervisor.stop()
         server = InferenceServer(_serve_config(args, keys))
         async with server:
             report = await run_workload(server.submit, spec)
@@ -644,12 +691,17 @@ def cmd_top(args: argparse.Namespace) -> int:
 
     from .serve.top import run_top
 
+    ports = None
+    if args.ports:
+        ports = [int(p) for p in args.ports.split(",") if p.strip()]
     try:
         rendered = asyncio.run(run_top(
             host=args.host,
             port=args.port,
             interval_s=args.interval,
             frames=args.frames,
+            ports=ports,
+            fleet=args.fleet,
         ))
     except KeyboardInterrupt:
         return 0
@@ -658,6 +710,108 @@ def cmd_top(args: argparse.Namespace) -> int:
               f"(server unreachable?)", file=sys.stderr)
         return 1
     return 0
+
+
+def _replica_serve_argv(args: argparse.Namespace) -> List[str]:
+    """The ``repro serve`` argv tail replicating this command's knobs."""
+    argv: List[str] = list(args.models or [])
+    if args.net:
+        argv += ["--net", args.net]
+    if args.variant is not None:
+        argv += ["--variant", args.variant]
+    argv += [
+        "--resolution", str(args.resolution), "--seed", str(args.seed),
+        "--engine", args.engine, "--workers", str(args.workers),
+        "--max-batch", str(args.max_batch),
+        "--max-queue", str(args.max_queue),
+        "--slo-ms", str(args.slo_ms),
+        "--batch-timeout-ms", str(args.batch_timeout_ms),
+        "--quiet",
+    ]
+    if args.int8:
+        argv.append("--int8")
+    if not args.compile:
+        argv.append("--no-compile")
+    if not args.bitexact:
+        argv.append("--no-bitexact")
+    if not args.resilience:
+        argv.append("--no-resilience")
+    if args.plan_cache_cap is not None:
+        argv += ["--plan-cache-cap", str(args.plan_cache_cap)]
+    return argv
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .fleet import (
+        Autoscaler,
+        AutoscalerPolicy,
+        FleetRouter,
+        FleetSupervisor,
+        RouterConfig,
+        price_capacity_qps,
+    )
+
+    keys = _serve_keys(args)
+    config = _serve_config(args, keys)
+
+    async def run() -> int:
+        supervisor = FleetSupervisor(
+            base_config=config,
+            mode=args.replica_mode,
+            serve_argv=_replica_serve_argv(args),
+        )
+        router = FleetRouter([], RouterConfig(seed=args.seed))
+        autoscaler = None
+        try:
+            for _ in range(args.replicas):
+                router.add_replica(await supervisor.spawn())
+            await router.start(args.host, args.port)
+            print(f"fleet router on {args.host}:{router.port} — "
+                  f"{len(router.links)} replica(s), mode={args.replica_mode}")
+            for link in router.links.values():
+                print(f"  - {link.replica_id} @ {link.endpoint.address()}")
+            if args.autoscale:
+                # Price one replica on the first served model: the cost
+                # model's analytical estimate needs the built network.
+                from .serve import BatchCostModel, ModelRegistry
+
+                model = ModelRegistry().get(keys[0])
+                capacity = price_capacity_qps(
+                    BatchCostModel(array=config.array,
+                                   cache_dir=config.cache_dir),
+                    model, config.workers, config.max_batch,
+                )
+                policy = AutoscalerPolicy(min_replicas=args.min_replicas,
+                                          max_replicas=args.max_replicas)
+                autoscaler = Autoscaler(router, supervisor,
+                                        capacity_qps=capacity,
+                                        policy=policy).start()
+                print(f"autoscaler on: {capacity:.1f} req/s priced per "
+                      f"replica, {args.min_replicas}..{args.max_replicas} "
+                      f"replicas")
+            print(f"watch live: repro top --port {router.port} --fleet")
+            if args.duration and args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # until interrupted
+        finally:
+            if autoscaler is not None:
+                await autoscaler.stop()
+            view = router.fleet_view()
+            await router.stop()
+            await supervisor.stop()
+            answered = sum(r["answered"] for r in view["replicas"])
+            sheds = sum(r["sheds"] for r in view["replicas"])
+            print(f"fleet served: answered={answered} sheds={sheds} "
+                  f"replicas={view['total']}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -822,7 +976,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-p99-ms", type=float, default=None,
                    help="p99 degradation bound under chaos "
                         "(default: 2 x --slo-ms)")
+    p.add_argument("--ramp", metavar="START:END:STEPS", default=None,
+                   help="open-loop stair profile: split the run into STEPS "
+                        "slices at rates linspace(START, END) req/s and "
+                        "report per-step stats + a saturation estimate "
+                        "(implies --mode open)")
+    p.add_argument("--fleet", type=int, default=None, metavar="N",
+                   help="drive the workload through an in-process fleet of "
+                        "N replicas behind a FleetRouter (with --chaos: "
+                        "kill a replica mid-run and assert the fleet "
+                        "bounds; see docs/fleet.md)")
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser(
+        "fleet",
+        help="replica fleet behind a consistent-hash router "
+             "(see docs/fleet.md)",
+        parents=[common],
+    )
+    _add_serve_options(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8710,
+                   help="router TCP port (0 = ephemeral; default 8710)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas to start (default 2)")
+    p.add_argument("--replica-mode", choices=("process", "inproc"),
+                   default="process",
+                   help="replicas as 'repro serve' child processes "
+                        "(default; true per-replica telemetry) or "
+                        "in-process servers (single process, shared "
+                        "metrics registry)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="add/drain replicas from live load, priced by the "
+                        "batch cost model")
+    p.add_argument("--min-replicas", type=int, default=1,
+                   help="autoscaler floor (default 1)")
+    p.add_argument("--max-replicas", type=int, default=8,
+                   help="autoscaler ceiling (default 8)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve (0 = until Ctrl-C)")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "top",
@@ -836,6 +1029,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between frames (default 1)")
     p.add_argument("--frames", type=int, default=None, metavar="N",
                    help="stop after N frames (default: until Ctrl-C)")
+    p.add_argument("--ports", metavar="P1,P2,...", default=None,
+                   help="scrape several replicas directly and render one "
+                        "fleet frame (per-replica columns + totals)")
+    p.add_argument("--fleet", action="store_true",
+                   help="treat the target as a fleet router: one scrape "
+                        "returns every replica's telemetry, rendered as "
+                        "a fleet frame")
     p.set_defaults(fn=cmd_top)
     return parser
 

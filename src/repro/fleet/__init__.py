@@ -1,0 +1,48 @@
+"""repro.fleet — the distributed serving fleet above :mod:`repro.serve`.
+
+One node (PRs 3–7) batches, schedules, compiles, and traces; this
+package scales it out: N :class:`~repro.serve.server.InferenceServer`
+replicas behind one :class:`~repro.fleet.router.FleetRouter` frontend
+speaking the same JSON-lines wire protocol, with consistent-hash
+placement (:mod:`~repro.fleet.placement`), replica health tracking
+(:mod:`~repro.fleet.health`), lifecycle supervision
+(:mod:`~repro.fleet.supervisor`), cost-model-priced autoscaling
+(:mod:`~repro.fleet.autoscaler`) and fleet-wide chaos
+(:mod:`~repro.fleet.chaos`).  ``docs/fleet.md`` is the narrative tour.
+"""
+
+from .autoscaler import (
+    Autoscaler,
+    AutoscalerPolicy,
+    FleetSnapshot,
+    ReplicaSample,
+    ScaleDecision,
+    price_capacity_qps,
+)
+from .chaos import FleetChaosReport, run_fleet_chaos
+from .health import ReplicaEndpoint, ReplicaHealth, ReplicaState
+from .placement import DEFAULT_VNODES, HashRing
+from .router import FleetRouter, ReplicaLink, RouterConfig
+from .supervisor import FleetSupervisor, ReplicaHandle, free_port
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "FleetSnapshot",
+    "ReplicaSample",
+    "ScaleDecision",
+    "price_capacity_qps",
+    "FleetChaosReport",
+    "run_fleet_chaos",
+    "ReplicaEndpoint",
+    "ReplicaHealth",
+    "ReplicaState",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "FleetRouter",
+    "ReplicaLink",
+    "RouterConfig",
+    "FleetSupervisor",
+    "ReplicaHandle",
+    "free_port",
+]

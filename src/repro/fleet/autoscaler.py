@@ -1,0 +1,301 @@
+"""Autoscaling: grow and shrink the fleet from live telemetry.
+
+Split in the standard way so the interesting part is testable without a
+fleet:
+
+* :func:`price_capacity_qps` — what one replica is *worth*, priced by
+  the :class:`~repro.serve.costmodel.BatchCostModel`: a replica with
+  ``workers`` executors running full batches of ``max_batch`` whose
+  predicted wall latency is ``predicted_wall_ms(max_batch)`` sustains
+  ``workers * max_batch * 1000 / wall_ms`` requests per second.  The
+  cost model's calibration (wall/simulated EWMA) keeps this honest as
+  the run warms up.
+* :class:`AutoscalerPolicy` — a pure, deterministic decision function
+  over one :class:`FleetSnapshot`: scale **up** when observed fleet
+  utilization crosses ``target_utilization`` or replicas shed, scale
+  **down** only after ``patience_ticks`` consecutive low-utilization
+  samples (sheds reset the streak), and never act twice within
+  ``cooldown_ticks``.  Hysteresis lives here, in one place.
+* :class:`Autoscaler` — the actuator loop: samples the router's
+  per-replica accounting, asks the policy, and applies the decision via
+  the :class:`~repro.fleet.supervisor.FleetSupervisor` (spawn on up,
+  drain on down) and the router's membership API.
+
+Scale-down drains the highest-numbered replica: replica ids are stable
+(``r0``, ``r1``, ...), so shrinking from the top end means the surviving
+replicas keep exactly the ring positions — and warm plan caches — they
+already had.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..obs import get_logger, get_registry
+from ..serve.costmodel import BatchCostModel
+from ..serve.registry import RegisteredModel
+
+__all__ = [
+    "price_capacity_qps",
+    "ReplicaSample",
+    "FleetSnapshot",
+    "ScaleDecision",
+    "AutoscalerPolicy",
+    "Autoscaler",
+]
+
+_log = get_logger("fleet.autoscaler")
+
+
+def price_capacity_qps(
+    cost_model: BatchCostModel,
+    model: RegisteredModel,
+    workers: int,
+    max_batch: int,
+    flavor: str = "float",
+) -> float:
+    """Sustained QPS one replica should manage on ``model`` at full batch."""
+    wall_ms = cost_model.predicted_wall_ms(model, batch=max_batch,
+                                           flavor=flavor)
+    if wall_ms <= 0:
+        return float("inf")
+    return workers * max_batch * 1000.0 / wall_ms
+
+
+@dataclass(frozen=True)
+class ReplicaSample:
+    """One replica's slice of a snapshot interval (router-side deltas)."""
+
+    replica_id: str
+    usable: bool
+    outstanding: int = 0
+    queue_depth: int = 0
+    answered_delta: int = 0   #: forwards answered this interval
+    sheds_delta: int = 0      #: SHED answers this interval
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """What the policy sees: one interval of fleet-wide load."""
+
+    interval_s: float
+    replicas: Tuple[ReplicaSample, ...]
+    capacity_qps: float       #: priced per-replica capacity
+
+    @property
+    def usable(self) -> int:
+        return sum(1 for r in self.replicas if r.usable)
+
+    @property
+    def qps(self) -> float:
+        if self.interval_s <= 0:
+            return 0.0
+        return sum(r.answered_delta for r in self.replicas) / self.interval_s
+
+    @property
+    def shed_rate(self) -> float:
+        answered = sum(r.answered_delta for r in self.replicas)
+        sheds = sum(r.sheds_delta for r in self.replicas)
+        total = answered + sheds
+        return sheds / total if total else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Observed fleet QPS over priced usable capacity (0 with no fleet)."""
+        capacity = self.usable * self.capacity_qps
+        if capacity <= 0 or capacity == float("inf"):
+            return 0.0
+        return self.qps / capacity
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    action: str               #: up | down | hold
+    reason: str
+    utilization: float = 0.0
+    shed_rate: float = 0.0
+
+
+class AutoscalerPolicy:
+    """Pure scaling policy with hysteresis; deterministic tick-by-tick."""
+
+    def __init__(
+        self,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        target_utilization: float = 0.7,
+        low_utilization: float = 0.3,
+        shed_rate_up: float = 0.01,
+        patience_ticks: int = 3,
+        cooldown_ticks: int = 2,
+    ) -> None:
+        if not 1 <= min_replicas <= max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not 0.0 < low_utilization < target_utilization <= 1.0:
+            raise ValueError("need 0 < low_utilization < target_utilization <= 1")
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.target_utilization = target_utilization
+        self.low_utilization = low_utilization
+        self.shed_rate_up = shed_rate_up
+        self.patience_ticks = patience_ticks
+        self.cooldown_ticks = cooldown_ticks
+        self._low_streak = 0
+        self._cooldown = 0
+
+    def decide(self, snapshot: FleetSnapshot) -> ScaleDecision:
+        utilization = snapshot.utilization
+        shed_rate = snapshot.shed_rate
+        usable = snapshot.usable
+
+        def hold(reason: str) -> ScaleDecision:
+            return ScaleDecision("hold", reason, utilization, shed_rate)
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return hold(f"cooldown ({self._cooldown + 1} ticks left)")
+
+        if usable < self.min_replicas:
+            self._low_streak = 0
+            self._cooldown = self.cooldown_ticks
+            return ScaleDecision("up", f"below min_replicas={self.min_replicas}",
+                                 utilization, shed_rate)
+
+        overloaded = (shed_rate > self.shed_rate_up
+                      or utilization > self.target_utilization)
+        if overloaded:
+            self._low_streak = 0
+            if usable >= self.max_replicas:
+                return hold(f"overloaded but at max_replicas={self.max_replicas}")
+            self._cooldown = self.cooldown_ticks
+            why = (f"shed_rate={shed_rate:.3f}" if shed_rate > self.shed_rate_up
+                   else f"utilization={utilization:.2f}"
+                        f">{self.target_utilization:.2f}")
+            return ScaleDecision("up", why, utilization, shed_rate)
+
+        if utilization < self.low_utilization and shed_rate == 0.0:
+            self._low_streak += 1
+            if usable <= self.min_replicas:
+                self._low_streak = 0
+                return hold(f"idle but at min_replicas={self.min_replicas}")
+            if self._low_streak >= self.patience_ticks:
+                self._low_streak = 0
+                self._cooldown = self.cooldown_ticks
+                return ScaleDecision(
+                    "down",
+                    f"utilization<{self.low_utilization:.2f} "
+                    f"for {self.patience_ticks} ticks",
+                    utilization, shed_rate,
+                )
+            return hold(f"low streak {self._low_streak}/{self.patience_ticks}")
+
+        self._low_streak = 0
+        return hold("within band")
+
+
+class Autoscaler:
+    """The loop: router accounting → snapshot → policy → supervisor."""
+
+    def __init__(
+        self,
+        router,                 #: FleetRouter (untyped to avoid the cycle)
+        supervisor,             #: FleetSupervisor
+        capacity_qps: float,
+        policy: Optional[AutoscalerPolicy] = None,
+        interval_s: float = 1.0,
+    ) -> None:
+        self.router = router
+        self.supervisor = supervisor
+        self.capacity_qps = capacity_qps
+        self.policy = policy or AutoscalerPolicy()
+        self.interval_s = interval_s
+        self._last: dict = {}       # replica_id -> (answered, sheds)
+        self._task: Optional[asyncio.Task] = None
+        self._metrics = get_registry()
+        self.decisions: list = []   #: applied (tick, decision) log
+
+    # --------------------------------------------------------------- sampling
+
+    def sample(self, interval_s: Optional[float] = None) -> FleetSnapshot:
+        """Snapshot the router's per-replica counters as interval deltas."""
+        samples = []
+        for link in self.router.links.values():
+            answered, sheds = link.ok, link.sheds
+            last_answered, last_sheds = self._last.get(link.replica_id, (0, 0))
+            self._last[link.replica_id] = (answered, sheds)
+            samples.append(ReplicaSample(
+                replica_id=link.replica_id,
+                usable=link.health.usable,
+                outstanding=link.outstanding,
+                queue_depth=int(link.last_health.get("queue_depth") or 0),
+                answered_delta=max(0, answered - last_answered),
+                sheds_delta=max(0, sheds - last_sheds),
+            ))
+        return FleetSnapshot(
+            interval_s=interval_s if interval_s is not None else self.interval_s,
+            replicas=tuple(sorted(samples, key=lambda s: s.replica_id)),
+            capacity_qps=self.capacity_qps,
+        )
+
+    # ------------------------------------------------------------------- tick
+
+    async def tick(self, snapshot: Optional[FleetSnapshot] = None) -> ScaleDecision:
+        """One sample → decide → apply step (the loop body; tests call it)."""
+        snapshot = snapshot or self.sample()
+        decision = self.policy.decide(snapshot)
+        self._metrics.gauge("fleet.autoscaler.utilization").set(
+            decision.utilization)
+        self._metrics.gauge("fleet.autoscaler.shed_rate").set(
+            decision.shed_rate)
+        if decision.action == "up":
+            await self._scale_up(decision)
+        elif decision.action == "down":
+            await self._scale_down(decision)
+        self.decisions.append(decision)
+        return decision
+
+    async def _scale_up(self, decision: ScaleDecision) -> None:
+        endpoint = await self.supervisor.spawn()
+        self.router.add_replica(endpoint)
+        self._metrics.counter("fleet.autoscaler.scale_ups").inc()
+        _log.info("scaled up", replica=endpoint.replica_id,
+                  reason=decision.reason,
+                  utilization=round(decision.utilization, 3))
+
+    async def _scale_down(self, decision: ScaleDecision) -> None:
+        candidates = [rid for rid, link in self.router.links.items()
+                      if link.health.usable]
+        if not candidates:
+            return
+        # Highest id leaves: survivors keep their ring arcs (see module doc).
+        victim = max(candidates)
+        self.router.mark_draining(victim)
+        await self.supervisor.drain(victim)
+        await self.router.remove_replica(victim)
+        self._last.pop(victim, None)
+        self._metrics.counter("fleet.autoscaler.scale_downs").inc()
+        _log.info("scaled down", replica=victim, reason=decision.reason,
+                  utilization=round(decision.utilization, 3))
+
+    # ------------------------------------------------------------------- loop
+
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.tick()
+
+    def start(self) -> "Autoscaler":
+        if self._task is None:
+            self._task = asyncio.create_task(self._loop())
+        return self
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None

@@ -1,0 +1,271 @@
+"""Fleet chaos: kill a replica mid-run, prove the router absorbs it.
+
+The single-node chaos suite (:mod:`repro.serve.chaos`) injects faults
+*inside* one server; the fleet suite injects the fault the fleet layer
+exists for — a whole replica dying under live traffic.  One exercise:
+
+1. spawn ``replicas`` in-process servers behind a :class:`FleetRouter`
+   and drive the standard deterministic workload through the router;
+2. once ``kill_fraction`` of the requests have completed, **crash** the
+   replica that owns the first model's lane (connections aborted, queue
+   dropped — :meth:`~repro.fleet.supervisor.FleetSupervisor.kill`), the
+   worst case because it is the one taking traffic;
+3. assert the chaos bounds afterwards
+   (:meth:`FleetChaosReport.check`):
+
+   * zero unhandled errors — every request got an answer (the router
+     turns dead-replica forwards into reroutes, and total exhaustion
+     into an accounted router-SHED, never an exception);
+   * ≥ ``min_answered_rate`` of non-shed requests answered OK;
+   * requests kept completing *after* the kill (rerouting actually
+     carried traffic, not just the pre-kill prefix);
+   * the router is still ready with exactly ``replicas - 1`` usable
+     backends, and the victim's lanes — and only the victim's lanes —
+     moved to surviving replicas (consistent hashing's minimal-movement
+     property, observed end to end);
+   * the same-seed replay fingerprint (the SHA-256 over the expanded
+     request stream) is byte-identical to the pre-run digest, so a
+     re-run replays exactly the traffic that survived the kill.
+
+The exercise runs single-process (supervisor ``inproc`` mode) but every
+request crosses real loopback sockets through the real router — the kill
+is a genuine TCP RST storm, not a mock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs import get_logger, get_registry
+from ..serve.chaos import _requests_digest
+from ..serve.loadgen import LoadReport, WorkloadSpec, run_workload
+from ..serve.server import ServeConfig
+from ..serve.transport import RemoteClient
+from .router import FleetRouter, RouterConfig
+from .supervisor import FleetSupervisor
+
+__all__ = ["FleetChaosReport", "run_fleet_chaos"]
+
+_log = get_logger("fleet.chaos")
+
+
+@dataclass
+class FleetChaosReport:
+    """Everything one fleet-kill exercise observed, plus the bound checks."""
+
+    report: LoadReport
+    requests_digest: str        #: pre-run fingerprint of the request stream
+    replay_digest: str          #: same spec re-expanded after the run
+    replicas: int
+    victim: str                 #: replica killed mid-run
+    killed_at_completed: int    #: completions when the kill fired
+    ok_after_kill: int          #: OK answers completed after the kill
+    health_after: dict          #: router ``op: health`` after the run
+    placement_before: Dict[str, str]
+    placement_after: Dict[str, str]
+    reroutes: int               #: forwards the router retried elsewhere
+    min_answered_rate: float = 0.99
+    max_p99_ms: Optional[float] = None
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def answered_rate(self) -> float:
+        denom = self.report.total - self.report.shed
+        return self.report.ok / denom if denom > 0 else 1.0
+
+    @property
+    def moved_lanes(self) -> List[str]:
+        return [lane for lane, owner in self.placement_before.items()
+                if self.placement_after.get(lane) != owner]
+
+    def check(self) -> List[str]:
+        failures: List[str] = []
+        if self.report.errors:
+            failures.append(
+                f"{self.report.errors} unhandled errors — a replica kill "
+                f"must surface as reroute or accounted shed, never ERROR"
+            )
+        if self.answered_rate < self.min_answered_rate:
+            failures.append(
+                f"answered rate {self.answered_rate:.4f} < "
+                f"{self.min_answered_rate} ({self.report.ok} ok of "
+                f"{self.report.total - self.report.shed} non-shed)"
+            )
+        if self.killed_at_completed <= 0:
+            failures.append("kill never fired — the exercise is inert")
+        if self.ok_after_kill <= 0:
+            failures.append(
+                "no request completed after the kill — the router did not "
+                "carry traffic on the surviving replicas"
+            )
+        if not self.health_after.get("ready", False):
+            failures.append(f"router not ready after kill: {self.health_after}")
+        usable = self.health_after.get("usable")
+        if usable != self.replicas - 1:
+            failures.append(
+                f"expected {self.replicas - 1} usable replicas after the "
+                f"kill, router reports {usable}"
+            )
+        stray = [lane for lane in self.moved_lanes
+                 if self.placement_before[lane] != self.victim]
+        if stray:
+            failures.append(
+                f"lanes not owned by the victim moved: {stray} — "
+                f"minimal-movement violated"
+            )
+        victim_lanes = [lane for lane, owner in self.placement_before.items()
+                        if owner == self.victim]
+        if victim_lanes and not self.moved_lanes:
+            failures.append(
+                f"victim {self.victim} owned lanes {victim_lanes} but "
+                f"none moved after the kill"
+            )
+        if any(owner == self.victim for owner in self.placement_after.values()):
+            failures.append(f"dead replica {self.victim} still owns lanes")
+        if self.replay_digest != self.requests_digest:
+            failures.append(
+                f"replay fingerprint changed: {self.requests_digest[:12]} → "
+                f"{self.replay_digest[:12]}"
+            )
+        if self.max_p99_ms is not None and self.report.p99_ms > self.max_p99_ms:
+            failures.append(
+                f"p99 {self.report.p99_ms:.1f} ms exceeded the kill-latency "
+                f"bound {self.max_p99_ms:.1f} ms"
+            )
+        self.failures = failures
+        return failures
+
+    @property
+    def ok(self) -> bool:
+        return not self.check()
+
+    def record(self) -> None:
+        registry = get_registry()
+        registry.gauge("fleet.chaos.answered_rate").set(self.answered_rate)
+        registry.gauge("fleet.chaos.ok_after_kill").set(
+            float(self.ok_after_kill))
+        registry.gauge("fleet.chaos.reroutes").set(float(self.reroutes))
+        registry.gauge("fleet.chaos.moved_lanes").set(
+            float(len(self.moved_lanes)))
+        registry.gauge("fleet.chaos.unhandled_failures").set(
+            float(len(self.check())))
+
+    def render(self) -> str:
+        lines = [
+            self.report.render(),
+            f"  fleet chaos : {self.replicas} replicas, killed "
+            f"{self.victim} after {self.killed_at_completed} completions",
+            f"  rerouting   : {self.reroutes} forwards rerouted, "
+            f"{self.ok_after_kill} ok answers after the kill",
+            f"  placement   : {len(self.moved_lanes)} lane(s) moved "
+            f"({', '.join(self.moved_lanes) or 'none'})",
+            f"  answered    : {self.answered_rate * 100:.2f}% of non-shed "
+            f"(bound {self.min_answered_rate * 100:.0f}%)",
+            f"  fingerprint : {self.requests_digest[:12]} "
+            f"(replay {'identical' if self.replay_digest == self.requests_digest else 'DIVERGED'})",
+            f"  health      : ready={self.health_after.get('ready')}  "
+            f"usable={self.health_after.get('usable')}"
+            f"/{self.health_after.get('total')}",
+        ]
+        failures = self.check()
+        if failures:
+            lines.append("  CHAOS FAIL  : " + "; ".join(failures))
+        else:
+            lines.append("  chaos check : all fleet bounds held")
+        return "\n".join(lines)
+
+
+async def run_fleet_chaos(
+    spec: WorkloadSpec,
+    replicas: int = 4,
+    config: Optional[ServeConfig] = None,
+    router_config: Optional[RouterConfig] = None,
+    kill_fraction: float = 0.35,
+    min_answered_rate: float = 0.99,
+    max_p99_ms: Optional[float] = None,
+    client_timeout_s: float = 30.0,
+) -> FleetChaosReport:
+    """One fleet-kill exercise (see the module docstring for the plot)."""
+    if replicas < 2:
+        raise ValueError("fleet chaos needs at least 2 replicas")
+    config = config or ServeConfig(preload=list(spec.keys))
+    router_config = router_config or RouterConfig(
+        seed=spec.seed, probe_interval_s=0.1
+    )
+    digest_before = _requests_digest(spec)
+    lanes = [FleetRouter.lane(k.canonical(), bool(config.int8))
+             for k in spec.keys]
+
+    supervisor = FleetSupervisor(base_config=config, mode="inproc")
+    endpoints = [await supervisor.spawn() for _ in range(replicas)]
+    router = FleetRouter(endpoints, router_config)
+    await router.start()
+
+    placement_before = router.ring.assignment(lanes)
+    victim = placement_before[lanes[0]]
+    kill_after = max(1, int(spec.requests * kill_fraction))
+    _log.info("fleet chaos starting", replicas=replicas, victim=victim,
+              kill_after=kill_after, requests=spec.requests)
+
+    reroutes_before = _counter("fleet.reroutes")
+    client = RemoteClient("127.0.0.1", router.port,
+                          timeout_s=client_timeout_s, seed=spec.seed)
+    state = {"completed": 0, "killed_at": 0, "ok_after_kill": 0,
+             "kill_task": None}
+
+    async def kill_victim() -> None:
+        await supervisor.kill(victim)
+        # The router discovers the death through failed forwards/probes —
+        # membership is deliberately NOT updated here.
+        _log.info("victim killed", replica=victim,
+                  completed=state["killed_at"])
+
+    async def submit(request):
+        response = await client.submit(request)
+        state["completed"] += 1
+        if state["kill_task"] is None and state["completed"] >= kill_after:
+            state["killed_at"] = state["completed"]
+            state["kill_task"] = asyncio.create_task(kill_victim())
+        elif state["kill_task"] is not None and response.ok:
+            state["ok_after_kill"] += 1
+        return response
+
+    try:
+        await client.connect()
+        report = await run_workload(submit, spec)
+        if state["kill_task"] is not None:
+            await state["kill_task"]
+        # Let the probe loop settle the victim's state before reading
+        # health — forwards already demoted it, probes confirm.
+        await router.probe_once()
+        health = await client.health()
+        placement_after = router.ring.assignment(lanes)
+    finally:
+        await client.close()
+        await router.stop()
+        await supervisor.stop()
+
+    chaos = FleetChaosReport(
+        report=report,
+        requests_digest=digest_before,
+        replay_digest=_requests_digest(spec),
+        replicas=replicas,
+        victim=victim,
+        killed_at_completed=state["killed_at"],
+        ok_after_kill=state["ok_after_kill"],
+        health_after=health,
+        placement_before=placement_before,
+        placement_after=placement_after,
+        reroutes=int(_counter("fleet.reroutes") - reroutes_before),
+        min_answered_rate=min_answered_rate,
+        max_p99_ms=max_p99_ms,
+    )
+    chaos.record()
+    return chaos
+
+
+def _counter(name: str) -> float:
+    metric = get_registry().get(name)
+    return float(metric.value) if metric is not None else 0.0

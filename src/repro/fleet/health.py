@@ -1,0 +1,150 @@
+"""Replica health: what the router knows about each backend.
+
+Two signal paths feed one small state machine per replica:
+
+* **passive** — every forwarded request is a health sample.  A transport
+  failure (connection refused/reset, timeout) marks the replica ``down``
+  *immediately*: the next request for its lanes reroutes without waiting
+  for a probe cycle, which is what bounds the error budget of a mid-run
+  replica kill (``docs/fleet.md``).
+* **active** — the router's probe loop polls each replica's ``op:
+  health`` every ``probe_interval_s``.  Probes resurrect a replica the
+  moment it answers again (one success is enough — the passive path
+  demotes it right back if it is still flapping) and demote an idle-but-
+  dead replica that no request has touched.
+
+States:
+
+``starting``  not yet probe-confirmed (optimistically routable)
+``ready``     answering; in the ring, receives its lanes
+``suspect``   one probe failure; still routable, next failure demotes
+``down``      unreachable/crashed; taken off the ring until it answers
+``draining``  answering but refusing new work (graceful scale-down)
+
+``usable`` (starting/ready/suspect) is what placement filters on.  All state
+lives router-side; replicas are not aware of the fleet at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from ..obs import get_logger, get_registry
+
+__all__ = ["ReplicaEndpoint", "ReplicaState", "ReplicaHealth"]
+
+_log = get_logger("fleet.health")
+
+
+@dataclass(frozen=True)
+class ReplicaEndpoint:
+    """Where one replica listens.  Ids are stable across restarts of the
+    *fleet* (``r0``, ``r1``, ...) — the ring hashes the id, so a replaced
+    replica process inherits its predecessor's lanes."""
+
+    replica_id: str
+    host: str
+    port: int
+
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class ReplicaState(str, Enum):
+    STARTING = "starting"
+    READY = "ready"
+    SUSPECT = "suspect"
+    DOWN = "down"
+    DRAINING = "draining"
+
+
+class ReplicaHealth:
+    """Per-replica availability state machine (router-side, loop-confined)."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        probe_fail_threshold: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if probe_fail_threshold < 1:
+            raise ValueError("probe_fail_threshold must be >= 1")
+        self.replica_id = replica_id
+        self.probe_fail_threshold = probe_fail_threshold
+        self._clock = clock
+        self._state = ReplicaState.STARTING
+        self._probe_failures = 0
+        self._changed_at = clock()
+        #: Last SHED retry hint this replica returned (router aggregation).
+        self.last_retry_after_ms: Optional[float] = None
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def state(self) -> ReplicaState:
+        return self._state
+
+    @property
+    def usable(self) -> bool:
+        """May the router place new requests on this replica?
+
+        ``starting`` is optimistically usable: a just-registered replica
+        takes traffic immediately and the passive path demotes it on the
+        first failed forward — cheaper than holding traffic for a probe
+        round-trip that almost always succeeds.
+        """
+        return self._state in (ReplicaState.STARTING, ReplicaState.READY,
+                               ReplicaState.SUSPECT)
+
+    @property
+    def since_change_s(self) -> float:
+        return self._clock() - self._changed_at
+
+    def _transition(self, state: ReplicaState, reason: str) -> bool:
+        if state is self._state:
+            return False
+        _log.info("replica state change", replica=self.replica_id,
+                  state=state.value, was=self._state.value, reason=reason)
+        get_registry().counter(
+            "fleet.health.transitions", replica=self.replica_id,
+            state=state.value,
+        ).inc()
+        self._state = state
+        self._changed_at = self._clock()
+        return True
+
+    # --------------------------------------------------------------- signals
+
+    def record_forward_ok(self) -> bool:
+        """A forwarded request got an answer (any status — even SHED)."""
+        self._probe_failures = 0
+        if self._state in (ReplicaState.DRAINING,):
+            return False
+        return self._transition(ReplicaState.READY, "forward answered")
+
+    def record_forward_failure(self) -> bool:
+        """A forward hit a transport failure: demote *now*, reroute next."""
+        self._probe_failures = self.probe_fail_threshold
+        return self._transition(ReplicaState.DOWN, "forward failed")
+
+    def record_probe(self, ok: bool, draining: bool = False) -> bool:
+        """Fold one active ``op: health`` probe result in."""
+        if not ok:
+            self._probe_failures += 1
+            if (self._probe_failures >= self.probe_fail_threshold
+                    and self._state is not ReplicaState.DOWN):
+                return self._transition(ReplicaState.DOWN, "probe failures")
+            if self._state is ReplicaState.READY:
+                return self._transition(ReplicaState.SUSPECT, "probe failure")
+            return False
+        self._probe_failures = 0
+        if draining:
+            return self._transition(ReplicaState.DRAINING, "replica draining")
+        return self._transition(ReplicaState.READY, "probe answered")
+
+    def mark_draining(self) -> bool:
+        """Router-initiated graceful removal (autoscaler scale-down)."""
+        return self._transition(ReplicaState.DRAINING, "drain requested")

@@ -1,0 +1,143 @@
+"""Consistent-hash placement: which replica serves which model lane.
+
+The router spreads traffic across replicas *per lane* — a lane is a
+:class:`~repro.serve.request.ModelKey` plus the plan flavor, the same
+coalescing key the dynamic batcher uses — so every request for one model
+lands on the same replica and that replica's compiled-plan caches
+(:meth:`~repro.serve.registry.RegisteredModel.plan_for`) and cost-model
+calibration stay warm.  Spreading per *request* would instead cold-start
+every plan flavor on every replica.
+
+:class:`HashRing` is the classic consistent-hash ring with virtual
+nodes: each replica owns ``vnodes`` points on a 64-bit circle, a lane
+hashes to a point, and the owning replica is the first point clockwise.
+Properties the fleet layer depends on (and `tests/fleet/test_placement.py`
+asserts):
+
+* **deterministic** — placement is a pure function of ``(seed, replica
+  ids, lane)``; two routers built with the same seed and replica set
+  agree on every lane, so a restarted router re-warms nothing;
+* **minimal movement** — when a replica joins or leaves, only the lanes
+  in the arcs it owns move (expected ``1/N`` of keys, bounded well under
+  ``2/N`` with enough vnodes); every other lane keeps its warm replica;
+* **balanced** — vnodes smooth the arc lengths so no replica owns a
+  pathological share of the circle.
+
+Hashes are SHA-256 (stable across processes and Python versions —
+``hash()`` is salted per process and useless here), truncated to 64 bits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per replica.  64 keeps the ring a few hundred points for
+#: typical fleets — cheap to rebuild — while holding key movement on a
+#: join/leave close to the ideal 1/N.
+DEFAULT_VNODES = 64
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Seeded consistent-hash ring over replica ids."""
+
+    def __init__(
+        self,
+        replicas: Iterable[str] = (),
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._points: List[int] = []       # sorted vnode hashes
+        self._owners: List[str] = []       # replica id per point (parallel)
+        self._replicas: List[str] = []
+        for replica in replicas:
+            self.add(replica)
+
+    # ---------------------------------------------------------- membership
+
+    @property
+    def replicas(self) -> List[str]:
+        """Replica ids currently on the ring (insertion order)."""
+        return list(self._replicas)
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, replica_id: str) -> bool:
+        return replica_id in self._replicas
+
+    def _vnode_hashes(self, replica_id: str) -> List[int]:
+        return [
+            _hash64(f"{self.seed}|{replica_id}|{v}") for v in range(self.vnodes)
+        ]
+
+    def add(self, replica_id: str) -> None:
+        """Put a replica on the ring (idempotent)."""
+        if replica_id in self._replicas:
+            return
+        self._replicas.append(replica_id)
+        for point in self._vnode_hashes(replica_id):
+            index = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions on 64 bits are not a practical concern,
+            # but break the tie deterministically anyway: lowest id wins.
+            while (index < len(self._points) and self._points[index] == point
+                   and self._owners[index] < replica_id):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, replica_id)
+
+    def remove(self, replica_id: str) -> None:
+        """Take a replica off the ring (idempotent)."""
+        if replica_id not in self._replicas:
+            return
+        self._replicas.remove(replica_id)
+        keep = [i for i, owner in enumerate(self._owners) if owner != replica_id]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, lane: str) -> Optional[str]:
+        """The replica owning ``lane`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        point = _hash64(f"{self.seed}|{lane}")
+        index = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[index]
+
+    def preference(self, lane: str, count: Optional[int] = None) -> List[str]:
+        """Distinct replicas in ring order starting at ``lane``'s owner.
+
+        The fallback order of the router: element 0 is the primary, the
+        rest are the replicas a failed/saturated forward falls over to —
+        every router agrees on the order, so retried requests re-land on
+        the same warm fallback too.
+        """
+        if not self._points:
+            return []
+        want = len(self._replicas) if count is None else min(count, len(self._replicas))
+        point = _hash64(f"{self.seed}|{lane}")
+        start = bisect.bisect_right(self._points, point)
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) >= want:
+                    break
+        return seen
+
+    def assignment(self, lanes: Iterable[str]) -> Dict[str, str]:
+        """``{lane: owner}`` for a batch of lanes (movement analysis)."""
+        return {lane: self.lookup(lane) for lane in lanes}

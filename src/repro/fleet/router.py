@@ -1,0 +1,562 @@
+"""The fleet router: one JSON-lines frontend over N replica servers.
+
+:class:`FleetRouter` speaks exactly the serving wire protocol of
+:mod:`repro.serve.transport` — a client cannot tell a router from a
+single :class:`~repro.serve.server.InferenceServer` — and forwards every
+inference request to one of N replicas:
+
+* **placement** — consistent hash of the request's *lane* (ModelKey +
+  plan flavor, the batcher's coalescing key) over the
+  :class:`~repro.fleet.placement.HashRing`, so each model's compiled
+  plans and cost-model calibration warm exactly one replica;
+* **least-loaded fallback** — when the primary is saturated (outstanding
+  forwards above ``spill_outstanding``) or unusable, the request spills
+  to the least-loaded usable replica; ring order breaks ties so spills
+  are sticky too;
+* **rerouting** — a transport failure against a replica demotes it
+  immediately (:class:`~repro.fleet.health.ReplicaHealth`) and the
+  request is retried on the next candidate; the health probe loop
+  resurrects replicas that answer again;
+* **replica-aware shedding** — a replica's SHED is retried once on the
+  least-loaded alternative; when every candidate sheds (or none is
+  usable) the router sheds at its own level with a ``retry_after_ms``
+  aggregated from the replicas' hints (their minimum — the soonest any
+  backend expects capacity);
+* **trace propagation** — the router joins the client's
+  :class:`~repro.obs.context.SpanContext` and forwards its own, so a
+  traced request renders as ``client.request → router.request →
+  router.forward → transport.request → serve.admit → ...`` chains.
+
+Control ops: ``health`` answers the *fleet* view (router readiness plus
+per-replica states), ``metrics`` aggregates every usable replica's
+telemetry next to the router's own, ``fleet`` returns the router-side
+per-replica accounting without touching the network, and ``ping`` stays
+a pure round-trip.  The router keeps no model state — replicas are
+unaware of the fleet and can be plain ``repro serve`` processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs import get_logger, get_registry, get_tracer, render_exposition
+from ..obs.context import SpanContext
+from ..serve.request import Status
+from ..serve.transport import (
+    MAX_LINE_BYTES,
+    RemoteClient,
+    _read_line,
+    request_from_wire,
+)
+from .health import ReplicaEndpoint, ReplicaHealth, ReplicaState
+from .placement import HashRing
+
+__all__ = ["RouterConfig", "ReplicaLink", "FleetRouter"]
+
+_log = get_logger("fleet.router")
+
+#: EWMA smoothing for the per-replica observed forward latency.
+_LATENCY_ALPHA = 0.2
+
+
+@dataclass
+class RouterConfig:
+    """Routing knobs (CLI flags on ``repro fleet`` map onto these)."""
+
+    seed: int = 0                    #: ring seed (placement determinism)
+    vnodes: int = 64                 #: ring virtual nodes per replica
+    max_attempts: int = 3            #: distinct replicas tried per request
+    spill_outstanding: int = 32      #: primary backlog that triggers spill
+    forward_timeout_s: float = 30.0  #: per-attempt replica timeout
+    probe_interval_s: float = 0.25   #: health probe cadence
+    probe_fail_threshold: int = 2    #: probe failures before ``down``
+    shed_retry_floor_ms: float = 25.0  #: retry hint when no replica gave one
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.spill_outstanding < 1:
+            raise ValueError("spill_outstanding must be >= 1")
+
+
+class ReplicaLink:
+    """Router-side connection + accounting for one replica."""
+
+    def __init__(self, endpoint: ReplicaEndpoint, config: RouterConfig) -> None:
+        self.endpoint = endpoint
+        self.health = ReplicaHealth(
+            endpoint.replica_id,
+            probe_fail_threshold=config.probe_fail_threshold,
+        )
+        # Router-level reroute is the retry mechanism: the per-link client
+        # fails fast (retries=0) so a dead replica costs one timeout, not
+        # a backoff loop against a corpse.
+        self.client = RemoteClient(
+            endpoint.host, endpoint.port,
+            timeout_s=config.forward_timeout_s, retries=0,
+            span_name="router.forward",
+        )
+        self.outstanding = 0      #: forwards currently in flight
+        self.ok = 0               #: answered forwards (any terminal status)
+        self.sheds = 0            #: SHED answers from this replica
+        self.failures = 0         #: transport failures against this replica
+        self.ewma_ms = 0.0        #: observed forward latency
+        self.last_health: dict = {}
+
+    @property
+    def replica_id(self) -> str:
+        return self.endpoint.replica_id
+
+    def observe_latency(self, ms: float) -> None:
+        self.ewma_ms = (ms if self.ewma_ms == 0.0
+                        else self.ewma_ms + _LATENCY_ALPHA * (ms - self.ewma_ms))
+
+    def view(self) -> dict:
+        """Router-side accounting for the ``fleet`` op and ``repro top``."""
+        return {
+            "replica": self.replica_id,
+            "address": self.endpoint.address(),
+            "state": self.health.state.value,
+            "outstanding": self.outstanding,
+            "answered": self.ok,
+            "sheds": self.sheds,
+            "failures": self.failures,
+            "ewma_ms": round(self.ewma_ms, 3),
+            "queue_depth": self.last_health.get("queue_depth"),
+            "retry_after_ms": self.health.last_retry_after_ms,
+        }
+
+    async def close(self) -> None:
+        await self.client.close()
+
+
+class FleetRouter:
+    """Consistent-hash frontend spreading one wire protocol over N replicas."""
+
+    def __init__(
+        self,
+        endpoints: List[ReplicaEndpoint],
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        self.config = config or RouterConfig()
+        self.ring = HashRing(vnodes=self.config.vnodes, seed=self.config.seed)
+        self._links: Dict[str, ReplicaLink] = {}
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._probe_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._metrics = get_registry()
+        for endpoint in endpoints:
+            self.add_replica(endpoint)
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def links(self) -> Dict[str, ReplicaLink]:
+        return self._links
+
+    def add_replica(self, endpoint: ReplicaEndpoint) -> ReplicaLink:
+        """Register a replica (autoscaler scale-up path); idempotent."""
+        link = self._links.get(endpoint.replica_id)
+        if link is not None:
+            return link
+        link = ReplicaLink(endpoint, self.config)
+        self._links[endpoint.replica_id] = link
+        self.ring.add(endpoint.replica_id)
+        self._publish_membership()
+        _log.info("replica registered", replica=endpoint.replica_id,
+                  address=endpoint.address())
+        return link
+
+    async def remove_replica(self, replica_id: str) -> None:
+        """Forget a replica (autoscaler scale-down / permanent failure)."""
+        link = self._links.pop(replica_id, None)
+        self.ring.remove(replica_id)
+        self._publish_membership()
+        if link is not None:
+            await link.close()
+            _log.info("replica removed", replica=replica_id)
+
+    def mark_draining(self, replica_id: str) -> None:
+        """Stop placing new lanes on a replica about to leave."""
+        link = self._links.get(replica_id)
+        if link is not None:
+            link.health.mark_draining()
+            self.ring.remove(replica_id)
+            self._publish_membership()
+
+    def _publish_membership(self) -> None:
+        usable = sum(1 for l in self._links.values() if l.health.usable)
+        self._metrics.gauge("fleet.replicas").set(float(len(self._links)))
+        self._metrics.gauge("fleet.replicas_usable").set(float(usable))
+
+    def _usable(self) -> List[ReplicaLink]:
+        return [l for l in self._links.values() if l.health.usable]
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> "FleetRouter":
+        if self._started:
+            return self
+        self._tcp = await asyncio.start_server(self._handle_connection,
+                                               host, port)
+        self._probe_task = asyncio.create_task(self._probe_loop())
+        self._started = True
+        _log.info("router listening", host=host, port=self.port,
+                  replicas=len(self._links))
+        return self
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._tcp is None or not self._tcp.sockets:
+            return None
+        return self._tcp.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        for link in self._links.values():
+            await link.close()
+        _log.info("router stopped")
+
+    async def __aenter__(self) -> "FleetRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ----------------------------------------------------------- health loop
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            await self.probe_once()
+
+    async def probe_once(self) -> None:
+        """One active health pass over every replica (also used by tests)."""
+        async def probe(link: ReplicaLink) -> None:
+            if link.health.state is ReplicaState.DRAINING:
+                return
+            try:
+                payload = await asyncio.wait_for(
+                    link.client.health(),
+                    timeout=max(0.1, self.config.probe_interval_s * 4),
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    RuntimeError):
+                was_usable = link.health.usable
+                if link.health.record_probe(False) and was_usable:
+                    self.ring.remove(link.replica_id)
+                self._publish_membership()
+                return
+            link.last_health = payload
+            draining = bool(payload.get("draining")) or not payload.get(
+                "ready", True
+            )
+            was_usable = link.health.usable
+            link.health.record_probe(True, draining=draining)
+            if link.health.usable and not was_usable:
+                self.ring.add(link.replica_id)
+            elif not link.health.usable and was_usable:
+                self.ring.remove(link.replica_id)
+            self._publish_membership()
+
+        await asyncio.gather(*(probe(l) for l in list(self._links.values())))
+
+    # --------------------------------------------------------------- routing
+
+    @staticmethod
+    def lane(key_canonical: str, int8: bool) -> str:
+        """The placement lane: model identity plus plan flavor."""
+        return f"{key_canonical}|int8" if int8 else key_canonical
+
+    def candidates(self, lane: str) -> List[ReplicaLink]:
+        """Forward order for one lane: primary, then fallbacks.
+
+        Ring preference gives the sticky primary and deterministic
+        fallback order; the least-loaded usable replica is promoted to
+        the front when the primary's backlog crosses the spill bound.
+        A replica the probe loop has taken off the ring can still appear
+        usable for one pass (passive demotion races the probe) — filter
+        on health, not ring membership.
+        """
+        order = [
+            self._links[rid]
+            for rid in self.ring.preference(lane)
+            if rid in self._links and self._links[rid].health.usable
+        ]
+        # Draining/downed replicas are off the ring; pick up any usable
+        # replica the ring does not know yet (just-resurrected).
+        for link in self._usable():
+            if link not in order:
+                order.append(link)
+        if not order:
+            return []
+        spill = min(order[1:], key=lambda l: (l.outstanding, l.replica_id),
+                    default=None)
+        if (spill is not None
+                and order[0].outstanding >= self.config.spill_outstanding
+                and spill.outstanding < order[0].outstanding):
+            self._metrics.counter("fleet.spills").inc()
+            order.remove(spill)
+            order.insert(0, spill)
+        return order[: self.config.max_attempts]
+
+    async def _route_request(self, payload: dict, send) -> None:
+        try:
+            request, envelope = request_from_wire(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._metrics.counter("fleet.router.bad_requests").inc()
+            await send({"id": payload.get("id"), "status": "error",
+                        "error": f"bad request: {exc}"})
+            return
+
+        with get_tracer().span(
+            "router.request", category="fleet",
+            ctx=SpanContext.from_wire(payload.get("trace")),
+            new_trace=payload.get("trace") is None,
+            request_id=request.request_id, model=request.key.canonical(),
+        ) as span:
+            if span.context is not None:
+                request.trace = span.context
+            lane = self.lane(request.key.canonical(), request.int8)
+            order = self.candidates(lane)
+            span.set(lane=lane, candidates=len(order))
+
+            reply: Optional[dict] = None
+            shed_hints: List[float] = []
+            attempts = 0
+            for link in order:
+                attempts += 1
+                link.outstanding += 1
+                start = time.perf_counter()
+                try:
+                    reply = await link.client.request(
+                        request,
+                        return_output=bool(envelope.get("return_output")),
+                        timings=request.want_timings,
+                    )
+                except (ConnectionError, asyncio.TimeoutError, OSError,
+                        RuntimeError) as exc:
+                    link.failures += 1
+                    if link.health.record_forward_failure():
+                        self.ring.remove(link.replica_id)
+                        self._publish_membership()
+                    self._metrics.counter("fleet.reroutes").inc()
+                    _log.warning("forward failed; rerouting",
+                                 replica=link.replica_id, lane=lane,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    continue
+                finally:
+                    link.outstanding -= 1
+                link.ok += 1
+                link.observe_latency((time.perf_counter() - start) * 1000.0)
+                link.health.record_forward_ok()
+                if reply.get("status") == Status.SHED.value:
+                    link.sheds += 1
+                    hint = reply.get("retry_after_ms")
+                    if hint is not None:
+                        link.health.last_retry_after_ms = float(hint)
+                        shed_hints.append(float(hint))
+                    # Replica-aware shedding: one backend being full is
+                    # not fleet overload — try the next candidate before
+                    # giving the client a retry-after.
+                    if attempts < len(order):
+                        self._metrics.counter("fleet.shed_retries").inc()
+                        reply = None
+                        continue
+                break
+
+            if reply is None:
+                retry_after = self._aggregate_retry_after(shed_hints)
+                self._metrics.counter("fleet.router.requests",
+                                      status=Status.SHED.value).inc()
+                self._metrics.counter("fleet.router.sheds").inc()
+                span.set(outcome="shed", attempts=attempts)
+                await send({
+                    "id": envelope.get("id"),
+                    "request_id": request.request_id,
+                    "model": request.key.canonical(),
+                    "status": Status.SHED.value,
+                    "error": ("no usable replica" if not order
+                              else "all replicas shedding"),
+                    "retry_after_ms": round(retry_after, 3),
+                    "router_shed": True,
+                    **({"trace_id": span.context.trace_id}
+                       if span.context is not None else {}),
+                })
+                return
+
+            reply = dict(reply)
+            reply["id"] = envelope.get("id")
+            reply["replica"] = order[attempts - 1].replica_id
+            if attempts > 1:
+                reply["rerouted"] = attempts - 1
+            self._metrics.counter(
+                "fleet.router.requests", status=str(reply.get("status"))
+            ).inc()
+            span.set(outcome=str(reply.get("status")),
+                     replica=reply["replica"], attempts=attempts)
+            await send(reply)
+
+    def _aggregate_retry_after(self, this_request_hints: List[float]) -> float:
+        """The router-level SHED hint: soonest any backend expects room.
+
+        Prefers the hints returned *on this request*; falls back to the
+        last hints seen on any usable replica, then to a floor derived
+        from the probe cadence (a downed replica is rediscovered within
+        one probe interval).
+        """
+        if this_request_hints:
+            return min(this_request_hints)
+        seen = [l.health.last_retry_after_ms for l in self._links.values()
+                if l.health.last_retry_after_ms is not None]
+        if seen:
+            return min(seen)
+        return max(self.config.shed_retry_floor_ms,
+                   self.config.probe_interval_s * 1000.0)
+
+    # ------------------------------------------------------------- fleet ops
+
+    def fleet_view(self) -> dict:
+        """Router-side per-replica accounting (the ``fleet`` wire op)."""
+        links = sorted(self._links.values(), key=lambda l: l.replica_id)
+        return {
+            "role": "router",
+            "ready": self._started,
+            "replicas": [link.view() for link in links],
+            "usable": sum(1 for l in links if l.health.usable),
+            "total": len(links),
+            "ring": {"vnodes": self.config.vnodes, "seed": self.config.seed,
+                     "members": self.ring.replicas},
+        }
+
+    def health(self) -> dict:
+        """Fleet liveness: ready iff the router can place a request."""
+        view = self.fleet_view()
+        return {
+            "status": "ok",
+            "ready": self._started and view["usable"] > 0,
+            "role": "router",
+            "draining": False,
+            "queue_depth": sum(l.outstanding for l in self._links.values()),
+            "replicas": {l.replica_id: l.health.state.value
+                         for l in self._links.values()},
+            "usable": view["usable"],
+            "total": view["total"],
+        }
+
+    async def telemetry_payload(self) -> dict:
+        """Fleet telemetry: router view + every usable replica's own."""
+        links = sorted(self._usable(), key=lambda l: l.replica_id)
+
+        async def scrape(link: ReplicaLink) -> Optional[dict]:
+            try:
+                reply = await asyncio.wait_for(link.client.metrics(),
+                                               timeout=5.0)
+                return reply.get("telemetry")
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    RuntimeError):
+                return None
+
+        scraped = await asyncio.gather(*(scrape(l) for l in links))
+        return {
+            "fleet": self.fleet_view(),
+            "replicas": {
+                link.replica_id: telemetry
+                for link, telemetry in zip(links, scraped)
+            },
+        }
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        self._metrics.counter("fleet.router.connections").inc()
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def send(reply: dict) -> None:
+            import json
+
+            async with write_lock:
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+
+        async def respond(line: bytes) -> None:
+            import json
+
+            try:
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    raise ValueError(
+                        f"expected an object, got {type(payload).__name__}")
+            except ValueError as exc:
+                self._metrics.counter("fleet.router.bad_requests").inc()
+                await send({"status": "error",
+                            "error": f"bad request: {exc}"})
+                return
+            op = payload.get("op")
+            if op == "health":
+                await send({"id": payload.get("id"), "op": "health",
+                            **self.health()})
+                return
+            if op == "ping":
+                await send({"id": payload.get("id"), "op": "pong"})
+                return
+            if op == "fleet":
+                await send({"id": payload.get("id"), "op": "fleet",
+                            **self.fleet_view()})
+                return
+            if op == "metrics":
+                await send({"id": payload.get("id"), "op": "metrics",
+                            "exposition": render_exposition(),
+                            "telemetry": await self.telemetry_payload()})
+                return
+            await self._route_request(payload, send)
+
+        buffer = bytearray()
+        try:
+            while True:
+                try:
+                    line = await _read_line(reader, buffer, MAX_LINE_BYTES)
+                except ValueError as exc:
+                    self._metrics.counter("fleet.router.bad_requests").inc()
+                    await send({"status": "error",
+                                "error": f"bad request: {exc}"})
+                    continue
+                if line is None:
+                    break
+                if not line:
+                    continue
+                task = asyncio.create_task(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            _log.debug("router connection closed", peer=str(peer))

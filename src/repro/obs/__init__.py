@@ -76,6 +76,7 @@ from .snapshots import (
     Snapshot,
     SnapshotLoop,
     SnapshotRing,
+    aggregate_live,
     derive_live,
 )
 from .stats import histogram_quantile, percentile, quantile_from_payload
@@ -100,6 +101,7 @@ __all__ = [
     "Snapshot",
     "SnapshotLoop",
     "SnapshotRing",
+    "aggregate_live",
     "derive_live",
     "histogram_quantile",
     "percentile",

@@ -38,6 +38,7 @@ __all__ = [
     "SnapshotLoop",
     "LiveStats",
     "derive_live",
+    "aggregate_live",
 ]
 
 #: Default ring size × default interval ≈ two minutes of history, enough
@@ -294,3 +295,42 @@ def derive_live(ring: SnapshotRing, window_s: float = 10.0) -> LiveStats:
     if d_batches > 0:
         stats.batch_occupancy = delta("serve.batch.requests") / d_batches
     return stats
+
+
+def aggregate_live(views: Dict[str, Dict[str, object]]) -> LiveStats:
+    """Fold several replicas' :class:`LiveStats` dicts into fleet totals.
+
+    Used by ``repro top --fleet``: additive vitals (QPS, queue depth,
+    cumulative requests, snapshots) sum; ratio vitals (shed / SLO /
+    degraded rates, batch occupancy) are QPS-weighted means; latency
+    percentiles take the **max** across replicas — an upper bound is the
+    honest fleet statement, since per-replica percentiles cannot be
+    merged into a true fleet percentile without the raw histograms.
+    """
+    total = LiveStats()
+    if not views:
+        return total
+
+    def num(view: Dict[str, object], key: str) -> float:
+        return float(view.get(key, 0.0) or 0.0)
+
+    weights = {name: num(view, "qps") for name, view in views.items()}
+    weight_sum = sum(weights.values())
+    for name, view in views.items():
+        total.qps += num(view, "qps")
+        total.queue_depth += num(view, "queue_depth")
+        total.requests_total += num(view, "requests_total")
+        total.snapshots += int(num(view, "snapshots"))
+        total.window_s = max(total.window_s, num(view, "window_s"))
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            setattr(total, key, max(getattr(total, key), num(view, key)))
+        # Equal weights when the fleet is idle (all-zero QPS).
+        share = (weights[name] / weight_sum if weight_sum > 0
+                 else 1.0 / len(views))
+        for key in ("shed_rate", "slo_violation_rate", "degraded_rate",
+                    "batch_occupancy"):
+            setattr(total, key, getattr(total, key) + share * num(view, key))
+        for model, state in (view.get("breaker_states") or {}).items():
+            label = f"{name}/{model}"
+            total.breaker_states[label] = float(state)  # type: ignore[index]
+    return total

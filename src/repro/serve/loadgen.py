@@ -35,7 +35,14 @@ from ..obs.alerts import Alert
 from ..obs.stats import percentile
 from .request import InferenceRequest, InferenceResponse, ModelKey, Status
 
-__all__ = ["WorkloadSpec", "LoadReport", "build_requests", "run_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "LoadReport",
+    "RampStep",
+    "build_requests",
+    "run_workload",
+    "saturation_qps",
+]
 
 _log = get_logger("serve.loadgen")
 
@@ -54,6 +61,13 @@ class WorkloadSpec:
     slo_ms: Optional[float] = None       #: per-request budget (server default if None)
     priorities: Sequence[int] = (0,)     #: sampled uniformly per request
     seed: int = 0
+    #: Open-loop stair profile ``(start_rate, end_rate, steps)``: the
+    #: request stream is split into ``steps`` equal slices, slice *i*
+    #: arriving at the i-th rate of ``linspace(start, end, steps)``.
+    #: Implies (and requires) ``mode="open"``; the *stream* is unchanged
+    #: — ramping only reshapes arrival times, so replay fingerprints
+    #: (:func:`repro.serve.chaos._requests_digest`) are ramp-invariant.
+    ramp: Optional[Tuple[float, float, int]] = None
 
     def __post_init__(self) -> None:
         if not self.keys:
@@ -62,6 +76,22 @@ class WorkloadSpec:
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
+        if self.ramp is not None:
+            start, end, steps = self.ramp
+            if self.mode != "open":
+                raise ValueError("ramp profiles are open-loop (mode='open')")
+            if start <= 0 or end <= 0:
+                raise ValueError("ramp rates must be > 0")
+            if int(steps) < 2:
+                raise ValueError("ramp needs at least 2 steps")
+            self.ramp = (float(start), float(end), int(steps))
+
+    def step_rates(self) -> List[float]:
+        """The per-step arrival rates of the ramp (empty without one)."""
+        if self.ramp is None:
+            return []
+        start, end, steps = self.ramp
+        return [float(r) for r in np.linspace(start, end, steps)]
 
 
 def build_requests(spec: WorkloadSpec) -> List[InferenceRequest]:
@@ -111,19 +141,53 @@ async def _run_open(
     return list(await asyncio.gather(*tasks))
 
 
+async def _run_ramp(
+    submit: Submit, requests: List[InferenceRequest], spec: WorkloadSpec
+) -> Tuple[List[InferenceResponse], List["RampStep"]]:
+    """Stair profile: equal request slices at linearly spaced rates.
+
+    Each step is its own little open-loop run (seeded exponential gaps at
+    that step's rate) and is summarized separately, which is what makes
+    the profile useful: the saturation knee shows up as the first step
+    whose achieved throughput stops tracking the offered rate.
+    """
+    rates = spec.step_rates()
+    bounds = np.linspace(0, len(requests), len(rates) + 1).astype(int)
+    responses: List[InferenceResponse] = []
+    steps: List[RampStep] = []
+    for index, rate in enumerate(rates):
+        chunk = requests[bounds[index]:bounds[index + 1]]
+        if not chunk:
+            continue
+        start = time.perf_counter()
+        answered = await _run_open(submit, chunk, rate,
+                                   spec.seed ^ (index + 1))
+        wall_s = time.perf_counter() - start
+        responses.extend(answered)
+        steps.append(RampStep.from_responses(index, rate, answered, wall_s))
+        _log.info("ramp step complete", step=index, rate=round(rate, 1),
+                  ok=steps[-1].ok, shed=steps[-1].shed,
+                  p99_ms=round(steps[-1].p99_ms, 1))
+    return responses, steps
+
+
 async def run_workload(submit: Submit, spec: WorkloadSpec) -> "LoadReport":
     """Drive one workload against any submit callable; aggregate a report."""
     requests = build_requests(spec)
     _log.info("load generation starting", mode=spec.mode,
               requests=len(requests), clients=spec.clients,
-              models=len(spec.keys))
+              models=len(spec.keys), ramp=spec.ramp)
+    steps: List[RampStep] = []
     start = time.perf_counter()
     if spec.mode == "closed":
         responses = await _run_closed(submit, requests, spec.clients)
+    elif spec.ramp is not None:
+        responses, steps = await _run_ramp(submit, requests, spec)
     else:
         responses = await _run_open(submit, requests, spec.rate, spec.seed)
     wall_s = time.perf_counter() - start
     report = LoadReport.from_responses(responses, wall_s, spec)
+    report.ramp_steps = steps
     report.record()
     return report
 
@@ -134,6 +198,69 @@ async def run_workload(submit: Submit, spec: WorkloadSpec) -> "LoadReport":
 #: the implementation lives in :func:`repro.obs.stats.percentile` now,
 #: shared with the histogram-quantile estimator of live telemetry.
 _percentile = percentile
+
+
+@dataclass
+class RampStep:
+    """One stair of a ramp profile, summarized."""
+
+    index: int
+    offered_rps: float          #: the step's arrival rate
+    total: int
+    ok: int
+    shed: int
+    errors: int
+    achieved_rps: float         #: ok completions over the step's wall time
+    p99_ms: float
+    wall_s: float
+
+    @classmethod
+    def from_responses(
+        cls, index: int, rate: float,
+        responses: List[InferenceResponse], wall_s: float,
+    ) -> "RampStep":
+        ok_latencies = sorted(r.total_ms for r in responses if r.ok)
+        ok = len(ok_latencies)
+        shed = sum(1 for r in responses
+                   if r.status in (Status.SHED, Status.EXPIRED))
+        errors = sum(1 for r in responses if r.status is Status.ERROR)
+        return cls(
+            index=index, offered_rps=rate, total=len(responses), ok=ok,
+            shed=shed, errors=errors,
+            achieved_rps=ok / wall_s if wall_s > 0 else 0.0,
+            p99_ms=_percentile(ok_latencies, 99), wall_s=wall_s,
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.index,
+            "offered_rps": round(self.offered_rps, 3),
+            "achieved_rps": round(self.achieved_rps, 3),
+            "total": self.total, "ok": self.ok, "shed": self.shed,
+            "errors": self.errors, "p99_ms": round(self.p99_ms, 3),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+def saturation_qps(steps: List[RampStep],
+                   max_shed_rate: float = 0.01) -> float:
+    """The saturation estimate a ramp run exists to produce.
+
+    The highest offered rate the service kept up with — achieved
+    throughput within 90% of offered and shed rate at most
+    ``max_shed_rate``.  If even the first stair overloads, fall back to
+    the best achieved throughput (the service's actual capacity).
+    """
+    sustained = [s.offered_rps for s in steps
+                 if s.shed_rate <= max_shed_rate
+                 and s.achieved_rps >= 0.9 * s.offered_rps]
+    if sustained:
+        return max(sustained)
+    return max((s.achieved_rps for s in steps), default=0.0)
 
 
 @dataclass
@@ -159,6 +286,8 @@ class LoadReport:
     #: sees responses; the caller owning the server's snapshot ring calls
     #: :meth:`attach_alerts` so the report shows the telemetry verdicts).
     alerts: List[Alert] = field(default_factory=list)
+    #: Per-stair summaries of a ramp profile (empty without ``spec.ramp``).
+    ramp_steps: List[RampStep] = field(default_factory=list)
 
     @classmethod
     def from_responses(
@@ -232,6 +361,11 @@ class LoadReport:
     def slo_violation_rate(self) -> float:
         return self.slo_violations / self.ok if self.ok else 0.0
 
+    @property
+    def saturation_qps(self) -> float:
+        """Ramp-derived saturation estimate (0.0 without a ramp profile)."""
+        return saturation_qps(self.ramp_steps) if self.ramp_steps else 0.0
+
     def attach_alerts(self, alerts: List[Alert]) -> "LoadReport":
         """Attach evaluated burn-rate alerts (rendered and recorded)."""
         self.alerts = list(alerts)
@@ -264,6 +398,9 @@ class LoadReport:
             "serve.loadgen.mean_simulated_ms": self.mean_simulated_ms,
             "serve.loadgen.degraded": self.degraded,
         }
+        if self.ramp_steps:
+            gauges["serve.loadgen.saturation_qps"] = self.saturation_qps
+            gauges["serve.loadgen.ramp_steps"] = len(self.ramp_steps)
         for name, value in gauges.items():
             registry.gauge(name).set(float(value))
 
@@ -294,6 +431,17 @@ class LoadReport:
             lines.append("  per model   : " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.per_model.items())
             ))
+        if self.ramp_steps:
+            for step in self.ramp_steps:
+                lines.append(
+                    f"  ramp step {step.index:>2}: offered={step.offered_rps:7.1f} rps  "
+                    f"achieved={step.achieved_rps:7.1f}  shed={step.shed_rate * 100:5.1f}%  "
+                    f"p99={step.p99_ms:.1f} ms"
+                )
+            lines.append(
+                f"  saturation  : ~{self.saturation_qps:.1f} req/s sustained "
+                f"(highest stair within budget)"
+            )
         if self.alerts:
             lines.append("  alerts      : " + "  ".join(
                 f"{a.rule}={'FIRING' if a.firing else 'ok'}"

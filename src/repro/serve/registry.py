@@ -15,6 +15,7 @@ network so the cost model can price batches without re-estimating.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -43,8 +44,13 @@ class RegisteredModel:
     # Simulated-hardware executors, one per (array geometry, engine, jobs).
     _array_executors: Dict[Tuple, object] = field(default_factory=dict)
     # Compiled inference plans, one per (batch, flavor); None latches a
-    # compilation failure so workers fall back without retrying.
-    _plans: Dict[Tuple[int, str], object] = field(default_factory=dict)
+    # compilation failure so workers fall back without retrying.  LRU
+    # order: a hit moves its entry to the end, inserts evict the front
+    # when ``plan_cache_cap`` is set.
+    _plans: "OrderedDict[Tuple[int, str], object]" = field(
+        default_factory=OrderedDict)
+    #: Max cached plans across (batch, flavor) keys; ``None`` = unbounded.
+    plan_cache_cap: Optional[int] = None
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def array_executor(self, array: ArrayConfig, engine: str = "vector",
@@ -84,6 +90,12 @@ class RegisteredModel:
         ``exact=True/False`` is the legacy boolean spelling of
         exact/folded.  Returns ``None`` (latched) if compilation fails,
         so callers degrade down the chain without retrying the build.
+
+        The cache is LRU-bounded by ``plan_cache_cap`` (a compiled plan
+        pins its weight tensors — across many (batch, flavor) pairs an
+        unbounded cache is a slow leak); evictions are counted as
+        ``serve.plan_evictions`` and an evicted plan simply recompiles
+        on its next use.
         """
         from ..nn.compile import CompileConfig, compile_executor
 
@@ -95,6 +107,7 @@ class RegisteredModel:
         cache_key = (int(batch), flavor)
         with self._lock:
             if cache_key in self._plans:
+                self._plans.move_to_end(cache_key)
                 return self._plans[cache_key]
         config = {
             "exact": CompileConfig.exact,
@@ -114,13 +127,35 @@ class RegisteredModel:
                          error=f"{type(exc).__name__}: {exc}")
             plan = None
         with self._lock:
-            return self._plans.setdefault(cache_key, plan)
+            if cache_key in self._plans:  # a racing builder won: keep theirs
+                self._plans.move_to_end(cache_key)
+                return self._plans[cache_key]
+            self._plans[cache_key] = plan
+            while (self.plan_cache_cap is not None
+                   and len(self._plans) > self.plan_cache_cap):
+                evicted_key, _ = self._plans.popitem(last=False)
+                get_registry().counter(
+                    "serve.plan_evictions", model=self.key.canonical()
+                ).inc()
+                _log.info("plan evicted (LRU)", model=self.key.canonical(),
+                          batch=evicted_key[0], flavor=evicted_key[1],
+                          cap=self.plan_cache_cap)
+            return plan
 
 
 class ModelRegistry:
-    """Get-or-build store of :class:`RegisteredModel`, keyed by ModelKey."""
+    """Get-or-build store of :class:`RegisteredModel`, keyed by ModelKey.
 
-    def __init__(self) -> None:
+    ``plan_cache_cap`` bounds every registered model's compiled-plan LRU
+    (see :meth:`RegisteredModel.plan_for`); ``None`` keeps the legacy
+    unbounded behavior.
+    """
+
+    def __init__(self, plan_cache_cap: Optional[int] = None) -> None:
+        if plan_cache_cap is not None and plan_cache_cap < 1:
+            raise ValueError(
+                f"plan_cache_cap must be >= 1 or None, got {plan_cache_cap}")
+        self.plan_cache_cap = plan_cache_cap
         self._models: Dict[ModelKey, RegisteredModel] = {}
         self._lock = threading.Lock()
         self._building: Dict[ModelKey, threading.Event] = {}
@@ -181,4 +216,5 @@ class ModelRegistry:
             network=network,
             executor=executor,
             input_shape=network.input_shape,
+            plan_cache_cap=self.plan_cache_cap,
         )

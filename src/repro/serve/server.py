@@ -58,6 +58,7 @@ class ServeConfig:
     jobs: int = 1                    #: process fan-out of the array engine
     sim_engine: str = "vector"       #: functional-simulator engine
     cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
+    plan_cache_cap: Optional[int] = None  #: LRU bound on compiled plans/model
     array: Optional[ArrayConfig] = None  #: modeled accelerator (default 64x64)
     preload: List[ModelKey] = field(default_factory=list)
     resilience: bool = True          #: degradation chain / breakers / restarts
@@ -81,7 +82,7 @@ class InferenceServer:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
-        self.registry = ModelRegistry()
+        self.registry = ModelRegistry(plan_cache_cap=self.config.plan_cache_cap)
         self.cost_model = BatchCostModel(
             array=self.config.array, cache_dir=self.config.cache_dir
         )

@@ -33,10 +33,11 @@ from typing import Dict, List, Optional, TextIO
 from ..obs import get_logger
 from ..obs.alerts import render_alerts, Alert
 from ..obs.expose import Exposition, parse_exposition
+from ..obs.snapshots import aggregate_live
 from .request import Status
 from .transport import RemoteClient
 
-__all__ = ["render_frame", "run_top"]
+__all__ = ["render_frame", "render_fleet_frame", "run_top"]
 
 _log = get_logger("serve.top")
 
@@ -103,6 +104,76 @@ def render_frame(
     return "\n".join(lines)
 
 
+def render_fleet_frame(
+    replica_views: Dict[str, dict],
+    fleet: Optional[dict] = None,
+    title: str = "repro fleet",
+    frame: int = 0,
+) -> str:
+    """One fleet frame: per-replica QPS/p99 columns plus aggregated totals.
+
+    ``replica_views`` maps a replica label to its ``telemetry`` payload
+    (the ``{live, alerts, health}`` object every server exposes);
+    ``fleet`` is the router's ``op: fleet`` accounting, when scraping
+    through a router, and adds the state / outstanding columns.
+    """
+    router_rows = {row["replica"]: row
+                   for row in (fleet or {}).get("replicas", [])}
+    lines = [
+        f"{title} — frame {frame}",
+        f"  {'replica':<12} {'state':<9} {'qps':>8} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'queue':>6} {'shed%':>6} {'alerts':>7}",
+    ]
+    lives: Dict[str, dict] = {}
+    for name in sorted(set(replica_views) | set(router_rows)):
+        view = replica_views.get(name) or {}
+        live = view.get("live") or {}
+        lives[name] = live
+        router_row = router_rows.get(name, {})
+        state = router_row.get("state", "?" if not view else "ready")
+        alerts_firing = sum(1 for a in (view.get("alerts") or [])
+                            if a.get("firing"))
+        queue = live.get("queue_depth")
+        if queue in (None, 0.0) and router_row.get("queue_depth") is not None:
+            queue = router_row["queue_depth"]
+
+        def num(key: str) -> float:
+            return float(live.get(key, 0.0) or 0.0)
+
+        lines.append(
+            f"  {name:<12} {str(state):<9} {num('qps'):>8.1f} "
+            f"{num('p50_ms'):>8.1f} {num('p99_ms'):>8.1f} "
+            f"{float(queue or 0.0):>6.0f} {num('shed_rate') * 100:>6.1f} "
+            f"{alerts_firing:>7d}"
+        )
+    total = aggregate_live(lives)
+    usable = (fleet or {}).get("usable", len(replica_views))
+    known = (fleet or {}).get("total", len(replica_views))
+    lines.append(
+        f"  {'fleet':<12} {f'{usable}/{known}':<9} {total.qps:>8.1f} "
+        f"{total.p50_ms:>8.1f} {total.p99_ms:>8.1f} "
+        f"{total.queue_depth:>6.0f} {total.shed_rate * 100:>6.1f}"
+    )
+    lines.append(
+        f"  totals      : {total.qps:.1f} req/s fleet-wide   "
+        f"p99<= {total.p99_ms:.1f} ms   queue {total.queue_depth:.0f}   "
+        f"shed {total.shed_rate * 100:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+async def _scrape_one(host: str, port: int) -> Optional[dict]:
+    """One ``op: metrics`` round-trip against a plain server."""
+    client = RemoteClient(host, port, timeout_s=5.0)
+    try:
+        await client.connect()
+        return await client.metrics()
+    except (ConnectionError, asyncio.TimeoutError, OSError):
+        return None
+    finally:
+        await client.close()
+
+
 async def run_top(
     host: str = "127.0.0.1",
     port: int = 8707,
@@ -110,8 +181,19 @@ async def run_top(
     frames: Optional[int] = None,
     out: Optional[TextIO] = None,
     clear: bool = True,
+    ports: Optional[List[int]] = None,
+    fleet: bool = False,
 ) -> int:
-    """Poll a server's ``op: metrics`` and render frames until stopped.
+    """Poll ``op: metrics`` and render frames until stopped.
+
+    Three shapes:
+
+    * default — one server at ``(host, port)``, classic single-node frame;
+    * ``fleet=True`` — ``(host, port)`` is a :class:`~repro.fleet.router.
+      FleetRouter`; its single ``op: metrics`` reply already aggregates
+      every usable replica's telemetry, rendered as one fleet frame;
+    * ``ports=[...]`` — scrape several plain servers directly (no router
+      needed) and aggregate client-side into the same fleet frame.
 
     ``frames`` bounds the run (``None`` = until interrupted); returns the
     number of frames rendered.  ``clear`` redraws in place on a TTY and
@@ -120,20 +202,44 @@ async def run_top(
     out = out if out is not None else sys.stdout
     clear = clear and out.isatty()
     rendered = 0
-    client = RemoteClient(host, port)
+
+    async def one_frame(frame: int) -> Optional[str]:
+        if ports:
+            replies = await asyncio.gather(
+                *(_scrape_one(host, p) for p in ports))
+            views = {
+                f"{host}:{p}": (reply.get("telemetry") or {})
+                for p, reply in zip(ports, replies) if reply is not None
+            }
+            if not views:
+                raise ConnectionError("no replica answered the scrape")
+            return render_fleet_frame(
+                views, title=f"repro fleet @ {host} ({len(views)} replicas)",
+                frame=frame)
+        reply = await client.metrics()
+        telemetry = reply.get("telemetry") or {}
+        if fleet:
+            views = {name: (view or {})
+                     for name, view in (telemetry.get("replicas") or {}).items()}
+            return render_fleet_frame(
+                views, fleet=telemetry.get("fleet"),
+                title=f"repro fleet @ {host}:{port}", frame=frame)
+        exposition = parse_exposition(reply.get("exposition", ""))
+        return render_frame(
+            telemetry.get("live") or {},
+            telemetry.get("alerts") or [],
+            exposition,
+            title=f"repro serve @ {host}:{port}",
+            frame=frame,
+        )
+
+    client: Optional[RemoteClient] = None
     try:
-        await client.connect()
+        if not ports:
+            client = RemoteClient(host, port)
+            await client.connect()
         while frames is None or rendered < frames:
-            reply = await client.metrics()
-            exposition = parse_exposition(reply.get("exposition", ""))
-            telemetry = reply.get("telemetry") or {}
-            text = render_frame(
-                telemetry.get("live") or {},
-                telemetry.get("alerts") or [],
-                exposition,
-                title=f"repro serve @ {host}:{port}",
-                frame=rendered + 1,
-            )
+            text = await one_frame(rendered + 1)
             if clear:
                 out.write("\x1b[2J\x1b[H")
             out.write(text + "\n")
@@ -146,5 +252,6 @@ async def run_top(
         _log.error("top lost the server", host=host, port=port,
                    error=f"{type(exc).__name__}: {exc}")
     finally:
-        await client.close()
+        if client is not None:
+            await client.close()
     return rendered

@@ -292,10 +292,15 @@ class RemoteClient:
         retries: int = 0,
         backoff_ms: float = 50.0,
         seed: int = 0,
+        span_name: str = "client.request",
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        #: Span opened around each request.  End clients keep the default;
+        #: the fleet router names its forwarding hop ``router.forward`` so
+        #: traces read client → router → replica (docs/fleet.md).
+        self.span_name = span_name
         self.retry_policy = RetryPolicy(retries=retries, backoff_ms=backoff_ms,
                                         seed=seed)
         self._reader: Optional[asyncio.StreamReader] = None
@@ -414,6 +419,11 @@ class RemoteClient:
             return await asyncio.wait_for(future, self.timeout_s)
         finally:
             self._pending.pop(wire_id, None)
+            # If the waiter is leaving without consuming the future (a
+            # timeout/cancel racing a teardown that failed it), retrieve
+            # the exception so asyncio does not log it as orphaned.
+            if future.done() and not future.cancelled():
+                future.exception()
 
     async def _roundtrip(self, payload: dict) -> dict:
         """Send with bounded retries; reconnects between attempts."""
@@ -444,8 +454,11 @@ class RemoteClient:
 
         When tracing is enabled the client mints the request's root span
         here and carries its context on the wire, so the server-side
-        stages link under one end-to-end trace.  ``timings=True`` asks
-        the server to echo the per-stage breakdown on the reply.
+        stages link under one end-to-end trace.  A request that already
+        carries a :class:`SpanContext` (a retry, or a router forwarding a
+        client's request) *joins* that trace instead of minting a new
+        root.  ``timings=True`` asks the server to echo the per-stage
+        breakdown on the reply.
         """
         if self._writer is None and self._closed:
             raise RuntimeError("client is not connected")
@@ -466,7 +479,8 @@ class RemoteClient:
         if timings or request.want_timings:
             payload["timings"] = True
         with get_tracer().span(
-            "client.request", category="serve", new_trace=True,
+            self.span_name, category="serve", ctx=request.trace,
+            new_trace=request.trace is None,
             request_id=request.request_id, model=request.key.canonical(),
         ) as span:
             if span.context is not None:

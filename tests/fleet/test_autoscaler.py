@@ -1,0 +1,185 @@
+"""Autoscaler: pricing, policy hysteresis, and the actuator loop."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerPolicy,
+    FleetRouter,
+    FleetSnapshot,
+    FleetSupervisor,
+    ReplicaSample,
+    RouterConfig,
+    price_capacity_qps,
+)
+from repro.serve import ModelKey, ServeConfig
+from repro.serve.costmodel import BatchCostModel
+from repro.serve.registry import ModelRegistry
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+def snapshot(qps: float, replicas: int = 2, capacity: float = 100.0,
+             sheds: int = 0, interval_s: float = 1.0) -> FleetSnapshot:
+    """A synthetic interval: load spread evenly over usable replicas."""
+    per = int(qps * interval_s / replicas)
+    return FleetSnapshot(
+        interval_s=interval_s,
+        replicas=tuple(
+            ReplicaSample(replica_id=f"r{i}", usable=True,
+                          answered_delta=per,
+                          sheds_delta=sheds if i == 0 else 0)
+            for i in range(replicas)
+        ),
+        capacity_qps=capacity,
+    )
+
+
+class TestPricing:
+    def test_capacity_matches_cost_model_wall(self):
+        registry = ModelRegistry()
+        model = registry.get(KEY)
+        cost_model = BatchCostModel()
+        wall_ms = cost_model.predicted_wall_ms(model, batch=8, flavor="float")
+        qps = price_capacity_qps(cost_model, model, workers=2, max_batch=8)
+        assert qps == pytest.approx(2 * 8 * 1000.0 / wall_ms)
+        assert qps > 0
+
+    def test_more_workers_price_higher(self):
+        registry = ModelRegistry()
+        model = registry.get(KEY)
+        cost_model = BatchCostModel()
+        one = price_capacity_qps(cost_model, model, workers=1, max_batch=8)
+        four = price_capacity_qps(cost_model, model, workers=4, max_batch=8)
+        assert four == pytest.approx(4 * one)
+
+
+class TestSnapshot:
+    def test_derived_rates(self):
+        s = snapshot(qps=50.0, replicas=2, capacity=100.0, sheds=10)
+        assert s.usable == 2
+        assert s.qps == pytest.approx(50.0)
+        assert s.shed_rate == pytest.approx(10 / 60)
+        assert s.utilization == pytest.approx(50.0 / 200.0)
+
+    def test_empty_fleet_is_zero_utilization(self):
+        s = FleetSnapshot(interval_s=1.0, replicas=(), capacity_qps=100.0)
+        assert s.utilization == 0.0
+        assert s.shed_rate == 0.0
+
+
+class TestPolicy:
+    def test_overload_scales_up_then_cools_down(self):
+        policy = AutoscalerPolicy(cooldown_ticks=2)
+        assert policy.decide(snapshot(qps=180.0)).action == "up"
+        # two cooldown ticks hold even though still overloaded
+        assert policy.decide(snapshot(qps=180.0)).action == "hold"
+        assert policy.decide(snapshot(qps=180.0)).action == "hold"
+        assert policy.decide(snapshot(qps=180.0)).action == "up"
+
+    def test_sheds_trigger_up_even_at_low_utilization(self):
+        policy = AutoscalerPolicy()
+        decision = policy.decide(snapshot(qps=10.0, sheds=5))
+        assert decision.action == "up"
+        assert "shed_rate" in decision.reason
+
+    def test_scale_down_needs_patience(self):
+        policy = AutoscalerPolicy(patience_ticks=3, cooldown_ticks=0)
+        idle = snapshot(qps=5.0, replicas=3, capacity=100.0)
+        assert policy.decide(idle).action == "hold"
+        assert policy.decide(idle).action == "hold"
+        assert policy.decide(idle).action == "down"
+
+    def test_a_busy_tick_resets_the_low_streak(self):
+        policy = AutoscalerPolicy(patience_ticks=2, cooldown_ticks=0)
+        idle = snapshot(qps=5.0, replicas=3)
+        busy = snapshot(qps=120.0, replicas=3, capacity=100.0)
+        assert policy.decide(idle).action == "hold"
+        policy.decide(busy)  # resets streak (and may scale up)
+        policy._cooldown = 0
+        assert policy.decide(idle).action == "hold"  # streak restarted
+        assert policy.decide(idle).action == "down"
+
+    def test_never_below_min_or_above_max(self):
+        policy = AutoscalerPolicy(min_replicas=2, max_replicas=2,
+                                  patience_ticks=1, cooldown_ticks=0)
+        overloaded = snapshot(qps=500.0, replicas=2, capacity=100.0)
+        assert policy.decide(overloaded).action == "hold"
+        idle = snapshot(qps=1.0, replicas=2, capacity=100.0)
+        assert policy.decide(idle).action == "hold"
+
+    def test_below_min_scales_up_unconditionally(self):
+        policy = AutoscalerPolicy(min_replicas=2)
+        decision = policy.decide(snapshot(qps=0.0, replicas=1))
+        assert decision.action == "up"
+        assert "min_replicas" in decision.reason
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerPolicy(low_utilization=0.8, target_utilization=0.7)
+
+
+class TestActuator:
+    @staticmethod
+    def _config() -> ServeConfig:
+        return ServeConfig(engine="analytical", preload=[KEY],
+                           slo_ms=30000.0, compile=False, telemetry=False)
+
+    def test_tick_applies_up_and_down_via_supervisor(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=self._config(),
+                                         mode="inproc")
+            router = FleetRouter([await supervisor.spawn()],
+                                 RouterConfig(seed=0))
+            scaler = Autoscaler(
+                router, supervisor, capacity_qps=100.0,
+                policy=AutoscalerPolicy(min_replicas=1, max_replicas=2,
+                                        patience_ticks=1, cooldown_ticks=0),
+            )
+            try:
+                # overloaded synthetic snapshot → spawn + register
+                up = await scaler.tick(snapshot(qps=500.0, replicas=1))
+                assert up.action == "up"
+                assert len(router.links) == 2
+                assert len(supervisor.replicas) == 2
+                # idle snapshot → drain the highest id, survivors keep arcs
+                down = await scaler.tick(snapshot(qps=1.0, replicas=2))
+                assert down.action == "down"
+                assert sorted(router.links) == ["r0"]
+                assert sorted(supervisor.replicas) == ["r0"]
+                assert [d.action for d in scaler.decisions] == ["up", "down"]
+            finally:
+                await router.stop()
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_sample_reads_router_deltas(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=self._config(),
+                                         mode="inproc")
+            router = FleetRouter([await supervisor.spawn()],
+                                 RouterConfig(seed=0))
+            scaler = Autoscaler(router, supervisor, capacity_qps=100.0)
+            try:
+                link = router.links["r0"]
+                link.ok = 40
+                link.sheds = 2
+                first = scaler.sample(interval_s=1.0)
+                assert first.replicas[0].answered_delta == 40
+                assert first.replicas[0].sheds_delta == 2
+                # no new traffic: the next interval's deltas are zero
+                second = scaler.sample(interval_s=1.0)
+                assert second.replicas[0].answered_delta == 0
+                assert second.qps == 0.0
+            finally:
+                await router.stop()
+                await supervisor.stop()
+
+        asyncio.run(main())

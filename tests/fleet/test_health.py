@@ -1,0 +1,79 @@
+"""Replica health state machine: passive demotion, probe hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ReplicaHealth, ReplicaState
+
+
+def make(threshold: int = 2) -> ReplicaHealth:
+    return ReplicaHealth("r0", probe_fail_threshold=threshold)
+
+
+class TestStates:
+    def test_starting_is_optimistically_usable(self):
+        health = make()
+        assert health.state is ReplicaState.STARTING
+        assert health.usable
+
+    def test_probe_success_promotes_to_ready(self):
+        health = make()
+        health.record_probe(True)
+        assert health.state is ReplicaState.READY
+
+    def test_forward_failure_demotes_immediately(self):
+        health = make()
+        health.record_probe(True)
+        assert health.record_forward_failure()
+        assert health.state is ReplicaState.DOWN
+        assert not health.usable
+
+    def test_probe_failures_demote_at_threshold(self):
+        health = make(threshold=2)
+        health.record_probe(True)
+        health.record_probe(False)
+        assert health.state is ReplicaState.SUSPECT
+        assert health.usable  # still routable at one failure
+        health.record_probe(False)
+        assert health.state is ReplicaState.DOWN
+
+    def test_one_probe_success_resurrects(self):
+        health = make()
+        health.record_forward_failure()
+        health.record_probe(True)
+        assert health.state is ReplicaState.READY
+
+    def test_forward_ok_resets_probe_failures(self):
+        health = make(threshold=2)
+        health.record_probe(True)
+        health.record_probe(False)
+        health.record_forward_ok()
+        health.record_probe(False)  # streak restarted: suspect, not down
+        assert health.state is ReplicaState.SUSPECT
+
+    def test_draining_is_sticky_against_forward_ok(self):
+        health = make()
+        health.mark_draining()
+        health.record_forward_ok()
+        assert health.state is ReplicaState.DRAINING
+        assert not health.usable
+
+    def test_probe_reports_draining(self):
+        health = make()
+        health.record_probe(True, draining=True)
+        assert health.state is ReplicaState.DRAINING
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make(threshold=0)
+
+
+class TestClock:
+    def test_since_change_uses_injected_clock(self):
+        now = [100.0]
+        health = ReplicaHealth("r0", clock=lambda: now[0])
+        now[0] = 103.5
+        assert health.since_change_s == pytest.approx(3.5)
+        health.record_probe(True)  # transition resets the timer
+        assert health.since_change_s == 0.0

@@ -1,0 +1,115 @@
+"""Consistent-hash ring: determinism, balance, minimal movement.
+
+The properties the fleet depends on (docs/fleet.md): placement is a pure
+function of (seed, replica set, lane); joins/leaves move at most ~2/N of
+the keys; preference order gives every router the same fallback chain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.fleet import DEFAULT_VNODES, HashRing
+
+REPLICAS = [f"r{i}" for i in range(4)]
+LANES = [f"model_{i}:half@64" for i in range(1000)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_placement(self):
+        a = HashRing(REPLICAS, seed=42)
+        b = HashRing(REPLICAS, seed=42)
+        assert a.assignment(LANES) == b.assignment(LANES)
+
+    def test_placement_independent_of_insertion_order(self):
+        a = HashRing(REPLICAS, seed=0)
+        b = HashRing(list(reversed(REPLICAS)), seed=0)
+        assert a.assignment(LANES) == b.assignment(LANES)
+
+    def test_different_seed_different_placement(self):
+        a = HashRing(REPLICAS, seed=0).assignment(LANES)
+        b = HashRing(REPLICAS, seed=1).assignment(LANES)
+        assert a != b
+
+    def test_lookup_is_stable_across_queries(self):
+        ring = HashRing(REPLICAS, seed=0)
+        assert [ring.lookup("lane") for _ in range(10)] == [
+            ring.lookup("lane")] * 10
+
+    def test_preference_starts_at_owner_and_covers_all(self):
+        ring = HashRing(REPLICAS, seed=0)
+        for lane in LANES[:50]:
+            order = ring.preference(lane)
+            assert order[0] == ring.lookup(lane)
+            assert sorted(order) == sorted(REPLICAS)
+
+    def test_preference_count_truncates(self):
+        ring = HashRing(REPLICAS, seed=0)
+        assert len(ring.preference("lane", count=2)) == 2
+
+
+class TestMovement:
+    def test_join_moves_at_most_2_over_n(self):
+        ring = HashRing(REPLICAS, seed=0)
+        before = ring.assignment(LANES)
+        ring.add("r4")
+        after = ring.assignment(LANES)
+        moved = sum(1 for lane in LANES if before[lane] != after[lane])
+        assert moved <= 2 * len(LANES) / 5
+        # and every moved lane went TO the joiner, nowhere else
+        assert all(after[lane] == "r4"
+                   for lane in LANES if before[lane] != after[lane])
+
+    def test_leave_moves_only_the_leavers_lanes(self):
+        ring = HashRing(REPLICAS, seed=0)
+        before = ring.assignment(LANES)
+        ring.remove("r2")
+        after = ring.assignment(LANES)
+        moved = [lane for lane in LANES if before[lane] != after[lane]]
+        assert len(moved) <= 2 * len(LANES) / 4
+        assert all(before[lane] == "r2" for lane in moved)
+        assert all(owner != "r2" for owner in after.values())
+
+    def test_join_then_leave_restores_placement(self):
+        ring = HashRing(REPLICAS, seed=0)
+        before = ring.assignment(LANES)
+        ring.add("r9")
+        ring.remove("r9")
+        assert ring.assignment(LANES) == before
+
+
+class TestBalance:
+    def test_no_replica_owns_a_pathological_share(self):
+        ring = HashRing(REPLICAS, seed=0, vnodes=DEFAULT_VNODES)
+        counts = Counter(ring.assignment(LANES).values())
+        expected = len(LANES) / len(REPLICAS)
+        for replica in REPLICAS:
+            assert counts[replica] > 0.5 * expected
+            assert counts[replica] < 2.0 * expected
+
+
+class TestMembership:
+    def test_add_remove_idempotent(self):
+        ring = HashRing(seed=0)
+        ring.add("r0")
+        ring.add("r0")
+        assert len(ring) == 1
+        ring.remove("r0")
+        ring.remove("r0")
+        assert len(ring) == 0
+
+    def test_empty_ring_lookups(self):
+        ring = HashRing(seed=0)
+        assert ring.lookup("lane") is None
+        assert ring.preference("lane") == []
+
+    def test_contains_and_replicas(self):
+        ring = HashRing(["a", "b"], seed=0)
+        assert "a" in ring and "c" not in ring
+        assert ring.replicas == ["a", "b"]
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)

@@ -1,0 +1,274 @@
+"""FleetRouter end to end: placement stickiness, failover, control ops.
+
+Every test runs a real in-process fleet — replicas behind loopback TCP,
+requests through the router's own TCP frontend — on the analytical
+engine to stay fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import get_tracer
+from repro.obs.tracing import trace_chains
+from repro.serve import (
+    InferenceRequest,
+    ModelKey,
+    RemoteClient,
+    ServeConfig,
+    Status,
+)
+from repro.fleet import (
+    FleetRouter,
+    FleetSupervisor,
+    RouterConfig,
+    free_port,
+)
+
+KEY_A = ModelKey("mobilenet_v3_small", resolution=32)
+KEY_B = ModelKey("mobilenet_v1", variant="half", resolution=32)
+
+
+def _config() -> ServeConfig:
+    return ServeConfig(engine="analytical", preload=[KEY_A, KEY_B],
+                       slo_ms=30000.0, compile=False, telemetry=False)
+
+
+async def _fleet(replicas: int, router_config: RouterConfig = None):
+    supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+    endpoints = [await supervisor.spawn() for _ in range(replicas)]
+    router = FleetRouter(
+        endpoints,
+        router_config or RouterConfig(seed=0, probe_interval_s=0.05),
+    )
+    await router.start()
+    client = RemoteClient("127.0.0.1", router.port, timeout_s=30.0)
+    await client.connect()
+    return supervisor, router, client
+
+
+async def _teardown(supervisor, router, client):
+    await client.close()
+    await router.stop()
+    await supervisor.stop()
+
+
+class TestRouting:
+    def test_requests_answer_through_the_router(self):
+        async def main():
+            supervisor, router, client = await _fleet(3)
+            try:
+                responses = [await client.submit(
+                    InferenceRequest(key=KEY_A, input_seed=i))
+                    for i in range(6)]
+                assert all(r.status is Status.OK for r in responses)
+                # the whole lane landed on one replica (sticky placement)
+                served = [l for l in router.links.values() if l.ok > 0]
+                assert len(served) == 1
+                assert served[0].replica_id == router.ring.lookup(
+                    FleetRouter.lane(KEY_A.canonical(), False))
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_distinct_lanes_can_spread(self):
+        async def main():
+            supervisor, router, client = await _fleet(4)
+            try:
+                for key in (KEY_A, KEY_B):
+                    response = await client.submit(
+                        InferenceRequest(key=key, input_seed=1))
+                    assert response.status is Status.OK
+                lane_owner = {
+                    key.canonical(): router.ring.lookup(
+                        FleetRouter.lane(key.canonical(), False))
+                    for key in (KEY_A, KEY_B)
+                }
+                for link in router.links.values():
+                    expected = sum(1 for owner in lane_owner.values()
+                                   if owner == link.replica_id)
+                    assert (link.ok > 0) == (expected > 0)
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_int8_flavor_is_its_own_lane(self):
+        assert (FleetRouter.lane(KEY_A.canonical(), True)
+                != FleetRouter.lane(KEY_A.canonical(), False))
+
+
+class TestFailover:
+    def test_kill_reroutes_to_survivors(self):
+        async def main():
+            supervisor, router, client = await _fleet(3)
+            try:
+                lane = FleetRouter.lane(KEY_A.canonical(), False)
+                victim = router.ring.lookup(lane)
+                assert (await client.submit(
+                    InferenceRequest(key=KEY_A, input_seed=0))).ok
+                await supervisor.kill(victim)
+                # next requests on the lane must reroute, not error
+                responses = [await client.submit(
+                    InferenceRequest(key=KEY_A, input_seed=i))
+                    for i in range(4)]
+                assert all(r.status is Status.OK for r in responses)
+                assert not router.links[victim].health.usable
+                assert router.ring.lookup(lane) != victim
+                health = await client.health()
+                assert health["usable"] == 2
+                assert health["ready"]
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_probe_resurrects_a_demoted_replica(self):
+        async def main():
+            supervisor, router, client = await _fleet(2)
+            try:
+                victim = sorted(router.links)[0]
+                # passive demotion without an actual crash: the replica
+                # is still alive, so the next probe must resurrect it
+                router.links[victim].health.record_forward_failure()
+                router.ring.remove(victim)
+                assert not router.links[victim].health.usable
+                await router.probe_once()
+                assert router.links[victim].health.usable
+                assert victim in router.ring
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_total_outage_sheds_with_retry_after(self):
+        async def main():
+            supervisor, router, client = await _fleet(2)
+            try:
+                for rid in list(supervisor.replicas):
+                    await supervisor.kill(rid)
+                await router.probe_once()
+                await router.probe_once()
+                response = await client.submit(
+                    InferenceRequest(key=KEY_A, input_seed=0))
+                assert response.status is Status.SHED
+                assert response.retry_after_ms is not None
+                assert response.retry_after_ms > 0
+                health = await client.health()
+                assert not health["ready"]
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+
+class TestControlOps:
+    def test_fleet_op_reports_per_replica_accounting(self):
+        async def main():
+            supervisor, router, client = await _fleet(2)
+            try:
+                await client.submit(InferenceRequest(key=KEY_A, input_seed=0))
+                reply = await client._roundtrip(
+                    {"id": 999, "op": "fleet"})
+                assert reply["role"] == "router"
+                assert reply["total"] == 2
+                assert len(reply["replicas"]) == 2
+                assert sum(r["answered"] for r in reply["replicas"]) >= 1
+                assert reply["ring"]["members"]
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_metrics_op_aggregates_replica_telemetry(self):
+        async def main():
+            supervisor, router, client = await _fleet(2)
+            try:
+                reply = await client.metrics()
+                telemetry = reply["telemetry"]
+                assert telemetry["fleet"]["total"] == 2
+                assert set(telemetry["replicas"]) == set(router.links)
+                for view in telemetry["replicas"].values():
+                    assert "live" in view and "health" in view
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_ping_and_malformed_lines(self):
+        async def main():
+            supervisor, router, client = await _fleet(1)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", router.port)
+                writer.write(b"{not json]\n")
+                await writer.drain()
+                reply = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                assert b"bad request" in reply
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                reply = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                assert b"pong" in reply
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+
+class TestTracePropagation:
+    def test_client_router_replica_chain(self):
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.enable()
+        try:
+            async def main():
+                supervisor, router, client = await _fleet(2)
+                try:
+                    response = await client.submit(
+                        InferenceRequest(key=KEY_A, input_seed=3))
+                    assert response.ok
+                    assert response.trace_id is not None
+                    return response.trace_id
+                finally:
+                    await _teardown(supervisor, router, client)
+
+            trace_id = asyncio.run(main())
+            chains = trace_chains(tracer.events())
+            assert trace_id in chains
+            names = {e["name"] for e in chains[trace_id]}
+            # one trace spans all three hops: client → router → replica
+            assert {"client.request", "router.request", "router.forward",
+                    "transport.request", "serve.request"} <= names
+        finally:
+            tracer.disable()
+            tracer.clear()
+
+
+class TestMembership:
+    def test_add_and_remove_replica(self):
+        async def main():
+            supervisor, router, client = await _fleet(2)
+            try:
+                endpoint = await supervisor.spawn()
+                router.add_replica(endpoint)
+                assert len(router.links) == 3
+                assert endpoint.replica_id in router.ring
+                router.mark_draining(endpoint.replica_id)
+                assert endpoint.replica_id not in router.ring
+                await supervisor.drain(endpoint.replica_id)
+                await router.remove_replica(endpoint.replica_id)
+                assert len(router.links) == 2
+                response = await client.submit(
+                    InferenceRequest(key=KEY_A, input_seed=0))
+                assert response.ok
+            finally:
+                await _teardown(supervisor, router, client)
+
+        asyncio.run(main())
+
+    def test_free_port_returns_bindable_port(self):
+        port = free_port()
+        assert 0 < port < 65536

@@ -1,0 +1,100 @@
+"""FleetSupervisor: replica lifecycle (inproc mode)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fleet import FleetSupervisor, free_port
+from repro.serve import InferenceRequest, ModelKey, RemoteClient, ServeConfig
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+def _config() -> ServeConfig:
+    return ServeConfig(engine="analytical", preload=[KEY],
+                       slo_ms=30000.0, compile=False, telemetry=False)
+
+
+class TestLifecycle:
+    def test_spawn_serves_the_wire_protocol(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            try:
+                endpoint = await supervisor.spawn()
+                assert endpoint.replica_id == "r0"
+                client = RemoteClient(endpoint.host, endpoint.port)
+                response = await client.submit(
+                    InferenceRequest(key=KEY, input_seed=0))
+                assert response.ok
+                health = await client.health()
+                assert health["ready"]
+                await client.close()
+            finally:
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_replica_ids_are_stable_and_monotonic(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            try:
+                a = await supervisor.spawn()
+                b = await supervisor.spawn()
+                assert (a.replica_id, b.replica_id) == ("r0", "r1")
+                await supervisor.kill("r0")
+                # the freed id is not reused: new replicas keep counting up
+                c = await supervisor.spawn()
+                assert c.replica_id == "r2"
+            finally:
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_kill_severs_connections_abruptly(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            try:
+                endpoint = await supervisor.spawn()
+                client = RemoteClient(endpoint.host, endpoint.port,
+                                      timeout_s=5.0, retries=0)
+                assert (await client.submit(
+                    InferenceRequest(key=KEY, input_seed=0))).ok
+                await supervisor.kill(endpoint.replica_id)
+                assert endpoint.replica_id not in supervisor.replicas
+                response = await client.submit(
+                    InferenceRequest(key=KEY, input_seed=1))
+                assert not response.ok  # transport error, not a hang
+                await client.close()
+            finally:
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_drain_is_graceful(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            endpoint = await supervisor.spawn()
+            handle = supervisor.replicas[endpoint.replica_id]
+            assert handle.alive
+            await supervisor.drain(endpoint.replica_id)
+            assert endpoint.replica_id not in supervisor.replicas
+            await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_stop_drains_everything(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            for _ in range(3):
+                await supervisor.spawn()
+            assert len(supervisor.replicas) == 3
+            await supervisor.stop()
+            assert len(supervisor.replicas) == 0
+
+        asyncio.run(main())
+
+
+class TestPorts:
+    def test_free_port_yields_distinct_bindable_ports(self):
+        ports = {free_port() for _ in range(5)}
+        assert all(0 < p < 65536 for p in ports)

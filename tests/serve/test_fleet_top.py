@@ -1,0 +1,78 @@
+"""Fleet-wide ``repro top``: LiveStats aggregation and frame rendering."""
+
+from __future__ import annotations
+
+from repro.obs import aggregate_live
+from repro.serve.top import render_fleet_frame
+
+
+def live(qps: float, p99: float = 10.0, shed: float = 0.0,
+         queue: float = 0.0) -> dict:
+    return {"window_s": 10.0, "qps": qps, "shed_rate": shed,
+            "slo_violation_rate": 0.0, "degraded_rate": 0.0,
+            "p50_ms": p99 / 2, "p95_ms": p99 * 0.9, "p99_ms": p99,
+            "queue_depth": queue, "batch_occupancy": 0.5,
+            "requests_total": qps * 10, "snapshots": 10,
+            "breaker_states": {}}
+
+
+class TestAggregateLive:
+    def test_additive_vitals_sum(self):
+        total = aggregate_live({"r0": live(40.0, queue=2.0),
+                                "r1": live(60.0, queue=3.0)})
+        assert total.qps == 100.0
+        assert total.queue_depth == 5.0
+        assert total.requests_total == 1000.0
+
+    def test_percentiles_take_the_max(self):
+        total = aggregate_live({"r0": live(10.0, p99=8.0),
+                                "r1": live(10.0, p99=20.0)})
+        assert total.p99_ms == 20.0
+        assert total.p50_ms == 10.0
+
+    def test_rates_are_qps_weighted(self):
+        # r1 carries 3x the traffic, so its shed rate dominates 3:1.
+        total = aggregate_live({"r0": live(25.0, shed=0.0),
+                                "r1": live(75.0, shed=0.1)})
+        assert abs(total.shed_rate - 0.075) < 1e-9
+
+    def test_idle_fleet_weights_equally(self):
+        total = aggregate_live({"r0": live(0.0, shed=0.2),
+                                "r1": live(0.0, shed=0.0)})
+        assert abs(total.shed_rate - 0.1) < 1e-9
+
+    def test_breakers_are_namespaced_per_replica(self):
+        a = live(10.0)
+        a["breaker_states"] = {"m@64": 1.0}
+        b = live(10.0)
+        b["breaker_states"] = {"m@64": 0.0}
+        total = aggregate_live({"r0": a, "r1": b})
+        assert total.breaker_states == {"r0/m@64": 1.0, "r1/m@64": 0.0}
+
+    def test_empty_views(self):
+        assert aggregate_live({}).qps == 0.0
+
+
+class TestFleetFrame:
+    def test_per_replica_rows_and_totals(self):
+        views = {
+            "r0": {"live": live(40.0, p99=12.0), "alerts": [], "health": {}},
+            "r1": {"live": live(60.0, p99=9.0),
+                   "alerts": [{"firing": True}], "health": {}},
+        }
+        text = render_fleet_frame(views, frame=3)
+        assert "frame 3" in text
+        assert "r0" in text and "r1" in text
+        assert "100.0 req/s fleet-wide" in text
+        assert "p99<= 12.0 ms" in text
+
+    def test_router_accounting_adds_state_column(self):
+        views = {"r0": {"live": live(10.0), "alerts": [], "health": {}}}
+        fleet = {"usable": 1, "total": 2,
+                 "replicas": [
+                     {"replica": "r0", "state": "ready", "queue_depth": 4},
+                     {"replica": "r1", "state": "down", "queue_depth": None},
+                 ]}
+        text = render_fleet_frame(views, fleet=fleet)
+        assert "down" in text            # the dead replica still shows up
+        assert "1/2" in text             # usable/known fleet row

@@ -1,0 +1,56 @@
+"""LRU-bounded compiled-plan cache: cap, eviction order, recompiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry
+from repro.serve import ModelKey
+from repro.serve.registry import ModelRegistry
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+def evictions() -> float:
+    return get_registry().counter("serve.plan_evictions",
+                                  model=KEY.canonical()).value
+
+
+class TestPlanCacheCap:
+    def test_unbounded_by_default(self):
+        model = ModelRegistry().get(KEY)
+        for batch in (1, 2, 3, 4):
+            model.plan_for(batch, flavor="folded")
+        assert len(model._plans) == 4
+
+    def test_cap_bounds_the_cache(self):
+        model = ModelRegistry(plan_cache_cap=2).get(KEY)
+        before = evictions()
+        for batch in (1, 2, 3):
+            model.plan_for(batch, flavor="folded")
+        assert len(model._plans) == 2
+        assert evictions() == before + 1
+
+    def test_eviction_is_least_recently_used(self):
+        model = ModelRegistry(plan_cache_cap=2).get(KEY)
+        first = model.plan_for(1, flavor="folded")
+        model.plan_for(2, flavor="folded")
+        # Touch batch=1 so batch=2 is now the LRU victim.
+        assert model.plan_for(1, flavor="folded") is first
+        model.plan_for(3, flavor="folded")
+        assert (1, "folded") in model._plans
+        assert (2, "folded") not in model._plans
+        assert (3, "folded") in model._plans
+
+    def test_evicted_plan_recompiles_transparently(self):
+        model = ModelRegistry(plan_cache_cap=1).get(KEY)
+        first = model.plan_for(1, flavor="folded")
+        model.plan_for(2, flavor="folded")  # evicts batch=1
+        again = model.plan_for(1, flavor="folded")
+        assert again is not first
+        assert again.input_shape == first.input_shape
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(plan_cache_cap=0)
+        ModelRegistry(plan_cache_cap=None)  # unbounded is fine
