@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke fleet-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke chaos-smoke telemetry-smoke fleet-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -111,6 +111,15 @@ compile-smoke:
 # Writes benchmarks/results/BENCH_quantize.json.
 quantize-smoke:
 	timeout 300 python benchmarks/bench_quantize.py --smoke
+
+# Sparsity + column-combining smoke (docs/performance.md): trains
+# V3-Small, prunes to 75% with the pass pipeline, fine-tunes under the
+# masks, and gates the acceptance claims — >=1.5x analytical packed
+# speedup at γ=8 on a 32x32 array, <=1pp top-1 drop after fine-tune,
+# and the γ=1 identity packing within 1% of the dense schedule.
+# Writes benchmarks/results/BENCH_sparsity.json.
+sparsity-smoke:
+	timeout 900 python benchmarks/bench_sparsity.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -31,6 +31,13 @@ from .scaling import (
     resolution_curve,
     scaling_curve,
 )
+from .sparsity import (
+    PackingAdvantage,
+    SparsityRow,
+    network_packing,
+    packing_advantage,
+    sparsity_sweep,
+)
 from .speedup import SpeedupRow, figure_8a, network_variants, table1
 from .timeline import Timeline, TimelineEntry, execution_timeline
 
@@ -68,6 +75,11 @@ __all__ = [
     "figure_8a",
     "network_variants",
     "table1",
+    "PackingAdvantage",
+    "SparsityRow",
+    "network_packing",
+    "packing_advantage",
+    "sparsity_sweep",
     "Timeline",
     "TimelineEntry",
     "execution_timeline",

@@ -217,6 +217,52 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sparsity(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .analysis.sparsity import packing_advantage, sparsity_sweep
+
+    networks = [_model_name(args)] if (args.net or args.model) else [
+        "mobilenet_v3_small"]
+    sparsities = [float(s) for s in args.sparsities.split(",") if s]
+    gammas = [int(g) for g in args.gammas.split(",") if g]
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    rows = sparsity_sweep(
+        networks=networks, sparsities=sparsities, gammas=gammas,
+        sizes=sizes, seed=args.seed, cache_dir=args.cache_dir,
+        resolution=args.resolution,
+    )
+    print(format_table(
+        ["network", "variant", "sparsity", "γ", "array", "dense",
+         "packed", "speedup", "dw-ratio", "dropped"],
+        [[r.network, r.variant or "baseline", f"{r.sparsity:.0%}",
+          str(r.gamma), f"{r.rows}x{r.rows}", str(r.dense_cycles),
+          str(r.packed_cycles), f"{r.speedup:.2f}x",
+          f"{r.dw_packed_ratio:.2f}", f"{r.dw_drop_fraction:.0%}"]
+         for r in rows],
+        title="Sparsity x column-combining sweep (analytical; "
+              "dw-ratio = packed/dense cycles of depthwise-class compute, "
+              "dropped = fully-eliminated channels)",
+    ))
+    pairs = packing_advantage(rows)
+    if pairs:
+        print()
+        print(format_table(
+            ["network", "sparsity", "γ", "array", "variant",
+             "ratio 2D/FuSe", "dropped 2D/FuSe", "packed cyc 2D/FuSe"],
+            [[a.network, f"{a.sparsity:.0%}", str(a.gamma),
+              f"{a.rows}x{a.rows}", a.variant,
+              f"{a.base_ratio:.2f} / {a.fuse_ratio:.2f}",
+              f"{a.base_drop_fraction:.0%} / {a.fuse_drop_fraction:.0%}",
+              f"{a.base_packed_cycles} / {a.fuse_packed_cycles}"]
+             for a in pairs],
+            title="Packing comparison on depthwise-class compute: FuSe's "
+                  "independent rows vanish when fully pruned and stay "
+                  "cheaper absolute; the 2D schedule recovers a larger "
+                  "fraction of its (much larger) dense cost",
+        ))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -336,10 +382,22 @@ def cmd_compile_stats(args: argparse.Namespace) -> int:
     if args.exact and args.int8:
         print("--exact and --int8 are mutually exclusive", file=sys.stderr)
         return 2
+    if args.exact and args.sparsity is not None:
+        print("--exact and --sparsity are mutually exclusive (the exact "
+              "preset is bit-identical to the unpruned forward)",
+              file=sys.stderr)
+        return 2
     net = _net_for(args)
     executor = GraphExecutor(net, seed=args.seed)
     executor.eval()
-    if args.int8:
+    if args.sparsity is not None:
+        if args.int8:
+            config = CompileConfig.sparse_int8(sparsity=args.sparsity,
+                                               gamma=args.gamma)
+        else:
+            config = CompileConfig.sparse(sparsity=args.sparsity,
+                                          gamma=args.gamma)
+    elif args.int8:
         config = CompileConfig.int8()
     elif args.exact:
         config = CompileConfig.exact()
@@ -351,6 +409,8 @@ def cmd_compile_stats(args: argparse.Namespace) -> int:
     s = plan.stats
     mode = ("int8 (quantized)" if args.int8
             else "exact (bit-identical)" if args.exact else "folded")
+    if args.sparsity is not None:
+        mode = f"sparse ({mode}, target {args.sparsity:.0%}, γ={args.gamma})"
     print(f"{s.network}: compiled {mode} plan for input {plan.input_shape}")
     print(f"  nodes -> ops : {s.nodes} -> {s.ops}")
     print(f"  folded BN    : {s.folded_bn}")
@@ -358,11 +418,28 @@ def cmd_compile_stats(args: argparse.Namespace) -> int:
     if args.int8:
         print(f"  int8 ops     : {s.int8_ops} "
               f"({s.int8_fallbacks} float fallbacks)")
+    if s.params_removed or s.packed_columns:
+        print(f"  sparsity     : {s.sparsity:.1%} "
+              f"({s.params_removed} params removed)")
+        print(f"  packed cols  : {s.packed_columns} "
+              f"({s.columns_combined} combined away)")
     print(f"  arena        : {s.arena_bytes / 1024:.0f} KiB "
           f"(pool {s.pooled_bytes / 1024:.0f} KiB, "
           f"naive {s.naive_bytes / 1024:.0f} KiB, "
           f"saving {s.arena_saving * 100:.1f}%)")
     print(f"  compile time : {s.compile_ms:.1f} ms")
+    if args.passes:
+        print("  passes:")
+        if not plan.pass_results:
+            print("    (none — the exact preset runs an empty pipeline)")
+        for r in plan.pass_results:
+            line = (f"    {r.name:<16} {r.ms:>8.2f} ms"
+                    f"  params_removed={r.params_removed}"
+                    f"  columns_combined={r.columns_combined}")
+            if r.details:
+                detail = ", ".join(f"{k}={v}" for k, v in r.details.items())
+                line += f"  ({detail})"
+            print(line)
     if args.bench:
         x = np.random.default_rng(args.seed + 1).standard_normal(
             plan.input_shape).astype(np.float32)
@@ -468,6 +545,13 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
                        help="LRU bound on compiled plans kept per model "
                             "across (batch, flavor) keys; evictions count "
                             "as serve.plan_evictions (default unbounded)")
+    group.add_argument("--sparsity", type=float, default=None, metavar="F",
+                       help="magnitude-prune + column-combine the non-exact "
+                            "plan flavors to this fraction (plan metadata "
+                            "on the existing flavors; default dense)")
+    group.add_argument("--pack-gamma", type=int, default=8, metavar="G",
+                       help="column-combining group-size limit for "
+                            "--sparsity (default 8; 1 = identity packing)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -513,6 +597,8 @@ def _serve_config(args: argparse.Namespace, keys: list):
         jobs=_effective_jobs(args) or 1,
         cache_dir=args.cache_dir,
         plan_cache_cap=args.plan_cache_cap,
+        sparsity=args.sparsity,
+        pack_gamma=args.pack_gamma,
         array=_array_from_args(args),
         preload=keys,
         resilience=args.resilience,
@@ -738,6 +824,9 @@ def _replica_serve_argv(args: argparse.Namespace) -> List[str]:
         argv.append("--no-resilience")
     if args.plan_cache_cap is not None:
         argv += ["--plan-cache-cap", str(args.plan_cache_cap)]
+    if args.sparsity is not None:
+        argv += ["--sparsity", str(args.sparsity),
+                 "--pack-gamma", str(args.pack_gamma)]
     return argv
 
 
@@ -850,6 +939,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_table1)
 
     p = sub.add_parser(
+        "sparsity",
+        help="sparsity x column-combining sweep "
+             "(FuSe variant x sparsity x array size)",
+        parents=[common],
+    )
+    _add_model_argument(p)
+    p.add_argument("--resolution", type=int, default=32)
+    p.add_argument("--sparsities", default="0.5,0.75,0.9", metavar="LIST",
+                   help="comma-separated magnitude-prune targets "
+                        "(default 0.5,0.75,0.9)")
+    p.add_argument("--gammas", default="8", metavar="LIST",
+                   help="comma-separated column-combining group limits "
+                        "(default 8)")
+    p.add_argument("--sizes", default="32,64", metavar="LIST",
+                   help="comma-separated square array sizes (default 32,64)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="deterministic weight seed (default 0)")
+    _add_parallel_options(p)
+    p.set_defaults(fn=cmd_sparsity)
+
+    p = sub.add_parser(
         "simulate",
         help="run real values through the functional PE-grid simulator",
         parents=[common],
@@ -918,6 +1028,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exact", action="store_true",
                    help="bit-exact preset: no folding/fusion "
                         "(output bit-identical to the eager forward)")
+    p.add_argument("--sparsity", type=float, default=None, metavar="F",
+                   help="magnitude-prune to this fraction and column-"
+                        "combine (composes with --int8; see docs/runtime.md)")
+    p.add_argument("--gamma", type=int, default=8,
+                   help="column-combining group-size limit (default 8; "
+                        "1 = identity packing)")
+    p.add_argument("--passes", action="store_true",
+                   help="print the per-pass pipeline table (timing, params "
+                        "removed, columns combined)")
     p.add_argument("--bench", type=int, default=0, metavar="N",
                    help="time N eager-vs-plan repeats and report the "
                         "speedup and max abs error (default off)")

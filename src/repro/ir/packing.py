@@ -1,0 +1,370 @@
+"""Column combining for magnitude-pruned weights (Kung et al., 2018).
+
+"Packing Sparse Convolutional Neural Networks for Efficient Systolic
+Array Implementations: Column Combining Under Joint Optimization"
+(PAPERS.md) shows that after magnitude pruning, several sparse weight
+columns can share one *physical* systolic-array column: each PE row is
+owned by at most one member column, conflicting weights are dropped as
+part of the optimization (joint prune-and-pack), and the array sees a
+dense matrix with ``ceil(N / γ)``-ish columns instead of ``N`` sparse
+ones.  Cycle savings are near-proportional to the combining factor
+because fold counts scale with the column dimension.
+
+This module holds the *pure* algorithms and the metadata they produce —
+no dependency on :mod:`repro.nn` or :mod:`repro.systolic`, so the pass
+pipeline (:mod:`repro.nn.passes`), the analytical latency model
+(:mod:`repro.systolic.latency`) and the functional simulator all consume
+the same :class:`PackedMapping` objects:
+
+* ``pack_gemm_columns`` — GEMM-shaped weights (standard conv, pointwise,
+  linear): greedy grouping of sparse columns into ≤γ-sized groups under a
+  conflict policy; groups become physical array columns (N shrinks, K is
+  streamed in full);
+* ``pack_depthwise`` — per-channel single-column GEMMs cannot combine
+  (N is already 1); packing compresses each channel's reduction length to
+  its nonzero taps (K shrinks per channel, empty channels drop);
+* ``pack_fuse1d`` — FuSeConv's broadcast rows are independent 1D convs;
+  channels with identical tap support are grouped so each row fold
+  streams only the group's live taps (K shrinks per group, empty
+  channels drop rows).  This is why FuSe packs better than 2D depthwise:
+  its rows both *shrink* (taps) and *disappear* (channels), while a 2D
+  depthwise channel keeps paying the per-fold fill/drain overhead.
+
+Everything is deterministic: greedy orders break ties by column index,
+and all metadata is hashable/frozen so it can key latency memo caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CONFLICT_POLICIES",
+    "PackedMapping",
+    "NetworkPacking",
+    "magnitude_mask",
+    "pack_gemm_columns",
+    "pack_depthwise",
+    "pack_fuse1d",
+]
+
+#: How ``pack_gemm_columns`` treats two columns wanting the same PE row:
+#: ``"disjoint"`` never combines them; ``"prune"`` (the paper's joint
+#: optimization) drops the smaller-magnitude weight and combines anyway.
+CONFLICT_POLICIES = ("disjoint", "prune")
+
+
+@dataclass(frozen=True)
+class PackedMapping:
+    """How one layer's pruned weights map onto physical array columns.
+
+    Frozen and fully tuple-valued so a mapping can sit inside the
+    :func:`repro.systolic.latency.mapping_stats` memo key — two layers
+    with identical specs but different packing must never share a cache
+    entry.
+    """
+
+    kind: str                     #: "gemm" | "depthwise" | "fuse1d"
+    gamma: int                    #: group-size limit γ used to build it
+    conflict: str                 #: conflict policy used to build it
+    n_orig: int                   #: original columns (or channels)
+    n_packed: int                 #: physical columns (or live channels)
+    k: int                        #: original reduction length
+    nnz: int                      #: surviving nonzero weights
+    total: int                    #: prunable weight slots
+    dropped: int                  #: all-zero columns/channels removed
+    conflicts_pruned: int         #: weights dropped by column combining
+    #: kind == "gemm": original column indices per physical column.
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    #: kind == "depthwise": per-channel effective K (0 = empty channel).
+    k_eff: Tuple[int, ...] = ()
+    #: kind == "fuse1d": per-group (live tap indices, channel indices).
+    tap_groups: Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...] = ()
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of prunable slots that are zero after packing."""
+        return 1.0 - self.nnz / self.total if self.total else 0.0
+
+    @property
+    def columns_combined(self) -> int:
+        """Original columns absorbed into a shared physical column."""
+        return self.n_orig - self.dropped - self.n_packed
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (disk-cache fingerprints, CLI output)."""
+        return {
+            "kind": self.kind,
+            "gamma": self.gamma,
+            "conflict": self.conflict,
+            "n_orig": self.n_orig,
+            "n_packed": self.n_packed,
+            "k": self.k,
+            "nnz": self.nnz,
+            "total": self.total,
+            "dropped": self.dropped,
+            "conflicts_pruned": self.conflicts_pruned,
+            "groups": [list(g) for g in self.groups],
+            "k_eff": list(self.k_eff),
+            "tap_groups": [[list(t), list(c)] for t, c in self.tap_groups],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the full packed structure (disk-cache identity)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class NetworkPacking:
+    """Per-node :class:`PackedMapping` for one pruned network."""
+
+    gamma: int
+    conflict: str
+    layers: Tuple[Tuple[str, PackedMapping], ...] = ()
+    _index: Dict[str, PackedMapping] = field(
+        default=None, repr=False, compare=False, hash=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_index", dict(self.layers))
+
+    def get(self, name: str) -> Optional[PackedMapping]:
+        return self._index.get(name)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __bool__(self) -> bool:
+        return bool(self.layers)
+
+    @property
+    def packed_columns(self) -> int:
+        """Physical columns across all packed layers (plan stat)."""
+        return sum(m.n_packed for _, m in self.layers)
+
+    @property
+    def columns_before(self) -> int:
+        return sum(m.n_orig for _, m in self.layers)
+
+    @property
+    def columns_combined(self) -> int:
+        return sum(m.columns_combined for _, m in self.layers)
+
+    @property
+    def conflicts_pruned(self) -> int:
+        return sum(m.conflicts_pruned for _, m in self.layers)
+
+    def to_dict(self) -> dict:
+        return {
+            "gamma": self.gamma,
+            "conflict": self.conflict,
+            "layers": {name: m.to_dict() for name, m in self.layers},
+        }
+
+    def fingerprint(self) -> str:
+        """Stable identity of the whole packing (disk-cache key field)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------- pruning
+
+def magnitude_mask(weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean keep-mask zeroing the smallest-|w| ``sparsity`` fraction.
+
+    Deterministic: ties at the threshold are broken by flat index (the
+    earliest small weights go first), so the mask has *exactly*
+    ``round(sparsity * size)`` zeros whenever that many weights exist.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    flat = np.abs(np.asarray(weights)).reshape(-1)
+    n_drop = int(round(sparsity * flat.size))
+    keep = np.ones(flat.size, dtype=bool)
+    if n_drop > 0:
+        # stable argsort → deterministic tie-breaking by index
+        order = np.argsort(flat, kind="stable")
+        keep[order[:n_drop]] = False
+    return keep.reshape(np.asarray(weights).shape)
+
+
+# ------------------------------------------------------- column combining
+
+def pack_gemm_columns(
+    w2d: np.ndarray, gamma: int, conflict: str = "prune"
+) -> Tuple[PackedMapping, np.ndarray]:
+    """Greedily combine sparse columns of a ``K × N`` weight matrix.
+
+    Columns are visited densest-first (ties by index) and first-fit
+    placed into the open group of size < γ that costs the least dropped
+    magnitude; under ``"disjoint"`` only zero-cost (non-overlapping)
+    groups qualify, under ``"prune"`` the smaller-|w| weight of each
+    conflicting row is dropped (the paper's joint optimization), bounded
+    so a join never drops more than half the joining column's nonzeros.
+    All-zero columns are removed from the mapping entirely (their outputs
+    are constant) — except at γ=1, which is defined as the identity
+    packing: one singleton group per column, nothing dropped, so the
+    packed schedule is the dense schedule.
+
+    Returns the mapping plus the *keep mask* (``K × N`` bool) after
+    conflict pruning — callers must zero ``w2d[~mask]`` so execution
+    matches the packed schedule.
+    """
+    if gamma < 1:
+        raise ValueError(f"gamma must be >= 1, got {gamma}")
+    if conflict not in CONFLICT_POLICIES:
+        raise ValueError(
+            f"conflict must be one of {CONFLICT_POLICIES}, got {conflict!r}")
+    w2d = np.asarray(w2d)
+    if w2d.ndim != 2:
+        raise ValueError(f"expected a K x N matrix, got shape {w2d.shape}")
+    k, n = w2d.shape
+    mask = w2d != 0
+    nnz_before = int(mask.sum())
+
+    if gamma == 1:
+        mapping = PackedMapping(
+            kind="gemm", gamma=1, conflict=conflict, n_orig=n, n_packed=n,
+            k=k, nnz=nnz_before, total=k * n, dropped=0, conflicts_pruned=0,
+            groups=tuple((j,) for j in range(n)),
+        )
+        return mapping, mask.copy()
+
+    absw = np.abs(w2d)
+    col_nnz = mask.sum(axis=0)
+    # Densest first: packing the big columns early leaves the sparse tail
+    # to fill leftover row slots.  Ties by index for determinism.
+    order = sorted(range(n), key=lambda j: (-int(col_nnz[j]), j))
+
+    keep = mask.copy()
+    groups: List[List[int]] = []
+    # owner[g][row] = (column, |w|) currently holding that row of group g.
+    owners: List[Dict[int, Tuple[int, float]]] = []
+    dropped_cols = 0
+    conflicts = 0
+
+    for j in order:
+        rows = np.flatnonzero(keep[:, j])
+        if rows.size == 0:
+            dropped_cols += 1
+            continue
+        best = None  # (cost, group index, conflicting rows to steal)
+        for gi, members in enumerate(groups):
+            if len(members) >= gamma:
+                continue
+            own = owners[gi]
+            clash = [r for r in rows if r in own]
+            if conflict == "disjoint" and clash:
+                continue
+            if len(clash) * 2 > rows.size:
+                continue  # joining would gut the column: open a new group
+            cost = sum(min(own[r][1], float(absw[r, j])) for r in clash)
+            if best is None or cost < best[0]:
+                best = (cost, gi, clash)
+        if best is None:
+            groups.append([j])
+            owners.append({int(r): (j, float(absw[r, j])) for r in rows})
+            continue
+        _, gi, clash = best
+        own = owners[gi]
+        for r in clash:
+            inc_col, inc_mag = own[r]
+            if float(absw[r, j]) > inc_mag:
+                keep[r, inc_col] = False  # evict the incumbent weight
+                own[r] = (j, float(absw[r, j]))
+            else:
+                keep[r, j] = False        # the joiner loses this row
+            conflicts += 1
+        for r in rows:
+            if keep[r, j]:
+                own.setdefault(int(r), (j, float(absw[r, j])))
+        groups[gi].append(j)
+
+    mapping = PackedMapping(
+        kind="gemm", gamma=gamma, conflict=conflict, n_orig=n,
+        n_packed=len(groups), k=k, nnz=int(keep.sum()), total=k * n,
+        dropped=dropped_cols, conflicts_pruned=conflicts,
+        groups=tuple(tuple(sorted(g)) for g in groups),
+    )
+    return mapping, keep
+
+
+def pack_depthwise(
+    w2d: np.ndarray, gamma: int, conflict: str = "prune"
+) -> PackedMapping:
+    """Pack a depthwise layer's ``C × (kh·kw)`` filters.
+
+    Each channel is its own single-column GEMM (N = 1 — nothing to
+    combine; this is exactly why depthwise packs worse than FuSe), so
+    the only saving is compressing each channel's reduction length to
+    its live taps and dropping all-zero channels.  γ=1 is the identity:
+    every channel keeps its full K.
+    """
+    w2d = np.asarray(w2d)
+    c, k = w2d.shape
+    mask = w2d != 0
+    nnz = int(mask.sum())
+    if gamma == 1:
+        return PackedMapping(
+            kind="depthwise", gamma=1, conflict=conflict, n_orig=c,
+            n_packed=c, k=k, nnz=nnz, total=c * k, dropped=0,
+            conflicts_pruned=0, k_eff=(k,) * c,
+        )
+    k_eff = tuple(int(v) for v in mask.sum(axis=1))
+    dropped = sum(1 for v in k_eff if v == 0)
+    return PackedMapping(
+        kind="depthwise", gamma=gamma, conflict=conflict, n_orig=c,
+        n_packed=c - dropped, k=k, nnz=nnz, total=c * k, dropped=dropped,
+        conflicts_pruned=0, k_eff=k_eff,
+    )
+
+
+def pack_fuse1d(
+    w2d: np.ndarray, gamma: int, conflict: str = "prune"
+) -> PackedMapping:
+    """Pack a FuSeConv layer's ``C × K`` 1D filters into tap groups.
+
+    Broadcast rows run in lockstep within a fold, so a fold can skip a
+    weight cycle only if *every* resident row's tap is zero there.  The
+    pass therefore sorts channels by tap-support signature and groups
+    identical signatures: the mapper schedules each group as its own
+    bank whose broadcast length is the group's live tap count, and the
+    simulator streams exactly those taps.  Channels with no live taps
+    drop out of the bank entirely (their rows produce constants).
+    γ=1 is the identity: one group holding every channel at full K.
+    """
+    w2d = np.asarray(w2d)
+    c, k = w2d.shape
+    mask = w2d != 0
+    nnz = int(mask.sum())
+    if gamma == 1:
+        return PackedMapping(
+            kind="fuse1d", gamma=1, conflict=conflict, n_orig=c,
+            n_packed=c, k=k, nnz=nnz, total=c * k, dropped=0,
+            conflicts_pruned=0,
+            tap_groups=((tuple(range(k)), tuple(range(c))),),
+        )
+    by_support: Dict[Tuple[int, ...], List[int]] = {}
+    dropped = 0
+    for ch in range(c):
+        taps = tuple(int(t) for t in np.flatnonzero(mask[ch]))
+        if not taps:
+            dropped += 1
+            continue
+        by_support.setdefault(taps, []).append(ch)
+    # Deterministic group order: by signature (lexicographic).
+    tap_groups = tuple(
+        (taps, tuple(chans)) for taps, chans in sorted(by_support.items())
+    )
+    return PackedMapping(
+        kind="fuse1d", gamma=gamma, conflict=conflict, n_orig=c,
+        n_packed=c - dropped, k=k, nnz=nnz, total=c * k, dropped=dropped,
+        conflicts_pruned=0, tap_groups=tap_groups,
+    )

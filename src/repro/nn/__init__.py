@@ -10,6 +10,7 @@ from .blocks import (
 )
 from .compile import CompileConfig, InferencePlan, PlanStats, compile_executor
 from .data import Dataset, SyntheticSpec, make_synthetic, make_teacher_dataset
+from .passes import PassResult, Pipeline, Transform, apply_pruning
 from .graph import GraphExecutor
 from .layers import (
     Activation,
@@ -50,6 +51,10 @@ __all__ = [
     "SyntheticSpec",
     "make_synthetic",
     "make_teacher_dataset",
+    "PassResult",
+    "Pipeline",
+    "Transform",
+    "apply_pruning",
     "GraphExecutor",
     "Activation",
     "BatchNorm2d",

@@ -56,6 +56,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,14 +66,16 @@ from ..ir import layer as ir
 from ..ir.network import Network, Node
 from ..obs import get_logger, get_registry, get_tracer
 from . import functional as F
-from .functional import _pad_amounts, _pair, _windows
-from .layers import (
-    BatchNorm2d,
-    Conv2d,
-    DepthwiseConv2d,
-    FuSeConv1d,
-    Linear,
-    SqueezeExcite,
+from .functional import _pad_amounts, _windows
+from .layers import BatchNorm2d, SqueezeExcite
+from .passes import (
+    _FOLDABLE,
+    _PlanNode,
+    _conv_geometry,
+    _fold_bn_into,
+    PassResult,
+    Pipeline,
+    Transform,
 )
 from .quantize import (
     activation_lut,
@@ -85,25 +88,16 @@ __all__ = ["CompileConfig", "PlanStats", "InferencePlan", "compile_executor"]
 
 _log = get_logger("nn.compile")
 
-#: IR kinds whose weights a trailing BatchNorm can fold into.
-_FOLDABLE = (
-    ir.Conv2D,
-    ir.DepthwiseConv2D,
-    ir.PointwiseConv2D,
-    ir.FuSeConv1D,
-    ir.Linear,
-)
-
-#: IR kinds that accept a fused in-place activation post-op.
-_ACT_HOSTS = _FOLDABLE + (ir.BatchNorm, ir.Add)
-
 
 @dataclass(frozen=True)
 class CompileConfig:
-    """Plan optimization switches.
+    """Plan optimization switches — a spec for the pass pipeline.
 
-    The default enables everything; :meth:`exact` is the bit-exact
-    preset serving uses for its deterministic (``bitexact``) path.
+    Every config maps to an ordered list of :mod:`repro.nn.passes`
+    passes via :meth:`Pipeline.from_config` (see :meth:`pipeline_spec`);
+    the plan builders then consume the resulting transform.  The default
+    enables folding/fusion; :meth:`exact` is the bit-exact preset
+    serving uses for its deterministic (``bitexact``) path.
     """
 
     fold_bn: bool = True            #: fold BatchNorm into producer weights
@@ -114,6 +108,14 @@ class CompileConfig:
     quantize_bits: int = 8          #: weight/activation code width
     calibration_batches: int = 2    #: observer batches for activation ranges
     calibration_seed: int = 2021    #: seed of the synthetic calibration data
+    sparsity: float = 0.0           #: magnitude-prune target (0 = no prune)
+    prune_scope: str = "layer"      #: "layer" or "global" threshold scope
+    #: Per-layer sparsity overrides as ``((name, target), ...)`` pairs —
+    #: a tuple (not a dict) so the frozen config stays hashable.
+    layer_sparsity: Optional[Tuple[Tuple[str, float], ...]] = None
+    pack: bool = False              #: column-combine pruned weights
+    pack_gamma: int = 8             #: max columns sharing one physical column
+    pack_conflict: str = "prune"    #: "disjoint" or "prune" (joint opt.)
     #: Optional representative calibration inputs — a tuple of (N, C, H, W)
     #: float arrays (any N, same CHW as the plan).  Without it the
     #: observer pass runs on seeded standard-normal batches, which
@@ -123,10 +125,56 @@ class CompileConfig:
     calibration_data: Optional[Tuple[np.ndarray, ...]] = field(
         default=None, repr=False, compare=False)
 
+    def pipeline_spec(self) -> Tuple[str, ...]:
+        """The ordered pass names this config compiles through."""
+        return Pipeline.from_config(self).names
+
     @classmethod
     def exact(cls) -> "CompileConfig":
         """Bit-identical-to-eager preset (folding and fusion off)."""
         return cls(fold_bn=False, fuse_activations=False, constant_fold=False)
+
+    @classmethod
+    def sparse(
+        cls,
+        sparsity: float = 0.75,
+        gamma: int = 8,
+        conflict: str = "prune",
+        scope: str = "layer",
+        layer_sparsity: Optional[Sequence[Tuple[str, float]]] = None,
+    ) -> "CompileConfig":
+        """Pruned + column-combined preset (Kung et al. packing).
+
+        Magnitude-prunes conv-like layers to ``sparsity`` after BN
+        folding, then packs sparse weight columns into dense physical
+        array columns with group-size limit ``gamma`` under ``conflict``
+        resolution.  The float plan executes the pruned dense network
+        (bit-exact against it); the packing metadata rides on
+        ``plan.packing`` for the systolic latency model and executor.
+        ``gamma=1`` is the identity packing — a dense-schedule no-op.
+        """
+        pairs = None if layer_sparsity is None else tuple(
+            (str(n), float(s)) for n, s in layer_sparsity)
+        return cls(sparsity=sparsity, prune_scope=scope,
+                   layer_sparsity=pairs, pack=True, pack_gamma=gamma,
+                   pack_conflict=conflict)
+
+    @classmethod
+    def sparse_int8(
+        cls,
+        sparsity: float = 0.75,
+        gamma: int = 8,
+        conflict: str = "prune",
+        scope: str = "layer",
+        layer_sparsity: Optional[Sequence[Tuple[str, float]]] = None,
+        calibration_data: Optional[Sequence[np.ndarray]] = None,
+    ) -> "CompileConfig":
+        """:meth:`sparse` composed with :meth:`int8`: prune → pack →
+        quantize, calibrated on the pruned weights."""
+        base = cls.sparse(sparsity=sparsity, gamma=gamma, conflict=conflict,
+                          scope=scope, layer_sparsity=layer_sparsity)
+        data = None if calibration_data is None else tuple(calibration_data)
+        return dataclass_replace(base, quantize=True, calibration_data=data)
 
     @classmethod
     def int8(cls, calibration_data: Optional[Sequence[np.ndarray]] = None
@@ -165,6 +213,10 @@ class PlanStats:
     compile_ms: float = 0.0
     int8_ops: int = 0            #: steps executing integer-domain math
     int8_fallbacks: int = 0      #: steps that fell back to float per op
+    sparsity: float = 0.0        #: zero fraction over pruned layers
+    packed_columns: int = 0      #: physical array columns after combining
+    params_removed: int = 0      #: weights zeroed by prune + conflict drops
+    columns_combined: int = 0    #: original columns absorbed into shared ones
 
     @property
     def ops_fused(self) -> int:
@@ -232,28 +284,6 @@ class _Arena:
         return self.pooled_bytes + sum(a.nbytes for a in self.dedicated)
 
 
-@dataclass
-class _PlanNode:
-    """One plan step: a primary IR node plus what was folded into it."""
-
-    node: Node
-    bn: Optional[Node] = None
-    act: Optional[Node] = None
-
-    @property
-    def out_name(self) -> str:
-        return (self.act or self.bn or self.node).name
-
-    @property
-    def label(self) -> str:
-        parts = [self.node.kind]
-        if self.bn is not None:
-            parts.append("BN")
-        if self.act is not None:
-            parts.append(self.act.layer.fn)
-        return "+".join(parts)
-
-
 # ------------------------------------------------- fused activation post-ops
 
 def _act_post_op(fn: str) -> Tuple[Callable[[np.ndarray, Optional[np.ndarray]], None], bool]:
@@ -289,24 +319,6 @@ def _act_post_op(fn: str) -> Tuple[Callable[[np.ndarray, Optional[np.ndarray]], 
 
 # -------------------------------------------------------------- shape logic
 
-def _conv_geometry(module, node: Node):
-    """(weight4d, bias, stride_hw, padding, groups) of any conv-like module."""
-    if isinstance(module, FuSeConv1d):
-        c, k = module.weight.shape
-        if module.axis == "row":
-            w4 = module.weight.data.reshape(c, 1, 1, k)
-        else:
-            w4 = module.weight.data.reshape(c, 1, k, 1)
-        groups = c
-    else:
-        w4 = module.weight.data
-        groups = getattr(module, "groups", None)
-        if groups is None:  # DepthwiseConv2d stores no explicit groups
-            groups = w4.shape[0] if isinstance(module, DepthwiseConv2d) else 1
-    bias = module.bias.data if module.bias is not None else None
-    return w4, bias, _pair(module.stride), module.padding, groups
-
-
 def _conv_out_shape(in_shape, w4, stride_hw, padding, groups):
     n, c, h, w = in_shape
     c_out, c_g, kh, kw = w4.shape
@@ -319,16 +331,6 @@ def _conv_out_shape(in_shape, w4, stride_hw, padding, groups):
     oh = (h + top + bottom - kh) // sh + 1
     ow = (w + left + right - kw) // sw + 1
     return (n, c_out, oh, ow), (top, bottom, left, right)
-
-
-def _fold_bn_into(w4: np.ndarray, bias: Optional[np.ndarray], bn: BatchNorm2d):
-    """Fold an eval-mode BatchNorm into conv/linear weights (constant fold)."""
-    scale, shift = bn.inference_scale_shift()
-    view = (-1,) + (1,) * (w4.ndim - 1)
-    w_f = (w4 * scale.reshape(view)).astype(w4.dtype)
-    b0 = bias if bias is not None else 0.0
-    b_f = (shift + scale * b0).astype(scale.dtype)
-    return w_f, b_f
 
 
 # ---------------------------------------------------------------- the plan
@@ -358,6 +360,13 @@ class InferencePlan:
         self.config = config
         self.stats = stats
         self.labels = labels
+        #: Ordered :class:`~repro.nn.passes.PassResult` records of the
+        #: pipeline that produced this plan (set by compile_executor).
+        self.pass_results: List[PassResult] = []
+        #: :class:`repro.ir.packing.NetworkPacking` when the pipeline ran
+        #: column combining — feed it to the systolic latency model and
+        #: executor for packed mappings.
+        self.packing = None
         self._input = input_view
         self._output = output_view
         self._steps = steps
@@ -461,11 +470,24 @@ def compile_executor(
     start = time.perf_counter()
     with get_tracer().span("nn.compile", category="nn", network=network.name,
                            batch=input_shape[0], int8=config.quantize):
+        pipeline = Pipeline.from_config(config)
+        transform = pipeline.run(executor, network, input_shape, config)
         if config.quantize:
-            plan = _build_int8_plan(executor, network, input_shape, config)
+            plan = _build_int8_plan(executor, network, input_shape, config,
+                                    transform)
         else:
-            plan = _build_plan(executor, network, input_shape, config)
+            plan = _build_plan(executor, network, input_shape, config,
+                               transform)
     plan.stats.compile_ms = (time.perf_counter() - start) * 1000.0
+    plan.pass_results = transform.results
+    plan.packing = transform.packing
+    plan.stats.sparsity = transform.sparsity
+    plan.stats.params_removed = sum(
+        r.params_removed for r in transform.results)
+    plan.stats.columns_combined = sum(
+        r.columns_combined for r in transform.results)
+    if transform.packing is not None:
+        plan.stats.packed_columns = transform.packing.packed_columns
 
     registry = get_registry()
     registry.gauge("runtime.compile_ms").set(plan.stats.compile_ms)
@@ -474,6 +496,10 @@ def compile_executor(
     if config.quantize:
         registry.gauge("runtime.int8_fallbacks").set(
             float(plan.stats.int8_fallbacks))
+    if transform.masks or transform.packing is not None:
+        registry.gauge("runtime.sparsity").set(plan.stats.sparsity)
+        registry.gauge("runtime.packed_columns").set(
+            float(plan.stats.packed_columns))
     registry.counter("runtime.plans").inc()
     _log.info(
         "compiled inference plan", network=network.name, batch=input_shape[0],
@@ -485,39 +511,9 @@ def compile_executor(
     return plan
 
 
-def _sole_consumer(network: Network, name: str) -> Optional[Node]:
-    consumers = network.consumers(name)
-    if len(consumers) == 1 and consumers[0].inputs == [name]:
-        return consumers[0]
-    return None
-
-
-def _fuse_pass(network: Network, config: CompileConfig) -> List[_PlanNode]:
-    """Decide which BN / activation nodes disappear into their producers."""
-    plan_nodes: List[_PlanNode] = []
-    consumed: set = set()
-    for node in network:
-        if node.name in consumed:
-            continue
-        pn = _PlanNode(node)
-        if config.fold_bn and isinstance(node.layer, _FOLDABLE):
-            nxt = _sole_consumer(network, node.name)
-            if nxt is not None and isinstance(nxt.layer, ir.BatchNorm):
-                pn.bn = nxt
-                consumed.add(nxt.name)
-        if config.fuse_activations and isinstance(node.layer, _ACT_HOSTS):
-            tail = pn.bn or pn.node
-            nxt = _sole_consumer(network, tail.name)
-            if nxt is not None and isinstance(nxt.layer, ir.Activation):
-                pn.act = nxt
-                consumed.add(nxt.name)
-        plan_nodes.append(pn)
-    return plan_nodes
-
-
 def _build_plan(
     executor, network: Network, input_shape: Tuple[int, ...],
-    config: CompileConfig,
+    config: CompileConfig, transform: Transform,
 ) -> InferencePlan:
     n = input_shape[0]
     dtype = np.dtype(np.float32)
@@ -525,7 +521,7 @@ def _build_plan(
         dtype = p.dtype
         break
 
-    plan_nodes = _fuse_pass(network, config)
+    plan_nodes = transform.plan_nodes
     produced_by: Dict[str, int] = {}
     for i, pn in enumerate(plan_nodes):
         for part in (pn.node, pn.bn, pn.act):
@@ -557,7 +553,7 @@ def _build_plan(
     for idx, pn in enumerate(plan_nodes):
         inputs = in_views(pn)
         step, out_entry, extra_bytes = _build_step(
-            executor, pn, inputs, arena, config, n
+            executor, pn, inputs, arena, config, n, transform
         )
         buffers[idx] = out_entry
         naive_bytes += out_entry[1].nbytes + extra_bytes
@@ -596,12 +592,14 @@ def _build_plan(
 
 def _build_step(
     executor, pn: _PlanNode, inputs: List[np.ndarray], arena: _Arena,
-    config: CompileConfig, n: int,
+    config: CompileConfig, n: int, transform: Transform,
 ):
     """One plan step: returns ``(closure, (slab, out_view), scratch_bytes)``.
 
     The closure captures every constant — weights, views, einsum path —
-    so the per-run body is only the irreducible numpy calls.
+    so the per-run body is only the irreducible numpy calls.  Weights
+    come from the transform (folded/pruned/packed overrides) when a pass
+    produced them, otherwise straight from the module.
     """
     node = pn.node
     spec = node.layer
@@ -637,7 +635,10 @@ def _build_step(
     if isinstance(spec, _FOLDABLE) and not isinstance(spec, ir.Linear):
         module = executor.module_for(node.name)
         w4, bias, stride_hw, padding, groups = _conv_geometry(module, node)
-        if pn.bn is not None:
+        override = transform.weights.get(node.name)
+        if override is not None:
+            w4, bias = override
+        elif pn.bn is not None:
             bn_module = executor.module_for(pn.bn.name)
             w4, bias = _fold_bn_into(w4, bias, bn_module)
         out_shape, pads = _conv_out_shape(x.shape, w4, stride_hw, padding, groups)
@@ -656,6 +657,47 @@ def _build_step(
         c_in = x.shape[1]
         sh, sw = stride_hw
         xp = pad_buf if pad_buf is not None else x
+        packed = None if transform.packing is None \
+            else transform.packing.get(node.name)
+        if (groups == 1 and kh == kw == 1 and sh == sw == 1 and xp is x
+                and packed is not None and packed.kind == "gemm"
+                and packed.dropped > 0 and packed.groups):
+            # Fully-pruned output channels: contract only the live rows
+            # and write each dropped channel's bias directly — exactly
+            # what the dense kernel produces for an all-zero filter on
+            # finite inputs (see pointwise_pruned_infer).
+            live = np.array(sorted(j for g in packed.groups for j in g),
+                            dtype=np.intp)
+            drop = np.array(sorted(set(range(c_out)) - set(live.tolist())),
+                            dtype=np.intp)
+            w_live = np.ascontiguousarray(w4.reshape(c_out, c_in)[live])
+            bias_live = None if bias is None \
+                else np.ascontiguousarray(bias[live])
+            fill = np.zeros(len(drop), dtype=dtype) if bias is None \
+                else bias[drop].astype(dtype, copy=True)
+            path = np.einsum_path("nchw,oc->nohw", x, w_live,
+                                  optimize=True)[0]
+            slab, out = arena.acquire(out_shape)
+            sslab, scratch = arena.acquire(
+                (out_shape[0], len(live)) + out_shape[2:])
+            arena.release(sslab)  # live only inside this step
+            extra_bytes += scratch.nbytes
+            pscr = None
+            if post is not None and needs_scratch:
+                pslab, pscr = arena.acquire(out_shape)
+                arena.release(pslab)
+                extra_bytes += pscr.nbytes
+
+            def step(x=x, w_live=w_live, bias_live=bias_live, live=live,
+                     drop=drop, fill=fill, scratch=scratch, out=out,
+                     path=path, post=post, pscr=pscr):
+                F.pointwise_pruned_infer(
+                    x, w_live, bias_live, live, drop, fill,
+                    out=out, scratch=scratch, path=path)
+                if post is not None:
+                    post(out, pscr)
+
+            return step, (slab, out), extra_bytes
         if groups == 1 and kh == kw == 1 and sh == sw == 1 and xp is x:
             path = np.einsum_path(
                 "nchw,oc->nohw", x, w4.reshape(c_out, c_in),
@@ -692,7 +734,10 @@ def _build_step(
         module = executor.module_for(node.name)
         weight = module.weight.data
         bias = module.bias.data if module.bias is not None else None
-        if pn.bn is not None:
+        override = transform.weights.get(node.name)
+        if override is not None:
+            weight, bias = override
+        elif pn.bn is not None:
             bn_module = executor.module_for(pn.bn.name)
             weight, bias = _fold_bn_into(weight, bias, bn_module)
         wt = weight.T
@@ -709,7 +754,9 @@ def _build_step(
     if isinstance(spec, ir.BatchNorm):
         module: BatchNorm2d = executor.module_for(node.name)
         if config.constant_fold:
-            scale, shift = module.inference_scale_shift()
+            const = transform.constants.get(node.name)
+            scale, shift = const if const is not None \
+                else module.inference_scale_shift()
             view = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
             scale_v = scale.reshape(view).astype(dtype)
             shift_v = shift.reshape(view).astype(dtype)
@@ -903,13 +950,16 @@ def _act_requant(act: Optional[Node], s_out: float, levels: int):
 
 def _calibrate_activations(
     executor, network: Network, input_shape: Tuple[int, ...],
-    config: CompileConfig,
+    config: CompileConfig, transform: Optional[Transform] = None,
 ) -> Dict[str, float]:
     """Observer pass: per-step max-abs ranges from a float folded plan.
 
     The calibration plan folds BN like the int8 plan but keeps
     activations *unfused*, so every conv's pre-activation range and
-    every activation's post-range get their own observer entry.
+    every activation's post-range get their own observer entry.  When
+    the main pipeline's ``transform`` is given (sparse presets), its
+    weight overrides are copied into the calibration plan so observed
+    ranges match the pruned weights the int8 plan actually executes.
     """
     calib_config = CompileConfig(fold_bn=config.fold_bn,
                                  fuse_activations=False,
@@ -936,24 +986,32 @@ def _calibrate_activations(
             rng.standard_normal(input_shape).astype(np.float32)
             for _ in range(max(1, config.calibration_batches))
         ]
-    calib_plan = _build_plan(executor, network, calib_shape, calib_config)
+    calib_tf = Pipeline.from_config(calib_config).run(
+        executor, network, calib_shape, calib_config)
+    if transform is not None:
+        calib_tf.weights.update(transform.weights)
+    calib_plan = _build_plan(executor, network, calib_shape, calib_config,
+                             calib_tf)
     observers = observe_plan(calib_plan, batches)
     return {name: obs.amax for name, obs in observers.items()}
 
 
 def _build_int8_plan(
     executor, network: Network, input_shape: Tuple[int, ...],
-    config: CompileConfig,
+    config: CompileConfig, transform: Transform,
 ) -> InferencePlan:
     if not 2 <= config.quantize_bits <= 8:
         raise NotImplementedError(
             f"int8 plans support quantize_bits in [2, 8], "
             f"got {config.quantize_bits}")
     levels = 2 ** (config.quantize_bits - 1) - 1
-    amax = _calibrate_activations(executor, network, input_shape, config)
+    amax = transform.amax
+    if amax is None:  # pipeline ran without the quantize pass
+        amax = _calibrate_activations(executor, network, input_shape, config,
+                                      transform)
 
     n = input_shape[0]
-    plan_nodes = _fuse_pass(network, config)
+    plan_nodes = transform.plan_nodes
     produced_by: Dict[str, int] = {}
     for i, pn in enumerate(plan_nodes):
         for part in (pn.node, pn.bn, pn.act):
@@ -1017,7 +1075,7 @@ def _build_int8_plan(
         entries = in_entries(pn)
         step, out_entry, out_repr, extra_bytes, native = _build_int8_step(
             executor, pn, entries, arena, config, n, amax, levels,
-            is_last=(idx == len(plan_nodes) - 1),
+            is_last=(idx == len(plan_nodes) - 1), transform=transform,
         )
         buffers[idx] = out_entry
         reprs[idx] = out_repr
@@ -1096,6 +1154,7 @@ def _build_int8_plan(
 def _build_int8_step(
     executor, pn: _PlanNode, entries, arena: _Arena, config: CompileConfig,
     n: int, amax: Dict[str, float], levels: int, is_last: bool,
+    transform: Transform,
 ):
     """One int8 plan step.
 
@@ -1196,7 +1255,10 @@ def _build_int8_step(
     if isinstance(spec, _FOLDABLE) and not isinstance(spec, ir.Linear):
         module = executor.module_for(node.name)
         w4, bias, stride_hw, padding, groups = _conv_geometry(module, node)
-        if pn.bn is not None:
+        override = transform.weights.get(node.name)
+        if override is not None:
+            w4, bias = override
+        elif pn.bn is not None:
             w4, bias = _fold_bn_into(
                 w4, bias, executor.module_for(pn.bn.name))
         nb, h, w, c = x_view.shape
@@ -1347,7 +1409,10 @@ def _build_int8_step(
         module = executor.module_for(node.name)
         weight = module.weight.data
         bias = module.bias.data if module.bias is not None else None
-        if pn.bn is not None:
+        override = transform.weights.get(node.name)
+        if override is not None:
+            weight, bias = override
+        elif pn.bn is not None:
             weight, bias = _fold_bn_into(
                 weight, bias, executor.module_for(pn.bn.name))
         c_out, k_depth = weight.shape

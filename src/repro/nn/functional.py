@@ -544,6 +544,52 @@ def conv2d_infer(
     return out4
 
 
+def pointwise_pruned_infer(
+    x: np.ndarray,
+    w_live: np.ndarray,
+    bias_live: Optional[np.ndarray],
+    live: np.ndarray,
+    dropped: np.ndarray,
+    fill: np.ndarray,
+    *,
+    out: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+    path=None,
+) -> np.ndarray:
+    """Pointwise 1×1 stride-1 conv skipping fully-pruned output channels.
+
+    The sparse compile pipeline can zero entire filters (magnitude
+    pruning, column-combining conflict drops); this kernel contracts only
+    the ``live`` output channels and writes each ``dropped`` channel's
+    precomputed ``fill`` (its bias, or 0) directly.  Matches the dense
+    kernel on the pruned weights exactly for finite inputs: an all-zero
+    filter's dot product is an exact ``±0.0``, so dense output is
+    ``bias`` to the bit (modulo the sign of a zero bias, which compares
+    equal).
+
+    Args:
+        x: ``(N, C, H, W)`` input.
+        w_live: ``(len(live), C)`` rows of the pruned weight matrix.
+        bias_live: ``(len(live),)`` bias slice, or ``None``.
+        live / dropped: output-channel index arrays partitioning C_out.
+        fill: ``(len(dropped),)`` values for the dropped channels.
+        out: ``(N, C_out, H, W)`` output buffer.
+        scratch: optional ``(N, len(live), H, W)`` buffer for the live
+            contraction (avoids a per-call allocation in compiled plans).
+    """
+    res = np.einsum(
+        "nchw,oc->nohw", x, w_live,
+        optimize=True if path is None else path, out=scratch,
+    )
+    tgt = res if scratch is None else scratch
+    if bias_live is not None:
+        np.add(tgt, bias_live.reshape(1, -1, 1, 1), out=tgt)
+    out[:, live] = tgt
+    if dropped.size:
+        out[:, dropped] = fill.reshape(1, -1, 1, 1)
+    return out
+
+
 def linear_infer(
     x: np.ndarray,
     weight: np.ndarray,

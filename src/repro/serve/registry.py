@@ -51,6 +51,13 @@ class RegisteredModel:
         default_factory=OrderedDict)
     #: Max cached plans across (batch, flavor) keys; ``None`` = unbounded.
     plan_cache_cap: Optional[int] = None
+    #: Prune+pack the non-exact flavors to this sparsity (``None`` = dense).
+    #: A pruned network is still one ModelKey — the sparse pipeline rides
+    #: the existing ``folded``/``int8`` flavors as plan metadata
+    #: (``plan.stats.sparsity`` / ``plan.packing``), never a new lane key.
+    sparsity: Optional[float] = None
+    #: Column-combining group-size limit for the sparse flavors.
+    pack_gamma: int = 8
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def array_executor(self, array: ArrayConfig, engine: str = "vector",
@@ -91,6 +98,13 @@ class RegisteredModel:
         exact/folded.  Returns ``None`` (latched) if compilation fails,
         so callers degrade down the chain without retrying the build.
 
+        With ``sparsity`` set on the model, ``folded`` and ``int8``
+        compile through the sparse pass pipeline (magnitude prune +
+        column combining) instead — same flavor keys, and the packing
+        rides on the returned plan (``plan.packing``, ``plan.stats``).
+        ``exact`` always stays dense: its bit-exactness contract is
+        against the unpruned eager forward.
+
         The cache is LRU-bounded by ``plan_cache_cap`` (a compiled plan
         pins its weight tensors — across many (batch, flavor) pairs an
         unbounded cache is a slow leak); evictions are counted as
@@ -109,11 +123,17 @@ class RegisteredModel:
             if cache_key in self._plans:
                 self._plans.move_to_end(cache_key)
                 return self._plans[cache_key]
-        config = {
-            "exact": CompileConfig.exact,
-            "folded": CompileConfig,
-            "int8": CompileConfig.int8,
-        }[flavor]()
+        if self.sparsity is not None and flavor != "exact":
+            config = {
+                "folded": CompileConfig.sparse,
+                "int8": CompileConfig.sparse_int8,
+            }[flavor](sparsity=self.sparsity, gamma=self.pack_gamma)
+        else:
+            config = {
+                "exact": CompileConfig.exact,
+                "folded": CompileConfig,
+                "int8": CompileConfig.int8,
+            }[flavor]()
         try:
             plan = compile_executor(
                 self.executor, (int(batch),) + tuple(self.input_shape), config
@@ -148,14 +168,24 @@ class ModelRegistry:
 
     ``plan_cache_cap`` bounds every registered model's compiled-plan LRU
     (see :meth:`RegisteredModel.plan_for`); ``None`` keeps the legacy
-    unbounded behavior.
+    unbounded behavior.  ``sparsity``/``pack_gamma`` switch the non-exact
+    plan flavors onto the pruned + column-combined pipeline.
     """
 
-    def __init__(self, plan_cache_cap: Optional[int] = None) -> None:
+    def __init__(self, plan_cache_cap: Optional[int] = None,
+                 sparsity: Optional[float] = None,
+                 pack_gamma: int = 8) -> None:
         if plan_cache_cap is not None and plan_cache_cap < 1:
             raise ValueError(
                 f"plan_cache_cap must be >= 1 or None, got {plan_cache_cap}")
+        if sparsity is not None and not 0.0 <= sparsity < 1.0:
+            raise ValueError(
+                f"sparsity must be in [0, 1) or None, got {sparsity}")
+        if pack_gamma < 1:
+            raise ValueError(f"pack_gamma must be >= 1, got {pack_gamma}")
         self.plan_cache_cap = plan_cache_cap
+        self.sparsity = sparsity
+        self.pack_gamma = pack_gamma
         self._models: Dict[ModelKey, RegisteredModel] = {}
         self._lock = threading.Lock()
         self._building: Dict[ModelKey, threading.Event] = {}
@@ -217,4 +247,6 @@ class ModelRegistry:
             executor=executor,
             input_shape=network.input_shape,
             plan_cache_cap=self.plan_cache_cap,
+            sparsity=self.sparsity,
+            pack_gamma=self.pack_gamma,
         )

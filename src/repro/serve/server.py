@@ -59,6 +59,8 @@ class ServeConfig:
     sim_engine: str = "vector"       #: functional-simulator engine
     cache_dir: Optional[str] = None  #: disk cache for cost-model estimates
     plan_cache_cap: Optional[int] = None  #: LRU bound on compiled plans/model
+    sparsity: Optional[float] = None  #: prune+pack non-exact plan flavors
+    pack_gamma: int = 8              #: column-combining group-size limit
     array: Optional[ArrayConfig] = None  #: modeled accelerator (default 64x64)
     preload: List[ModelKey] = field(default_factory=list)
     resilience: bool = True          #: degradation chain / breakers / restarts
@@ -82,7 +84,11 @@ class InferenceServer:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
-        self.registry = ModelRegistry(plan_cache_cap=self.config.plan_cache_cap)
+        self.registry = ModelRegistry(
+            plan_cache_cap=self.config.plan_cache_cap,
+            sparsity=self.config.sparsity,
+            pack_gamma=self.config.pack_gamma,
+        )
         self.cost_model = BatchCostModel(
             array=self.config.array, cache_dir=self.config.cache_dir
         )

@@ -35,6 +35,7 @@ from typing import Optional, Union
 
 from ..faults import should_fire
 from ..ir.network import Network
+from ..ir.packing import NetworkPacking
 from ..ir.serialize import network_to_dict
 from ..obs import get_logger, get_registry
 from .config import ArrayConfig
@@ -47,8 +48,16 @@ _log = get_logger("systolic.diskcache")
 CACHE_FORMAT = 1
 
 
-def cache_key(network: Network, array: ArrayConfig, batch: int = 1) -> str:
-    """SHA-256 fingerprint of one (network, array, batch) estimate."""
+def cache_key(network: Network, array: ArrayConfig, batch: int = 1,
+              packing: Optional[NetworkPacking] = None) -> str:
+    """SHA-256 fingerprint of one (network, array, batch, packing) estimate.
+
+    The layer specs in the serialized graph carry no sparsity, so a
+    packed estimate MUST fold the packing's own fingerprint into the key
+    — otherwise a pruned network's cycles would be served for its dense
+    twin (and vice versa).  Dense keys are unchanged from earlier cache
+    formats: the field is only added when a packing is present.
+    """
     payload = {
         "format": CACHE_FORMAT,
         "network": network_to_dict(network),
@@ -63,6 +72,8 @@ def cache_key(network: Network, array: ArrayConfig, batch: int = 1) -> str:
         },
         "batch": batch,
     }
+    if packing is not None:
+        payload["packing"] = packing.fingerprint()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -105,6 +116,7 @@ def estimate_network_cached(
     array: Optional[ArrayConfig] = None,
     batch: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    packing: Optional[NetworkPacking] = None,
 ) -> NetworkLatency:
     """:func:`estimate_network`, memoized on disk under ``cache_dir``.
 
@@ -113,17 +125,19 @@ def estimate_network_cached(
     Note the returned latency carries the *caller's* ``array`` (the
     fingerprint guarantees it matches the cycle-relevant fields; only
     ``frequency_mhz``, which scales ms after the fact, may differ).
+    ``packing`` estimates the column-combined schedule and is part of
+    the disk key.
     """
     if array is None:
         from .config import PAPER_ARRAY
 
         array = PAPER_ARRAY
     if cache_dir is None:
-        return estimate_network(network, array, batch)
+        return estimate_network(network, array, batch, packing)
 
     cache_dir = Path(cache_dir)
     registry = get_registry()
-    key = cache_key(network, array, batch)
+    key = cache_key(network, array, batch, packing)
     path = _entry_path(cache_dir, key)
     try:
         entry = json.loads(path.read_text())
@@ -146,7 +160,7 @@ def estimate_network_cached(
         return result
 
     registry.counter("latency.diskcache.miss").inc()
-    result = estimate_network(network, array, batch)
+    result = estimate_network(network, array, batch, packing)
     _write_entry(path, result)
     return result
 

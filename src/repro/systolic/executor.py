@@ -29,6 +29,7 @@ import numpy as np
 from ..core.reference import im2col, pad_input
 from ..ir import layer as ir
 from ..ir.network import Network
+from ..ir.packing import NetworkPacking
 from ..nn.graph import GraphExecutor
 from ..nn.tensor import Tensor
 from ..obs import get_logger, get_registry, get_tracer
@@ -135,6 +136,13 @@ class ArrayNetworkExecutor:
             1; ``0`` → all cores.  Chunk boundaries are always multiples
             of ``array.rows``, so fold shapes — and therefore values and
             cycle counts — are identical to the single-process run.
+        packing: a :class:`~repro.ir.packing.NetworkPacking` from the
+            sparse compile pipeline.  Covered layers execute their
+            column-combined schedule (packed GEMM columns, per-channel
+            live-tap depthwise, tap-grouped FuSe banks); the model's
+            weights must already be pruned to match (see
+            :func:`repro.nn.passes.apply_pruning`) — mismatches raise.
+            Packed layers always run single-process.
     """
 
     def __init__(
@@ -145,6 +153,7 @@ class ArrayNetworkExecutor:
         seed: int = 0,
         engine: str = "vector",
         jobs: Optional[int] = None,
+        packing: Optional[NetworkPacking] = None,
     ) -> None:
         self.network = network
         self.model = model or GraphExecutor(network, seed=seed)
@@ -152,6 +161,7 @@ class ArrayNetworkExecutor:
         self.array = array or ArrayConfig.square(16)
         self.engine = engine
         self.jobs = resolve_jobs(jobs)
+        self.packing = packing
         self.sim = SystolicArraySim(self.array, engine=engine)
 
     # ------------------------------------------------------------------ run
@@ -171,13 +181,16 @@ class ArrayNetworkExecutor:
                          network=self.network.name) as net_span:
             for node in self.network:
                 inputs = [outputs[name] for name in node.inputs] or [x]
+                packed = None if self.packing is None \
+                    else self.packing.get(node.name)
                 with tracer.span("executor.layer", category="executor",
                                  layer=node.name, kind=node.kind) as sp:
-                    current, cycles = self._run_node(node, inputs)
+                    current, cycles = self._run_node(node, inputs, packed)
                     sp.set(cycles=cycles)
                 outputs[node.name] = current
                 if cycles:
-                    expected = estimate_layer(node, self.array)
+                    expected = estimate_layer(node, self.array,
+                                              packed=packed)
                     run = LayerRun(
                         name=node.name,
                         kind=node.kind,
@@ -213,19 +226,19 @@ class ArrayNetworkExecutor:
 
     # ---------------------------------------------------------- array layers
 
-    def _run_node(self, node, inputs):
+    def _run_node(self, node, inputs, packed=None):
         spec = node.layer
         x = inputs[0]
         if isinstance(spec, ir.Conv2D):
-            return self._conv(node, x)
+            return self._conv(node, x, packed)
         if isinstance(spec, ir.DepthwiseConv2D):
-            return self._depthwise(node, x)
+            return self._depthwise(node, x, packed)
         if isinstance(spec, ir.PointwiseConv2D):
-            return self._pointwise(node, x)
+            return self._pointwise(node, x, packed)
         if isinstance(spec, ir.FuSeConv1D):
-            return self._fuse(node, x)
+            return self._fuse(node, x, packed)
         if isinstance(spec, ir.Linear):
-            return self._linear(node, x)
+            return self._linear(node, x, packed)
         if isinstance(spec, ir.SqueezeExcite):
             return self._squeeze_excite(node, x)
         return self._host(node, inputs), 0
@@ -269,12 +282,21 @@ class ArrayNetworkExecutor:
         run = self.sim.run_conv1d_broadcast(lines, weights, stride)
         return run.values, run.cycles
 
-    def _conv(self, node, x):
+    def _conv(self, node, x, packed=None):
         spec = node.layer
         w = self._weights(node.name)
         c_out, oh, ow = node.out_shape
         g = spec.groups
         c_in = node.in_shape[0]
+        if packed is not None:
+            if g != 1:
+                raise ValueError(
+                    f"packed mapping on grouped conv {node.name!r}")
+            cols = im2col(x.astype(np.float64), spec.kernel_hw,
+                          spec.stride_hw, spec.padding)
+            run = self.sim.run_packed_gemm(
+                cols, w.reshape(c_out, -1).T, packed)
+            return run.values.T.reshape(c_out, oh, ow), run.cycles
         cycles = 0
         out = np.empty((c_out, oh, ow))
         cg_in, cg_out = c_in // g, c_out // g
@@ -289,10 +311,50 @@ class ArrayNetworkExecutor:
             cycles += gemm_cycles
         return out, cycles
 
-    def _depthwise(self, node, x):
+    def _depthwise(self, node, x, packed=None):
         spec = node.layer
         w = self._weights(node.name)  # (C, 1, kh, kw)
         c, oh, ow = node.out_shape
+        if packed is not None:
+            # Per-channel live-tap schedule: each channel streams only the
+            # rows of its single-column GEMM whose weights survived the
+            # prune; all-zero channels produce zeros with no array cycles.
+            out = np.zeros((c, oh, ow))
+            cycles = 0
+            for ch in range(c):
+                wflat = w[ch].reshape(-1)
+                ke = packed.k_eff[ch]
+                if ke == packed.k:
+                    # Identity schedule (γ=1 keeps the full window): run
+                    # the dense single-column GEMM, zeros and all.
+                    cols = im2col(
+                        x[ch:ch + 1].astype(np.float64),
+                        spec.kernel_hw, spec.stride_hw, spec.padding,
+                    )
+                    run = self.sim.run_gemm(cols, wflat.reshape(-1, 1))
+                    out[ch] = run.values.reshape(oh, ow)
+                    cycles += run.cycles
+                    continue
+                support = np.flatnonzero(wflat)
+                if len(support) != ke:
+                    raise ValueError(
+                        f"depthwise packing of {node.name!r} expects "
+                        f"{ke} live taps on channel {ch}, weights have "
+                        f"{len(support)} — run apply_pruning with the "
+                        f"matching transform first")
+                if not len(support):
+                    continue
+                cols = im2col(
+                    x[ch:ch + 1].astype(np.float64),
+                    spec.kernel_hw, spec.stride_hw, spec.padding,
+                )
+                run = self.sim.run_gemm(
+                    np.ascontiguousarray(cols[:, support]),
+                    wflat[support].reshape(-1, 1),
+                )
+                out[ch] = run.values.reshape(oh, ow)
+                cycles += run.cycles
+            return out, cycles
         if self.jobs > 1 and c > 1:
             # Channels are independent single-column GEMMs — any chunking
             # preserves the per-channel fold structure.
@@ -320,21 +382,25 @@ class ArrayNetworkExecutor:
             cycles += run.cycles
         return out, cycles
 
-    def _pointwise(self, node, x):
+    def _pointwise(self, node, x, packed=None):
         w = self._weights(node.name)  # (C_out, C_in, 1, 1)
         c_in, h, width = x.shape
-        values, cycles = self._gemm(
-            x.reshape(c_in, h * width).T.astype(np.float64),
-            w.reshape(w.shape[0], c_in).T,
-        )
+        a = x.reshape(c_in, h * width).T.astype(np.float64)
+        b = w.reshape(w.shape[0], c_in).T
+        if packed is not None:
+            run = self.sim.run_packed_gemm(a, b, packed)
+            return run.values.T.reshape(w.shape[0], h, width), run.cycles
+        values, cycles = self._gemm(a, b)
         return values.T.reshape(w.shape[0], h, width), cycles
 
-    def _fuse(self, node, x):
+    def _fuse(self, node, x, packed=None):
         spec = node.layer
         w = self._weights(node.name)  # (C, K)
         c, oh, ow = node.out_shape
         sh, sw = spec.stride_hw
         xp = pad_input(x.astype(np.float64), spec.kernel_hw, spec.stride_hw, spec.padding)
+        if packed is not None:
+            return self._fuse_packed(node, spec, w, xp, packed)
         if spec.axis == "row":
             # Lines: every (channel, selected row); conv along the width.
             lines = xp[:, ::sh, :].reshape(c * oh, xp.shape[2])
@@ -348,10 +414,50 @@ class ArrayNetworkExecutor:
             out = values.reshape(c, ow, oh).transpose(0, 2, 1)
         return out, cycles
 
-    def _linear(self, node, x):
+    def _fuse_packed(self, node, spec, w, xp, packed):
+        """Tap-grouped FuSe banks: one broadcast bank per identical tap
+        support, streaming only the live taps; channels outside every group
+        (fully pruned) produce zero rows with no array cycles."""
+        c, oh, ow = node.out_shape
+        sh, sw = spec.stride_hw
+        out = np.zeros((c, oh, ow))
+        cycles = 0
+        covered: set = set()
+        for taps, chans in packed.tap_groups:
+            covered.update(chans)
+            chans = list(chans)
+            if spec.axis == "row":
+                lines = xp[chans][:, ::sh, :].reshape(len(chans) * oh,
+                                                      xp.shape[2])
+                weights = np.repeat(w[chans], oh, axis=0)
+                run = self.sim.run_conv1d_packed(lines, weights,
+                                                 stride=sw, taps=taps)
+                out[chans] = run.values.reshape(len(chans), oh, ow)
+            else:
+                lines = xp[chans][:, :, ::sw].transpose(0, 2, 1) \
+                    .reshape(len(chans) * ow, xp.shape[1])
+                weights = np.repeat(w[chans], ow, axis=0)
+                run = self.sim.run_conv1d_packed(lines, weights,
+                                                 stride=sh, taps=taps)
+                out[chans] = run.values.reshape(len(chans), ow, oh) \
+                    .transpose(0, 2, 1)
+            cycles += run.cycles
+        dropped = [ch for ch in range(c) if ch not in covered]
+        if dropped and np.any(w[dropped]):
+            raise ValueError(
+                f"fuse1d packing of {node.name!r} drops channels with "
+                f"nonzero weights — run apply_pruning with the matching "
+                f"transform first")
+        return out, cycles
+
+    def _linear(self, node, x, packed=None):
         module = self.model.module_for(node.name)
         w = module.weight.data.astype(np.float64)
-        run = self.sim.run_gemm(x.reshape(1, -1).astype(np.float64), w.T)
+        a = x.reshape(1, -1).astype(np.float64)
+        if packed is not None:
+            run = self.sim.run_packed_gemm(a, w.T, packed)
+        else:
+            run = self.sim.run_gemm(a, w.T)
         out = run.values.reshape(-1)
         if module.bias is not None:
             out = out + module.bias.data

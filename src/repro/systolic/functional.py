@@ -47,6 +47,7 @@ from typing import Tuple
 import numpy as np
 
 from ..obs import get_registry, get_tracer
+from ..ir.packing import PackedMapping
 from .config import ArrayConfig
 from .fuse_mapping import BroadcastFold
 from .gemm import FoldShape
@@ -226,6 +227,80 @@ class SystolicArraySim:
         expected = FoldShape(r=r, c=c, k=k).cycles
         assert total == expected, f"fold cycle mismatch: {total} != {expected}"
         return acc, total
+
+    # ------------------------------------------------------- packed GEMM
+
+    def run_packed_gemm(self, a: np.ndarray, b: np.ndarray,
+                        mapping: PackedMapping) -> SimResult:
+        """``a @ b`` on column-combined physical columns (Kung packing).
+
+        Each physical column holds the merged weights of its member
+        columns — legal because the members' nonzero row supports are
+        disjoint (validated here against the actual ``b``), so every PE
+        row slot is owned by at most one member and its product routes to
+        that member's accumulator.  Streaming the full K input rows
+        therefore computes *all* member outputs in the time of one dense
+        column, and the fold schedule tiles ``n_packed`` physical columns
+        instead of ``n_orig`` sparse ones.
+
+        Values are produced by the same per-column ``t``-ascending
+        wavefront accumulation as :meth:`run_gemm`, so packed output is
+        **bit-identical** to the dense run on the same pruned ``b``
+        (a member accumulator that receives no product at step ``t``
+        matches the dense ``+0.0`` except for the sign of an exactly-zero
+        sum, which compares equal).  γ=1 identity mappings reproduce the
+        dense schedule cycle-for-cycle.
+
+        Raises ``ValueError`` when ``mapping`` is inconsistent with
+        ``b`` — oversized groups, overlapping supports, a live column
+        left out, or a dropped column that still has weight.
+        """
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError(f"GEMM shapes disagree: {a.shape} @ {b.shape}")
+        if mapping.kind != "gemm":
+            raise ValueError(f"need a gemm mapping, got {mapping.kind!r}")
+        if mapping.k != k or mapping.n_orig != n:
+            raise ValueError(
+                f"mapping is for a {mapping.k}x{mapping.n_orig} weight "
+                f"matrix, got {b.shape}")
+        nz = b != 0
+        seen = np.zeros(n, dtype=bool)
+        for group in mapping.groups:
+            if len(group) > mapping.gamma:
+                raise ValueError(
+                    f"group {group} exceeds gamma={mapping.gamma}")
+            for j in group:
+                if seen[j]:
+                    raise ValueError(f"column {j} appears in two groups")
+                seen[j] = True
+            if len(group) > 1 and int(nz[:, list(group)].sum(axis=1).max()) > 1:
+                raise ValueError(
+                    f"group {group} has conflicting nonzero rows — "
+                    "weights do not match the packed mapping")
+        if nz[:, ~seen].any():
+            raise ValueError(
+                "dropped columns still hold nonzero weights — "
+                "weights do not match the packed mapping")
+
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        cycles = 0
+        folds = 0
+        with get_tracer().span("sim.packed_gemm", category="sim", m=m, k=k,
+                               n=n, n_packed=mapping.n_packed,
+                               engine=self.engine) as sp:
+            # Values via the dense wavefront accumulation (bit-identical
+            # across engines and to run_gemm); cycles from the packed
+            # physical-column tiling.
+            self._run_gemm_vector(a, b, out)
+            for _, rtiles, r in _spans(m, self.array.rows):
+                for _, ctiles, c in _spans(mapping.n_packed, self.array.cols):
+                    cycles += rtiles * ctiles * FoldShape(r=r, c=c, k=k).cycles
+                    folds += rtiles * ctiles
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("packed_gemm", folds, cycles)
+        return SimResult(values=out, cycles=cycles)
 
     # ------------------------------------------------------------- WS GEMM
 
@@ -515,6 +590,75 @@ class SystolicArraySim:
                 cycles += gtiles * ctiles * fold_cycles
                 folds += gtiles * ctiles
         return cycles, folds
+
+    def run_conv1d_packed(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        stride: int,
+        taps,
+    ) -> SimResult:
+        """A broadcast conv1d bank streaming only the live ``taps``.
+
+        The packed FuSe schedule groups channels with identical tap
+        support (see :func:`repro.ir.packing.pack_fuse1d`): a fold may
+        skip a weight cycle only when *every* resident row's tap is zero
+        there, which holds by construction within a group.  The broadcast
+        link then delivers ``len(taps)`` weights instead of ``K``, and
+        each PE's input window gathers the matching tap offsets.
+
+        ``inputs`` are the full ``(G, L_in)`` lines and ``weights`` the
+        full ``(G, K)`` filters — weights outside ``taps`` must be zero
+        (validated), and the output length is still derived from the full
+        ``K`` window.  Per-PE accumulation visits live taps in ascending
+        order, so values equal the dense bank's on the same pruned
+        filters (the dense run's skipped terms are exact ``+0.0`` adds).
+        """
+        if not self.array.broadcast:
+            raise ValueError(
+                "this array has no broadcast links (§IV-C hardware)")
+        g, l_in = inputs.shape
+        g2, k = weights.shape
+        if g != g2:
+            raise ValueError(f"got {g} input lines but {g2} filters")
+        taps = tuple(int(t) for t in taps)
+        if not taps:
+            raise ValueError("taps must name at least one live weight")
+        if list(taps) != sorted(set(taps)) or taps[0] < 0 or taps[-1] >= k:
+            raise ValueError(
+                f"taps must be strictly increasing within [0, {k}), "
+                f"got {taps}")
+        dead = np.delete(weights, taps, axis=1)
+        if dead.size and np.any(dead):
+            raise ValueError(
+                "filters hold nonzero weights outside the live taps — "
+                "weights do not match the packed mapping")
+        l_out = (l_in - k) // stride + 1
+        if l_out <= 0:
+            raise ValueError(f"1D conv output collapsed: L_in={l_in}, K={k}")
+        kt = len(taps)
+        w_live = np.ascontiguousarray(weights[:, list(taps)])
+        # gathered[i, j, t] = inputs[i, j*stride + taps[t]]
+        gather_idx = (np.arange(l_out) * stride)[:, np.newaxis] \
+            + np.asarray(taps)[np.newaxis, :]
+        gathered = inputs[:, gather_idx]  # (G, L_out, kt)
+        out = np.zeros((g, l_out), dtype=np.result_type(inputs, weights))
+        cycles = 0
+        folds = 0
+        with get_tracer().span("sim.conv1d_packed", category="sim",
+                               convs=g, k=k, live_taps=kt, stride=stride,
+                               engine=self.engine) as sp:
+            for t in range(kt):
+                out += w_live[:, t, np.newaxis] * gathered[:, :, t]
+            for _, gtiles, r in _spans(g, self.array.rows):
+                for _, ctiles, c in _spans(l_out, self.array.cols):
+                    fold_cycles = BroadcastFold(
+                        r=r, c=c, k=kt, stride=stride).cycles
+                    cycles += gtiles * ctiles * fold_cycles
+                    folds += gtiles * ctiles
+            sp.set(folds=folds, cycles=cycles)
+        _record_sim_op("conv1d_packed", folds, cycles)
+        return SimResult(values=out, cycles=cycles)
 
     def _run_broadcast_fold_reference(
         self,

@@ -30,6 +30,7 @@ from ..ir.layer import (
     Shape,
     SqueezeExcite,
 )
+from ..ir.packing import PackedMapping
 from .fuse_mapping import Conv1DBank
 from .gemm import GemmDims
 
@@ -83,6 +84,75 @@ def lower_layer(
             [GemmDims(m=batch, k=c, n=mid), GemmDims(m=batch, k=mid, n=c)]
         )
     return LoweredLayer([])
+
+
+def lower_packed_layer(
+    layer: LayerSpec, in_shape: Shape, out_shape: Shape, batch: int,
+    packed: PackedMapping,
+) -> LoweredLayer:
+    """Lower a layer under a column-combining :class:`PackedMapping`.
+
+    The packed schedule keeps the dense mapping's shape *family* and
+    shrinks the sparse degrees of freedom (Kung et al. column combining):
+
+    * ``"gemm"`` (standard conv / pointwise / linear) — N shrinks to the
+      physical column count, K streams in full (each physical column
+      accumulates its member columns' disjoint rows in one pass);
+    * ``"depthwise"`` — each channel's single-column GEMM streams only
+      its live taps (per-channel K), empty channels vanish;
+    * ``"fuse1d"`` — one broadcast bank per identical-tap-support group,
+      streaming just the group's live taps; empty channels drop rows.
+
+    γ=1 identity mappings reproduce :func:`lower_layer` exactly.  Raises
+    ``ValueError`` when the mapping does not match the layer's geometry
+    (a stale packing applied to the wrong network).
+    """
+    dense = lower_layer(layer, in_shape, out_shape, batch)
+    if packed.kind == "gemm":
+        if not (isinstance(layer, (PointwiseConv2D, Linear))
+                or (isinstance(layer, Conv2D) and layer.groups == 1)):
+            raise ValueError(
+                f"gemm packing cannot apply to {type(layer).__name__}")
+        (dims,) = dense.ops
+        if packed.k != dims.k or packed.n_orig != dims.n:
+            raise ValueError(
+                f"packed mapping (K={packed.k}, N={packed.n_orig}) does not "
+                f"match layer GEMM (K={dims.k}, N={dims.n})")
+        if packed.n_packed == 0:
+            return LoweredLayer([])
+        return LoweredLayer([GemmDims(m=dims.m, k=dims.k, n=packed.n_packed)])
+    if packed.kind == "depthwise":
+        if not isinstance(layer, DepthwiseConv2D):
+            raise ValueError(
+                f"depthwise packing cannot apply to {type(layer).__name__}")
+        c_out, oh, ow = out_shape
+        kh, kw = layer.kernel_hw
+        if len(packed.k_eff) != c_out or packed.k != kh * kw:
+            raise ValueError(
+                f"packed mapping (C={len(packed.k_eff)}, K={packed.k}) does "
+                f"not match depthwise layer (C={c_out}, K={kh * kw})")
+        m = batch * oh * ow
+        return LoweredLayer(
+            [GemmDims(m=m, k=ke, n=1) for ke in packed.k_eff if ke > 0])
+    if packed.kind == "fuse1d":
+        if not isinstance(layer, FuSeConv1D):
+            raise ValueError(
+                f"fuse1d packing cannot apply to {type(layer).__name__}")
+        c, oh, ow = out_shape
+        if packed.k != layer.kernel or packed.n_orig != c:
+            raise ValueError(
+                f"packed mapping (C={packed.n_orig}, K={packed.k}) does not "
+                f"match FuSe layer (C={c}, K={layer.kernel})")
+        sh, sw = layer.stride_hw
+        lines, out_length, stride = (oh, ow, sw) if layer.axis == "row" \
+            else (ow, oh, sh)
+        ops: List[ArrayOp] = [
+            Conv1DBank(num_convs=batch * len(chans) * lines,
+                       out_length=out_length, kernel=len(taps), stride=stride)
+            for taps, chans in packed.tap_groups
+        ]
+        return LoweredLayer(ops)
+    raise ValueError(f"unknown packing kind {packed.kind!r}")
 
 
 def _lower_conv(

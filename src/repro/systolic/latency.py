@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from ..ir.counting import op_class
 from ..ir.layer import LayerSpec, Shape
 from ..ir.network import Network, Node
+from ..ir.packing import NetworkPacking, PackedMapping
 from ..obs import get_registry, get_tracer
 from .config import ArrayConfig
 from .fuse_mapping import (
@@ -35,7 +36,7 @@ from .fuse_mapping import (
     fallback_conv1d_gemms,
 )
 from .gemm import MappingStats
-from .im2col import lower_layer
+from .im2col import lower_layer, lower_packed_layer
 
 
 @dataclass
@@ -137,7 +138,8 @@ def mapping_cache_info() -> Dict[str, float]:
 
 
 def _cache_key(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
-               array: ArrayConfig, batch: int) -> Tuple:
+               array: ArrayConfig, batch: int,
+               packed: Optional[PackedMapping]) -> Tuple:
     """Memo key over every cycle-relevant degree of freedom.
 
     The :class:`ArrayConfig` fields are spelled out one by one so that a
@@ -149,17 +151,30 @@ def _cache_key(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
     ``datawidth`` is likewise excluded: 8- and 16-bit PEs run the same
     fold schedule, the width only changes area/power/energy (see
     :mod:`repro.hw`).
+
+    ``packed`` (the frozen, fully-tuple-valued
+    :class:`~repro.ir.packing.PackedMapping`, or ``None`` for dense) is
+    part of the key: two estimates of the same layer spec with different
+    packings produce different fold schedules and must never share an
+    entry — the layer spec alone carries no sparsity information.
     """
     return (
         layer, in_shape, out_shape, batch,
         array.rows, array.cols, array.broadcast,
         array.dataflow, array.pipelined_folds,
+        packed,
     )
 
 
 def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
-                  array: ArrayConfig, batch: int = 1) -> MappingStats:
-    """Array cycle/utilization stats for one layer spec (memoized)."""
+                  array: ArrayConfig, batch: int = 1,
+                  packed: Optional[PackedMapping] = None) -> MappingStats:
+    """Array cycle/utilization stats for one layer spec (memoized).
+
+    ``packed`` maps the layer onto combined physical columns (see
+    :func:`repro.systolic.im2col.lower_packed_layer`); ``None`` is the
+    dense schedule.
+    """
     from collections import Counter
 
     tracer = get_tracer()
@@ -167,7 +182,8 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
     if not tracer.enabled:
         # Tracing bypasses the memo so every estimate emits fold spans.
         try:
-            key = _cache_key(layer, in_shape, out_shape, array, batch)
+            key = _cache_key(layer, in_shape, out_shape, array, batch,
+                             packed)
             with _STATS_LOCK:
                 cached = _STATS_CACHE.get(key)
         except TypeError:  # unhashable layer spec: skip the cache
@@ -179,7 +195,11 @@ def mapping_stats(layer: LayerSpec, in_shape: Shape, out_shape: Shape,
                 return cached.copy()
             registry.counter("latency.cache.miss").inc()
 
-    lowered = lower_layer(layer, in_shape, out_shape, batch)
+    if packed is None:
+        lowered = lower_layer(layer, in_shape, out_shape, batch)
+    else:
+        lowered = lower_packed_layer(layer, in_shape, out_shape, batch,
+                                     packed)
     total = MappingStats()
     from .dataflows import gemm_stats
 
@@ -232,8 +252,9 @@ def _scaled(stats: MappingStats, count: int) -> MappingStats:
     )
 
 
-def estimate_layer(node: Node, array: ArrayConfig, batch: int = 1) -> LayerLatency:
-    """Latency of one placed node."""
+def estimate_layer(node: Node, array: ArrayConfig, batch: int = 1,
+                   packed: Optional[PackedMapping] = None) -> LayerLatency:
+    """Latency of one placed node (``packed``: its column-combined map)."""
     with get_tracer().span("layer.estimate", category="latency",
                            layer=node.name, kind=node.kind) as sp:
         result = LayerLatency(
@@ -241,7 +262,8 @@ def estimate_layer(node: Node, array: ArrayConfig, batch: int = 1) -> LayerLaten
             kind=node.kind,
             op_class=op_class(node.layer),
             block=node.block,
-            stats=mapping_stats(node.layer, node.in_shape, node.out_shape, array, batch),
+            stats=mapping_stats(node.layer, node.in_shape, node.out_shape,
+                                array, batch, packed),
         )
         sp.set(cycles=result.cycles, folds=result.stats.folds)
     return result
@@ -251,11 +273,14 @@ def estimate_network(
     network: Network,
     array: Optional[ArrayConfig] = None,
     batch: int = 1,
+    packing: Optional[NetworkPacking] = None,
 ) -> NetworkLatency:
     """Latency of a whole network; ``array`` defaults to the paper's 64×64.
 
     ``batch > 1`` estimates one pass over a batch (throughput studies);
-    the paper's Table I numbers are batch 1.
+    the paper's Table I numbers are batch 1.  ``packing`` (from the
+    sparse compile pipeline, ``plan.packing``) switches every layer it
+    covers to its packed schedule; uncovered layers stay dense.
     """
     if array is None:
         from .config import PAPER_ARRAY
@@ -267,7 +292,8 @@ def estimate_network(
                            network=network.name,
                            array=f"{array.rows}x{array.cols}") as sp:
         for node in network:
-            layer_latency = estimate_layer(node, array, batch)
+            packed = None if packing is None else packing.get(node.name)
+            layer_latency = estimate_layer(node, array, batch, packed)
             if layer_latency.stats.cycles:
                 result.layers.append(layer_latency)
                 registry.counter(

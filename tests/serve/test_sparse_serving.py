@@ -1,0 +1,53 @@
+"""Sparsity rides the existing plan flavors — never a new lane key."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelKey
+from repro.serve.registry import ModelRegistry
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+
+
+@pytest.fixture(scope="module")
+def registry() -> ModelRegistry:
+    return ModelRegistry(sparsity=0.75, pack_gamma=8)
+
+
+class TestSparseFlavors:
+    def test_folded_flavor_compiles_through_the_sparse_pipeline(self, registry):
+        plan = registry.get(KEY).plan_for(2, flavor="folded")
+        assert plan.packing is not None
+        assert plan.stats.sparsity > 0.5
+        assert plan.stats.packed_columns == plan.packing.packed_columns
+        assert plan.packing.columns_combined > 0
+
+    def test_exact_flavor_stays_dense(self, registry):
+        """The bitexact contract is against the *unpruned* eager forward."""
+        model = registry.get(KEY)
+        plan = model.plan_for(2, flavor="exact")
+        assert plan.packing is None
+        assert plan.stats.sparsity == 0.0
+        x = np.random.default_rng(0).normal(
+            size=plan.input_shape).astype(np.float32)
+        from repro.nn import Tensor
+
+        eager = model.executor(Tensor(x)).data
+        assert np.array_equal(plan.run(x), eager)
+
+    def test_int8_flavor_carries_the_packing(self, registry):
+        plan = registry.get(KEY).plan_for(2, flavor="int8")
+        assert plan.packing is not None
+        assert plan.stats.sparsity > 0.5
+
+    def test_same_model_key_as_dense_registry(self):
+        """One ModelKey regardless of sparsity — no new lane key."""
+        dense = ModelRegistry().get(KEY)
+        sparse = ModelRegistry(sparsity=0.75).get(KEY)
+        assert dense.key == sparse.key
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            ModelRegistry(sparsity=1.5)
+        with pytest.raises(ValueError, match="pack_gamma"):
+            ModelRegistry(sparsity=0.5, pack_gamma=0)
