@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke bench results examples clean
+.PHONY: install dev test trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke gray-smoke bench results examples clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 dev:
 	pip install -e .[dev]
 
-test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke
+test: trace-smoke bench-smoke serve-smoke compile-smoke quantize-smoke sparsity-smoke chaos-smoke telemetry-smoke fleet-smoke gray-smoke
 	pytest tests/
 
 # Capture one trace + metrics sidecar and validate both against their
@@ -95,6 +95,20 @@ fleet-smoke:
 	python -c "import json,sys; names={m['name'] for m in json.load(open('.smoke-fleet.json'))['metrics']}; missing=[n for n in ('fleet.chaos.answered_rate','fleet.chaos.reroutes','fleet.chaos.unhandled_failures','fleet.router.requests') if n not in names]; sys.exit('missing gauges: %s' % missing if missing else 0)"
 	rm -f .smoke-fleet.json
 	timeout 300 python benchmarks/bench_fleet.py --smoke
+
+# Gray-failure smoke (docs/robustness.md): the gray drill — one replica's
+# forward hop stalled ~20x its healthy p50 under live traffic — must hold
+# every resilience bound (client-wall p99 within 1.5x of the healthy
+# baseline, zero duplicate responses, zero unhandled errors, the victim
+# detected SLOW, hedges == wins + losses, identical same-seed fingerprint)
+# and the warm-gated scale-up must serve nothing cold and compile nothing
+# after its gate opens.  The hedging on/off ablation result is written to
+# benchmarks/results/BENCH_gray.json.
+gray-smoke:
+	timeout 300 python benchmarks/bench_hedging.py --smoke
+	timeout 300 python -m repro loadgen mobilenet_v3_small --resolution 32 \
+		--requests 120 --clients 4 --engine analytical --slo-ms 30000 \
+		--gray --check --quiet
 
 # Compiled-runtime smoke (docs/runtime.md): the exact plan must stay
 # bit-identical to eager, the folded plan within 1e-4, and faster than

@@ -1,0 +1,240 @@
+"""Gray-failure resilience: the hedging drill and its ablation
+(docs/robustness.md).
+
+Two measurements, all over real loopback TCP on the analytical engine
+(the routing path is the thing under test; per-request compute is the
+cost model's):
+
+1. **gray drill** — :func:`repro.fleet.run_gray_chaos`: one replica's
+   forward hop stalled ~20x its healthy p50 under live traffic, then a
+   warm-gated scale-up.  Every gray bound must hold: fleet p99 within
+   1.5x of the healthy baseline, zero duplicate responses, zero
+   unhandled errors, the victim detected SLOW, honest hedge accounting
+   (fired == wins + losses), identical same-seed replay fingerprint,
+   and zero cold builds/compiles after the warm-up gate opened.
+2. **hedging ablation** — the same stall scenario twice, hedging off
+   then on, same seed and stall.  With hedging off the tail eats the
+   stall until slow-detection reroutes the lane; with hedging on a
+   backup fires after the clamped-p95 delay and the stall never reaches
+   the client tail.
+
+The ablation gate is timer-honest rather than core-count-bound: the
+injected stall is an asyncio sleep, so the hedged win does not depend
+on host parallelism — but the *unhedged* ceiling does depend on the
+stall dwarfing scheduler noise, so the gate arms only when the measured
+stall is at least ``MIN_STALL_MS``.  The JSON records which gate ran
+(``ablation_gate_armed``).
+
+Also runnable directly as the ``make gray-smoke`` gate::
+
+    python benchmarks/bench_hedging.py --smoke
+
+which writes ``benchmarks/results/BENCH_gray.json`` and exits non-zero
+if any gate fails.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+from repro.fleet import FleetRouter, FleetSupervisor, RouterConfig, run_gray_chaos
+from repro.obs import configure_logging
+from repro.obs.stats import percentile
+from repro.serve import (
+    ModelKey,
+    RemoteClient,
+    ServeConfig,
+    WorkloadSpec,
+    run_workload,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+KEY = ModelKey("mobilenet_v3_small", resolution=32)
+REPLICAS = 3
+SEED = 11
+
+#: The drill's tail bound (shared with ``repro loadgen --gray``).
+P99_FACTOR = 1.5
+#: Ablation gate: hedging must beat the unhedged tail by this much ...
+MIN_ABLATION_RATIO = 1.1
+#: ... but only when the stall dwarfs scheduler noise.
+MIN_STALL_MS = 30.0
+
+
+def _config() -> ServeConfig:
+    return ServeConfig(engine="analytical", preload=[KEY], workers=2,
+                       slo_ms=30000.0, compile=False, telemetry=False)
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(keys=[KEY], requests=140, clients=4, seed=SEED,
+                        mode="closed", slo_ms=30000.0)
+
+
+async def _run_drill() -> dict:
+    report = await run_gray_chaos(_spec(), replicas=REPLICAS,
+                                  config=_config(), p99_factor=P99_FACTOR)
+    failures = report.check()
+    return {
+        "replicas": report.replicas,
+        "victim": report.victim,
+        "stall_ms": report.stall_ms,
+        "stalls_fired": report.stalls_fired,
+        "baseline_p99_ms": report.baseline_wall_p99_ms,
+        "gray_p99_ms": report.gray_wall_p99_ms,
+        "p99_bound_ms": report.p99_bound_ms,
+        "hedges": report.hedges,
+        "hedge_wins": report.hedge_wins,
+        "hedge_losses": report.hedge_losses,
+        "duplicates": report.duplicates,
+        "slow_detections": report.slow_detections,
+        "fingerprint_holds": report.replay_digest == report.requests_digest,
+        "scale_up": {
+            "replica": report.scale_up_replica,
+            "starting_served": report.starting_served,
+            "warmed_lanes": report.warmed_lanes,
+            "cold_builds": report.cold_builds,
+            "cold_plans": report.cold_plans,
+            "post_scale_ok": report.post_scale_ok,
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+async def _stalled_run(hedge: bool, stall_ms: float) -> dict:
+    """One workload through a fresh fleet with the lane's primary stalled."""
+    config = _config()
+    supervisor = FleetSupervisor(base_config=config, mode="inproc")
+    endpoints = [await supervisor.spawn() for _ in range(REPLICAS)]
+    router = FleetRouter(endpoints, RouterConfig(
+        seed=SEED, probe_interval_s=0.05, slow_windows=2,
+        hedge=hedge, hedge_rate_cap=1.0, hedge_min_samples=16,
+    ))
+    await router.start()
+    lane = FleetRouter.lane(KEY.canonical(), False)
+    victim = router.ring.lookup(lane)
+    install_plan(FaultPlan(seed=SEED, faults=[
+        FaultSpec(point="fleet.forward", kind="stall", probability=1.0,
+                  max_fires=None, after=24, delay_ms=stall_ms, tag=victim),
+    ]))
+    client = RemoteClient("127.0.0.1", router.port, timeout_s=30.0, seed=SEED)
+
+    # Wall latency at the client, not the replicas' total_ms — the stalled
+    # hop happens in the router before admission, so server-side clocks
+    # cannot see it (which is exactly why the drill measures at the wall).
+    wall: list = []
+
+    async def timed_submit(request):
+        t0 = time.perf_counter()
+        response = await client.submit(request)
+        wall.append((time.perf_counter() - t0) * 1000.0)
+        return response
+
+    try:
+        await client.connect()
+        report = await run_workload(timed_submit, _spec())
+    finally:
+        clear_plan()
+        await client.close()
+        await router.stop()
+        await supervisor.stop()
+    wall.sort()
+    return {"hedge": hedge, "p99_ms": percentile(wall, 99.0),
+            "p50_ms": percentile(wall, 50.0),
+            "errors": report.errors, "ok": report.ok}
+
+
+def run() -> dict:
+    cores = os.cpu_count() or 1
+    drill = asyncio.run(_run_drill())
+
+    stall_ms = drill["stall_ms"]
+    unhedged = asyncio.run(_stalled_run(hedge=False, stall_ms=stall_ms))
+    hedged = asyncio.run(_stalled_run(hedge=True, stall_ms=stall_ms))
+    ratio = (unhedged["p99_ms"] / hedged["p99_ms"]
+             if hedged["p99_ms"] > 0 else 0.0)
+    ablation_armed = stall_ms >= MIN_STALL_MS
+
+    gates = {
+        "gray_bounds": drill["ok"],
+        "no_errors": (drill["failures"] == [] and unhedged["errors"] == 0
+                      and hedged["errors"] == 0),
+        "hedge_accounting": (drill["hedges"] > 0 and drill["hedges"]
+                             == drill["hedge_wins"] + drill["hedge_losses"]),
+        "exactly_once": drill["duplicates"] == 0,
+        "warm_gate": (drill["scale_up"]["starting_served"] == 0
+                      and drill["scale_up"]["cold_builds"] == 0
+                      and drill["scale_up"]["cold_plans"] == 0),
+    }
+    if ablation_armed:
+        gates["hedge_benefit"] = ratio >= MIN_ABLATION_RATIO
+    else:
+        gates["hedge_no_harm"] = hedged["p99_ms"] <= unhedged["p99_ms"] * 1.25
+
+    return {
+        "bench": "gray",
+        "cores": cores,
+        "ablation_gate_armed": ablation_armed,
+        "drill": drill,
+        "ablation": {"unhedged": unhedged, "hedged": hedged,
+                     "p99_ratio": ratio},
+        "gates": gates,
+        "ok": all(gates.values()),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="gate the gray-failure bounds and write "
+                             "BENCH_gray.json")
+    parser.add_argument("--out", type=Path,
+                        default=RESULTS_DIR / "BENCH_gray.json")
+    args = parser.parse_args()
+
+    # The drill logs every hedge and SLOW transition; that is the drill
+    # working, not something a bench reader needs line by line.
+    configure_logging(quiet=True)
+    result = run()
+
+    drill = result["drill"]
+    ablation = result["ablation"]
+    print(f"gray bench ({result['cores']} cores, ablation gate "
+          f"{'armed' if result['ablation_gate_armed'] else 'disarmed'}):")
+    print(f"  drill       : {drill['victim']} stalled "
+          f"{drill['stall_ms']:.0f} ms/hop ({drill['stalls_fired']} stalls), "
+          f"p99 {drill['gray_p99_ms']:.1f} ms vs healthy "
+          f"{drill['baseline_p99_ms']:.1f} ms (bound "
+          f"{drill['p99_bound_ms']:.1f})")
+    print(f"  hedging     : {drill['hedges']} fired = {drill['hedge_wins']} "
+          f"wins + {drill['hedge_losses']} losses, {drill['duplicates']} "
+          f"duplicates, {drill['slow_detections']} SLOW detections")
+    print(f"  scale-up    : {drill['scale_up']['starting_served']} cold "
+          f"serves, {drill['scale_up']['cold_builds']} builds / "
+          f"{drill['scale_up']['cold_plans']} compiles after the gate")
+    print(f"  ablation    : p99 {ablation['unhedged']['p99_ms']:.1f} ms "
+          f"unhedged vs {ablation['hedged']['p99_ms']:.1f} ms hedged "
+          f"({ablation['p99_ratio']:.2f}x)")
+    for name, passed in result["gates"].items():
+        print(f"  gate {name:<16}: {'pass' if passed else 'FAIL'}")
+
+    if args.smoke:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"  wrote {args.out}")
+        if not result["ok"]:
+            for failure in drill["failures"]:
+                print(f"  gray failure: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -552,6 +552,11 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--pack-gamma", type=int, default=8, metavar="G",
                        help="column-combining group-size limit for "
                             "--sparsity (default 8; 1 = identity packing)")
+    group.add_argument("--require-warmup", action="store_true",
+                       help="hold health at warming (unroutable in a fleet) "
+                            "until 'op: warmup' has pre-compiled the served "
+                            "lanes — the fleet scale-up gate "
+                            "(see docs/robustness.md)")
     _add_array_options(parser)
     _add_parallel_options(parser)
 
@@ -601,6 +606,7 @@ def _serve_config(args: argparse.Namespace, keys: list):
         pack_gamma=args.pack_gamma,
         array=_array_from_args(args),
         preload=keys,
+        require_warmup=getattr(args, "require_warmup", False),
         resilience=args.resilience,
         telemetry=args.telemetry,
         snapshot_interval_s=args.snapshot_interval,
@@ -680,16 +686,24 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         ramp=ramp,
     )
 
-    if args.chaos:
+    if args.chaos or args.gray:
         if args.connect:
-            print("--chaos runs its own in-process server; "
+            print("--chaos/--gray run their own in-process servers; "
                   "drop --connect", file=sys.stderr)
             return 2
         chaos_seed = (args.chaos_seed if args.chaos_seed is not None
                       else args.workload_seed)
         p99_bound = (args.chaos_p99_ms if args.chaos_p99_ms is not None
                      else 2.0 * args.slo_ms)
-        if args.fleet:
+        if args.gray:
+            from .fleet import run_gray_chaos
+
+            chaos = asyncio.run(run_gray_chaos(
+                spec,
+                replicas=args.fleet or 3,
+                config=_serve_config(args, keys),
+            ))
+        elif args.fleet:
             from .fleet import run_fleet_chaos
 
             chaos = asyncio.run(run_fleet_chaos(
@@ -1095,6 +1109,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-p99-ms", type=float, default=None,
                    help="p99 degradation bound under chaos "
                         "(default: 2 x --slo-ms)")
+    p.add_argument("--gray", action="store_true",
+                   help="gray-failure drill: stall one replica's forward "
+                        "hop 20x and assert hedging + slow-detection hold "
+                        "the fleet p99 within 1.5x of healthy "
+                        "(uses --fleet N replicas, default 3; "
+                        "see docs/robustness.md)")
     p.add_argument("--ramp", metavar="START:END:STEPS", default=None,
                    help="open-loop stair profile: split the run into STEPS "
                         "slices at rates linspace(START, END) req/s and "

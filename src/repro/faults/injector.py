@@ -73,12 +73,17 @@ class FaultInjector:
 
     # ------------------------------------------------------------ evaluation
 
-    def should_fire(self, point: str) -> Optional[FaultSpec]:
+    def should_fire(self, point: str,
+                    tag: Optional[str] = None) -> Optional[FaultSpec]:
         """Evaluate one fault point; the firing spec, or ``None``.
 
         At most one spec fires per evaluation (first match in plan order);
         every spec for the point still consumes one draw, keeping the
-        sequence deterministic regardless of which spec fires.
+        sequence deterministic regardless of which spec fires.  A spec
+        carrying a ``tag`` only fires when the site's ``tag`` matches —
+        mismatched evaluations still consume their draw (and count toward
+        ``after``), so targeting one replica of a fleet does not shift
+        the schedule of any other spec.
         """
         specs = self._specs.get(point)
         if not specs:
@@ -90,6 +95,8 @@ class FaultInjector:
                 self._evals[index] = evals
                 draw = rng.random()  # always drawn: keeps sequences aligned
                 if winner is not None:
+                    continue
+                if spec.tag is not None and spec.tag != tag:
                     continue
                 if evals <= spec.after:
                     continue
@@ -169,25 +176,27 @@ def current_injector() -> Optional[FaultInjector]:
     return _injector
 
 
-def should_fire(point: str) -> Optional[FaultSpec]:
+def should_fire(point: str, tag: Optional[str] = None) -> Optional[FaultSpec]:
     """Custom-site evaluation: the firing spec, or ``None`` (the fast path)."""
     injector = current_injector()
     if injector is None:
         return None
-    return injector.should_fire(point)
+    return injector.should_fire(point, tag=tag)
 
 
-def inject(point: str) -> None:
+def inject(point: str, tag: Optional[str] = None) -> None:
     """Generic-site evaluation: act out the firing spec, if any.
 
-    ``error`` raises :class:`InjectedFault`, ``delay`` sleeps the spec's
-    ``delay_ms``, ``kill`` exits the process (for process-pool worker
-    death).  No-op when no plan is installed or nothing fires.
+    ``error`` raises :class:`InjectedFault`, ``delay`` and ``stall``
+    sleep the spec's ``delay_ms`` (blocking — async sites evaluate
+    :func:`should_fire` themselves and ``await asyncio.sleep``), ``kill``
+    exits the process (for process-pool worker death).  No-op when no
+    plan is installed or nothing fires.
     """
-    spec = should_fire(point)
+    spec = should_fire(point, tag=tag)
     if spec is None:
         return
-    if spec.kind == "delay":
+    if spec.kind in ("delay", "stall"):
         time.sleep(spec.delay_ms / 1000.0)
     elif spec.kind == "kill":
         os._exit(spec.exit_code)

@@ -39,7 +39,16 @@ FAULT_POINTS: Dict[str, str] = {
     "serve.engine": (
         "batch execution body in repro.serve.workers.execute_batch: "
         "'error' raises mid-batch (exercises the degradation chain and the "
-        "circuit breaker), 'delay' injects an artificial latency spike"
+        "circuit breaker), 'delay' injects an artificial latency spike, "
+        "'stall' is the sustained gray-failure slow-down (pair it with "
+        "max_fires=None so every batch pays the delay)"
+    ),
+    "fleet.forward": (
+        "router-side forward hop in repro.fleet.router: evaluated once per "
+        "forward with tag=<replica_id>, so a tagged spec targets one "
+        "replica of an in-process fleet; 'stall' sleeps delay_ms on the "
+        "event loop without blocking other forwards (the gray-failure "
+        "drill), 'error' fails the forward as a transport error (reroute)"
     ),
     "serve.worker": (
         "serve worker task right after it takes a batch: 'error' crashes "
@@ -71,8 +80,11 @@ FAULT_POINTS: Dict[str, str] = {
 }
 
 #: What a firing does at a generic site (custom sites interpret the spec
-#: themselves and may ignore the kind).
-KINDS = ("error", "delay", "kill")
+#: themselves and may ignore the kind).  ``stall`` is ``delay``'s
+#: gray-failure sibling: the same deterministic sleep, but declared as a
+#: *sustained* slow-down — plans use it with ``max_fires=None`` to model
+#: a replica that is alive and probe-healthy yet runs many times slow.
+KINDS = ("error", "delay", "kill", "stall")
 
 
 @dataclass(frozen=True)
@@ -90,8 +102,15 @@ class FaultSpec:
         max_fires: total firings allowed (``None`` = unlimited); the
             default of 1 makes specs one-shot unless asked otherwise.
         after: skip the first N evaluations (warm-up guard).
-        delay_ms: sleep duration for ``kind="delay"``.
+        delay_ms: sleep duration for ``kind="delay"`` / ``kind="stall"``.
         exit_code: process exit status for ``kind="kill"``.
+        tag: optional instance selector.  Sites that serve many identical
+            instances in one process (the fleet router forwarding to N
+            in-process replicas) evaluate with ``tag=<instance id>``; a
+            spec carrying a tag only fires when the tags match, so a
+            chaos plan can stall exactly one replica.  Mismatched
+            evaluations still consume a draw (and count toward
+            ``after``), keeping the schedule deterministic.
     """
 
     point: str
@@ -101,6 +120,7 @@ class FaultSpec:
     after: int = 0
     delay_ms: float = 0.0
     exit_code: int = 13
+    tag: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.point not in FAULT_POINTS:
@@ -118,6 +138,8 @@ class FaultSpec:
             raise ValueError(f"after must be >= 0, got {self.after}")
         if self.delay_ms < 0:
             raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if self.tag is not None and not isinstance(self.tag, str):
+            raise ValueError(f"tag must be a string, got {self.tag!r}")
 
     def to_dict(self) -> dict:
         return {
@@ -128,13 +150,14 @@ class FaultSpec:
             "after": self.after,
             "delay_ms": self.delay_ms,
             "exit_code": self.exit_code,
+            "tag": self.tag,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultSpec":
         unknown = set(payload) - {
             "point", "kind", "probability", "max_fires", "after",
-            "delay_ms", "exit_code",
+            "delay_ms", "exit_code", "tag",
         }
         if unknown:
             raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")

@@ -19,11 +19,17 @@ from .autoscaler import (
     ScaleDecision,
     price_capacity_qps,
 )
-from .chaos import FleetChaosReport, run_fleet_chaos
+from .chaos import (
+    FleetChaosReport,
+    GrayChaosReport,
+    run_fleet_chaos,
+    run_gray_chaos,
+)
 from .health import ReplicaEndpoint, ReplicaHealth, ReplicaState
 from .placement import DEFAULT_VNODES, HashRing
 from .router import FleetRouter, ReplicaLink, RouterConfig
 from .supervisor import FleetSupervisor, ReplicaHandle, free_port
+from .warmup import assigned_lanes, lane_specs, warm_replica
 
 __all__ = [
     "Autoscaler",
@@ -33,7 +39,9 @@ __all__ = [
     "ScaleDecision",
     "price_capacity_qps",
     "FleetChaosReport",
+    "GrayChaosReport",
     "run_fleet_chaos",
+    "run_gray_chaos",
     "ReplicaEndpoint",
     "ReplicaHealth",
     "ReplicaState",
@@ -45,4 +53,7 @@ __all__ = [
     "FleetSupervisor",
     "ReplicaHandle",
     "free_port",
+    "assigned_lanes",
+    "lane_specs",
+    "warm_replica",
 ]

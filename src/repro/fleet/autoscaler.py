@@ -205,12 +205,15 @@ class Autoscaler:
         capacity_qps: float,
         policy: Optional[AutoscalerPolicy] = None,
         interval_s: float = 1.0,
+        warm: bool = True,
     ) -> None:
         self.router = router
         self.supervisor = supervisor
         self.capacity_qps = capacity_qps
         self.policy = policy or AutoscalerPolicy()
         self.interval_s = interval_s
+        #: Spawn scale-ups behind the warm-up gate (cold-plan protection).
+        self.warm = warm
         self._last: dict = {}       # replica_id -> (answered, sheds)
         self._task: Optional[asyncio.Task] = None
         self._metrics = get_registry()
@@ -257,16 +260,44 @@ class Autoscaler:
         return decision
 
     async def _scale_up(self, decision: ScaleDecision) -> None:
-        endpoint = await self.supervisor.spawn()
+        # Warm-up gate: the new replica spawns behind ``require_warmup``
+        # and registers as STARTING (unroutable).  It pre-compiles the
+        # lanes the ring assigns it before its health flips ready, so
+        # scale-up traffic never lands on a cold plan (docs/robustness.md
+        # — the gray-chaos drill asserts zero compiles after the gate).
+        from .warmup import warm_replica
+
+        endpoint = await self.supervisor.spawn(warm=self.warm)
         self.router.add_replica(endpoint)
+        if self.warm:
+            try:
+                await warm_replica(self.router, endpoint.replica_id,
+                                   serve_config=self.supervisor.base_config)
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    RuntimeError, KeyError) as exc:
+                # A replica that cannot warm stays STARTING (unroutable);
+                # the fleet is no worse off than before the scale-up.
+                _log.warning("scale-up warm-up failed",
+                             replica=endpoint.replica_id,
+                             error=f"{type(exc).__name__}: {exc}")
+        else:
+            await self.router.probe_once()
         self._metrics.counter("fleet.autoscaler.scale_ups").inc()
         _log.info("scaled up", replica=endpoint.replica_id,
                   reason=decision.reason,
                   utilization=round(decision.utilization, 3))
 
     async def _scale_down(self, decision: ScaleDecision) -> None:
-        candidates = [rid for rid, link in self.router.links.items()
-                      if link.health.usable]
+        # Anything not already dead or leaving is a candidate — including
+        # a still-STARTING replica (unroutable is not unretirable; a fleet
+        # that scaled up into a warm-up failure must be able to back out).
+        from .health import ReplicaState
+
+        candidates = [
+            rid for rid, link in self.router.links.items()
+            if link.health.state not in (ReplicaState.DOWN,
+                                         ReplicaState.DRAINING)
+        ]
         if not candidates:
             return
         # Highest id leaves: survivors keep their ring arcs (see module doc).

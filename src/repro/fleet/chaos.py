@@ -35,18 +35,32 @@ is a genuine TCP RST storm, not a mock.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..faults import FaultPlan, FaultSpec, clear_plan, install_plan
 from ..obs import get_logger, get_registry
+from ..obs.stats import percentile
 from ..serve.chaos import _requests_digest
-from ..serve.loadgen import LoadReport, WorkloadSpec, run_workload
+from ..serve.loadgen import (
+    LoadReport,
+    WorkloadSpec,
+    build_requests,
+    run_workload,
+)
 from ..serve.server import ServeConfig
 from ..serve.transport import RemoteClient
 from .router import FleetRouter, RouterConfig
 from .supervisor import FleetSupervisor
+from .warmup import lane_specs, warm_replica
 
-__all__ = ["FleetChaosReport", "run_fleet_chaos"]
+__all__ = [
+    "FleetChaosReport",
+    "run_fleet_chaos",
+    "GrayChaosReport",
+    "run_gray_chaos",
+]
 
 _log = get_logger("fleet.chaos")
 
@@ -269,3 +283,365 @@ async def run_fleet_chaos(
 def _counter(name: str) -> float:
     metric = get_registry().get(name)
     return float(metric.value) if metric is not None else 0.0
+
+
+# --------------------------------------------------------------- gray chaos
+
+@dataclass
+class GrayChaosReport:
+    """One gray-failure drill: a 20×-slow replica under live traffic.
+
+    Two identical workload runs — a healthy baseline, then the same spec
+    with one replica's forward hop stalled (``fleet.forward`` fault point,
+    ``kind="stall"``, tagged to the victim) — followed by a warm-gated
+    scale-up.  ``check()`` asserts the gray-failure contract end to end:
+    tail latency bounded by hedging, slow-detection fired, exactly one
+    response per request id, zero unhandled errors, the replay
+    fingerprint unchanged, and zero cold builds/compiles after the
+    warm-up gate opened.
+
+    The tail bound is asserted on **client-observed wall latency**
+    (``*_wall_*`` fields), not on the replicas' ``total_ms``: a replica
+    measures admission → response, and the stalled hop lives in the
+    router *before* admission — on server clocks the gray failure is
+    literally invisible, which is the whole point of the drill.
+    """
+
+    baseline: LoadReport
+    gray: LoadReport
+    baseline_wall_p50_ms: float  #: client-measured, healthy run
+    baseline_wall_p99_ms: float
+    gray_wall_p99_ms: float      #: client-measured, stalled run
+    requests_digest: str
+    replay_digest: str
+    replicas: int
+    victim: str
+    stall_ms: float
+    stalls_fired: int           #: fleet.forward stall firings (delta)
+    duplicates: int             #: request ids answered more than once
+    slow_detections: int        #: SLOW transitions during the gray run
+    hedges: int                 #: hedges fired (delta)
+    hedge_wins: int
+    hedge_losses: int
+    # Warm-up gate phase (scale-up under the same router).
+    scale_up_replica: str
+    starting_served: int        #: forwards the cold replica answered (must be 0)
+    gate_ready_after_warm: bool
+    warmed_lanes: int
+    cold_builds: int            #: serve.registry.builds delta post-warm-up
+    cold_plans: int             #: runtime.plans (compiles) delta post-warm-up
+    post_scale_ok: int          #: OK answers after the gate opened
+    p99_factor: float = 1.5
+    p99_slack_ms: float = 25.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def p99_bound_ms(self) -> float:
+        """The drill's tail bound: ``factor × healthy wall p99 + slack``.
+
+        The small absolute slack absorbs scheduler jitter on sub-50 ms
+        baselines; the multiplicative factor is the contract (a fleet
+        with one 20×-slow replica must not be 20× slower — hedging and
+        slow-detection keep the tail within 1.5× of healthy).
+        """
+        return self.p99_factor * self.baseline_wall_p99_ms + self.p99_slack_ms
+
+    def check(self) -> List[str]:
+        failures: List[str] = []
+        if self.stalls_fired <= 0:
+            failures.append("no stall fired — the gray drill is inert")
+        if self.gray.errors:
+            failures.append(
+                f"{self.gray.errors} unhandled errors — a stalled hop must "
+                f"surface as a hedge or reroute, never ERROR"
+            )
+        if self.duplicates:
+            failures.append(
+                f"{self.duplicates} request id(s) answered more than once — "
+                f"hedging broke the exactly-once response guarantee"
+            )
+        if self.gray_wall_p99_ms > self.p99_bound_ms:
+            failures.append(
+                f"gray wall p99 {self.gray_wall_p99_ms:.1f} ms exceeded the "
+                f"bound {self.p99_bound_ms:.1f} ms ({self.p99_factor}× "
+                f"healthy wall p99 {self.baseline_wall_p99_ms:.1f} ms "
+                f"+ {self.p99_slack_ms:.0f})"
+            )
+        if self.slow_detections <= 0:
+            failures.append(
+                f"victim {self.victim} was never detected SLOW — the "
+                f"latency-window path did not fire"
+            )
+        if self.hedges != self.hedge_wins + self.hedge_losses:
+            failures.append(
+                f"hedge accounting broken: fired {self.hedges} != wins "
+                f"{self.hedge_wins} + losses {self.hedge_losses}"
+            )
+        if self.replay_digest != self.requests_digest:
+            failures.append(
+                f"replay fingerprint changed: {self.requests_digest[:12]} → "
+                f"{self.replay_digest[:12]}"
+            )
+        if self.starting_served:
+            failures.append(
+                f"cold replica {self.scale_up_replica} answered "
+                f"{self.starting_served} forward(s) before its warm-up gate "
+                f"opened — STARTING must be unroutable"
+            )
+        if not self.gate_ready_after_warm:
+            failures.append(
+                f"replica {self.scale_up_replica} not routable after warm-up"
+            )
+        if self.cold_builds or self.cold_plans:
+            failures.append(
+                f"post-scale-up traffic triggered {self.cold_builds} model "
+                f"build(s) and {self.cold_plans} plan compile(s) — the "
+                f"warm-up gate served a cold replica"
+            )
+        if self.post_scale_ok <= 0:
+            failures.append("no request completed after the scale-up")
+        self.failures = failures
+        return failures
+
+    @property
+    def ok(self) -> bool:
+        return not self.check()
+
+    def record(self) -> None:
+        registry = get_registry()
+        registry.gauge("fleet.gray.baseline_p99_ms").set(
+            self.baseline_wall_p99_ms)
+        registry.gauge("fleet.gray.p99_ms").set(self.gray_wall_p99_ms)
+        registry.gauge("fleet.gray.stall_ms").set(self.stall_ms)
+        registry.gauge("fleet.gray.hedges").set(float(self.hedges))
+        registry.gauge("fleet.gray.hedge_wins").set(float(self.hedge_wins))
+        registry.gauge("fleet.gray.duplicates").set(float(self.duplicates))
+        registry.gauge("fleet.gray.cold_builds").set(float(self.cold_builds))
+        registry.gauge("fleet.gray.unhandled_failures").set(
+            float(len(self.check())))
+
+    def render(self) -> str:
+        lines = [
+            self.gray.render(),
+            f"  gray chaos  : {self.replicas} replicas, {self.victim} "
+            f"stalled {self.stall_ms:.0f} ms/hop ({self.stalls_fired} stalls)",
+            f"  tail        : wall p99 {self.gray_wall_p99_ms:.1f} ms vs "
+            f"healthy {self.baseline_wall_p99_ms:.1f} ms "
+            f"(bound {self.p99_bound_ms:.1f})",
+            f"  hedging     : {self.hedges} fired = {self.hedge_wins} wins "
+            f"+ {self.hedge_losses} losses; {self.duplicates} duplicate "
+            f"response(s)",
+            f"  detection   : {self.slow_detections} SLOW transition(s)",
+            f"  scale-up    : {self.scale_up_replica} held unroutable "
+            f"(served {self.starting_served} cold), warmed "
+            f"{self.warmed_lanes} lane(s), then {self.cold_builds} builds / "
+            f"{self.cold_plans} compiles under {self.post_scale_ok} requests",
+            f"  fingerprint : {self.requests_digest[:12]} "
+            f"(replay {'identical' if self.replay_digest == self.requests_digest else 'DIVERGED'})",
+        ]
+        failures = self.check()
+        if failures:
+            lines.append("  GRAY FAIL   : " + "; ".join(failures))
+        else:
+            lines.append("  gray check  : all gray-failure bounds held")
+        return "\n".join(lines)
+
+
+async def run_gray_chaos(
+    spec: WorkloadSpec,
+    replicas: int = 3,
+    config: Optional[ServeConfig] = None,
+    router_config: Optional[RouterConfig] = None,
+    stall_mult: float = 20.0,
+    stall_floor_ms: float = 40.0,
+    p99_factor: float = 1.5,
+    p99_slack_ms: float = 25.0,
+    scale_up_requests: int = 12,
+    client_timeout_s: float = 30.0,
+) -> GrayChaosReport:
+    """The gray-failure drill (see :class:`GrayChaosReport` for the plot).
+
+    The drill's router defaults differ from production in two places,
+    both because the drill concentrates ALL of one lane's traffic on the
+    victim: the hedge rate cap is lifted (a 5% cap against a primary
+    owning ~100% of a lane would serialize the stalls the drill exists
+    to absorb — in production, lanes spread over the ring and SLOW
+    primaries bypass the cap anyway) and probes run fast so detection
+    happens within the run.
+    """
+    if replicas < 2:
+        raise ValueError("gray chaos needs at least 2 replicas")
+    config = config or ServeConfig(preload=list(spec.keys))
+    router_config = router_config or RouterConfig(
+        seed=spec.seed,
+        probe_interval_s=0.05,
+        slow_windows=2,
+        hedge_rate_cap=1.0,
+        hedge_min_samples=16,
+    )
+    digest_before = _requests_digest(spec)
+    lanes = [FleetRouter.lane(k.canonical(), bool(config.int8))
+             for k in spec.keys]
+
+    async def spawn_fleet():
+        supervisor = FleetSupervisor(base_config=config, mode="inproc")
+        endpoints = [await supervisor.spawn() for _ in range(replicas)]
+        router = FleetRouter(endpoints, router_config)
+        await router.start()
+        return supervisor, router
+
+    # ---- phase 1: healthy baseline (same spec, no faults) ----------------
+    clear_plan()
+    supervisor, router = await spawn_fleet()
+    client = RemoteClient("127.0.0.1", router.port,
+                          timeout_s=client_timeout_s, seed=spec.seed)
+    # Client-observed wall latency, not the replicas' total_ms: a replica
+    # clocks admission → response, and the stalled hop lives in the router
+    # *before* admission — on server clocks the gray failure is invisible.
+    baseline_wall: List[float] = []
+
+    async def timed_submit(request):
+        t0 = time.perf_counter()
+        response = await client.submit(request)
+        baseline_wall.append((time.perf_counter() - t0) * 1000.0)
+        return response
+
+    try:
+        await client.connect()
+        baseline = await run_workload(timed_submit, spec)
+    finally:
+        await client.close()
+        await router.stop()
+        await supervisor.stop()
+
+    baseline_wall.sort()
+    baseline_wall_p50 = percentile(baseline_wall, 50.0)
+    baseline_wall_p99 = percentile(baseline_wall, 99.0)
+    stall_ms = max(stall_floor_ms, stall_mult * baseline_wall_p50)
+
+    # ---- phase 2: same workload with one replica's hop stalled -----------
+    # Fresh fleet, same seeds: replica ids and ring placement repeat, so
+    # the victim (owner of the first lane) is the same replica id the
+    # baseline placed there.  The stall begins only after the router has
+    # enough forward samples to derive a hedge delay.
+    before = {name: _counter(name) for name in (
+        "fleet.hedges", "fleet.hedge_wins", "fleet.hedge_losses",
+        "fleet.slow_detections", "faults.injected.fleet.forward",
+    )}
+    supervisor, router = await spawn_fleet()
+    victim = router.ring.assignment(lanes)[lanes[0]]
+    stall_after = max(router_config.hedge_min_samples + 8,
+                      int(spec.requests * 0.15))
+    install_plan(FaultPlan(seed=spec.seed, faults=[
+        FaultSpec(point="fleet.forward", kind="stall", probability=1.0,
+                  max_fires=None, after=stall_after, delay_ms=stall_ms,
+                  tag=victim),
+    ]))
+    _log.info("gray chaos starting", replicas=replicas, victim=victim,
+              stall_ms=round(stall_ms, 1), stall_after=stall_after,
+              requests=spec.requests)
+
+    answered: Dict[int, int] = {}
+    gray_wall: List[float] = []
+    client = RemoteClient("127.0.0.1", router.port,
+                          timeout_s=client_timeout_s, seed=spec.seed)
+
+    async def submit(request):
+        t0 = time.perf_counter()
+        response = await client.submit(request)
+        gray_wall.append((time.perf_counter() - t0) * 1000.0)
+        answered[response.request_id] = answered.get(response.request_id,
+                                                     0) + 1
+        return response
+
+    try:
+        await client.connect()
+        gray = await run_workload(submit, spec)
+
+        # ---- phase 3: warm-gated scale-up under the same router ----------
+        # The stall plan is cleared first: the scale-up assertions are
+        # about cold plans, not about the stalled victim.
+        clear_plan()
+        # No preload: the warm-up itself must build/compile everything the
+        # lanes need — which is exactly what makes the zero-delta check
+        # below non-vacuous (an unwarmed replica's first request would
+        # have to build, and the builds counter would say so).
+        endpoint = await supervisor.spawn(
+            config=replace(config, preload=[], require_warmup=True))
+        router.add_replica(endpoint)
+        await router.probe_once()
+        cold_link = router.links[endpoint.replica_id]
+
+        # Traffic against the gate: the STARTING replica must see none.
+        for request in build_requests(replace(
+                spec, requests=max(4, scale_up_requests // 2))):
+            await client.submit(request)
+        starting_served = cold_link.ok
+
+        warm_report = await warm_replica(router, endpoint.replica_id,
+                                         lanes=lane_specs(config))
+        gate_ready = cold_link.health.usable
+
+        builds0 = _counter("serve.registry.builds")
+        plans0 = _counter("runtime.plans")
+        post_ok = 0
+        # Through the router AND straight at the new replica — the direct
+        # client guarantees the freshly-warmed replica actually executes
+        # post-scale-up requests, making "zero cold builds" a statement
+        # about it and not about routing luck.
+        direct = RemoteClient(endpoint.host, endpoint.port,
+                              timeout_s=client_timeout_s, seed=spec.seed)
+        try:
+            await direct.connect()
+            for request in build_requests(replace(spec,
+                                                  requests=scale_up_requests,
+                                                  seed=spec.seed + 1)):
+                post_ok += int((await direct.submit(request)).ok)
+            for request in build_requests(replace(spec,
+                                                  requests=scale_up_requests,
+                                                  seed=spec.seed + 2)):
+                post_ok += int((await client.submit(request)).ok)
+        finally:
+            await direct.close()
+        cold_builds = int(_counter("serve.registry.builds") - builds0)
+        cold_plans = int(_counter("runtime.plans") - plans0)
+    finally:
+        clear_plan()
+        await client.close()
+        await router.stop()
+        await supervisor.stop()
+
+    gray_wall.sort()
+    report = GrayChaosReport(
+        baseline=baseline,
+        gray=gray,
+        baseline_wall_p50_ms=baseline_wall_p50,
+        baseline_wall_p99_ms=baseline_wall_p99,
+        gray_wall_p99_ms=percentile(gray_wall, 99.0),
+        requests_digest=digest_before,
+        replay_digest=_requests_digest(spec),
+        replicas=replicas,
+        victim=victim,
+        stall_ms=stall_ms,
+        stalls_fired=int(_counter("faults.injected.fleet.forward")
+                         - before["faults.injected.fleet.forward"]),
+        duplicates=sum(1 for count in answered.values() if count > 1),
+        slow_detections=int(_counter("fleet.slow_detections")
+                            - before["fleet.slow_detections"]),
+        hedges=int(_counter("fleet.hedges") - before["fleet.hedges"]),
+        hedge_wins=int(_counter("fleet.hedge_wins")
+                       - before["fleet.hedge_wins"]),
+        hedge_losses=int(_counter("fleet.hedge_losses")
+                         - before["fleet.hedge_losses"]),
+        scale_up_replica=endpoint.replica_id,
+        starting_served=starting_served,
+        gate_ready_after_warm=gate_ready,
+        warmed_lanes=int(warm_report.get("warmed", 0)),
+        cold_builds=cold_builds,
+        cold_plans=cold_plans,
+        post_scale_ok=post_ok,
+        p99_factor=p99_factor,
+        p99_slack_ms=p99_slack_ms,
+    )
+    report.record()
+    return report

@@ -1,6 +1,6 @@
 """Replica health: what the router knows about each backend.
 
-Two signal paths feed one small state machine per replica:
+Three signal paths feed one small state machine per replica:
 
 * **passive** — every forwarded request is a health sample.  A transport
   failure (connection refused/reset, timeout) marks the replica ``down``
@@ -12,16 +12,30 @@ Two signal paths feed one small state machine per replica:
   moment it answers again (one success is enough — the passive path
   demotes it right back if it is still flapping) and demote an idle-but-
   dead replica that no request has touched.
+* **latency windows** — the probe loop also compares each replica's
+  forward-latency EWMA against the fleet median
+  (:meth:`~repro.fleet.router.FleetRouter.probe_once`).  A replica that
+  stays a configured factor above the median for ``slow_windows``
+  consecutive windows is a *gray failure*: alive, probe-healthy, and
+  many times slow.  It enters ``slow`` — still usable, but only as a
+  last resort — and recovers through the same hysteresis (``slow_windows``
+  consecutive clean windows) so one noisy sample cannot flap it.
 
 States:
 
-``starting``  not yet probe-confirmed (optimistically routable)
+``starting``  not yet probe-confirmed (NOT routable — a replica may
+              still be warming its plans; the probe loop promotes it the
+              moment its health op reports ready, one probe interval)
 ``ready``     answering; in the ring, receives its lanes
 ``suspect``   one probe failure; still routable, next failure demotes
+``slow``      latency outlier (gray failure); routable as last resort,
+              hedge-covered; demoted to ``suspect`` if it degrades
+              further, recovered by clean latency windows — a successful
+              probe alone does NOT clear it (slow replicas answer probes)
 ``down``      unreachable/crashed; taken off the ring until it answers
 ``draining``  answering but refusing new work (graceful scale-down)
 
-``usable`` (starting/ready/suspect) is what placement filters on.  All state
+``usable`` (ready/suspect/slow) is what placement filters on.  All state
 lives router-side; replicas are not aware of the fleet at all.
 """
 
@@ -57,6 +71,7 @@ class ReplicaState(str, Enum):
     STARTING = "starting"
     READY = "ready"
     SUSPECT = "suspect"
+    SLOW = "slow"
     DOWN = "down"
     DRAINING = "draining"
 
@@ -68,15 +83,21 @@ class ReplicaHealth:
         self,
         replica_id: str,
         probe_fail_threshold: int = 2,
+        slow_windows: int = 3,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if probe_fail_threshold < 1:
             raise ValueError("probe_fail_threshold must be >= 1")
+        if slow_windows < 1:
+            raise ValueError("slow_windows must be >= 1")
         self.replica_id = replica_id
         self.probe_fail_threshold = probe_fail_threshold
+        self.slow_windows = slow_windows
         self._clock = clock
         self._state = ReplicaState.STARTING
         self._probe_failures = 0
+        self._slow_streak = 0
+        self._fast_streak = 0
         self._changed_at = clock()
         #: Last SHED retry hint this replica returned (router aggregation).
         self.last_retry_after_ms: Optional[float] = None
@@ -91,13 +112,17 @@ class ReplicaHealth:
     def usable(self) -> bool:
         """May the router place new requests on this replica?
 
-        ``starting`` is optimistically usable: a just-registered replica
-        takes traffic immediately and the passive path demotes it on the
-        first failed forward — cheaper than holding traffic for a probe
-        round-trip that almost always succeeds.
+        ``starting`` is deliberately NOT usable: a just-registered
+        replica may still be compiling the plans the ring assigns it
+        (``op: warmup``), and forwarding to a cold replica is exactly the
+        tail-latency hit the warm-up gate exists to prevent.  The probe
+        loop promotes it within one probe interval of its health op
+        reporting ready.  ``slow`` stays usable — a gray-slow answer
+        still beats no answer when every healthy replica is gone — but
+        :meth:`~repro.fleet.router.FleetRouter.candidates` orders it last.
         """
-        return self._state in (ReplicaState.STARTING, ReplicaState.READY,
-                               ReplicaState.SUSPECT)
+        return self._state in (ReplicaState.READY, ReplicaState.SUSPECT,
+                               ReplicaState.SLOW)
 
     @property
     def since_change_s(self) -> float:
@@ -119,31 +144,92 @@ class ReplicaHealth:
     # --------------------------------------------------------------- signals
 
     def record_forward_ok(self) -> bool:
-        """A forwarded request got an answer (any status — even SHED)."""
+        """A forwarded request got an answer (any status — even SHED).
+
+        Does not clear ``slow``: gray-slow replicas answer forwards too —
+        that is the failure mode.  Recovery goes through
+        :meth:`record_latency_window`.
+        """
         self._probe_failures = 0
-        if self._state in (ReplicaState.DRAINING,):
+        if self._state in (ReplicaState.DRAINING, ReplicaState.SLOW):
             return False
         return self._transition(ReplicaState.READY, "forward answered")
 
     def record_forward_failure(self) -> bool:
         """A forward hit a transport failure: demote *now*, reroute next."""
         self._probe_failures = self.probe_fail_threshold
+        self._slow_streak = 0
+        self._fast_streak = 0
         return self._transition(ReplicaState.DOWN, "forward failed")
 
-    def record_probe(self, ok: bool, draining: bool = False) -> bool:
-        """Fold one active ``op: health`` probe result in."""
+    def record_probe(self, ok: bool, draining: bool = False,
+                     warming: bool = False) -> bool:
+        """Fold one active ``op: health`` probe result in.
+
+        ``warming`` is the replica's warm-up gate (its health payload
+        reports ``warming: true`` until ``op: warmup`` completed): the
+        replica is alive but must stay unroutable, so it holds — or
+        returns to — ``starting`` rather than being treated as draining
+        or ready.
+        """
         if not ok:
             self._probe_failures += 1
             if (self._probe_failures >= self.probe_fail_threshold
                     and self._state is not ReplicaState.DOWN):
                 return self._transition(ReplicaState.DOWN, "probe failures")
-            if self._state is ReplicaState.READY:
+            if self._state in (ReplicaState.READY, ReplicaState.SLOW):
                 return self._transition(ReplicaState.SUSPECT, "probe failure")
             return False
         self._probe_failures = 0
         if draining:
             return self._transition(ReplicaState.DRAINING, "replica draining")
+        if warming:
+            if self._state is ReplicaState.STARTING:
+                return False
+            return self._transition(ReplicaState.STARTING, "replica warming")
+        if self._state is ReplicaState.SLOW:
+            # Probes succeeding is exactly what a gray failure looks
+            # like; only clean latency windows clear SLOW.
+            return False
         return self._transition(ReplicaState.READY, "probe answered")
+
+    def record_latency_window(self, outlier: bool,
+                              severe: bool = False) -> bool:
+        """Fold one latency window in (router probe loop, once per probe).
+
+        ``outlier`` — this replica's forward EWMA exceeded the robust
+        fleet median by the configured factor this window; ``severe`` —
+        it exceeded twice that bound (an already-slow replica degrading
+        further is demoted to ``suspect`` so probe failures can finish
+        the job).  ``slow_windows`` consecutive outlier windows demote
+        READY → SLOW; the same count of clean windows recovers SLOW →
+        READY, mirroring the probe hysteresis.
+        """
+        if self._state not in (ReplicaState.READY, ReplicaState.SUSPECT,
+                               ReplicaState.SLOW):
+            self._slow_streak = 0
+            self._fast_streak = 0
+            return False
+        if outlier:
+            self._fast_streak = 0
+            self._slow_streak += 1
+            if self._state is ReplicaState.SLOW:
+                if severe:
+                    return self._transition(
+                        ReplicaState.SUSPECT, "slow replica degraded further")
+                return False
+            if (self._state is ReplicaState.READY
+                    and self._slow_streak >= self.slow_windows):
+                return self._transition(ReplicaState.SLOW, "latency outlier")
+            return False
+        self._slow_streak = 0
+        if self._state is ReplicaState.SLOW:
+            self._fast_streak += 1
+            if self._fast_streak >= self.slow_windows:
+                self._fast_streak = 0
+                return self._transition(ReplicaState.READY,
+                                        "latency recovered")
+        return False
 
     def mark_draining(self) -> bool:
         """Router-initiated graceful removal (autoscaler scale-down)."""

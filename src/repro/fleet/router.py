@@ -17,11 +17,29 @@ inference request to one of N replicas:
   immediately (:class:`~repro.fleet.health.ReplicaHealth`) and the
   request is retried on the next candidate; the health probe loop
   resurrects replicas that answer again;
-* **replica-aware shedding** — a replica's SHED is retried once on the
-  least-loaded alternative; when every candidate sheds (or none is
-  usable) the router sheds at its own level with a ``retry_after_ms``
-  aggregated from the replicas' hints (their minimum — the soonest any
-  backend expects capacity);
+* **replica-aware shedding** — a replica's SHED is retried on the next
+  candidate; when every candidate sheds (or none is usable) the router
+  sheds at its own level with a ``retry_after_ms`` aggregated from the
+  replicas' hints (their minimum — the soonest any backend expects
+  capacity);
+* **slow-replica detection** — each probe pass compares every usable
+  replica's forward-latency EWMA against the robust fleet median; a
+  replica a configured factor above it for ``slow_windows`` consecutive
+  windows is a *gray failure* (alive, probe-healthy, many times slow)
+  and enters ``slow``: ordered last in every candidate list and covered
+  by hedging (docs/robustness.md);
+* **hedged requests** — for a first-attempt forward with deadline slack,
+  a backup copy fires to the next ring candidate once the primary has
+  been in flight longer than the p95 of recent forwards; the first
+  answer wins, the loser is cancelled (``op: cancel``, best-effort), and
+  only the winner's reply reaches the client — responses stay exactly-
+  once per request id by construction.  Fired hedges are capped at
+  ``hedge_rate_cap`` of routed requests (a SLOW primary bypasses the
+  cap: that is the case hedging exists for);
+* **deadline propagation** — the wire ``deadline_ms`` budget is
+  re-stamped on every forward with the router's own elapsed time
+  subtracted, so replicas can expire stale (or hedge-duplicated) work at
+  admission instead of wasting batch slots on it;
 * **trace propagation** — the router joins the client's
   :class:`~repro.obs.context.SpanContext` and forwards its own, so a
   traced request renders as ``client.request → router.request →
@@ -38,13 +56,17 @@ unaware of the fleet and can be plain ``repro serve`` processes.
 from __future__ import annotations
 
 import asyncio
+import statistics
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Tuple
 
+from ..faults import should_fire
 from ..obs import get_logger, get_registry, get_tracer, render_exposition
 from ..obs.context import SpanContext
-from ..serve.request import Status
+from ..obs.stats import percentile
+from ..serve.request import InferenceRequest, Status
 from ..serve.transport import (
     MAX_LINE_BYTES,
     RemoteClient,
@@ -75,11 +97,49 @@ class RouterConfig:
     probe_fail_threshold: int = 2    #: probe failures before ``down``
     shed_retry_floor_ms: float = 25.0  #: retry hint when no replica gave one
 
+    # Hedged requests (docs/robustness.md): a first-attempt forward with
+    # deadline slack gets a backup fired to the next candidate after the
+    # p95 of recent forward latencies (never below ``hedge_floor_ms``);
+    # first answer wins, the loser is cancelled.  Hedging stays off until
+    # ``hedge_min_samples`` forwards have been observed (no meaningful
+    # p95 before that) and fired hedges are capped at ``hedge_rate_cap``
+    # of routed requests — except when the primary is already SLOW.
+    hedge: bool = True               #: fire backup requests at all
+    hedge_rate_cap: float = 0.05     #: max fired hedges / routed requests
+    hedge_floor_ms: float = 5.0      #: minimum hedge delay
+    hedge_min_samples: int = 16      #: forwards observed before hedging
+    hedge_history: int = 256         #: forward-latency window for the p95
+
+    # Slow-replica (gray-failure) detection: a usable replica whose
+    # forward EWMA exceeds ``max(slow_min_ms, slow_factor * median)`` of
+    # the usable fleet for ``slow_windows`` consecutive probe windows is
+    # demoted to SLOW; the same count of clean windows recovers it.
+    slow_factor: float = 4.0         #: outlier bound vs. fleet median EWMA
+    slow_windows: int = 3            #: consecutive windows before SLOW
+    slow_min_ms: float = 5.0         #: absolute floor on the outlier bound
+
+    #: Ring-preference depth used when warming a new replica: it
+    #: pre-compiles the lanes it is primary *or* fallback for
+    #: (:func:`repro.fleet.warmup.assigned_lanes`).
+    warm_depth: int = 2
+
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.spill_outstanding < 1:
             raise ValueError("spill_outstanding must be >= 1")
+        if not 0.0 <= self.hedge_rate_cap <= 1.0:
+            raise ValueError("hedge_rate_cap must be in [0, 1]")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if self.hedge_history < self.hedge_min_samples:
+            raise ValueError("hedge_history must be >= hedge_min_samples")
+        if self.slow_factor <= 1.0:
+            raise ValueError("slow_factor must be > 1")
+        if self.slow_windows < 1:
+            raise ValueError("slow_windows must be >= 1")
+        if self.warm_depth < 1:
+            raise ValueError("warm_depth must be >= 1")
 
 
 class ReplicaLink:
@@ -90,6 +150,7 @@ class ReplicaLink:
         self.health = ReplicaHealth(
             endpoint.replica_id,
             probe_fail_threshold=config.probe_fail_threshold,
+            slow_windows=config.slow_windows,
         )
         # Router-level reroute is the retry mechanism: the per-link client
         # fails fast (retries=0) so a dead replica costs one timeout, not
@@ -104,6 +165,7 @@ class ReplicaLink:
         self.sheds = 0            #: SHED answers from this replica
         self.failures = 0         #: transport failures against this replica
         self.ewma_ms = 0.0        #: observed forward latency
+        self.window_forwards = 0  #: forwards landed since the last probe pass
         self.last_health: dict = {}
 
     @property
@@ -148,6 +210,12 @@ class FleetRouter:
         self._probe_task: Optional[asyncio.Task] = None
         self._started = False
         self._metrics = get_registry()
+        # Hedging state: recent forward latencies (fleet-wide) derive the
+        # hedge delay; routed/fired counts enforce the rate cap.
+        self._forward_ms: Deque[float] = deque(maxlen=self.config.hedge_history)
+        self._routed = 0
+        self._hedges_fired = 0
+        self._reap_tasks: set = set()
         for endpoint in endpoints:
             self.add_replica(endpoint)
 
@@ -203,6 +271,10 @@ class FleetRouter:
             return self
         self._tcp = await asyncio.start_server(self._handle_connection,
                                                host, port)
+        # Synchronous first probe: replicas register as STARTING (not
+        # routable — the warm-up gate), so traffic arriving before the
+        # first probe pass would shed against a fleet of warm replicas.
+        await self.probe_once()
         self._probe_task = asyncio.create_task(self._probe_loop())
         self._started = True
         _log.info("router listening", host=host, port=self.port,
@@ -226,6 +298,11 @@ class FleetRouter:
             except asyncio.CancelledError:
                 pass
             self._probe_task = None
+        # Hedge losers still being reaped: let their cancel round-trips
+        # finish (bounded by the per-link timeout) before closing links.
+        if self._reap_tasks:
+            await asyncio.gather(*list(self._reap_tasks),
+                                 return_exceptions=True)
         if self._tcp is not None:
             self._tcp.close()
             await self._tcp.wait_closed()
@@ -265,11 +342,15 @@ class FleetRouter:
                 self._publish_membership()
                 return
             link.last_health = payload
-            draining = bool(payload.get("draining")) or not payload.get(
-                "ready", True
+            # A warm-gated replica answers probes with ``warming: true``
+            # while it pre-compiles its lanes: alive, but it must hold
+            # STARTING (unroutable) — not be mistaken for draining.
+            warming = bool(payload.get("warming"))
+            draining = bool(payload.get("draining")) or (
+                not warming and not payload.get("ready", True)
             )
             was_usable = link.health.usable
-            link.health.record_probe(True, draining=draining)
+            link.health.record_probe(True, draining=draining, warming=warming)
             if link.health.usable and not was_usable:
                 self.ring.add(link.replica_id)
             elif not link.health.usable and was_usable:
@@ -277,6 +358,54 @@ class FleetRouter:
             self._publish_membership()
 
         await asyncio.gather(*(probe(l) for l in list(self._links.values())))
+        self._update_latency_windows()
+
+    def _update_latency_windows(self) -> None:
+        """One gray-failure pass: EWMA vs. robust peer median, per probe.
+
+        Each replica is judged against ``max(slow_min_ms, slow_factor *
+        median-of-its-PEERS)`` — a leave-one-out median over the other
+        usable replicas that have served forwards.  Leaving the candidate
+        out matters when few replicas carry traffic: with two active
+        links, a fleet-wide median averages the outlier with its healthy
+        peer and the bound chases the very latency it is supposed to
+        catch (a 20×-slow replica in a pair would hide itself forever).
+        Transitions carry ``slow_windows`` hysteresis in
+        :class:`ReplicaHealth`.
+        """
+        sampled = [l for l in self._links.values()
+                   if l.health.usable and l.ewma_ms > 0.0]
+        if len(sampled) < 2:
+            for link in self._links.values():
+                link.window_forwards = 0
+            return  # no peer group to be an outlier of
+        self._metrics.gauge("fleet.latency.median_ms").set(
+            statistics.median(l.ewma_ms for l in sampled))
+        for link in sampled:
+            peer_median = statistics.median(
+                l.ewma_ms for l in sampled if l is not link)
+            bound = max(self.config.slow_min_ms,
+                        self.config.slow_factor * peer_median)
+            # A window with no fresh forwards says nothing — the EWMA is
+            # stale, and judging it would either persist SLOW forever on
+            # old data or clear it without evidence.  Skipping leaves the
+            # hysteresis streaks untouched; last-resort routing and
+            # hedged backups provide the trickle that re-samples a SLOW
+            # replica.
+            if link.window_forwards == 0:
+                continue
+            outlier = link.ewma_ms > bound
+            if link.health.record_latency_window(
+                outlier, severe=link.ewma_ms > 2.0 * bound
+            ):
+                if link.health.state is ReplicaState.SLOW:
+                    self._metrics.counter("fleet.slow_detections").inc()
+                    _log.warning("gray failure: replica is a latency outlier",
+                                 replica=link.replica_id,
+                                 ewma_ms=f"{link.ewma_ms:.1f}",
+                                 peer_median_ms=f"{peer_median:.1f}")
+        for link in self._links.values():
+            link.window_forwards = 0
 
     # --------------------------------------------------------------- routing
 
@@ -307,8 +436,16 @@ class FleetRouter:
                 order.append(link)
         if not order:
             return []
-        spill = min(order[1:], key=lambda l: (l.outstanding, l.replica_id),
-                    default=None)
+        # Gray failures route last: a SLOW replica answers — eventually —
+        # so it stays a valid last resort, but every healthy replica
+        # outranks it (stable sort preserves ring order within each tier).
+        order.sort(key=lambda l: l.health.state is ReplicaState.SLOW)
+        spill = min(
+            order[1:],
+            key=lambda l: (l.health.state is ReplicaState.SLOW,
+                           l.outstanding, l.replica_id),
+            default=None,
+        )
         if (spill is not None
                 and order[0].outstanding >= self.config.spill_outstanding
                 and spill.outstanding < order[0].outstanding):
@@ -316,6 +453,209 @@ class FleetRouter:
             order.remove(spill)
             order.insert(0, spill)
         return order[: self.config.max_attempts]
+
+    async def _forward(
+        self,
+        link: ReplicaLink,
+        request: InferenceRequest,
+        envelope: dict,
+        received: float,
+        budget0: Optional[float],
+    ) -> dict:
+        """One forward attempt against one replica.
+
+        Owns all per-link accounting (outstanding, EWMA, health) and the
+        ``fleet.forward`` fault point (tagged with the replica id, so a
+        chaos plan can stall exactly one replica's hop — the gray-failure
+        drill).  Re-stamps the wire deadline budget with the router's own
+        elapsed time subtracted.  Transport errors demote the replica and
+        propagate to the caller's reroute loop.
+        """
+        link.outstanding += 1
+        start = time.perf_counter()
+        try:
+            spec = should_fire("fleet.forward", tag=link.replica_id)
+            if spec is not None:
+                if spec.kind in ("delay", "stall"):
+                    # The gray failure: this hop goes quiet for delay_ms
+                    # without blocking any other forward on the loop.
+                    await asyncio.sleep(spec.delay_ms / 1000.0)
+                else:  # "error" / "kill": the hop dies as a transport error
+                    raise ConnectionError("injected fleet.forward fault")
+            if budget0 is not None:
+                elapsed = (time.perf_counter() - received) * 1000.0
+                request = replace(request, deadline_ms=budget0 - elapsed)
+            reply = await link.client.request(
+                request,
+                return_output=bool(envelope.get("return_output")),
+                timings=request.want_timings,
+            )
+        except (ConnectionError, asyncio.TimeoutError, OSError, RuntimeError):
+            link.failures += 1
+            if link.health.record_forward_failure():
+                self.ring.remove(link.replica_id)
+                self._publish_membership()
+            raise
+        finally:
+            link.outstanding -= 1
+        ms = (time.perf_counter() - start) * 1000.0
+        link.ok += 1
+        link.observe_latency(ms)
+        link.window_forwards += 1
+        self._forward_ms.append(ms)
+        link.health.record_forward_ok()
+        return reply
+
+    # --------------------------------------------------------------- hedging
+
+    def hedge_delay_ms(self) -> float:
+        """How long the primary may be in flight before the backup fires.
+
+        The p95 of recent forwards (fleet-wide): ~5% of healthy requests
+        would hedge naturally, which is what the rate cap is calibrated
+        to, while a gray-slow primary crosses it almost surely.  Clamped
+        from above at ``slow_factor × p50`` — once a gray replica's
+        stalled completions pollute the window, the raw p95 collapses
+        toward the stall itself and a p95-delayed hedge would wait out
+        the very latency it exists to cut; anything beyond the slow
+        bound is by definition an outlier, so there is no point waiting
+        longer than that before racing a backup.  Floored at
+        ``hedge_floor_ms`` so microsecond-fast fleets do not hedge on
+        scheduler jitter.  Infinite until enough samples exist.
+        """
+        if len(self._forward_ms) < self.config.hedge_min_samples:
+            return float("inf")
+        window = sorted(self._forward_ms)
+        p95 = percentile(window, 95.0)
+        p50 = percentile(window, 50.0)
+        return max(self.config.hedge_floor_ms,
+                   min(p95, self.config.slow_factor * p50))
+
+    def _hedge_allowed(self, primary: ReplicaLink) -> bool:
+        """May this first attempt race a backup if the primary dawdles?"""
+        if not self.config.hedge:
+            return False
+        if len(self._forward_ms) < self.config.hedge_min_samples:
+            return False
+        if primary.health.state is ReplicaState.SLOW:
+            # A known-slow primary is the case hedging exists for: the
+            # rate cap must not strand its lanes behind a 20× hop.
+            return True
+        return (self._hedges_fired
+                < self.config.hedge_rate_cap * max(1, self._routed))
+
+    def _reap_loser(self, task: "asyncio.Task", link: ReplicaLink,
+                    request_id: int) -> None:
+        """Cancel + drain a hedge loser off the request path.
+
+        Best-effort ``op: cancel`` frees the loser's queue slot if it is
+        still queued; the awaited task consumes the eventual reply (or
+        transport error) so nothing leaks.  The client never sees the
+        loser — exactly-once responses hold regardless of what it says.
+        """
+        async def reap() -> None:
+            try:
+                await link.client.cancel(request_id)
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    RuntimeError):
+                pass
+            try:
+                await task
+            except (ConnectionError, asyncio.TimeoutError, OSError,
+                    RuntimeError):
+                pass
+
+        self._metrics.counter("fleet.hedge_cancels").inc()
+        reaper = asyncio.create_task(reap())
+        self._reap_tasks.add(reaper)
+        reaper.add_done_callback(self._reap_tasks.discard)
+
+    async def _forward_hedged(
+        self,
+        request: InferenceRequest,
+        envelope: dict,
+        primary: ReplicaLink,
+        backup: ReplicaLink,
+        received: float,
+        budget0: Optional[float],
+    ) -> Tuple[Optional[dict], Optional[ReplicaLink], bool]:
+        """Race a backup against a dawdling primary; first answer wins.
+
+        Returns ``(reply, served_link, hedge_fired)``.  ``reply`` is
+        ``None`` when every attempt failed as a transport error (caller
+        keeps rerouting).  When the hedge did not fire (primary answered
+        or failed within the delay) the caller treats the outcome as a
+        plain single attempt.
+        """
+        delay_s = self.hedge_delay_ms() / 1000.0
+        primary_task = asyncio.ensure_future(
+            self._forward(primary, request, envelope, received, budget0)
+        )
+        try:
+            reply = await asyncio.wait_for(asyncio.shield(primary_task),
+                                           delay_s)
+            return reply, primary, False
+        except asyncio.TimeoutError:
+            if primary_task.done():
+                # The *forward's own* timeout, not the hedge delay
+                # (TimeoutError is ambiguous between the two): a plain
+                # failure — reroute, no hedge.
+                return None, None, False
+        except (ConnectionError, OSError, RuntimeError):
+            return None, None, False
+
+        if budget0 is not None:
+            remaining = budget0 - (time.perf_counter() - received) * 1000.0
+            if remaining <= 0.0:
+                # No deadline slack left to buy anything with: riding out
+                # the primary is strictly better than doubling dead work.
+                try:
+                    return await primary_task, primary, False
+                except (ConnectionError, asyncio.TimeoutError, OSError,
+                        RuntimeError):
+                    return None, None, False
+
+        # The hedge fires: same request id on purpose — the replicas'
+        # admission dedupe/cancel key and the exactly-once guarantee both
+        # hang off it.
+        backup_task = asyncio.ensure_future(
+            self._forward(backup, replace(request), envelope, received,
+                          budget0)
+        )
+        self._hedges_fired += 1
+        self._metrics.counter("fleet.hedges").inc()
+        _log.debug("hedge fired", request_id=request.request_id,
+                   primary=primary.replica_id, backup=backup.replica_id,
+                   delay_ms=f"{delay_s * 1000.0:.1f}")
+
+        pending = {primary_task, backup_task}
+        winner: Optional["asyncio.Task"] = None
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            # Prefer the primary on a photo finish (deterministic pick;
+            # its reply is never staler than the backup's).
+            for task in (primary_task, backup_task):
+                if task in done and task.exception() is None \
+                        and winner is None:
+                    winner = task
+        if winner is None:
+            # Both failed.  Still a fired hedge that did not win:
+            # fleet.hedges == hedge_wins + hedge_losses stays an identity.
+            self._metrics.counter("fleet.hedge_losses").inc()
+            return None, None, True
+        if winner is backup_task:
+            self._metrics.counter("fleet.hedge_wins").inc()
+            loser_task, loser_link = primary_task, primary
+        else:
+            self._metrics.counter("fleet.hedge_losses").inc()
+            loser_task, loser_link = backup_task, backup
+        if not loser_task.done():
+            self._reap_loser(loser_task, loser_link, request.request_id)
+        return (winner.result(),
+                backup if winner is backup_task else primary,
+                True)
 
     async def _route_request(self, payload: dict, send) -> None:
         try:
@@ -325,6 +665,8 @@ class FleetRouter:
             await send({"id": payload.get("id"), "status": "error",
                         "error": f"bad request: {exc}"})
             return
+        received = time.perf_counter()
+        budget0 = request.deadline_ms  # client budget unspent at this hop
 
         with get_tracer().span(
             "router.request", category="fleet",
@@ -337,49 +679,58 @@ class FleetRouter:
             lane = self.lane(request.key.canonical(), request.int8)
             order = self.candidates(lane)
             span.set(lane=lane, candidates=len(order))
+            self._routed += 1
 
             reply: Optional[dict] = None
+            served: Optional[ReplicaLink] = None
             shed_hints: List[float] = []
             attempts = 0
-            for link in order:
-                attempts += 1
-                link.outstanding += 1
-                start = time.perf_counter()
-                try:
-                    reply = await link.client.request(
-                        request,
-                        return_output=bool(envelope.get("return_output")),
-                        timings=request.want_timings,
-                    )
-                except (ConnectionError, asyncio.TimeoutError, OSError,
-                        RuntimeError) as exc:
-                    link.failures += 1
-                    if link.health.record_forward_failure():
-                        self.ring.remove(link.replica_id)
-                        self._publish_membership()
+            hedged = False
+            index = 0
+            while index < len(order):
+                link = order[index]
+                backup = order[index + 1] if index + 1 < len(order) else None
+                if index == 0 and backup is not None \
+                        and self._hedge_allowed(link):
+                    reply, served, fired = await self._forward_hedged(
+                        request, envelope, link, backup, received, budget0)
+                    hedged = hedged or fired
+                    consumed = 2 if fired else 1
+                    attempts += consumed
+                    index += consumed
+                else:
+                    attempts += 1
+                    index += 1
+                    try:
+                        reply = await self._forward(link, request, envelope,
+                                                    received, budget0)
+                        served = link
+                    except (ConnectionError, asyncio.TimeoutError, OSError,
+                            RuntimeError) as exc:
+                        _log.warning("forward failed; rerouting",
+                                     replica=link.replica_id, lane=lane,
+                                     error=f"{type(exc).__name__}: {exc}")
+                        reply = None
+                if reply is None:
                     self._metrics.counter("fleet.reroutes").inc()
-                    _log.warning("forward failed; rerouting",
-                                 replica=link.replica_id, lane=lane,
-                                 error=f"{type(exc).__name__}: {exc}")
                     continue
-                finally:
-                    link.outstanding -= 1
-                link.ok += 1
-                link.observe_latency((time.perf_counter() - start) * 1000.0)
-                link.health.record_forward_ok()
                 if reply.get("status") == Status.SHED.value:
-                    link.sheds += 1
+                    assert served is not None
+                    served.sheds += 1
                     hint = reply.get("retry_after_ms")
                     if hint is not None:
-                        link.health.last_retry_after_ms = float(hint)
+                        served.health.last_retry_after_ms = float(hint)
                         shed_hints.append(float(hint))
                     # Replica-aware shedding: one backend being full is
-                    # not fleet overload — try the next candidate before
-                    # giving the client a retry-after.
-                    if attempts < len(order):
+                    # not fleet overload — try the next candidate, and
+                    # when ALL of them shed, answer with the router-level
+                    # aggregate (min of this request's hints), not
+                    # whichever hint the last replica happened to return.
+                    if index < len(order):
                         self._metrics.counter("fleet.shed_retries").inc()
-                        reply = None
-                        continue
+                    reply = None
+                    served = None
+                    continue
                 break
 
             if reply is None:
@@ -402,16 +753,21 @@ class FleetRouter:
                 })
                 return
 
+            assert served is not None
             reply = dict(reply)
             reply["id"] = envelope.get("id")
-            reply["replica"] = order[attempts - 1].replica_id
-            if attempts > 1:
-                reply["rerouted"] = attempts - 1
+            reply["replica"] = served.replica_id
+            rerouted = attempts - (2 if hedged else 1)
+            if rerouted > 0:
+                reply["rerouted"] = rerouted
+            if hedged:
+                reply["hedged"] = True
             self._metrics.counter(
                 "fleet.router.requests", status=str(reply.get("status"))
             ).inc()
             span.set(outcome=str(reply.get("status")),
-                     replica=reply["replica"], attempts=attempts)
+                     replica=reply["replica"], attempts=attempts,
+                     hedged=hedged)
             await send(reply)
 
     def _aggregate_retry_after(self, this_request_hints: List[float]) -> float:
@@ -436,6 +792,7 @@ class FleetRouter:
     def fleet_view(self) -> dict:
         """Router-side per-replica accounting (the ``fleet`` wire op)."""
         links = sorted(self._links.values(), key=lambda l: l.replica_id)
+        delay = self.hedge_delay_ms()
         return {
             "role": "router",
             "ready": self._started,
@@ -444,6 +801,13 @@ class FleetRouter:
             "total": len(links),
             "ring": {"vnodes": self.config.vnodes, "seed": self.config.seed,
                      "members": self.ring.replicas},
+            "hedging": {
+                "enabled": self.config.hedge,
+                "fired": self._hedges_fired,
+                "routed": self._routed,
+                "delay_ms": (None if delay == float("inf")
+                             else round(delay, 3)),
+            },
         }
 
     def health(self) -> dict:

@@ -114,15 +114,24 @@ class FleetSupervisor:
         self,
         replica_id: Optional[str] = None,
         config: Optional[ServeConfig] = None,
+        warm: bool = False,
     ) -> ReplicaEndpoint:
-        """Start one replica and return its endpoint (ready to serve)."""
+        """Start one replica and return its endpoint (ready to serve).
+
+        ``warm=True`` spawns it behind the warm-up gate: health reports
+        ``warming: true`` (the router holds it unroutable in STARTING)
+        until someone — normally :func:`repro.fleet.warmup.warm_replica`
+        via the autoscaler — drives its ``op: warmup``.
+        """
         rid = replica_id or self.next_replica_id()
         if rid in self._replicas:
             raise ValueError(f"replica {rid!r} already exists")
         if self.mode == "inproc":
+            if warm and config is None:
+                config = replace(self.base_config, require_warmup=True)
             handle = await self._spawn_inproc(rid, config)
         else:
-            handle = await self._spawn_process(rid)
+            handle = await self._spawn_process(rid, warm=warm)
         self._replicas[rid] = handle
         self._metrics.counter("fleet.replicas_spawned").inc()
         _log.info("replica spawned", replica=rid, mode=self.mode,
@@ -157,10 +166,12 @@ class FleetSupervisor:
             mode="inproc", server=server, tcp=tcp, connections=connections,
         )
 
-    async def _spawn_process(self, rid: str) -> ReplicaHandle:
+    async def _spawn_process(self, rid: str, warm: bool = False) -> ReplicaHandle:
         port = free_port(self.host)
         argv = [sys.executable, "-m", "repro", "serve", *self.serve_argv,
                 "--host", self.host, "--port", str(port)]
+        if warm:
+            argv.append("--require-warmup")
         process = await asyncio.create_subprocess_exec(
             *argv,
             stdout=asyncio.subprocess.DEVNULL,
@@ -191,7 +202,10 @@ class FleetSupervisor:
                                       timeout_s=2.0)
                 try:
                     payload = await client.health()
-                    if payload.get("ready"):
+                    # A warm-gated replica reports ready: false until its
+                    # op: warmup ran — it IS up as far as spawning goes;
+                    # the router keeps it unroutable until warmed.
+                    if payload.get("ready") or payload.get("warming"):
                         return
                 finally:
                     await client.close()

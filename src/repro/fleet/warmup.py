@@ -1,0 +1,115 @@
+"""Fleet warm-up: what a new replica must compile before it may serve.
+
+A replica spawned with ``require_warmup`` answers health probes with
+``warming: true`` and is held in ``starting`` (unroutable) by the
+router.  This module closes the gate: it computes the *lanes* the hash
+ring will actually send the replica — it is primary or fallback for some
+subset of the fleet's model lanes — drives the replica's ``op: warmup``
+with exactly those, and probes once so the router sees the flip to
+``ready`` without waiting out a probe interval.
+
+The point of warming by ring assignment rather than "everything" is
+scale-up cost: a replica joining a fleet serving 20 lanes is primary
+for ~20/N of them, and compiling only its share (plus ``warm_depth - 1``
+levels of fallback cover) keeps scale-up latency proportional to its
+actual responsibility.  The gray-failure drill asserts the other half of
+the contract: once the gate opens, post-scale-up traffic triggers zero
+model builds and zero plan compiles (``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..obs import get_logger, get_registry
+from ..serve.request import ModelKey
+from ..serve.server import ServeConfig
+from .placement import HashRing
+from .router import FleetRouter
+
+__all__ = ["lane_specs", "assigned_lanes", "warm_replica"]
+
+_log = get_logger("fleet.warmup")
+
+
+def lane_specs(config: ServeConfig) -> List[dict]:
+    """Wire-form warm-up specs for every lane a fleet of this config serves.
+
+    One spec per preloaded :class:`ModelKey` — plus the int8 flavor when
+    the fleet defaults requests onto the quantized plan (int8 lanes batch
+    and place separately from float ones).
+    """
+    specs: List[dict] = []
+    for key in config.preload:
+        spec = {
+            "net": key.network,
+            "variant": key.variant,
+            "resolution": key.resolution,
+            "seed": key.seed,
+            "int8": False,
+        }
+        specs.append(spec)
+        if config.int8:
+            specs.append({**spec, "int8": True})
+    return specs
+
+
+def _lane_of(spec: dict) -> str:
+    key = ModelKey(
+        network=spec["net"],
+        variant=spec.get("variant"),
+        resolution=int(spec.get("resolution", 64)),
+        seed=int(spec.get("seed", 0)),
+    )
+    return FleetRouter.lane(key.canonical(), bool(spec.get("int8", False)))
+
+
+def assigned_lanes(
+    ring: HashRing, replica_id: str, specs: List[dict], depth: int = 2
+) -> List[dict]:
+    """The subset of ``specs`` this replica must be warm for.
+
+    A lane is assigned when the ring's preference order puts the replica
+    in the first ``depth`` candidates — primary plus the fallbacks a
+    reroute or hedge would reach.
+    """
+    assigned = []
+    for spec in specs:
+        preference = ring.preference(_lane_of(spec))[:depth]
+        if replica_id in preference:
+            assigned.append(spec)
+    return assigned
+
+
+async def warm_replica(
+    router: FleetRouter,
+    replica_id: str,
+    serve_config: Optional[ServeConfig] = None,
+    lanes: Optional[List[dict]] = None,
+    depth: Optional[int] = None,
+) -> dict:
+    """Drive one replica through its warm-up gate; returns its report.
+
+    ``lanes`` (explicit wire specs) wins; otherwise the assignment is
+    computed from ``serve_config``'s preload set and the router's ring;
+    with neither, the replica warms everything it preloaded.  Ends with
+    one probe pass so the router routes to the replica immediately.
+    """
+    link = router.links.get(replica_id)
+    if link is None:
+        raise KeyError(f"unknown replica {replica_id!r}")
+    if lanes is None and serve_config is not None:
+        lanes = assigned_lanes(
+            router.ring, replica_id, lane_specs(serve_config),
+            depth=depth if depth is not None else router.config.warm_depth,
+        )
+    reply = await link.client.warmup(lanes)
+    if reply.get("status") == "error":
+        raise RuntimeError(
+            f"warm-up failed on {replica_id}: {reply.get('error')}")
+    get_registry().counter("fleet.warmups").inc()
+    _log.info("replica warmed", replica=replica_id,
+              lanes=reply.get("warmed"),
+              ms=f"{reply.get('warmup_ms', 0.0):.0f}")
+    await router.probe_once()
+    return reply

@@ -133,6 +133,24 @@ class PendingStore:
             del self._lanes[key]
         return taken
 
+    def remove(self, request_id: int) -> Optional[Pending]:
+        """Pull one queued request out by id (hedge-loser cancellation).
+
+        O(queued) scan — cancels are rare (capped hedge rate) and the
+        queue is bounded, so a linear walk beats maintaining a second
+        index on the hot push/take path.  The heap entry is left behind
+        and lazily skipped, same as a drained lane.
+        """
+        for key, lane in list(self._lanes.items()):
+            for index, pending in enumerate(lane):
+                if pending.request.request_id == request_id:
+                    del lane[index]
+                    self._size -= 1
+                    if not lane:
+                        del self._lanes[key]
+                    return pending
+        return None
+
     def drain_all(self) -> List[Pending]:
         """Empty the store entirely (shutdown path)."""
         everything = [p for lane in self._lanes.values() for p in lane]

@@ -121,6 +121,13 @@ class InferenceRequest:
     # quantized answer is by construction not bit-identical to eager.
     int8: bool = False
     request_id: int = field(default_factory=lambda: next(_ids))
+    # Cross-hop deadline budget (wire field ``deadline_ms``): milliseconds
+    # of the *client's* deadline still unspent when this hop received the
+    # request.  Every forwarding hop decrements it by its own elapsed
+    # time, so a replica admitting a stale hedged duplicate sees a spent
+    # budget and expires it immediately instead of wasting a batch slot.
+    # ``None`` means no propagated deadline; the server SLO applies alone.
+    deadline_ms: Optional[float] = None
 
     # Filled in by the server at admission (monotonic clock).
     arrival: float = 0.0

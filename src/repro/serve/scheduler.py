@@ -73,7 +73,15 @@ class SLOScheduler:
         request.arrival_ns = time.perf_counter_ns()
         slo = request.slo_ms if request.slo_ms is not None else self.default_slo_ms
         request.slo_ms = slo
-        request.deadline = now + slo / 1000.0
+        # Deadline propagation: a request arriving over the wire carries
+        # the client deadline's unspent budget (``deadline_ms``, already
+        # decremented by every upstream hop).  The effective deadline is
+        # the tighter of that budget and the server SLO — a stale hedged
+        # duplicate whose budget is spent expires below without ever
+        # taking a batch slot.
+        budget = slo if request.deadline_ms is None else min(
+            slo, request.deadline_ms)
+        request.deadline = now + budget / 1000.0
 
         # The admission decision is one span of the request's trace: a
         # child of the wire context when the client minted one, a fresh
@@ -106,6 +114,16 @@ class SLOScheduler:
                 else:
                     span.set(outcome="cancelled", reason="closed")
                     future.set_result(self._terminal(request, Status.CANCELLED))
+                return future
+
+            if budget <= 0.0:
+                self._metrics.counter("serve.requests",
+                                      status=Status.EXPIRED.value).inc()
+                self._metrics.counter("serve.expired_at_admission").inc()
+                span.set(outcome="expired", reason="deadline_budget_spent")
+                _log.debug("expired at admission", id=request.request_id,
+                           deadline_ms=request.deadline_ms)
+                future.set_result(self._terminal(request, Status.EXPIRED))
                 return future
 
             if len(self.store) >= self.max_queue:
@@ -150,6 +168,28 @@ class SLOScheduler:
             _log.warning("requeued batch from crashed worker", count=requeued)
         async with self._wakeup:
             self._wakeup.notify_all()
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel one *queued* request by id (the ``op: cancel`` wire op).
+
+        The hedge loser's slot is released and its future resolves
+        CANCELLED; a request already dispatched to a worker runs to
+        completion (its answer is simply discarded by the hedging
+        router), so cancellation is best-effort by design.
+        """
+        pending = self.store.remove(request_id)
+        if pending is None:
+            return False
+        self._metrics.counter("serve.requests",
+                              status=Status.CANCELLED.value).inc()
+        self._metrics.counter("serve.cancelled_queued").inc()
+        self._metrics.gauge("serve.queue.depth").set(len(self.store))
+        if not pending.future.done():
+            pending.future.set_result(
+                self._terminal(pending.request, Status.CANCELLED)
+            )
+        _log.debug("cancelled queued request", id=request_id)
+        return True
 
     def _model_if_loaded(self, request: InferenceRequest) -> Optional[RegisteredModel]:
         """A registered model for the retry hint, without triggering a build."""

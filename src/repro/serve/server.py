@@ -23,6 +23,7 @@ the registry for reports and smoke checks.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -64,6 +65,13 @@ class ServeConfig:
     array: Optional[ArrayConfig] = None  #: modeled accelerator (default 64x64)
     preload: List[ModelKey] = field(default_factory=list)
     resilience: bool = True          #: degradation chain / breakers / restarts
+    # Warm-up gate (docs/fleet.md): with ``require_warmup`` the health op
+    # reports ``ready: false, warming: true`` until :meth:`warmup` has
+    # pre-built the preloaded models and compiled the plans the hot path
+    # will use — a fleet supervisor drives ``op: warmup`` with the lanes
+    # the ring assigns before the router may route here, so a scale-up
+    # never serves a cold plan.
+    require_warmup: bool = False
     breaker_threshold: int = 3       #: consecutive failures before open
     breaker_cooldown_s: float = 2.0  #: open → half-open probe delay
     telemetry: bool = True           #: snapshot loop feeding live stats/alerts
@@ -116,6 +124,7 @@ class InferenceServer:
             breaker_cooldown_s=self.config.breaker_cooldown_s,
         )
         self._started = False
+        self._warmed = not self.config.require_warmup
         self._snapshots: Optional[SnapshotLoop] = None
         self._exposition: Optional[ExpositionServer] = None
 
@@ -194,6 +203,87 @@ class InferenceServer:
         futures = [await self.scheduler.submit(r) for r in requests]
         return list(await asyncio.gather(*futures))
 
+    def cancel_request(self, request_id: int) -> bool:
+        """Cancel one queued request by id (the ``op: cancel`` wire op).
+
+        Best-effort: ``True`` when the request was still queued (its slot
+        is released and its future resolves CANCELLED), ``False`` when it
+        already dispatched, completed, or never existed here.
+        """
+        return self.scheduler.cancel(request_id)
+
+    # --------------------------------------------------------------- warm-up
+
+    async def warmup(self, lanes: Optional[List[dict]] = None) -> dict:
+        """Pre-build models and compile the hot-path plans (``op: warmup``).
+
+        ``lanes`` is a list of wire-shaped lane specs (``{"net": ...,
+        "variant": ..., "resolution": ..., "seed": ..., "int8": ...}``) —
+        the lanes a fleet ring assigns this replica; ``None`` warms every
+        preloaded model.  For each lane the model is built and the exact
+        plan flavors the serving path will request are compiled (exact@1
+        under ``bitexact``, folded at batch 1/``max_batch`` otherwise,
+        the int8 plan — including its compile-time calibration — for int8
+        lanes).  Runs off-loop; flips the warm-up gate so ``health()``
+        reports ready.  Idempotent — re-warming a warm lane hits the plan
+        cache and costs nothing.
+        """
+        specs = self._warm_lanes(lanes)
+        start = time.perf_counter()
+
+        def _warm() -> List[str]:
+            warmed = []
+            for key, int8 in specs:
+                model = self.registry.get(key)
+                for batch, kwargs in self._warm_shapes(int8):
+                    model.plan_for(batch, **kwargs)
+                warmed.append(key.canonical() + ("|int8" if int8 else ""))
+            return warmed
+
+        warmed = await asyncio.to_thread(_warm)
+        warmup_ms = (time.perf_counter() - start) * 1000.0
+        self._warmed = True
+        registry = get_registry()
+        registry.counter("serve.warmups").inc()
+        registry.gauge("serve.warmup.lanes").set(float(len(warmed)))
+        registry.gauge("serve.warmup.ms").set(warmup_ms)
+        _log.info("warmup complete", lanes=len(warmed),
+                  ms=f"{warmup_ms:.1f}")
+        return {"warmed": len(warmed), "lanes": warmed,
+                "warmup_ms": round(warmup_ms, 3)}
+
+    def _warm_lanes(self, lanes: Optional[List[dict]]) -> List[tuple]:
+        """Normalize wire lane specs → ``[(ModelKey, int8), ...]``."""
+        if lanes is None:
+            return [(key, self.config.int8) for key in self.config.preload]
+        specs = []
+        for lane in lanes:
+            key = ModelKey(
+                network=lane.get("net") or lane["network"],
+                variant=lane.get("variant"),
+                resolution=int(lane.get("resolution", 64)),
+                seed=int(lane.get("seed", 0)),
+            )
+            specs.append((key, bool(lane.get("int8", False)) or self.config.int8))
+        return specs
+
+    def _warm_shapes(self, int8: bool) -> List[tuple]:
+        """The ``plan_for`` calls the hot path will make for one lane.
+
+        Mirrors :func:`repro.serve.workers._run_graph`: nothing to
+        compile off the graph engine, exact@1 under ``bitexact``, the
+        folded plan at the batch sizes the batcher forms otherwise, and
+        the quantized plan (PTQ calibration included) for int8 lanes.
+        """
+        if self.config.engine != "graph" or not self.config.compile:
+            return []
+        batches = sorted({1, self.config.max_batch})
+        if int8:
+            return [(b, {"flavor": "int8"}) for b in batches]
+        if self.config.bitexact:
+            return [(1, {"exact": True})]
+        return [(b, {"exact": False}) for b in batches]
+
     # ---------------------------------------------------------------- stats
 
     def health(self) -> dict:
@@ -201,14 +291,20 @@ class InferenceServer:
 
         ``ready`` means the server accepts new work; during a graceful
         drain it flips to ``False`` while ``draining`` is ``True`` and
-        queued requests are still being completed.
+        queued requests are still being completed.  With
+        ``require_warmup`` it also stays ``False`` — with ``warming:
+        true`` — until :meth:`warmup` completed, so a fleet router holds
+        traffic off a replica that would serve cold plans.
         """
         draining = self.scheduler.draining and (
             self._started or len(self.scheduler.store) > 0
         )
+        warming = not self._warmed
         return {
             "status": "ok",
-            "ready": self._started and not self.scheduler.closed,
+            "ready": self._started and not self.scheduler.closed
+            and not warming,
+            "warming": warming,
             "draining": draining,
             "queue_depth": len(self.scheduler.store),
             "workers_alive": self.pool.alive,

@@ -73,7 +73,7 @@ def request_from_wire(payload: dict) -> Tuple[InferenceRequest, dict]:
         resolution=int(payload.get("resolution", 64)),
         seed=int(payload.get("seed", 0)),
     )
-    request = InferenceRequest(
+    fields = dict(
         key=key,
         input_seed=int(payload.get("input_seed", 0)),
         slo_ms=payload.get("slo_ms"),
@@ -82,6 +82,15 @@ def request_from_wire(payload: dict) -> Tuple[InferenceRequest, dict]:
         trace=SpanContext.from_wire(payload.get("trace")),
         want_timings=bool(payload.get("timings", False)),
     )
+    # Cross-hop identity and deadline budget: a router forwarding (or
+    # hedging) a client's request preserves the originating request id —
+    # the dedupe/cancellation key — and the milliseconds of client
+    # deadline still unspent at this hop.
+    if payload.get("request_id") is not None:
+        fields["request_id"] = int(payload["request_id"])
+    if payload.get("deadline_ms") is not None:
+        fields["deadline_ms"] = float(payload["deadline_ms"])
+    request = InferenceRequest(**fields)
     envelope = {
         "id": payload.get("id"),
         "return_output": bool(payload.get("return_output", False)),
@@ -205,6 +214,33 @@ async def _handle_connection(
             await send({"id": payload.get("id"), "op": "metrics",
                         "exposition": render_exposition(),
                         "telemetry": server.telemetry_payload()})
+            return
+        if op == "warmup":
+            # Warm-up gate: pre-build the named lanes' models and plans
+            # before health may report ready (fleet scale-up path).
+            try:
+                result = await server.warmup(payload.get("lanes"))
+            except Exception as exc:
+                metrics.counter("serve.transport.bad_lines").inc()
+                await send({"id": payload.get("id"), "op": "warmup",
+                            "status": "error",
+                            "error": f"warmup failed: {exc}"})
+                return
+            await send({"id": payload.get("id"), "op": "warmup",
+                        "ready": server.health()["ready"], **result})
+            return
+        if op == "cancel":
+            # Hedge-loser cancellation, keyed by the originating request
+            # id; best-effort (a dispatched request runs to completion).
+            try:
+                request_id = int(payload["request_id"])
+            except (KeyError, TypeError, ValueError) as exc:
+                await send({"id": payload.get("id"), "op": "cancel",
+                            "status": "error",
+                            "error": f"bad cancel: {exc}"})
+                return
+            await send({"id": payload.get("id"), "op": "cancel",
+                        "cancelled": server.cancel_request(request_id)})
             return
         # The transport span joins the client's trace (carried in the
         # wire ``trace`` object) and becomes the server-side parent of
@@ -472,8 +508,18 @@ class RemoteClient:
             "input_seed": request.input_seed,
             "slo_ms": request.slo_ms,
             "priority": request.priority,
+            "request_id": request.request_id,
             "return_output": return_output,
         }
+        # Deadline propagation: carry the unspent deadline budget (or, at
+        # the originating client, the full SLO) so downstream hops can
+        # expire stale work at admission.  Stamped once per request()
+        # call — a wire-level retry resends the same budget; the replica
+        # restamps arrival, which is the conservative direction.
+        budget = (request.deadline_ms if request.deadline_ms is not None
+                  else request.slo_ms)
+        if budget is not None:
+            payload["deadline_ms"] = round(float(budget), 3)
         if request.int8:
             payload["int8"] = True
         if timings or request.want_timings:
@@ -500,6 +546,28 @@ class RemoteClient:
         ``exposition`` text block plus the derived ``telemetry`` view."""
         self._next_id += 1
         return await self._roundtrip({"id": self._next_id, "op": "metrics"})
+
+    async def warmup(self, lanes: Optional[list] = None) -> dict:
+        """Drive the server's warm-up gate (``op: warmup``).
+
+        ``lanes`` is a list of wire lane specs (``{"net": ..., "variant":
+        ..., "resolution": ..., "seed": ..., "int8": ...}``); ``None``
+        warms every preloaded model.  Returns the server's warm-up report
+        including the post-warm-up ``ready`` flag.
+        """
+        self._next_id += 1
+        payload: dict = {"id": self._next_id, "op": "warmup"}
+        if lanes is not None:
+            payload["lanes"] = lanes
+        return await self._roundtrip(payload)
+
+    async def cancel(self, request_id: int) -> bool:
+        """Best-effort cancel of one queued request (``op: cancel``)."""
+        self._next_id += 1
+        reply = await self._roundtrip(
+            {"id": self._next_id, "op": "cancel", "request_id": request_id}
+        )
+        return bool(reply.get("cancelled"))
 
     async def submit(self, request: InferenceRequest) -> InferenceResponse:
         """Loadgen-compatible submit: wire response → InferenceResponse.

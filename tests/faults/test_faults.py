@@ -203,3 +203,83 @@ class TestInjectSites:
         assert current_injector() is injector
         clear_plan()
         assert current_injector() is None
+
+
+class TestStallAndTags:
+    """The gray-failure additions: ``stall`` kind, instance tags, and the
+    ``fleet.forward`` hook the router exposes per replica."""
+
+    def test_fleet_forward_is_a_catalog_point(self):
+        assert "fleet.forward" in FAULT_POINTS
+        assert FaultSpec(point="fleet.forward").point == "fleet.forward"
+
+    def test_stall_kind_round_trips(self):
+        spec = FaultSpec(point="fleet.forward", kind="stall",
+                         delay_ms=250.0, tag="r2")
+        clone = FaultSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.kind == "stall"
+        assert clone.tag == "r2"
+
+    def test_tag_must_be_string_or_none(self):
+        with pytest.raises(ValueError, match="tag"):
+            FaultSpec(point="fleet.forward", tag=3)
+
+    def test_mismatched_tag_never_fires(self):
+        injector = FaultInjector(FaultPlan(faults=[
+            FaultSpec(point="fleet.forward", kind="stall", max_fires=None,
+                      tag="r0"),
+        ]))
+        assert all(injector.should_fire("fleet.forward", tag="r1") is None
+                   for _ in range(20))
+        assert injector.should_fire("fleet.forward", tag="r0") is not None
+
+    def test_mismatched_tags_still_consume_after(self):
+        # The `after` prelude counts *evaluations at the point*, not
+        # fires on the tagged instance — so warm-up traffic through the
+        # healthy replicas advances a victim-tagged schedule, exactly
+        # like the gray drill's stall that begins mid-run.
+        injector = FaultInjector(FaultPlan(faults=[
+            FaultSpec(point="fleet.forward", kind="stall", after=3,
+                      max_fires=1, tag="r0"),
+        ]))
+        for _ in range(3):
+            assert injector.should_fire("fleet.forward", tag="r1") is None
+        assert injector.should_fire("fleet.forward", tag="r0") is not None
+        assert injector.should_fire("fleet.forward", tag="r0") is None
+
+    def test_tagged_schedule_is_deterministic(self):
+        def schedule():
+            injector = FaultInjector(FaultPlan(seed=13, faults=[
+                FaultSpec(point="fleet.forward", kind="stall",
+                          probability=0.4, max_fires=None, tag="r0"),
+            ]))
+            return [injector.should_fire("fleet.forward", tag="r0")
+                    is not None for _ in range(100)]
+
+        first, second = schedule(), schedule()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_stall_inject_sleeps(self):
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="fleet.forward", kind="stall", delay_ms=30.0),
+        ]))
+        start = time.perf_counter()
+        inject("fleet.forward")
+        assert time.perf_counter() - start >= 0.025
+
+    def test_stall_firing_counts_metric(self):
+        reg = get_registry()
+        reg.reset()
+        install_plan(FaultPlan(faults=[
+            FaultSpec(point="fleet.forward", kind="stall", delay_ms=0.0,
+                      tag="r0"),
+        ]))
+        assert should_fire("fleet.forward", tag="r0") is not None
+        assert reg.counter("faults.injected.fleet.forward").value == 1
+
+    def test_noop_when_inactive(self):
+        assert should_fire("fleet.forward") is None
+        assert should_fire("fleet.forward", tag="r0") is None
+        inject("fleet.forward")  # must not raise

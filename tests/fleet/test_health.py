@@ -1,4 +1,5 @@
-"""Replica health state machine: passive demotion, probe hysteresis."""
+"""Replica health state machine: passive demotion, probe hysteresis,
+warm-up gating, and gray-failure (SLOW) latency windows."""
 
 from __future__ import annotations
 
@@ -7,15 +8,19 @@ import pytest
 from repro.fleet import ReplicaHealth, ReplicaState
 
 
-def make(threshold: int = 2) -> ReplicaHealth:
-    return ReplicaHealth("r0", probe_fail_threshold=threshold)
+def make(threshold: int = 2, slow_windows: int = 3) -> ReplicaHealth:
+    return ReplicaHealth("r0", probe_fail_threshold=threshold,
+                         slow_windows=slow_windows)
 
 
 class TestStates:
-    def test_starting_is_optimistically_usable(self):
+    def test_starting_is_not_routable(self):
+        # The warm-up gate: a just-registered replica may still be
+        # compiling its lanes' plans — it must not receive traffic until
+        # a probe confirms it ready.
         health = make()
         assert health.state is ReplicaState.STARTING
-        assert health.usable
+        assert not health.usable
 
     def test_probe_success_promotes_to_ready(self):
         health = make()
@@ -64,9 +69,91 @@ class TestStates:
         health.record_probe(True, draining=True)
         assert health.state is ReplicaState.DRAINING
 
+    def test_probe_warming_holds_starting(self):
+        # A warm-gated replica answers probes (alive) but reports
+        # warming: it must stay STARTING, not be mistaken for draining.
+        health = make()
+        health.record_probe(True, warming=True)
+        assert health.state is ReplicaState.STARTING
+        assert not health.usable
+        health.record_probe(True)  # gate opened
+        assert health.state is ReplicaState.READY
+
+    def test_warming_probe_returns_a_ready_replica_to_starting(self):
+        health = make()
+        health.record_probe(True)
+        health.record_probe(True, warming=True)
+        assert health.state is ReplicaState.STARTING
+
     def test_threshold_validation(self):
         with pytest.raises(ValueError):
             make(threshold=0)
+        with pytest.raises(ValueError):
+            make(slow_windows=0)
+
+
+class TestSlow:
+    """Gray failures: latency-window hysteresis into and out of SLOW."""
+
+    def ready(self, slow_windows: int = 3) -> ReplicaHealth:
+        health = make(slow_windows=slow_windows)
+        health.record_probe(True)
+        return health
+
+    def test_outlier_windows_demote_to_slow_with_hysteresis(self):
+        health = self.ready(slow_windows=3)
+        health.record_latency_window(True)
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.READY  # not yet: 2 < 3
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.SLOW
+        assert health.usable  # last resort, but routable
+
+    def test_clean_window_resets_the_streak(self):
+        health = self.ready(slow_windows=2)
+        health.record_latency_window(True)
+        health.record_latency_window(False)
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.READY
+
+    def test_probe_success_does_not_clear_slow(self):
+        # Gray failures answer probes — that is the failure mode.
+        health = self.ready(slow_windows=1)
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.SLOW
+        health.record_probe(True)
+        assert health.state is ReplicaState.SLOW
+        health.record_forward_ok()
+        assert health.state is ReplicaState.SLOW
+
+    def test_clean_windows_recover_slow_to_ready(self):
+        health = self.ready(slow_windows=2)
+        health.record_latency_window(True)
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.SLOW
+        health.record_latency_window(False)
+        assert health.state is ReplicaState.SLOW  # hysteresis: 1 < 2
+        health.record_latency_window(False)
+        assert health.state is ReplicaState.READY
+
+    def test_severe_outlier_demotes_slow_to_suspect(self):
+        health = self.ready(slow_windows=1)
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.SLOW
+        health.record_latency_window(True, severe=True)
+        assert health.state is ReplicaState.SUSPECT
+
+    def test_probe_failure_demotes_slow_to_suspect(self):
+        health = self.ready(slow_windows=1)
+        health.record_latency_window(True)
+        health.record_probe(False)
+        assert health.state is ReplicaState.SUSPECT
+
+    def test_windows_ignored_while_down(self):
+        health = self.ready(slow_windows=1)
+        health.record_forward_failure()
+        health.record_latency_window(True)
+        assert health.state is ReplicaState.DOWN
 
 
 class TestClock:

@@ -21,6 +21,7 @@ from repro.serve import (
 from repro.fleet import (
     FleetRouter,
     FleetSupervisor,
+    ReplicaEndpoint,
     RouterConfig,
     free_port,
 )
@@ -272,3 +273,34 @@ class TestMembership:
     def test_free_port_returns_bindable_port(self):
         port = free_port()
         assert 0 < port < 65536
+
+
+class TestShedAggregation:
+    """Router-level SHED hint: min over hints, never the last one seen."""
+
+    def _router(self, **overrides) -> FleetRouter:
+        defaults = dict(seed=0, probe_interval_s=0.25,
+                        shed_retry_floor_ms=25.0)
+        defaults.update(overrides)
+        return FleetRouter([], RouterConfig(**defaults))
+
+    def test_this_request_hints_take_min(self):
+        # When every replica sheds one request, the client's backoff
+        # should target the soonest any backend expects room — not
+        # whichever hint the last attempt happened to return.
+        router = self._router()
+        assert router._aggregate_retry_after([120.0, 80.0, 200.0]) == 80.0
+
+    def test_falls_back_to_last_seen_hints(self):
+        router = self._router()
+        for rid, hint in (("r0", 90.0), ("r1", 40.0)):
+            link = router.add_replica(ReplicaEndpoint(rid, "127.0.0.1", 1))
+            link.health.record_probe(True)
+            link.health.last_retry_after_ms = hint
+        assert router._aggregate_retry_after([]) == 40.0
+
+    def test_probe_cadence_floor_when_no_hints_anywhere(self):
+        router = self._router(probe_interval_s=0.25)
+        assert router._aggregate_retry_after([]) == 250.0
+        floored = self._router(probe_interval_s=0.01)
+        assert floored._aggregate_retry_after([]) == 25.0

@@ -1,0 +1,163 @@
+"""The warm-up gate: lane assignment math and the scale-up contract.
+
+A replica spawned behind ``require_warmup`` must stay STARTING —
+unroutable — until its ``op: warmup`` has pre-compiled the lanes the
+ring will send it; traffic arriving mid-scale-up lands on the warm
+replicas, never the cold one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import InferenceRequest, ModelKey, RemoteClient, ServeConfig, Status
+from repro.fleet import (
+    FleetRouter,
+    FleetSupervisor,
+    HashRing,
+    ReplicaState,
+    RouterConfig,
+    assigned_lanes,
+    lane_specs,
+    warm_replica,
+)
+
+KEY_A = ModelKey("mobilenet_v3_small", resolution=32)
+KEY_B = ModelKey("mobilenet_v1", variant="half", resolution=32)
+
+
+def _config(**overrides) -> ServeConfig:
+    defaults = dict(engine="analytical", preload=[KEY_A, KEY_B],
+                    slo_ms=30000.0, compile=False, telemetry=False)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestLaneSpecs:
+    def test_one_spec_per_preloaded_key(self):
+        specs = lane_specs(_config())
+        assert len(specs) == 2
+        assert {s["net"] for s in specs} == {"mobilenet_v3_small",
+                                             "mobilenet_v1"}
+        assert all(s["int8"] is False for s in specs)
+
+    def test_int8_fleet_duplicates_each_lane(self):
+        specs = lane_specs(_config(int8=True))
+        assert len(specs) == 4
+        assert sum(1 for s in specs if s["int8"]) == 2
+
+    def test_spec_carries_full_model_identity(self):
+        (spec,) = [s for s in lane_specs(_config())
+                   if s["net"] == "mobilenet_v1"]
+        assert spec["variant"] == "half"
+        assert spec["resolution"] == 32
+        assert spec["seed"] == 0
+
+
+class TestAssignedLanes:
+    def _ring(self) -> HashRing:
+        ring = HashRing(seed=0)
+        for rid in ("r0", "r1", "r2"):
+            ring.add(rid)
+        return ring
+
+    def test_depth_one_assigns_each_lane_to_its_primary(self):
+        ring = self._ring()
+        specs = lane_specs(_config())
+        owners = {rid: assigned_lanes(ring, rid, specs, depth=1)
+                  for rid in ("r0", "r1", "r2")}
+        total = sum(len(lanes) for lanes in owners.values())
+        assert total == len(specs)  # partition: every lane exactly once
+
+    def test_full_depth_covers_every_lane_everywhere(self):
+        ring = self._ring()
+        specs = lane_specs(_config())
+        for rid in ("r0", "r1", "r2"):
+            assert assigned_lanes(ring, rid, specs, depth=3) == specs
+
+    def test_deeper_assignment_is_a_superset(self):
+        ring = self._ring()
+        specs = lane_specs(_config())
+        for rid in ("r0", "r1", "r2"):
+            shallow = assigned_lanes(ring, rid, specs, depth=1)
+            deep = assigned_lanes(ring, rid, specs, depth=2)
+            assert all(spec in deep for spec in shallow)
+
+
+class TestWarmupGate:
+    def test_scale_up_under_load_sheds_to_warm_replicas(self):
+        # The satellite regression: traffic arriving while a scale-up
+        # replica is still warming must be carried by the warm replicas
+        # — the STARTING one serves exactly nothing.
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            endpoints = [await supervisor.spawn() for _ in range(2)]
+            router = FleetRouter(
+                endpoints, RouterConfig(seed=0, probe_interval_s=0.05))
+            await router.start()
+            client = RemoteClient("127.0.0.1", router.port, timeout_s=30.0)
+            await client.connect()
+            try:
+                cold = await supervisor.spawn(warm=True)
+                router.add_replica(cold)
+                await router.probe_once()
+                link = router.links[cold.replica_id]
+                assert link.health.state is ReplicaState.STARTING
+                assert not link.health.usable
+
+                responses = [await client.submit(
+                    InferenceRequest(key=key, input_seed=i))
+                    for i in range(6) for key in (KEY_A, KEY_B)]
+                assert all(r.status is Status.OK for r in responses)
+                assert link.ok == 0  # the cold replica carried nothing
+
+                report = await warm_replica(router, cold.replica_id,
+                                            serve_config=_config())
+                assert report["warmed"] >= 1
+                assert link.health.usable
+                assert link.health.state is ReplicaState.READY
+            finally:
+                await client.close()
+                await router.stop()
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_warm_replica_probes_gate_open_immediately(self):
+        # warm_replica ends with a probe pass: no waiting out a probe
+        # interval before the fleet can route to the newcomer.
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            endpoints = [await supervisor.spawn(warm=True) for _ in range(2)]
+            router = FleetRouter(
+                endpoints, RouterConfig(seed=0, probe_interval_s=60.0))
+            await router.start()
+            try:
+                starting = [l for l in router.links.values()
+                            if l.health.state is ReplicaState.STARTING]
+                assert len(starting) == 2
+                for rid in list(router.links):
+                    await warm_replica(router, rid, serve_config=_config())
+                assert all(l.health.usable for l in router.links.values())
+            finally:
+                await router.stop()
+                await supervisor.stop()
+
+        asyncio.run(main())
+
+    def test_warm_replica_rejects_unknown_replica(self):
+        async def main():
+            supervisor = FleetSupervisor(base_config=_config(), mode="inproc")
+            endpoints = [await supervisor.spawn()]
+            router = FleetRouter(endpoints, RouterConfig(seed=0))
+            await router.start()
+            try:
+                with pytest.raises(KeyError, match="nope"):
+                    await warm_replica(router, "nope")
+            finally:
+                await router.stop()
+                await supervisor.stop()
+
+        asyncio.run(main())
